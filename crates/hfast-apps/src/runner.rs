@@ -1,0 +1,60 @@
+//! Profiling harness: run a kernel under IPM and collect its profiles.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hfast_ipm::{CommProfile, IpmProfiler};
+use hfast_mpi::{CommHook, MpiError, World, WorldConfig};
+
+use crate::CommKernel;
+
+/// Result of a profiled application run.
+#[derive(Debug, Clone)]
+pub struct AppOutcome {
+    /// Application name.
+    pub name: &'static str,
+    /// Processor count.
+    pub procs: usize,
+    /// Profile over the whole run (initialization included).
+    pub merged: CommProfile,
+    /// Profile of the `"steady"` region only — the paper's analysis input.
+    pub steady: CommProfile,
+}
+
+/// Runs `app` at `procs` ranks under the IPM profiler and returns both the
+/// merged and the steady-state profiles (paper §3.2: "we use IPM's
+/// regioning feature … to examine only the profiling data from one section
+/// of the code").
+pub fn profile_app(app: &dyn CommKernel, procs: usize) -> Result<AppOutcome, MpiError> {
+    let profiler = Arc::new(IpmProfiler::new(procs));
+    let prof_for_ranks = Arc::clone(&profiler);
+    World::run_with(
+        WorldConfig::new(procs)
+            .timeout(Duration::from_secs(60))
+            .hook(Arc::clone(&profiler) as Arc<dyn CommHook>),
+        move |comm| app.run(comm, &prof_for_ranks),
+    )?
+    .into_iter()
+    .collect::<Result<Vec<()>, MpiError>>()?;
+    Ok(AppOutcome {
+        name: app.name(),
+        procs,
+        merged: profiler.profile(),
+        steady: profiler.region_profile("steady"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cactus;
+
+    #[test]
+    fn outcome_distinguishes_regions() {
+        let out = profile_app(&Cactus::new(4), 8).unwrap();
+        assert_eq!(out.name, "Cactus");
+        assert_eq!(out.procs, 8);
+        assert!(out.steady.total_calls() > 0);
+        assert!(out.merged.total_calls() >= out.steady.total_calls());
+    }
+}

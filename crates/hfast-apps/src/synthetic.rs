@@ -1,0 +1,166 @@
+//! Synthetic workloads: seeded random communication patterns.
+//!
+//! Beyond the six calibrated study codes, downstream users evaluating HFAST
+//! for *their* machine want to sweep arbitrary points in the
+//! (degree, message size, isotropy) space. [`Synthetic`] generates a
+//! deterministic random pattern from a seed: every rank derives the same
+//! global symmetric partner graph, so the kernel needs no coordination.
+
+use hfast_ipm::IpmProfiler;
+use hfast_mpi::{Comm, Payload, ReduceOp, Result, SrcSel, TagSel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::tags;
+use crate::meta::AppMeta;
+use crate::CommKernel;
+
+/// A seeded random-topology communication kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Synthetic {
+    /// RNG seed; equal seeds produce identical patterns at equal sizes.
+    pub seed: u64,
+    /// Target partners per rank (an Erdős–Rényi-style expected degree).
+    pub degree: usize,
+    /// Bytes per exchange.
+    pub msg_bytes: usize,
+    /// Exchange steps.
+    pub steps: usize,
+    /// Issue a tiny allreduce every this many steps (0 = never).
+    pub collective_every: usize,
+}
+
+impl Synthetic {
+    /// A pattern with the given seed and expected degree.
+    pub fn new(seed: u64, degree: usize, msg_bytes: usize) -> Self {
+        Synthetic {
+            seed,
+            degree,
+            msg_bytes,
+            steps: 4,
+            collective_every: 2,
+        }
+    }
+
+    /// The global symmetric partner lists, derived identically on every
+    /// rank from the seed.
+    pub fn partner_lists(&self, procs: usize) -> Vec<Vec<usize>> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut partners: Vec<Vec<usize>> = vec![Vec::new(); procs];
+        if procs < 2 {
+            return partners;
+        }
+        // Expected-degree sampling: each rank proposes `degree` partners;
+        // edges are symmetric, so realized degrees cluster around the
+        // target without exceeding 2×.
+        for v in 0..procs {
+            while partners[v].len() < self.degree.min(procs - 1) {
+                let u = rng.gen_range(0..procs);
+                if u != v && !partners[v].contains(&u) {
+                    partners[v].push(u);
+                    partners[u].push(v);
+                }
+            }
+        }
+        for list in &mut partners {
+            list.sort_unstable();
+            list.dedup();
+        }
+        partners
+    }
+}
+
+impl CommKernel for Synthetic {
+    fn name(&self) -> &'static str {
+        "Synthetic"
+    }
+
+    fn meta(&self) -> AppMeta {
+        AppMeta {
+            name: "Synthetic",
+            lines: 0,
+            discipline: "Benchmarking",
+            problem: "Seeded random communication pattern",
+            structure: "Random graph",
+        }
+    }
+
+    fn run(&self, comm: &mut Comm, profiler: &IpmProfiler) -> Result<()> {
+        let lists = self.partner_lists(comm.size());
+        let mine = &lists[comm.rank()];
+        profiler.enter_region(comm.rank(), "steady");
+        for step in 0..self.steps {
+            let mut reqs = Vec::with_capacity(2 * mine.len());
+            for &p in mine {
+                reqs.push(comm.irecv(
+                    SrcSel::Rank(p),
+                    TagSel::Tag(tags::HALO),
+                    self.msg_bytes,
+                )?);
+            }
+            for &p in mine {
+                reqs.push(comm.isend(p, tags::HALO, Payload::synthetic(self.msg_bytes))?);
+            }
+            comm.waitall(reqs)?;
+            if self.collective_every > 0 && step % self.collective_every == 0 {
+                comm.allreduce(Payload::synthetic(8), ReduceOp::Sum)?;
+            }
+        }
+        profiler.exit_region(comm.rank());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::profile_app;
+    use hfast_topology::{tdc, BDP_CUTOFF};
+
+    #[test]
+    fn partner_lists_are_symmetric_and_deterministic() {
+        let app = Synthetic::new(7, 5, 64 << 10);
+        let a = app.partner_lists(32);
+        let b = app.partner_lists(32);
+        assert_eq!(a, b, "same seed, same pattern");
+        for (v, list) in a.iter().enumerate() {
+            for &u in list {
+                assert!(a[u].contains(&v), "symmetry: {u} must list {v}");
+                assert_ne!(u, v);
+            }
+        }
+        let c = Synthetic::new(8, 5, 64 << 10).partner_lists(32);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn degrees_cluster_near_target() {
+        let app = Synthetic::new(42, 6, 4096);
+        let lists = app.partner_lists(64);
+        for list in &lists {
+            assert!(list.len() >= 6, "at least the target degree");
+            assert!(list.len() <= 18, "not wildly above it: {}", list.len());
+        }
+    }
+
+    #[test]
+    fn profiled_run_matches_generated_pattern() {
+        let app = Synthetic::new(3, 4, 32 << 10);
+        let out = profile_app(&app, 16).unwrap();
+        let g = out.steady.comm_graph();
+        let lists = app.partner_lists(16);
+        for (v, list) in lists.iter().enumerate() {
+            assert_eq!(g.degree_thresholded(v, BDP_CUTOFF), list.len());
+        }
+        let s = tdc(&g, BDP_CUTOFF);
+        assert!(s.min >= 4);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let app = Synthetic::new(1, 3, 1024);
+        assert!(app.partner_lists(1)[0].is_empty());
+        let out = profile_app(&app, 2).unwrap();
+        assert!(out.steady.total_calls() > 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the application kernels' pattern generators:
+//! partner relations must be symmetric (a sendrecv/halo exchange deadlocks
+//! or drops traffic otherwise) and deterministic.
+
+use proptest::prelude::*;
+
+use hfast_apps::{Cactus, Lbmhd, Pmemd, Synthetic};
+
+proptest! {
+    #[test]
+    fn cactus_partners_are_symmetric(procs in 2usize..100, rank_seed in 0usize..1000) {
+        let rank = rank_seed % procs;
+        for p in Cactus::partners(procs, rank) {
+            prop_assert!(p < procs);
+            prop_assert_ne!(p, rank);
+            prop_assert!(
+                Cactus::partners(procs, p).contains(&rank),
+                "mesh neighbourhood must be mutual: {} vs {}",
+                rank,
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn lbmhd_partners_are_symmetric_and_bounded(
+        procs in prop::sample::select(vec![16usize, 36, 64, 100, 144, 256]),
+        rank_seed in 0usize..1000,
+    ) {
+        let rank = rank_seed % procs;
+        let partners = Lbmhd::partners(procs, rank);
+        prop_assert!(partners.len() <= 12);
+        for p in partners {
+            prop_assert!(
+                Lbmhd::partners(procs, p).contains(&rank),
+                "offset set must be closed under negation"
+            );
+        }
+    }
+
+    #[test]
+    fn pmemd_message_sizes_are_symmetric_and_monotone(
+        procs in prop::sample::select(vec![16usize, 64, 128, 256]),
+        a in 0usize..256,
+        b in 0usize..256,
+    ) {
+        let (a, b) = (a % procs, b % procs);
+        prop_assert_eq!(
+            Pmemd::message_bytes(procs, a, b),
+            Pmemd::message_bytes(procs, b, a)
+        );
+        // Decay monotonicity for non-hot pairs: a partner one step farther
+        // (up to the cutoff distance) never receives more bytes.
+        let src = 1usize; // never the hot rank
+        let cut = Pmemd::cutoff_distance(procs);
+        for d in 1..cut.min(procs - 3) {
+            let nearer = Pmemd::message_bytes(procs, src, src + d);
+            let farther = Pmemd::message_bytes(procs, src, src + d + 1);
+            if src + d + 1 != hfast_apps::pmemd::HOT_RANK {
+                prop_assert!(nearer >= farther, "d={d}: {nearer} < {farther}");
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_patterns_symmetric_for_any_seed(
+        seed in 0u64..10_000,
+        degree in 1usize..8,
+        procs in 4usize..48,
+    ) {
+        let app = Synthetic::new(seed, degree, 4096);
+        let lists = app.partner_lists(procs);
+        prop_assert_eq!(lists.len(), procs);
+        for (v, list) in lists.iter().enumerate() {
+            prop_assert!(list.len() >= degree.min(procs - 1));
+            for &u in list {
+                prop_assert_ne!(u, v);
+                prop_assert!(lists[u].contains(&v));
+            }
+        }
+        // Determinism.
+        prop_assert_eq!(&lists, &app.partner_lists(procs));
+    }
+}

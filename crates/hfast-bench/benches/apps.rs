@@ -1,0 +1,35 @@
+//! End-to-end benchmarks: profiling each study application at P = 64
+//! (threads + channels + IPM), the pipeline every experiment binary runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfast_apps::{all_apps, profile_app, Cactus};
+
+fn bench_profile_each_app(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_app_p64");
+    group.sample_size(10);
+    for app in all_apps() {
+        group.bench_function(BenchmarkId::from_parameter(app.name()), |b| {
+            b.iter(|| profile_app(app.as_ref(), 64).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis_pipeline(c: &mut Criterion) {
+    // Profile once, then bench the analysis that follows.
+    let outcome = profile_app(&Cactus::default(), 64).unwrap();
+    c.bench_function("analysis/profile-to-provisioning", |b| {
+        b.iter(|| {
+            let graph = outcome.steady.comm_graph();
+            let summary = hfast_topology::tdc(&graph, 2048);
+            let prov = hfast_core::Provisioning::per_node(
+                &graph,
+                hfast_core::ProvisionConfig::default(),
+            );
+            (summary.max, prov.total_blocks())
+        })
+    });
+}
+
+criterion_group!(benches, bench_profile_each_app, bench_analysis_pipeline);
+criterion_main!(benches);

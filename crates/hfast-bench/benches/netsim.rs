@@ -1,0 +1,39 @@
+//! Benchmarks of the discrete-event simulator across fabrics and loads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_netsim::{simulate, traffic, FatTreeFabric, HfastFabric, TorusFabric};
+use hfast_topology::generators::{balanced_dims3, torus3d_graph};
+
+fn bench_fabrics(c: &mut Criterion) {
+    let n = 64;
+    let flows = traffic::alltoall(n, 32 << 10);
+    let graph = torus3d_graph(balanced_dims3(n), 1 << 20);
+    let mut group = c.benchmark_group("netsim_alltoall_64");
+    group.bench_function(BenchmarkId::from_parameter("fat-tree"), |b| {
+        let fabric = FatTreeFabric::new(n, 8);
+        b.iter(|| simulate(&fabric, std::hint::black_box(&flows)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("torus"), |b| {
+        let fabric = TorusFabric::new(balanced_dims3(n));
+        b.iter(|| simulate(&fabric, std::hint::black_box(&flows)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("hfast"), |b| {
+        let fabric =
+            HfastFabric::new(Provisioning::per_node(&graph, ProvisionConfig::default()));
+        b.iter(|| simulate(&fabric, std::hint::black_box(&flows)))
+    });
+    group.finish();
+}
+
+fn bench_event_rate(c: &mut Criterion) {
+    // Pure engine throughput: many small flows over a big torus.
+    let fabric = TorusFabric::new((8, 8, 8));
+    let flows = traffic::uniform_random(512, 20_000, 4096, 1_000_000, 42);
+    c.bench_function("netsim/20k-flows-512-torus", |b| {
+        b.iter(|| simulate(&fabric, std::hint::black_box(&flows)))
+    });
+}
+
+criterion_group!(benches, bench_fabrics, bench_event_rate);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Benchmarks of the HFAST provisioning algorithms, including the ablation
+//! the paper calls out: the linear-time per-node mapping versus the
+//! clique-clustering heuristic (future work implemented here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfast_core::{cluster_nodes, optimize_clusters, ProvisionConfig, Provisioning};
+use hfast_topology::generators::{complete_graph, mesh3d_graph, torus3d_graph};
+use hfast_topology::CommGraph;
+
+fn graphs() -> Vec<(&'static str, CommGraph)> {
+    vec![
+        ("mesh-4x4x4", mesh3d_graph((4, 4, 4), 300 << 10)),
+        ("torus-8x8x4", torus3d_graph((8, 8, 4), 300 << 10)),
+        ("complete-64", complete_graph(64, 32 << 10)),
+    ]
+}
+
+fn bench_per_node(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provision_per_node");
+    for (name, graph) in graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| Provisioning::per_node(std::hint::black_box(g), ProvisionConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provision_clustered");
+    for (name, graph) in graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| {
+                let clusters = cluster_nodes(std::hint::black_box(g), &ProvisionConfig::default());
+                Provisioning::build(g, ProvisionConfig::default(), clusters)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_block_savings(c: &mut Criterion) {
+    // Not a timing benchmark per se: report the port-count ablation as a
+    // throughput-of-quality measure by benching route() over both layouts.
+    let graph = torus3d_graph((8, 8, 4), 300 << 10);
+    let config = ProvisionConfig::default();
+    let per_node = Provisioning::per_node(&graph, config);
+    let clustered = Provisioning::build(&graph, config, cluster_nodes(&graph, &config));
+    eprintln!(
+        "[ablation] blocks: per-node {} vs clustered {}",
+        per_node.total_blocks(),
+        clustered.total_blocks()
+    );
+    let mut group = c.benchmark_group("route_lookup");
+    group.bench_function("per_node", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for a in 0..64usize {
+                for b2 in 0..64usize {
+                    if let Some(r) = per_node.route(a, b2) {
+                        hops += r.switch_hops;
+                    }
+                }
+            }
+            hops
+        })
+    });
+    group.bench_function("clustered", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for a in 0..64usize {
+                for b2 in 0..64usize {
+                    if let Some(r) = clustered.route(a, b2) {
+                        hops += r.switch_hops;
+                    }
+                }
+            }
+            hops
+        })
+    });
+    group.finish();
+}
+
+fn bench_annealing(c: &mut Criterion) {
+    // §6 ablation: greedy clustering vs annealing-refined clustering.
+    let graph = torus3d_graph((8, 8, 4), 300 << 10);
+    let config = ProvisionConfig::default();
+    let greedy = cluster_nodes(&graph, &config);
+    let greedy_blocks = Provisioning::build(&graph, config, greedy.clone()).total_blocks();
+    let refined = optimize_clusters(&graph, &config, greedy.clone(), 4000, 1);
+    eprintln!(
+        "[ablation] blocks: greedy {} vs annealed {}",
+        greedy_blocks, refined.final_blocks
+    );
+    c.bench_function("anneal_4000_moves/torus-256", |b| {
+        b.iter(|| {
+            optimize_clusters(
+                std::hint::black_box(&graph),
+                &config,
+                greedy.clone(),
+                4000,
+                1,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_per_node,
+    bench_clustered,
+    bench_ablation_block_savings,
+    bench_annealing
+);
+criterion_main!(benches);

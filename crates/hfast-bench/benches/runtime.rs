@@ -1,0 +1,69 @@
+//! Benchmarks of the message-passing substrate: point-to-point throughput,
+//! collective algorithms, and profiled-versus-bare overhead (IPM's "low
+//! overhead" claim, measured).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfast_ipm::IpmProfiler;
+use hfast_mpi::{CommHook, Payload, ReduceOp, Tag, World, WorldConfig};
+
+fn ring_rounds(size: usize, rounds: usize, hook: Option<Arc<dyn CommHook>>) {
+    let mut config = WorldConfig::new(size);
+    if let Some(h) = hook {
+        config = config.hook(h);
+    }
+    World::run_with(config, |comm| {
+        let right = (comm.rank() + 1) % comm.size();
+        let left = (comm.rank() + comm.size() - 1) % comm.size();
+        for _ in 0..rounds {
+            let req = comm.isend(right, Tag(1), Payload::synthetic(4096)).unwrap();
+            comm.recv(left, Tag(1)).unwrap();
+            comm.wait(req).unwrap();
+        }
+    })
+    .unwrap();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    c.bench_function("runtime/ring-16x64-bare", |b| {
+        b.iter(|| ring_rounds(16, 64, None))
+    });
+    c.bench_function("runtime/ring-16x64-profiled", |b| {
+        b.iter(|| {
+            let prof = Arc::new(IpmProfiler::new(16));
+            ring_rounds(16, 64, Some(prof as Arc<dyn CommHook>))
+        })
+    });
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    c.bench_function("runtime/allreduce-32", |b| {
+        b.iter(|| {
+            World::run(32, |comm| {
+                for _ in 0..8 {
+                    comm.allreduce(Payload::synthetic(1024), ReduceOp::Sum).unwrap();
+                }
+            })
+            .unwrap()
+        })
+    });
+    c.bench_function("runtime/alltoall-16", |b| {
+        b.iter(|| {
+            World::run(16, |comm| {
+                let blocks = vec![Payload::synthetic(4096); 16];
+                comm.alltoall(blocks).unwrap()
+            })
+            .unwrap()
+        })
+    });
+}
+
+fn bench_world_spawn(c: &mut Criterion) {
+    c.bench_function("runtime/spawn-64-ranks", |b| {
+        b.iter(|| World::run(64, |comm| comm.rank()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_ring, bench_collectives, bench_world_spawn);
+criterion_main!(benches);

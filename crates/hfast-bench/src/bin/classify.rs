@@ -1,0 +1,32 @@
+//! The §2.5 taxonomy: classify each application into cases i-iv.
+
+use hfast_apps::all_apps;
+use hfast_bench::measure_app;
+use hfast_core::{classify, ClassifyConfig};
+
+fn main() {
+    println!("== §2.5 application classification (measured at P = 64/256) ==\n");
+    // Paper's verdicts: Cactus→i, LBMHD→ii, GTC→iii, SuperLU→iii,
+    // PMEMD→iii, PARATEC→iv.
+    let paper = [
+        ("Cactus", "case i"),
+        ("LBMHD", "case ii"),
+        ("GTC", "case iii"),
+        ("SuperLU", "case iii"),
+        ("PMEMD", "case iii"),
+        ("PARATEC", "case iv"),
+    ];
+    for app in all_apps() {
+        let procs = 256;
+        let row = measure_app(app.as_ref(), procs);
+        let c = classify(&row.steady.comm_graph(), &ClassifyConfig::default());
+        let expected = paper
+            .iter()
+            .find(|(n, _)| *n == row.name)
+            .map(|(_, v)| *v)
+            .unwrap_or("?");
+        println!("{:<9} measured {:<9} (paper: {expected})", row.name, c.case.to_string());
+        println!("          {}", c.rationale);
+        println!("          prescription: {}\n", c.case.prescription());
+    }
+}

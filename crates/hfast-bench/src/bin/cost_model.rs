@@ -1,0 +1,65 @@
+//! The §5.3 cost analysis: fat-tree vs HFAST component scaling, the
+//! ultra-scale crossover, and per-application cost comparisons.
+
+use hfast_apps::all_apps;
+use hfast_bench::measure_app;
+use hfast_core::cost::AnalyticHfast;
+use hfast_core::{CostComparison, CostModel, FatTree, ProvisionConfig, Provisioning};
+
+fn main() {
+    let model = CostModel::default();
+    println!("== §5.3 cost model ==\n");
+
+    println!("fat-tree dimensioning (8-port switches, paper's example):");
+    println!(
+        "{:>10} {:>7} {:>12} {:>12}",
+        "P", "layers", "ports/proc", "max hops"
+    );
+    for p in [64usize, 256, 2048, 8192, 65536, 1 << 20] {
+        let ft = FatTree::for_processors(p, 8);
+        println!(
+            "{:>10} {:>7} {:>12} {:>12}",
+            p,
+            ft.layers,
+            ft.ports_per_processor(),
+            ft.max_switch_hops()
+        );
+    }
+
+    println!("\nHFAST vs fat-tree crossover (8-port components):");
+    for tdc in [2usize, 6, 12, 30] {
+        let config = ProvisionConfig {
+            block_ports: 8,
+            cutoff: 2048,
+        };
+        match AnalyticHfast::crossover_p(tdc, config, &model) {
+            Some(p) => println!("  TDC {tdc:>3}: HFAST cheaper from P = {p}"),
+            None => println!("  TDC {tdc:>3}: fat tree always cheaper (case-iv style)"),
+        }
+    }
+
+    println!("\nper-application comparison at P = 64 (16-port blocks):");
+    println!(
+        "{:>9} {:>12} {:>12} {:>7} {:>16}",
+        "code", "HFAST cost", "fat-tree", "ratio", "HFAST ports/node"
+    );
+    for app in all_apps() {
+        let row = measure_app(app.as_ref(), 64);
+        let graph = row.steady.comm_graph();
+        let prov = Provisioning::per_node(&graph, ProvisionConfig::default());
+        let cmp = CostComparison::of(&prov, &model);
+        println!(
+            "{:>9} {:>12.0} {:>12.0} {:>7.2} {:>16.1}",
+            row.name,
+            cmp.hfast,
+            cmp.fat_tree,
+            cmp.ratio(),
+            cmp.hfast_ports_per_node
+        );
+    }
+    println!(
+        "\nshape: packet-switch ports per node are constant for HFAST and \
+         grow with log P for the fat tree; the crossover lands at \
+         ultra-scale P for low-TDC codes and never for PARATEC-class codes."
+    );
+}

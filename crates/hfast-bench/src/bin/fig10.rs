@@ -1,0 +1,8 @@
+//! Regenerates paper Figure 10: volume matrix and TDC-vs-cutoff curves.
+
+use hfast_apps::Paratec;
+use hfast_bench::figures::app_figure;
+
+fn main() {
+    print!("{}", app_figure(&Paratec::default(), 10));
+}

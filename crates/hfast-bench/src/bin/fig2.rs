@@ -1,0 +1,32 @@
+//! Regenerates paper Figure 2: relative number of MPI communication calls
+//! per code, measured vs published.
+
+use hfast_apps::all_apps;
+use hfast_bench::paper::paper_call_mix;
+use hfast_bench::measure_app;
+
+fn main() {
+    println!("== Figure 2: relative number of MPI calls per code ==\n");
+    for app in all_apps() {
+        let row = measure_app(app.as_ref(), 64);
+        println!("{}:", row.name);
+        let paper = paper_call_mix(row.name);
+        for (kind, pct) in row.steady.call_mix() {
+            if pct < 0.05 {
+                continue;
+            }
+            let published = paper
+                .iter()
+                .find(|(name, _)| *name == kind.mpi_name())
+                .map(|(_, p)| format!("{p:>5.1}%"))
+                .unwrap_or_else(|| "    —".into());
+            println!(
+                "  {:<18} measured {:>5.1}%   paper {}",
+                kind.mpi_name(),
+                pct,
+                published
+            );
+        }
+        println!();
+    }
+}

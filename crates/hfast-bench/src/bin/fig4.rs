@@ -1,0 +1,22 @@
+//! Regenerates paper Figure 4: cumulative point-to-point buffer-size
+//! distribution per code.
+
+use hfast_apps::all_apps;
+use hfast_bench::measure_app;
+use hfast_bench::render::cdf_line;
+use hfast_ipm::format_bytes;
+
+fn main() {
+    println!("== Figure 4: PTP buffer sizes per code ==\n");
+    for app in all_apps() {
+        let row = measure_app(app.as_ref(), 64);
+        let hist = row.steady.ptp_buffer_histogram();
+        println!("{} (median {}):", row.name, format_bytes(hist.median().unwrap_or(0)));
+        println!("  [{}]", cdf_line(&hist.cdf(), 60));
+        println!(
+            "  ≤ 2KB: {:>5.1}%   ≤ 100KB: {:>5.1}%\n",
+            100.0 * hist.fraction_at_or_below(2048),
+            100.0 * hist.fraction_at_or_below(100 << 10)
+        );
+    }
+}

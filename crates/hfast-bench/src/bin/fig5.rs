@@ -1,0 +1,8 @@
+//! Regenerates paper Figure 5: volume matrix and TDC-vs-cutoff curves.
+
+use hfast_apps::Gtc;
+use hfast_bench::figures::app_figure;
+
+fn main() {
+    print!("{}", app_figure(&Gtc::default(), 5));
+}

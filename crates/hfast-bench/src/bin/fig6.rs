@@ -1,0 +1,8 @@
+//! Regenerates paper Figure 6: volume matrix and TDC-vs-cutoff curves.
+
+use hfast_apps::Cactus;
+use hfast_bench::figures::app_figure;
+
+fn main() {
+    print!("{}", app_figure(&Cactus::default(), 6));
+}

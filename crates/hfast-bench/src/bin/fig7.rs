@@ -1,0 +1,8 @@
+//! Regenerates paper Figure 7: volume matrix and TDC-vs-cutoff curves.
+
+use hfast_apps::Lbmhd;
+use hfast_bench::figures::app_figure;
+
+fn main() {
+    print!("{}", app_figure(&Lbmhd::default(), 7));
+}

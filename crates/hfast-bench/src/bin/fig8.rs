@@ -1,0 +1,8 @@
+//! Regenerates paper Figure 8: volume matrix and TDC-vs-cutoff curves.
+
+use hfast_apps::SuperLu;
+use hfast_bench::figures::app_figure;
+
+fn main() {
+    print!("{}", app_figure(&SuperLu::default(), 8));
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Figure 9: volume matrix and TDC-vs-cutoff curves.
+
+use hfast_apps::Pmemd;
+use hfast_bench::figures::app_figure;
+
+fn main() {
+    print!("{}", app_figure(&Pmemd::default(), 9));
+}

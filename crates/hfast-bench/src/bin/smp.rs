@@ -1,0 +1,41 @@
+//! Extension experiment: SMP-node bandwidth localization (the paper's §5
+//! deferred analysis) across the six applications.
+
+use hfast_apps::all_apps;
+use hfast_bench::measure_app;
+use hfast_core::{localize, ProvisionConfig, Provisioning, SmpAssignment};
+use hfast_topology::{tdc, BDP_CUTOFF};
+
+fn main() {
+    let procs = 64;
+    let width = 4;
+    println!("== SMP localization at P = {procs}, {width}-way nodes ==\n");
+    println!(
+        "{:>9} {:>12} {:>12} {:>14} {:>16}",
+        "code", "blocked", "localized", "node TDC(max)", "blocks (vs flat)"
+    );
+    for app in all_apps() {
+        let row = measure_app(app.as_ref(), procs);
+        let graph = row.steady.comm_graph();
+        let blocked = SmpAssignment::blocked(procs, width);
+        let best = localize(&graph, width, 3);
+        let folded = best.fold(&graph);
+        let node_tdc = tdc(&folded, BDP_CUTOFF);
+        let node_prov = Provisioning::per_node(&folded, ProvisionConfig::default());
+        let flat_prov = Provisioning::per_node(&graph, ProvisionConfig::default());
+        println!(
+            "{:>9} {:>11.1}% {:>11.1}% {:>14} {:>9} ({:>3})",
+            row.name,
+            100.0 * blocked.locality(&graph),
+            100.0 * best.locality(&graph),
+            node_tdc.max,
+            node_prov.total_blocks(),
+            flat_prov.total_blocks(),
+        );
+    }
+    println!(
+        "\nshape: folding ranks onto SMP nodes divides the switch-block \
+         demand by the node width; localization additionally moves a \
+         workload-dependent share of bytes into shared memory."
+    );
+}

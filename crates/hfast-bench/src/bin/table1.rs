@@ -1,0 +1,29 @@
+//! Regenerates paper Table 1: bandwidth-delay products for leading
+//! interconnects.
+
+use hfast_core::bdp::TABLE1_SYSTEMS;
+use hfast_ipm::format_bytes;
+
+fn main() {
+    println!("== Table 1: bandwidth-delay products ==\n");
+    println!(
+        "{:<22} {:<18} {:>10} {:>12} {:>8} {:>8}",
+        "System", "Technology", "Latency", "Bandwidth", "BDP", "N1/2"
+    );
+    println!("{}", "-".repeat(84));
+    for s in TABLE1_SYSTEMS {
+        println!(
+            "{:<22} {:<18} {:>8.1}us {:>9.1}GB/s {:>8} {:>8}",
+            s.system,
+            s.technology,
+            s.mpi_latency_us,
+            s.peak_bandwidth_gbs,
+            format_bytes(s.bdp_bytes() as u64),
+            format_bytes(s.n_half_bytes() as u64),
+        );
+    }
+    println!(
+        "\nBest BDP ≈ 2 KB → the paper's circuit-worthiness threshold \
+         (messages below it cannot saturate a dedicated circuit)."
+    );
+}

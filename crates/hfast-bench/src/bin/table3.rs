@@ -1,0 +1,25 @@
+//! Regenerates paper Table 3: per-application communication summary at
+//! P = 64 and 256, measured vs published.
+
+use hfast_apps::{all_apps, STUDY_SIZES};
+use hfast_bench::paper::paper_row;
+use hfast_bench::render::{table3_header, table3_rows};
+use hfast_bench::measure_app;
+
+fn main() {
+    println!("== Table 3: summary of code characteristics ==\n");
+    print!("{}", table3_header());
+    for app in all_apps() {
+        for &procs in &STUDY_SIZES {
+            let row = measure_app(app.as_ref(), procs);
+            let paper = paper_row(row.name, procs);
+            print!("{}", table3_rows(&row, paper.as_ref()));
+        }
+        println!();
+    }
+    println!(
+        "(FCN utilization defined as avgTDC@2KB/(P−1); the paper's SuperLU \
+         P=256 row reports 25%, inconsistent with its own TDC column — see \
+         EXPERIMENTS.md.)"
+    );
+}

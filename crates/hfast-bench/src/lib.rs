@@ -1,0 +1,22 @@
+//! # hfast-bench — the experiment harness
+//!
+//! One binary per table and figure of the paper (see DESIGN.md's experiment
+//! index), plus Criterion micro-benchmarks of the library itself. Each
+//! binary prints the measured reproduction next to the paper's published
+//! values where the paper gives numbers.
+//!
+//! Run the full reproduction with:
+//!
+//! ```text
+//! cargo run --release -p hfast-bench --bin experiments
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod measure;
+pub mod paper;
+pub mod render;
+
+pub use measure::{measure_app, AppRow};
+pub use paper::PAPER_TABLE3;

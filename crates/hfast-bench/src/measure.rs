@@ -1,0 +1,76 @@
+//! Measurement: run a kernel and reduce its profile to a Table 3 row.
+
+use hfast_apps::{profile_app, CommKernel};
+use hfast_ipm::CommProfile;
+use hfast_topology::{fcn_utilization, tdc, BDP_CUTOFF};
+
+/// A measured Table 3 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppRow {
+    /// Application name.
+    pub name: &'static str,
+    /// Processor count.
+    pub procs: usize,
+    /// % point-to-point calls.
+    pub ptp_pct: f64,
+    /// Median PTP buffer (bytes).
+    pub median_ptp: u64,
+    /// % collective calls.
+    pub col_pct: f64,
+    /// Median collective buffer (bytes).
+    pub median_col: u64,
+    /// Max TDC at the 2 KB cutoff.
+    pub tdc_max: usize,
+    /// Average TDC at the 2 KB cutoff.
+    pub tdc_avg: f64,
+    /// Max TDC without thresholding.
+    pub tdc_max_uncut: usize,
+    /// Average TDC without thresholding.
+    pub tdc_avg_uncut: f64,
+    /// FCN utilization (avg TDC / (P−1)).
+    pub fcn_util_pct: f64,
+    /// The steady-state profile behind the row (for figure binaries).
+    pub steady: CommProfile,
+}
+
+/// Profiles `app` at `procs` ranks and reduces the steady-state region to
+/// the paper's Table 3 metrics.
+pub fn measure_app(app: &dyn CommKernel, procs: usize) -> AppRow {
+    let outcome = profile_app(app, procs).unwrap_or_else(|e| {
+        panic!("{} at P={procs} failed: {e}", app.name());
+    });
+    let steady = outcome.steady;
+    let graph = steady.comm_graph();
+    let cut = tdc(&graph, BDP_CUTOFF);
+    let uncut = tdc(&graph, 0);
+    AppRow {
+        name: app.name(),
+        procs,
+        ptp_pct: 100.0 * steady.ptp_call_fraction(),
+        median_ptp: steady.ptp_buffer_histogram().median().unwrap_or(0),
+        col_pct: 100.0 * steady.collective_call_fraction(),
+        median_col: steady.collective_buffer_histogram().median().unwrap_or(0),
+        tdc_max: cut.max,
+        tdc_avg: cut.avg,
+        tdc_max_uncut: uncut.max,
+        tdc_avg_uncut: uncut.avg,
+        fcn_util_pct: 100.0 * fcn_utilization(&graph, BDP_CUTOFF),
+        steady,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfast_apps::Cactus;
+
+    #[test]
+    fn measured_row_is_coherent() {
+        let row = measure_app(&Cactus::new(4), 27);
+        assert_eq!(row.name, "Cactus");
+        assert!((row.ptp_pct + row.col_pct - 100.0).abs() < 1e-9);
+        assert_eq!(row.tdc_max, 6);
+        assert!(row.tdc_avg <= row.tdc_max as f64);
+        assert!(row.fcn_util_pct > 0.0 && row.fcn_util_pct <= 100.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Clique-aware node clustering — the paper's stated future work (§5.3/§6).
+//!
+//! The optimal switch-block assignment reduces to clique cover, which is
+//! NP-complete in general [Kou, Stockmeyer, Wong 1978]; the paper proposes
+//! "heuristics that provide sub-optimal solutions in polynomial time". This
+//! module implements such a heuristic: greedy BFS clustering that grows a
+//! cluster around a seed node, admitting the candidate with the most edges
+//! into the cluster while the cluster still fits a single switch block
+//! (attachments plus external edge ports ≤ block ports).
+//!
+//! Edges interior to a cluster ride the block's internal crossbar for free —
+//! "exercising the full internal bisection connectivity of these switch
+//! blocks" — which is precisely what the per-node mapping wastes.
+
+use hfast_topology::{CommGraph, CsrGraph};
+
+use crate::provision::ProvisionConfig;
+
+/// Port demand of a candidate cluster: one attachment per member plus one
+/// port per edge leaving the cluster.
+fn port_demand(csr: &CsrGraph, members: &[usize], in_cluster: &[bool]) -> usize {
+    let mut external = 0;
+    for &v in members {
+        for &u in csr.neighbors(v) {
+            if !in_cluster[u] {
+                external += 1;
+            }
+        }
+    }
+    members.len() + external
+}
+
+/// Greedily clusters nodes so that each cluster fits one switch block.
+///
+/// Polynomial time (O(V·E) worst case at study sizes). Returns a disjoint
+/// cover of all nodes; isolated nodes get singleton clusters.
+pub fn cluster_nodes(graph: &CommGraph, config: &ProvisionConfig) -> Vec<Vec<usize>> {
+    let csr = CsrGraph::from_graph(graph, config.cutoff);
+    let n = csr.n();
+    let k = config.block_ports;
+    let mut assigned = vec![false; n];
+    let mut clusters = Vec::new();
+
+    // Seed from highest-degree nodes: dense neighbourhoods benefit most
+    // from internal bisection.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(csr.degree(v)));
+
+    let mut in_cluster = vec![false; n];
+    for &seed in &order {
+        if assigned[seed] {
+            continue;
+        }
+        let mut members = vec![seed];
+        in_cluster[seed] = true;
+
+        loop {
+            // Candidate: unassigned neighbour of the cluster with the most
+            // internal edges.
+            let mut best: Option<(usize, usize)> = None; // (internal_edges, node)
+            for &v in &members {
+                for &u in csr.neighbors(v) {
+                    if assigned[u] || in_cluster[u] {
+                        continue;
+                    }
+                    let internal = csr
+                        .neighbors(u)
+                        .iter()
+                        .filter(|&&w| in_cluster[w])
+                        .count();
+                    if best.is_none_or(|(bi, bn)| internal > bi || (internal == bi && u < bn)) {
+                        best = Some((internal, u));
+                    }
+                }
+            }
+            let Some((_, candidate)) = best else { break };
+            // Admit only if the grown cluster still fits one block.
+            members.push(candidate);
+            in_cluster[candidate] = true;
+            if port_demand(&csr, &members, &in_cluster) > k {
+                members.pop();
+                in_cluster[candidate] = false;
+                break;
+            }
+        }
+
+        for &v in &members {
+            assigned[v] = true;
+            in_cluster[v] = false;
+        }
+        members.sort_unstable();
+        clusters.push(members);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provision::Provisioning;
+    use hfast_topology::generators::{complete_graph, ring_graph};
+
+    fn cfg(k: usize) -> ProvisionConfig {
+        ProvisionConfig {
+            block_ports: k,
+            cutoff: 2048,
+        }
+    }
+
+    fn is_disjoint_cover(clusters: &[Vec<usize>], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for c in clusters {
+            for &v in c {
+                if seen[v] {
+                    return false;
+                }
+                seen[v] = true;
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+
+    #[test]
+    fn clusters_cover_all_nodes() {
+        let g = ring_graph(12, 100_000);
+        let clusters = cluster_nodes(&g, &cfg(8));
+        assert!(is_disjoint_cover(&clusters, 12));
+    }
+
+    #[test]
+    fn clique_fits_one_block() {
+        // A 5-clique with k=16: 5 attachments + 0 external = 5 ≤ 16.
+        let g = complete_graph(5, 1 << 20);
+        let clusters = cluster_nodes(&g, &cfg(16));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clustering_beats_per_node_on_cliques() {
+        // Four disjoint 4-cliques.
+        let n = 16;
+        let mut g = CommGraph::new(n);
+        for c in 0..4 {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    g.add_message(4 * c + i, 4 * c + j, 1 << 20);
+                }
+            }
+        }
+        let config = cfg(16);
+        let clusters = cluster_nodes(&g, &config);
+        let clustered = Provisioning::build(&g, config, clusters);
+        let per_node = Provisioning::per_node(&g, config);
+        clustered.validate(&g).unwrap();
+        assert!(
+            clustered.total_blocks() < per_node.total_blocks(),
+            "clique clustering must save blocks: {} vs {}",
+            clustered.total_blocks(),
+            per_node.total_blocks()
+        );
+        assert_eq!(clustered.total_blocks(), 4);
+    }
+
+    #[test]
+    fn isolated_nodes_get_singletons() {
+        let g = CommGraph::new(3);
+        let clusters = cluster_nodes(&g, &cfg(16));
+        assert_eq!(clusters.len(), 3);
+        assert!(is_disjoint_cover(&clusters, 3));
+    }
+
+    #[test]
+    fn oversubscribed_neighbourhood_splits() {
+        // Star of 20 leaves, k=8: hub cluster cannot hold everyone.
+        let mut g = CommGraph::new(21);
+        for i in 1..21 {
+            g.add_message(0, i, 1 << 20);
+        }
+        let clusters = cluster_nodes(&g, &cfg(8));
+        assert!(is_disjoint_cover(&clusters, 21));
+        assert!(clusters.len() > 1);
+        // The provisioning built from it must still route every edge.
+        let p = Provisioning::build(&g, cfg(8), clusters);
+        p.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn clustered_ring_validates_and_saves_ports() {
+        let g = ring_graph(16, 100_000);
+        let config = cfg(16);
+        let clusters = cluster_nodes(&g, &config);
+        let p = Provisioning::build(&g, config, clusters);
+        p.validate(&g).unwrap();
+        let per_node = Provisioning::per_node(&g, config);
+        assert!(p.total_blocks() <= per_node.total_blocks());
+    }
+}

@@ -1,0 +1,195 @@
+//! Runtime topology adaptation (paper §2.3).
+//!
+//! "Initially, the circuit switches can be used to provision densely-packed
+//! 3D mesh communication topologies … as data about messaging patterns is
+//! accumulated, the topology can be adjusted at discrete synchronization
+//! points to better match the measured communication requirements."
+//!
+//! [`ReconfigEngine`] starts from that default mesh provisioning, measures
+//! how much of the observed above-cutoff traffic actually has a dedicated
+//! circuit, and re-provisions at synchronization points, accounting for the
+//! circuits changed and the milliseconds of switch reconfiguration they
+//! cost.
+
+use hfast_topology::generators::{balanced_dims3, mesh3d_graph};
+use hfast_topology::CommGraph;
+
+use crate::provision::{ProvisionConfig, Provisioning};
+use crate::switch::CircuitSwitch;
+
+/// One adaptation step's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigStep {
+    /// Fraction of observed above-cutoff bytes with a dedicated route
+    /// before adapting.
+    pub coverage_before: f64,
+    /// The same fraction after adapting (1.0 unless capacity was exceeded).
+    pub coverage_after: f64,
+    /// Circuits torn down plus circuits newly patched.
+    pub circuits_changed: usize,
+    /// Reconfiguration latency paid at the synchronization point.
+    pub reconfig_time_ns: u64,
+}
+
+/// Adaptive provisioning engine.
+#[derive(Debug, Clone)]
+pub struct ReconfigEngine {
+    config: ProvisionConfig,
+    current: Provisioning,
+    steps: Vec<ReconfigStep>,
+}
+
+impl ReconfigEngine {
+    /// Starts with the default densely-packed 3D mesh provisioning for `n`
+    /// nodes (§2.3's initial state).
+    pub fn initial_mesh(n: usize, config: ProvisionConfig) -> Self {
+        let dims = balanced_dims3(n);
+        // Provision as though the application were a mesh of large messages.
+        let assumed = mesh3d_graph(dims, config.cutoff.max(1));
+        ReconfigEngine {
+            config,
+            current: Provisioning::per_node(&assumed, config),
+            steps: Vec::new(),
+        }
+    }
+
+    /// The active provisioning.
+    pub fn current(&self) -> &Provisioning {
+        &self.current
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> &[ReconfigStep] {
+        &self.steps
+    }
+
+    /// Fraction of `observed`'s above-cutoff bytes whose endpoints have a
+    /// dedicated route in the current provisioning.
+    pub fn coverage(&self, observed: &CommGraph) -> f64 {
+        let mut covered = 0u64;
+        let mut total = 0u64;
+        for a in 0..observed.n() {
+            for (b, e) in observed.neighbors(a) {
+                if b <= a || e.max_msg < self.config.cutoff {
+                    continue;
+                }
+                total += e.bytes;
+                if self.current.route(a, b).is_some() {
+                    covered += e.bytes;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            covered as f64 / total as f64
+        }
+    }
+
+    /// Adapts the provisioning to an observed communication graph at a
+    /// synchronization point.
+    ///
+    /// The circuit-change count models the MEMS mirrors that must move: each
+    /// changed circuit pays [`CircuitSwitch::RECONFIG_LATENCY_NS`], though
+    /// mirrors move in parallel so wall-clock cost is one reconfiguration
+    /// latency when anything changed at all — both figures are reported.
+    pub fn observe_and_adapt(&mut self, observed: &CommGraph) -> ReconfigStep {
+        let coverage_before = self.coverage(observed);
+        let old_circuits: std::collections::BTreeSet<_> =
+            self.current.circuit.circuits().collect();
+        let next = Provisioning::per_node(observed, self.config);
+        let new_circuits: std::collections::BTreeSet<_> = next.circuit.circuits().collect();
+        let removed = old_circuits.difference(&new_circuits).count();
+        let added = new_circuits.difference(&old_circuits).count();
+        self.current = next;
+        let coverage_after = self.coverage(observed);
+        let step = ReconfigStep {
+            coverage_before,
+            coverage_after,
+            circuits_changed: removed + added,
+            reconfig_time_ns: if removed + added > 0 {
+                CircuitSwitch::RECONFIG_LATENCY_NS
+            } else {
+                0
+            },
+        };
+        self.steps.push(step);
+        step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfast_topology::generators::{mesh3d_graph, ring_graph};
+
+    fn cfg() -> ProvisionConfig {
+        ProvisionConfig::default()
+    }
+
+    #[test]
+    fn initial_mesh_covers_mesh_traffic() {
+        let engine = ReconfigEngine::initial_mesh(64, cfg());
+        let observed = mesh3d_graph((4, 4, 4), 300 << 10);
+        assert!(
+            (engine.coverage(&observed) - 1.0).abs() < 1e-12,
+            "a mesh application needs no adaptation"
+        );
+    }
+
+    #[test]
+    fn scattered_pattern_starts_uncovered_then_adapts() {
+        // LBMHD-like scattered partners do not match the default mesh.
+        let n = 64;
+        let mut observed = CommGraph::new(n);
+        for v in 0..n {
+            for j in [11usize, 17, 23] {
+                let u = (v + j) % n;
+                observed.add_message(v, u, 800 << 10);
+            }
+        }
+        let mut engine = ReconfigEngine::initial_mesh(n, cfg());
+        let before = engine.coverage(&observed);
+        assert!(before < 0.5, "mesh default misses scattered traffic: {before}");
+        let step = engine.observe_and_adapt(&observed);
+        assert!((step.coverage_after - 1.0).abs() < 1e-12);
+        assert!(step.circuits_changed > 0);
+        assert!(step.reconfig_time_ns > 0);
+        assert_eq!(engine.steps().len(), 1);
+    }
+
+    #[test]
+    fn stable_pattern_converges_to_zero_changes() {
+        let observed = ring_graph(32, 1 << 20);
+        let mut engine = ReconfigEngine::initial_mesh(32, cfg());
+        engine.observe_and_adapt(&observed);
+        let second = engine.observe_and_adapt(&observed);
+        assert_eq!(second.circuits_changed, 0, "fixed point reached");
+        assert_eq!(second.reconfig_time_ns, 0);
+        assert!((second.coverage_before - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_observation_is_fully_covered() {
+        let engine = ReconfigEngine::initial_mesh(8, cfg());
+        assert_eq!(engine.coverage(&CommGraph::new(8)), 1.0);
+    }
+
+    #[test]
+    fn adaptation_tracks_phase_changes() {
+        // Phase 1: ring. Phase 2: shifted pattern. Both adapt to full
+        // coverage; the second adaptation changes circuits again.
+        let n = 16;
+        let mut engine = ReconfigEngine::initial_mesh(n, cfg());
+        let ring = ring_graph(n, 1 << 20);
+        let s1 = engine.observe_and_adapt(&ring);
+        assert!((s1.coverage_after - 1.0).abs() < 1e-12);
+        let mut shifted = CommGraph::new(n);
+        for v in 0..n {
+            shifted.add_message(v, (v + 5) % n, 1 << 20);
+        }
+        let s2 = engine.observe_and_adapt(&shifted);
+        assert!(s2.circuits_changed > 0);
+        assert!((s2.coverage_after - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,283 @@
+//! Switch component models: the passive circuit-switch crossbar and the
+//! active packet-switch blocks (paper §2.1, §2.3).
+
+/// An endpoint a circuit-switch port can patch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// A compute node's network adapter.
+    Node(usize),
+    /// Port `port` of packet switch block `block`.
+    BlockPort {
+        /// Switch block id.
+        block: usize,
+        /// Port index within the block.
+        port: usize,
+    },
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Node(n) => write!(f, "node{n}"),
+            Endpoint::BlockPort { block, port } => write!(f, "SB{block}.{port}"),
+        }
+    }
+}
+
+/// Errors from circuit-switch operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchError {
+    /// Endpoint already patched to something else.
+    EndpointBusy(Endpoint),
+    /// Endpoint is not currently patched.
+    NotConnected(Endpoint),
+    /// A circuit cannot connect an endpoint to itself.
+    SelfLoop(Endpoint),
+}
+
+impl std::fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwitchError::EndpointBusy(e) => write!(f, "endpoint {e} already patched"),
+            SwitchError::NotConnected(e) => write!(f, "endpoint {e} not connected"),
+            SwitchError::SelfLoop(e) => write!(f, "cannot patch {e} to itself"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// A passive (layer-1) circuit-switch crossbar: a dynamic patch panel.
+///
+/// Creates hard circuits between endpoint pairs in response to an external
+/// control plane (paper §2.1: "just like an old telephone system operator's
+/// patch panel"). It adds no per-message latency beyond propagation, but
+/// reconfiguration takes milliseconds, during which no traffic may be in
+/// flight on the affected light paths.
+#[derive(Debug, Clone, Default)]
+pub struct CircuitSwitch {
+    /// Symmetric pairing of endpoints.
+    circuits: std::collections::BTreeMap<Endpoint, Endpoint>,
+    /// Number of reconfiguration operations performed (connect/disconnect).
+    reconfigurations: u64,
+}
+
+impl CircuitSwitch {
+    /// MEMS optical switch reconfiguration latency (order of milliseconds,
+    /// §2.2); used by simulation and reconfiguration cost accounting.
+    pub const RECONFIG_LATENCY_NS: u64 = 3_000_000;
+
+    /// An empty crossbar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Patches a bidirectional circuit between two endpoints.
+    pub fn connect(&mut self, a: Endpoint, b: Endpoint) -> Result<(), SwitchError> {
+        if a == b {
+            return Err(SwitchError::SelfLoop(a));
+        }
+        if self.circuits.contains_key(&a) {
+            return Err(SwitchError::EndpointBusy(a));
+        }
+        if self.circuits.contains_key(&b) {
+            return Err(SwitchError::EndpointBusy(b));
+        }
+        self.circuits.insert(a, b);
+        self.circuits.insert(b, a);
+        self.reconfigurations += 1;
+        Ok(())
+    }
+
+    /// Tears down the circuit at an endpoint, returning its former peer.
+    pub fn disconnect(&mut self, a: Endpoint) -> Result<Endpoint, SwitchError> {
+        let b = self
+            .circuits
+            .remove(&a)
+            .ok_or(SwitchError::NotConnected(a))?;
+        let back = self.circuits.remove(&b);
+        debug_assert_eq!(back, Some(a), "pairing invariant");
+        self.reconfigurations += 1;
+        Ok(b)
+    }
+
+    /// The endpoint a given endpoint is patched to, if any.
+    pub fn peer(&self, a: Endpoint) -> Option<Endpoint> {
+        self.circuits.get(&a).copied()
+    }
+
+    /// Number of active circuits.
+    pub fn circuit_count(&self) -> usize {
+        self.circuits.len() / 2
+    }
+
+    /// Number of ports in use (2× circuits).
+    pub fn ports_in_use(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// Total reconfiguration operations so far.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+
+    /// Cumulative reconfiguration latency in nanoseconds.
+    pub fn reconfiguration_time_ns(&self) -> u64 {
+        self.reconfigurations * Self::RECONFIG_LATENCY_NS
+    }
+
+    /// Iterates over circuits (each pair reported once, ordered ends).
+    pub fn circuits(&self) -> impl Iterator<Item = (Endpoint, Endpoint)> + '_ {
+        self.circuits
+            .iter()
+            .filter(|(a, b)| a < b)
+            .map(|(&a, &b)| (a, b))
+    }
+
+    /// Verifies the symmetric-pairing invariant.
+    pub fn is_consistent(&self) -> bool {
+        self.circuits
+            .iter()
+            .all(|(a, b)| self.circuits.get(b) == Some(a))
+    }
+}
+
+/// An active (layer-2) packet switch block: a small crossbar that switches
+/// individual messages at line rate.
+///
+/// HFAST treats these as "a flexibly assignable pool of resources" (§2.3) —
+/// the provisioning layer allocates whole blocks and decides what each port
+/// faces (a node, or another block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchBlock {
+    /// Block id within the pool.
+    pub id: usize,
+    /// Total ports.
+    pub ports: usize,
+    /// Ports already allocated by provisioning.
+    allocated: usize,
+}
+
+impl SwitchBlock {
+    /// Per-hop latency contributed by a packet switch (≤ 50 ns per §5.3).
+    pub const HOP_LATENCY_NS: u64 = 50;
+
+    /// A fresh block with all ports free.
+    pub fn new(id: usize, ports: usize) -> Self {
+        assert!(ports >= 2, "a switch block needs at least 2 ports");
+        SwitchBlock {
+            id,
+            ports,
+            allocated: 0,
+        }
+    }
+
+    /// Ports not yet allocated.
+    pub fn free_ports(&self) -> usize {
+        self.ports - self.allocated
+    }
+
+    /// Allocates the next free port, returning its index.
+    pub fn allocate_port(&mut self) -> Option<usize> {
+        if self.allocated < self.ports {
+            let idx = self.allocated;
+            self.allocated += 1;
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Number of ports allocated so far.
+    pub fn allocated_ports(&self) -> usize {
+        self.allocated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N0: Endpoint = Endpoint::Node(0);
+    const N1: Endpoint = Endpoint::Node(1);
+    const B0P0: Endpoint = Endpoint::BlockPort { block: 0, port: 0 };
+
+    #[test]
+    fn connect_disconnect_cycle() {
+        let mut cs = CircuitSwitch::new();
+        cs.connect(N0, B0P0).unwrap();
+        assert_eq!(cs.peer(N0), Some(B0P0));
+        assert_eq!(cs.peer(B0P0), Some(N0));
+        assert_eq!(cs.circuit_count(), 1);
+        assert!(cs.is_consistent());
+        let peer = cs.disconnect(N0).unwrap();
+        assert_eq!(peer, B0P0);
+        assert_eq!(cs.circuit_count(), 0);
+        assert_eq!(cs.reconfigurations(), 2);
+    }
+
+    #[test]
+    fn busy_endpoint_rejected() {
+        let mut cs = CircuitSwitch::new();
+        cs.connect(N0, N1).unwrap();
+        assert_eq!(cs.connect(N0, B0P0), Err(SwitchError::EndpointBusy(N0)));
+        assert_eq!(cs.connect(B0P0, N1), Err(SwitchError::EndpointBusy(N1)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut cs = CircuitSwitch::new();
+        assert_eq!(cs.connect(N0, N0), Err(SwitchError::SelfLoop(N0)));
+    }
+
+    #[test]
+    fn disconnect_unpatched_rejected() {
+        let mut cs = CircuitSwitch::new();
+        assert_eq!(cs.disconnect(N0), Err(SwitchError::NotConnected(N0)));
+    }
+
+    #[test]
+    fn circuits_iterate_once_per_pair() {
+        let mut cs = CircuitSwitch::new();
+        cs.connect(N0, N1).unwrap();
+        cs.connect(Endpoint::Node(2), Endpoint::Node(3)).unwrap();
+        let pairs: Vec<_> = cs.circuits().collect();
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn reconfiguration_time_accumulates() {
+        let mut cs = CircuitSwitch::new();
+        cs.connect(N0, N1).unwrap();
+        cs.disconnect(N0).unwrap();
+        assert_eq!(
+            cs.reconfiguration_time_ns(),
+            2 * CircuitSwitch::RECONFIG_LATENCY_NS
+        );
+    }
+
+    #[test]
+    fn block_port_allocation() {
+        let mut b = SwitchBlock::new(0, 4);
+        assert_eq!(b.free_ports(), 4);
+        assert_eq!(b.allocate_port(), Some(0));
+        assert_eq!(b.allocate_port(), Some(1));
+        assert_eq!(b.allocate_port(), Some(2));
+        assert_eq!(b.allocate_port(), Some(3));
+        assert_eq!(b.allocate_port(), None);
+        assert_eq!(b.free_ports(), 0);
+        assert_eq!(b.allocated_ports(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ports")]
+    fn degenerate_block_rejected() {
+        SwitchBlock::new(0, 1);
+    }
+
+    #[test]
+    fn endpoint_display() {
+        assert_eq!(N0.to_string(), "node0");
+        assert_eq!(B0P0.to_string(), "SB0.0");
+    }
+}

@@ -1,0 +1,278 @@
+//! Fixed-footprint open-addressing hash table for call statistics.
+//!
+//! IPM's design point (paper §3.1) is a *fixed memory footprint* profile: one
+//! hash table entry per unique set of call arguments `(region, call, buffer
+//! size, partner)`, updated in O(1) per call, never growing during the run.
+//! This module reimplements that structure: linear-probe open addressing over
+//! a power-of-two slot array, with an overflow counter instead of resizing so
+//! the memory bound is hard.
+
+/// Key identifying one unique call signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallKey {
+    /// Region id (0 = the default region).
+    pub region: u16,
+    /// Call kind, as a small discriminant (see `profile::kind_index`).
+    pub kind: u8,
+    /// Partner rank, or `u32::MAX` when the call has no single partner.
+    pub peer: u32,
+    /// Buffer size argument in bytes.
+    pub bytes: u64,
+}
+
+impl CallKey {
+    #[inline]
+    fn hash(&self) -> u64 {
+        // Fibonacci-style multiplicative mix over the packed key words; fast
+        // and adequate for these low-entropy keys (cf. FxHash).
+        const K: u64 = 0x9E37_79B9_7F4A_7C15;
+        let a = ((self.region as u64) << 48) | ((self.kind as u64) << 40) | self.peer as u64;
+        let mut h = a.wrapping_mul(K);
+        h ^= h >> 29;
+        h = h.wrapping_add(self.bytes).wrapping_mul(K);
+        h ^= h >> 32;
+        h
+    }
+}
+
+/// Accumulated statistics for one call signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CallStats {
+    /// Number of calls with this signature.
+    pub count: u64,
+    /// Sum of call durations in nanoseconds.
+    pub total_ns: u64,
+    /// Minimum call duration in nanoseconds.
+    pub min_ns: u64,
+    /// Maximum call duration in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl CallStats {
+    /// Folds one observation into the statistics.
+    #[inline]
+    pub fn record(&mut self, elapsed_ns: u64) {
+        if self.count == 0 {
+            self.min_ns = elapsed_ns;
+            self.max_ns = elapsed_ns;
+        } else {
+            self.min_ns = self.min_ns.min(elapsed_ns);
+            self.max_ns = self.max_ns.max(elapsed_ns);
+        }
+        self.count += 1;
+        self.total_ns += elapsed_ns;
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &CallStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    key: CallKey,
+    stats: CallStats,
+}
+
+/// Fixed-capacity open-addressing table from [`CallKey`] to [`CallStats`].
+#[derive(Debug, Clone)]
+pub struct CallTable {
+    slots: Vec<Option<Slot>>,
+    mask: usize,
+    len: usize,
+    /// Calls dropped because the table was full (IPM reports rather than
+    /// grows; a non-zero value flags an undersized profile).
+    overflow: u64,
+}
+
+impl CallTable {
+    /// IPM's default table size.
+    pub const DEFAULT_CAPACITY: usize = 8192;
+
+    /// Creates a table with capacity rounded up to a power of two.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        CallTable {
+            slots: vec![None; cap],
+            mask: cap - 1,
+            len: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Number of distinct call signatures stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no signatures are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot capacity (fixed for the lifetime of the table).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of observations dropped due to a full table.
+    #[inline]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Records one observation for `key`, creating its entry on first use.
+    ///
+    /// O(1) amortized; if the table is full and the key is new, the
+    /// observation is counted in [`overflow`](Self::overflow) and dropped —
+    /// the footprint never grows.
+    pub fn record(&mut self, key: CallKey, elapsed_ns: u64) {
+        let mut idx = (key.hash() as usize) & self.mask;
+        for _ in 0..self.slots.len() {
+            match &mut self.slots[idx] {
+                Some(slot) if slot.key == key => {
+                    slot.stats.record(elapsed_ns);
+                    return;
+                }
+                Some(_) => idx = (idx + 1) & self.mask,
+                empty @ None => {
+                    let mut stats = CallStats::default();
+                    stats.record(elapsed_ns);
+                    *empty = Some(Slot { key, stats });
+                    self.len += 1;
+                    return;
+                }
+            }
+        }
+        self.overflow += 1;
+    }
+
+    /// Looks up the statistics for a key.
+    pub fn get(&self, key: &CallKey) -> Option<&CallStats> {
+        let mut idx = (key.hash() as usize) & self.mask;
+        for _ in 0..self.slots.len() {
+            match &self.slots[idx] {
+                Some(slot) if slot.key == *key => return Some(&slot.stats),
+                Some(_) => idx = (idx + 1) & self.mask,
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// Iterates over all stored (key, stats) pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CallKey, &CallStats)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|slot| (&slot.key, &slot.stats)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(kind: u8, peer: u32, bytes: u64) -> CallKey {
+        CallKey {
+            region: 0,
+            kind,
+            peer,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn record_and_get() {
+        let mut t = CallTable::new(64);
+        t.record(key(1, 2, 1024), 100);
+        t.record(key(1, 2, 1024), 300);
+        t.record(key(1, 3, 1024), 50);
+        assert_eq!(t.len(), 2);
+        let s = t.get(&key(1, 2, 1024)).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 400);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 300);
+        assert!(t.get(&key(9, 9, 9)).is_none());
+    }
+
+    #[test]
+    fn capacity_is_fixed_and_overflow_counted() {
+        let mut t = CallTable::new(8);
+        assert_eq!(t.capacity(), 8);
+        for i in 0..8 {
+            t.record(key(0, i, 0), 1);
+        }
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.overflow(), 0);
+        // Ninth distinct key cannot fit.
+        t.record(key(0, 100, 0), 1);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.overflow(), 1);
+        // Existing keys still update fine.
+        t.record(key(0, 3, 0), 7);
+        assert_eq!(t.get(&key(0, 3, 0)).unwrap().count, 2);
+    }
+
+    #[test]
+    fn iter_returns_everything() {
+        let mut t = CallTable::new(32);
+        for i in 0..10u32 {
+            t.record(key(2, i, i as u64 * 8), u64::from(i));
+        }
+        let mut peers: Vec<u32> = t.iter().map(|(k, _)| k.peer).collect();
+        peers.sort_unstable();
+        assert_eq!(peers, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = CallStats::default();
+        a.record(10);
+        a.record(30);
+        let mut b = CallStats::default();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min_ns, 5);
+        assert_eq!(a.max_ns, 30);
+        assert_eq!(a.total_ns, 45);
+        let empty = CallStats::default();
+        a.merge(&empty);
+        assert_eq!(a.count, 3);
+        let mut c = CallStats::default();
+        c.merge(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn distinct_regions_are_distinct_keys() {
+        let mut t = CallTable::new(16);
+        let k0 = CallKey {
+            region: 0,
+            kind: 1,
+            peer: 2,
+            bytes: 64,
+        };
+        let k1 = CallKey { region: 1, ..k0 };
+        t.record(k0, 1);
+        t.record(k1, 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&k0).unwrap().count, 1);
+        assert_eq!(t.get(&k1).unwrap().count, 1);
+    }
+}

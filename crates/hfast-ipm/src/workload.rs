@@ -1,0 +1,199 @@
+//! Workload-level aggregation across applications.
+//!
+//! The paper's Figure 3 and §6 outlook ("the characterization of large and
+//! diverse application workloads") aggregate over *many* profiled codes.
+//! [`WorkloadStudy`] collects named profiles and answers the cross-code
+//! questions: combined buffer-size distributions, the share of codes whose
+//! topology fits a given interconnect class, and the switch-block demand of
+//! running the whole workload on one HFAST machine.
+
+use hfast_topology::{tdc, BufferHistogram, CommGraph};
+
+use crate::profile::CommProfile;
+
+/// Merges another profile of the *same world size* into `self`, summing
+/// call statistics and traffic volumes (e.g. several runs of one code, or
+/// one code's phases).
+impl CommProfile {
+    /// Merges `other` into `self`. Panics if the sizes differ.
+    pub fn merge(&mut self, other: &CommProfile) {
+        assert_eq!(
+            self.size, other.size,
+            "can only merge profiles of equal world size"
+        );
+        for entry in &other.entries {
+            match self
+                .entries
+                .iter_mut()
+                .find(|e| e.kind == entry.kind && e.bytes == entry.bytes)
+            {
+                Some(mine) => mine.stats.merge(&entry.stats),
+                None => self.entries.push(*entry),
+            }
+        }
+        self.entries.sort_by_key(|e| (e.kind, e.bytes));
+        for (mine, theirs) in self.api_volume.iter_mut().zip(&other.api_volume) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.wire_volume.iter_mut().zip(&other.wire_volume) {
+            mine.merge(theirs);
+        }
+        self.overflow += other.overflow;
+    }
+}
+
+/// A collection of named application profiles analyzed as one workload.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadStudy {
+    profiles: Vec<(String, CommProfile)>,
+}
+
+impl WorkloadStudy {
+    /// An empty study.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named profile.
+    pub fn add(&mut self, name: impl Into<String>, profile: CommProfile) {
+        self.profiles.push((name.into(), profile));
+    }
+
+    /// Number of profiles collected.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when no profiles were added.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The profiles in insertion order.
+    pub fn profiles(&self) -> impl Iterator<Item = (&str, &CommProfile)> {
+        self.profiles.iter().map(|(n, p)| (n.as_str(), p))
+    }
+
+    /// Combined collective buffer-size histogram (Figure 3, all codes).
+    pub fn collective_histogram(&self) -> BufferHistogram {
+        let mut hist = BufferHistogram::new();
+        for (_, p) in &self.profiles {
+            hist.merge(&p.collective_buffer_histogram());
+        }
+        hist
+    }
+
+    /// Combined point-to-point buffer-size histogram.
+    pub fn ptp_histogram(&self) -> BufferHistogram {
+        let mut hist = BufferHistogram::new();
+        for (_, p) in &self.profiles {
+            hist.merge(&p.ptp_buffer_histogram());
+        }
+        hist
+    }
+
+    /// Fraction of codes whose thresholded max TDC is at most `bound` —
+    /// "how much of the workload fits a degree-`bound` interconnect".
+    pub fn fraction_bounded_by(&self, bound: usize, cutoff: u64) -> f64 {
+        if self.profiles.is_empty() {
+            return 0.0;
+        }
+        let fit = self
+            .profiles
+            .iter()
+            .filter(|(_, p)| tdc(&p.comm_graph(), cutoff).max <= bound)
+            .count();
+        fit as f64 / self.profiles.len() as f64
+    }
+
+    /// Per-code communication graphs, for workload-wide provisioning
+    /// studies (one machine, many jobs).
+    pub fn graphs(&self) -> Vec<(&str, CommGraph)> {
+        self.profiles
+            .iter()
+            .map(|(n, p)| (n.as_str(), p.comm_graph()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::IpmProfiler;
+    use hfast_mpi::{CommHook, Payload, ReduceOp, Tag, World, WorldConfig};
+    use std::sync::Arc;
+
+    fn sample(size: usize, bytes: usize, rounds: usize) -> CommProfile {
+        let prof = Arc::new(IpmProfiler::new(size));
+        World::run_with(
+            WorldConfig::new(size).hook(prof.clone() as Arc<dyn CommHook>),
+            |comm| {
+                let right = (comm.rank() + 1) % comm.size();
+                let left = (comm.rank() + comm.size() - 1) % comm.size();
+                for _ in 0..rounds {
+                    comm.send(right, Tag(1), Payload::synthetic(bytes)).unwrap();
+                    comm.recv(left, Tag(1)).unwrap();
+                }
+                comm.allreduce(Payload::synthetic(8), ReduceOp::Sum).unwrap();
+            },
+        )
+        .unwrap();
+        prof.profile()
+    }
+
+    #[test]
+    fn merge_sums_counts_and_volumes() {
+        let mut a = sample(4, 1000, 2);
+        let b = sample(4, 1000, 3);
+        let calls_a = a.total_calls();
+        let calls_b = b.total_calls();
+        let vol_a = a.comm_graph().total_bytes();
+        a.merge(&b);
+        assert_eq!(a.total_calls(), calls_a + calls_b);
+        assert_eq!(a.comm_graph().total_bytes(), vol_a * 5 / 2);
+    }
+
+    #[test]
+    fn merge_combines_distinct_buffer_sizes() {
+        let mut a = sample(2, 100, 1);
+        let b = sample(2, 9999, 1);
+        a.merge(&b);
+        let hist = a.ptp_buffer_histogram();
+        assert!(hist.entries().any(|(s, _)| s == 100));
+        assert!(hist.entries().any(|(s, _)| s == 9999));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal world size")]
+    fn merge_size_mismatch_panics() {
+        let mut a = sample(2, 100, 1);
+        let b = sample(4, 100, 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn study_aggregates_across_codes() {
+        let mut study = WorkloadStudy::new();
+        study.add("ring-small", sample(6, 512, 2));
+        study.add("ring-large", sample(6, 100_000, 2));
+        assert_eq!(study.len(), 2);
+        let col = study.collective_histogram();
+        assert_eq!(col.total(), 12, "one allreduce per rank per code");
+        let ptp = study.ptp_histogram();
+        assert!(ptp.total() > 0);
+        // Both codes are rings (degree 2); the small ring's traffic is all
+        // below the cutoff, so only it fits a degree-1 fabric at 2 KB.
+        assert_eq!(study.fraction_bounded_by(1, 2048), 0.5);
+        assert_eq!(study.fraction_bounded_by(2, 2048), 1.0);
+        assert_eq!(study.fraction_bounded_by(1, 0), 0.0, "uncut, both exceed degree 1");
+        assert_eq!(study.graphs().len(), 2);
+    }
+
+    #[test]
+    fn empty_study() {
+        let study = WorkloadStudy::new();
+        assert!(study.is_empty());
+        assert_eq!(study.fraction_bounded_by(10, 0), 0.0);
+        assert!(study.collective_histogram().is_empty());
+    }
+}

@@ -1,0 +1,815 @@
+//! The per-rank communicator: point-to-point operations and completion calls.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::error::{MpiError, Result};
+use crate::hook::{CallKind, CommEvent, CommHook, Scope};
+use crate::message::{Envelope, Payload};
+use crate::request::{RecvHandle, Request, RequestTable};
+use crate::{Rank, Tag};
+
+/// Source selector for receives (`MPI_ANY_SOURCE` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcSel {
+    /// Match a message from any rank.
+    Any,
+    /// Match only messages from the given rank.
+    Rank(Rank),
+}
+
+impl SrcSel {
+    /// True if the selector accepts the given source rank.
+    #[inline]
+    pub fn accepts(self, src: Rank) -> bool {
+        match self {
+            SrcSel::Any => true,
+            SrcSel::Rank(r) => r == src,
+        }
+    }
+}
+
+/// Tag selector for receives (`MPI_ANY_TAG` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match any tag.
+    Any,
+    /// Match only the given tag.
+    Tag(Tag),
+}
+
+impl TagSel {
+    /// True if the selector accepts the given tag.
+    #[inline]
+    pub fn accepts(self, tag: Tag) -> bool {
+        match self {
+            TagSel::Any => true,
+            TagSel::Tag(t) => t == tag,
+        }
+    }
+}
+
+/// Completion information for a receive or send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// For receives: the matched source. For sends: the destination.
+    pub source: Rank,
+    /// The message tag.
+    pub tag: Tag,
+    /// Message size in bytes.
+    pub bytes: usize,
+}
+
+/// A rank's handle onto the world: all communication happens through this.
+///
+/// One `Comm` exists per rank thread; it is not `Sync` and is handed to the
+/// rank's closure by [`World::run`](crate::World::run).
+pub struct Comm {
+    rank: Rank,
+    size: usize,
+    txs: Arc<Vec<Sender<Envelope>>>,
+    rx: Receiver<Envelope>,
+    /// Messages received but not yet matched by any receive.
+    unexpected: VecDeque<Envelope>,
+    /// Posted nonblocking receives.
+    pub(crate) table: RequestTable,
+    hook: Arc<dyn CommHook>,
+    epoch: Instant,
+    timeout: Duration,
+    /// Per-rank counter of collective invocations, used for debugging and
+    /// round-tag construction sanity checks.
+    pub(crate) collective_count: u64,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: Rank,
+        size: usize,
+        txs: Arc<Vec<Sender<Envelope>>>,
+        rx: Receiver<Envelope>,
+        hook: Arc<dyn CommHook>,
+        epoch: Instant,
+        timeout: Duration,
+    ) -> Self {
+        Comm {
+            rank,
+            size,
+            txs,
+            rx,
+            unexpected: VecDeque::new(),
+            table: RequestTable::default(),
+            hook,
+            epoch,
+            timeout,
+            collective_count: 0,
+        }
+    }
+
+    /// This process's rank, `0..size`.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Nanoseconds since world start.
+    #[inline]
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn check_rank(&self, r: Rank) -> Result<()> {
+        if r >= self.size {
+            Err(MpiError::InvalidRank {
+                rank: r,
+                size: self.size,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_tag(&self, tag: Tag) -> Result<()> {
+        if tag.is_collective() {
+            Err(MpiError::ReservedTag(tag.0))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn emit(
+        &self,
+        kind: CallKind,
+        scope: Scope,
+        peer: Option<Rank>,
+        bytes: usize,
+        tag: Option<Tag>,
+        t_start_ns: u64,
+    ) {
+        let ev = CommEvent {
+            rank: self.rank,
+            kind,
+            scope,
+            peer,
+            bytes,
+            tag,
+            t_start_ns,
+            t_end_ns: self.now_ns(),
+        };
+        self.hook.on_event(&ev);
+    }
+
+    // ------------------------------------------------------------------
+    // raw transport (no hook events, no tag restrictions)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn send_raw(&self, dest: Rank, tag: Tag, payload: Payload) -> Result<()> {
+        self.check_rank(dest)?;
+        self.txs[dest]
+            .send(Envelope::new(self.rank, tag, payload))
+            .map_err(|_| MpiError::Disconnected {
+                rank: self.rank,
+                peer: dest,
+            })
+    }
+
+    /// Pumps one envelope off the wire, delivering to posted receives first.
+    ///
+    /// Returns the envelope if it matched neither a posted receive nor was
+    /// queued (i.e. the caller's selectors accepted it).
+    fn pump_one(
+        &mut self,
+        accept: impl Fn(&Envelope) -> bool,
+        waiting_for: &dyn Fn() -> String,
+    ) -> Result<Option<Envelope>> {
+        let env = match self.rx.recv_timeout(self.timeout) {
+            Ok(env) => env,
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(MpiError::Timeout {
+                    rank: self.rank,
+                    waiting_for: waiting_for(),
+                })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(MpiError::Disconnected {
+                    rank: self.rank,
+                    peer: self.rank,
+                })
+            }
+        };
+        // Posted receives take priority: they were posted earlier than the
+        // caller's current blocking operation.
+        if self.table.try_match(&env) {
+            return Ok(None);
+        }
+        if accept(&env) {
+            return Ok(Some(env));
+        }
+        self.unexpected.push_back(env);
+        Ok(None)
+    }
+
+    /// Blocking matched receive at the transport layer.
+    pub(crate) fn recv_raw(&mut self, src: SrcSel, tag: TagSel) -> Result<Envelope> {
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|e| src.accepts(e.src) && tag.accepts(e.tag))
+        {
+            return Ok(self.unexpected.remove(pos).expect("position valid"));
+        }
+        let me = self.rank;
+        loop {
+            let waiting = move || format!("recv(src={src:?}, tag={tag:?}) on rank {me}");
+            if let Some(env) =
+                self.pump_one(|e| src.accepts(e.src) && tag.accepts(e.tag), &waiting)?
+            {
+                return Ok(env);
+            }
+        }
+    }
+
+    /// Transport-scope send used by collective algorithms: emits a
+    /// `TransportSend` event so network simulators can replay actual flows.
+    pub(crate) fn send_transport(&self, dest: Rank, tag: Tag, payload: Payload) -> Result<()> {
+        let t0 = self.now_ns();
+        let bytes = payload.len();
+        self.send_raw(dest, tag, payload)?;
+        self.emit(
+            CallKind::TransportSend,
+            Scope::Transport,
+            Some(dest),
+            bytes,
+            Some(tag),
+            t0,
+        );
+        Ok(())
+    }
+
+    /// Transport-scope receive used by collective algorithms.
+    pub(crate) fn recv_transport(&mut self, src: SrcSel, tag: TagSel) -> Result<Envelope> {
+        let t0 = self.now_ns();
+        let env = self.recv_raw(src, tag)?;
+        self.emit(
+            CallKind::TransportRecv,
+            Scope::Transport,
+            Some(env.src),
+            env.payload.len(),
+            Some(env.tag),
+            t0,
+        );
+        Ok(env)
+    }
+
+    // ------------------------------------------------------------------
+    // public point-to-point API
+    // ------------------------------------------------------------------
+
+    /// Blocking standard-mode send (`MPI_Send`).
+    pub fn send(&mut self, dest: Rank, tag: Tag, payload: Payload) -> Result<()> {
+        self.check_tag(tag)?;
+        let t0 = self.now_ns();
+        let bytes = payload.len();
+        self.send_raw(dest, tag, payload)?;
+        self.emit(CallKind::Send, Scope::Api, Some(dest), bytes, Some(tag), t0);
+        Ok(())
+    }
+
+    /// Blocking receive (`MPI_Recv`). Returns the matched status and payload.
+    pub fn recv(&mut self, src: Rank, tag: Tag) -> Result<(Status, Payload)> {
+        self.check_tag(tag)?;
+        self.check_rank(src)?;
+        self.recv_sel(SrcSel::Rank(src), TagSel::Tag(tag))
+    }
+
+    /// Blocking receive with wildcard selectors.
+    pub fn recv_sel(&mut self, src: SrcSel, tag: TagSel) -> Result<(Status, Payload)> {
+        if let TagSel::Tag(t) = tag {
+            self.check_tag(t)?;
+        }
+        let t0 = self.now_ns();
+        let env = self.recv_raw(src, tag)?;
+        let status = Status {
+            source: env.src,
+            tag: env.tag,
+            bytes: env.payload.len(),
+        };
+        self.emit(
+            CallKind::Recv,
+            Scope::Api,
+            Some(env.src),
+            env.payload.len(),
+            Some(env.tag),
+            t0,
+        );
+        Ok((status, env.payload))
+    }
+
+    /// Nonblocking send (`MPI_Isend`).
+    ///
+    /// The runtime buffers without bound, so the send completes locally; the
+    /// returned request exists so the usual `isend → wait` call pattern (and
+    /// its profile signature) matches real applications.
+    pub fn isend(&mut self, dest: Rank, tag: Tag, payload: Payload) -> Result<Request> {
+        self.check_tag(tag)?;
+        let t0 = self.now_ns();
+        let bytes = payload.len();
+        self.send_raw(dest, tag, payload)?;
+        self.emit(CallKind::Isend, Scope::Api, Some(dest), bytes, Some(tag), t0);
+        Ok(Request::Send(Status {
+            source: dest,
+            tag,
+            bytes,
+        }))
+    }
+
+    /// Nonblocking receive (`MPI_Irecv`).
+    ///
+    /// `expected_bytes` is the posted buffer size — it is what the profiling
+    /// layer records for this call, mirroring how IPM sees the buffer-size
+    /// argument of the real `MPI_Irecv`.
+    pub fn irecv(&mut self, src: SrcSel, tag: TagSel, expected_bytes: usize) -> Result<Request> {
+        if let TagSel::Tag(t) = tag {
+            self.check_tag(t)?;
+        }
+        if let SrcSel::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        let t0 = self.now_ns();
+        let handle = self.table.post(src, tag);
+        // An already-queued unexpected message may satisfy this receive.
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|e| src.accepts(e.src) && tag.accepts(e.tag))
+        {
+            let env = self.unexpected.remove(pos).expect("position valid");
+            let consumed = self.table.try_match(&env);
+            debug_assert!(consumed, "freshly posted receive must accept");
+        }
+        let peer = match src {
+            SrcSel::Rank(r) => Some(r),
+            SrcSel::Any => None,
+        };
+        let tag_opt = match tag {
+            TagSel::Tag(t) => Some(t),
+            TagSel::Any => None,
+        };
+        self.emit(CallKind::Irecv, Scope::Api, peer, expected_bytes, tag_opt, t0);
+        Ok(Request::Recv(handle))
+    }
+
+    /// Combined send and receive (`MPI_Sendrecv`).
+    pub fn sendrecv(
+        &mut self,
+        dest: Rank,
+        send_tag: Tag,
+        payload: Payload,
+        src: Rank,
+        recv_tag: Tag,
+    ) -> Result<(Status, Payload)> {
+        self.check_tag(send_tag)?;
+        self.check_tag(recv_tag)?;
+        self.check_rank(src)?;
+        let t0 = self.now_ns();
+        let bytes = payload.len();
+        self.send_raw(dest, send_tag, payload)?;
+        let env = self.recv_raw(SrcSel::Rank(src), TagSel::Tag(recv_tag))?;
+        let status = Status {
+            source: env.src,
+            tag: env.tag,
+            bytes: env.payload.len(),
+        };
+        self.emit(
+            CallKind::Sendrecv,
+            Scope::Api,
+            Some(dest),
+            bytes,
+            Some(send_tag),
+            t0,
+        );
+        Ok((status, env.payload))
+    }
+
+    // ------------------------------------------------------------------
+    // completion calls
+    // ------------------------------------------------------------------
+
+    fn resolve_recv(&mut self, handle: RecvHandle) -> Result<Envelope> {
+        loop {
+            if let Some(env) = self.table.complete(handle) {
+                return Ok(env);
+            }
+            if !self.table.is_complete(handle) && self.table.describe(handle).is_none() {
+                return Err(MpiError::StaleRequest);
+            }
+            let me = self.rank;
+            let desc = self.table.describe(handle);
+            let waiting =
+                move || format!("wait(irecv {desc:?}) on rank {me}");
+            // Nothing matched yet: pump the wire.
+            self.pump_one(|_| false, &waiting)?;
+        }
+    }
+
+    /// Completes one request (`MPI_Wait`). For receives, returns the payload.
+    pub fn wait(&mut self, request: Request) -> Result<(Status, Option<Payload>)> {
+        let t0 = self.now_ns();
+        let out = match request {
+            Request::Send(status) => (status, None),
+            Request::Recv(handle) => {
+                let env = self.resolve_recv(handle)?;
+                (
+                    Status {
+                        source: env.src,
+                        tag: env.tag,
+                        bytes: env.payload.len(),
+                    },
+                    Some(env.payload),
+                )
+            }
+        };
+        self.emit(CallKind::Wait, Scope::Api, None, 0, None, t0);
+        Ok(out)
+    }
+
+    /// Completes all requests (`MPI_Waitall`).
+    pub fn waitall(&mut self, requests: Vec<Request>) -> Result<Vec<(Status, Option<Payload>)>> {
+        let t0 = self.now_ns();
+        let mut out = Vec::with_capacity(requests.len());
+        for req in requests {
+            match req {
+                Request::Send(status) => out.push((status, None)),
+                Request::Recv(handle) => {
+                    let env = self.resolve_recv(handle)?;
+                    out.push((
+                        Status {
+                            source: env.src,
+                            tag: env.tag,
+                            bytes: env.payload.len(),
+                        },
+                        Some(env.payload),
+                    ));
+                }
+            }
+        }
+        self.emit(CallKind::Waitall, Scope::Api, None, 0, None, t0);
+        Ok(out)
+    }
+
+    /// Completes any one request (`MPI_Waitany`).
+    ///
+    /// Removes and returns the completed request's index in `requests`
+    /// together with its status/payload. Remaining requests stay pending.
+    pub fn waitany(
+        &mut self,
+        requests: &mut Vec<Request>,
+    ) -> Result<(usize, Status, Option<Payload>)> {
+        assert!(!requests.is_empty(), "waitany on an empty request set");
+        let t0 = self.now_ns();
+        loop {
+            // Send requests are complete by construction; also check matched
+            // receives.
+            let mut ready: Option<usize> = None;
+            for (i, req) in requests.iter().enumerate() {
+                match req {
+                    Request::Send(_) => {
+                        ready = Some(i);
+                        break;
+                    }
+                    Request::Recv(h) => {
+                        if self.table.is_complete(*h) {
+                            ready = Some(i);
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some(i) = ready {
+                let req = requests.remove(i);
+                let out = match req {
+                    Request::Send(status) => (i, status, None),
+                    Request::Recv(handle) => {
+                        let env = self.table.complete(handle).expect("checked complete");
+                        (
+                            i,
+                            Status {
+                                source: env.src,
+                                tag: env.tag,
+                                bytes: env.payload.len(),
+                            },
+                            Some(env.payload),
+                        )
+                    }
+                };
+                self.emit(CallKind::Waitany, Scope::Api, None, 0, None, t0);
+                return Ok(out);
+            }
+            let me = self.rank;
+            let n = requests.len();
+            let waiting = move || format!("waitany over {n} requests on rank {me}");
+            self.pump_one(|_| false, &waiting)?;
+        }
+    }
+
+    /// Nonblocking completion check (`MPI_Test`).
+    ///
+    /// Returns the request back if still pending.
+    pub fn test(
+        &mut self,
+        request: Request,
+    ) -> Result<std::result::Result<(Status, Option<Payload>), Request>> {
+        let t0 = self.now_ns();
+        // Drain anything already on the wire without blocking.
+        while let Ok(env) = self.rx.try_recv() {
+            if !self.table.try_match(&env) {
+                self.unexpected.push_back(env);
+            }
+        }
+        let out = match request {
+            Request::Send(status) => Ok((status, None)),
+            Request::Recv(handle) => {
+                if self.table.is_complete(handle) {
+                    let env = self.table.complete(handle).expect("checked complete");
+                    Ok((
+                        Status {
+                            source: env.src,
+                            tag: env.tag,
+                            bytes: env.payload.len(),
+                        },
+                        Some(env.payload),
+                    ))
+                } else {
+                    Err(Request::Recv(handle))
+                }
+            }
+        };
+        self.emit(CallKind::Test, Scope::Api, None, 0, None, t0);
+        Ok(out)
+    }
+
+    /// First queued unexpected message matching the selectors, as a status
+    /// (probe support; does not consume the message).
+    pub(crate) fn peek_unexpected(&self, src: SrcSel, tag: TagSel) -> Option<Status> {
+        self.unexpected
+            .iter()
+            .find(|e| src.accepts(e.src) && tag.accepts(e.tag))
+            .map(|e| Status {
+                source: e.src,
+                tag: e.tag,
+                bytes: e.payload.len(),
+            })
+    }
+
+    /// Pumps one envelope off the wire without accepting it for the caller
+    /// (probe support): it is delivered to posted receives or queued.
+    pub(crate) fn pump_for_probe(&mut self, src: SrcSel, tag: TagSel) -> Result<()> {
+        let me = self.rank;
+        let waiting = move || format!("probe(src={src:?}, tag={tag:?}) on rank {me}");
+        self.pump_one(|_| false, &waiting)?;
+        Ok(())
+    }
+
+    /// Drains everything already on the wire without blocking.
+    pub(crate) fn drain_nonblocking(&mut self) {
+        while let Ok(env) = self.rx.try_recv() {
+            if !self.table.try_match(&env) {
+                self.unexpected.push_back(env);
+            }
+        }
+    }
+
+    /// Number of posted-but-uncompleted receives (diagnostics).
+    pub fn outstanding_recvs(&self) -> usize {
+        self.table.outstanding()
+    }
+
+    /// Number of unexpected (arrived, unmatched) messages (diagnostics).
+    pub fn unexpected_depth(&self) -> usize {
+        self.unexpected.len()
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .field("unexpected", &self.unexpected.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn selector_accepts() {
+        assert!(SrcSel::Any.accepts(3));
+        assert!(SrcSel::Rank(3).accepts(3));
+        assert!(!SrcSel::Rank(3).accepts(4));
+        assert!(TagSel::Any.accepts(Tag(1)));
+        assert!(TagSel::Tag(Tag(1)).accepts(Tag(1)));
+        assert!(!TagSel::Tag(Tag(1)).accepts(Tag(2)));
+    }
+
+    #[test]
+    fn ring_exchange_with_data() {
+        let results = World::run(4, |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let data = Payload::from_f64s(&[comm.rank() as f64]);
+            comm.send(right, Tag(1), data).unwrap();
+            let (_status, payload) = comm.recv(left, Tag(1)).unwrap();
+            payload.to_f64s().unwrap()[0] as usize
+        })
+        .unwrap();
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn nonblocking_exchange() {
+        let results = World::run(8, |comm| {
+            let partner = comm.rank() ^ 1;
+            let rreq = comm
+                .irecv(SrcSel::Rank(partner), TagSel::Tag(Tag(9)), 16)
+                .unwrap();
+            let sreq = comm
+                .isend(partner, Tag(9), Payload::from_f64s(&[comm.rank() as f64 * 2.0]))
+                .unwrap();
+            let (_, payload) = comm.wait(rreq).unwrap();
+            comm.wait(sreq).unwrap();
+            payload.unwrap().to_f64s().unwrap()[0]
+        })
+        .unwrap();
+        for (r, v) in results.iter().enumerate() {
+            assert_eq!(*v, (r ^ 1) as f64 * 2.0);
+        }
+    }
+
+    #[test]
+    fn sendrecv_shift() {
+        let results = World::run(5, |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let (status, _p) = comm
+                .sendrecv(right, Tag(2), Payload::synthetic(128 << 10), left, Tag(2))
+                .unwrap();
+            (status.source, status.bytes)
+        })
+        .unwrap();
+        for (r, (src, bytes)) in results.iter().enumerate() {
+            assert_eq!(*src, (r + 4) % 5);
+            assert_eq!(*bytes, 128 << 10);
+        }
+    }
+
+    #[test]
+    fn waitany_returns_as_messages_arrive() {
+        let results = World::run(3, |comm| match comm.rank() {
+            0 => {
+                // Two receives from distinct peers, completed in arrival order.
+                let mut reqs = vec![
+                    comm.irecv(SrcSel::Rank(1), TagSel::Tag(Tag(5)), 8).unwrap(),
+                    comm.irecv(SrcSel::Rank(2), TagSel::Tag(Tag(5)), 8).unwrap(),
+                ];
+                let mut sources = vec![];
+                while !reqs.is_empty() {
+                    let (_, status, _) = comm.waitany(&mut reqs).unwrap();
+                    sources.push(status.source);
+                }
+                sources.sort_unstable();
+                sources
+            }
+            r => {
+                comm.send(0, Tag(5), Payload::synthetic(8)).unwrap();
+                vec![r]
+            }
+        })
+        .unwrap();
+        assert_eq!(results[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn any_source_recv() {
+        let results = World::run(4, |comm| {
+            if comm.rank() == 0 {
+                let mut total = 0;
+                for _ in 0..3 {
+                    let (status, _) = comm.recv_sel(SrcSel::Any, TagSel::Tag(Tag(3))).unwrap();
+                    total += status.source;
+                }
+                total
+            } else {
+                comm.send(0, Tag(3), Payload::synthetic(4)).unwrap();
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(results[0], 1 + 2 + 3);
+    }
+
+    #[test]
+    fn message_order_preserved_per_pair() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..10u32 {
+                    comm.send(1, Tag(7), Payload::from_f64s(&[i as f64])).unwrap();
+                }
+                vec![]
+            } else {
+                let mut got = vec![];
+                for _ in 0..10 {
+                    let (_, p) = comm.recv(0, Tag(7)).unwrap();
+                    got.push(p.to_f64s().unwrap()[0] as u32);
+                }
+                got
+            }
+        })
+        .unwrap();
+        assert_eq!(results[1], (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unexpected_messages_are_buffered() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, Tag(1), Payload::synthetic(1)).unwrap();
+                comm.send(1, Tag(2), Payload::synthetic(2)).unwrap();
+                0
+            } else {
+                // Receive in reverse tag order: tag-1 message is buffered.
+                let (s2, _) = comm.recv(0, Tag(2)).unwrap();
+                let (s1, _) = comm.recv(0, Tag(1)).unwrap();
+                assert_eq!(s2.bytes, 2);
+                assert_eq!(s1.bytes, 1);
+                comm.unexpected_depth()
+            }
+        })
+        .unwrap();
+        assert_eq!(results[1], 0, "all buffered messages consumed");
+    }
+
+    #[test]
+    fn invalid_rank_rejected() {
+        World::run(2, |comm| {
+            let err = comm.send(5, Tag(1), Payload::synthetic(1)).unwrap_err();
+            assert!(matches!(err, MpiError::InvalidRank { rank: 5, size: 2 }));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reserved_tag_rejected() {
+        World::run(1, |comm| {
+            let err = comm
+                .send(0, Tag(Tag::COLLECTIVE_BASE | 1), Payload::synthetic(1))
+                .unwrap_err();
+            assert!(matches!(err, MpiError::ReservedTag(_)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn test_polls_without_blocking() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                let req = comm.irecv(SrcSel::Rank(1), TagSel::Tag(Tag(4)), 8).unwrap();
+                // Poll until complete.
+                let mut req = req;
+                loop {
+                    match comm.test(req).unwrap() {
+                        Ok((status, _)) => return status.bytes,
+                        Err(pending) => req = pending,
+                    }
+                }
+            } else {
+                comm.send(0, Tag(4), Payload::synthetic(8)).unwrap();
+                8
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![8, 8]);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let results = World::run(1, |comm| {
+            comm.send(0, Tag(1), Payload::synthetic(64)).unwrap();
+            let (s, _) = comm.recv(0, Tag(1)).unwrap();
+            s.bytes
+        })
+        .unwrap();
+        assert_eq!(results, vec![64]);
+    }
+}

@@ -1,0 +1,101 @@
+//! # hfast-mpi — a threaded message-passing runtime with an MPI-like API
+//!
+//! This crate is the *substrate* beneath the HFAST reproduction: a small,
+//! self-contained message-passing runtime whose API mirrors the subset of MPI
+//! exercised by the six applications studied in the SC'05 paper
+//! (point-to-point blocking and nonblocking operations, completion calls, and
+//! the common collectives).
+//!
+//! Ranks execute as OS threads inside [`World::run`]; messages travel over
+//! crossbeam channels. The runtime exposes a PMPI-style observer boundary
+//! ([`CommHook`]) that fires one [`CommEvent`] per API call, which is exactly
+//! the interposition point the IPM profiling layer of the paper uses — the
+//! `hfast-ipm` crate implements a profiler on top of it.
+//!
+//! ## Payloads
+//!
+//! Profiling a communication *topology* requires message sizes and partners,
+//! not message contents. [`Payload`] therefore has two forms:
+//!
+//! * [`Payload::Synthetic`] — carries only a length. The six application
+//!   kernels use this form so that multi-hundred-rank profiling runs cost
+//!   almost nothing.
+//! * [`Payload::Data`] — carries real bytes ([`bytes::Bytes`]); used by tests
+//!   to verify that the runtime actually moves data correctly (collectives
+//!   included).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hfast_mpi::{World, Payload, Tag};
+//!
+//! let results = World::run(4, |comm| {
+//!     let right = (comm.rank() + 1) % comm.size();
+//!     let left = (comm.rank() + comm.size() - 1) % comm.size();
+//!     let req = comm.isend(right, Tag(7), Payload::synthetic(1024)).unwrap();
+//!     let (status, _payload) = comm.recv(left, Tag(7)).unwrap();
+//!     comm.wait(req).unwrap();
+//!     status.source
+//! })
+//! .unwrap();
+//! assert_eq!(results, vec![3, 0, 1, 2]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod collectives;
+pub mod error;
+pub mod group;
+pub mod hook;
+pub mod message;
+pub mod probe;
+pub mod request;
+pub mod runtime;
+pub mod split;
+
+pub use comm::{Comm, SrcSel, Status, TagSel};
+pub use error::{MpiError, Result};
+pub use group::Group;
+pub use hook::{CallKind, CommEvent, CommHook, MultiHook, NullHook, RecordingHook, Scope};
+pub use message::{Payload, ReduceOp};
+pub use request::Request;
+pub use runtime::{World, WorldConfig};
+
+/// Index of a process in a [`World`] (0-based, dense).
+pub type Rank = usize;
+
+/// A message tag. Application tags must leave the top bit clear; the runtime
+/// reserves tags with the top bit set for collective transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    /// Tag namespace reserved for collective-internal transport messages.
+    pub const COLLECTIVE_BASE: u32 = 0x8000_0000;
+
+    /// Returns true if this tag lies in the reserved collective namespace.
+    #[inline]
+    pub fn is_collective(self) -> bool {
+        self.0 & Self::COLLECTIVE_BASE != 0
+    }
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_collective_namespace() {
+        assert!(!Tag(0).is_collective());
+        assert!(!Tag(0x7fff_ffff).is_collective());
+        assert!(Tag(Tag::COLLECTIVE_BASE).is_collective());
+        assert!(Tag(Tag::COLLECTIVE_BASE | 42).is_collective());
+    }
+}

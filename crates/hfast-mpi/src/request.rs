@@ -1,0 +1,196 @@
+//! Nonblocking request handles and the per-communicator request table.
+
+use crate::comm::{SrcSel, Status, TagSel};
+use crate::message::Envelope;
+
+/// Handle to an outstanding nonblocking operation.
+///
+/// Obtained from [`Comm::isend`](crate::Comm::isend) /
+/// [`Comm::irecv`](crate::Comm::irecv) and resolved by the `wait*` family.
+#[derive(Debug)]
+pub enum Request {
+    /// A completed (buffered) send. The runtime's channels buffer without
+    /// bound, so standard-mode sends complete locally at post time — the
+    /// request only carries the status for `wait` to report.
+    Send(Status),
+    /// A pending receive, indexed into the communicator's request table.
+    Recv(RecvHandle),
+}
+
+/// Opaque index of a posted receive in the request table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvHandle(pub(crate) usize);
+
+/// A posted, not-yet-matched receive.
+#[derive(Debug)]
+pub(crate) struct PendingRecv {
+    pub src: SrcSel,
+    pub tag: TagSel,
+    /// Filled when a matching envelope is delivered.
+    pub matched: Option<Envelope>,
+    /// Posting order, used for MPI-conforming match priority.
+    pub seq: u64,
+}
+
+/// Table of posted receives for one communicator.
+///
+/// Slots are reused after completion; posting order is tracked with a
+/// monotonically increasing sequence number so that matching respects MPI's
+/// non-overtaking rule between identical (source, tag) pairs.
+#[derive(Debug, Default)]
+pub(crate) struct RequestTable {
+    slots: Vec<Option<PendingRecv>>,
+    free: Vec<usize>,
+    next_seq: u64,
+}
+
+impl RequestTable {
+    /// Posts a new pending receive, returning its handle.
+    pub fn post(&mut self, src: SrcSel, tag: TagSel) -> RecvHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let pending = PendingRecv {
+            src,
+            tag,
+            matched: None,
+            seq,
+        };
+        if let Some(idx) = self.free.pop() {
+            debug_assert!(self.slots[idx].is_none());
+            self.slots[idx] = Some(pending);
+            RecvHandle(idx)
+        } else {
+            self.slots.push(Some(pending));
+            RecvHandle(self.slots.len() - 1)
+        }
+    }
+
+    /// Attempts to match an incoming envelope against posted receives.
+    ///
+    /// Chooses the *earliest-posted* unmatched receive whose selectors accept
+    /// the envelope. Returns `true` if the envelope was consumed.
+    pub fn try_match(&mut self, env: &Envelope) -> bool {
+        let mut best: Option<(u64, usize)> = None;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if let Some(p) = slot {
+                if p.matched.is_none() && p.src.accepts(env.src) && p.tag.accepts(env.tag)
+                    && best.is_none_or(|(seq, _)| p.seq < seq) {
+                        best = Some((p.seq, idx));
+                    }
+            }
+        }
+        if let Some((_, idx)) = best {
+            self.slots[idx]
+                .as_mut()
+                .expect("matched slot occupied")
+                .matched = Some(env.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if the handle's receive has been matched.
+    pub fn is_complete(&self, h: RecvHandle) -> bool {
+        self.slots
+            .get(h.0)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|p| p.matched.is_some())
+    }
+
+    /// Takes the matched envelope for a completed receive and frees the slot.
+    ///
+    /// Returns `None` if the receive is incomplete or the handle is stale.
+    pub fn complete(&mut self, h: RecvHandle) -> Option<Envelope> {
+        let slot = self.slots.get_mut(h.0)?;
+        let done = slot.as_ref().is_some_and(|p| p.matched.is_some());
+        if !done {
+            return None;
+        }
+        let pending = slot.take().expect("checked occupied");
+        self.free.push(h.0);
+        pending.matched
+    }
+
+    /// Selectors of a still-pending receive (for timeout diagnostics).
+    pub fn describe(&self, h: RecvHandle) -> Option<(SrcSel, TagSel)> {
+        self.slots
+            .get(h.0)
+            .and_then(|s| s.as_ref())
+            .map(|p| (p.src, p.tag))
+    }
+
+    /// Number of posted-but-uncompleted receives.
+    pub fn outstanding(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+    use crate::Tag;
+
+    fn env(src: usize, tag: u32) -> Envelope {
+        Envelope::new(src, Tag(tag), Payload::synthetic(4))
+    }
+
+    #[test]
+    fn post_match_complete_cycle() {
+        let mut t = RequestTable::default();
+        let h = t.post(SrcSel::Rank(2), TagSel::Tag(Tag(7)));
+        assert!(!t.is_complete(h));
+        assert!(!t.try_match(&env(1, 7)), "wrong source must not match");
+        assert!(!t.try_match(&env(2, 8)), "wrong tag must not match");
+        assert!(t.try_match(&env(2, 7)));
+        assert!(t.is_complete(h));
+        let e = t.complete(h).unwrap();
+        assert_eq!(e.src, 2);
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn match_priority_is_posting_order() {
+        let mut t = RequestTable::default();
+        let h1 = t.post(SrcSel::Any, TagSel::Any);
+        let h2 = t.post(SrcSel::Any, TagSel::Any);
+        assert!(t.try_match(&env(0, 1)));
+        assert!(t.is_complete(h1), "earliest-posted receive matches first");
+        assert!(!t.is_complete(h2));
+        assert!(t.try_match(&env(0, 2)));
+        assert!(t.is_complete(h2));
+    }
+
+    #[test]
+    fn slot_reuse_does_not_confuse_handles() {
+        let mut t = RequestTable::default();
+        let h1 = t.post(SrcSel::Rank(0), TagSel::Tag(Tag(1)));
+        assert!(t.try_match(&env(0, 1)));
+        assert!(t.complete(h1).is_some());
+        // Reuses slot 0 with a *later* sequence number.
+        let h2 = t.post(SrcSel::Rank(0), TagSel::Tag(Tag(2)));
+        assert_eq!(h1.0, h2.0, "slot is reused");
+        assert!(!t.is_complete(h2));
+        assert!(t.complete(h2).is_none(), "incomplete receive yields None");
+    }
+
+    #[test]
+    fn any_source_any_tag() {
+        let mut t = RequestTable::default();
+        let h = t.post(SrcSel::Any, TagSel::Any);
+        assert!(t.try_match(&env(5, 99)));
+        let e = t.complete(h).unwrap();
+        assert_eq!(e.src, 5);
+        assert_eq!(e.tag, Tag(99));
+    }
+
+    #[test]
+    fn describe_reports_selectors() {
+        let mut t = RequestTable::default();
+        let h = t.post(SrcSel::Rank(3), TagSel::Any);
+        let (s, g) = t.describe(h).unwrap();
+        assert_eq!(s, SrcSel::Rank(3));
+        assert_eq!(g, TagSel::Any);
+    }
+}

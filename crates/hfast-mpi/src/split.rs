@@ -1,0 +1,89 @@
+//! Communicator splitting (`MPI_Comm_split` analogue).
+//!
+//! Rather than spawning new communicator objects, the runtime's collectives
+//! operate over [`Group`]s; `split` is the collective that *derives* those
+//! groups: every rank contributes a `(color, key)` pair, and each rank
+//! receives the group of all ranks sharing its color, ordered by key (ties
+//! broken by rank) — exactly MPI's semantics.
+
+use crate::comm::Comm;
+use crate::group::Group;
+use crate::message::Payload;
+use crate::Result;
+
+impl Comm {
+    /// Splits the world into color groups.
+    ///
+    /// Collective over all ranks. Returns the caller's group: the ranks
+    /// that passed the same `color`, sorted by `(key, rank)`.
+    pub fn split(&mut self, color: u32, key: u32) -> Result<Group> {
+        // Allgather the (color, key) pairs, encoded as f64 lanes — exact
+        // for values below 2^52.
+        let mine = Payload::from_f64s(&[f64::from(color), f64::from(key)]);
+        let all = self.allgather(mine)?;
+        let mut members: Vec<(u32, usize)> = Vec::new();
+        for (rank, payload) in all.iter().enumerate() {
+            let lanes = payload.to_f64s().expect("split payload is two f64s");
+            let (c, k) = (lanes[0] as u32, lanes[1] as u32);
+            if c == color {
+                members.push((k, rank));
+            }
+        }
+        members.sort_unstable();
+        Group::new(members.into_iter().map(|(_, rank)| rank).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ReduceOp;
+    use crate::World;
+
+    #[test]
+    fn split_by_parity() {
+        let results = World::run(8, |comm| {
+            let color = (comm.rank() % 2) as u32;
+            comm.split(color, comm.rank() as u32).unwrap()
+        })
+        .unwrap();
+        assert_eq!(results[0].members(), &[0, 2, 4, 6]);
+        assert_eq!(results[1].members(), &[1, 3, 5, 7]);
+        assert_eq!(results[3], results[5], "same color, same group");
+    }
+
+    #[test]
+    fn split_key_reorders() {
+        let results = World::run(4, |comm| {
+            // Reverse key order: rank 3 becomes group index 0.
+            comm.split(0, (3 - comm.rank()) as u32).unwrap()
+        })
+        .unwrap();
+        assert_eq!(results[0].members(), &[3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn split_groups_drive_collectives() {
+        let results = World::run(6, |comm| {
+            let color = (comm.rank() / 3) as u32;
+            let group = comm.split(color, 0).unwrap();
+            let p = Payload::from_f64s(&[comm.rank() as f64]);
+            comm.allreduce_in(&group, p, ReduceOp::Sum)
+                .unwrap()
+                .to_f64s()
+                .unwrap()[0]
+        })
+        .unwrap();
+        assert_eq!(results, vec![3.0, 3.0, 3.0, 12.0, 12.0, 12.0]);
+    }
+
+    #[test]
+    fn singleton_colors() {
+        let results = World::run(3, |comm| {
+            let group = comm.split(comm.rank() as u32, 0).unwrap();
+            group.len()
+        })
+        .unwrap();
+        assert_eq!(results, vec![1, 1, 1]);
+    }
+}

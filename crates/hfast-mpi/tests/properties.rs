@@ -1,0 +1,142 @@
+//! Property-based tests for the message-passing runtime: payload codecs,
+//! reduction semantics, and randomized communication schedules.
+
+use proptest::prelude::*;
+
+use hfast_mpi::{Group, Payload, ReduceOp, Tag, World};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn f64_payload_roundtrip(values in prop::collection::vec(-1e12f64..1e12, 0..64)) {
+        let p = Payload::from_f64s(&values);
+        prop_assert_eq!(p.len(), values.len() * 8);
+        prop_assert_eq!(p.to_f64s().unwrap(), values);
+    }
+
+    #[test]
+    fn reduce_combine_matches_scalar_fold(
+        a in prop::collection::vec(-1e6f64..1e6, 1..16),
+        b in prop::collection::vec(-1e6f64..1e6, 1..16),
+    ) {
+        prop_assume!(a.len() == b.len());
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+            let combined = op
+                .combine(&Payload::from_f64s(&a), &Payload::from_f64s(&b))
+                .unwrap()
+                .to_f64s()
+                .unwrap();
+            for ((&x, &y), &z) in a.iter().zip(&b).zip(&combined) {
+                prop_assert_eq!(op.apply(x, y), z);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_agrees_with_local_fold(
+        size in 2usize..9,
+        lanes in prop::collection::vec(0u8..100, 1..5),
+    ) {
+        let lane_count = lanes.len();
+        let results = World::run(size, move |comm| {
+            let mine: Vec<f64> = (0..lane_count)
+                .map(|l| (comm.rank() * 31 + l * 7) as f64)
+                .collect();
+            comm.allreduce(Payload::from_f64s(&mine), ReduceOp::Sum)
+                .unwrap()
+                .to_f64s()
+                .unwrap()
+        })
+        .unwrap();
+        let expected: Vec<f64> = (0..lane_count)
+            .map(|l| (0..size).map(|r| (r * 31 + l * 7) as f64).sum())
+            .collect();
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    #[test]
+    fn random_exchange_schedule_delivers_everything(
+        size in 2usize..8,
+        schedule in prop::collection::vec((0usize..8, 0usize..8, 1usize..4096), 1..24),
+    ) {
+        // Filter the schedule to valid, non-self pairs.
+        let sends: Vec<(usize, usize, usize)> = schedule
+            .into_iter()
+            .filter(|&(s, d, _)| s < size && d < size && s != d)
+            .collect();
+        let sends2 = sends.clone();
+        let results = World::run(size, move |comm| {
+            let me = comm.rank();
+            // Post receives for everything addressed to me, in order.
+            let mut reqs = vec![];
+            for &(s, d, bytes) in &sends2 {
+                if d == me {
+                    reqs.push((
+                        comm.irecv(
+                            hfast_mpi::SrcSel::Rank(s),
+                            hfast_mpi::TagSel::Tag(Tag(9)),
+                            bytes,
+                        )
+                        .unwrap(),
+                        bytes,
+                    ));
+                }
+            }
+            for &(s, d, bytes) in &sends2 {
+                if s == me {
+                    comm.send(d, Tag(9), Payload::synthetic(bytes)).unwrap();
+                }
+            }
+            let mut received = 0usize;
+            for (req, _expected) in reqs {
+                let (status, _) = comm.wait(req).unwrap();
+                received += status.bytes;
+            }
+            received
+        })
+        .unwrap();
+        let expected_per_rank: Vec<usize> = (0..size)
+            .map(|r| sends.iter().filter(|&&(_, d, _)| d == r).map(|&(_, _, b)| b).sum())
+            .collect();
+        prop_assert_eq!(results, expected_per_rank);
+    }
+
+    #[test]
+    fn gather_preserves_group_order(members in prop::collection::btree_set(0usize..10, 2..6)) {
+        let members: Vec<usize> = members.into_iter().collect();
+        let members2 = members.clone();
+        let results = World::run(10, move |comm| {
+            if !members2.contains(&comm.rank()) {
+                return None;
+            }
+            let group = Group::new(members2.clone()).unwrap();
+            let root = members2[0];
+            comm.gather_in(&group, root, Payload::from_f64s(&[comm.rank() as f64]))
+                .unwrap()
+        })
+        .unwrap();
+        let at_root = results[members[0]].as_ref().unwrap();
+        for (i, payload) in at_root.iter().enumerate() {
+            prop_assert_eq!(payload.to_f64s().unwrap()[0] as usize, members[i]);
+        }
+    }
+
+    #[test]
+    fn alltoall_is_a_transpose(size in 2usize..8) {
+        let results = World::run(size, move |comm| {
+            let payloads: Vec<Payload> = (0..comm.size())
+                .map(|j| Payload::from_f64s(&[(comm.rank() * 100 + j) as f64]))
+                .collect();
+            comm.alltoall(payloads).unwrap()
+        })
+        .unwrap();
+        for (i, blocks) in results.iter().enumerate() {
+            for (j, b) in blocks.iter().enumerate() {
+                prop_assert_eq!(b.to_f64s().unwrap()[0] as usize, j * 100 + i);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Fault injection for fabric simulation.
+//!
+//! Wraps any [`Fabric`] and fails a set of nodes and/or links: paths that
+//! would traverse them become unroutable, so the same traffic replay shows
+//! how much of a workload each topology loses — the simulation counterpart
+//! of [`hfast_core::fault`]'s analytic comparison (paper §1's
+//! fault-tolerance argument).
+
+use std::collections::BTreeSet;
+
+use crate::fabric::{Fabric, LinkId, LinkSpec};
+
+/// A fabric with failed components.
+pub struct DegradedFabric<'a> {
+    inner: &'a dyn Fabric,
+    failed_nodes: BTreeSet<usize>,
+    failed_links: BTreeSet<LinkId>,
+}
+
+impl<'a> DegradedFabric<'a> {
+    /// Wraps `inner` with the given failures.
+    pub fn new(
+        inner: &'a dyn Fabric,
+        failed_nodes: impl IntoIterator<Item = usize>,
+        failed_links: impl IntoIterator<Item = LinkId>,
+    ) -> Self {
+        let failed_nodes: BTreeSet<usize> = failed_nodes.into_iter().collect();
+        let failed_links: BTreeSet<LinkId> = failed_links.into_iter().collect();
+        assert!(
+            failed_nodes.iter().all(|&n| n < inner.nodes()),
+            "failed node out of range"
+        );
+        assert!(
+            failed_links.iter().all(|&l| l < inner.link_count()),
+            "failed link out of range"
+        );
+        DegradedFabric {
+            inner,
+            failed_nodes,
+            failed_links,
+        }
+    }
+
+    /// Number of failed nodes.
+    pub fn failed_node_count(&self) -> usize {
+        self.failed_nodes.len()
+    }
+
+    /// Fraction of node pairs that still route (both endpoints alive).
+    pub fn surviving_pair_fraction(&self) -> f64 {
+        let n = self.inner.nodes();
+        if n < 2 {
+            return 1.0;
+        }
+        let mut total = 0usize;
+        let mut routed = 0usize;
+        for a in 0..n {
+            if self.failed_nodes.contains(&a) {
+                continue;
+            }
+            for b in (a + 1)..n {
+                if self.failed_nodes.contains(&b) {
+                    continue;
+                }
+                total += 1;
+                if self.path(a, b).is_some() {
+                    routed += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            routed as f64 / total as f64
+        }
+    }
+}
+
+impl Fabric for DegradedFabric<'_> {
+    fn name(&self) -> &str {
+        "degraded"
+    }
+
+    fn nodes(&self) -> usize {
+        self.inner.nodes()
+    }
+
+    fn link_count(&self) -> usize {
+        self.inner.link_count()
+    }
+
+    fn link(&self, id: LinkId) -> LinkSpec {
+        self.inner.link(id)
+    }
+
+    fn path(&self, src: usize, dst: usize) -> Option<Vec<LinkId>> {
+        if self.failed_nodes.contains(&src) || self.failed_nodes.contains(&dst) {
+            return None;
+        }
+        // The inner fabric routes deterministically (no adaptive rerouting);
+        // a path through a failed component is lost, which models
+        // non-adaptive dimension-order/tree routing. Adaptive fabrics would
+        // override path() themselves.
+        let path = self.inner.path(src, dst)?;
+        if path.iter().any(|l| self.failed_links.contains(l)) {
+            return None;
+        }
+        Some(path)
+    }
+
+    fn switch_hops(&self, src: usize, dst: usize) -> Option<usize> {
+        self.path(src, dst).map(|p| p.len().saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::torus::TorusFabric;
+    use crate::traffic::Flow;
+    use crate::FatTreeFabric;
+
+    #[test]
+    fn failed_endpoint_is_unroutable() {
+        let torus = TorusFabric::new((4, 4, 1));
+        let degraded = DegradedFabric::new(&torus, [5], []);
+        assert!(degraded.path(5, 0).is_none());
+        assert!(degraded.path(0, 5).is_none());
+        assert!(degraded.path(0, 1).is_some(), "others unaffected");
+    }
+
+    #[test]
+    fn failed_link_blocks_static_routes() {
+        let torus = TorusFabric::new((8, 1, 1));
+        let healthy_path = torus.path(0, 1).unwrap();
+        let degraded = DegradedFabric::new(&torus, [], healthy_path.clone());
+        // Dimension-order routing has exactly one path: it is now gone.
+        assert!(degraded.path(0, 1).is_none());
+        // The reverse direction uses different directed links.
+        assert!(degraded.path(1, 0).is_some());
+    }
+
+    #[test]
+    fn surviving_fraction_quantifies_damage() {
+        let torus = TorusFabric::new((4, 4, 1));
+        let healthy = DegradedFabric::new(&torus, [], []);
+        assert_eq!(healthy.surviving_pair_fraction(), 1.0);
+        // Fail the central node's outgoing +x link: every pair whose
+        // dimension-order route crosses it breaks.
+        let link = torus.path(5, 6).unwrap()[0];
+        let broken = DegradedFabric::new(&torus, [], [link]);
+        let frac = broken.surviving_pair_fraction();
+        assert!(frac < 1.0 && frac > 0.5, "partial damage: {frac}");
+    }
+
+    #[test]
+    fn replay_counts_unrouted_flows() {
+        let ft = FatTreeFabric::new(16, 8);
+        let degraded = DegradedFabric::new(&ft, [3], []);
+        let flows: Vec<Flow> = (0..16)
+            .map(|s| Flow {
+                src: s,
+                dst: (s + 1) % 16,
+                bytes: 4096,
+                start_ns: 0,
+            })
+            .collect();
+        let stats = simulate(&degraded, &flows);
+        // Flows 2→3, 3→4 involve the dead node.
+        assert_eq!(stats.unrouted, 2);
+        assert_eq!(stats.completed, 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed node out of range")]
+    fn out_of_range_failure_rejected() {
+        let ft = FatTreeFabric::new(4, 8);
+        DegradedFabric::new(&ft, [99], []);
+    }
+}

@@ -1,0 +1,73 @@
+//! The fabric abstraction: links and paths.
+
+/// Index of a link within a fabric.
+pub type LinkId = usize;
+
+/// Physical characteristics of one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Fixed traversal latency in nanoseconds (propagation plus the
+    /// processing of the switch the link feeds into).
+    pub latency_ns: u64,
+    /// Bandwidth in bytes per nanosecond (1.0 = 1 GB/s).
+    pub bandwidth: f64,
+}
+
+impl LinkSpec {
+    /// A healthy default cluster link: 1 GB/s, 50 ns switch processing.
+    pub const DEFAULT: LinkSpec = LinkSpec {
+        latency_ns: 50,
+        bandwidth: 1.0,
+    };
+
+    /// Serialization time for a message of `bytes` on this link.
+    #[inline]
+    pub fn serialize_ns(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.bandwidth).ceil() as u64
+    }
+}
+
+/// A network fabric: a set of links and a deterministic routing function.
+pub trait Fabric {
+    /// Human-readable fabric name.
+    fn name(&self) -> &str;
+
+    /// Number of attached compute nodes.
+    fn nodes(&self) -> usize;
+
+    /// Total links.
+    fn link_count(&self) -> usize;
+
+    /// Characteristics of a link.
+    fn link(&self, id: LinkId) -> LinkSpec;
+
+    /// The ordered link sequence a message from `src` to `dst` traverses,
+    /// or `None` if the pair is unreachable. `src == dst` yields an empty
+    /// path.
+    fn path(&self, src: usize, dst: usize) -> Option<Vec<LinkId>>;
+
+    /// Number of *switch* hops on the path (for latency accounting
+    /// comparisons against the paper's layer-count arguments).
+    fn switch_hops(&self, src: usize, dst: usize) -> Option<usize> {
+        // Each link past the first injection link enters a switch or NIC;
+        // fabrics override this with exact counts where it differs.
+        self.path(src, dst).map(|p| p.len().saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time() {
+        let l = LinkSpec::DEFAULT;
+        assert_eq!(l.serialize_ns(0), 0);
+        assert_eq!(l.serialize_ns(1024), 1024);
+        let slow = LinkSpec {
+            latency_ns: 10,
+            bandwidth: 0.1,
+        };
+        assert_eq!(slow.serialize_ns(1000), 10_000);
+    }
+}

@@ -1,0 +1,300 @@
+//! HFAST fabric: simulate messages over a provisioned switch configuration.
+//!
+//! Built from a [`hfast_core::Provisioning`]: node-to-block attachments,
+//! intra-cluster chain links, and per-edge circuits become simulator links.
+//! Circuit-switch traversals add essentially no latency (§2.1 — propagation
+//! only); each packet-switch block traversal costs its processing latency,
+//! folded into the latency of the link *entering* the block. Node pairs
+//! with no provisioned circuit fall back to the low-bandwidth collective
+//! tree network the paper pairs with HFAST (§2.4), modeled as a star at a
+//! tenth of the link bandwidth.
+
+use std::collections::BTreeMap;
+
+use hfast_core::Provisioning;
+
+use crate::fabric::{Fabric, LinkId, LinkSpec};
+
+/// Circuit propagation latency (no switching decision, §2.1).
+const CIRCUIT_NS: u64 = 10;
+/// Packet-switch block processing latency (§5.3: "less than 50 ns").
+const BLOCK_NS: u64 = 50;
+/// Collective-tree bandwidth relative to the main fabric.
+const TREE_BW: f64 = 0.1;
+
+/// An HFAST fabric instantiated from a provisioning.
+#[derive(Debug, Clone)]
+pub struct HfastFabric {
+    prov: Provisioning,
+    links: Vec<LinkSpec>,
+    /// node → (uplink into attach block, downlink out to the node).
+    node_links: Vec<(LinkId, LinkId)>,
+    /// (cluster, lower chain pos) → (link toward higher pos, toward lower).
+    chain_links: BTreeMap<(usize, usize), (LinkId, LinkId)>,
+    /// (a, b) with a < b → (link a→b, link b→a).
+    edge_links: BTreeMap<(usize, usize), (LinkId, LinkId)>,
+    /// node → (tree uplink, tree downlink) on the collective network.
+    tree_links: Vec<(LinkId, LinkId)>,
+}
+
+impl HfastFabric {
+    /// Builds the fabric from a provisioning.
+    pub fn new(prov: Provisioning) -> Self {
+        let mut links = Vec::new();
+        let mut push = |spec: LinkSpec| -> LinkId {
+            links.push(spec);
+            links.len() - 1
+        };
+        let into_block = LinkSpec {
+            latency_ns: CIRCUIT_NS + BLOCK_NS,
+            bandwidth: 1.0,
+        };
+        let out_of_block = LinkSpec {
+            latency_ns: CIRCUIT_NS,
+            bandwidth: 1.0,
+        };
+        let tree = LinkSpec {
+            latency_ns: CIRCUIT_NS + BLOCK_NS,
+            bandwidth: TREE_BW,
+        };
+
+        let n = prov.n_nodes;
+        let node_links: Vec<(LinkId, LinkId)> = (0..n)
+            .map(|_| (push(into_block), push(out_of_block)))
+            .collect();
+        let mut chain_links = BTreeMap::new();
+        for cluster in &prov.clusters {
+            for pos in 0..cluster.blocks.len().saturating_sub(1) {
+                chain_links.insert(
+                    (cluster.id, pos),
+                    (push(into_block), push(into_block)),
+                );
+            }
+        }
+        let mut edge_links = BTreeMap::new();
+        for &(a, b) in prov.edge_circuits.keys() {
+            edge_links.insert((a, b), (push(into_block), push(into_block)));
+        }
+        let tree_links: Vec<(LinkId, LinkId)> =
+            (0..n).map(|_| (push(tree), push(tree))).collect();
+
+        HfastFabric {
+            prov,
+            links,
+            node_links,
+            chain_links,
+            edge_links,
+            tree_links,
+        }
+    }
+
+    /// The underlying provisioning.
+    pub fn provisioning(&self) -> &Provisioning {
+        &self.prov
+    }
+
+    /// Chain links from position `from` to `to` within a cluster.
+    fn chain_walk(&self, cluster: usize, from: usize, to: usize, path: &mut Vec<LinkId>) {
+        if from <= to {
+            for pos in from..to {
+                path.push(self.chain_links[&(cluster, pos)].0);
+            }
+        } else {
+            for pos in (to..from).rev() {
+                path.push(self.chain_links[&(cluster, pos)].1);
+            }
+        }
+    }
+}
+
+impl Fabric for HfastFabric {
+    fn name(&self) -> &str {
+        "hfast"
+    }
+
+    fn nodes(&self) -> usize {
+        self.prov.n_nodes
+    }
+
+    fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn link(&self, id: LinkId) -> LinkSpec {
+        self.links[id]
+    }
+
+    fn path(&self, src: usize, dst: usize) -> Option<Vec<LinkId>> {
+        if src == dst {
+            return Some(vec![]);
+        }
+        let (lo, hi) = if src < dst { (src, dst) } else { (dst, src) };
+        let ca = self.prov.node_cluster.get(src).copied()?;
+        let cb = self.prov.node_cluster.get(dst).copied()?;
+        if ca == usize::MAX || cb == usize::MAX {
+            return None; // offline node
+        }
+        let mut path = vec![self.node_links[src].0];
+        if ca == cb {
+            // Along the shared chain.
+            self.chain_walk(ca, self.prov.attach[src].1, self.prov.attach[dst].1, &mut path);
+            path.push(self.node_links[dst].1);
+            return Some(path);
+        }
+        if let Some(ec) = self.prov.edge_circuits.get(&(lo, hi)) {
+            let (src_pos, dst_pos, edge_link) = if src == lo {
+                (ec.a_chain_pos, ec.b_chain_pos, self.edge_links[&(lo, hi)].0)
+            } else {
+                (ec.b_chain_pos, ec.a_chain_pos, self.edge_links[&(lo, hi)].1)
+            };
+            self.chain_walk(ca, self.prov.attach[src].1, src_pos, &mut path);
+            path.push(edge_link);
+            self.chain_walk(cb, dst_pos, self.prov.attach[dst].1, &mut path);
+            path.push(self.node_links[dst].1);
+            return Some(path);
+        }
+        // No dedicated circuit: ride the collective tree.
+        Some(vec![self.tree_links[src].0, self.tree_links[dst].1])
+    }
+
+    fn switch_hops(&self, src: usize, dst: usize) -> Option<usize> {
+        if src == dst {
+            return Some(0);
+        }
+        let r = self.prov.route(src, dst)?;
+        Some(r.switch_hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::fattree::FatTreeFabric;
+    use crate::traffic::{self};
+    use hfast_core::{ProvisionConfig, Provisioning};
+    use hfast_topology::generators::{mesh3d_graph, ring_graph};
+
+    fn hfast_for(graph: &hfast_topology::CommGraph) -> HfastFabric {
+        HfastFabric::new(Provisioning::per_node(graph, ProvisionConfig::default()))
+    }
+
+    #[test]
+    fn provisioned_pair_path() {
+        let g = ring_graph(8, 1 << 20);
+        let f = hfast_for(&g);
+        // node → own block → (edge circuit into) peer's block → node:
+        // 3 links, 2 switch-block hops.
+        let p = f.path(0, 1).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(f.switch_hops(0, 1), Some(2));
+    }
+
+    #[test]
+    fn unprovisioned_pair_rides_the_tree() {
+        let g = ring_graph(8, 1 << 20);
+        let f = hfast_for(&g);
+        // 0 and 4 never talk in a ring: tree fallback, 2 slow links.
+        let p = f.path(0, 4).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(f.link(p[0]).bandwidth < 0.5);
+    }
+
+    #[test]
+    fn scattered_replay_beats_fat_tree_latency() {
+        // The paper's headline: a provisioned topology traverses a constant
+        // number of switch blocks while fat-tree traffic that does not stay
+        // within one leaf climbs the layers. A strided (LBMHD-like) pattern
+        // never stays leaf-local, so every fat-tree path is deep.
+        let n = 64;
+        let mut g = hfast_topology::CommGraph::new(n);
+        for v in 0..n {
+            g.add_message(v, (v + 17) % n, 4096);
+        }
+        let flows = traffic::flows_from_graph(&g, 2048);
+        let hf = hfast_for(&g);
+        let ft = FatTreeFabric::new(n, 8);
+        let hf_stats = simulate(&hf, &flows);
+        let ft_stats = simulate(&ft, &flows);
+        assert_eq!(hf_stats.completed, flows.len());
+        assert_eq!(ft_stats.completed, flows.len());
+        assert!(
+            hf_stats.p50_latency_ns < ft_stats.p50_latency_ns,
+            "hfast p50 {} vs fat-tree p50 {}",
+            hf_stats.p50_latency_ns,
+            ft_stats.p50_latency_ns
+        );
+        assert!(hf_stats.max_latency_ns <= ft_stats.max_latency_ns);
+        // Constant 3-link paths for HFAST regardless of scale.
+        assert_eq!(hf_stats.avg_hops, 3.0);
+    }
+
+    #[test]
+    fn leaf_local_traffic_favors_the_fat_tree() {
+        // Converse sanity check: a ring embeds into fat-tree leaves, where
+        // a single 50 ns switch beats HFAST's two-block path.
+        let g = ring_graph(64, 4096);
+        let flows = traffic::flows_from_graph(&g, 2048);
+        let hf = hfast_for(&g);
+        let ft = FatTreeFabric::new(64, 8);
+        let hf_stats = simulate(&hf, &flows);
+        let ft_stats = simulate(&ft, &flows);
+        assert!(hf_stats.p50_latency_ns >= ft_stats.p50_latency_ns);
+    }
+
+    #[test]
+    fn mesh_app_replay_completes() {
+        let g = mesh3d_graph((4, 4, 4), 300 << 10);
+        let f = hfast_for(&g);
+        let flows = traffic::flows_from_graph(&g, 2048);
+        let stats = simulate(&f, &flows);
+        assert_eq!(stats.unrouted, 0);
+        assert_eq!(stats.completed, flows.len());
+    }
+
+    #[test]
+    fn chain_nodes_pay_extra_hops() {
+        // A star whose hub needs 3 chained blocks: far edges land on
+        // distant chain positions.
+        let mut g = hfast_topology::CommGraph::new(41);
+        for i in 1..41 {
+            g.add_message(0, i, 1 << 20);
+        }
+        let f = hfast_for(&g);
+        let worst = (1..41)
+            .map(|i| f.path(0, i).unwrap().len())
+            .max()
+            .unwrap();
+        assert!(worst > 4, "chain traversal adds links: {worst}");
+        // All leaves still reachable.
+        for i in 1..41 {
+            assert!(f.path(i, 0).is_some());
+        }
+    }
+
+    #[test]
+    fn self_path_is_empty() {
+        let g = ring_graph(4, 1 << 20);
+        let f = hfast_for(&g);
+        assert_eq!(f.path(2, 2).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn alltoall_on_hfast_congests_the_tree() {
+        // PARATEC-style all-to-all on a ring-provisioned HFAST: most pairs
+        // ride the slow tree — the case-iv mismatch the paper warns about.
+        let g = ring_graph(16, 1 << 20);
+        let f = hfast_for(&g);
+        let flows = traffic::alltoall(16, 32 << 10);
+        let stats = simulate(&f, &flows);
+        assert_eq!(stats.completed, flows.len());
+        let ft = FatTreeFabric::new(16, 8);
+        let ft_stats = simulate(&ft, &flows);
+        assert!(
+            stats.max_latency_ns > ft_stats.max_latency_ns,
+            "mis-provisioned HFAST must lose on all-to-all: {} vs {}",
+            stats.max_latency_ns,
+            ft_stats.max_latency_ns
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # hfast-netsim — discrete-event interconnect simulation
+//!
+//! The paper argues analytically that HFAST reduces the number of packet
+//! switches a worst-case message traverses compared with a deep fat tree
+//! (§2.3, §5.3). This crate substantiates the argument with a small
+//! discrete-event simulator: messages are replayed over explicit fabric
+//! models — fat tree, 3D torus, and an HFAST fabric built from a
+//! [`hfast_core::Provisioning`] — with per-link FIFO serialization, and the
+//! resulting latency/throughput distributions are compared.
+//!
+//! The link model is deliberately simple (store-and-forward, one message at
+//! a time per link, fixed per-link latency + `bytes / bandwidth`
+//! serialization): enough to rank fabrics and expose contention, without
+//! modeling virtual channels or flow control. DESIGN.md records this
+//! substitution.
+//!
+//! ```
+//! use hfast_netsim::{simulate, FatTreeFabric, TorusFabric, traffic};
+//! use hfast_topology::generators::ring_graph;
+//!
+//! let graph = ring_graph(16, 1 << 20);
+//! let flows = traffic::flows_from_graph(&graph, 0);
+//! let ft = FatTreeFabric::new(16, 8);
+//! let stats = simulate(&ft, &flows);
+//! assert_eq!(stats.completed, flows.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod degraded;
+pub mod engine;
+pub mod fabric;
+pub mod fattree;
+pub mod hfast;
+pub mod stats;
+pub mod torus;
+pub mod traffic;
+
+pub use degraded::DegradedFabric;
+pub use engine::simulate;
+pub use fabric::{Fabric, LinkId, LinkSpec};
+pub use fattree::FatTreeFabric;
+pub use hfast::HfastFabric;
+pub use stats::RunStats;
+pub use torus::TorusFabric;
+pub use traffic::Flow;

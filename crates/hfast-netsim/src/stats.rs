@@ -1,0 +1,108 @@
+//! Aggregate simulation statistics.
+
+use crate::engine::FlowRecord;
+use crate::fabric::Fabric;
+use crate::traffic::Flow;
+
+/// Summary of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Flows delivered.
+    pub completed: usize,
+    /// Flows with no route in the fabric.
+    pub unrouted: usize,
+    /// Total payload bytes delivered.
+    pub delivered_bytes: u64,
+    /// Time of the last delivery.
+    pub makespan_ns: u64,
+    /// Median flow latency.
+    pub p50_latency_ns: u64,
+    /// 95th-percentile flow latency.
+    pub p95_latency_ns: u64,
+    /// Worst flow latency.
+    pub max_latency_ns: u64,
+    /// Mean hops per delivered flow.
+    pub avg_hops: f64,
+    /// Busiest link's busy fraction of the makespan.
+    pub max_link_utilization: f64,
+    /// Aggregate delivered throughput in bytes/ns.
+    pub throughput: f64,
+}
+
+impl RunStats {
+    pub(crate) fn from_records(
+        fabric: &dyn Fabric,
+        flows: &[Flow],
+        records: &[FlowRecord],
+        link_busy_ns: &[u64],
+    ) -> RunStats {
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut delivered_bytes = 0u64;
+        let mut makespan = 0u64;
+        let mut unrouted = 0usize;
+        let mut hop_sum = 0usize;
+        for r in records {
+            match r.end_ns {
+                Some(end) => {
+                    latencies.push(end - r.start_ns);
+                    delivered_bytes += flows[r.flow].bytes;
+                    makespan = makespan.max(end);
+                    hop_sum += r.hops;
+                }
+                None => unrouted += 1,
+            }
+        }
+        latencies.sort_unstable();
+        let pick = |p: f64| -> u64 {
+            if latencies.is_empty() {
+                0
+            } else {
+                let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+                latencies[idx]
+            }
+        };
+        let completed = latencies.len();
+        let max_busy = link_busy_ns.iter().copied().max().unwrap_or(0);
+        let _ = fabric;
+        RunStats {
+            completed,
+            unrouted,
+            delivered_bytes,
+            makespan_ns: makespan,
+            p50_latency_ns: pick(0.5),
+            p95_latency_ns: pick(0.95),
+            max_latency_ns: latencies.last().copied().unwrap_or(0),
+            avg_hops: if completed == 0 {
+                0.0
+            } else {
+                hop_sum as f64 / completed as f64
+            },
+            max_link_utilization: if makespan == 0 {
+                0.0
+            } else {
+                max_busy as f64 / makespan as f64
+            },
+            throughput: if makespan == 0 {
+                0.0
+            } else {
+                delivered_bytes as f64 / makespan as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} flows ({} unrouted), p50 {} ns, p95 {} ns, max {} ns, avg {:.1} hops, {:.3} B/ns",
+            self.completed,
+            self.unrouted,
+            self.p50_latency_ns,
+            self.p95_latency_ns,
+            self.max_latency_ns,
+            self.avg_hops,
+            self.throughput
+        )
+    }
+}

@@ -1,0 +1,185 @@
+//! 3D torus fabric with dimension-order routing.
+
+use hfast_topology::generators::{grid_coords, grid_index};
+
+use crate::fabric::{Fabric, LinkId, LinkSpec};
+
+/// Directions of the six torus links per node.
+const DIRS: usize = 6;
+
+/// A 3D torus: every node is also a router with six directed links.
+#[derive(Debug, Clone)]
+pub struct TorusFabric {
+    dims: (usize, usize, usize),
+    n: usize,
+}
+
+impl TorusFabric {
+    /// Builds a torus of the given dimensions.
+    pub fn new(dims: (usize, usize, usize)) -> Self {
+        let n = dims.0 * dims.1 * dims.2;
+        assert!(n >= 1);
+        TorusFabric { dims, n }
+    }
+
+    /// Dimensions.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.dims
+    }
+
+    /// Link id for leaving `node` in `dir` (0:+x 1:−x 2:+y 3:−y 4:+z 5:−z).
+    fn link_id(&self, node: usize, dir: usize) -> LinkId {
+        node * DIRS + dir
+    }
+
+}
+
+impl Fabric for TorusFabric {
+    fn name(&self) -> &str {
+        "torus"
+    }
+
+    fn nodes(&self) -> usize {
+        self.n
+    }
+
+    fn link_count(&self) -> usize {
+        self.n * DIRS
+    }
+
+    fn link(&self, _id: LinkId) -> LinkSpec {
+        LinkSpec::DEFAULT
+    }
+
+    fn path(&self, src: usize, dst: usize) -> Option<Vec<LinkId>> {
+        if src == dst {
+            return Some(vec![]);
+        }
+        let (dx, dy, dz) = self.dims;
+        let (mut x, mut y, mut z) = grid_coords(self.dims, src);
+        let (tx, ty, tz) = grid_coords(self.dims, dst);
+        let mut path = Vec::new();
+
+        let walk = |path: &mut Vec<LinkId>,
+                        cur: &mut usize,
+                        target: usize,
+                        extent: usize,
+                        plus_dir: usize,
+                        make_node: &dyn Fn(usize) -> usize| {
+            if extent <= 1 || *cur == target {
+                return;
+            }
+            let fwd = (target + extent - *cur) % extent;
+            let bwd = (*cur + extent - target) % extent;
+            let go_fwd = fwd <= bwd;
+            let hops = fwd.min(bwd);
+            for _ in 0..hops {
+                let from = make_node(*cur);
+                let dir = if go_fwd { plus_dir } else { plus_dir + 1 };
+                path.push(self.link_id(from, dir));
+                *cur = if go_fwd {
+                    (*cur + 1) % extent
+                } else {
+                    (*cur + extent - 1) % extent
+                };
+            }
+        };
+
+        {
+            let (yy, zz) = (y, z);
+            walk(&mut path, &mut x, tx, dx, 0, &|c| {
+                grid_index(self.dims, c, yy, zz)
+            });
+        }
+        {
+            let (xx, zz) = (x, z);
+            walk(&mut path, &mut y, ty, dy, 2, &|c| {
+                grid_index(self.dims, xx, c, zz)
+            });
+        }
+        {
+            let (xx, yy) = (x, y);
+            walk(&mut path, &mut z, tz, dz, 4, &|c| {
+                grid_index(self.dims, xx, yy, c)
+            });
+        }
+        debug_assert_eq!(grid_index(self.dims, x, y, z), dst);
+        Some(path)
+    }
+
+    fn switch_hops(&self, src: usize, dst: usize) -> Option<usize> {
+        // Every torus link lands in a router.
+        self.path(src, dst).map(|p| p.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::traffic::Flow;
+
+    #[test]
+    fn neighbour_path_is_one_link() {
+        let t = TorusFabric::new((4, 4, 4));
+        let p = t.path(0, 1).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(t.switch_hops(0, 1), Some(1));
+    }
+
+    #[test]
+    fn wraparound_is_shortest() {
+        let t = TorusFabric::new((4, 1, 1));
+        // 0 → 3 is one hop backwards around the ring.
+        assert_eq!(t.path(0, 3).unwrap().len(), 1);
+        assert_eq!(t.path(0, 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dimension_order_lengths_match_manhattan() {
+        let t = TorusFabric::new((4, 4, 4));
+        for dst in 0..64 {
+            let (x, y, z) = hfast_topology::generators::grid_coords((4, 4, 4), dst);
+            // From node 0: wrap-aware distance per axis is min(c, 4−c).
+            let manhattan = [x, y, z]
+                .iter()
+                .map(|&c| c.min(4 - c))
+                .sum::<usize>();
+            assert_eq!(t.path(0, dst).unwrap().len(), manhattan, "dst {dst}");
+        }
+    }
+
+    #[test]
+    fn worst_case_hops() {
+        let t = TorusFabric::new((4, 4, 4));
+        let worst = (0..64).map(|d| t.path(0, d).unwrap().len()).max().unwrap();
+        assert_eq!(worst, 6, "diameter of a 4x4x4 torus");
+    }
+
+    #[test]
+    fn contention_on_shared_ring_links() {
+        // All nodes push to node 0 around a ring: inner links shared.
+        let t = TorusFabric::new((8, 1, 1));
+        let flows: Vec<Flow> = (1..8)
+            .map(|s| Flow {
+                src: s,
+                dst: 0,
+                bytes: 100_000,
+                start_ns: 0,
+            })
+            .collect();
+        let stats = simulate(&t, &flows);
+        assert_eq!(stats.completed, 7);
+        assert!(
+            stats.max_link_utilization > 0.5,
+            "the links adjacent to node 0 must saturate: {}",
+            stats.max_link_utilization
+        );
+    }
+
+    #[test]
+    fn degenerate_single_node() {
+        let t = TorusFabric::new((1, 1, 1));
+        assert_eq!(t.path(0, 0).unwrap().len(), 0);
+    }
+}

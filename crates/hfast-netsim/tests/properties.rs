@@ -1,0 +1,193 @@
+//! Property-based tests for the discrete-event simulator and fabrics.
+
+use proptest::prelude::*;
+
+use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_netsim::engine::simulate_detailed;
+use hfast_netsim::{simulate, traffic, Fabric, FatTreeFabric, Flow, HfastFabric, TorusFabric};
+use hfast_topology::CommGraph;
+
+fn flows(n: usize, max: usize) -> impl Strategy<Value = Vec<Flow>> {
+    prop::collection::vec(
+        (0..n, 0..n, 1u64..(1 << 20), 0u64..1_000_000),
+        1..max,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(src, dst, bytes, start_ns)| Flow {
+                src,
+                dst,
+                bytes,
+                start_ns,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fat_tree_delivers_everything(fs in flows(32, 60)) {
+        let fabric = FatTreeFabric::new(32, 8);
+        let stats = simulate(&fabric, &fs);
+        prop_assert_eq!(stats.completed, fs.len());
+        prop_assert_eq!(stats.unrouted, 0);
+        prop_assert_eq!(stats.delivered_bytes, fs.iter().map(|f| f.bytes).sum::<u64>());
+    }
+
+    #[test]
+    fn torus_delivers_everything(fs in flows(27, 60)) {
+        let fabric = TorusFabric::new((3, 3, 3));
+        let stats = simulate(&fabric, &fs);
+        prop_assert_eq!(stats.completed, fs.len());
+    }
+
+    #[test]
+    fn latency_lower_bound_holds(fs in flows(32, 40)) {
+        // No flow can beat its uncontended cut-through time:
+        // sum of link latencies + one serialization on its slowest link.
+        let fabric = FatTreeFabric::new(32, 8);
+        let (_, records) = simulate_detailed(&fabric, &fs);
+        for r in &records {
+            let f = &fs[r.flow];
+            let path = fabric.path(f.src, f.dst).unwrap();
+            let min_lat: u64 = path.iter().map(|&l| fabric.link(l).latency_ns).sum();
+            let min_ser = path
+                .iter()
+                .map(|&l| fabric.link(l).serialize_ns(f.bytes))
+                .max()
+                .unwrap_or(0);
+            let end = r.end_ns.expect("delivered");
+            prop_assert!(
+                end - r.start_ns >= min_lat + min_ser,
+                "flow {} beat physics: {} < {} + {}",
+                r.flow,
+                end - r.start_ns,
+                min_lat,
+                min_ser
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(fs in flows(16, 50)) {
+        let fabric = TorusFabric::new((4, 2, 2));
+        let a = simulate(&fabric, &fs);
+        let b = simulate(&fabric, &fs);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hfast_routes_every_provisioned_flow(
+        msgs in prop::collection::vec((0usize..12, 0usize..12, 2048u64..(1 << 20)), 1..40),
+    ) {
+        let mut g = CommGraph::new(12);
+        for &(a, b, bytes) in &msgs {
+            if a != b {
+                g.add_message(a, b, bytes);
+            }
+        }
+        let fabric = HfastFabric::new(Provisioning::per_node(&g, ProvisionConfig::default()));
+        let fs = traffic::flows_from_graph(&g, 2048);
+        let stats = simulate(&fabric, &fs);
+        prop_assert_eq!(stats.unrouted, 0);
+        prop_assert_eq!(stats.completed, fs.len());
+    }
+
+    #[test]
+    fn delaying_a_flow_never_helps_others_complete_later_overall(
+        fs in flows(16, 20),
+        delay in 1u64..1_000_000,
+    ) {
+        // Pushing one flow later cannot make the earliest delivery later
+        // than the previous makespan (weak sanity of the FIFO model).
+        let fabric = FatTreeFabric::new(16, 8);
+        let base = simulate(&fabric, &fs);
+        let mut delayed = fs.clone();
+        delayed[0].start_ns += delay;
+        let after = simulate(&fabric, &delayed);
+        prop_assert_eq!(after.completed, base.completed);
+    }
+
+    #[test]
+    fn paths_stay_within_link_table(fs in flows(30, 30)) {
+        for fabric in [
+            Box::new(FatTreeFabric::new(30, 8)) as Box<dyn Fabric>,
+            Box::new(TorusFabric::new((5, 3, 2))) as Box<dyn Fabric>,
+        ] {
+            for f in &fs {
+                if f.src < fabric.nodes() && f.dst < fabric.nodes() {
+                    if let Some(path) = fabric.path(f.src, f.dst) {
+                        for link in path {
+                            prop_assert!(link < fabric.link_count());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hfast_fabric_paths_agree_with_provisioning_routes(
+        msgs in prop::collection::vec((0usize..14, 0usize..14, 2048u64..(1 << 21)), 1..60),
+    ) {
+        // The fabric's link path and the provisioning's analytic route are
+        // two views of the same wiring: link count must equal
+        // switch_hops + 1 (each switch hop is entered by one link, plus the
+        // final link out to the node).
+        let mut g = CommGraph::new(14);
+        for &(a, b, bytes) in &msgs {
+            if a != b {
+                g.add_message(a, b, bytes);
+            }
+        }
+        let prov = Provisioning::per_node(&g, ProvisionConfig::default());
+        let fabric = HfastFabric::new(prov.clone());
+        for a in 0..14 {
+            for b in 0..14 {
+                if a == b {
+                    continue;
+                }
+                match prov.route(a, b) {
+                    Some(route) => {
+                        let path = fabric.path(a, b).expect("routed pair has a path");
+                        prop_assert_eq!(
+                            path.len(),
+                            route.switch_hops + 1,
+                            "pair ({}, {})",
+                            a,
+                            b
+                        );
+                    }
+                    None => {
+                        // Unrouted pairs fall back to the 2-link tree.
+                        let path = fabric.path(a, b).expect("tree fallback");
+                        prop_assert_eq!(path.len(), 2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_fabric_never_routes_through_failures(
+        fs in flows(27, 30),
+        dead in prop::collection::btree_set(0usize..27, 0..5),
+    ) {
+        let torus = TorusFabric::new((3, 3, 3));
+        let dead: Vec<usize> = dead.into_iter().collect();
+        let degraded = hfast_netsim::DegradedFabric::new(&torus, dead.clone(), []);
+        let stats = simulate(&degraded, &fs);
+        let involving_dead = fs
+            .iter()
+            .filter(|f| dead.contains(&f.src) || dead.contains(&f.dst))
+            .count();
+        prop_assert!(stats.unrouted >= involving_dead.min(fs.len()));
+        prop_assert_eq!(stats.completed + stats.unrouted, fs.len());
+    }
+}

@@ -1,0 +1,207 @@
+//! Compressed sparse row view of a communication graph.
+//!
+//! The dense [`CommGraph`] is convenient to build; the
+//! provisioning and simulation code in downstream crates iterates adjacency
+//! heavily, for which this compact CSR snapshot (optionally thresholded by
+//! message size) is the right shape.
+
+use crate::graph::{CommGraph, EdgeStat};
+
+/// Immutable CSR adjacency snapshot of a [`CommGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    n: usize,
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+    stats: Vec<EdgeStat>,
+}
+
+impl CsrGraph {
+    /// Builds the CSR view keeping only edges with `max_msg >= cutoff`
+    /// (`cutoff == 0` keeps every active edge).
+    pub fn from_graph(graph: &CommGraph, cutoff: u64) -> Self {
+        let n = graph.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        let mut stats = Vec::new();
+        offsets.push(0);
+        for v in 0..n {
+            for (u, e) in graph.neighbors_thresholded(v, cutoff) {
+                targets.push(u);
+                stats.push(*e);
+            }
+            offsets.push(targets.len());
+        }
+        CsrGraph {
+            n,
+            offsets,
+            targets,
+            stats,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Neighbour list of `v` with edge statistics.
+    pub fn neighbors_with_stats(&self, v: usize) -> impl Iterator<Item = (usize, &EdgeStat)> {
+        let range = self.offsets[v]..self.offsets[v + 1];
+        self.targets[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.stats[range].iter())
+    }
+
+    /// Total directed adjacency entries (2× undirected edge count).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True if `a` and `b` are adjacent (linear scan of the shorter list).
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        let (probe, other) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.neighbors(probe).contains(&other)
+    }
+
+    /// Connected components, as a component id per vertex.
+    ///
+    /// Useful for fault analysis: a failed node partitions a mesh but not a
+    /// fully-provisioned HFAST fabric.
+    pub fn components(&self) -> Vec<usize> {
+        let mut comp = vec![usize::MAX; self.n];
+        let mut next = 0;
+        let mut stack = Vec::new();
+        for start in 0..self.n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            stack.push(start);
+            while let Some(v) = stack.pop() {
+                for &u in self.neighbors(v) {
+                    if comp[u] == usize::MAX {
+                        comp[u] = next;
+                        stack.push(u);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// Breadth-first hop distances from `src` (`usize::MAX` if unreachable).
+    pub fn bfs_distances(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            for &u in self.neighbors(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> CommGraph {
+        let mut g = CommGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_message(i, i + 1, 4096);
+        }
+        g
+    }
+
+    #[test]
+    fn csr_matches_dense_adjacency() {
+        let mut g = CommGraph::new(5);
+        g.add_message(0, 1, 100);
+        g.add_message(0, 3, 5000);
+        g.add_message(2, 4, 3000);
+        let csr = CsrGraph::from_graph(&g, 0);
+        assert_eq!(csr.n(), 5);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.neighbors(0), &[1, 3]);
+        assert!(csr.has_edge(0, 3));
+        assert!(csr.has_edge(3, 0));
+        assert!(!csr.has_edge(1, 2));
+        assert_eq!(csr.nnz(), 6);
+    }
+
+    #[test]
+    fn cutoff_filters_edges() {
+        let mut g = CommGraph::new(3);
+        g.add_message(0, 1, 100);
+        g.add_message(1, 2, 5000);
+        let csr = CsrGraph::from_graph(&g, 2048);
+        assert_eq!(csr.degree(0), 0);
+        assert_eq!(csr.degree(1), 1);
+        assert_eq!(csr.neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn components_detects_partitions() {
+        let g = path_graph(6);
+        // Break edge 2-3 by building only parts.
+        let mut broken = CommGraph::new(6);
+        for i in 0..5 {
+            if i == 2 {
+                continue;
+            }
+            broken.add_message(i, i + 1, 4096);
+        }
+        let whole = CsrGraph::from_graph(&g, 0).components();
+        assert!(whole.iter().all(|&c| c == 0));
+        let parts = CsrGraph::from_graph(&broken, 0).components();
+        assert_eq!(parts[0], parts[2]);
+        assert_eq!(parts[3], parts[5]);
+        assert_ne!(parts[0], parts[3]);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        let csr = CsrGraph::from_graph(&g, 0);
+        assert_eq!(csr.bfs_distances(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(csr.bfs_distances(2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn stats_travel_with_edges() {
+        let mut g = CommGraph::new(2);
+        g.add_message(0, 1, 700);
+        let csr = CsrGraph::from_graph(&g, 0);
+        let (u, e) = csr.neighbors_with_stats(0).next().unwrap();
+        assert_eq!(u, 1);
+        assert_eq!(e.bytes, 700);
+        assert_eq!(e.max_msg, 700);
+    }
+}

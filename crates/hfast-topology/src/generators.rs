@@ -1,0 +1,243 @@
+//! Canonical regular-topology graph generators.
+//!
+//! Used by the embedding detectors (as references), the network simulator
+//! (fixed fabrics), and tests. All generators label vertices row-major.
+
+use crate::graph::CommGraph;
+
+/// Splits `n` into up to three factors as close to cubic as possible.
+///
+/// Returns `(x, y, z)` with `x*y*z == n`, preferring balanced shapes —
+/// the "densely packed 3D mesh" default provisioning of paper §2.3.
+pub fn balanced_dims3(n: usize) -> (usize, usize, usize) {
+    assert!(n > 0);
+    let mut best = (n, 1, 1);
+    let mut best_score = usize::MAX;
+    let mut x = 1;
+    while x * x * x <= n {
+        if n.is_multiple_of(x) {
+            let rest = n / x;
+            let mut y = x;
+            while y * y <= rest {
+                if rest.is_multiple_of(y) {
+                    let z = rest / y;
+                    let score = z - x; // spread between extreme dims
+                    if score < best_score {
+                        best_score = score;
+                        best = (x, y, z);
+                    }
+                }
+                y += 1;
+            }
+        }
+        x += 1;
+    }
+    best
+}
+
+/// Row-major linear index in a 3D grid.
+#[inline]
+pub fn grid_index(dims: (usize, usize, usize), x: usize, y: usize, z: usize) -> usize {
+    (z * dims.1 + y) * dims.0 + x
+}
+
+/// Inverse of [`grid_index`].
+#[inline]
+pub fn grid_coords(dims: (usize, usize, usize), v: usize) -> (usize, usize, usize) {
+    let x = v % dims.0;
+    let y = (v / dims.0) % dims.1;
+    let z = v / (dims.0 * dims.1);
+    (x, y, z)
+}
+
+/// Expected neighbour set of vertex `v` in a 3D mesh (non-periodic).
+pub fn mesh3d_neighbors(dims: (usize, usize, usize), v: usize) -> Vec<usize> {
+    let (x, y, z) = grid_coords(dims, v);
+    let mut out = Vec::with_capacity(6);
+    if x > 0 {
+        out.push(grid_index(dims, x - 1, y, z));
+    }
+    if x + 1 < dims.0 {
+        out.push(grid_index(dims, x + 1, y, z));
+    }
+    if y > 0 {
+        out.push(grid_index(dims, x, y - 1, z));
+    }
+    if y + 1 < dims.1 {
+        out.push(grid_index(dims, x, y + 1, z));
+    }
+    if z > 0 {
+        out.push(grid_index(dims, x, y, z - 1));
+    }
+    if z + 1 < dims.2 {
+        out.push(grid_index(dims, x, y, z + 1));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Expected neighbour set of vertex `v` in a 3D torus (periodic).
+pub fn torus3d_neighbors(dims: (usize, usize, usize), v: usize) -> Vec<usize> {
+    let (x, y, z) = grid_coords(dims, v);
+    let mut out = Vec::with_capacity(6);
+    let (dx, dy, dz) = dims;
+    if dx > 1 {
+        out.push(grid_index(dims, (x + dx - 1) % dx, y, z));
+        out.push(grid_index(dims, (x + 1) % dx, y, z));
+    }
+    if dy > 1 {
+        out.push(grid_index(dims, x, (y + dy - 1) % dy, z));
+        out.push(grid_index(dims, x, (y + 1) % dy, z));
+    }
+    if dz > 1 {
+        out.push(grid_index(dims, x, y, (z + dz - 1) % dz));
+        out.push(grid_index(dims, x, y, (z + 1) % dz));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// 3D mesh communication graph with uniform message size.
+pub fn mesh3d_graph(dims: (usize, usize, usize), msg_bytes: u64) -> CommGraph {
+    let n = dims.0 * dims.1 * dims.2;
+    let mut g = CommGraph::new(n);
+    for v in 0..n {
+        for u in mesh3d_neighbors(dims, v) {
+            if u > v {
+                g.add_message(v, u, msg_bytes);
+            }
+        }
+    }
+    g
+}
+
+/// 3D torus communication graph with uniform message size.
+pub fn torus3d_graph(dims: (usize, usize, usize), msg_bytes: u64) -> CommGraph {
+    let n = dims.0 * dims.1 * dims.2;
+    let mut g = CommGraph::new(n);
+    for v in 0..n {
+        for u in torus3d_neighbors(dims, v) {
+            if u > v {
+                g.add_message(v, u, msg_bytes);
+            }
+        }
+    }
+    g
+}
+
+/// Ring (1D torus) communication graph.
+pub fn ring_graph(n: usize, msg_bytes: u64) -> CommGraph {
+    let mut g = CommGraph::new(n);
+    if n > 1 {
+        for v in 0..n {
+            g.add_message(v, (v + 1) % n, msg_bytes);
+        }
+    }
+    g
+}
+
+/// Hypercube communication graph (`n` must be a power of two).
+pub fn hypercube_graph(n: usize, msg_bytes: u64) -> CommGraph {
+    assert!(n.is_power_of_two(), "hypercube needs a power-of-two size");
+    let mut g = CommGraph::new(n);
+    let dims = n.trailing_zeros() as usize;
+    for v in 0..n {
+        for d in 0..dims {
+            let u = v ^ (1 << d);
+            if u > v {
+                g.add_message(v, u, msg_bytes);
+            }
+        }
+    }
+    g
+}
+
+/// Fully connected communication graph.
+pub fn complete_graph(n: usize, msg_bytes: u64) -> CommGraph {
+    let mut g = CommGraph::new(n);
+    for v in 0..n {
+        for u in (v + 1)..n {
+            g.add_message(v, u, msg_bytes);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tdc::tdc;
+
+    #[test]
+    fn balanced_dims_cover_study_sizes() {
+        assert_eq!(balanced_dims3(64), (4, 4, 4));
+        assert_eq!(balanced_dims3(8), (2, 2, 2));
+        let (x, y, z) = balanced_dims3(256);
+        assert_eq!(x * y * z, 256);
+        assert!(z - x <= 4, "256 should factor near-cubically: {x}x{y}x{z}");
+        assert_eq!(balanced_dims3(7), (1, 1, 7), "primes degrade to a line");
+    }
+
+    #[test]
+    fn grid_index_roundtrip() {
+        let dims = (3, 4, 5);
+        for v in 0..60 {
+            let (x, y, z) = grid_coords(dims, v);
+            assert_eq!(grid_index(dims, x, y, z), v);
+        }
+    }
+
+    #[test]
+    fn mesh_degrees() {
+        let g = mesh3d_graph((4, 4, 4), 1000);
+        let s = tdc(&g, 0);
+        assert_eq!(s.max, 6, "interior nodes have 6 neighbours");
+        assert_eq!(s.min, 3, "corners have 3");
+        // Average degree of a 4x4x4 mesh: 2*edges/n = 2*144/64 = 4.5.
+        assert!((s.avg - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = torus3d_graph((4, 4, 4), 1000);
+        let s = tdc(&g, 0);
+        assert_eq!(s.max, 6);
+        assert_eq!(s.min, 6);
+    }
+
+    #[test]
+    fn small_torus_dims_dedup() {
+        // A 2-long dimension has coincident +1/-1 neighbours.
+        let g = torus3d_graph((2, 2, 2), 100);
+        let s = tdc(&g, 0);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.min, 3);
+    }
+
+    #[test]
+    fn ring_and_hypercube() {
+        let r = ring_graph(6, 10);
+        assert_eq!(tdc(&r, 0).max, 2);
+        assert_eq!(tdc(&r, 0).min, 2);
+        let h = hypercube_graph(16, 10);
+        let s = tdc(&h, 0);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.min, 4);
+    }
+
+    #[test]
+    fn tiny_ring_has_single_edge() {
+        let r = ring_graph(2, 10);
+        assert_eq!(tdc(&r, 0).max, 1);
+        assert_eq!(r.edge(0, 1).count, 2, "both directions recorded");
+    }
+
+    #[test]
+    fn complete_graph_degree() {
+        let g = complete_graph(10, 10);
+        let s = tdc(&g, 0);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.min, 9);
+    }
+}

@@ -1,0 +1,282 @@
+//! Undirected weighted communication graphs.
+
+/// Per-edge traffic statistics between two tasks (both directions summed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EdgeStat {
+    /// Total bytes exchanged over the edge.
+    pub bytes: u64,
+    /// Number of messages exchanged.
+    pub count: u64,
+    /// Largest single message observed on the edge.
+    pub max_msg: u64,
+}
+
+impl EdgeStat {
+    /// True if any traffic was observed.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.count > 0
+    }
+
+    /// Folds one message into the edge statistics.
+    #[inline]
+    pub fn add_message(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.count += 1;
+        self.max_msg = self.max_msg.max(bytes);
+    }
+
+    /// Merges another accumulator into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &EdgeStat) {
+        self.bytes += other.bytes;
+        self.count += other.count;
+        self.max_msg = self.max_msg.max(other.max_msg);
+    }
+}
+
+/// Undirected communication graph over `n` tasks with per-edge traffic
+/// statistics (the paper §4.4: "we can form an undirected graph which
+/// describes the topological connectivity required by the application …
+/// we assume that switch links are bi-directional").
+///
+/// Storage is a dense symmetric matrix — the study sizes (P = 64, 256, up to
+/// a few thousand) make density cheap, and it keeps edge updates O(1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommGraph {
+    n: usize,
+    /// Row-major `n×n`, kept symmetric; the diagonal (self-traffic) is
+    /// tracked but excluded from degree computations.
+    edges: Vec<EdgeStat>,
+}
+
+impl CommGraph {
+    /// An empty graph over `n` tasks.
+    pub fn new(n: usize) -> Self {
+        CommGraph {
+            n,
+            edges: vec![EdgeStat::default(); n * n],
+        }
+    }
+
+    /// Builds a graph from *directed* per-pair volumes (e.g. send-side
+    /// profiling records), symmetrizing as the paper does: traffic in either
+    /// direction contributes to the same undirected edge.
+    pub fn from_directed<I>(n: usize, directed: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize, EdgeStat)>,
+    {
+        let mut g = CommGraph::new(n);
+        for (src, dst, stat) in directed {
+            assert!(src < n && dst < n, "rank out of range");
+            g.edges[src * n + dst].merge(&stat);
+            if src != dst {
+                g.edges[dst * n + src].merge(&stat);
+            }
+        }
+        g
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Records one message between `a` and `b` (undirected).
+    pub fn add_message(&mut self, a: usize, b: usize, bytes: u64) {
+        assert!(a < self.n && b < self.n, "rank out of range");
+        self.edges[a * self.n + b].add_message(bytes);
+        if a != b {
+            self.edges[b * self.n + a].add_message(bytes);
+        }
+    }
+
+    /// Edge statistics between `a` and `b`.
+    #[inline]
+    pub fn edge(&self, a: usize, b: usize) -> &EdgeStat {
+        &self.edges[a * self.n + b]
+    }
+
+    /// Iterates over the active neighbours of `v` (self-edges excluded).
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, &EdgeStat)> {
+        let row = &self.edges[v * self.n..(v + 1) * self.n];
+        row.iter()
+            .enumerate()
+            .filter(move |(u, e)| *u != v && e.is_active())
+    }
+
+    /// Neighbours of `v` whose edge carries at least one message of
+    /// `cutoff` bytes or more.
+    ///
+    /// This is the paper's thresholding heuristic (§4.4): partners reached
+    /// only by latency-bound messages smaller than the bandwidth-delay
+    /// product are disregarded, since such messages gain nothing from a
+    /// dedicated circuit. `cutoff == 0` keeps every active partner.
+    pub fn neighbors_thresholded(
+        &self,
+        v: usize,
+        cutoff: u64,
+    ) -> impl Iterator<Item = (usize, &EdgeStat)> {
+        self.neighbors(v)
+            .filter(move |(_, e)| e.max_msg >= cutoff)
+    }
+
+    /// Unthresholded topological degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.neighbors(v).count()
+    }
+
+    /// Thresholded topological degree of `v` (see
+    /// [`neighbors_thresholded`](Self::neighbors_thresholded)).
+    pub fn degree_thresholded(&self, v: usize, cutoff: u64) -> usize {
+        self.neighbors_thresholded(v, cutoff).count()
+    }
+
+    /// Total bytes over all undirected edges (each edge counted once).
+    pub fn total_bytes(&self) -> u64 {
+        let mut sum = 0;
+        for a in 0..self.n {
+            for b in a..self.n {
+                sum += self.edge(a, b).bytes;
+            }
+        }
+        sum
+    }
+
+    /// Number of active undirected edges (self-edges excluded).
+    pub fn edge_count(&self) -> usize {
+        let mut c = 0;
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if self.edge(a, b).is_active() {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Number of active undirected edges at a message-size cutoff.
+    pub fn edge_count_thresholded(&self, cutoff: u64) -> usize {
+        let mut c = 0;
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                let e = self.edge(a, b);
+                if e.is_active() && e.max_msg >= cutoff {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Verifies the symmetry invariant (diagnostic; cheap for test sizes).
+    pub fn is_symmetric(&self) -> bool {
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if self.edges[a * self.n + b] != self.edges[b * self.n + a] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_message_is_symmetric() {
+        let mut g = CommGraph::new(4);
+        g.add_message(0, 2, 1000);
+        g.add_message(2, 0, 500);
+        assert_eq!(g.edge(0, 2).bytes, 1500);
+        assert_eq!(g.edge(2, 0).bytes, 1500);
+        assert_eq!(g.edge(0, 2).count, 2);
+        assert_eq!(g.edge(0, 2).max_msg, 1000);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn self_edges_excluded_from_degree() {
+        let mut g = CommGraph::new(3);
+        g.add_message(1, 1, 64);
+        g.add_message(1, 2, 64);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.edge(1, 1).count, 1, "self-traffic is still tracked");
+    }
+
+    #[test]
+    fn thresholded_degree_drops_small_edges() {
+        let mut g = CommGraph::new(4);
+        g.add_message(0, 1, 100); // small only
+        g.add_message(0, 2, 100);
+        g.add_message(0, 2, 4096); // also one big message
+        g.add_message(0, 3, 2048); // exactly at cutoff
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree_thresholded(0, 2048), 2);
+        assert_eq!(g.degree_thresholded(0, 0), 3, "cutoff 0 keeps everything");
+        assert_eq!(g.degree_thresholded(0, 1 << 20), 0);
+    }
+
+    #[test]
+    fn from_directed_symmetrizes() {
+        let directed = vec![
+            (
+                0usize,
+                1usize,
+                EdgeStat {
+                    bytes: 10,
+                    count: 1,
+                    max_msg: 10,
+                },
+            ),
+            (
+                1,
+                0,
+                EdgeStat {
+                    bytes: 30,
+                    count: 2,
+                    max_msg: 20,
+                },
+            ),
+        ];
+        let g = CommGraph::from_directed(3, directed);
+        assert_eq!(g.edge(0, 1).bytes, 40);
+        assert_eq!(g.edge(1, 0).bytes, 40);
+        assert_eq!(g.edge(0, 1).count, 3);
+        assert_eq!(g.edge(0, 1).max_msg, 20);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn totals_count_each_edge_once() {
+        let mut g = CommGraph::new(3);
+        g.add_message(0, 1, 100);
+        g.add_message(1, 2, 50);
+        assert_eq!(g.total_bytes(), 150);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn edge_count_thresholded_filters() {
+        let mut g = CommGraph::new(3);
+        g.add_message(0, 1, 100);
+        g.add_message(1, 2, 5000);
+        assert_eq!(g.edge_count_thresholded(2048), 1);
+        assert_eq!(g.edge_count_thresholded(0), 2);
+    }
+
+    #[test]
+    fn neighbors_enumerates_active_only() {
+        let mut g = CommGraph::new(5);
+        g.add_message(2, 0, 8);
+        g.add_message(2, 4, 8);
+        let mut ns: Vec<usize> = g.neighbors(2).map(|(u, _)| u).collect();
+        ns.sort_unstable();
+        assert_eq!(ns, vec![0, 4]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # hfast-topology — communication-topology analysis
+//!
+//! Data structures and algorithms for the paper's §4 analysis: undirected
+//! weighted communication graphs built from profiled message exchanges, the
+//! topological degree of communication (TDC) with and without the
+//! bandwidth-delay-product message-size cutoff, cumulative buffer-size
+//! distributions, volume-matrix rendering, and detectors for regular
+//! topologies (the paper's case-i test: "is the communication graph
+//! isomorphic to a mesh?").
+//!
+//! Everything here is self-contained — the graph structures are implemented
+//! from scratch (dense symmetric storage plus a CSR view for traversal).
+
+#![warn(missing_docs)]
+
+pub mod bisection;
+pub mod csr;
+pub mod embedding;
+pub mod generators;
+pub mod graph;
+pub mod histogram;
+pub mod matrix;
+pub mod tdc;
+
+pub use bisection::{bisection_bytes, fcn_utilization};
+pub use csr::CsrGraph;
+pub use embedding::{degree_histogram, detect_structure, isotropy, traffic_isotropy, StructureClass};
+pub use graph::{CommGraph, EdgeStat};
+pub use histogram::BufferHistogram;
+pub use matrix::{render_ascii, to_csv, to_dot};
+pub use tdc::{tdc, tdc_sweep, TdcSummary, BDP_CUTOFF, PAPER_CUTOFFS};

@@ -1,0 +1,127 @@
+//! Property-based tests for the topology layer.
+
+use proptest::prelude::*;
+
+use hfast_topology::{
+    bisection_bytes, tdc, tdc_sweep, BufferHistogram, CommGraph, CsrGraph, PAPER_CUTOFFS,
+};
+
+/// Strategy: a random message list over `n` ranks.
+fn messages(n: usize, max_msgs: usize) -> impl Strategy<Value = Vec<(usize, usize, u64)>> {
+    prop::collection::vec(
+        (0..n, 0..n, 1u64..(2 << 20)),
+        0..max_msgs,
+    )
+}
+
+fn build(n: usize, msgs: &[(usize, usize, u64)]) -> CommGraph {
+    let mut g = CommGraph::new(n);
+    for &(a, b, bytes) in msgs {
+        g.add_message(a, b, bytes);
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn graph_stays_symmetric(msgs in messages(12, 200)) {
+        let g = build(12, &msgs);
+        prop_assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn tdc_monotone_in_cutoff(msgs in messages(10, 150)) {
+        let g = build(10, &msgs);
+        let sweep = tdc_sweep(&g, &PAPER_CUTOFFS);
+        for w in sweep.windows(2) {
+            prop_assert!(w[1].1.max <= w[0].1.max);
+            prop_assert!(w[1].1.avg <= w[0].1.avg + 1e-12);
+            prop_assert!(w[1].1.min <= w[0].1.min);
+        }
+    }
+
+    #[test]
+    fn degree_bounds(msgs in messages(9, 100)) {
+        let g = build(9, &msgs);
+        let s = tdc(&g, 0);
+        prop_assert!(s.max <= 8, "degree cannot exceed n-1");
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min as f64 <= s.avg && s.avg <= s.max as f64);
+    }
+
+    #[test]
+    fn csr_matches_dense(msgs in messages(10, 120), cutoff in 0u64..(1 << 21)) {
+        let g = build(10, &msgs);
+        let csr = CsrGraph::from_graph(&g, cutoff);
+        for v in 0..10 {
+            prop_assert_eq!(csr.degree(v), g.degree_thresholded(v, cutoff));
+            for &u in csr.neighbors(v) {
+                prop_assert!(csr.has_edge(v, u));
+                prop_assert!(csr.has_edge(u, v), "CSR adjacency is symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_bounded_by_total(msgs in messages(8, 100)) {
+        let g = build(8, &msgs);
+        prop_assert!(bisection_bytes(&g) <= g.total_bytes());
+    }
+
+    #[test]
+    fn histogram_cdf_properties(entries in prop::collection::vec((1u64..(1<<22), 1u64..1000), 1..50)) {
+        let hist: BufferHistogram = entries.iter().copied().collect();
+        let cdf = hist.cdf();
+        // Monotone, ends at exactly 1.
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-12);
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        // Median is consistent with the CDF.
+        let median = hist.median().unwrap();
+        prop_assert!(hist.fraction_at_or_below(median) >= 0.5);
+        if median > 0 {
+            prop_assert!(hist.fraction_at_or_below(median - 1) < 0.5 + 1e-12);
+        }
+        // Percentiles are monotone.
+        let p25 = hist.percentile(25.0).unwrap();
+        let p75 = hist.percentile(75.0).unwrap();
+        prop_assert!(p25 <= median && median <= p75);
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_on_edges(msgs in messages(10, 80)) {
+        let g = build(10, &msgs);
+        let csr = CsrGraph::from_graph(&g, 0);
+        let dist = csr.bfs_distances(0);
+        for v in 0..10 {
+            if dist[v] == usize::MAX {
+                continue;
+            }
+            for &u in csr.neighbors(v) {
+                prop_assert!(
+                    dist[u] != usize::MAX && dist[u] + 1 >= dist[v] && dist[v] + 1 >= dist[u],
+                    "adjacent distances differ by at most 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn components_consistent_with_reachability(msgs in messages(10, 60)) {
+        let g = build(10, &msgs);
+        let csr = CsrGraph::from_graph(&g, 0);
+        let comp = csr.components();
+        for src in 0..10 {
+            let dist = csr.bfs_distances(src);
+            for v in 0..10 {
+                prop_assert_eq!(
+                    dist[v] != usize::MAX,
+                    comp[v] == comp[src],
+                    "reachable iff same component"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Profile all six study applications and classify each into the paper's
+//! case i-iv taxonomy, printing an IPM-style report per code.
+//!
+//! ```text
+//! cargo run --release --example profile_and_classify
+//! ```
+
+use hfast::apps::all_apps;
+use hfast::core::{classify, ClassifyConfig};
+use hfast::ipm::render;
+
+fn main() {
+    let procs = 64;
+    for app in all_apps() {
+        let outcome = hfast::apps::profile_app(app.as_ref(), procs).expect("profiled run");
+        print!("{}", render(outcome.name, &outcome.steady));
+
+        let graph = outcome.steady.comm_graph();
+        let verdict = classify(&graph, &ClassifyConfig::default());
+        println!("\nclassification: {} — {}", verdict.case, verdict.rationale);
+        println!("prescription:   {}\n", verdict.case.prescription());
+        println!("{}\n", "=".repeat(72));
+    }
+}

@@ -1,0 +1,47 @@
+//! Workload-level characterization (§6's "large and diverse application
+//! workloads"): aggregate all six codes into one study and ask the
+//! machine-design questions the paper poses.
+//!
+//! ```text
+//! cargo run --release --example workload_study
+//! ```
+
+use hfast::apps::{all_apps, profile_app};
+use hfast::ipm::WorkloadStudy;
+use hfast::topology::BDP_CUTOFF;
+
+fn main() {
+    let procs = 64;
+    let mut study = WorkloadStudy::new();
+    for app in all_apps() {
+        let outcome = profile_app(app.as_ref(), procs).expect("profiled run");
+        study.add(outcome.name, outcome.steady);
+    }
+
+    println!("workload of {} codes at P = {procs}:\n", study.len());
+
+    let col = study.collective_histogram();
+    println!(
+        "collectives: {:.0}% ≤ 2 KB ({} calls) → a cheap tree network serves them",
+        100.0 * col.fraction_at_or_below(2048),
+        col.total()
+    );
+    let ptp = study.ptp_histogram();
+    println!(
+        "point-to-point: median {} B, max {} KB across the workload",
+        ptp.median().unwrap_or(0),
+        ptp.max().unwrap_or(0) / 1024
+    );
+
+    println!("\nfraction of codes a degree-bounded interconnect serves (at 2 KB cutoff):");
+    for bound in [2usize, 6, 12, 15, 30, 63] {
+        println!(
+            "  degree ≤ {bound:>2}: {:>3.0}% of codes",
+            100.0 * study.fraction_bounded_by(bound, BDP_CUTOFF)
+        );
+    }
+    println!(
+        "\nshape (paper §5.2): most of the workload fits a low-degree \
+         adaptive fabric; only the case-iv tail needs full bisection."
+    );
+}

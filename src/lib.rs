@@ -1,0 +1,21 @@
+//! # hfast — Hybrid Flexibly Assignable Switch Topology
+//!
+//! Facade crate for the HFAST reproduction (Shalf, Kamil, Oliker, Skinner,
+//! SC|05): re-exports the whole workspace under one roof so the examples and
+//! downstream users can depend on a single crate.
+//!
+//! * [`mpi`] — threaded message-passing runtime with an MPI-like API.
+//! * [`ipm`] — IPM-style low-overhead communication profiling layer.
+//! * [`apps`] — communication kernels of the six studied applications.
+//! * [`topology`] — communication graphs, TDC analysis, thresholding.
+//! * [`core`] — the HFAST architecture: switches, provisioning, cost models.
+//! * [`netsim`] — discrete-event simulator for fat-tree/torus/HFAST fabrics.
+
+#![warn(missing_docs)]
+
+pub use hfast_apps as apps;
+pub use hfast_core as core;
+pub use hfast_ipm as ipm;
+pub use hfast_mpi as mpi;
+pub use hfast_netsim as netsim;
+pub use hfast_topology as topology;

@@ -1,0 +1,105 @@
+//! Integration: the §5.2 per-application analysis — each code lands in the
+//! case the paper assigns it, and the §2.5 hypothesis checks out.
+
+use hfast::apps::{profile_app, Cactus, CommKernel, Gtc, Lbmhd, Paratec, Pmemd, SuperLu};
+use hfast::core::{classify, CaseClass, ClassifyConfig, ProvisionConfig, Provisioning};
+use hfast::topology::{detect_structure, StructureClass, BDP_CUTOFF};
+
+fn class_of(app: &dyn CommKernel, procs: usize) -> CaseClass {
+    let out = profile_app(app, procs).expect("profiled run");
+    classify(&out.steady.comm_graph(), &ClassifyConfig::default()).case
+}
+
+#[test]
+fn cactus_is_case_i() {
+    // "Cactus displays a bounded TDC independent of run size, with a
+    // communication topology that isomorphically maps to a regular mesh."
+    assert_eq!(class_of(&Cactus::new(2), 64), CaseClass::CaseI);
+    let out = profile_app(&Cactus::new(2), 64).unwrap();
+    assert_eq!(
+        detect_structure(&out.steady.comm_graph(), BDP_CUTOFF),
+        StructureClass::Mesh3D(4, 4, 4)
+    );
+}
+
+#[test]
+fn lbmhd_is_case_ii() {
+    // "LBMHD also displays a low degree of connectivity, but … the
+    // structure is not isomorphic to a regular mesh."
+    assert_eq!(class_of(&Lbmhd::new(2), 64), CaseClass::CaseII);
+    let out = profile_app(&Lbmhd::new(2), 64).unwrap();
+    assert_eq!(
+        detect_structure(&out.steady.comm_graph(), BDP_CUTOFF),
+        StructureClass::Irregular
+    );
+}
+
+#[test]
+fn gtc_is_case_iii_at_scale() {
+    // "GTC … has a maximum TDC that is quite higher than the average due to
+    // important connections that are not isomorphic to a mesh."
+    assert_eq!(class_of(&Gtc::default(), 256), CaseClass::CaseIII);
+}
+
+#[test]
+fn superlu_is_case_iii() {
+    // TDC scales with √P: bounded well below P but above one switch block.
+    assert_eq!(class_of(&SuperLu::default(), 256), CaseClass::CaseIII);
+}
+
+#[test]
+fn pmemd_is_case_iii_at_scale() {
+    // Max TDC stays at P while the average is bounded — the flagship case
+    // for flexibly assignable switch blocks.
+    assert_eq!(class_of(&Pmemd::new(1), 256), CaseClass::CaseIII);
+}
+
+#[test]
+fn paratec_is_case_iv() {
+    // "PARATEC is an example where the HFAST solution is inappropriate."
+    assert_eq!(class_of(&Paratec::new(1), 64), CaseClass::CaseIV);
+}
+
+#[test]
+fn hypothesis_summary_holds() {
+    // §5.2's conclusion: "only one of the six codes … maps isomorphically
+    // to a 3D mesh (case i). Only one … fully utilizes the FCN (case iv).
+    // The preponderance of codes can benefit from an adaptive network."
+    let verdicts = [
+        class_of(&Cactus::new(2), 64),
+        class_of(&Lbmhd::new(2), 64),
+        class_of(&Gtc::default(), 256),
+        class_of(&SuperLu::default(), 256),
+        class_of(&Pmemd::new(1), 256),
+        class_of(&Paratec::new(1), 64),
+    ];
+    let count = |c: CaseClass| verdicts.iter().filter(|&&v| v == c).count();
+    assert_eq!(count(CaseClass::CaseI), 1);
+    assert_eq!(count(CaseClass::CaseIV), 1);
+    assert_eq!(
+        count(CaseClass::CaseII) + count(CaseClass::CaseIII),
+        4,
+        "four of six codes want an adaptive interconnect"
+    );
+}
+
+#[test]
+fn provisioning_handles_every_study_app() {
+    // §5's bottom line: HFAST can be provisioned for every code (even
+    // case iv, albeit uneconomically).
+    let apps: Vec<Box<dyn CommKernel>> = vec![
+        Box::new(Cactus::new(2)),
+        Box::new(Lbmhd::new(2)),
+        Box::new(Gtc::default()),
+        Box::new(SuperLu::default()),
+        Box::new(Pmemd::new(1)),
+        Box::new(Paratec::new(1)),
+    ];
+    for app in apps {
+        let out = profile_app(app.as_ref(), 64).expect("profiled run");
+        let g = out.steady.comm_graph();
+        let prov = Provisioning::per_node(&g, ProvisionConfig::default());
+        prov.validate(&g)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+    }
+}

@@ -1,0 +1,89 @@
+//! End-to-end tests of the `hfast-analyze` CLI through a real process
+//! boundary (the surface a user scripts against).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // Cargo builds test binaries into target/<profile>/deps; the CLI binary
+    // lives one level up.
+    let mut path = std::env::current_exe().expect("test executable path");
+    path.pop();
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.join("hfast-analyze")
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn hfast-analyze");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (code, _out, err) = run(&[]);
+    assert_eq!(code, 2);
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn apps_lists_all_six() {
+    let (code, out, _) = run(&["apps"]);
+    assert_eq!(code, 0);
+    for app in ["Cactus", "LBMHD", "GTC", "SuperLU", "PMEMD", "PARATEC"] {
+        assert!(out.contains(app), "missing {app} in:\n{out}");
+    }
+}
+
+#[test]
+fn capture_and_report_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("hfast-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("cactus.trace");
+    let trace_str = trace.to_str().unwrap();
+
+    let (code, out, err) = run(&["capture", "cactus", "27", trace_str]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(out.contains("captured Cactus at P=27"));
+    assert!(trace.exists());
+
+    let (code, out, _) = run(&["report", trace_str]);
+    assert_eq!(code, 0);
+    assert!(out.contains("IPM profile"));
+    assert!(out.contains("TDC @ 2k cutoff: max 6"), "{out}");
+    assert!(out.contains("classification: case i"));
+    assert!(out.contains("HFAST provisioning: 27 blocks"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (code, _, err) = run(&["capture", "nosuchapp", "8", "/tmp/x"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown app"));
+
+    let (code, _, err) = run(&["capture", "cactus", "0", "/tmp/x"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("between 1 and 4096"));
+
+    let (code, _, err) = run(&["report", "/definitely/not/a/file"]);
+    assert_eq!(code, 1);
+    assert!(err.contains("cannot read"));
+
+    let dir = std::env::temp_dir();
+    let garbage = dir.join(format!("hfast-garbage-{}.trace", std::process::id()));
+    std::fs::write(&garbage, "not a trace\n").unwrap();
+    let (code, _, err) = run(&["report", garbage.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    assert!(err.contains("cannot parse"));
+    std::fs::remove_file(&garbage).ok();
+}

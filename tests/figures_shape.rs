@@ -1,0 +1,113 @@
+//! Integration: shape assertions for the paper's figures that are not
+//! single-number tables — buffer-size CDFs (Figures 3-4) and the
+//! thresholding curves (Figures 5-10).
+
+use hfast::apps::{all_apps, profile_app, Gtc, Paratec, SuperLu};
+use hfast::topology::{tdc_sweep, BufferHistogram, BDP_CUTOFF, PAPER_CUTOFFS};
+
+#[test]
+fn figure3_collective_buffers_are_small() {
+    // "about 90% of the collective messages are 2 KB or less … almost half
+    // of all collective calls use buffers less than 100 bytes."
+    let mut combined = BufferHistogram::new();
+    for app in all_apps() {
+        let out = profile_app(app.as_ref(), 64).expect("profiled run");
+        combined.merge(&out.steady.collective_buffer_histogram());
+    }
+    let at_2k = combined.fraction_at_or_below(2048);
+    assert!(at_2k >= 0.9, "Figure 3: ≥90% ≤ 2KB, got {:.1}%", 100.0 * at_2k);
+    let at_100 = combined.fraction_at_or_below(100);
+    assert!(
+        at_100 >= 0.4,
+        "Figure 3: roughly half < 100 B, got {:.1}%",
+        100.0 * at_100
+    );
+}
+
+#[test]
+fn figure4_ptp_buffers_span_wide_range() {
+    // "unlike collectives, point-to-point messaging uses a wide range of
+    // buffers, as well as large message sizes."
+    let mut large_seen = false;
+    for app in all_apps() {
+        let out = profile_app(app.as_ref(), 64).expect("profiled run");
+        let hist = out.steady.ptp_buffer_histogram();
+        if hist.max().unwrap_or(0) >= (100 << 10) {
+            large_seen = true;
+        }
+    }
+    assert!(large_seen, "some codes move ≥100 KB point-to-point buffers");
+}
+
+#[test]
+fn figure5_gtc_curves() {
+    // GTC P=256: max drops 17 → 10 across the 2 KB cutoff; the curves are
+    // non-increasing in the cutoff.
+    let out = profile_app(&Gtc::default(), 256).expect("profiled run");
+    let g = out.steady.comm_graph();
+    let sweep = tdc_sweep(&g, &PAPER_CUTOFFS);
+    assert!(sweep.windows(2).all(|w| w[1].1.max <= w[0].1.max));
+    let at = |cutoff: u64| {
+        sweep
+            .iter()
+            .find(|(c, _)| *c == cutoff)
+            .expect("cutoff in sweep")
+            .1
+    };
+    assert_eq!(at(0).max, 17);
+    assert_eq!(at(512).max, 17, "512 B bookkeeping still counted at 512");
+    assert_eq!(at(BDP_CUTOFF).max, 10);
+    assert_eq!(at(8 << 10).max, 2, "only the 128 KB ring above 4 KB");
+}
+
+#[test]
+fn figure8_superlu_sqrt_p_scaling() {
+    // Thresholded TDC ∝ √P: 6 at 16, 14 at 64, 30 at 256.
+    let mut measured = vec![];
+    for procs in [16usize, 64, 256] {
+        let out = profile_app(&SuperLu::default(), procs).expect("profiled run");
+        let g = out.steady.comm_graph();
+        measured.push(hfast::topology::tdc(&g, BDP_CUTOFF).max);
+    }
+    assert_eq!(measured, vec![6, 14, 30]);
+    for (i, procs) in [16usize, 64, 256].iter().enumerate() {
+        let sqrt_p = (*procs as f64).sqrt() as usize;
+        assert_eq!(measured[i], 2 * (sqrt_p - 1));
+    }
+}
+
+#[test]
+fn figure10_paratec_insensitive_below_32k() {
+    // "Only with a relatively large message size cutoff of 32 KB do we see
+    // any reduction in the number of communicating partners."
+    let out = profile_app(&Paratec::new(1), 64).expect("profiled run");
+    let g = out.steady.comm_graph();
+    let sweep = tdc_sweep(&g, &PAPER_CUTOFFS);
+    for (cutoff, s) in &sweep {
+        if *cutoff <= 32 << 10 {
+            assert_eq!(s.max, 63, "no reduction at cutoff {cutoff}");
+        }
+    }
+    let above = sweep
+        .iter()
+        .find(|(c, _)| *c == 64 << 10)
+        .expect("64k in sweep")
+        .1;
+    assert!(above.max < 63, "reduction appears above 32 KB");
+}
+
+#[test]
+fn thresholding_never_increases_tdc_for_any_app() {
+    for app in all_apps() {
+        let out = profile_app(app.as_ref(), 64).expect("profiled run");
+        let g = out.steady.comm_graph();
+        let sweep = tdc_sweep(&g, &PAPER_CUTOFFS);
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].1.max <= w[0].1.max && w[1].1.avg <= w[0].1.avg + 1e-12,
+                "{}: TDC must be monotone in the cutoff",
+                app.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Integration: the full cross-crate pipeline — profile an application,
+//! persist and reload the trace, build the topology, provision HFAST, and
+//! replay the traffic in the network simulator.
+
+use hfast::apps::{profile_app, Lbmhd};
+use hfast::core::{ProvisionConfig, Provisioning};
+use hfast::ipm::{from_text, to_text};
+use hfast::netsim::{simulate, traffic, Fabric, FatTreeFabric, HfastFabric};
+use hfast::topology::{tdc, BDP_CUTOFF};
+
+#[test]
+fn profile_to_simulation_pipeline() {
+    // 1. Profile.
+    let outcome = profile_app(&Lbmhd::new(4), 64).expect("profiled run");
+
+    // 2. Persist and reload the profile (the offline-analysis workflow).
+    let text = to_text(&outcome.steady);
+    let reloaded = from_text(&text).expect("roundtrip");
+    assert_eq!(reloaded, outcome.steady);
+
+    // 3. Topology analysis on the reloaded profile.
+    let graph = reloaded.comm_graph();
+    let summary = tdc(&graph, BDP_CUTOFF);
+    assert_eq!(summary.max, 12);
+
+    // 4. Provision and validate.
+    let prov = Provisioning::per_node(&graph, ProvisionConfig::default());
+    prov.validate(&graph).expect("all hot edges provisioned");
+    assert_eq!(prov.total_blocks(), 64, "TDC 12 < 15: one block per node");
+
+    // 5. Replay on the provisioned fabric and on a fat tree.
+    let flows = traffic::flows_from_graph(&graph, BDP_CUTOFF);
+    assert_eq!(flows.len(), 64 * 12, "12 partners each, both directions");
+    let hfast = HfastFabric::new(prov);
+    let stats = simulate(&hfast, &flows);
+    assert_eq!(stats.unrouted, 0, "every hot flow has a dedicated circuit");
+    assert_eq!(stats.completed, flows.len());
+    assert_eq!(stats.avg_hops, 3.0, "constant-depth paths");
+
+    let ft = FatTreeFabric::new(64, 8);
+    let ft_stats = simulate(&ft, &flows);
+    assert_eq!(ft_stats.completed, flows.len());
+    assert!(
+        ft_stats.avg_hops > stats.avg_hops,
+        "the scattered pattern forces the fat tree through multiple layers"
+    );
+}
+
+#[test]
+fn wire_graph_replay_includes_collective_transport() {
+    // The wire graph carries collective-internal flows; the PTP graph does
+    // not. Replaying the wire graph must produce at least as much traffic.
+    let outcome = profile_app(&Lbmhd::new(16), 16).expect("profiled run");
+    let ptp_flows = traffic::flows_from_graph(&outcome.steady.comm_graph(), 0);
+    let wire_flows = traffic::flows_from_graph(&outcome.steady.wire_graph(), 0);
+    assert!(wire_flows.len() >= ptp_flows.len());
+}
+
+#[test]
+fn fabric_trait_objects_interoperate() {
+    let outcome = profile_app(&Lbmhd::new(2), 16).expect("profiled run");
+    let graph = outcome.steady.comm_graph();
+    let flows = traffic::flows_from_graph(&graph, BDP_CUTOFF);
+    let fabrics: Vec<Box<dyn Fabric>> = vec![
+        Box::new(FatTreeFabric::new(16, 8)),
+        Box::new(HfastFabric::new(Provisioning::per_node(
+            &graph,
+            ProvisionConfig::default(),
+        ))),
+    ];
+    for fabric in fabrics {
+        let stats = simulate(fabric.as_ref(), &flows);
+        assert_eq!(stats.completed, flows.len(), "{}", fabric.name());
+    }
+}
