@@ -8,8 +8,7 @@
 
 use hfast_ipm::IpmProfiler;
 use hfast_mpi::{Comm, Payload, ReduceOp, Result, SrcSel, TagSel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hfast_par::Rng64;
 
 use crate::common::tags;
 use crate::meta::AppMeta;
@@ -45,7 +44,7 @@ impl Synthetic {
     /// The global symmetric partner lists, derived identically on every
     /// rank from the seed.
     pub fn partner_lists(&self, procs: usize) -> Vec<Vec<usize>> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::new(self.seed);
         let mut partners: Vec<Vec<usize>> = vec![Vec::new(); procs];
         if procs < 2 {
             return partners;
@@ -55,7 +54,7 @@ impl Synthetic {
         // target without exceeding 2×.
         for v in 0..procs {
             while partners[v].len() < self.degree.min(procs - 1) {
-                let u = rng.gen_range(0..procs);
+                let u = rng.range(0, procs);
                 if u != v && !partners[v].contains(&u) {
                     partners[v].push(u);
                     partners[u].push(v);

@@ -2,50 +2,50 @@
 //! partner relations must be symmetric (a sendrecv/halo exchange deadlocks
 //! or drops traffic otherwise) and deterministic.
 
-use proptest::prelude::*;
-
 use hfast_apps::{Cactus, Lbmhd, Pmemd, Synthetic};
+use hfast_par::forall;
 
-proptest! {
-    #[test]
-    fn cactus_partners_are_symmetric(procs in 2usize..100, rank_seed in 0usize..1000) {
-        let rank = rank_seed % procs;
+#[test]
+fn cactus_partners_are_symmetric() {
+    forall("cactus_partners_are_symmetric", 256, |rng| {
+        let procs = rng.range(2, 100);
+        let rank = rng.range(0, 1000) % procs;
         for p in Cactus::partners(procs, rank) {
-            prop_assert!(p < procs);
-            prop_assert_ne!(p, rank);
-            prop_assert!(
+            assert!(p < procs);
+            assert_ne!(p, rank);
+            assert!(
                 Cactus::partners(procs, p).contains(&rank),
                 "mesh neighbourhood must be mutual: {} vs {}",
                 rank,
                 p
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn lbmhd_partners_are_symmetric_and_bounded(
-        procs in prop::sample::select(vec![16usize, 36, 64, 100, 144, 256]),
-        rank_seed in 0usize..1000,
-    ) {
-        let rank = rank_seed % procs;
+#[test]
+fn lbmhd_partners_are_symmetric_and_bounded() {
+    forall("lbmhd_partners_are_symmetric_and_bounded", 256, |rng| {
+        let procs = *rng.pick(&[16usize, 36, 64, 100, 144, 256]);
+        let rank = rng.range(0, 1000) % procs;
         let partners = Lbmhd::partners(procs, rank);
-        prop_assert!(partners.len() <= 12);
+        assert!(partners.len() <= 12);
         for p in partners {
-            prop_assert!(
+            assert!(
                 Lbmhd::partners(procs, p).contains(&rank),
                 "offset set must be closed under negation"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn pmemd_message_sizes_are_symmetric_and_monotone(
-        procs in prop::sample::select(vec![16usize, 64, 128, 256]),
-        a in 0usize..256,
-        b in 0usize..256,
-    ) {
-        let (a, b) = (a % procs, b % procs);
-        prop_assert_eq!(
+#[test]
+fn pmemd_message_sizes_are_symmetric_and_monotone() {
+    forall("pmemd_message_sizes_are_symmetric_and_monotone", 256, |rng| {
+        let procs = *rng.pick(&[16usize, 64, 128, 256]);
+        let a = rng.range(0, 256) % procs;
+        let b = rng.range(0, 256) % procs;
+        assert_eq!(
             Pmemd::message_bytes(procs, a, b),
             Pmemd::message_bytes(procs, b, a)
         );
@@ -57,28 +57,29 @@ proptest! {
             let nearer = Pmemd::message_bytes(procs, src, src + d);
             let farther = Pmemd::message_bytes(procs, src, src + d + 1);
             if src + d + 1 != hfast_apps::pmemd::HOT_RANK {
-                prop_assert!(nearer >= farther, "d={d}: {nearer} < {farther}");
+                assert!(nearer >= farther, "d={d}: {nearer} < {farther}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn synthetic_patterns_symmetric_for_any_seed(
-        seed in 0u64..10_000,
-        degree in 1usize..8,
-        procs in 4usize..48,
-    ) {
+#[test]
+fn synthetic_patterns_symmetric_for_any_seed() {
+    forall("synthetic_patterns_symmetric_for_any_seed", 128, |rng| {
+        let seed = rng.range_u64(0, 10_000);
+        let degree = rng.range(1, 8);
+        let procs = rng.range(4, 48);
         let app = Synthetic::new(seed, degree, 4096);
         let lists = app.partner_lists(procs);
-        prop_assert_eq!(lists.len(), procs);
+        assert_eq!(lists.len(), procs);
         for (v, list) in lists.iter().enumerate() {
-            prop_assert!(list.len() >= degree.min(procs - 1));
+            assert!(list.len() >= degree.min(procs - 1));
             for &u in list {
-                prop_assert_ne!(u, v);
-                prop_assert!(lists[u].contains(&v));
+                assert_ne!(u, v);
+                assert!(lists[u].contains(&v));
             }
         }
         // Determinism.
-        prop_assert_eq!(&lists, &app.partner_lists(procs));
-    }
+        assert_eq!(&lists, &app.partner_lists(procs));
+    });
 }

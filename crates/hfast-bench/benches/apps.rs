@@ -1,35 +1,48 @@
 //! End-to-end benchmarks: profiling each study application at P = 64
-//! (threads + channels + IPM), the pipeline every experiment binary runs.
+//! (threads + channels + IPM), the pipeline every experiment binary runs,
+//! and the full apps × sizes measurement grid sequential vs parallel.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hfast_apps::{all_apps, profile_app, Cactus};
+use hfast_apps::{all_apps, profile_app, Cactus, STUDY_SIZES};
+use hfast_bench::{measure_cells, Harness};
+use hfast_par::par_map_with;
 
-fn bench_profile_each_app(c: &mut Criterion) {
-    let mut group = c.benchmark_group("profile_app_p64");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("apps");
+
     for app in all_apps() {
-        group.bench_function(BenchmarkId::from_parameter(app.name()), |b| {
-            b.iter(|| profile_app(app.as_ref(), 64).unwrap())
+        h.bench(&format!("profile_app_p64/{}", app.name()), || {
+            profile_app(app.as_ref(), 64).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_analysis_pipeline(c: &mut Criterion) {
     // Profile once, then bench the analysis that follows.
     let outcome = profile_app(&Cactus::default(), 64).unwrap();
-    c.bench_function("analysis/profile-to-provisioning", |b| {
-        b.iter(|| {
-            let graph = outcome.steady.comm_graph();
-            let summary = hfast_topology::tdc(&graph, 2048);
-            let prov = hfast_core::Provisioning::per_node(
-                &graph,
-                hfast_core::ProvisionConfig::default(),
-            );
-            (summary.max, prov.total_blocks())
+    h.bench("analysis/profile-to-provisioning", || {
+        let graph = outcome.steady.comm_graph();
+        let summary = hfast_topology::tdc(&graph, 2048);
+        let prov =
+            hfast_core::Provisioning::per_node(&graph, hfast_core::ProvisionConfig::default());
+        (summary.max, prov.total_blocks())
+    });
+
+    // The experiments binary's measurement grid, 1 thread vs the
+    // HFAST_THREADS default — the wall-clock win the driver parallelism
+    // buys. (Identical outputs either way; see measure_cells.)
+    let app_count = all_apps().len();
+    let cells: Vec<(usize, usize)> = (0..app_count)
+        .flat_map(|a| STUDY_SIZES.iter().map(move |&p| (a, p)))
+        .collect();
+    h.bench("experiment_grid/sequential", || {
+        par_map_with(1, cells.clone(), |(a, p)| {
+            hfast_bench::measure_app(all_apps()[a].as_ref(), p)
         })
     });
-}
+    h.bench("experiment_grid/parallel", || measure_cells(&cells));
+    h.report_speedup(
+        "experiment_grid",
+        "experiment_grid/sequential",
+        "experiment_grid/parallel",
+    );
 
-criterion_group!(benches, bench_profile_each_app, bench_analysis_pipeline);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,39 +1,52 @@
-//! Benchmarks of the discrete-event simulator across fabrics and loads.
+//! Benchmarks of the discrete-event simulator across fabrics and loads,
+//! including the path-cache ablation: cold (routes recomputed every run)
+//! versus warm (a reused [`PathCache`]).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfast_bench::Harness;
 use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_netsim::engine::{simulate_with_cache, PathCache};
 use hfast_netsim::{simulate, traffic, FatTreeFabric, HfastFabric, TorusFabric};
 use hfast_topology::generators::{balanced_dims3, torus3d_graph};
 
-fn bench_fabrics(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("netsim");
+
     let n = 64;
     let flows = traffic::alltoall(n, 32 << 10);
     let graph = torus3d_graph(balanced_dims3(n), 1 << 20);
-    let mut group = c.benchmark_group("netsim_alltoall_64");
-    group.bench_function(BenchmarkId::from_parameter("fat-tree"), |b| {
-        let fabric = FatTreeFabric::new(n, 8);
-        b.iter(|| simulate(&fabric, std::hint::black_box(&flows)))
-    });
-    group.bench_function(BenchmarkId::from_parameter("torus"), |b| {
-        let fabric = TorusFabric::new(balanced_dims3(n));
-        b.iter(|| simulate(&fabric, std::hint::black_box(&flows)))
-    });
-    group.bench_function(BenchmarkId::from_parameter("hfast"), |b| {
-        let fabric =
-            HfastFabric::new(Provisioning::per_node(&graph, ProvisionConfig::default()));
-        b.iter(|| simulate(&fabric, std::hint::black_box(&flows)))
-    });
-    group.finish();
-}
 
-fn bench_event_rate(c: &mut Criterion) {
-    // Pure engine throughput: many small flows over a big torus.
-    let fabric = TorusFabric::new((8, 8, 8));
-    let flows = traffic::uniform_random(512, 20_000, 4096, 1_000_000, 42);
-    c.bench_function("netsim/20k-flows-512-torus", |b| {
-        b.iter(|| simulate(&fabric, std::hint::black_box(&flows)))
+    let ft = FatTreeFabric::new(n, 8);
+    h.bench("netsim_alltoall_64/fat-tree", || {
+        simulate(&ft, std::hint::black_box(&flows))
     });
-}
+    let torus = TorusFabric::new(balanced_dims3(n));
+    h.bench("netsim_alltoall_64/torus", || {
+        simulate(&torus, std::hint::black_box(&flows))
+    });
+    let hfast = HfastFabric::new(Provisioning::per_node(&graph, ProvisionConfig::default()));
+    h.bench("netsim_alltoall_64/hfast", || {
+        simulate(&hfast, std::hint::black_box(&flows))
+    });
 
-criterion_group!(benches, bench_fabrics, bench_event_rate);
-criterion_main!(benches);
+    // Pure engine throughput: many small flows over a big torus. The
+    // uniform-random load repeats (src, dst) pairs heavily, so this is
+    // also the path-cache ablation: `simulate` re-resolves routes every
+    // call (cold), the warm case amortizes them across runs.
+    let big = TorusFabric::new((8, 8, 8));
+    let many = traffic::uniform_random(512, 20_000, 4096, 1_000_000, 42);
+    h.bench("netsim/20k-flows-512-torus/cold", || {
+        simulate(&big, std::hint::black_box(&many))
+    });
+    let mut cache = PathCache::new();
+    simulate_with_cache(&big, &many, &mut cache); // prime
+    h.bench("netsim/20k-flows-512-torus/warm", || {
+        simulate_with_cache(&big, std::hint::black_box(&many), &mut cache)
+    });
+    h.report_speedup(
+        "path_cache_warm",
+        "netsim/20k-flows-512-torus/cold",
+        "netsim/20k-flows-512-torus/warm",
+    );
+
+    h.finish();
+}

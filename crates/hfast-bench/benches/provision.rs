@@ -2,7 +2,7 @@
 //! the paper calls out: the linear-time per-node mapping versus the
 //! clique-clustering heuristic (future work implemented here).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfast_bench::Harness;
 use hfast_core::{cluster_nodes, optimize_clusters, ProvisionConfig, Provisioning};
 use hfast_topology::generators::{complete_graph, mesh3d_graph, torus3d_graph};
 use hfast_topology::CommGraph;
@@ -15,32 +15,24 @@ fn graphs() -> Vec<(&'static str, CommGraph)> {
     ]
 }
 
-fn bench_per_node(c: &mut Criterion) {
-    let mut group = c.benchmark_group("provision_per_node");
+fn main() {
+    let mut h = Harness::new("provision");
+
     for (name, graph) in graphs() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
-            b.iter(|| Provisioning::per_node(std::hint::black_box(g), ProvisionConfig::default()))
+        h.bench(&format!("provision_per_node/{name}"), || {
+            Provisioning::per_node(std::hint::black_box(&graph), ProvisionConfig::default())
         });
     }
-    group.finish();
-}
 
-fn bench_clustered(c: &mut Criterion) {
-    let mut group = c.benchmark_group("provision_clustered");
     for (name, graph) in graphs() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
-            b.iter(|| {
-                let clusters = cluster_nodes(std::hint::black_box(g), &ProvisionConfig::default());
-                Provisioning::build(g, ProvisionConfig::default(), clusters)
-            })
+        h.bench(&format!("provision_clustered/{name}"), || {
+            let clusters = cluster_nodes(std::hint::black_box(&graph), &ProvisionConfig::default());
+            Provisioning::build(&graph, ProvisionConfig::default(), clusters)
         });
     }
-    group.finish();
-}
 
-fn bench_ablation_block_savings(c: &mut Criterion) {
-    // Not a timing benchmark per se: report the port-count ablation as a
-    // throughput-of-quality measure by benching route() over both layouts.
+    // Port-count ablation: report block totals, then bench route() lookups
+    // over both layouts.
     let graph = torus3d_graph((8, 8, 4), 300 << 10);
     let config = ProvisionConfig::default();
     let per_node = Provisioning::per_node(&graph, config);
@@ -50,40 +42,30 @@ fn bench_ablation_block_savings(c: &mut Criterion) {
         per_node.total_blocks(),
         clustered.total_blocks()
     );
-    let mut group = c.benchmark_group("route_lookup");
-    group.bench_function("per_node", |b| {
-        b.iter(|| {
-            let mut hops = 0usize;
-            for a in 0..64usize {
-                for b2 in 0..64usize {
-                    if let Some(r) = per_node.route(a, b2) {
-                        hops += r.switch_hops;
-                    }
+    h.bench("route_lookup/per_node", || {
+        let mut hops = 0usize;
+        for a in 0..64usize {
+            for b2 in 0..64usize {
+                if let Some(r) = per_node.route(a, b2) {
+                    hops += r.switch_hops;
                 }
             }
-            hops
-        })
+        }
+        hops
     });
-    group.bench_function("clustered", |b| {
-        b.iter(|| {
-            let mut hops = 0usize;
-            for a in 0..64usize {
-                for b2 in 0..64usize {
-                    if let Some(r) = clustered.route(a, b2) {
-                        hops += r.switch_hops;
-                    }
+    h.bench("route_lookup/clustered", || {
+        let mut hops = 0usize;
+        for a in 0..64usize {
+            for b2 in 0..64usize {
+                if let Some(r) = clustered.route(a, b2) {
+                    hops += r.switch_hops;
                 }
             }
-            hops
-        })
+        }
+        hops
     });
-    group.finish();
-}
 
-fn bench_annealing(c: &mut Criterion) {
     // §6 ablation: greedy clustering vs annealing-refined clustering.
-    let graph = torus3d_graph((8, 8, 4), 300 << 10);
-    let config = ProvisionConfig::default();
     let greedy = cluster_nodes(&graph, &config);
     let greedy_blocks = Provisioning::build(&graph, config, greedy.clone()).total_blocks();
     let refined = optimize_clusters(&graph, &config, greedy.clone(), 4000, 1);
@@ -91,24 +73,9 @@ fn bench_annealing(c: &mut Criterion) {
         "[ablation] blocks: greedy {} vs annealed {}",
         greedy_blocks, refined.final_blocks
     );
-    c.bench_function("anneal_4000_moves/torus-256", |b| {
-        b.iter(|| {
-            optimize_clusters(
-                std::hint::black_box(&graph),
-                &config,
-                greedy.clone(),
-                4000,
-                1,
-            )
-        })
+    h.bench("anneal_4000_moves/torus-256", || {
+        optimize_clusters(std::hint::black_box(&graph), &config, greedy.clone(), 4000, 1)
     });
-}
 
-criterion_group!(
-    benches,
-    bench_per_node,
-    bench_clustered,
-    bench_ablation_block_savings,
-    bench_annealing
-);
-criterion_main!(benches);
+    h.finish();
+}

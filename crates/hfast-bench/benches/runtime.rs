@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hfast_bench::Harness;
 use hfast_ipm::IpmProfiler;
 use hfast_mpi::{CommHook, Payload, ReduceOp, Tag, World, WorldConfig};
 
@@ -25,45 +25,35 @@ fn ring_rounds(size: usize, rounds: usize, hook: Option<Arc<dyn CommHook>>) {
     .unwrap();
 }
 
-fn bench_ring(c: &mut Criterion) {
-    c.bench_function("runtime/ring-16x64-bare", |b| {
-        b.iter(|| ring_rounds(16, 64, None))
-    });
-    c.bench_function("runtime/ring-16x64-profiled", |b| {
-        b.iter(|| {
-            let prof = Arc::new(IpmProfiler::new(16));
-            ring_rounds(16, 64, Some(prof as Arc<dyn CommHook>))
-        })
-    });
-}
+fn main() {
+    let mut h = Harness::new("runtime");
 
-fn bench_collectives(c: &mut Criterion) {
-    c.bench_function("runtime/allreduce-32", |b| {
-        b.iter(|| {
-            World::run(32, |comm| {
-                for _ in 0..8 {
-                    comm.allreduce(Payload::synthetic(1024), ReduceOp::Sum).unwrap();
-                }
-            })
-            .unwrap()
-        })
+    h.bench("runtime/ring-16x64-bare", || ring_rounds(16, 64, None));
+    h.bench("runtime/ring-16x64-profiled", || {
+        let prof = Arc::new(IpmProfiler::new(16));
+        ring_rounds(16, 64, Some(prof as Arc<dyn CommHook>))
     });
-    c.bench_function("runtime/alltoall-16", |b| {
-        b.iter(|| {
-            World::run(16, |comm| {
-                let blocks = vec![Payload::synthetic(4096); 16];
-                comm.alltoall(blocks).unwrap()
-            })
-            .unwrap()
-        })
-    });
-}
 
-fn bench_world_spawn(c: &mut Criterion) {
-    c.bench_function("runtime/spawn-64-ranks", |b| {
-        b.iter(|| World::run(64, |comm| comm.rank()).unwrap())
+    h.bench("runtime/allreduce-32", || {
+        World::run(32, |comm| {
+            for _ in 0..8 {
+                comm.allreduce(Payload::synthetic(1024), ReduceOp::Sum)
+                    .unwrap();
+            }
+        })
+        .unwrap()
     });
-}
+    h.bench("runtime/alltoall-16", || {
+        World::run(16, |comm| {
+            let blocks = vec![Payload::synthetic(4096); 16];
+            comm.alltoall(blocks).unwrap()
+        })
+        .unwrap()
+    });
 
-criterion_group!(benches, bench_ring, bench_collectives, bench_world_spawn);
-criterion_main!(benches);
+    h.bench("runtime/spawn-64-ranks", || {
+        World::run(64, |comm| comm.rank()).unwrap()
+    });
+
+    h.finish();
+}

@@ -1,40 +1,50 @@
 //! Runs the complete reproduction suite and prints a compact summary of
 //! every table and figure — the data source for EXPERIMENTS.md.
+//!
+//! The apps × sizes measurement grid is embarrassingly parallel, so the
+//! cells are profiled on worker threads (`HFAST_THREADS` overrides the
+//! count; `HFAST_THREADS=1` runs sequentially) and printed in grid order —
+//! the output is byte-identical either way.
 
 use hfast_apps::{all_apps, STUDY_SIZES};
+use hfast_bench::measure::measure_cells;
 use hfast_bench::paper::paper_row;
 use hfast_bench::render::{table3_header, table3_rows};
-use hfast_bench::measure_app;
 use hfast_topology::{tdc, BDP_CUTOFF};
 
 fn main() {
     println!("== HFAST reproduction: full experiment sweep ==\n");
     print!("{}", table3_header());
+    let app_count = all_apps().len();
+    let cells: Vec<(usize, usize)> = (0..app_count)
+        .flat_map(|a| STUDY_SIZES.iter().map(move |&p| (a, p)))
+        .collect();
+    let rows = measure_cells(&cells);
     let mut checks = Vec::new();
-    for app in all_apps() {
-        for &procs in &STUDY_SIZES {
-            let row = measure_app(app.as_ref(), procs);
-            let paper = paper_row(row.name, procs);
-            print!("{}", table3_rows(&row, paper.as_ref()));
-            if let Some(p) = paper {
-                let tdc_match = row.tdc_max == p.tdc_max
-                    && (row.tdc_avg - p.tdc_avg).abs() <= p.tdc_avg.max(2.0) * 0.25;
-                checks.push((row.name, procs, "TDC@2k", tdc_match));
-                let mix_match = (row.ptp_pct - p.ptp_pct).abs() < 6.0;
-                checks.push((row.name, procs, "call split", mix_match));
-            }
-            // Unthresholded topology shape notes.
-            let g = row.steady.comm_graph();
-            let uncut = tdc(&g, 0);
-            let cut = tdc(&g, BDP_CUTOFF);
-            println!(
-                "              unthresholded TDC (max,avg) = ({}, {:.1}); cutoff shrinks max by {}",
-                uncut.max,
-                uncut.avg,
-                uncut.max - cut.max
-            );
+    for (i, row) in rows.iter().enumerate() {
+        let procs = row.procs;
+        let paper = paper_row(row.name, procs);
+        print!("{}", table3_rows(row, paper.as_ref()));
+        if let Some(p) = paper {
+            let tdc_match = row.tdc_max == p.tdc_max
+                && (row.tdc_avg - p.tdc_avg).abs() <= p.tdc_avg.max(2.0) * 0.25;
+            checks.push((row.name, procs, "TDC@2k", tdc_match));
+            let mix_match = (row.ptp_pct - p.ptp_pct).abs() < 6.0;
+            checks.push((row.name, procs, "call split", mix_match));
         }
-        println!();
+        // Unthresholded topology shape notes.
+        let g = row.steady.comm_graph();
+        let uncut = tdc(&g, 0);
+        let cut = tdc(&g, BDP_CUTOFF);
+        println!(
+            "              unthresholded TDC (max,avg) = ({}, {:.1}); cutoff shrinks max by {}",
+            uncut.max,
+            uncut.avg,
+            uncut.max - cut.max
+        );
+        if (i + 1) % STUDY_SIZES.len() == 0 {
+            println!();
+        }
     }
     println!("shape checks against the paper:");
     let mut pass = 0;

@@ -1,10 +1,14 @@
 //! Extension experiment: replay each application's steady-state traffic on
 //! fat-tree, torus, and HFAST fabrics and compare delivered latency.
+//!
+//! Apps are measured and simulated on worker threads (`HFAST_THREADS=1`
+//! forces sequential); rows print in application order either way.
 
 use hfast_apps::all_apps;
 use hfast_bench::measure_app;
 use hfast_core::{ProvisionConfig, Provisioning};
-use hfast_netsim::{simulate, traffic, FatTreeFabric, HfastFabric, TorusFabric};
+use hfast_netsim::engine::{simulate_with_cache, PathCache};
+use hfast_netsim::{traffic, FatTreeFabric, HfastFabric, TorusFabric};
 use hfast_topology::generators::balanced_dims3;
 
 fn main() {
@@ -14,12 +18,14 @@ fn main() {
         "{:>9} {:>14} {:>14} {:>14}   (p50 latency ns)",
         "code", "fat-tree", "torus", "hfast"
     );
-    for app in all_apps() {
-        let row = measure_app(app.as_ref(), procs);
+    let app_count = all_apps().len();
+    let results = hfast_par::par_map((0..app_count).collect::<Vec<_>>(), |i| {
+        let apps = all_apps();
+        let row = measure_app(apps[i].as_ref(), procs);
         let graph = row.steady.comm_graph();
         let flows = traffic::flows_from_graph(&graph, 2048);
         if flows.is_empty() {
-            continue;
+            return None;
         }
         let ft = FatTreeFabric::new(procs, 8);
         let torus = TorusFabric::new(balanced_dims3(procs));
@@ -27,13 +33,23 @@ fn main() {
             &graph,
             ProvisionConfig::default(),
         ));
-        let s_ft = simulate(&ft, &flows);
-        let s_to = simulate(&torus, &flows);
-        let s_hf = simulate(&hfast, &flows);
-        println!(
-            "{:>9} {:>14} {:>14} {:>14}",
-            row.name, s_ft.p50_latency_ns, s_to.p50_latency_ns, s_hf.p50_latency_ns
-        );
+        // One path cache per fabric: each app replays the same (src, dst)
+        // pairs many times over, so routes are resolved once.
+        let mut cache = PathCache::new();
+        let s_ft = simulate_with_cache(&ft, &flows, &mut cache);
+        cache.clear();
+        let s_to = simulate_with_cache(&torus, &flows, &mut cache);
+        cache.clear();
+        let s_hf = simulate_with_cache(&hfast, &flows, &mut cache);
+        Some((
+            row.name,
+            s_ft.p50_latency_ns,
+            s_to.p50_latency_ns,
+            s_hf.p50_latency_ns,
+        ))
+    });
+    for (name, ft, torus, hfast) in results.into_iter().flatten() {
+        println!("{name:>9} {ft:>14} {torus:>14} {hfast:>14}");
     }
     println!(
         "\nshape: HFAST tracks the best fabric for low-TDC codes; the \

@@ -15,8 +15,12 @@ pub fn app_figure(app: &dyn CommKernel, figure_no: usize) -> String {
         "== Figure {figure_no}: {} communication topology ==\n\n",
         app.name()
     );
-    let row64 = measure_app(app, 64);
-    let row256 = measure_app(app, 256);
+    // The two panel sizes are independent profile runs — measure them on
+    // worker threads (results come back in input order, so the rendered
+    // figure is identical to the sequential run).
+    let mut rows = hfast_par::par_map(vec![64usize, 256], |procs| measure_app(app, procs));
+    let row256 = rows.pop().expect("two rows");
+    let row64 = rows.pop().expect("two rows");
 
     out.push_str("(a) volume of communication at P=256 (log-scaled density):\n");
     let graph256 = row256.steady.comm_graph();

@@ -1,0 +1,222 @@
+//! A small, dependency-free benchmark harness behind the `cargo bench`
+//! targets (`harness = false`).
+//!
+//! Each case is auto-calibrated (a warm-up run sizes the per-sample
+//! iteration count to a fixed wall-time budget), sampled repeatedly, and
+//! summarized by its median ns/iteration — robust to scheduler noise.
+//!
+//! Environment knobs:
+//!
+//! - `HFAST_BENCH_JSON=<path>` — append one JSON object per case (JSON
+//!   Lines) to `<path>`; `scripts/bench.sh` assembles these into
+//!   `BENCH_<tag>.json`.
+//! - `HFAST_BENCH_FAST=1` — shrink sample count and budget for smoke runs.
+//! - `HFAST_BENCH_SAMPLES=<n>` — override the per-case sample count.
+//!
+//! Positional command-line arguments act as substring filters on case
+//! names (so `cargo bench --bench topology -- sweep` runs only the sweep
+//! cases); flag-like arguments cargo forwards are ignored.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+/// One measured case.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Case name (`group/case` by convention).
+    pub name: String,
+    /// Median over samples of ns per iteration.
+    pub median_ns: f64,
+    /// Mean over samples of ns per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample's ns per iteration.
+    pub min_ns: f64,
+    /// Iterations per sample (calibrated).
+    pub iters: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Collects and reports benchmark cases for one suite binary.
+pub struct Harness {
+    suite: String,
+    filters: Vec<String>,
+    samples: usize,
+    sample_budget_ns: u64,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// A harness for the suite named `suite`, configured from the
+    /// environment and command line.
+    pub fn new(suite: &str) -> Self {
+        let fast = std::env::var("HFAST_BENCH_FAST").is_ok_and(|v| v != "0");
+        let samples = std::env::var("HFAST_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(if fast { 5 } else { 12 })
+            .max(2);
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        eprintln!("== bench suite: {suite} ==");
+        Harness {
+            suite: suite.to_string(),
+            filters,
+            samples,
+            sample_budget_ns: if fast { 10_000_000 } else { 50_000_000 },
+            results: Vec::new(),
+        }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Times `f`, recording the case under `name`. The closure's return
+    /// value is passed through [`std::hint::black_box`] so the work cannot
+    /// be optimized away.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.selected(name) {
+            return;
+        }
+        // Warm-up & calibration: size one sample to the wall-time budget.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once_ns = t0.elapsed().as_nanos().max(1) as u64;
+        let iters = (self.sample_budget_ns / once_ns).clamp(1, 1_000_000);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let result = BenchResult {
+            name: name.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: per_iter[0],
+            iters,
+            samples: per_iter.len(),
+        };
+        eprintln!(
+            "{:<44} median {:>12}  mean {:>12}  ({} x {} iters)",
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.mean_ns),
+            result.samples,
+            result.iters,
+        );
+        self.results.push(result);
+    }
+
+    /// Median ns/iter of an already-run case (for speedup reporting).
+    pub fn median_ns(&self, name: &str) -> Option<f64> {
+        self.results.iter().find(|r| r.name == name).map(|r| r.median_ns)
+    }
+
+    /// Prints `baseline/candidate` as a speedup line (and records it in the
+    /// JSON stream as a pseudo-case so `BENCH_*.json` carries the ratio).
+    pub fn report_speedup(&mut self, label: &str, baseline: &str, candidate: &str) {
+        if let (Some(b), Some(c)) = (self.median_ns(baseline), self.median_ns(candidate)) {
+            let speedup = b / c;
+            eprintln!("{label:<44} speedup {speedup:>11.2}x  ({baseline} vs {candidate})");
+            self.results.push(BenchResult {
+                name: format!("speedup/{label}"),
+                median_ns: speedup,
+                mean_ns: speedup,
+                min_ns: speedup,
+                iters: 0,
+                samples: 0,
+            });
+        }
+    }
+
+    /// Flushes results: appends JSON Lines to `HFAST_BENCH_JSON` if set.
+    pub fn finish(self) {
+        let Ok(path) = std::env::var("HFAST_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&format!(
+                "{{\"suite\":\"{}\",\"name\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"iters\":{},\"samples\":{}}}\n",
+                self.suite, r.name, r.median_ns, r.mean_ns, r.min_ns, r.iters, r.samples
+            ));
+        }
+        match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(out.as_bytes()) {
+                    eprintln!("bench: cannot write {path}: {e}");
+                }
+            }
+            Err(e) => eprintln!("bench: cannot open {path}: {e}"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_and_reports() {
+        // Not spawned via cargo bench here, so argv filters may apply; use
+        // a fresh harness with filters cleared to keep the test hermetic.
+        let mut h = Harness {
+            suite: "selftest".into(),
+            filters: vec![],
+            samples: 3,
+            sample_budget_ns: 100_000,
+            results: vec![],
+        };
+        h.bench("warm/a", || std::hint::black_box(41) + 1);
+        h.bench("warm/b", || (0..100u64).sum::<u64>());
+        assert!(h.median_ns("warm/a").is_some());
+        h.report_speedup("a_vs_b", "warm/b", "warm/a");
+        assert_eq!(h.results.len(), 3);
+        assert!(h.results[2].name.starts_with("speedup/"));
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let h = Harness {
+            suite: "selftest".into(),
+            filters: vec!["sweep".into()],
+            samples: 2,
+            sample_budget_ns: 1,
+            results: vec![],
+        };
+        assert!(h.selected("tdc_sweep/fast"));
+        assert!(!h.selected("csr_build"));
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1500.0), "1.50 us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3e9), "3.000 s");
+    }
+}

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use hfast_topology::CommGraph;
+use hfast_topology::{CommGraph, CsrGraph};
 
 use crate::switch::{CircuitSwitch, Endpoint, SwitchBlock};
 
@@ -156,12 +156,14 @@ impl Provisioning {
             }
         }
 
-        // Classify edges.
+        // Classify edges, iterating a packed CSR snapshot of the active
+        // adjacency rather than rescanning dense matrix rows.
+        let csr = CsrGraph::from_graph(graph, 0);
         let mut intra = Vec::new();
         let mut inter = Vec::new();
         let mut unprov = Vec::new();
         for a in 0..n {
-            for (b, e) in graph.neighbors(a) {
+            for (b, e) in csr.neighbors_with_stats(a) {
                 if b <= a {
                     continue;
                 }
@@ -378,8 +380,9 @@ impl Provisioning {
                 return Err(format!("block {} over-allocated", b.id));
             }
         }
+        let csr = CsrGraph::from_graph(graph, self.config.cutoff);
         for a in 0..graph.n() {
-            for (b, e) in graph.neighbors(a) {
+            for (b, e) in csr.neighbors_with_stats(a) {
                 if b <= a || e.max_msg < self.config.cutoff {
                     continue;
                 }

@@ -1,144 +1,160 @@
 //! Property-based tests for provisioning, clustering, and cost models.
 
-use proptest::prelude::*;
-
 use hfast_core::cost::AnalyticHfast;
 use hfast_core::{
     cluster_nodes, hfast_fault_impact, remove_nodes, CostModel, FatTree, ProvisionConfig,
     Provisioning,
 };
+use hfast_par::{forall, Rng64};
 use hfast_topology::CommGraph;
 
-fn messages(n: usize, max_msgs: usize) -> impl Strategy<Value = Vec<(usize, usize, u64)>> {
-    prop::collection::vec((0..n, 0..n, 1u64..(2 << 20)), 0..max_msgs)
-}
-
-fn build(n: usize, msgs: &[(usize, usize, u64)]) -> CommGraph {
+fn random_graph(rng: &mut Rng64, n: usize, max_msgs: usize) -> CommGraph {
     let mut g = CommGraph::new(n);
-    for &(a, b, bytes) in msgs {
+    for _ in 0..rng.range(0, max_msgs) {
+        let a = rng.range(0, n);
+        let b = rng.range(0, n);
         if a != b {
-            g.add_message(a, b, bytes);
+            g.add_message(a, b, rng.range_u64(1, 2 << 20));
         }
     }
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn per_node_provisioning_always_validates(
-        msgs in messages(14, 120),
-        k in 4usize..24,
-    ) {
-        let g = build(14, &msgs);
-        let config = ProvisionConfig { block_ports: k, cutoff: 2048 };
+#[test]
+fn per_node_provisioning_always_validates() {
+    forall("per_node_provisioning_always_validates", 64, |rng| {
+        let g = random_graph(rng, 14, 120);
+        let k = rng.range(4, 24);
+        let config = ProvisionConfig {
+            block_ports: k,
+            cutoff: 2048,
+        };
         let prov = Provisioning::per_node(&g, config);
-        prop_assert!(prov.validate(&g).is_ok());
+        assert!(prov.validate(&g).is_ok());
         // Every above-cutoff pair routes with ≥2 hops; symmetric.
         for a in 0..14 {
             for (b, e) in g.neighbors(a) {
                 if e.max_msg >= 2048 {
                     let r1 = prov.route(a, b).expect("routed");
                     let r2 = prov.route(b, a).expect("routed");
-                    prop_assert_eq!(r1, r2, "routes are symmetric");
-                    prop_assert!(r1.switch_hops >= 2);
-                    prop_assert!(r1.circuit_traversals == r1.switch_hops + 1);
+                    assert_eq!(r1, r2, "routes are symmetric");
+                    assert!(r1.switch_hops >= 2);
+                    assert!(r1.circuit_traversals == r1.switch_hops + 1);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn clustered_provisioning_always_validates(
-        msgs in messages(14, 120),
-        k in 6usize..24,
-    ) {
-        let g = build(14, &msgs);
-        let config = ProvisionConfig { block_ports: k, cutoff: 2048 };
+#[test]
+fn clustered_provisioning_always_validates() {
+    forall("clustered_provisioning_always_validates", 64, |rng| {
+        let g = random_graph(rng, 14, 120);
+        let k = rng.range(6, 24);
+        let config = ProvisionConfig {
+            block_ports: k,
+            cutoff: 2048,
+        };
         let clusters = cluster_nodes(&g, &config);
         // Disjoint cover.
         let mut seen = [false; 14];
         for c in &clusters {
             for &v in c {
-                prop_assert!(!seen[v]);
+                assert!(!seen[v]);
                 seen[v] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
         let prov = Provisioning::build(&g, config, clusters);
-        prop_assert!(prov.validate(&g).is_ok());
-    }
+        assert!(prov.validate(&g).is_ok());
+    });
+}
 
-    #[test]
-    fn clustering_never_needs_more_blocks_than_per_node(
-        msgs in messages(12, 100),
-    ) {
-        let g = build(12, &msgs);
+#[test]
+fn clustering_never_needs_more_blocks_than_per_node() {
+    forall("clustering_never_needs_more_blocks_than_per_node", 64, |rng| {
+        let g = random_graph(rng, 12, 100);
         let config = ProvisionConfig::default();
         let clustered = Provisioning::build(&g, config, cluster_nodes(&g, &config));
         let per_node = Provisioning::per_node(&g, config);
-        prop_assert!(
+        assert!(
             clustered.total_blocks() <= per_node.total_blocks(),
             "sharing blocks can only reduce the pool: {} vs {}",
             clustered.total_blocks(),
             per_node.total_blocks()
         );
-    }
+    });
+}
 
-    #[test]
-    fn fault_survivors_never_degrade(
-        msgs in messages(12, 80),
-        failed in prop::collection::btree_set(0usize..12, 0..4),
-    ) {
-        let g = build(12, &msgs);
-        let failed: Vec<usize> = failed.into_iter().collect();
+#[test]
+fn fault_survivors_never_degrade() {
+    forall("fault_survivors_never_degrade", 64, |rng| {
+        let g = random_graph(rng, 12, 80);
+        let mut failed: Vec<usize> = (0..rng.range(0, 4)).map(|_| rng.range(0, 12)).collect();
+        failed.sort_unstable();
+        failed.dedup();
         let report = hfast_fault_impact(&g, ProvisionConfig::default(), &failed);
-        prop_assert!(!report.survivors_degraded);
-        prop_assert_eq!(report.failed, failed.len());
+        assert!(!report.survivors_degraded);
+        assert_eq!(report.failed, failed.len());
         // Removing nodes never adds traffic.
         let cut = remove_nodes(&g, &failed);
-        prop_assert!(cut.total_bytes() <= g.total_bytes());
-        prop_assert!(cut.is_symmetric());
-    }
+        assert!(cut.total_bytes() <= g.total_bytes());
+        assert!(cut.is_symmetric());
+    });
+}
 
-    #[test]
-    fn fat_tree_formula_invariants(p in 1usize..100_000, half_ports in 2usize..17) {
-        let n_ports = half_ports * 2;
+#[test]
+fn fat_tree_formula_invariants() {
+    forall("fat_tree_formula_invariants", 64, |rng| {
+        let p = rng.range(1, 100_000);
+        let n_ports = rng.range(2, 17) * 2;
         let ft = FatTree::for_processors(p, n_ports);
         // The chosen layer count covers P but L−1 does not.
-        prop_assert!(FatTree::capacity(n_ports, ft.layers) >= p);
+        assert!(FatTree::capacity(n_ports, ft.layers) >= p);
         if ft.layers > 1 {
-            prop_assert!(FatTree::capacity(n_ports, ft.layers - 1) < p);
+            assert!(FatTree::capacity(n_ports, ft.layers - 1) < p);
         }
-        prop_assert_eq!(ft.ports_per_processor(), 1 + 2 * (ft.layers - 1));
-        prop_assert_eq!(ft.max_switch_hops(), 2 * ft.layers - 1);
-    }
+        assert_eq!(ft.ports_per_processor(), 1 + 2 * (ft.layers - 1));
+        assert_eq!(ft.max_switch_hops(), 2 * ft.layers - 1);
+    });
+}
 
-    #[test]
-    fn analytic_cost_is_monotone_in_tdc(p in 16usize..4096, tdc_a in 1usize..10, extra in 1usize..20) {
+#[test]
+fn analytic_cost_is_monotone_in_tdc() {
+    forall("analytic_cost_is_monotone_in_tdc", 64, |rng| {
+        let p = rng.range(16, 4096);
+        let tdc_a = rng.range(1, 10);
+        let extra = rng.range(1, 20);
         let config = ProvisionConfig::default();
         let model = CostModel::default();
         let low = AnalyticHfast { p, tdc: tdc_a, config };
-        let high = AnalyticHfast { p, tdc: tdc_a + extra, config };
-        prop_assert!(low.cost(&model) <= high.cost(&model));
-        prop_assert!(low.packet_ports() <= high.packet_ports());
-    }
+        let high = AnalyticHfast {
+            p,
+            tdc: tdc_a + extra,
+            config,
+        };
+        assert!(low.cost(&model) <= high.cost(&model));
+        assert!(low.packet_ports() <= high.packet_ports());
+    });
+}
 
-    #[test]
-    fn blocks_needed_capacity_is_sufficient_and_tight(
-        attach in 1usize..8,
-        external in 0usize..200,
-        k in 4usize..32,
-    ) {
-        let config = ProvisionConfig { block_ports: k, cutoff: 2048 };
+#[test]
+fn blocks_needed_capacity_is_sufficient_and_tight() {
+    forall("blocks_needed_capacity_is_sufficient_and_tight", 64, |rng| {
+        let attach = rng.range(1, 8);
+        let external = rng.range(0, 200);
+        let k = rng.range(4, 32);
+        let config = ProvisionConfig {
+            block_ports: k,
+            cutoff: 2048,
+        };
         let b = config.blocks_needed(attach, external);
-        prop_assert!(config.chain_capacity(b, attach) >= external as isize);
+        assert!(config.chain_capacity(b, attach) >= external as isize);
         if b > 1 {
-            prop_assert!(
+            assert!(
                 config.chain_capacity(b - 1, attach) < external as isize,
                 "minimal block count"
             );
         }
-    }
+    });
 }

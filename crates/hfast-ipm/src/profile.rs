@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use hfast_mpi::{CallKind, CommEvent, CommHook, Scope};
 use hfast_topology::{BufferHistogram, CommGraph, EdgeStat};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::hashtable::{CallKey, CallStats, CallTable};
 
@@ -144,7 +144,7 @@ impl IpmProfiler {
     /// Enters a named code region on `rank` (IPM's region feature, used in
     /// the paper to exclude SuperLU's initialization traffic). Regions nest.
     pub fn enter_region(&self, rank: usize, name: &str) {
-        let mut st = self.ranks[rank].lock();
+        let mut st = self.ranks[rank].lock().expect("profiler mutex poisoned");
         let id = st.region_id(name, self.size);
         st.region_stack.push(id);
     }
@@ -152,7 +152,7 @@ impl IpmProfiler {
     /// Exits the innermost named region on `rank`. Exiting the default
     /// region is a no-op.
     pub fn exit_region(&self, rank: usize) {
-        let mut st = self.ranks[rank].lock();
+        let mut st = self.ranks[rank].lock().expect("profiler mutex poisoned");
         if st.region_stack.len() > 1 {
             st.region_stack.pop();
         }
@@ -177,7 +177,7 @@ impl IpmProfiler {
         let mut wire = vec![EdgeStat::default(); self.size * self.size];
         let mut overflow = 0;
         for (rank, state) in self.ranks.iter().enumerate() {
-            let st = state.lock();
+            let st = state.lock().expect("profiler mutex poisoned");
             let region_id: Option<u16> = match region {
                 None => None,
                 Some(name) => {
@@ -241,7 +241,7 @@ impl IpmProfiler {
 impl CommHook for IpmProfiler {
     fn on_event(&self, ev: &CommEvent) {
         debug_assert!(ev.rank < self.size, "event from out-of-range rank");
-        let mut st = self.ranks[ev.rank].lock();
+        let mut st = self.ranks[ev.rank].lock().expect("profiler mutex poisoned");
         let region = st.current_region();
         let key = CallKey {
             region,

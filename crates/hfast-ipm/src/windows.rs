@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use hfast_mpi::{CommEvent, CommHook, Scope};
 use hfast_topology::tdc::TdcSummary;
 use hfast_topology::{tdc, CommGraph, EdgeStat};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Per-rank windowed volumes: window index → directed per-peer stats.
 type RankWindows = BTreeMap<u64, Vec<EdgeStat>>;
@@ -52,7 +52,7 @@ impl WindowedTdcHook {
     pub fn graphs(&self) -> Vec<(u64, CommGraph)> {
         let mut merged: BTreeMap<u64, Vec<(usize, usize, EdgeStat)>> = BTreeMap::new();
         for (rank, state) in self.ranks.iter().enumerate() {
-            let windows = state.lock();
+            let windows = state.lock().expect("profiler mutex poisoned");
             for (&w, row) in windows.iter() {
                 let bucket = merged.entry(w).or_default();
                 for (peer, stat) in row.iter().enumerate() {
@@ -108,7 +108,7 @@ impl CommHook for WindowedTdcHook {
         let Some(peer) = ev.peer else { return };
         debug_assert!(ev.rank < self.size);
         let window = ev.t_start_ns / self.window_ns;
-        let mut state = self.ranks[ev.rank].lock();
+        let mut state = self.ranks[ev.rank].lock().expect("profiler mutex poisoned");
         let row = state
             .entry(window)
             .or_insert_with(|| vec![EdgeStat::default(); self.size]);

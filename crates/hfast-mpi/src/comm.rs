@@ -4,8 +4,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-
+use crate::chan::{Receiver, RecvTimeoutError, Sender};
 use crate::error::{MpiError, Result};
 use crate::hook::{CallKind, CommEvent, CommHook, Scope};
 use crate::message::{Envelope, Payload};

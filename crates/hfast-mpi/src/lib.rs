@@ -7,7 +7,8 @@
 //! the common collectives).
 //!
 //! Ranks execute as OS threads inside [`World::run`]; messages travel over
-//! crossbeam channels. The runtime exposes a PMPI-style observer boundary
+//! unbounded mailbox channels ([`chan`]). The runtime exposes a PMPI-style
+//! observer boundary
 //! ([`CommHook`]) that fires one [`CommEvent`] per API call, which is exactly
 //! the interposition point the IPM profiling layer of the paper uses — the
 //! `hfast-ipm` crate implements a profiler on top of it.
@@ -20,7 +21,7 @@
 //! * [`Payload::Synthetic`] — carries only a length. The six application
 //!   kernels use this form so that multi-hundred-rank profiling runs cost
 //!   almost nothing.
-//! * [`Payload::Data`] — carries real bytes ([`bytes::Bytes`]); used by tests
+//! * [`Payload::Data`] — carries real bytes ([`Bytes`]); used by tests
 //!   to verify that the runtime actually moves data correctly (collectives
 //!   included).
 //!
@@ -43,6 +44,8 @@
 
 #![warn(missing_docs)]
 
+pub mod bytes;
+pub mod chan;
 pub mod comm;
 pub mod collectives;
 pub mod error;
@@ -54,6 +57,7 @@ pub mod request;
 pub mod runtime;
 pub mod split;
 
+pub use bytes::Bytes;
 pub use comm::{Comm, SrcSel, Status, TagSel};
 pub use error::{MpiError, Result};
 pub use group::Group;

@@ -1,7 +1,6 @@
 //! Message payloads, envelopes, and reduction operators.
 
-use bytes::Bytes;
-
+use crate::bytes::Bytes;
 use crate::{Rank, Tag};
 
 /// The body of a message.

@@ -3,8 +3,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::unbounded;
-
+use crate::chan::unbounded;
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
 use crate::hook::{CommHook, NullHook};

@@ -1,26 +1,31 @@
 //! Property-based tests for the message-passing runtime: payload codecs,
 //! reduction semantics, and randomized communication schedules.
 
-use proptest::prelude::*;
-
 use hfast_mpi::{Group, Payload, ReduceOp, Tag, World};
+use hfast_par::{forall, Rng64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn f64s(rng: &mut Rng64, lo: usize, hi: usize, span: f64) -> Vec<f64> {
+    (0..rng.range(lo, hi))
+        .map(|_| (rng.f64() * 2.0 - 1.0) * span)
+        .collect()
+}
 
-    #[test]
-    fn f64_payload_roundtrip(values in prop::collection::vec(-1e12f64..1e12, 0..64)) {
+#[test]
+fn f64_payload_roundtrip() {
+    forall("f64_payload_roundtrip", 48, |rng| {
+        let values = f64s(rng, 0, 64, 1e12);
         let p = Payload::from_f64s(&values);
-        prop_assert_eq!(p.len(), values.len() * 8);
-        prop_assert_eq!(p.to_f64s().unwrap(), values);
-    }
+        assert_eq!(p.len(), values.len() * 8);
+        assert_eq!(p.to_f64s().unwrap(), values);
+    });
+}
 
-    #[test]
-    fn reduce_combine_matches_scalar_fold(
-        a in prop::collection::vec(-1e6f64..1e6, 1..16),
-        b in prop::collection::vec(-1e6f64..1e6, 1..16),
-    ) {
-        prop_assume!(a.len() == b.len());
+#[test]
+fn reduce_combine_matches_scalar_fold() {
+    forall("reduce_combine_matches_scalar_fold", 48, |rng| {
+        let lanes = rng.range(1, 16);
+        let a: Vec<f64> = (0..lanes).map(|_| (rng.f64() * 2.0 - 1.0) * 1e6).collect();
+        let b: Vec<f64> = (0..lanes).map(|_| (rng.f64() * 2.0 - 1.0) * 1e6).collect();
         for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
             let combined = op
                 .combine(&Payload::from_f64s(&a), &Payload::from_f64s(&b))
@@ -28,17 +33,17 @@ proptest! {
                 .to_f64s()
                 .unwrap();
             for ((&x, &y), &z) in a.iter().zip(&b).zip(&combined) {
-                prop_assert_eq!(op.apply(x, y), z);
+                assert_eq!(op.apply(x, y), z);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn allreduce_agrees_with_local_fold(
-        size in 2usize..9,
-        lanes in prop::collection::vec(0u8..100, 1..5),
-    ) {
-        let lane_count = lanes.len();
+#[test]
+fn allreduce_agrees_with_local_fold() {
+    forall("allreduce_agrees_with_local_fold", 24, |rng| {
+        let size = rng.range(2, 9);
+        let lane_count = rng.range(1, 5);
         let results = World::run(size, move |comm| {
             let mine: Vec<f64> = (0..lane_count)
                 .map(|l| (comm.rank() * 31 + l * 7) as f64)
@@ -53,18 +58,18 @@ proptest! {
             .map(|l| (0..size).map(|r| (r * 31 + l * 7) as f64).sum())
             .collect();
         for r in results {
-            prop_assert_eq!(&r, &expected);
+            assert_eq!(&r, &expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn random_exchange_schedule_delivers_everything(
-        size in 2usize..8,
-        schedule in prop::collection::vec((0usize..8, 0usize..8, 1usize..4096), 1..24),
-    ) {
-        // Filter the schedule to valid, non-self pairs.
-        let sends: Vec<(usize, usize, usize)> = schedule
-            .into_iter()
+#[test]
+fn random_exchange_schedule_delivers_everything() {
+    forall("random_exchange_schedule_delivers_everything", 24, |rng| {
+        let size = rng.range(2, 8);
+        // A random schedule, filtered to valid, non-self pairs.
+        let sends: Vec<(usize, usize, usize)> = (0..rng.range(1, 24))
+            .map(|_| (rng.range(0, 8), rng.range(0, 8), rng.range(1, 4096)))
             .filter(|&(s, d, _)| s < size && d < size && s != d)
             .collect();
         let sends2 = sends.clone();
@@ -99,14 +104,27 @@ proptest! {
         })
         .unwrap();
         let expected_per_rank: Vec<usize> = (0..size)
-            .map(|r| sends.iter().filter(|&&(_, d, _)| d == r).map(|&(_, _, b)| b).sum())
+            .map(|r| {
+                sends
+                    .iter()
+                    .filter(|&&(_, d, _)| d == r)
+                    .map(|&(_, _, b)| b)
+                    .sum()
+            })
             .collect();
-        prop_assert_eq!(results, expected_per_rank);
-    }
+        assert_eq!(results, expected_per_rank);
+    });
+}
 
-    #[test]
-    fn gather_preserves_group_order(members in prop::collection::btree_set(0usize..10, 2..6)) {
-        let members: Vec<usize> = members.into_iter().collect();
+#[test]
+fn gather_preserves_group_order() {
+    forall("gather_preserves_group_order", 24, |rng| {
+        let mut members: Vec<usize> = (0..rng.range(2, 6)).map(|_| rng.range(0, 10)).collect();
+        members.sort_unstable();
+        members.dedup();
+        if members.len() < 2 {
+            members = vec![0, 9];
+        }
         let members2 = members.clone();
         let results = World::run(10, move |comm| {
             if !members2.contains(&comm.rank()) {
@@ -120,12 +138,15 @@ proptest! {
         .unwrap();
         let at_root = results[members[0]].as_ref().unwrap();
         for (i, payload) in at_root.iter().enumerate() {
-            prop_assert_eq!(payload.to_f64s().unwrap()[0] as usize, members[i]);
+            assert_eq!(payload.to_f64s().unwrap()[0] as usize, members[i]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn alltoall_is_a_transpose(size in 2usize..8) {
+#[test]
+fn alltoall_is_a_transpose() {
+    forall("alltoall_is_a_transpose", 12, |rng| {
+        let size = rng.range(2, 8);
         let results = World::run(size, move |comm| {
             let payloads: Vec<Payload> = (0..comm.size())
                 .map(|j| Payload::from_f64s(&[(comm.rank() * 100 + j) as f64]))
@@ -135,8 +156,8 @@ proptest! {
         .unwrap();
         for (i, blocks) in results.iter().enumerate() {
             for (j, b) in blocks.iter().enumerate() {
-                prop_assert_eq!(b.to_f64s().unwrap()[0] as usize, j * 100 + i);
+                assert_eq!(b.to_f64s().unwrap()[0] as usize, j * 100 + i);
             }
         }
-    }
+    });
 }

@@ -1,11 +1,85 @@
 //! The discrete-event core: per-link FIFO serialization of flows.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
-use crate::fabric::Fabric;
+use crate::fabric::{Fabric, LinkId};
 use crate::stats::RunStats;
 use crate::traffic::Flow;
+
+/// Unique-pair count above which missing paths are computed on worker
+/// threads; below it the spawn cost outweighs the routing work.
+const PAR_PATH_THRESHOLD: usize = 64;
+
+/// Memoized per-(src, dst) routes for a static fabric.
+///
+/// Fabrics never change during a run and application traffic repeats the
+/// same pairs (halo exchanges, transposes), so the engine resolves each
+/// distinct pair once. A cache can be reused across `simulate_*` calls on
+/// the **same** fabric — replaying several traffic patterns on one fabric
+/// pays the routing cost once — and missing paths are computed in parallel
+/// (input order preserved, so results are deterministic).
+#[derive(Debug, Default)]
+pub struct PathCache {
+    slot_of_pair: HashMap<(usize, usize), usize>,
+    paths: Vec<Option<Vec<LinkId>>>,
+}
+
+impl PathCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PathCache::default()
+    }
+
+    /// Number of distinct (src, dst) pairs resolved so far.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True if no pair has been resolved yet.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Forgets all cached routes (required before switching fabrics).
+    pub fn clear(&mut self) {
+        self.slot_of_pair.clear();
+        self.paths.clear();
+    }
+
+    /// The cached route in slot `slot`.
+    #[inline]
+    fn path(&self, slot: usize) -> Option<&[LinkId]> {
+        self.paths[slot].as_deref()
+    }
+
+    /// Resolves every flow's pair (computing missing routes, in parallel
+    /// when there are many) and returns each flow's cache slot.
+    fn index_flows(&mut self, fabric: &dyn Fabric, flows: &[Flow]) -> Vec<usize> {
+        let mut slots = Vec::with_capacity(flows.len());
+        let mut missing: Vec<(usize, usize)> = Vec::new();
+        for f in flows {
+            assert!(
+                f.src < fabric.nodes() && f.dst < fabric.nodes(),
+                "flow endpoints in range"
+            );
+            let next = self.paths.len() + missing.len();
+            let slot = *self.slot_of_pair.entry((f.src, f.dst)).or_insert_with(|| {
+                missing.push((f.src, f.dst));
+                next
+            });
+            slots.push(slot);
+        }
+        if missing.len() >= PAR_PATH_THRESHOLD {
+            self.paths
+                .extend(hfast_par::par_map(missing, |(s, d)| fabric.path(s, d)));
+        } else {
+            self.paths
+                .extend(missing.into_iter().map(|(s, d)| fabric.path(s, d)));
+        }
+        slots
+    }
+}
 
 /// One scheduled simulator event: a flow arriving at hop `hop` of its path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -44,13 +118,31 @@ pub fn simulate(fabric: &dyn Fabric, flows: &[Flow]) -> RunStats {
     stats
 }
 
+/// [`simulate`] with a caller-owned [`PathCache`] (reusable across runs on
+/// the same fabric).
+pub fn simulate_with_cache(fabric: &dyn Fabric, flows: &[Flow], cache: &mut PathCache) -> RunStats {
+    let (stats, _records) = simulate_detailed_with_cache(fabric, flows, cache);
+    stats
+}
+
 /// [`simulate`], additionally returning per-flow records.
 pub fn simulate_detailed(fabric: &dyn Fabric, flows: &[Flow]) -> (RunStats, Vec<FlowRecord>) {
-    let mut paths: Vec<Option<Vec<usize>>> = Vec::with_capacity(flows.len());
-    for f in flows {
-        assert!(f.src < fabric.nodes() && f.dst < fabric.nodes(), "flow endpoints in range");
-        paths.push(fabric.path(f.src, f.dst));
-    }
+    let mut cache = PathCache::new();
+    simulate_detailed_with_cache(fabric, flows, &mut cache)
+}
+
+/// [`simulate_detailed`] with a caller-owned [`PathCache`].
+///
+/// Flows are resolved to cache slots — one stored route per distinct
+/// (src, dst) pair, however many flows repeat it — and the event loop reads
+/// routes through the cache, so no per-flow path buffers are allocated.
+/// The event loop itself is unchanged and fully deterministic.
+pub fn simulate_detailed_with_cache(
+    fabric: &dyn Fabric,
+    flows: &[Flow],
+    cache: &mut PathCache,
+) -> (RunStats, Vec<FlowRecord>) {
+    let flow_slot = cache.index_flows(fabric, flows);
 
     let mut link_free_at: Vec<u64> = vec![0; fabric.link_count()];
     let mut link_busy_ns: Vec<u64> = vec![0; fabric.link_count()];
@@ -61,14 +153,14 @@ pub fn simulate_detailed(fabric: &dyn Fabric, flows: &[Flow]) -> (RunStats, Vec<
             flow: i,
             start_ns: f.start_ns,
             end_ns: None,
-            hops: paths[i].as_ref().map_or(0, Vec::len),
+            hops: cache.path(flow_slot[i]).map_or(0, <[LinkId]>::len),
         })
         .collect();
 
     let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     let mut seq = 0u64;
     for (i, f) in flows.iter().enumerate() {
-        if let Some(p) = &paths[i] {
+        if let Some(p) = cache.path(flow_slot[i]) {
             if p.is_empty() {
                 records[i].end_ns = Some(f.start_ns); // self-delivery
                 continue;
@@ -84,7 +176,7 @@ pub fn simulate_detailed(fabric: &dyn Fabric, flows: &[Flow]) -> (RunStats, Vec<
     }
 
     while let Some(Reverse(ev)) = heap.pop() {
-        let path = paths[ev.flow].as_ref().expect("queued flows have paths");
+        let path = cache.path(flow_slot[ev.flow]).expect("queued flows have paths");
         let link_id = path[ev.hop];
         let spec = fabric.link(link_id);
         let bytes = flows[ev.flow].bytes;
@@ -202,5 +294,31 @@ mod tests {
         let (a, _) = simulate_detailed(&Wire, &flows);
         let (b, _) = simulate_detailed(&Wire, &flows);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_deduplicates_repeated_pairs() {
+        let flows: Vec<Flow> = (0..40)
+            .map(|i| flow(i % 2, (i + 1) % 2, 64, i as u64))
+            .collect();
+        let mut cache = PathCache::new();
+        let (with_cache, recs_cached) = simulate_detailed_with_cache(&Wire, &flows, &mut cache);
+        assert_eq!(cache.len(), 2, "only two distinct pairs");
+        let (fresh, recs_fresh) = simulate_detailed(&Wire, &flows);
+        assert_eq!(with_cache, fresh);
+        assert_eq!(recs_cached, recs_fresh);
+    }
+
+    #[test]
+    fn cache_reuse_across_runs_is_identical() {
+        let flows_a: Vec<Flow> = (0..10).map(|i| flow(0, 1, 100 + i, i)).collect();
+        let flows_b: Vec<Flow> = (0..10).map(|i| flow(1, 0, 50 + i, i * 7)).collect();
+        let mut cache = PathCache::new();
+        let warm_a = simulate_with_cache(&Wire, &flows_a, &mut cache);
+        let warm_b = simulate_with_cache(&Wire, &flows_b, &mut cache);
+        assert_eq!(warm_a, simulate(&Wire, &flows_a));
+        assert_eq!(warm_b, simulate(&Wire, &flows_b));
+        cache.clear();
+        assert!(cache.is_empty());
     }
 }

@@ -28,7 +28,11 @@ impl LinkSpec {
 }
 
 /// A network fabric: a set of links and a deterministic routing function.
-pub trait Fabric {
+///
+/// `Sync` is a supertrait so the engine can precompute routes for many
+/// (src, dst) pairs in parallel; fabrics are immutable descriptions, so
+/// every implementation is trivially `Sync`.
+pub trait Fabric: Sync {
     /// Human-readable fabric name.
     fn name(&self) -> &str;
 

@@ -1,52 +1,53 @@
 //! Property-based tests for the discrete-event simulator and fabrics.
 
-use proptest::prelude::*;
-
 use hfast_core::{ProvisionConfig, Provisioning};
-use hfast_netsim::engine::simulate_detailed;
+use hfast_netsim::engine::{simulate_detailed, simulate_detailed_with_cache, PathCache};
 use hfast_netsim::{simulate, traffic, Fabric, FatTreeFabric, Flow, HfastFabric, TorusFabric};
+use hfast_par::{forall, Rng64};
 use hfast_topology::CommGraph;
 
-fn flows(n: usize, max: usize) -> impl Strategy<Value = Vec<Flow>> {
-    prop::collection::vec(
-        (0..n, 0..n, 1u64..(1 << 20), 0u64..1_000_000),
-        1..max,
-    )
-    .prop_map(|v| {
-        v.into_iter()
-            .map(|(src, dst, bytes, start_ns)| Flow {
-                src,
-                dst,
-                bytes,
-                start_ns,
-            })
-            .collect()
-    })
+fn flows(rng: &mut Rng64, n: usize, max: usize) -> Vec<Flow> {
+    (0..rng.range(1, max))
+        .map(|_| Flow {
+            src: rng.range(0, n),
+            dst: rng.range(0, n),
+            bytes: rng.range_u64(1, 1 << 20),
+            start_ns: rng.range_u64(0, 1_000_000),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn fat_tree_delivers_everything(fs in flows(32, 60)) {
+#[test]
+fn fat_tree_delivers_everything() {
+    forall("fat_tree_delivers_everything", 48, |rng| {
+        let fs = flows(rng, 32, 60);
         let fabric = FatTreeFabric::new(32, 8);
         let stats = simulate(&fabric, &fs);
-        prop_assert_eq!(stats.completed, fs.len());
-        prop_assert_eq!(stats.unrouted, 0);
-        prop_assert_eq!(stats.delivered_bytes, fs.iter().map(|f| f.bytes).sum::<u64>());
-    }
+        assert_eq!(stats.completed, fs.len());
+        assert_eq!(stats.unrouted, 0);
+        assert_eq!(
+            stats.delivered_bytes,
+            fs.iter().map(|f| f.bytes).sum::<u64>()
+        );
+    });
+}
 
-    #[test]
-    fn torus_delivers_everything(fs in flows(27, 60)) {
+#[test]
+fn torus_delivers_everything() {
+    forall("torus_delivers_everything", 48, |rng| {
+        let fs = flows(rng, 27, 60);
         let fabric = TorusFabric::new((3, 3, 3));
         let stats = simulate(&fabric, &fs);
-        prop_assert_eq!(stats.completed, fs.len());
-    }
+        assert_eq!(stats.completed, fs.len());
+    });
+}
 
-    #[test]
-    fn latency_lower_bound_holds(fs in flows(32, 40)) {
+#[test]
+fn latency_lower_bound_holds() {
+    forall("latency_lower_bound_holds", 48, |rng| {
         // No flow can beat its uncontended cut-through time:
         // sum of link latencies + one serialization on its slowest link.
+        let fs = flows(rng, 32, 40);
         let fabric = FatTreeFabric::new(32, 8);
         let (_, records) = simulate_detailed(&fabric, &fs);
         for r in &records {
@@ -59,7 +60,7 @@ proptest! {
                 .max()
                 .unwrap_or(0);
             let end = r.end_ns.expect("delivered");
-            prop_assert!(
+            assert!(
                 end - r.start_ns >= min_lat + min_ser,
                 "flow {} beat physics: {} < {} + {}",
                 r.flow,
@@ -68,50 +69,77 @@ proptest! {
                 min_ser
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn simulation_is_deterministic(fs in flows(16, 50)) {
+#[test]
+fn simulation_is_deterministic() {
+    forall("simulation_is_deterministic", 48, |rng| {
+        let fs = flows(rng, 16, 50);
         let fabric = TorusFabric::new((4, 2, 2));
         let a = simulate(&fabric, &fs);
         let b = simulate(&fabric, &fs);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn hfast_routes_every_provisioned_flow(
-        msgs in prop::collection::vec((0usize..12, 0usize..12, 2048u64..(1 << 20)), 1..40),
-    ) {
+#[test]
+fn cached_simulation_matches_uncached() {
+    // A shared PathCache — cold, then warm across repeated runs — must
+    // leave the simulation results bit-identical to the cache-free path.
+    forall("cached_simulation_matches_uncached", 48, |rng| {
+        let fabric = TorusFabric::new((3, 3, 3));
+        let mut cache = PathCache::new();
+        for _ in 0..3 {
+            let fs = flows(rng, 27, 80);
+            let (fresh_stats, fresh_recs) = simulate_detailed(&fabric, &fs);
+            let (warm_stats, warm_recs) = simulate_detailed_with_cache(&fabric, &fs, &mut cache);
+            assert_eq!(fresh_stats, warm_stats);
+            assert_eq!(fresh_recs, warm_recs);
+        }
+        assert!(cache.len() <= 27 * 27);
+    });
+}
+
+#[test]
+fn hfast_routes_every_provisioned_flow() {
+    forall("hfast_routes_every_provisioned_flow", 48, |rng| {
         let mut g = CommGraph::new(12);
-        for &(a, b, bytes) in &msgs {
+        for _ in 0..rng.range(1, 40) {
+            let a = rng.range(0, 12);
+            let b = rng.range(0, 12);
             if a != b {
-                g.add_message(a, b, bytes);
+                g.add_message(a, b, rng.range_u64(2048, 1 << 20));
             }
         }
         let fabric = HfastFabric::new(Provisioning::per_node(&g, ProvisionConfig::default()));
         let fs = traffic::flows_from_graph(&g, 2048);
         let stats = simulate(&fabric, &fs);
-        prop_assert_eq!(stats.unrouted, 0);
-        prop_assert_eq!(stats.completed, fs.len());
-    }
+        assert_eq!(stats.unrouted, 0);
+        assert_eq!(stats.completed, fs.len());
+    });
+}
 
-    #[test]
-    fn delaying_a_flow_never_helps_others_complete_later_overall(
-        fs in flows(16, 20),
-        delay in 1u64..1_000_000,
-    ) {
-        // Pushing one flow later cannot make the earliest delivery later
-        // than the previous makespan (weak sanity of the FIFO model).
+#[test]
+fn delaying_a_flow_never_helps_others_complete_later_overall() {
+    forall("delaying_a_flow_never_changes_completion", 48, |rng| {
+        // Pushing one flow later cannot change how many flows complete
+        // (weak sanity of the FIFO model).
+        let fs = flows(rng, 16, 20);
+        let delay = rng.range_u64(1, 1_000_000);
         let fabric = FatTreeFabric::new(16, 8);
         let base = simulate(&fabric, &fs);
         let mut delayed = fs.clone();
         delayed[0].start_ns += delay;
         let after = simulate(&fabric, &delayed);
-        prop_assert_eq!(after.completed, base.completed);
-    }
+        assert_eq!(after.completed, base.completed);
+    });
+}
 
-    #[test]
-    fn paths_stay_within_link_table(fs in flows(30, 30)) {
+#[test]
+fn paths_stay_within_link_table() {
+    forall("paths_stay_within_link_table", 48, |rng| {
+        let fs = flows(rng, 30, 30);
         for fabric in [
             Box::new(FatTreeFabric::new(30, 8)) as Box<dyn Fabric>,
             Box::new(TorusFabric::new((5, 3, 2))) as Box<dyn Fabric>,
@@ -120,30 +148,28 @@ proptest! {
                 if f.src < fabric.nodes() && f.dst < fabric.nodes() {
                     if let Some(path) = fabric.path(f.src, f.dst) {
                         for link in path {
-                            prop_assert!(link < fabric.link_count());
+                            assert!(link < fabric.link_count());
                         }
                     }
                 }
             }
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn hfast_fabric_paths_agree_with_provisioning_routes(
-        msgs in prop::collection::vec((0usize..14, 0usize..14, 2048u64..(1 << 21)), 1..60),
-    ) {
+#[test]
+fn hfast_fabric_paths_agree_with_provisioning_routes() {
+    forall("hfast_fabric_paths_agree_with_provisioning_routes", 32, |rng| {
         // The fabric's link path and the provisioning's analytic route are
         // two views of the same wiring: link count must equal
         // switch_hops + 1 (each switch hop is entered by one link, plus the
         // final link out to the node).
         let mut g = CommGraph::new(14);
-        for &(a, b, bytes) in &msgs {
+        for _ in 0..rng.range(1, 60) {
+            let a = rng.range(0, 14);
+            let b = rng.range(0, 14);
             if a != b {
-                g.add_message(a, b, bytes);
+                g.add_message(a, b, rng.range_u64(2048, 1 << 21));
             }
         }
         let prov = Provisioning::per_node(&g, ProvisionConfig::default());
@@ -156,38 +182,34 @@ proptest! {
                 match prov.route(a, b) {
                     Some(route) => {
                         let path = fabric.path(a, b).expect("routed pair has a path");
-                        prop_assert_eq!(
-                            path.len(),
-                            route.switch_hops + 1,
-                            "pair ({}, {})",
-                            a,
-                            b
-                        );
+                        assert_eq!(path.len(), route.switch_hops + 1, "pair ({}, {})", a, b);
                     }
                     None => {
                         // Unrouted pairs fall back to the 2-link tree.
                         let path = fabric.path(a, b).expect("tree fallback");
-                        prop_assert_eq!(path.len(), 2);
+                        assert_eq!(path.len(), 2);
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn degraded_fabric_never_routes_through_failures(
-        fs in flows(27, 30),
-        dead in prop::collection::btree_set(0usize..27, 0..5),
-    ) {
+#[test]
+fn degraded_fabric_never_routes_through_failures() {
+    forall("degraded_fabric_never_routes_through_failures", 32, |rng| {
+        let fs = flows(rng, 27, 30);
+        let mut dead: Vec<usize> = (0..rng.range(0, 5)).map(|_| rng.range(0, 27)).collect();
+        dead.sort_unstable();
+        dead.dedup();
         let torus = TorusFabric::new((3, 3, 3));
-        let dead: Vec<usize> = dead.into_iter().collect();
         let degraded = hfast_netsim::DegradedFabric::new(&torus, dead.clone(), []);
         let stats = simulate(&degraded, &fs);
         let involving_dead = fs
             .iter()
             .filter(|f| dead.contains(&f.src) || dead.contains(&f.dst))
             .count();
-        prop_assert!(stats.unrouted >= involving_dead.min(fs.len()));
-        prop_assert_eq!(stats.completed + stats.unrouted, fs.len());
-    }
+        assert!(stats.unrouted >= involving_dead.min(fs.len()));
+        assert_eq!(stats.completed + stats.unrouted, fs.len());
+    });
 }

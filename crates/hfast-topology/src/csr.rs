@@ -19,19 +19,29 @@ pub struct CsrGraph {
 impl CsrGraph {
     /// Builds the CSR view keeping only edges with `max_msg >= cutoff`
     /// (`cutoff == 0` keeps every active edge).
+    ///
+    /// Two passes over the dense adjacency: a counting pass sizes every
+    /// allocation exactly, so the fill pass never reallocates — on dense
+    /// graphs the repeated `Vec` growth used to cost several times the
+    /// scan itself.
     pub fn from_graph(graph: &CommGraph, cutoff: u64) -> Self {
         let n = graph.n();
         let mut offsets = Vec::with_capacity(n + 1);
-        let mut targets = Vec::new();
-        let mut stats = Vec::new();
         offsets.push(0);
+        let mut nnz = 0usize;
+        for v in 0..n {
+            nnz += graph.degree_thresholded(v, cutoff);
+            offsets.push(nnz);
+        }
+        let mut targets = Vec::with_capacity(nnz);
+        let mut stats = Vec::with_capacity(nnz);
         for v in 0..n {
             for (u, e) in graph.neighbors_thresholded(v, cutoff) {
                 targets.push(u);
                 stats.push(*e);
             }
-            offsets.push(targets.len());
         }
+        debug_assert_eq!(targets.len(), nnz);
         CsrGraph {
             n,
             offsets,

@@ -28,4 +28,7 @@ pub use embedding::{degree_histogram, detect_structure, isotropy, traffic_isotro
 pub use graph::{CommGraph, EdgeStat};
 pub use histogram::BufferHistogram;
 pub use matrix::{render_ascii, to_csv, to_dot};
-pub use tdc::{tdc, tdc_sweep, TdcSummary, BDP_CUTOFF, PAPER_CUTOFFS};
+pub use tdc::{
+    degrees_sweep, tdc, tdc_sweep, tdc_sweep_csr, tdc_sweep_naive, TdcSummary, BDP_CUTOFF,
+    PAPER_CUTOFFS,
+};

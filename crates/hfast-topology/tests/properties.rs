@@ -1,17 +1,17 @@
 //! Property-based tests for the topology layer.
 
-use proptest::prelude::*;
-
+use hfast_par::{forall, Rng64};
 use hfast_topology::{
-    bisection_bytes, tdc, tdc_sweep, BufferHistogram, CommGraph, CsrGraph, PAPER_CUTOFFS,
+    bisection_bytes, tdc, tdc_sweep, tdc_sweep_naive, BufferHistogram, CommGraph, CsrGraph,
+    PAPER_CUTOFFS,
 };
 
-/// Strategy: a random message list over `n` ranks.
-fn messages(n: usize, max_msgs: usize) -> impl Strategy<Value = Vec<(usize, usize, u64)>> {
-    prop::collection::vec(
-        (0..n, 0..n, 1u64..(2 << 20)),
-        0..max_msgs,
-    )
+/// A random message list over `n` ranks.
+fn messages(rng: &mut Rng64, n: usize, max_msgs: usize) -> Vec<(usize, usize, u64)> {
+    let count = rng.range(0, max_msgs);
+    (0..count)
+        .map(|_| (rng.range(0, n), rng.range(0, n), rng.range_u64(1, 2 << 20)))
+        .collect()
 }
 
 fn build(n: usize, msgs: &[(usize, usize, u64)]) -> CommGraph {
@@ -22,77 +22,114 @@ fn build(n: usize, msgs: &[(usize, usize, u64)]) -> CommGraph {
     g
 }
 
-proptest! {
-    #[test]
-    fn graph_stays_symmetric(msgs in messages(12, 200)) {
-        let g = build(12, &msgs);
-        prop_assert!(g.is_symmetric());
-    }
+fn random_graph(rng: &mut Rng64, n: usize, max_msgs: usize) -> CommGraph {
+    let msgs = messages(rng, n, max_msgs);
+    build(n, &msgs)
+}
 
-    #[test]
-    fn tdc_monotone_in_cutoff(msgs in messages(10, 150)) {
-        let g = build(10, &msgs);
+#[test]
+fn graph_stays_symmetric() {
+    forall("graph_stays_symmetric", 256, |rng| {
+        let g = random_graph(rng, 12, 200);
+        assert!(g.is_symmetric());
+    });
+}
+
+#[test]
+fn tdc_monotone_in_cutoff() {
+    forall("tdc_monotone_in_cutoff", 256, |rng| {
+        let g = random_graph(rng, 10, 150);
         let sweep = tdc_sweep(&g, &PAPER_CUTOFFS);
         for w in sweep.windows(2) {
-            prop_assert!(w[1].1.max <= w[0].1.max);
-            prop_assert!(w[1].1.avg <= w[0].1.avg + 1e-12);
-            prop_assert!(w[1].1.min <= w[0].1.min);
+            assert!(w[1].1.max <= w[0].1.max);
+            assert!(w[1].1.avg <= w[0].1.avg + 1e-12);
+            assert!(w[1].1.min <= w[0].1.min);
         }
-    }
+    });
+}
 
-    #[test]
-    fn degree_bounds(msgs in messages(9, 100)) {
-        let g = build(9, &msgs);
+#[test]
+fn sweep_equals_naive_per_cutoff() {
+    // The single-pass sweep must produce numbers identical to running the
+    // straightforward per-cutoff rescan — on the paper's axis and on random
+    // cutoff lists (unsorted, duplicated, huge).
+    forall("sweep_equals_naive_per_cutoff", 256, |rng| {
+        let n = rng.range(1, 16);
+        let g = random_graph(rng, n, 200);
+        assert_eq!(tdc_sweep(&g, &PAPER_CUTOFFS), tdc_sweep_naive(&g, &PAPER_CUTOFFS));
+        let cutoffs: Vec<u64> = (0..rng.range(1, 10))
+            .map(|_| rng.range_u64(0, 4 << 20))
+            .collect();
+        assert_eq!(tdc_sweep(&g, &cutoffs), tdc_sweep_naive(&g, &cutoffs));
+    });
+}
+
+#[test]
+fn degree_bounds() {
+    forall("degree_bounds", 256, |rng| {
+        let g = random_graph(rng, 9, 100);
         let s = tdc(&g, 0);
-        prop_assert!(s.max <= 8, "degree cannot exceed n-1");
-        prop_assert!(s.min <= s.median && s.median <= s.max);
-        prop_assert!(s.min as f64 <= s.avg && s.avg <= s.max as f64);
-    }
+        assert!(s.max <= 8, "degree cannot exceed n-1");
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert!(s.min as f64 <= s.avg && s.avg <= s.max as f64);
+    });
+}
 
-    #[test]
-    fn csr_matches_dense(msgs in messages(10, 120), cutoff in 0u64..(1 << 21)) {
-        let g = build(10, &msgs);
+#[test]
+fn csr_matches_dense() {
+    forall("csr_matches_dense", 256, |rng| {
+        let g = random_graph(rng, 10, 120);
+        let cutoff = rng.range_u64(0, 1 << 21);
         let csr = CsrGraph::from_graph(&g, cutoff);
         for v in 0..10 {
-            prop_assert_eq!(csr.degree(v), g.degree_thresholded(v, cutoff));
+            assert_eq!(csr.degree(v), g.degree_thresholded(v, cutoff));
             for &u in csr.neighbors(v) {
-                prop_assert!(csr.has_edge(v, u));
-                prop_assert!(csr.has_edge(u, v), "CSR adjacency is symmetric");
+                assert!(csr.has_edge(v, u));
+                assert!(csr.has_edge(u, v), "CSR adjacency is symmetric");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn bisection_bounded_by_total(msgs in messages(8, 100)) {
-        let g = build(8, &msgs);
-        prop_assert!(bisection_bytes(&g) <= g.total_bytes());
-    }
+#[test]
+fn bisection_bounded_by_total() {
+    forall("bisection_bounded_by_total", 256, |rng| {
+        let g = random_graph(rng, 8, 100);
+        assert!(bisection_bytes(&g) <= g.total_bytes());
+    });
+}
 
-    #[test]
-    fn histogram_cdf_properties(entries in prop::collection::vec((1u64..(1<<22), 1u64..1000), 1..50)) {
+#[test]
+fn histogram_cdf_properties() {
+    forall("histogram_cdf_properties", 256, |rng| {
+        let entries: Vec<(u64, u64)> = (0..rng.range(1, 50))
+            .map(|_| (rng.range_u64(1, 1 << 22), rng.range_u64(1, 1000)))
+            .collect();
         let hist: BufferHistogram = entries.iter().copied().collect();
         let cdf = hist.cdf();
         // Monotone, ends at exactly 1.
         for w in cdf.windows(2) {
-            prop_assert!(w[0].1 <= w[1].1 + 1e-12);
-            prop_assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1 + 1e-12);
+            assert!(w[0].0 < w[1].0);
         }
-        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
         // Median is consistent with the CDF.
         let median = hist.median().unwrap();
-        prop_assert!(hist.fraction_at_or_below(median) >= 0.5);
+        assert!(hist.fraction_at_or_below(median) >= 0.5);
         if median > 0 {
-            prop_assert!(hist.fraction_at_or_below(median - 1) < 0.5 + 1e-12);
+            assert!(hist.fraction_at_or_below(median - 1) < 0.5 + 1e-12);
         }
         // Percentiles are monotone.
         let p25 = hist.percentile(25.0).unwrap();
         let p75 = hist.percentile(75.0).unwrap();
-        prop_assert!(p25 <= median && median <= p75);
-    }
+        assert!(p25 <= median && median <= p75);
+    });
+}
 
-    #[test]
-    fn bfs_distances_satisfy_triangle_on_edges(msgs in messages(10, 80)) {
-        let g = build(10, &msgs);
+#[test]
+fn bfs_distances_satisfy_triangle_on_edges() {
+    forall("bfs_distances_satisfy_triangle_on_edges", 256, |rng| {
+        let g = random_graph(rng, 10, 80);
         let csr = CsrGraph::from_graph(&g, 0);
         let dist = csr.bfs_distances(0);
         for v in 0..10 {
@@ -100,28 +137,30 @@ proptest! {
                 continue;
             }
             for &u in csr.neighbors(v) {
-                prop_assert!(
+                assert!(
                     dist[u] != usize::MAX && dist[u] + 1 >= dist[v] && dist[v] + 1 >= dist[u],
                     "adjacent distances differ by at most 1"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn components_consistent_with_reachability(msgs in messages(10, 60)) {
-        let g = build(10, &msgs);
+#[test]
+fn components_consistent_with_reachability() {
+    forall("components_consistent_with_reachability", 128, |rng| {
+        let g = random_graph(rng, 10, 60);
         let csr = CsrGraph::from_graph(&g, 0);
         let comp = csr.components();
         for src in 0..10 {
             let dist = csr.bfs_distances(src);
             for v in 0..10 {
-                prop_assert_eq!(
+                assert_eq!(
                     dist[v] != usize::MAX,
                     comp[v] == comp[src],
                     "reachable iff same component"
                 );
             }
         }
-    }
+    });
 }

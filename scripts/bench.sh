@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs every bench suite and assembles the results into BENCH_<tag>.json
+# at the repo root (one JSON document: {"tag": ..., "results": [...]}).
+#
+# Usage: scripts/bench.sh [tag]        (default tag: pr1)
+#   HFAST_BENCH_FAST=1 scripts/bench.sh   # quick smoke pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TAG="${1:-pr1}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+export HFAST_BENCH_JSON="$TMP"
+
+for suite in topology provision netsim runtime apps; do
+  cargo bench -q -p hfast-bench --bench "$suite" 2>&1 | sed 's/^/  /'
+done
+
+OUT="BENCH_${TAG}.json"
+{
+  printf '{\n  "tag": "%s",\n  "results": [\n' "$TAG"
+  # JSON Lines -> comma-joined array entries.
+  sed 's/^/    /; $!s/$/,/' "$TMP"
+  printf '  ]\n}\n'
+} > "$OUT"
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") entries)"

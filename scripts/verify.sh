@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, lint, test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q
+echo "verify: OK"

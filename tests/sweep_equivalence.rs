@@ -1,0 +1,28 @@
+//! Integration: the single-pass multi-cutoff TDC sweep produces numbers
+//! identical to independent per-cutoff `tdc()` calls on every study
+//! application's measured communication graph (the data behind Figures
+//! 5-10's (b) panels).
+
+use hfast::apps::{all_apps, profile_app};
+use hfast::topology::{tdc, tdc_sweep, tdc_sweep_csr, CsrGraph, PAPER_CUTOFFS};
+
+#[test]
+fn sweep_matches_independent_tdc_on_every_app_graph() {
+    for app in all_apps() {
+        let outcome = profile_app(app.as_ref(), 64).expect("profile");
+        let graph = outcome.steady.comm_graph();
+        let sweep = tdc_sweep(&graph, &PAPER_CUTOFFS);
+        let csr_sweep = tdc_sweep_csr(&CsrGraph::from_graph(&graph, 0), &PAPER_CUTOFFS);
+        assert_eq!(sweep.len(), PAPER_CUTOFFS.len());
+        assert_eq!(sweep, csr_sweep, "{}: CSR and dense sweeps agree", app.name());
+        for (&cutoff, (swept_cutoff, summary)) in PAPER_CUTOFFS.iter().zip(&sweep) {
+            assert_eq!(cutoff, *swept_cutoff);
+            assert_eq!(
+                *summary,
+                tdc(&graph, cutoff),
+                "{} at cutoff {cutoff}",
+                app.name()
+            );
+        }
+    }
+}
