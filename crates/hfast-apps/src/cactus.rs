@@ -64,13 +64,7 @@ impl CommKernel for Cactus {
             // Ghost exchange: wait each receive and half the sends
             // individually, sweep the rest with one waitall — this is what
             // produces Cactus's measured Wait/Waitall split.
-            halo_exchange(
-                comm,
-                &partners,
-                FACE_BYTES,
-                tags::HALO,
-                partners.len() / 2,
-            )?;
+            halo_exchange(comm, &partners, FACE_BYTES, tags::HALO, partners.len() / 2)?;
             // Constraint-norm reduction every 8 iterations (tiny payload).
             if step % 8 == 0 {
                 comm.allreduce(Payload::synthetic(8), ReduceOp::Max)?;
@@ -94,7 +88,11 @@ mod tests {
         let g = out.steady.comm_graph();
         let uncut = tdc(&g, 0);
         assert_eq!(uncut.max, 6);
-        assert!((uncut.avg - 4.5).abs() < 0.01, "4x4x4 mesh avg: {}", uncut.avg);
+        assert!(
+            (uncut.avg - 4.5).abs() < 0.01,
+            "4x4x4 mesh avg: {}",
+            uncut.avg
+        );
         // Insensitive to thresholding (all faces ≫ 2 KB).
         let cut = tdc(&g, BDP_CUTOFF);
         assert_eq!(cut.max, uncut.max);
@@ -114,8 +112,7 @@ mod tests {
     #[test]
     fn call_mix_matches_figure2() {
         let out = profile_app(&Cactus::default(), 64).unwrap();
-        let mix: std::collections::BTreeMap<_, _> =
-            out.steady.call_mix().into_iter().collect();
+        let mix: std::collections::BTreeMap<_, _> = out.steady.call_mix().into_iter().collect();
         // Paper: Irecv 26.8, Isend 26.8, Wait 39.3, Waitall 6.5, Other 0.6.
         assert!((mix[&CallKind::Irecv] - 26.8).abs() < 2.0, "{mix:?}");
         assert!((mix[&CallKind::Isend] - 26.8).abs() < 2.0);

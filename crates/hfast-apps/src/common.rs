@@ -133,8 +133,7 @@ mod tests {
     #[test]
     fn halo_exchange_completes_symmetrically() {
         World::run(4, |comm| {
-            let partners: Vec<usize> =
-                (0..4).filter(|&p| p != comm.rank()).collect();
+            let partners: Vec<usize> = (0..4).filter(|&p| p != comm.rank()).collect();
             halo_exchange(comm, &partners, 1024, tags::HALO, 1).unwrap();
             assert_eq!(comm.outstanding_recvs(), 0);
             assert_eq!(comm.unexpected_depth(), 0);

@@ -113,7 +113,11 @@ impl CommKernel for Gtc {
                 for g in 0..gathers {
                     // The third gather of a 3-gather step moves the full
                     // deposition grid rather than per-particle moments.
-                    let bytes = if g == 2 { GRID_GATHER_BYTES } else { GATHER_BYTES };
+                    let bytes = if g == 2 {
+                        GRID_GATHER_BYTES
+                    } else {
+                        GATHER_BYTES
+                    };
                     comm.gather_in(&plane_group, plane_root, Payload::synthetic(bytes))?;
                 }
                 // Field solve residual reductions on 8 of 15 steps.
@@ -187,8 +191,7 @@ mod tests {
     #[test]
     fn call_mix_is_gather_heavy() {
         let out = profile_app(&Gtc::default(), 64).unwrap();
-        let mix: std::collections::BTreeMap<_, _> =
-            out.steady.call_mix().into_iter().collect();
+        let mix: std::collections::BTreeMap<_, _> = out.steady.call_mix().into_iter().collect();
         // Paper: Gather 47.4, Sendrecv 40.8, Allreduce 10.9.
         assert!((mix[&CallKind::Gather] - 47.4).abs() < 2.0, "{mix:?}");
         assert!((mix[&CallKind::Sendrecv] - 40.8).abs() < 2.0);

@@ -167,8 +167,7 @@ mod tests {
     #[test]
     fn call_mix_is_40_40_20() {
         let out = profile_app(&Lbmhd::new(8), 64).unwrap();
-        let mix: std::collections::BTreeMap<_, _> =
-            out.steady.call_mix().into_iter().collect();
+        let mix: std::collections::BTreeMap<_, _> = out.steady.call_mix().into_iter().collect();
         assert!((mix[&CallKind::Isend] - 40.0).abs() < 0.5, "{mix:?}");
         assert!((mix[&CallKind::Irecv] - 40.0).abs() < 0.5);
         assert!((mix[&CallKind::Waitall] - 20.0).abs() < 0.5);

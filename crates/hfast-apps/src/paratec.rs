@@ -91,11 +91,7 @@ impl CommKernel for Paratec {
             let mut sends: Vec<Request> = Vec::with_capacity(3 * (p - 1));
             for off in 1..p {
                 let to = (rank + off) % p;
-                sends.push(comm.isend(
-                    to,
-                    tags::TRANSPOSE,
-                    Payload::synthetic(TRANSPOSE_BYTES),
-                )?);
+                sends.push(comm.isend(to, tags::TRANSPOSE, Payload::synthetic(TRANSPOSE_BYTES))?);
                 for c in 0..2u32 {
                     sends.push(comm.isend(
                         to,
@@ -169,8 +165,7 @@ mod tests {
     #[test]
     fn call_mix_is_25_25_50() {
         let out = profile_app(&Paratec::new(1), 32).unwrap();
-        let mix: std::collections::BTreeMap<_, _> =
-            out.steady.call_mix().into_iter().collect();
+        let mix: std::collections::BTreeMap<_, _> = out.steady.call_mix().into_iter().collect();
         assert!((mix[&CallKind::Isend] - 25.1).abs() < 1.5, "{mix:?}");
         assert!((mix[&CallKind::Irecv] - 24.8).abs() < 1.5);
         assert!((mix[&CallKind::Wait] - 49.6).abs() < 1.5);

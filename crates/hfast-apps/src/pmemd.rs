@@ -66,8 +66,7 @@ impl Pmemd {
         if d == 0 {
             return 0;
         }
-        let decayed =
-            (VOLUME_SCALE / procs as f64) * (-DECAY * d as f64 / procs as f64).exp();
+        let decayed = (VOLUME_SCALE / procs as f64) * (-DECAY * d as f64 / procs as f64).exp();
         if src == HOT_RANK || dst == HOT_RANK {
             return (decayed as usize).max(4096);
         }
@@ -131,7 +130,11 @@ impl CommKernel for Pmemd {
             if p > 2 {
                 let opposite = (rank + p / 2) % p;
                 send_reqs.push(comm.isend(opposite, tags::CONTROL, Payload::synthetic(0))?);
-                pool.push(comm.irecv(SrcSel::Rank((rank + p - p / 2) % p), TagSel::Tag(tags::CONTROL), 0)?);
+                pool.push(comm.irecv(
+                    SrcSel::Rank((rank + p - p / 2) % p),
+                    TagSel::Tag(tags::CONTROL),
+                    0,
+                )?);
             }
             // Drive completion with MPI_Waitany, folding in a quarter of
             // the send requests (PMEMD's measured mix shows slightly more
@@ -199,13 +202,15 @@ mod tests {
     #[test]
     fn call_mix_is_waitany_driven() {
         let out = profile_app(&Pmemd::new(2), 32).unwrap();
-        let mix: std::collections::BTreeMap<_, _> =
-            out.steady.call_mix().into_iter().collect();
+        let mix: std::collections::BTreeMap<_, _> = out.steady.call_mix().into_iter().collect();
         // Paper: Isend 32.7, Irecv 29.3, Waitany 36.6.
         assert!((mix[&CallKind::Isend] - 32.7).abs() < 5.0, "{mix:?}");
         assert!((mix[&CallKind::Irecv] - 29.3).abs() < 5.0);
         assert!((mix[&CallKind::Waitany] - 36.6).abs() < 5.0);
-        assert!(!mix.contains_key(&CallKind::Wait), "no plain MPI_Wait slice");
+        assert!(
+            !mix.contains_key(&CallKind::Wait),
+            "no plain MPI_Wait slice"
+        );
     }
 
     #[test]

@@ -30,8 +30,7 @@ pub const BCAST_BYTES: usize = 24;
 pub const INIT_BYTES: usize = 1 << 20;
 
 /// The SuperLU communication kernel.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SuperLu {
     /// Panel steps; `None` runs `P − 1` steps so the pivot bookkeeping
     /// touches every rank pair (the unthresholded connectivity-of-P
@@ -54,7 +53,6 @@ impl SuperLu {
         }
     }
 }
-
 
 impl CommKernel for SuperLu {
     fn name(&self) -> &'static str {
@@ -118,7 +116,11 @@ impl CommKernel for SuperLu {
             let off = 1 + s % (p - 1).max(1);
             let to_tiny = (rank + off) % p;
             let from_tiny = (rank + p - off) % p;
-            comm.send(to_tiny, Tag(tags::CONTROL.0 + (s % 7) as u32), Payload::synthetic(tiny))?;
+            comm.send(
+                to_tiny,
+                Tag(tags::CONTROL.0 + (s % 7) as u32),
+                Payload::synthetic(tiny),
+            )?;
             comm.recv(from_tiny, Tag(tags::CONTROL.0 + (s % 7) as u32))?;
 
             // Panel description broadcast along the process row.
@@ -172,8 +174,7 @@ mod tests {
     #[test]
     fn call_mix_matches_figure2() {
         let out = profile_app(&SuperLu::default(), 64).unwrap();
-        let mix: std::collections::BTreeMap<_, _> =
-            out.steady.call_mix().into_iter().collect();
+        let mix: std::collections::BTreeMap<_, _> = out.steady.call_mix().into_iter().collect();
         // Paper: Wait 30.6, Isend 16.4, Irecv 15.7, Recv 15.4, Send 14.7,
         // Bcast 5.3 (+ Other 1.9, here the barrier slice).
         assert!((mix[&CallKind::Wait] - 30.6).abs() < 2.0, "{mix:?}");

@@ -91,11 +91,7 @@ impl CommKernel for Synthetic {
         for step in 0..self.steps {
             let mut reqs = Vec::with_capacity(2 * mine.len());
             for &p in mine {
-                reqs.push(comm.irecv(
-                    SrcSel::Rank(p),
-                    TagSel::Tag(tags::HALO),
-                    self.msg_bytes,
-                )?);
+                reqs.push(comm.irecv(SrcSel::Rank(p), TagSel::Tag(tags::HALO), self.msg_bytes)?);
             }
             for &p in mine {
                 reqs.push(comm.isend(p, tags::HALO, Payload::synthetic(self.msg_bytes))?);

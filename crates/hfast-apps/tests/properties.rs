@@ -41,26 +41,30 @@ fn lbmhd_partners_are_symmetric_and_bounded() {
 
 #[test]
 fn pmemd_message_sizes_are_symmetric_and_monotone() {
-    forall("pmemd_message_sizes_are_symmetric_and_monotone", 256, |rng| {
-        let procs = *rng.pick(&[16usize, 64, 128, 256]);
-        let a = rng.range(0, 256) % procs;
-        let b = rng.range(0, 256) % procs;
-        assert_eq!(
-            Pmemd::message_bytes(procs, a, b),
-            Pmemd::message_bytes(procs, b, a)
-        );
-        // Decay monotonicity for non-hot pairs: a partner one step farther
-        // (up to the cutoff distance) never receives more bytes.
-        let src = 1usize; // never the hot rank
-        let cut = Pmemd::cutoff_distance(procs);
-        for d in 1..cut.min(procs - 3) {
-            let nearer = Pmemd::message_bytes(procs, src, src + d);
-            let farther = Pmemd::message_bytes(procs, src, src + d + 1);
-            if src + d + 1 != hfast_apps::pmemd::HOT_RANK {
-                assert!(nearer >= farther, "d={d}: {nearer} < {farther}");
+    forall(
+        "pmemd_message_sizes_are_symmetric_and_monotone",
+        256,
+        |rng| {
+            let procs = *rng.pick(&[16usize, 64, 128, 256]);
+            let a = rng.range(0, 256) % procs;
+            let b = rng.range(0, 256) % procs;
+            assert_eq!(
+                Pmemd::message_bytes(procs, a, b),
+                Pmemd::message_bytes(procs, b, a)
+            );
+            // Decay monotonicity for non-hot pairs: a partner one step farther
+            // (up to the cutoff distance) never receives more bytes.
+            let src = 1usize; // never the hot rank
+            let cut = Pmemd::cutoff_distance(procs);
+            for d in 1..cut.min(procs - 3) {
+                let nearer = Pmemd::message_bytes(procs, src, src + d);
+                let farther = Pmemd::message_bytes(procs, src, src + d + 1);
+                if src + d + 1 != hfast_apps::pmemd::HOT_RANK {
+                    assert!(nearer >= farther, "d={d}: {nearer} < {farther}");
+                }
             }
-        }
-    });
+        },
+    );
 }
 
 #[test]

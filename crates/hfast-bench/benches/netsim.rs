@@ -1,12 +1,29 @@
 //! Benchmarks of the discrete-event simulator across fabrics and loads,
 //! including the path-cache ablation: cold (routes recomputed every run)
-//! versus warm (a reused [`PathCache`]).
+//! versus warm (a reused [`PathCache`]), the observability ablation (an
+//! attached [`EngineObs`] versus none), and the obs-off overhead guard
+//! against the PR-1 baseline.
 
 use hfast_bench::Harness;
 use hfast_core::{ProvisionConfig, Provisioning};
-use hfast_netsim::engine::{simulate_with_cache, PathCache};
-use hfast_netsim::{simulate, traffic, FatTreeFabric, HfastFabric, TorusFabric};
+use hfast_netsim::engine::PathCache;
+use hfast_netsim::{traffic, EngineObs, FatTreeFabric, HfastFabric, Simulation, TorusFabric};
 use hfast_topology::generators::{balanced_dims3, torus3d_graph};
+
+/// Median ns of `suite/name` in the JSONL baseline file at
+/// `HFAST_BENCH_BASELINE`, if present.
+fn baseline_median_ns(name: &str) -> Option<f64> {
+    let path = std::env::var("HFAST_BENCH_BASELINE").ok()?;
+    let text = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"name\":\"{name}\"");
+    let line = text.lines().find(|l| l.contains(&needle))?;
+    let rest = line.split("\"median_ns\":").nth(1)?;
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
 
 fn main() {
     let mut h = Harness::new("netsim");
@@ -17,36 +34,64 @@ fn main() {
 
     let ft = FatTreeFabric::new(n, 8);
     h.bench("netsim_alltoall_64/fat-tree", || {
-        simulate(&ft, std::hint::black_box(&flows))
+        Simulation::new(&ft).run(std::hint::black_box(&flows))
     });
     let torus = TorusFabric::new(balanced_dims3(n));
     h.bench("netsim_alltoall_64/torus", || {
-        simulate(&torus, std::hint::black_box(&flows))
+        Simulation::new(&torus).run(std::hint::black_box(&flows))
     });
     let hfast = HfastFabric::new(Provisioning::per_node(&graph, ProvisionConfig::default()));
     h.bench("netsim_alltoall_64/hfast", || {
-        simulate(&hfast, std::hint::black_box(&flows))
+        Simulation::new(&hfast).run(std::hint::black_box(&flows))
     });
 
     // Pure engine throughput: many small flows over a big torus. The
     // uniform-random load repeats (src, dst) pairs heavily, so this is
-    // also the path-cache ablation: `simulate` re-resolves routes every
-    // call (cold), the warm case amortizes them across runs.
+    // also the path-cache ablation: the cache-free run re-resolves routes
+    // every call (cold), the warm case amortizes them across runs.
     let big = TorusFabric::new((8, 8, 8));
     let many = traffic::uniform_random(512, 20_000, 4096, 1_000_000, 42);
     h.bench("netsim/20k-flows-512-torus/cold", || {
-        simulate(&big, std::hint::black_box(&many))
+        Simulation::new(&big).run(std::hint::black_box(&many))
     });
     let mut cache = PathCache::new();
-    simulate_with_cache(&big, &many, &mut cache); // prime
+    Simulation::new(&big).with_cache(&mut cache).run(&many); // prime
     h.bench("netsim/20k-flows-512-torus/warm", || {
-        simulate_with_cache(&big, std::hint::black_box(&many), &mut cache)
+        Simulation::new(&big)
+            .with_cache(&mut cache)
+            .run(std::hint::black_box(&many))
     });
     h.report_speedup(
         "path_cache_warm",
         "netsim/20k-flows-512-torus/cold",
         "netsim/20k-flows-512-torus/warm",
     );
+
+    // Observability ablation: the same cold run with counters, histograms,
+    // and the link timeline attached.
+    let obs = EngineObs::with_timeline_capacity(4096);
+    h.bench("netsim/20k-flows-512-torus/obs-on", || {
+        Simulation::new(&big)
+            .with_obs(&obs)
+            .run(std::hint::black_box(&many))
+    });
+    h.report_speedup(
+        "obs_off_vs_on",
+        "netsim/20k-flows-512-torus/obs-on",
+        "netsim/20k-flows-512-torus/cold",
+    );
+
+    // Overhead guard: the obs-off cold run must stay within 5% of the
+    // recorded PR-1 baseline (scripts/bench.sh exports
+    // HFAST_BENCH_BASELINE=BENCH_pr1.json when present). The ratio lands
+    // in BENCH_<tag>.json; values > 1.05 mean the instrumented engine got
+    // slower with observability disabled.
+    if let (Some(base), Some(now)) = (
+        baseline_median_ns("netsim/20k-flows-512-torus/cold"),
+        h.median_ns("netsim/20k-flows-512-torus/cold"),
+    ) {
+        h.record_value("guard/obs_off_vs_pr1_cold", now / base);
+    }
 
     h.finish();
 }

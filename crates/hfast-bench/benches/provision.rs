@@ -74,7 +74,13 @@ fn main() {
         greedy_blocks, refined.final_blocks
     );
     h.bench("anneal_4000_moves/torus-256", || {
-        optimize_clusters(std::hint::black_box(&graph), &config, greedy.clone(), 4000, 1)
+        optimize_clusters(
+            std::hint::black_box(&graph),
+            &config,
+            greedy.clone(),
+            4000,
+            1,
+        )
     });
 
     h.finish();

@@ -5,8 +5,7 @@
 use hfast_bench::Harness;
 use hfast_topology::generators::{complete_graph, mesh3d_graph};
 use hfast_topology::{
-    detect_structure, tdc_sweep, tdc_sweep_csr, tdc_sweep_naive, CommGraph, CsrGraph,
-    PAPER_CUTOFFS,
+    detect_structure, tdc_sweep, tdc_sweep_csr, tdc_sweep_naive, CommGraph, CsrGraph, PAPER_CUTOFFS,
 };
 
 fn main() {

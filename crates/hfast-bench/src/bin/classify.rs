@@ -25,7 +25,11 @@ fn main() {
             .find(|(n, _)| *n == row.name)
             .map(|(_, v)| *v)
             .unwrap_or("?");
-        println!("{:<9} measured {:<9} (paper: {expected})", row.name, c.case.to_string());
+        println!(
+            "{:<9} measured {:<9} (paper: {expected})",
+            row.name,
+            c.case.to_string()
+        );
         println!("          {}", c.rationale);
         println!("          prescription: {}\n", c.case.prescription());
     }

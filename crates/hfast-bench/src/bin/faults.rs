@@ -9,7 +9,10 @@ fn main() {
     let p = 64;
     let dims = balanced_dims3(p);
     let app = mesh3d_graph(dims, 300 << 10);
-    println!("{:>8} {:>12} {:>12} {:>14} {:>18}", "failed", "unreachable", "max dilation", "hfast degraded", "hfast circuits Δ");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>18}",
+        "failed", "unreachable", "max dilation", "hfast degraded", "hfast circuits Δ"
+    );
     for k in [1usize, 2, 4, 8] {
         let failed: Vec<usize> = (0..k).map(|i| (i * 13 + 5) % p).collect();
         let torus = torus_fault_impact(dims, &failed);

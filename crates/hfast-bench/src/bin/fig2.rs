@@ -2,8 +2,8 @@
 //! per code, measured vs published.
 
 use hfast_apps::all_apps;
-use hfast_bench::paper::paper_call_mix;
 use hfast_bench::measure_app;
+use hfast_bench::paper::paper_call_mix;
 
 fn main() {
     println!("== Figure 2: relative number of MPI calls per code ==\n");

@@ -11,7 +11,11 @@ fn main() {
     for app in all_apps() {
         let row = measure_app(app.as_ref(), 64);
         let hist = row.steady.ptp_buffer_histogram();
-        println!("{} (median {}):", row.name, format_bytes(hist.median().unwrap_or(0)));
+        println!(
+            "{} (median {}):",
+            row.name,
+            format_bytes(hist.median().unwrap_or(0))
+        );
         println!("  [{}]", cdf_line(&hist.cdf(), 60));
         println!(
             "  ≤ 2KB: {:>5.1}%   ≤ 100KB: {:>5.1}%\n",

@@ -7,8 +7,8 @@
 use hfast_apps::all_apps;
 use hfast_bench::measure_app;
 use hfast_core::{ProvisionConfig, Provisioning};
-use hfast_netsim::engine::{simulate_with_cache, PathCache};
-use hfast_netsim::{traffic, FatTreeFabric, HfastFabric, TorusFabric};
+use hfast_netsim::engine::PathCache;
+use hfast_netsim::{traffic, FatTreeFabric, HfastFabric, Simulation, TorusFabric};
 use hfast_topology::generators::balanced_dims3;
 
 fn main() {
@@ -29,18 +29,24 @@ fn main() {
         }
         let ft = FatTreeFabric::new(procs, 8);
         let torus = TorusFabric::new(balanced_dims3(procs));
-        let hfast = HfastFabric::new(Provisioning::per_node(
-            &graph,
-            ProvisionConfig::default(),
-        ));
+        let hfast = HfastFabric::new(Provisioning::per_node(&graph, ProvisionConfig::default()));
         // One path cache per fabric: each app replays the same (src, dst)
         // pairs many times over, so routes are resolved once.
         let mut cache = PathCache::new();
-        let s_ft = simulate_with_cache(&ft, &flows, &mut cache);
+        let s_ft = Simulation::new(&ft)
+            .with_cache(&mut cache)
+            .run(&flows)
+            .stats;
         cache.clear();
-        let s_to = simulate_with_cache(&torus, &flows, &mut cache);
+        let s_to = Simulation::new(&torus)
+            .with_cache(&mut cache)
+            .run(&flows)
+            .stats;
         cache.clear();
-        let s_hf = simulate_with_cache(&hfast, &flows, &mut cache);
+        let s_hf = Simulation::new(&hfast)
+            .with_cache(&mut cache)
+            .run(&flows)
+            .stats;
         Some((
             row.name,
             s_ft.p50_latency_ns,

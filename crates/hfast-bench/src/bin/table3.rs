@@ -2,9 +2,9 @@
 //! P = 64 and 256, measured vs published.
 
 use hfast_apps::{all_apps, STUDY_SIZES};
+use hfast_bench::measure_app;
 use hfast_bench::paper::paper_row;
 use hfast_bench::render::{table3_header, table3_rows};
-use hfast_bench::measure_app;
 
 fn main() {
     println!("== Table 3: summary of code characteristics ==\n");

@@ -20,9 +20,13 @@
 use std::io::Write as _;
 use std::time::Instant;
 
+use hfast_obs::ToJsonl;
+
 /// One measured case.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
+    /// Suite binary this case belongs to.
+    pub suite: String,
     /// Case name (`group/case` by convention).
     pub name: String,
     /// Median over samples of ns per iteration.
@@ -35,6 +39,20 @@ pub struct BenchResult {
     pub iters: u64,
     /// Number of samples taken.
     pub samples: usize,
+}
+
+impl ToJsonl for BenchResult {
+    fn to_jsonl(&self) -> String {
+        hfast_obs::JsonObj::new()
+            .str("suite", &self.suite)
+            .str("name", &self.name)
+            .f64_p("median_ns", self.median_ns, 1)
+            .f64_p("mean_ns", self.mean_ns, 1)
+            .f64_p("min_ns", self.min_ns, 1)
+            .u64("iters", self.iters)
+            .usize("samples", self.samples)
+            .finish()
+    }
 }
 
 /// Collects and reports benchmark cases for one suite binary.
@@ -98,6 +116,7 @@ impl Harness {
         let median = per_iter[per_iter.len() / 2];
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
         let result = BenchResult {
+            suite: self.suite.clone(),
             name: name.to_string(),
             median_ns: median,
             mean_ns: mean,
@@ -118,7 +137,25 @@ impl Harness {
 
     /// Median ns/iter of an already-run case (for speedup reporting).
     pub fn median_ns(&self, name: &str) -> Option<f64> {
-        self.results.iter().find(|r| r.name == name).map(|r| r.median_ns)
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    }
+
+    /// Records a computed value (a ratio, a guard metric) as a pseudo-case
+    /// so `BENCH_*.json` carries it alongside the timings.
+    pub fn record_value(&mut self, name: &str, value: f64) {
+        eprintln!("{name:<44} value {value:>13.4}");
+        self.results.push(BenchResult {
+            suite: self.suite.clone(),
+            name: name.to_string(),
+            median_ns: value,
+            mean_ns: value,
+            min_ns: value,
+            iters: 0,
+            samples: 0,
+        });
     }
 
     /// Prints `baseline/candidate` as a speedup line (and records it in the
@@ -128,6 +165,7 @@ impl Harness {
             let speedup = b / c;
             eprintln!("{label:<44} speedup {speedup:>11.2}x  ({baseline} vs {candidate})");
             self.results.push(BenchResult {
+                suite: self.suite.clone(),
                 name: format!("speedup/{label}"),
                 median_ns: speedup,
                 mean_ns: speedup,
@@ -139,6 +177,8 @@ impl Harness {
     }
 
     /// Flushes results: appends JSON Lines to `HFAST_BENCH_JSON` if set.
+    /// Rows serialize through the same [`ToJsonl`] path as the
+    /// observability exports.
     pub fn finish(self) {
         let Ok(path) = std::env::var("HFAST_BENCH_JSON") else {
             return;
@@ -148,12 +188,14 @@ impl Harness {
         }
         let mut out = String::new();
         for r in &self.results {
-            out.push_str(&format!(
-                "{{\"suite\":\"{}\",\"name\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"iters\":{},\"samples\":{}}}\n",
-                self.suite, r.name, r.median_ns, r.mean_ns, r.min_ns, r.iters, r.samples
-            ));
+            out.push_str(&r.to_jsonl());
+            out.push('\n');
         }
-        match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
             Ok(mut f) => {
                 if let Err(e) = f.write_all(out.as_bytes()) {
                     eprintln!("bench: cannot write {path}: {e}");
@@ -210,6 +252,37 @@ mod tests {
         };
         assert!(h.selected("tdc_sweep/fast"));
         assert!(!h.selected("csr_build"));
+    }
+
+    #[test]
+    fn jsonl_row_format_is_stable() {
+        let r = BenchResult {
+            suite: "s".into(),
+            name: "g/c".into(),
+            median_ns: 1.26,
+            mean_ns: 2.0,
+            min_ns: 0.5,
+            iters: 3,
+            samples: 4,
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            r#"{"suite":"s","name":"g/c","median_ns":1.3,"mean_ns":2.0,"min_ns":0.5,"iters":3,"samples":4}"#
+        );
+    }
+
+    #[test]
+    fn record_value_is_a_pseudo_case() {
+        let mut h = Harness {
+            suite: "selftest".into(),
+            filters: vec![],
+            samples: 2,
+            sample_budget_ns: 1,
+            results: vec![],
+        };
+        h.record_value("guard/ratio", 1.02);
+        assert_eq!(h.median_ns("guard/ratio"), Some(1.02));
+        assert_eq!(h.results[0].samples, 0);
     }
 
     #[test]

@@ -27,18 +27,138 @@ pub struct PaperRow {
 /// FCN utilization of 25 % is inconsistent with avgTDC/(P−1) — see
 /// EXPERIMENTS.md).
 pub const PAPER_TABLE3: [PaperRow; 12] = [
-    PaperRow { name: "GTC", procs: 64, ptp_pct: 42.0, median_ptp: 128 << 10, col_pct: 58.0, median_col: 100, tdc_max: 2, tdc_avg: 2.0, fcn_util_pct: 3.0 },
-    PaperRow { name: "GTC", procs: 256, ptp_pct: 40.2, median_ptp: 128 << 10, col_pct: 59.8, median_col: 100, tdc_max: 10, tdc_avg: 4.0, fcn_util_pct: 2.0 },
-    PaperRow { name: "Cactus", procs: 64, ptp_pct: 99.4, median_ptp: 299 << 10, col_pct: 0.6, median_col: 8, tdc_max: 6, tdc_avg: 5.0, fcn_util_pct: 9.0 },
-    PaperRow { name: "Cactus", procs: 256, ptp_pct: 99.5, median_ptp: 300 << 10, col_pct: 0.5, median_col: 8, tdc_max: 6, tdc_avg: 5.0, fcn_util_pct: 2.0 },
-    PaperRow { name: "LBMHD", procs: 64, ptp_pct: 99.8, median_ptp: 811 << 10, col_pct: 0.2, median_col: 8, tdc_max: 12, tdc_avg: 11.5, fcn_util_pct: 19.0 },
-    PaperRow { name: "LBMHD", procs: 256, ptp_pct: 99.9, median_ptp: 848 << 10, col_pct: 0.1, median_col: 8, tdc_max: 12, tdc_avg: 11.8, fcn_util_pct: 5.0 },
-    PaperRow { name: "SuperLU", procs: 64, ptp_pct: 89.8, median_ptp: 64, col_pct: 10.2, median_col: 24, tdc_max: 14, tdc_avg: 14.0, fcn_util_pct: 22.0 },
-    PaperRow { name: "SuperLU", procs: 256, ptp_pct: 92.8, median_ptp: 48, col_pct: 7.2, median_col: 24, tdc_max: 30, tdc_avg: 30.0, fcn_util_pct: 25.0 },
-    PaperRow { name: "PMEMD", procs: 64, ptp_pct: 99.1, median_ptp: 6 << 10, col_pct: 0.9, median_col: 768, tdc_max: 63, tdc_avg: 63.0, fcn_util_pct: 100.0 },
-    PaperRow { name: "PMEMD", procs: 256, ptp_pct: 98.6, median_ptp: 72, col_pct: 1.4, median_col: 768, tdc_max: 255, tdc_avg: 55.0, fcn_util_pct: 22.0 },
-    PaperRow { name: "PARATEC", procs: 64, ptp_pct: 99.5, median_ptp: 64, col_pct: 0.5, median_col: 8, tdc_max: 63, tdc_avg: 63.0, fcn_util_pct: 100.0 },
-    PaperRow { name: "PARATEC", procs: 256, ptp_pct: 99.9, median_ptp: 64, col_pct: 0.1, median_col: 4, tdc_max: 255, tdc_avg: 255.0, fcn_util_pct: 100.0 },
+    PaperRow {
+        name: "GTC",
+        procs: 64,
+        ptp_pct: 42.0,
+        median_ptp: 128 << 10,
+        col_pct: 58.0,
+        median_col: 100,
+        tdc_max: 2,
+        tdc_avg: 2.0,
+        fcn_util_pct: 3.0,
+    },
+    PaperRow {
+        name: "GTC",
+        procs: 256,
+        ptp_pct: 40.2,
+        median_ptp: 128 << 10,
+        col_pct: 59.8,
+        median_col: 100,
+        tdc_max: 10,
+        tdc_avg: 4.0,
+        fcn_util_pct: 2.0,
+    },
+    PaperRow {
+        name: "Cactus",
+        procs: 64,
+        ptp_pct: 99.4,
+        median_ptp: 299 << 10,
+        col_pct: 0.6,
+        median_col: 8,
+        tdc_max: 6,
+        tdc_avg: 5.0,
+        fcn_util_pct: 9.0,
+    },
+    PaperRow {
+        name: "Cactus",
+        procs: 256,
+        ptp_pct: 99.5,
+        median_ptp: 300 << 10,
+        col_pct: 0.5,
+        median_col: 8,
+        tdc_max: 6,
+        tdc_avg: 5.0,
+        fcn_util_pct: 2.0,
+    },
+    PaperRow {
+        name: "LBMHD",
+        procs: 64,
+        ptp_pct: 99.8,
+        median_ptp: 811 << 10,
+        col_pct: 0.2,
+        median_col: 8,
+        tdc_max: 12,
+        tdc_avg: 11.5,
+        fcn_util_pct: 19.0,
+    },
+    PaperRow {
+        name: "LBMHD",
+        procs: 256,
+        ptp_pct: 99.9,
+        median_ptp: 848 << 10,
+        col_pct: 0.1,
+        median_col: 8,
+        tdc_max: 12,
+        tdc_avg: 11.8,
+        fcn_util_pct: 5.0,
+    },
+    PaperRow {
+        name: "SuperLU",
+        procs: 64,
+        ptp_pct: 89.8,
+        median_ptp: 64,
+        col_pct: 10.2,
+        median_col: 24,
+        tdc_max: 14,
+        tdc_avg: 14.0,
+        fcn_util_pct: 22.0,
+    },
+    PaperRow {
+        name: "SuperLU",
+        procs: 256,
+        ptp_pct: 92.8,
+        median_ptp: 48,
+        col_pct: 7.2,
+        median_col: 24,
+        tdc_max: 30,
+        tdc_avg: 30.0,
+        fcn_util_pct: 25.0,
+    },
+    PaperRow {
+        name: "PMEMD",
+        procs: 64,
+        ptp_pct: 99.1,
+        median_ptp: 6 << 10,
+        col_pct: 0.9,
+        median_col: 768,
+        tdc_max: 63,
+        tdc_avg: 63.0,
+        fcn_util_pct: 100.0,
+    },
+    PaperRow {
+        name: "PMEMD",
+        procs: 256,
+        ptp_pct: 98.6,
+        median_ptp: 72,
+        col_pct: 1.4,
+        median_col: 768,
+        tdc_max: 255,
+        tdc_avg: 55.0,
+        fcn_util_pct: 22.0,
+    },
+    PaperRow {
+        name: "PARATEC",
+        procs: 64,
+        ptp_pct: 99.5,
+        median_ptp: 64,
+        col_pct: 0.5,
+        median_col: 8,
+        tdc_max: 63,
+        tdc_avg: 63.0,
+        fcn_util_pct: 100.0,
+    },
+    PaperRow {
+        name: "PARATEC",
+        procs: 256,
+        ptp_pct: 99.9,
+        median_ptp: 64,
+        col_pct: 0.1,
+        median_col: 4,
+        tdc_max: 255,
+        tdc_avg: 255.0,
+        fcn_util_pct: 100.0,
+    },
 ];
 
 /// Looks up the paper row for an app/size pair.
@@ -68,11 +188,7 @@ pub fn paper_call_mix(name: &str) -> &'static [(&'static str, f64)] {
             ("MPI_Isend", 40.0),
             ("MPI_Waitall", 20.0),
         ],
-        "PARATEC" => &[
-            ("MPI_Wait", 49.6),
-            ("MPI_Isend", 25.1),
-            ("MPI_Irecv", 24.8),
-        ],
+        "PARATEC" => &[("MPI_Wait", 49.6), ("MPI_Isend", 25.1), ("MPI_Irecv", 24.8)],
         "PMEMD" => &[
             ("MPI_Waitany", 36.6),
             ("MPI_Isend", 32.7),

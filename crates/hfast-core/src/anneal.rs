@@ -216,8 +216,7 @@ mod tests {
         let g = ring_graph(24, 1 << 20);
         let config = ProvisionConfig::default();
         let greedy = cluster_nodes(&g, &config);
-        let greedy_blocks =
-            Provisioning::build(&g, config, greedy.clone()).total_blocks();
+        let greedy_blocks = Provisioning::build(&g, config, greedy.clone()).total_blocks();
         let out = optimize_clusters(&g, &config, greedy, 3000, 3);
         assert!(out.final_blocks <= greedy_blocks);
         Provisioning::build(&g, config, out.clusters)

@@ -63,11 +63,7 @@ pub fn cluster_nodes(graph: &CommGraph, config: &ProvisionConfig) -> Vec<Vec<usi
                     if assigned[u] || in_cluster[u] {
                         continue;
                     }
-                    let internal = csr
-                        .neighbors(u)
-                        .iter()
-                        .filter(|&&w| in_cluster[w])
-                        .count();
+                    let internal = csr.neighbors(u).iter().filter(|&&w| in_cluster[w]).count();
                     if best.is_none_or(|(bi, bn)| internal > bi || (internal == bi && u < bn)) {
                         best = Some((internal, u));
                     }

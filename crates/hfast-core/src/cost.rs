@@ -134,7 +134,11 @@ impl AnalyticHfast {
     /// Smallest power-of-two processor count at which HFAST becomes cheaper
     /// than a fat tree of same-port-count switches, or `None` if it never
     /// does below 2³⁰ (a case-iv style workload).
-    pub fn crossover_p(tdc: usize, config: crate::provision::ProvisionConfig, model: &CostModel) -> Option<usize> {
+    pub fn crossover_p(
+        tdc: usize,
+        config: crate::provision::ProvisionConfig,
+        model: &CostModel,
+    ) -> Option<usize> {
         let mut p = 2usize;
         while p <= (1 << 30) {
             let analytic = AnalyticHfast { p, tdc, config };
@@ -251,17 +255,25 @@ mod tests {
             cutoff: 2048,
         };
         let model = CostModel::default();
-        let crossover = AnalyticHfast::crossover_p(6, config, &model)
-            .expect("low-TDC apps must cross over");
+        let crossover =
+            AnalyticHfast::crossover_p(6, config, &model).expect("low-TDC apps must cross over");
         assert!(
             crossover <= 1 << 17,
             "crossover {crossover} should be at ultra-scale sizes"
         );
         // Before the crossover the fat tree wins; after it, HFAST does.
-        let small = AnalyticHfast { p: 64, tdc: 6, config };
+        let small = AnalyticHfast {
+            p: 64,
+            tdc: 6,
+            config,
+        };
         let ft_small = FatTree::for_processors(64, 8);
         assert!(small.cost(&model) >= ft_small.cost(&model));
-        let big = AnalyticHfast { p: crossover * 4, tdc: 6, config };
+        let big = AnalyticHfast {
+            p: crossover * 4,
+            tdc: 6,
+            config,
+        };
         let ft_big = FatTree::for_processors(crossover * 4, 8);
         assert!(big.cost(&model) < ft_big.cost(&model));
     }
@@ -329,10 +341,7 @@ mod tests {
             circuit_port: 1.0,
             collective_per_node: 0.0,
         };
-        assert_eq!(
-            hfast_cost(&prov, &model2),
-            prov.circuit_ports_used() as f64
-        );
+        assert_eq!(hfast_cost(&prov, &model2), prov.circuit_ports_used() as f64);
     }
 
     #[test]

@@ -37,10 +37,31 @@ pub struct HfastFaultReport {
     pub blocks_freed: usize,
 }
 
-fn all_pairs_torus_distances(
-    dims: (usize, usize, usize),
-    alive: &[bool],
-) -> Vec<Vec<usize>> {
+impl hfast_obs::ToJsonl for MeshFaultReport {
+    fn to_jsonl(&self) -> String {
+        hfast_obs::JsonObj::new()
+            .str("event", "mesh_fault_report")
+            .usize("failed", self.failed)
+            .usize("unreachable_pairs", self.unreachable_pairs)
+            .f64_p("avg_dilation", self.avg_dilation, 4)
+            .f64_p("max_dilation", self.max_dilation, 4)
+            .finish()
+    }
+}
+
+impl hfast_obs::ToJsonl for HfastFaultReport {
+    fn to_jsonl(&self) -> String {
+        hfast_obs::JsonObj::new()
+            .str("event", "hfast_fault_report")
+            .usize("failed", self.failed)
+            .usize("circuits_changed", self.circuits_changed)
+            .bool("survivors_degraded", self.survivors_degraded)
+            .usize("blocks_freed", self.blocks_freed)
+            .finish()
+    }
+}
+
+fn all_pairs_torus_distances(dims: (usize, usize, usize), alive: &[bool]) -> Vec<Vec<usize>> {
     let n = dims.0 * dims.1 * dims.2;
     let mut out = Vec::with_capacity(n);
     for src in 0..n {
@@ -195,7 +216,10 @@ mod tests {
     fn torus_single_failure_routes_around() {
         let report = torus_fault_impact((4, 4, 4), &[21]);
         assert_eq!(report.failed, 1);
-        assert_eq!(report.unreachable_pairs, 0, "a torus routes around one loss");
+        assert_eq!(
+            report.unreachable_pairs, 0,
+            "a torus routes around one loss"
+        );
         assert!(report.avg_dilation >= 1.0);
     }
 
@@ -241,7 +265,10 @@ mod tests {
         let report = hfast_fault_impact(&g, ProvisionConfig::default(), &[13, 37]);
         assert_eq!(report.failed, 2);
         assert!(!report.survivors_degraded);
-        assert!(report.blocks_freed >= 2, "failed nodes' blocks return to pool");
+        assert!(
+            report.blocks_freed >= 2,
+            "failed nodes' blocks return to pool"
+        );
         assert!(report.circuits_changed > 0);
     }
 
@@ -264,7 +291,10 @@ mod tests {
         assert!(tdc(&g, 0).max <= 2);
         let fixed = torus_fault_impact(dims, &[2, 9]);
         let hfast = hfast_fault_impact(&g, ProvisionConfig::default(), &[2, 9]);
-        assert!(fixed.unreachable_pairs > 0, "two ring failures partition it");
+        assert!(
+            fixed.unreachable_pairs > 0,
+            "two ring failures partition it"
+        );
         assert!(!hfast.survivors_degraded);
         assert!(hfast.blocks_freed >= 2);
     }

@@ -132,7 +132,10 @@ pub fn embed(graph: &CommGraph, config: &IcnConfig) -> Result<IcnEmbedding, IcnE
             if node_block[a] == node_block[b] {
                 intra += 1;
             } else {
-                let (lo, hi) = (node_block[a].min(node_block[b]), node_block[a].max(node_block[b]));
+                let (lo, hi) = (
+                    node_block[a].min(node_block[b]),
+                    node_block[a].max(node_block[b]),
+                );
                 links.insert((lo, hi));
             }
         }
@@ -174,7 +177,11 @@ mod tests {
         }
         let err = embed(&g, &IcnConfig::default()).unwrap_err();
         match err {
-            IcnError::DegreeOverflow { node: 0, degree, k: 16 } => {
+            IcnError::DegreeOverflow {
+                node: 0,
+                degree,
+                k: 16,
+            } => {
                 assert!(degree >= 16);
             }
             other => panic!("unexpected: {other:?}"),
@@ -203,7 +210,14 @@ mod tests {
                 g.add_message(a, b, 64);
             }
         }
-        assert!(embed(&g, &IcnConfig { block_size: 16, cutoff: 0 }).is_err());
+        assert!(embed(
+            &g,
+            &IcnConfig {
+                block_size: 16,
+                cutoff: 0
+            }
+        )
+        .is_err());
         assert!(embed(&g, &IcnConfig::default()).is_ok());
     }
 

@@ -49,6 +49,7 @@ pub mod clique;
 pub mod cost;
 pub mod fault;
 pub mod icn;
+pub mod obs;
 pub mod provision;
 pub mod reconfig;
 pub mod smp;
@@ -61,6 +62,7 @@ pub use clique::cluster_nodes;
 pub use cost::{hfast_cost, AnalyticHfast, CostComparison, CostModel, FatTree};
 pub use fault::{hfast_fault_impact, remove_nodes, torus_fault_impact};
 pub use icn::{embed as icn_embed, IcnConfig, IcnEmbedding, IcnError};
+pub use obs::{ProvisionObs, ReconfigObs};
 pub use provision::{Cluster, EdgeCircuit, ProvisionConfig, Provisioning, Route};
 pub use reconfig::{ReconfigEngine, ReconfigStep};
 pub use smp::{localize, SmpAssignment};

@@ -279,7 +279,7 @@ impl Provisioning {
             );
         }
 
-        Provisioning {
+        let prov = Provisioning {
             config,
             n_nodes: n,
             clusters,
@@ -290,7 +290,14 @@ impl Provisioning {
             edge_circuits,
             intra_edges: intra,
             unprovisioned: unprov,
+        };
+        if hfast_obs::enabled() {
+            let obs = crate::obs::provision_obs();
+            obs.builds.inc();
+            obs.blocks.record(prov.total_blocks() as u64);
+            obs.circuits.record(prov.edge_circuits.len() as u64);
         }
+        prov
     }
 
     /// Number of packet switch blocks consumed (`N_active` in §5.3).
@@ -500,8 +507,7 @@ mod tests {
                 }
             }
         }
-        let clustering: Vec<Vec<usize>> =
-            (0..4).map(|c| (4 * c..4 * c + 4).collect()).collect();
+        let clustering: Vec<Vec<usize>> = (0..4).map(|c| (4 * c..4 * c + 4).collect()).collect();
         let clustered = Provisioning::build(&g, cfg(16), clustering);
         let per_node = Provisioning::per_node(&g, cfg(16));
         clustered.validate(&g).unwrap();

@@ -14,6 +14,7 @@
 use hfast_topology::generators::{balanced_dims3, mesh3d_graph};
 use hfast_topology::CommGraph;
 
+use crate::obs::ReconfigObs;
 use crate::provision::{ProvisionConfig, Provisioning};
 use crate::switch::CircuitSwitch;
 
@@ -31,12 +32,25 @@ pub struct ReconfigStep {
     pub reconfig_time_ns: u64,
 }
 
+impl hfast_obs::ToJsonl for ReconfigStep {
+    fn to_jsonl(&self) -> String {
+        hfast_obs::JsonObj::new()
+            .str("event", "reconfig_step")
+            .f64_p("coverage_before", self.coverage_before, 4)
+            .f64_p("coverage_after", self.coverage_after, 4)
+            .usize("circuits_changed", self.circuits_changed)
+            .u64("reconfig_time_ns", self.reconfig_time_ns)
+            .finish()
+    }
+}
+
 /// Adaptive provisioning engine.
 #[derive(Debug, Clone)]
 pub struct ReconfigEngine {
     config: ProvisionConfig,
     current: Provisioning,
     steps: Vec<ReconfigStep>,
+    obs: Option<ReconfigObs>,
 }
 
 impl ReconfigEngine {
@@ -50,7 +64,20 @@ impl ReconfigEngine {
             config,
             current: Provisioning::per_node(&assumed, config),
             steps: Vec::new(),
+            obs: hfast_obs::enabled().then(ReconfigObs::new),
         }
+    }
+
+    /// Attaches an explicit [`ReconfigObs`] regardless of the `HFAST_OBS`
+    /// switch (overwrites any implicit one).
+    pub fn with_obs(mut self, obs: ReconfigObs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability, if any.
+    pub fn obs(&self) -> Option<&ReconfigObs> {
+        self.obs.as_ref()
     }
 
     /// The active provisioning.
@@ -95,8 +122,7 @@ impl ReconfigEngine {
     /// latency when anything changed at all — both figures are reported.
     pub fn observe_and_adapt(&mut self, observed: &CommGraph) -> ReconfigStep {
         let coverage_before = self.coverage(observed);
-        let old_circuits: std::collections::BTreeSet<_> =
-            self.current.circuit.circuits().collect();
+        let old_circuits: std::collections::BTreeSet<_> = self.current.circuit.circuits().collect();
         let next = Provisioning::per_node(observed, self.config);
         let new_circuits: std::collections::BTreeSet<_> = next.circuit.circuits().collect();
         let removed = old_circuits.difference(&new_circuits).count();
@@ -114,6 +140,9 @@ impl ReconfigEngine {
             },
         };
         self.steps.push(step);
+        if let Some(obs) = &self.obs {
+            obs.record_step(self.steps.len() as u64 - 1, &step);
+        }
         step
     }
 }
@@ -150,7 +179,10 @@ mod tests {
         }
         let mut engine = ReconfigEngine::initial_mesh(n, cfg());
         let before = engine.coverage(&observed);
-        assert!(before < 0.5, "mesh default misses scattered traffic: {before}");
+        assert!(
+            before < 0.5,
+            "mesh default misses scattered traffic: {before}"
+        );
         let step = engine.observe_and_adapt(&observed);
         assert!((step.coverage_after - 1.0).abs() < 1e-12);
         assert!(step.circuits_changed > 0);
@@ -167,6 +199,25 @@ mod tests {
         assert_eq!(second.circuits_changed, 0, "fixed point reached");
         assert_eq!(second.reconfig_time_ns, 0);
         assert!((second.coverage_before - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attached_obs_records_each_sync_point() {
+        let n = 16;
+        let mut engine =
+            ReconfigEngine::initial_mesh(n, cfg()).with_obs(crate::obs::ReconfigObs::new());
+        let ring = ring_graph(n, 1 << 20);
+        engine.observe_and_adapt(&ring);
+        engine.observe_and_adapt(&ring);
+        let obs = engine.obs().expect("explicitly attached");
+        assert_eq!(obs.adapts.get(), 2);
+        assert_eq!(
+            obs.circuits_changed.get() as usize,
+            engine.steps()[0].circuits_changed
+        );
+        let evs = obs.timeline.snapshot();
+        assert_eq!(evs[0].t_ns, 0, "timeline stamped with sync-point index");
+        assert_eq!(evs[1].t_ns, 1);
     }
 
     #[test]

@@ -115,7 +115,11 @@ pub fn localize(graph: &CommGraph, ranks_per_node: usize, swap_passes: usize) ->
     let mut node_of = vec![usize::MAX; ranks];
     let mut order: Vec<usize> = (0..ranks).collect();
     order.sort_by_key(|&v| {
-        std::cmp::Reverse(csr.neighbors_with_stats(v).map(|(_, e)| e.bytes).sum::<u64>())
+        std::cmp::Reverse(
+            csr.neighbors_with_stats(v)
+                .map(|(_, e)| e.bytes)
+                .sum::<u64>(),
+        )
     });
     let mut node = 0usize;
     for &seed in &order {

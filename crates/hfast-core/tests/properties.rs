@@ -72,18 +72,22 @@ fn clustered_provisioning_always_validates() {
 
 #[test]
 fn clustering_never_needs_more_blocks_than_per_node() {
-    forall("clustering_never_needs_more_blocks_than_per_node", 64, |rng| {
-        let g = random_graph(rng, 12, 100);
-        let config = ProvisionConfig::default();
-        let clustered = Provisioning::build(&g, config, cluster_nodes(&g, &config));
-        let per_node = Provisioning::per_node(&g, config);
-        assert!(
-            clustered.total_blocks() <= per_node.total_blocks(),
-            "sharing blocks can only reduce the pool: {} vs {}",
-            clustered.total_blocks(),
-            per_node.total_blocks()
-        );
-    });
+    forall(
+        "clustering_never_needs_more_blocks_than_per_node",
+        64,
+        |rng| {
+            let g = random_graph(rng, 12, 100);
+            let config = ProvisionConfig::default();
+            let clustered = Provisioning::build(&g, config, cluster_nodes(&g, &config));
+            let per_node = Provisioning::per_node(&g, config);
+            assert!(
+                clustered.total_blocks() <= per_node.total_blocks(),
+                "sharing blocks can only reduce the pool: {} vs {}",
+                clustered.total_blocks(),
+                per_node.total_blocks()
+            );
+        },
+    );
 }
 
 #[test]
@@ -127,7 +131,11 @@ fn analytic_cost_is_monotone_in_tdc() {
         let extra = rng.range(1, 20);
         let config = ProvisionConfig::default();
         let model = CostModel::default();
-        let low = AnalyticHfast { p, tdc: tdc_a, config };
+        let low = AnalyticHfast {
+            p,
+            tdc: tdc_a,
+            config,
+        };
         let high = AnalyticHfast {
             p,
             tdc: tdc_a + extra,
@@ -140,21 +148,25 @@ fn analytic_cost_is_monotone_in_tdc() {
 
 #[test]
 fn blocks_needed_capacity_is_sufficient_and_tight() {
-    forall("blocks_needed_capacity_is_sufficient_and_tight", 64, |rng| {
-        let attach = rng.range(1, 8);
-        let external = rng.range(0, 200);
-        let k = rng.range(4, 32);
-        let config = ProvisionConfig {
-            block_ports: k,
-            cutoff: 2048,
-        };
-        let b = config.blocks_needed(attach, external);
-        assert!(config.chain_capacity(b, attach) >= external as isize);
-        if b > 1 {
-            assert!(
-                config.chain_capacity(b - 1, attach) < external as isize,
-                "minimal block count"
-            );
-        }
-    });
+    forall(
+        "blocks_needed_capacity_is_sufficient_and_tight",
+        64,
+        |rng| {
+            let attach = rng.range(1, 8);
+            let external = rng.range(0, 200);
+            let k = rng.range(4, 32);
+            let config = ProvisionConfig {
+                block_ports: k,
+                cutoff: 2048,
+            };
+            let b = config.blocks_needed(attach, external);
+            assert!(config.chain_capacity(b, attach) >= external as isize);
+            if b > 1 {
+                assert!(
+                    config.chain_capacity(b - 1, attach) < external as isize,
+                    "minimal block count"
+                );
+            }
+        },
+    );
 }

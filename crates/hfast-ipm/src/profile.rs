@@ -93,7 +93,10 @@ impl RankState {
     }
 
     fn current_region(&self) -> u16 {
-        *self.region_stack.last().expect("default region always present")
+        *self
+            .region_stack
+            .last()
+            .expect("default region always present")
     }
 
     fn region_id(&mut self, name: &str, size: usize) -> u16 {
@@ -195,10 +198,7 @@ impl IpmProfiler {
                     }
                 }
                 let kind = KINDS[key.kind as usize];
-                entries
-                    .entry((kind, key.bytes))
-                    .or_default()
-                    .merge(stats);
+                entries.entry((kind, key.bytes)).or_default().merge(stats);
             }
             for (rid, row) in st.api_volume.iter().enumerate() {
                 if let Some(want) = region_id {
@@ -469,7 +469,8 @@ mod tests {
             let req = comm.isend(right, Tag(2), Payload::synthetic(64)).unwrap();
             comm.recv(left, Tag(2)).unwrap();
             comm.wait(req).unwrap();
-            comm.allreduce(Payload::synthetic(8), ReduceOp::Sum).unwrap();
+            comm.allreduce(Payload::synthetic(8), ReduceOp::Sum)
+                .unwrap();
         });
         assert!((profile.ptp_call_fraction() - 0.75).abs() < 1e-12);
         assert!((profile.collective_call_fraction() - 0.25).abs() < 1e-12);
@@ -486,7 +487,8 @@ mod tests {
             } else {
                 comm.recv(0, Tag(1)).unwrap();
             }
-            comm.allreduce(Payload::synthetic(8), ReduceOp::Sum).unwrap();
+            comm.allreduce(Payload::synthetic(8), ReduceOp::Sum)
+                .unwrap();
         });
         let ptp = profile.ptp_buffer_histogram();
         let col = profile.collective_buffer_histogram();
@@ -499,7 +501,8 @@ mod tests {
     #[test]
     fn collective_transport_absent_from_ptp_graph_present_on_wire() {
         let (_, profile) = run_profiled(4, |comm, _| {
-            comm.allreduce(Payload::synthetic(1024), ReduceOp::Sum).unwrap();
+            comm.allreduce(Payload::synthetic(1024), ReduceOp::Sum)
+                .unwrap();
         });
         let ptp = profile.comm_graph();
         assert_eq!(ptp.edge_count(), 0, "collectives are not PTP edges");

@@ -29,14 +29,12 @@ pub fn render(name: &str, profile: &CommProfile) -> String {
     out.push_str(&format!(
         "\nPTP calls: {:.1}%  median buffer: {}\n",
         100.0 * profile.ptp_call_fraction(),
-        ptp.median()
-            .map_or("-".to_string(), format_bytes)
+        ptp.median().map_or("-".to_string(), format_bytes)
     ));
     out.push_str(&format!(
         "collective calls: {:.1}%  median buffer: {}\n",
         100.0 * profile.collective_call_fraction(),
-        col.median()
-            .map_or("-".to_string(), format_bytes)
+        col.median().map_or("-".to_string(), format_bytes)
     ));
 
     let graph = profile.comm_graph();

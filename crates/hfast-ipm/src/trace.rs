@@ -220,7 +220,8 @@ mod tests {
                 let req = comm.isend(right, Tag(1), Payload::synthetic(512)).unwrap();
                 comm.recv(left, Tag(1)).unwrap();
                 comm.wait(req).unwrap();
-                comm.allreduce(Payload::synthetic(16), ReduceOp::Sum).unwrap();
+                comm.allreduce(Payload::synthetic(16), ReduceOp::Sum)
+                    .unwrap();
             },
         )
         .unwrap();

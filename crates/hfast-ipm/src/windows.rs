@@ -84,11 +84,7 @@ impl WindowedTdcHook {
         let mut changes = vec![];
         let adjacency = |g: &CommGraph| -> Vec<Vec<usize>> {
             (0..g.n())
-                .map(|v| {
-                    g.neighbors_thresholded(v, cutoff)
-                        .map(|(u, _)| u)
-                        .collect()
-                })
+                .map(|v| g.neighbors_thresholded(v, cutoff).map(|(u, _)| u).collect())
                 .collect()
         };
         for pair in graphs.windows(2) {
@@ -204,11 +200,8 @@ mod tests {
                 let right = (comm.rank() + 1) % comm.size();
                 for _ in 0..3 {
                     comm.send(right, Tag(1), Payload::synthetic(8192)).unwrap();
-                    comm.recv(
-                        (comm.rank() + comm.size() - 1) % comm.size(),
-                        Tag(1),
-                    )
-                    .unwrap();
+                    comm.recv((comm.rank() + comm.size() - 1) % comm.size(), Tag(1))
+                        .unwrap();
                 }
             },
         )

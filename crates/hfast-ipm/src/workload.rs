@@ -134,7 +134,8 @@ mod tests {
                     comm.send(right, Tag(1), Payload::synthetic(bytes)).unwrap();
                     comm.recv(left, Tag(1)).unwrap();
                 }
-                comm.allreduce(Payload::synthetic(8), ReduceOp::Sum).unwrap();
+                comm.allreduce(Payload::synthetic(8), ReduceOp::Sum)
+                    .unwrap();
             },
         )
         .unwrap();
@@ -185,7 +186,11 @@ mod tests {
         // below the cutoff, so only it fits a degree-1 fabric at 2 KB.
         assert_eq!(study.fraction_bounded_by(1, 2048), 0.5);
         assert_eq!(study.fraction_bounded_by(2, 2048), 1.0);
-        assert_eq!(study.fraction_bounded_by(1, 0), 0.0, "uncut, both exceed degree 1");
+        assert_eq!(
+            study.fraction_bounded_by(1, 0),
+            0.0,
+            "uncut, both exceed degree 1"
+        );
         assert_eq!(study.graphs().len(), 2);
     }
 

@@ -72,7 +72,10 @@ mod tests {
             let members: Vec<usize> = (0..8).filter(|r| r % 2 == parity).collect();
             let group = Group::new(members).unwrap();
             let p = Payload::from_f64s(&[comm.rank() as f64]);
-            comm.allreduce_in(&group, p, ReduceOp::Sum).unwrap().to_f64s().unwrap()[0]
+            comm.allreduce_in(&group, p, ReduceOp::Sum)
+                .unwrap()
+                .to_f64s()
+                .unwrap()[0]
         })
         .unwrap();
         for (r, v) in results.iter().enumerate() {
@@ -89,7 +92,8 @@ mod tests {
         crate::World::run_with(
             crate::WorldConfig::new(4).hook(hook.clone() as Arc<dyn CommHook>),
             |comm| {
-                comm.allreduce(Payload::synthetic(8), ReduceOp::Sum).unwrap();
+                comm.allreduce(Payload::synthetic(8), ReduceOp::Sum)
+                    .unwrap();
             },
         )
         .unwrap();

@@ -90,9 +90,7 @@ mod tests {
     #[test]
     fn alltoall_wrong_block_count_errors() {
         World::run(3, |comm| {
-            let err = comm
-                .alltoall(vec![Payload::synthetic(1); 2])
-                .unwrap_err();
+            let err = comm.alltoall(vec![Payload::synthetic(1); 2]).unwrap_err();
             assert!(matches!(err, MpiError::CollectiveMismatch(_)));
         })
         .unwrap();

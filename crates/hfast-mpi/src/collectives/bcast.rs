@@ -78,7 +78,11 @@ impl Comm {
 
         // Forward to children: vrank + mask for each mask below the lowest
         // set bit of vrank (all masks for the root).
-        let lowest = if vrank == 0 { n.next_power_of_two() } else { vrank & vrank.wrapping_neg() };
+        let lowest = if vrank == 0 {
+            n.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
         let mut mask = 1usize;
         let mut round = 0u32;
         let mut sends: Vec<(Rank, u32)> = Vec::new();
@@ -165,7 +169,10 @@ mod tests {
                 } else {
                     None
                 };
-                comm.bcast_in(&group, 3, payload).unwrap().to_f64s().unwrap()[0]
+                comm.bcast_in(&group, 3, payload)
+                    .unwrap()
+                    .to_f64s()
+                    .unwrap()[0]
             } else {
                 0.0
             }

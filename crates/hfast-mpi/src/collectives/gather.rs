@@ -43,10 +43,8 @@ impl Comm {
                     continue;
                 }
                 let src = group.rank_at(i)?;
-                let env = self.recv_transport(
-                    SrcSel::Rank(src),
-                    TagSel::Tag(coll_tag(OpId::Gather, 0)),
-                )?;
+                let env =
+                    self.recv_transport(SrcSel::Rank(src), TagSel::Tag(coll_tag(OpId::Gather, 0)))?;
                 *slot = Some(env.payload);
             }
             Some(
@@ -107,10 +105,8 @@ mod tests {
 
     #[test]
     fn gather_synthetic_sizes() {
-        let results = World::run(5, |comm| {
-            comm.gather(0, Payload::synthetic(100)).unwrap()
-        })
-        .unwrap();
+        let results =
+            World::run(5, |comm| comm.gather(0, Payload::synthetic(100)).unwrap()).unwrap();
         let at_root = results[0].as_ref().unwrap();
         assert!(at_root.iter().all(|p| p.len() == 100));
     }

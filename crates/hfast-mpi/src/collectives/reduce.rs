@@ -121,15 +121,21 @@ mod tests {
             comm.reduce(3, payload, ReduceOp::Max).unwrap()
         })
         .unwrap();
-        let expected = (0..7).map(|r| (r as f64 * 7.0) % 5.0).fold(f64::MIN, f64::max);
-        assert_eq!(results[3].as_ref().unwrap().to_f64s().unwrap(), vec![expected]);
+        let expected = (0..7)
+            .map(|r| (r as f64 * 7.0) % 5.0)
+            .fold(f64::MIN, f64::max);
+        assert_eq!(
+            results[3].as_ref().unwrap().to_f64s().unwrap(),
+            vec![expected]
+        );
         assert!(results[0].is_none());
     }
 
     #[test]
     fn synthetic_reduce_preserves_size() {
         let results = World::run(6, |comm| {
-            comm.reduce(0, Payload::synthetic(256), ReduceOp::Sum).unwrap()
+            comm.reduce(0, Payload::synthetic(256), ReduceOp::Sum)
+                .unwrap()
         })
         .unwrap();
         assert_eq!(results[0], Some(Payload::Synthetic(256)));

@@ -85,9 +85,7 @@ mod tests {
     #[test]
     fn reduce_scatter_wrong_count_errors() {
         World::run(1, |comm| {
-            let err = comm
-                .reduce_scatter(vec![], ReduceOp::Sum)
-                .unwrap_err();
+            let err = comm.reduce_scatter(vec![], ReduceOp::Sum).unwrap_err();
             assert!(matches!(err, MpiError::CollectiveMismatch(_)));
         })
         .unwrap();

@@ -89,7 +89,12 @@ mod tests {
             if comm.rank() % 2 == 0 {
                 let group = Group::new(vec![4, 2, 0]).unwrap();
                 let p = Payload::from_f64s(&[comm.rank() as f64]);
-                Some(comm.scan_in(&group, p, ReduceOp::Sum).unwrap().to_f64s().unwrap()[0])
+                Some(
+                    comm.scan_in(&group, p, ReduceOp::Sum)
+                        .unwrap()
+                        .to_f64s()
+                        .unwrap()[0],
+                )
             } else {
                 None
             }
@@ -104,7 +109,9 @@ mod tests {
     #[test]
     fn synthetic_scan_preserves_size() {
         let results = World::run(5, |comm| {
-            comm.scan(Payload::synthetic(128), ReduceOp::Sum).unwrap().len()
+            comm.scan(Payload::synthetic(128), ReduceOp::Sum)
+                .unwrap()
+                .len()
         })
         .unwrap();
         assert_eq!(results, vec![128; 5]);

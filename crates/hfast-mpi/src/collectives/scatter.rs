@@ -50,10 +50,8 @@ impl Comm {
             }
             payloads.swap_remove(me)
         } else {
-            let env = self.recv_transport(
-                SrcSel::Rank(root),
-                TagSel::Tag(coll_tag(OpId::Scatter, 0)),
-            )?;
+            let env =
+                self.recv_transport(SrcSel::Rank(root), TagSel::Tag(coll_tag(OpId::Scatter, 0)))?;
             env.payload
         };
 
@@ -103,7 +101,10 @@ mod tests {
         // world surfaces rank 1's timeout or completes with rank 0's error.
         match results {
             Ok(r) => assert!(matches!(r[0], Some(MpiError::CollectiveMismatch(_)))),
-            Err(e) => assert!(matches!(e, MpiError::Timeout { .. } | MpiError::RankPanic { .. })),
+            Err(e) => assert!(matches!(
+                e,
+                MpiError::Timeout { .. } | MpiError::RankPanic { .. }
+            )),
         }
     }
 
@@ -120,7 +121,10 @@ mod tests {
                 } else {
                     None
                 };
-                comm.scatter_in(&group, 2, payloads).unwrap().to_f64s().unwrap()[0]
+                comm.scatter_in(&group, 2, payloads)
+                    .unwrap()
+                    .to_f64s()
+                    .unwrap()[0]
             } else {
                 -1.0
             }

@@ -322,7 +322,14 @@ impl Comm {
         let t0 = self.now_ns();
         let bytes = payload.len();
         self.send_raw(dest, tag, payload)?;
-        self.emit(CallKind::Isend, Scope::Api, Some(dest), bytes, Some(tag), t0);
+        self.emit(
+            CallKind::Isend,
+            Scope::Api,
+            Some(dest),
+            bytes,
+            Some(tag),
+            t0,
+        );
         Ok(Request::Send(Status {
             source: dest,
             tag,
@@ -362,7 +369,14 @@ impl Comm {
             TagSel::Tag(t) => Some(t),
             TagSel::Any => None,
         };
-        self.emit(CallKind::Irecv, Scope::Api, peer, expected_bytes, tag_opt, t0);
+        self.emit(
+            CallKind::Irecv,
+            Scope::Api,
+            peer,
+            expected_bytes,
+            tag_opt,
+            t0,
+        );
         Ok(Request::Recv(handle))
     }
 
@@ -412,8 +426,7 @@ impl Comm {
             }
             let me = self.rank;
             let desc = self.table.describe(handle);
-            let waiting =
-                move || format!("wait(irecv {desc:?}) on rank {me}");
+            let waiting = move || format!("wait(irecv {desc:?}) on rank {me}");
             // Nothing matched yet: pump the wire.
             self.pump_one(|_| false, &waiting)?;
         }
@@ -644,7 +657,11 @@ mod tests {
                 .irecv(SrcSel::Rank(partner), TagSel::Tag(Tag(9)), 16)
                 .unwrap();
             let sreq = comm
-                .isend(partner, Tag(9), Payload::from_f64s(&[comm.rank() as f64 * 2.0]))
+                .isend(
+                    partner,
+                    Tag(9),
+                    Payload::from_f64s(&[comm.rank() as f64 * 2.0]),
+                )
                 .unwrap();
             let (_, payload) = comm.wait(rreq).unwrap();
             comm.wait(sreq).unwrap();
@@ -723,7 +740,8 @@ mod tests {
         let results = World::run(2, |comm| {
             if comm.rank() == 0 {
                 for i in 0..10u32 {
-                    comm.send(1, Tag(7), Payload::from_f64s(&[i as f64])).unwrap();
+                    comm.send(1, Tag(7), Payload::from_f64s(&[i as f64]))
+                        .unwrap();
                 }
                 vec![]
             } else {

@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn non_member_lookup_errors() {
         let g = Group::new(vec![0, 2]).unwrap();
-        assert!(matches!(g.index_of(1), Err(MpiError::NotInGroup { rank: 1 })));
+        assert!(matches!(
+            g.index_of(1),
+            Err(MpiError::NotInGroup { rank: 1 })
+        ));
         assert!(g.rank_at(5).is_err());
     }
 }

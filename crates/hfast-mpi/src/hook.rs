@@ -66,6 +66,39 @@ pub enum CallKind {
 }
 
 impl CallKind {
+    /// Every variant, in declaration order (so `ALL[k.index()] == k`).
+    pub const ALL: [CallKind; 23] = [
+        CallKind::Send,
+        CallKind::Recv,
+        CallKind::Isend,
+        CallKind::Irecv,
+        CallKind::Sendrecv,
+        CallKind::Wait,
+        CallKind::Waitall,
+        CallKind::Waitany,
+        CallKind::Test,
+        CallKind::Barrier,
+        CallKind::Bcast,
+        CallKind::Reduce,
+        CallKind::Allreduce,
+        CallKind::Gather,
+        CallKind::Allgather,
+        CallKind::Alltoall,
+        CallKind::Scatter,
+        CallKind::ReduceScatter,
+        CallKind::Scan,
+        CallKind::Probe,
+        CallKind::Iprobe,
+        CallKind::TransportSend,
+        CallKind::TransportRecv,
+    ];
+
+    /// Dense index of this variant (for per-kind counter tables).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// MPI-style display name (e.g. `MPI_Isend`).
     pub fn mpi_name(self) -> &'static str {
         match self {

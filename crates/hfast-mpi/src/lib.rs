@@ -46,12 +46,13 @@
 
 pub mod bytes;
 pub mod chan;
-pub mod comm;
 pub mod collectives;
+pub mod comm;
 pub mod error;
 pub mod group;
 pub mod hook;
 pub mod message;
+pub mod obs;
 pub mod probe;
 pub mod request;
 pub mod runtime;
@@ -63,6 +64,7 @@ pub use error::{MpiError, Result};
 pub use group::Group;
 pub use hook::{CallKind, CommEvent, CommHook, MultiHook, NullHook, RecordingHook, Scope};
 pub use message::{Payload, ReduceOp};
+pub use obs::{RankObs, WorldObs};
 pub use request::Request;
 pub use runtime::{World, WorldConfig};
 

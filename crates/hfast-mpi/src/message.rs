@@ -131,8 +131,11 @@ impl ReduceOp {
                 let (xa, xb) = (a.to_f64s(), b.to_f64s());
                 match (xa, xb) {
                     (Some(va), Some(vb)) if va.len() == vb.len() => {
-                        let out: Vec<f64> =
-                            va.iter().zip(&vb).map(|(&x, &y)| self.apply(x, y)).collect();
+                        let out: Vec<f64> = va
+                            .iter()
+                            .zip(&vb)
+                            .map(|(&x, &y)| self.apply(x, y))
+                            .collect();
                         Ok(Payload::from_f64s(&out))
                     }
                     _ => Err(MpiError::CollectiveMismatch(

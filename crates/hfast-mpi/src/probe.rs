@@ -61,9 +61,7 @@ mod tests {
                 comm.send(1, Tag(5), Payload::synthetic(12_345)).unwrap();
                 0
             } else {
-                let status = comm
-                    .probe(SrcSel::Rank(0), TagSel::Tag(Tag(5)))
-                    .unwrap();
+                let status = comm.probe(SrcSel::Rank(0), TagSel::Tag(Tag(5))).unwrap();
                 assert_eq!(status.bytes, 12_345, "probe reports the size");
                 // The message is still there for the actual receive.
                 let (s2, _) = comm.recv(0, Tag(5)).unwrap();
@@ -90,8 +88,7 @@ mod tests {
             } else {
                 // Poll until the message lands.
                 loop {
-                    if let Some(status) =
-                        comm.iprobe(SrcSel::Rank(0), TagSel::Tag(Tag(3))).unwrap()
+                    if let Some(status) = comm.iprobe(SrcSel::Rank(0), TagSel::Tag(Tag(3))).unwrap()
                     {
                         assert_eq!(status.bytes, 64);
                         break;

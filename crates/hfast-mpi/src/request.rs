@@ -73,10 +73,13 @@ impl RequestTable {
         let mut best: Option<(u64, usize)> = None;
         for (idx, slot) in self.slots.iter().enumerate() {
             if let Some(p) = slot {
-                if p.matched.is_none() && p.src.accepts(env.src) && p.tag.accepts(env.tag)
-                    && best.is_none_or(|(seq, _)| p.seq < seq) {
-                        best = Some((p.seq, idx));
-                    }
+                if p.matched.is_none()
+                    && p.src.accepts(env.src)
+                    && p.tag.accepts(env.tag)
+                    && best.is_none_or(|(seq, _)| p.seq < seq)
+                {
+                    best = Some((p.seq, idx));
+                }
             }
         }
         if let Some((_, idx)) = best {

@@ -6,8 +6,9 @@ use std::time::{Duration, Instant};
 use crate::chan::unbounded;
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
-use crate::hook::{CommHook, NullHook};
+use crate::hook::{CommHook, MultiHook, NullHook};
 use crate::message::Envelope;
+use crate::obs::WorldObs;
 
 /// Configuration for a [`World`] launch.
 #[derive(Clone)]
@@ -82,6 +83,17 @@ impl World {
     {
         let size = config.size;
         assert!(size > 0, "world size must be positive");
+        // With HFAST_OBS on, an IPM-shaped counter set rides along on the
+        // hook boundary and is exported when the world ends. Counters only —
+        // event timing and rank scheduling are unaffected.
+        let obs = hfast_obs::enabled().then(|| Arc::new(WorldObs::new(size)));
+        let hook: Arc<dyn CommHook> = match &obs {
+            Some(o) => Arc::new(MultiHook::new(vec![
+                Arc::clone(&config.hook),
+                Arc::clone(o) as Arc<dyn CommHook>,
+            ])),
+            None => Arc::clone(&config.hook),
+        };
         let mut txs = Vec::with_capacity(size);
         let mut rxs = Vec::with_capacity(size);
         for _ in 0..size {
@@ -108,7 +120,7 @@ impl World {
             for (i, rx) in rx_iter.enumerate() {
                 let rank = i + 1;
                 let txs = Arc::clone(&txs);
-                let hook = Arc::clone(&config.hook);
+                let hook = Arc::clone(&hook);
                 let timeout = config.timeout;
                 let handle = scope.spawn(move || {
                     let mut comm = Comm::new(rank, size, txs, rx, hook, epoch, timeout);
@@ -123,7 +135,7 @@ impl World {
                 size,
                 Arc::clone(&txs),
                 rx0,
-                Arc::clone(&config.hook),
+                Arc::clone(&hook),
                 epoch,
                 config.timeout,
             );
@@ -142,6 +154,9 @@ impl World {
             }
         });
 
+        if let Some(o) = &obs {
+            o.export();
+        }
         if let Some(&rank) = panicked.iter().min() {
             return Err(MpiError::RankPanic { rank });
         }
@@ -199,7 +214,10 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(matches!(results[0], Some(MpiError::Timeout { rank: 0, .. })));
+        assert!(matches!(
+            results[0],
+            Some(MpiError::Timeout { rank: 0, .. })
+        ));
     }
 
     #[test]

@@ -10,6 +10,46 @@ use std::collections::BTreeSet;
 
 use crate::fabric::{Fabric, LinkId, LinkSpec};
 
+/// A failure specification that does not fit the wrapped fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedError {
+    /// A failed node id at or beyond the fabric's node count.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The wrapped fabric's node count.
+        nodes: usize,
+    },
+    /// A failed link id at or beyond the fabric's link count.
+    LinkOutOfRange {
+        /// The offending link id.
+        link: LinkId,
+        /// The wrapped fabric's link count.
+        links: usize,
+    },
+}
+
+impl std::fmt::Display for DegradedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DegradedError::NodeOutOfRange { node, nodes } => {
+                write!(
+                    f,
+                    "failed node {node} out of range (fabric has {nodes} nodes)"
+                )
+            }
+            DegradedError::LinkOutOfRange { link, links } => {
+                write!(
+                    f,
+                    "failed link {link} out of range (fabric has {links} links)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DegradedError {}
+
 /// A fabric with failed components.
 pub struct DegradedFabric<'a> {
     inner: &'a dyn Fabric,
@@ -17,28 +57,46 @@ pub struct DegradedFabric<'a> {
     failed_links: BTreeSet<LinkId>,
 }
 
+impl std::fmt::Debug for DegradedFabric<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DegradedFabric")
+            .field("inner", &self.inner.name())
+            .field("failed_nodes", &self.failed_nodes)
+            .field("failed_links", &self.failed_links)
+            .finish()
+    }
+}
+
 impl<'a> DegradedFabric<'a> {
     /// Wraps `inner` with the given failures.
+    ///
+    /// # Errors
+    /// Returns a [`DegradedError`] naming the first failed node or link id
+    /// that does not exist in `inner`.
     pub fn new(
         inner: &'a dyn Fabric,
         failed_nodes: impl IntoIterator<Item = usize>,
         failed_links: impl IntoIterator<Item = LinkId>,
-    ) -> Self {
+    ) -> Result<Self, DegradedError> {
         let failed_nodes: BTreeSet<usize> = failed_nodes.into_iter().collect();
         let failed_links: BTreeSet<LinkId> = failed_links.into_iter().collect();
-        assert!(
-            failed_nodes.iter().all(|&n| n < inner.nodes()),
-            "failed node out of range"
-        );
-        assert!(
-            failed_links.iter().all(|&l| l < inner.link_count()),
-            "failed link out of range"
-        );
-        DegradedFabric {
+        if let Some(&node) = failed_nodes.iter().find(|&&n| n >= inner.nodes()) {
+            return Err(DegradedError::NodeOutOfRange {
+                node,
+                nodes: inner.nodes(),
+            });
+        }
+        if let Some(&link) = failed_links.iter().find(|&&l| l >= inner.link_count()) {
+            return Err(DegradedError::LinkOutOfRange {
+                link,
+                links: inner.link_count(),
+            });
+        }
+        Ok(DegradedFabric {
             inner,
             failed_nodes,
             failed_links,
-        }
+        })
     }
 
     /// Number of failed nodes.
@@ -116,7 +174,7 @@ impl Fabric for DegradedFabric<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
+    use crate::engine::Simulation;
     use crate::torus::TorusFabric;
     use crate::traffic::Flow;
     use crate::FatTreeFabric;
@@ -124,7 +182,7 @@ mod tests {
     #[test]
     fn failed_endpoint_is_unroutable() {
         let torus = TorusFabric::new((4, 4, 1));
-        let degraded = DegradedFabric::new(&torus, [5], []);
+        let degraded = DegradedFabric::new(&torus, [5], []).unwrap();
         assert!(degraded.path(5, 0).is_none());
         assert!(degraded.path(0, 5).is_none());
         assert!(degraded.path(0, 1).is_some(), "others unaffected");
@@ -134,7 +192,7 @@ mod tests {
     fn failed_link_blocks_static_routes() {
         let torus = TorusFabric::new((8, 1, 1));
         let healthy_path = torus.path(0, 1).unwrap();
-        let degraded = DegradedFabric::new(&torus, [], healthy_path.clone());
+        let degraded = DegradedFabric::new(&torus, [], healthy_path.clone()).unwrap();
         // Dimension-order routing has exactly one path: it is now gone.
         assert!(degraded.path(0, 1).is_none());
         // The reverse direction uses different directed links.
@@ -144,12 +202,12 @@ mod tests {
     #[test]
     fn surviving_fraction_quantifies_damage() {
         let torus = TorusFabric::new((4, 4, 1));
-        let healthy = DegradedFabric::new(&torus, [], []);
+        let healthy = DegradedFabric::new(&torus, [], []).unwrap();
         assert_eq!(healthy.surviving_pair_fraction(), 1.0);
         // Fail the central node's outgoing +x link: every pair whose
         // dimension-order route crosses it breaks.
         let link = torus.path(5, 6).unwrap()[0];
-        let broken = DegradedFabric::new(&torus, [], [link]);
+        let broken = DegradedFabric::new(&torus, [], [link]).unwrap();
         let frac = broken.surviving_pair_fraction();
         assert!(frac < 1.0 && frac > 0.5, "partial damage: {frac}");
     }
@@ -157,7 +215,7 @@ mod tests {
     #[test]
     fn replay_counts_unrouted_flows() {
         let ft = FatTreeFabric::new(16, 8);
-        let degraded = DegradedFabric::new(&ft, [3], []);
+        let degraded = DegradedFabric::new(&ft, [3], []).unwrap();
         let flows: Vec<Flow> = (0..16)
             .map(|s| Flow {
                 src: s,
@@ -166,16 +224,26 @@ mod tests {
                 start_ns: 0,
             })
             .collect();
-        let stats = simulate(&degraded, &flows);
+        let stats = Simulation::new(&degraded).run(&flows).stats;
         // Flows 2→3, 3→4 involve the dead node.
         assert_eq!(stats.unrouted, 2);
         assert_eq!(stats.completed, 14);
     }
 
     #[test]
-    #[should_panic(expected = "failed node out of range")]
     fn out_of_range_failure_rejected() {
         let ft = FatTreeFabric::new(4, 8);
-        DegradedFabric::new(&ft, [99], []);
+        let err = DegradedFabric::new(&ft, [99], []).unwrap_err();
+        assert_eq!(
+            err,
+            DegradedError::NodeOutOfRange {
+                node: 99,
+                nodes: ft.nodes()
+            }
+        );
+        assert!(err.to_string().contains("failed node 99 out of range"));
+        let err = DegradedFabric::new(&ft, [], [usize::MAX]).unwrap_err();
+        assert!(matches!(err, DegradedError::LinkOutOfRange { .. }));
+        assert!(err.to_string().contains("out of range"));
     }
 }

@@ -4,6 +4,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::fabric::{Fabric, LinkId};
+use crate::obs::EngineObs;
 use crate::stats::RunStats;
 use crate::traffic::Flow;
 
@@ -15,10 +16,10 @@ const PAR_PATH_THRESHOLD: usize = 64;
 ///
 /// Fabrics never change during a run and application traffic repeats the
 /// same pairs (halo exchanges, transposes), so the engine resolves each
-/// distinct pair once. A cache can be reused across `simulate_*` calls on
-/// the **same** fabric — replaying several traffic patterns on one fabric
-/// pays the routing cost once — and missing paths are computed in parallel
-/// (input order preserved, so results are deterministic).
+/// distinct pair once. A cache can be reused across runs on the **same**
+/// fabric — replaying several traffic patterns on one fabric pays the
+/// routing cost once — and missing paths are computed in parallel (input
+/// order preserved, so results are deterministic).
 #[derive(Debug, Default)]
 pub struct PathCache {
     slot_of_pair: HashMap<(usize, usize), usize>,
@@ -55,20 +56,35 @@ impl PathCache {
 
     /// Resolves every flow's pair (computing missing routes, in parallel
     /// when there are many) and returns each flow's cache slot.
-    fn index_flows(&mut self, fabric: &dyn Fabric, flows: &[Flow]) -> Vec<usize> {
+    fn index_flows(
+        &mut self,
+        fabric: &dyn Fabric,
+        flows: &[Flow],
+        obs: Option<&EngineObs>,
+    ) -> Vec<usize> {
         let mut slots = Vec::with_capacity(flows.len());
         let mut missing: Vec<(usize, usize)> = Vec::new();
+        let mut hits = 0u64;
         for f in flows {
             assert!(
                 f.src < fabric.nodes() && f.dst < fabric.nodes(),
                 "flow endpoints in range"
             );
             let next = self.paths.len() + missing.len();
+            let mut fresh = false;
             let slot = *self.slot_of_pair.entry((f.src, f.dst)).or_insert_with(|| {
                 missing.push((f.src, f.dst));
+                fresh = true;
                 next
             });
+            if !fresh {
+                hits += 1;
+            }
             slots.push(slot);
+        }
+        if let Some(obs) = obs {
+            obs.cache_hits.add(hits);
+            obs.cache_misses.add(missing.len() as u64);
         }
         if missing.len() >= PAR_PATH_THRESHOLD {
             self.paths
@@ -104,7 +120,30 @@ pub struct FlowRecord {
     pub hops: usize,
 }
 
-/// Simulates `flows` over `fabric` and aggregates statistics.
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutput {
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// Per-flow records; present only for [`Simulation::detailed`] runs.
+    pub records: Option<Vec<FlowRecord>>,
+}
+
+impl SimOutput {
+    /// The per-flow records of a detailed run.
+    ///
+    /// # Panics
+    /// If the run was not configured with [`Simulation::detailed`].
+    pub fn records(&self) -> &[FlowRecord] {
+        self.records
+            .as_deref()
+            .expect("records require Simulation::detailed()")
+    }
+}
+
+/// Builder for one simulation run — the single entry point that replaced
+/// the `simulate` / `simulate_with_cache` / `simulate_detailed` /
+/// `simulate_detailed_with_cache` sprawl.
 ///
 /// Model: virtual cut-through. The message *header* advances hop by hop,
 /// paying each link's fixed latency and waiting where a link is busy; each
@@ -113,36 +152,100 @@ pub struct FlowRecord {
 /// header clears the last link. Uncontended end-to-end latency is therefore
 /// `Σ latency + bytes/bandwidth` — pipelined, like real cut-through
 /// networks — while shared links still contend FIFO.
-pub fn simulate(fabric: &dyn Fabric, flows: &[Flow]) -> RunStats {
-    let (stats, _records) = simulate_detailed(fabric, flows);
-    stats
+///
+/// ```
+/// use hfast_netsim::{engine::PathCache, Simulation, TorusFabric, traffic};
+///
+/// let torus = TorusFabric::new((4, 4, 1));
+/// let flows = traffic::alltoall(16, 4 << 10);
+/// let mut cache = PathCache::new();
+/// let out = Simulation::new(&torus)
+///     .with_cache(&mut cache)
+///     .detailed()
+///     .run(&flows);
+/// assert_eq!(out.stats.completed, flows.len());
+/// assert_eq!(out.records().len(), flows.len());
+/// ```
+#[must_use = "a Simulation does nothing until run()"]
+pub struct Simulation<'a> {
+    fabric: &'a dyn Fabric,
+    cache: Option<&'a mut PathCache>,
+    detailed: bool,
+    obs: Option<&'a EngineObs>,
 }
 
-/// [`simulate`] with a caller-owned [`PathCache`] (reusable across runs on
-/// the same fabric).
-pub fn simulate_with_cache(fabric: &dyn Fabric, flows: &[Flow], cache: &mut PathCache) -> RunStats {
-    let (stats, _records) = simulate_detailed_with_cache(fabric, flows, cache);
-    stats
+impl<'a> Simulation<'a> {
+    /// A run over `fabric` with default settings: private path cache, no
+    /// per-flow records, observability per `HFAST_OBS`.
+    pub fn new(fabric: &'a dyn Fabric) -> Self {
+        Simulation {
+            fabric,
+            cache: None,
+            detailed: false,
+            obs: None,
+        }
+    }
+
+    /// Reuses a caller-owned [`PathCache`] (valid across runs on the same
+    /// fabric; [`PathCache::clear`] it before switching fabrics).
+    pub fn with_cache(mut self, cache: &'a mut PathCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Also return per-flow [`FlowRecord`]s.
+    pub fn detailed(mut self) -> Self {
+        self.detailed = true;
+        self
+    }
+
+    /// Records engine counters, histograms, and the per-link busy
+    /// timeline into `obs` (overrides the `HFAST_OBS`-gated global sink).
+    pub fn with_obs(mut self, obs: &'a EngineObs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Runs the simulation.
+    ///
+    /// The event loop is fully deterministic: identical inputs produce
+    /// identical [`SimOutput`]s regardless of cache reuse, attached
+    /// observability, or thread count.
+    pub fn run(self, flows: &[Flow]) -> SimOutput {
+        let obs = self
+            .obs
+            .or_else(|| hfast_obs::enabled().then(crate::obs::global));
+        let mut own_cache;
+        let cache = match self.cache {
+            Some(c) => c,
+            None => {
+                own_cache = PathCache::new();
+                &mut own_cache
+            }
+        };
+        let (stats, records) = run_event_loop(self.fabric, flows, cache, obs);
+        SimOutput {
+            stats,
+            records: self.detailed.then_some(records),
+        }
+    }
 }
 
-/// [`simulate`], additionally returning per-flow records.
-pub fn simulate_detailed(fabric: &dyn Fabric, flows: &[Flow]) -> (RunStats, Vec<FlowRecord>) {
-    let mut cache = PathCache::new();
-    simulate_detailed_with_cache(fabric, flows, &mut cache)
-}
-
-/// [`simulate_detailed`] with a caller-owned [`PathCache`].
+/// The event loop shared by every run configuration.
 ///
 /// Flows are resolved to cache slots — one stored route per distinct
-/// (src, dst) pair, however many flows repeat it — and the event loop reads
+/// (src, dst) pair, however many flows repeat it — and the loop reads
 /// routes through the cache, so no per-flow path buffers are allocated.
-/// The event loop itself is unchanged and fully deterministic.
-pub fn simulate_detailed_with_cache(
+/// Observability is strictly read-from: `obs` never influences event
+/// ordering or timing, so an instrumented run returns bit-identical
+/// results (asserted by property tests).
+fn run_event_loop(
     fabric: &dyn Fabric,
     flows: &[Flow],
     cache: &mut PathCache,
+    obs: Option<&EngineObs>,
 ) -> (RunStats, Vec<FlowRecord>) {
-    let flow_slot = cache.index_flows(fabric, flows);
+    let flow_slot = cache.index_flows(fabric, flows, obs);
 
     let mut link_free_at: Vec<u64> = vec![0; fabric.link_count()];
     let mut link_busy_ns: Vec<u64> = vec![0; fabric.link_count()];
@@ -175,8 +278,13 @@ pub fn simulate_detailed_with_cache(
         }
     }
 
+    let mut n_events = 0u64;
+    let mut heap_peak = heap.len();
     while let Some(Reverse(ev)) = heap.pop() {
-        let path = cache.path(flow_slot[ev.flow]).expect("queued flows have paths");
+        n_events += 1;
+        let path = cache
+            .path(flow_slot[ev.flow])
+            .expect("queued flows have paths");
         let link_id = path[ev.hop];
         let spec = fabric.link(link_id);
         let bytes = flows[ev.flow].bytes;
@@ -184,6 +292,10 @@ pub fn simulate_detailed_with_cache(
         let serialization = spec.serialize_ns(bytes);
         link_free_at[link_id] = start + serialization;
         link_busy_ns[link_id] += serialization;
+        if let Some(obs) = obs {
+            obs.queue_wait_ns.record(start - ev.time_ns);
+            obs.link_busy(start, serialization, link_id);
+        }
         // The header clears this link after the fixed latency; the tail
         // follows one serialization time behind.
         let header_out = start + spec.latency_ns;
@@ -195,13 +307,59 @@ pub fn simulate_detailed_with_cache(
                 hop: ev.hop + 1,
             }));
             seq += 1;
+            heap_peak = heap_peak.max(heap.len());
         } else {
             records[ev.flow].end_ns = Some(header_out + serialization);
         }
     }
 
     let stats = RunStats::from_records(fabric, flows, &records, &link_busy_ns);
+    if let Some(obs) = obs {
+        obs.runs.inc();
+        obs.flows.add(flows.len() as u64);
+        obs.events.add(n_events);
+        obs.unrouted.add(stats.unrouted as u64);
+        obs.heap_peak.set_max(heap_peak as u64);
+        for f in flows {
+            obs.flow_bytes.record(f.bytes);
+        }
+    }
     (stats, records)
+}
+
+/// Simulates `flows` over `fabric` and aggregates statistics.
+#[deprecated(note = "use Simulation::new(fabric).run(flows).stats")]
+pub fn simulate(fabric: &dyn Fabric, flows: &[Flow]) -> RunStats {
+    Simulation::new(fabric).run(flows).stats
+}
+
+/// [`simulate`] with a caller-owned [`PathCache`].
+#[deprecated(note = "use Simulation::new(fabric).with_cache(cache).run(flows).stats")]
+pub fn simulate_with_cache(fabric: &dyn Fabric, flows: &[Flow], cache: &mut PathCache) -> RunStats {
+    Simulation::new(fabric).with_cache(cache).run(flows).stats
+}
+
+/// [`simulate`], additionally returning per-flow records.
+#[deprecated(note = "use Simulation::new(fabric).detailed().run(flows)")]
+pub fn simulate_detailed(fabric: &dyn Fabric, flows: &[Flow]) -> (RunStats, Vec<FlowRecord>) {
+    let out = Simulation::new(fabric).detailed().run(flows);
+    let records = out.records.expect("detailed run");
+    (out.stats, records)
+}
+
+/// [`simulate_detailed`] with a caller-owned [`PathCache`].
+#[deprecated(note = "use Simulation::new(fabric).with_cache(cache).detailed().run(flows)")]
+pub fn simulate_detailed_with_cache(
+    fabric: &dyn Fabric,
+    flows: &[Flow],
+    cache: &mut PathCache,
+) -> (RunStats, Vec<FlowRecord>) {
+    let out = Simulation::new(fabric)
+        .with_cache(cache)
+        .detailed()
+        .run(flows);
+    let records = out.records.expect("detailed run");
+    (out.stats, records)
 }
 
 #[cfg(test)]
@@ -246,9 +404,15 @@ mod tests {
         }
     }
 
+    fn detailed(fabric: &dyn Fabric, flows: &[Flow]) -> (RunStats, Vec<FlowRecord>) {
+        let out = Simulation::new(fabric).detailed().run(flows);
+        let records = out.records.expect("detailed run");
+        (out.stats, records)
+    }
+
     #[test]
     fn single_flow_latency_is_serialization_plus_latency() {
-        let (stats, records) = simulate_detailed(&Wire, &[flow(0, 1, 1000, 0)]);
+        let (stats, records) = detailed(&Wire, &[flow(0, 1, 1000, 0)]);
         assert_eq!(records[0].end_ns, Some(1100));
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.max_latency_ns, 1100);
@@ -259,7 +423,7 @@ mod tests {
         // Two flows on the same link: the second waits for the first's
         // serialization (not its latency).
         let flows = [flow(0, 1, 1000, 0), flow(0, 1, 1000, 0)];
-        let (_, records) = simulate_detailed(&Wire, &flows);
+        let (_, records) = detailed(&Wire, &flows);
         assert_eq!(records[0].end_ns, Some(1100));
         assert_eq!(records[1].end_ns, Some(2100));
     }
@@ -267,14 +431,14 @@ mod tests {
     #[test]
     fn opposite_directions_do_not_contend() {
         let flows = [flow(0, 1, 1000, 0), flow(1, 0, 1000, 0)];
-        let (_, records) = simulate_detailed(&Wire, &flows);
+        let (_, records) = detailed(&Wire, &flows);
         assert_eq!(records[0].end_ns, Some(1100));
         assert_eq!(records[1].end_ns, Some(1100));
     }
 
     #[test]
     fn self_flow_completes_instantly() {
-        let (stats, records) = simulate_detailed(&Wire, &[flow(1, 1, 500, 42)]);
+        let (stats, records) = detailed(&Wire, &[flow(1, 1, 500, 42)]);
         assert_eq!(records[0].end_ns, Some(42));
         assert_eq!(stats.completed, 1);
     }
@@ -282,7 +446,7 @@ mod tests {
     #[test]
     fn start_times_are_respected() {
         let flows = [flow(0, 1, 1000, 0), flow(0, 1, 1000, 5000)];
-        let (_, records) = simulate_detailed(&Wire, &flows);
+        let (_, records) = detailed(&Wire, &flows);
         assert_eq!(records[1].end_ns, Some(6100), "no queueing after a gap");
     }
 
@@ -291,9 +455,10 @@ mod tests {
         let flows: Vec<Flow> = (0..50)
             .map(|i| flow(i % 2, (i + 1) % 2, 100 + i as u64, i as u64 * 3))
             .collect();
-        let (a, _) = simulate_detailed(&Wire, &flows);
-        let (b, _) = simulate_detailed(&Wire, &flows);
+        let a = Simulation::new(&Wire).run(&flows);
+        let b = Simulation::new(&Wire).run(&flows);
         assert_eq!(a, b);
+        assert!(a.records.is_none(), "no records unless detailed()");
     }
 
     #[test]
@@ -302,11 +467,13 @@ mod tests {
             .map(|i| flow(i % 2, (i + 1) % 2, 64, i as u64))
             .collect();
         let mut cache = PathCache::new();
-        let (with_cache, recs_cached) = simulate_detailed_with_cache(&Wire, &flows, &mut cache);
+        let cached = Simulation::new(&Wire)
+            .with_cache(&mut cache)
+            .detailed()
+            .run(&flows);
         assert_eq!(cache.len(), 2, "only two distinct pairs");
-        let (fresh, recs_fresh) = simulate_detailed(&Wire, &flows);
-        assert_eq!(with_cache, fresh);
-        assert_eq!(recs_cached, recs_fresh);
+        let fresh = Simulation::new(&Wire).detailed().run(&flows);
+        assert_eq!(cached, fresh);
     }
 
     #[test]
@@ -314,11 +481,46 @@ mod tests {
         let flows_a: Vec<Flow> = (0..10).map(|i| flow(0, 1, 100 + i, i)).collect();
         let flows_b: Vec<Flow> = (0..10).map(|i| flow(1, 0, 50 + i, i * 7)).collect();
         let mut cache = PathCache::new();
-        let warm_a = simulate_with_cache(&Wire, &flows_a, &mut cache);
-        let warm_b = simulate_with_cache(&Wire, &flows_b, &mut cache);
-        assert_eq!(warm_a, simulate(&Wire, &flows_a));
-        assert_eq!(warm_b, simulate(&Wire, &flows_b));
+        let warm_a = Simulation::new(&Wire).with_cache(&mut cache).run(&flows_a);
+        let warm_b = Simulation::new(&Wire).with_cache(&mut cache).run(&flows_b);
+        assert_eq!(warm_a, Simulation::new(&Wire).run(&flows_a));
+        assert_eq!(warm_b, Simulation::new(&Wire).run(&flows_b));
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_wrappers_still_answer() {
+        let flows = [flow(0, 1, 1000, 0)];
+        let stats = simulate(&Wire, &flows);
+        assert_eq!(stats.completed, 1);
+        let mut cache = PathCache::new();
+        assert_eq!(simulate_with_cache(&Wire, &flows, &mut cache), stats);
+        let (s2, recs) = simulate_detailed(&Wire, &flows);
+        assert_eq!(s2, stats);
+        assert_eq!(recs[0].end_ns, Some(1100));
+        cache.clear();
+        let (s3, recs3) = simulate_detailed_with_cache(&Wire, &flows, &mut cache);
+        assert_eq!((s3, recs3), (s2, recs));
+    }
+
+    #[test]
+    fn obs_counts_cache_and_events() {
+        let obs = EngineObs::new();
+        let flows: Vec<Flow> = (0..10).map(|i| flow(0, 1, 64, i)).collect();
+        let out = Simulation::new(&Wire).with_obs(&obs).run(&flows);
+        assert_eq!(obs.runs.get(), 1);
+        assert_eq!(obs.flows.get(), 10);
+        assert_eq!(obs.cache_misses.get(), 1, "one distinct pair");
+        assert_eq!(obs.cache_hits.get(), 9);
+        assert_eq!(obs.events.get(), 10, "one hop per flow");
+        assert_eq!(obs.unrouted.get(), 0);
+        assert_eq!(obs.flow_bytes.count(), 10);
+        assert_eq!(obs.timeline.len(), 10);
+        // Nine flows queued behind the first; waits are multiples of the
+        // 64-byte serialization time.
+        assert_eq!(obs.queue_wait_ns.count(), 10);
+        assert_eq!(out.stats.completed, 10);
     }
 }

@@ -135,7 +135,7 @@ impl Fabric for FatTreeFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
+    use crate::engine::Simulation;
     use crate::traffic::Flow;
 
     #[test]
@@ -170,10 +170,7 @@ mod tests {
         // Worst case crosses 2L−1 switches.
         for (p, ports) in [(64usize, 8usize), (256, 8), (128, 16)] {
             let ft = FatTreeFabric::new(p, ports);
-            let worst = (0..p)
-                .map(|d| ft.switch_hops(0, d).unwrap())
-                .max()
-                .unwrap();
+            let worst = (0..p).map(|d| ft.switch_hops(0, d).unwrap()).max().unwrap();
             assert_eq!(worst, 2 * ft.levels() - 1, "P={p} N={ports}");
         }
     }
@@ -183,10 +180,7 @@ mod tests {
         let ft = FatTreeFabric::new(32, 8);
         for a in 0..32 {
             for b in 0..32 {
-                assert_eq!(
-                    ft.path(a, b).unwrap().len(),
-                    ft.path(b, a).unwrap().len()
-                );
+                assert_eq!(ft.path(a, b).unwrap().len(), ft.path(b, a).unwrap().len());
             }
         }
     }
@@ -202,7 +196,7 @@ mod tests {
                 start_ns: 0,
             })
             .collect();
-        let stats = simulate(&ft, &flows);
+        let stats = Simulation::new(&ft).run(&flows).stats;
         assert_eq!(stats.completed, 16);
         assert_eq!(stats.unrouted, 0);
         assert!(stats.max_latency_ns > 0);

@@ -65,18 +65,14 @@ impl HfastFabric {
         let mut chain_links = BTreeMap::new();
         for cluster in &prov.clusters {
             for pos in 0..cluster.blocks.len().saturating_sub(1) {
-                chain_links.insert(
-                    (cluster.id, pos),
-                    (push(into_block), push(into_block)),
-                );
+                chain_links.insert((cluster.id, pos), (push(into_block), push(into_block)));
             }
         }
         let mut edge_links = BTreeMap::new();
         for &(a, b) in prov.edge_circuits.keys() {
             edge_links.insert((a, b), (push(into_block), push(into_block)));
         }
-        let tree_links: Vec<(LinkId, LinkId)> =
-            (0..n).map(|_| (push(tree), push(tree))).collect();
+        let tree_links: Vec<(LinkId, LinkId)> = (0..n).map(|_| (push(tree), push(tree))).collect();
 
         HfastFabric {
             prov,
@@ -137,7 +133,12 @@ impl Fabric for HfastFabric {
         let mut path = vec![self.node_links[src].0];
         if ca == cb {
             // Along the shared chain.
-            self.chain_walk(ca, self.prov.attach[src].1, self.prov.attach[dst].1, &mut path);
+            self.chain_walk(
+                ca,
+                self.prov.attach[src].1,
+                self.prov.attach[dst].1,
+                &mut path,
+            );
             path.push(self.node_links[dst].1);
             return Some(path);
         }
@@ -169,7 +170,7 @@ impl Fabric for HfastFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
+    use crate::engine::Simulation;
     use crate::fattree::FatTreeFabric;
     use crate::traffic::{self};
     use hfast_core::{ProvisionConfig, Provisioning};
@@ -214,8 +215,8 @@ mod tests {
         let flows = traffic::flows_from_graph(&g, 2048);
         let hf = hfast_for(&g);
         let ft = FatTreeFabric::new(n, 8);
-        let hf_stats = simulate(&hf, &flows);
-        let ft_stats = simulate(&ft, &flows);
+        let hf_stats = Simulation::new(&hf).run(&flows).stats;
+        let ft_stats = Simulation::new(&ft).run(&flows).stats;
         assert_eq!(hf_stats.completed, flows.len());
         assert_eq!(ft_stats.completed, flows.len());
         assert!(
@@ -237,8 +238,8 @@ mod tests {
         let flows = traffic::flows_from_graph(&g, 2048);
         let hf = hfast_for(&g);
         let ft = FatTreeFabric::new(64, 8);
-        let hf_stats = simulate(&hf, &flows);
-        let ft_stats = simulate(&ft, &flows);
+        let hf_stats = Simulation::new(&hf).run(&flows).stats;
+        let ft_stats = Simulation::new(&ft).run(&flows).stats;
         assert!(hf_stats.p50_latency_ns >= ft_stats.p50_latency_ns);
     }
 
@@ -247,7 +248,7 @@ mod tests {
         let g = mesh3d_graph((4, 4, 4), 300 << 10);
         let f = hfast_for(&g);
         let flows = traffic::flows_from_graph(&g, 2048);
-        let stats = simulate(&f, &flows);
+        let stats = Simulation::new(&f).run(&flows).stats;
         assert_eq!(stats.unrouted, 0);
         assert_eq!(stats.completed, flows.len());
     }
@@ -261,10 +262,7 @@ mod tests {
             g.add_message(0, i, 1 << 20);
         }
         let f = hfast_for(&g);
-        let worst = (1..41)
-            .map(|i| f.path(0, i).unwrap().len())
-            .max()
-            .unwrap();
+        let worst = (1..41).map(|i| f.path(0, i).unwrap().len()).max().unwrap();
         assert!(worst > 4, "chain traversal adds links: {worst}");
         // All leaves still reachable.
         for i in 1..41 {
@@ -286,10 +284,10 @@ mod tests {
         let g = ring_graph(16, 1 << 20);
         let f = hfast_for(&g);
         let flows = traffic::alltoall(16, 32 << 10);
-        let stats = simulate(&f, &flows);
+        let stats = Simulation::new(&f).run(&flows).stats;
         assert_eq!(stats.completed, flows.len());
         let ft = FatTreeFabric::new(16, 8);
-        let ft_stats = simulate(&ft, &flows);
+        let ft_stats = Simulation::new(&ft).run(&flows).stats;
         assert!(
             stats.max_latency_ns > ft_stats.max_latency_ns,
             "mis-provisioned HFAST must lose on all-to-all: {} vs {}",

@@ -15,13 +15,13 @@
 //! substitution.
 //!
 //! ```
-//! use hfast_netsim::{simulate, FatTreeFabric, TorusFabric, traffic};
+//! use hfast_netsim::{FatTreeFabric, Simulation, TorusFabric, traffic};
 //! use hfast_topology::generators::ring_graph;
 //!
 //! let graph = ring_graph(16, 1 << 20);
 //! let flows = traffic::flows_from_graph(&graph, 0);
 //! let ft = FatTreeFabric::new(16, 8);
-//! let stats = simulate(&ft, &flows);
+//! let stats = Simulation::new(&ft).run(&flows).stats;
 //! assert_eq!(stats.completed, flows.len());
 //! ```
 
@@ -32,15 +32,19 @@ pub mod engine;
 pub mod fabric;
 pub mod fattree;
 pub mod hfast;
+pub mod obs;
 pub mod stats;
 pub mod torus;
 pub mod traffic;
 
-pub use degraded::DegradedFabric;
+pub use degraded::{DegradedError, DegradedFabric};
+#[allow(deprecated)]
 pub use engine::simulate;
+pub use engine::{FlowRecord, SimOutput, Simulation};
 pub use fabric::{Fabric, LinkId, LinkSpec};
 pub use fattree::FatTreeFabric;
 pub use hfast::HfastFabric;
+pub use obs::EngineObs;
 pub use stats::RunStats;
 pub use torus::TorusFabric;
 pub use traffic::Flow;

@@ -1,0 +1,133 @@
+//! Engine observability: event counts, path-cache hit/miss, and per-link
+//! busy-time timelines.
+//!
+//! An [`EngineObs`] can be attached to a [`Simulation`](crate::Simulation)
+//! explicitly (`.with_obs(&obs)`), or implicitly: when `HFAST_OBS` is on
+//! (see [`hfast_obs::enabled`]) every run without an explicit sink records
+//! into the process-wide [`global`] instance. Timeline events are stamped
+//! with *simulated* time, so an enabled timeline is bit-identical across
+//! thread counts and runs — the determinism the benches assert.
+
+use hfast_obs::{Counter, Gauge, Histogram, JsonObj, ToJsonl, Tracer, Val};
+
+/// Counters, histograms, and the link-occupancy timeline for simulator
+/// runs.
+#[derive(Debug, Clone, Default)]
+pub struct EngineObs {
+    /// Simulation runs observed.
+    pub runs: Counter,
+    /// Flows submitted across runs.
+    pub flows: Counter,
+    /// Scheduler events processed (one per flow-hop arrival).
+    pub events: Counter,
+    /// Flows that had no route.
+    pub unrouted: Counter,
+    /// Distinct (src, dst) pairs resolved from the path cache.
+    pub cache_hits: Counter,
+    /// Distinct (src, dst) pairs that had to be routed.
+    pub cache_misses: Counter,
+    /// High-water mark of the event heap.
+    pub heap_peak: Gauge,
+    /// Per-hop queueing delay (ns a header waited for a busy link).
+    pub queue_wait_ns: Histogram,
+    /// Flow payload sizes.
+    pub flow_bytes: Histogram,
+    /// Per-link busy intervals in simulated time: one `link_busy` event
+    /// per link occupancy, `t_ns` = occupancy start, `dur_ns` =
+    /// serialization time, field `link` = link id.
+    pub timeline: Tracer,
+}
+
+impl EngineObs {
+    /// A fresh instance with the default timeline capacity.
+    pub fn new() -> Self {
+        EngineObs::default()
+    }
+
+    /// A fresh instance retaining at most `capacity` timeline events.
+    pub fn with_timeline_capacity(capacity: usize) -> Self {
+        EngineObs {
+            timeline: Tracer::new(capacity),
+            ..EngineObs::default()
+        }
+    }
+
+    /// Records one link occupancy on the simulated-time timeline.
+    #[inline]
+    pub(crate) fn link_busy(&self, start_ns: u64, serialization_ns: u64, link: usize) {
+        self.timeline.record_at(
+            start_ns,
+            serialization_ns,
+            "link_busy",
+            vec![("link", Val::U(link as u64))],
+        );
+    }
+
+    /// One-line JSON summary of the counters and histograms.
+    pub fn summary_jsonl(&self) -> String {
+        JsonObj::new()
+            .str("event", "netsim_summary")
+            .u64("runs", self.runs.get())
+            .u64("flows", self.flows.get())
+            .u64("events", self.events.get())
+            .u64("unrouted", self.unrouted.get())
+            .u64("cache_hits", self.cache_hits.get())
+            .u64("cache_misses", self.cache_misses.get())
+            .u64("heap_peak", self.heap_peak.get())
+            .u64("queue_wait_p50_ns", self.queue_wait_ns.quantile_bound(0.5))
+            .u64("queue_wait_p95_ns", self.queue_wait_ns.quantile_bound(0.95))
+            .raw(
+                "flow_bytes_hist",
+                &hfast_obs::json::buckets_to_json(&self.flow_bytes.nonzero_buckets()),
+            )
+            .u64("timeline_events", self.timeline.len() as u64)
+            .u64("timeline_dropped", self.timeline.dropped())
+            .finish()
+    }
+
+    /// Exports the summary plus the retained timeline to the `HFAST_OBS`
+    /// sink.
+    pub fn export(&self) {
+        let mut lines = vec![self.summary_jsonl()];
+        lines.extend(self.timeline.jsonl_lines());
+        hfast_obs::emit_lines(lines);
+    }
+}
+
+impl ToJsonl for EngineObs {
+    fn to_jsonl(&self) -> String {
+        self.summary_jsonl()
+    }
+}
+
+/// The process-wide instance used when `HFAST_OBS` is on and no explicit
+/// [`EngineObs`] was attached to the run.
+pub fn global() -> &'static EngineObs {
+    static GLOBAL: std::sync::OnceLock<EngineObs> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(EngineObs::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_shape() {
+        let obs = EngineObs::new();
+        obs.runs.inc();
+        obs.flow_bytes.record(4096);
+        let line = obs.summary_jsonl();
+        assert!(line.starts_with(r#"{"event":"netsim_summary","runs":1"#));
+        assert!(line.contains(r#""flow_bytes_hist":[[8191,1]]"#));
+    }
+
+    #[test]
+    fn timeline_is_sim_time_stamped() {
+        let obs = EngineObs::with_timeline_capacity(2);
+        obs.link_busy(100, 50, 3);
+        let evs = obs.timeline.snapshot();
+        assert_eq!(evs[0].t_ns, 100);
+        assert_eq!(evs[0].dur_ns, 50);
+        assert_eq!(evs[0].fields, vec![("link", Val::U(3))]);
+    }
+}

@@ -91,6 +91,24 @@ impl RunStats {
     }
 }
 
+impl hfast_obs::ToJsonl for RunStats {
+    fn to_jsonl(&self) -> String {
+        hfast_obs::JsonObj::new()
+            .str("event", "run_stats")
+            .usize("completed", self.completed)
+            .usize("unrouted", self.unrouted)
+            .u64("delivered_bytes", self.delivered_bytes)
+            .u64("makespan_ns", self.makespan_ns)
+            .u64("p50_latency_ns", self.p50_latency_ns)
+            .u64("p95_latency_ns", self.p95_latency_ns)
+            .u64("max_latency_ns", self.max_latency_ns)
+            .f64_p("avg_hops", self.avg_hops, 3)
+            .f64_p("max_link_utilization", self.max_link_utilization, 4)
+            .f64_p("throughput", self.throughput, 4)
+            .finish()
+    }
+}
+
 impl std::fmt::Display for RunStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

@@ -31,7 +31,6 @@ impl TorusFabric {
     fn link_id(&self, node: usize, dir: usize) -> LinkId {
         node * DIRS + dir
     }
-
 }
 
 impl Fabric for TorusFabric {
@@ -61,11 +60,11 @@ impl Fabric for TorusFabric {
         let mut path = Vec::new();
 
         let walk = |path: &mut Vec<LinkId>,
-                        cur: &mut usize,
-                        target: usize,
-                        extent: usize,
-                        plus_dir: usize,
-                        make_node: &dyn Fn(usize) -> usize| {
+                    cur: &mut usize,
+                    target: usize,
+                    extent: usize,
+                    plus_dir: usize,
+                    make_node: &dyn Fn(usize) -> usize| {
             if extent <= 1 || *cur == target {
                 return;
             }
@@ -116,7 +115,7 @@ impl Fabric for TorusFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
+    use crate::engine::Simulation;
     use crate::traffic::Flow;
 
     #[test]
@@ -141,10 +140,7 @@ mod tests {
         for dst in 0..64 {
             let (x, y, z) = hfast_topology::generators::grid_coords((4, 4, 4), dst);
             // From node 0: wrap-aware distance per axis is min(c, 4−c).
-            let manhattan = [x, y, z]
-                .iter()
-                .map(|&c| c.min(4 - c))
-                .sum::<usize>();
+            let manhattan = [x, y, z].iter().map(|&c| c.min(4 - c)).sum::<usize>();
             assert_eq!(t.path(0, dst).unwrap().len(), manhattan, "dst {dst}");
         }
     }
@@ -168,7 +164,7 @@ mod tests {
                 start_ns: 0,
             })
             .collect();
-        let stats = simulate(&t, &flows);
+        let stats = Simulation::new(&t).run(&flows).stats;
         assert_eq!(stats.completed, 7);
         assert!(
             stats.max_link_utilization > 0.5,

@@ -1,8 +1,10 @@
 //! Property-based tests for the discrete-event simulator and fabrics.
 
 use hfast_core::{ProvisionConfig, Provisioning};
-use hfast_netsim::engine::{simulate_detailed, simulate_detailed_with_cache, PathCache};
-use hfast_netsim::{simulate, traffic, Fabric, FatTreeFabric, Flow, HfastFabric, TorusFabric};
+use hfast_netsim::engine::PathCache;
+use hfast_netsim::{
+    traffic, EngineObs, Fabric, FatTreeFabric, Flow, HfastFabric, Simulation, TorusFabric,
+};
 use hfast_par::{forall, Rng64};
 use hfast_topology::CommGraph;
 
@@ -17,12 +19,32 @@ fn flows(rng: &mut Rng64, n: usize, max: usize) -> Vec<Flow> {
         .collect()
 }
 
+/// A random fabric drawn from the three healthy families.
+fn any_fabric(rng: &mut Rng64) -> (Box<dyn Fabric>, usize) {
+    match rng.range(0, 3) {
+        0 => (Box::new(FatTreeFabric::new(24, 8)), 24),
+        1 => (Box::new(TorusFabric::new((3, 3, 3))), 27),
+        _ => {
+            let mut g = CommGraph::new(12);
+            for _ in 0..rng.range(1, 30) {
+                let a = rng.range(0, 12);
+                let b = rng.range(0, 12);
+                if a != b {
+                    g.add_message(a, b, rng.range_u64(2048, 1 << 20));
+                }
+            }
+            let prov = Provisioning::per_node(&g, ProvisionConfig::default());
+            (Box::new(HfastFabric::new(prov)), 12)
+        }
+    }
+}
+
 #[test]
 fn fat_tree_delivers_everything() {
     forall("fat_tree_delivers_everything", 48, |rng| {
         let fs = flows(rng, 32, 60);
         let fabric = FatTreeFabric::new(32, 8);
-        let stats = simulate(&fabric, &fs);
+        let stats = Simulation::new(&fabric).run(&fs).stats;
         assert_eq!(stats.completed, fs.len());
         assert_eq!(stats.unrouted, 0);
         assert_eq!(
@@ -37,7 +59,7 @@ fn torus_delivers_everything() {
     forall("torus_delivers_everything", 48, |rng| {
         let fs = flows(rng, 27, 60);
         let fabric = TorusFabric::new((3, 3, 3));
-        let stats = simulate(&fabric, &fs);
+        let stats = Simulation::new(&fabric).run(&fs).stats;
         assert_eq!(stats.completed, fs.len());
     });
 }
@@ -49,8 +71,8 @@ fn latency_lower_bound_holds() {
         // sum of link latencies + one serialization on its slowest link.
         let fs = flows(rng, 32, 40);
         let fabric = FatTreeFabric::new(32, 8);
-        let (_, records) = simulate_detailed(&fabric, &fs);
-        for r in &records {
+        let out = Simulation::new(&fabric).detailed().run(&fs);
+        for r in out.records() {
             let f = &fs[r.flow];
             let path = fabric.path(f.src, f.dst).unwrap();
             let min_lat: u64 = path.iter().map(|&l| fabric.link(l).latency_ns).sum();
@@ -77,8 +99,8 @@ fn simulation_is_deterministic() {
     forall("simulation_is_deterministic", 48, |rng| {
         let fs = flows(rng, 16, 50);
         let fabric = TorusFabric::new((4, 2, 2));
-        let a = simulate(&fabric, &fs);
-        let b = simulate(&fabric, &fs);
+        let a = Simulation::new(&fabric).run(&fs);
+        let b = Simulation::new(&fabric).run(&fs);
         assert_eq!(a, b);
     });
 }
@@ -92,12 +114,90 @@ fn cached_simulation_matches_uncached() {
         let mut cache = PathCache::new();
         for _ in 0..3 {
             let fs = flows(rng, 27, 80);
-            let (fresh_stats, fresh_recs) = simulate_detailed(&fabric, &fs);
-            let (warm_stats, warm_recs) = simulate_detailed_with_cache(&fabric, &fs, &mut cache);
-            assert_eq!(fresh_stats, warm_stats);
-            assert_eq!(fresh_recs, warm_recs);
+            let fresh = Simulation::new(&fabric).detailed().run(&fs);
+            let warm = Simulation::new(&fabric)
+                .with_cache(&mut cache)
+                .detailed()
+                .run(&fs);
+            assert_eq!(fresh, warm);
         }
         assert!(cache.len() <= 27 * 27);
+    });
+}
+
+#[test]
+fn attached_observability_never_changes_results() {
+    // Satellite: the tracer is strictly read-from. A run with an attached
+    // EngineObs must produce bit-identical stats AND records versus a bare
+    // run on the same random fabric and flows.
+    forall("observability_never_changes_results", 48, |rng| {
+        let (fabric, n) = any_fabric(rng);
+        let fs = flows(rng, n, 60);
+        let bare = Simulation::new(fabric.as_ref()).detailed().run(&fs);
+        let obs = EngineObs::new();
+        let observed = Simulation::new(fabric.as_ref())
+            .with_obs(&obs)
+            .detailed()
+            .run(&fs);
+        assert_eq!(bare, observed, "observability perturbed the simulation");
+        // And the observations themselves are coherent with the run.
+        assert_eq!(obs.runs.get(), 1);
+        assert_eq!(obs.flows.get(), fs.len() as u64);
+        assert_eq!(obs.unrouted.get(), bare.stats.unrouted as u64);
+        assert_eq!(obs.flow_bytes.count(), fs.len() as u64);
+        assert_eq!(
+            obs.cache_hits.get() + obs.cache_misses.get(),
+            fs.len() as u64,
+            "every flow is either a cache hit or a miss"
+        );
+    });
+}
+
+#[test]
+#[allow(deprecated)]
+fn builder_reproduces_all_legacy_entry_points() {
+    // Satellite: the Simulation builder must reproduce the four deprecated
+    // simulate* functions exactly, cold and warm.
+    use hfast_netsim::engine::{
+        simulate, simulate_detailed, simulate_detailed_with_cache, simulate_with_cache,
+    };
+    forall("builder_matches_legacy_simulate", 48, |rng| {
+        let (fabric, n) = any_fabric(rng);
+        let fabric = fabric.as_ref();
+        let fs = flows(rng, n, 60);
+
+        assert_eq!(
+            simulate(fabric, &fs),
+            Simulation::new(fabric).run(&fs).stats
+        );
+
+        let (legacy_stats, legacy_recs) = simulate_detailed(fabric, &fs);
+        let out = Simulation::new(fabric).detailed().run(&fs);
+        assert_eq!(legacy_stats, out.stats);
+        assert_eq!(legacy_recs, out.records.expect("detailed"));
+
+        let mut legacy_cache = PathCache::new();
+        let mut builder_cache = PathCache::new();
+        for _ in 0..2 {
+            assert_eq!(
+                simulate_with_cache(fabric, &fs, &mut legacy_cache),
+                Simulation::new(fabric)
+                    .with_cache(&mut builder_cache)
+                    .run(&fs)
+                    .stats
+            );
+        }
+        legacy_cache.clear();
+        builder_cache.clear();
+        let (legacy_stats, legacy_recs) =
+            simulate_detailed_with_cache(fabric, &fs, &mut legacy_cache);
+        let out = Simulation::new(fabric)
+            .with_cache(&mut builder_cache)
+            .detailed()
+            .run(&fs);
+        assert_eq!(legacy_stats, out.stats);
+        assert_eq!(legacy_recs, out.records.expect("detailed"));
+        assert_eq!(legacy_cache.len(), builder_cache.len());
     });
 }
 
@@ -114,7 +214,7 @@ fn hfast_routes_every_provisioned_flow() {
         }
         let fabric = HfastFabric::new(Provisioning::per_node(&g, ProvisionConfig::default()));
         let fs = traffic::flows_from_graph(&g, 2048);
-        let stats = simulate(&fabric, &fs);
+        let stats = Simulation::new(&fabric).run(&fs).stats;
         assert_eq!(stats.unrouted, 0);
         assert_eq!(stats.completed, fs.len());
     });
@@ -128,10 +228,10 @@ fn delaying_a_flow_never_helps_others_complete_later_overall() {
         let fs = flows(rng, 16, 20);
         let delay = rng.range_u64(1, 1_000_000);
         let fabric = FatTreeFabric::new(16, 8);
-        let base = simulate(&fabric, &fs);
+        let base = Simulation::new(&fabric).run(&fs).stats;
         let mut delayed = fs.clone();
         delayed[0].start_ns += delay;
-        let after = simulate(&fabric, &delayed);
+        let after = Simulation::new(&fabric).run(&delayed).stats;
         assert_eq!(after.completed, base.completed);
     });
 }
@@ -159,40 +259,44 @@ fn paths_stay_within_link_table() {
 
 #[test]
 fn hfast_fabric_paths_agree_with_provisioning_routes() {
-    forall("hfast_fabric_paths_agree_with_provisioning_routes", 32, |rng| {
-        // The fabric's link path and the provisioning's analytic route are
-        // two views of the same wiring: link count must equal
-        // switch_hops + 1 (each switch hop is entered by one link, plus the
-        // final link out to the node).
-        let mut g = CommGraph::new(14);
-        for _ in 0..rng.range(1, 60) {
-            let a = rng.range(0, 14);
-            let b = rng.range(0, 14);
-            if a != b {
-                g.add_message(a, b, rng.range_u64(2048, 1 << 21));
-            }
-        }
-        let prov = Provisioning::per_node(&g, ProvisionConfig::default());
-        let fabric = HfastFabric::new(prov.clone());
-        for a in 0..14 {
-            for b in 0..14 {
-                if a == b {
-                    continue;
-                }
-                match prov.route(a, b) {
-                    Some(route) => {
-                        let path = fabric.path(a, b).expect("routed pair has a path");
-                        assert_eq!(path.len(), route.switch_hops + 1, "pair ({}, {})", a, b);
-                    }
-                    None => {
-                        // Unrouted pairs fall back to the 2-link tree.
-                        let path = fabric.path(a, b).expect("tree fallback");
-                        assert_eq!(path.len(), 2);
-                    }
+    forall(
+        "hfast_fabric_paths_agree_with_provisioning_routes",
+        32,
+        |rng| {
+            // The fabric's link path and the provisioning's analytic route are
+            // two views of the same wiring: link count must equal
+            // switch_hops + 1 (each switch hop is entered by one link, plus the
+            // final link out to the node).
+            let mut g = CommGraph::new(14);
+            for _ in 0..rng.range(1, 60) {
+                let a = rng.range(0, 14);
+                let b = rng.range(0, 14);
+                if a != b {
+                    g.add_message(a, b, rng.range_u64(2048, 1 << 21));
                 }
             }
-        }
-    });
+            let prov = Provisioning::per_node(&g, ProvisionConfig::default());
+            let fabric = HfastFabric::new(prov.clone());
+            for a in 0..14 {
+                for b in 0..14 {
+                    if a == b {
+                        continue;
+                    }
+                    match prov.route(a, b) {
+                        Some(route) => {
+                            let path = fabric.path(a, b).expect("routed pair has a path");
+                            assert_eq!(path.len(), route.switch_hops + 1, "pair ({}, {})", a, b);
+                        }
+                        None => {
+                            // Unrouted pairs fall back to the 2-link tree.
+                            let path = fabric.path(a, b).expect("tree fallback");
+                            assert_eq!(path.len(), 2);
+                        }
+                    }
+                }
+            }
+        },
+    );
 }
 
 #[test]
@@ -203,8 +307,9 @@ fn degraded_fabric_never_routes_through_failures() {
         dead.sort_unstable();
         dead.dedup();
         let torus = TorusFabric::new((3, 3, 3));
-        let degraded = hfast_netsim::DegradedFabric::new(&torus, dead.clone(), []);
-        let stats = simulate(&degraded, &fs);
+        let degraded =
+            hfast_netsim::DegradedFabric::new(&torus, dead.clone(), []).expect("in-range failures");
+        let stats = Simulation::new(&degraded).run(&fs).stats;
         let involving_dead = fs
             .iter()
             .filter(|f| dead.contains(&f.src) || dead.contains(&f.dst))

@@ -1,0 +1,199 @@
+//! Log-bucketed histograms.
+//!
+//! Message sizes, queueing delays, and latencies all span many orders of
+//! magnitude, so the paper's own analyses (buffer-size CDFs, Figures 3–4)
+//! bucket them logarithmically. [`Histogram`] does the same: 65 power-of-two
+//! buckets cover the full `u64` range, recording is one `fetch_add` on the
+//! bucket plus count/sum updates, and reads are snapshots — safe to take
+//! while writers are still recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two up to 2^63.
+pub const BUCKETS: usize = 65;
+
+/// A concurrent histogram with power-of-two buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value: 0 holds only zero; bucket `i >= 1` holds
+/// `[2^(i-1), 2^i)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub fn bucket_bound(i: usize) -> u64 {
+    assert!(i < BUCKETS, "bucket index out of range");
+    if i == 0 {
+        0
+    } else if i == BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observed value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Snapshot of all bucket counts.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Upper bound of the bucket where the cumulative count first reaches
+    /// `q` (0.0–1.0) of all observations; 0 when empty. An upper estimate
+    /// of the q-quantile, exact to within the bucket's power of two.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= threshold {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs, for compact
+    /// export.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_bound(i), c))
+            .collect()
+    }
+}
+
+impl Clone for Histogram {
+    /// Cloning snapshots the current contents.
+    fn clone(&self) -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|i| {
+                AtomicU64::new(self.buckets[i].load(Ordering::Relaxed))
+            }),
+            count: AtomicU64::new(self.count()),
+            sum: AtomicU64::new(self.sum()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bounds_cover_their_buckets() {
+        for i in 1..BUCKETS {
+            let hi = bucket_bound(i);
+            assert_eq!(bucket_index(hi), i, "upper bound lands in bucket {i}");
+            let lo = bucket_bound(i - 1).saturating_add(1);
+            assert_eq!(bucket_index(lo), i, "lower bound lands in bucket {i}");
+        }
+    }
+
+    #[test]
+    fn records_and_aggregates() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 100, 4096] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 4198);
+        assert!((h.mean() - 4198.0 / 5.0).abs() < 1e-9);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1, "one zero");
+        assert_eq!(counts[1], 2, "two ones");
+        assert_eq!(counts.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn quantile_bound_brackets_the_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_bound(0.5);
+        assert!((500..=1023).contains(&p50), "p50 bound {p50}");
+        assert!(h.quantile_bound(1.0) >= 1000);
+        assert_eq!(Histogram::new().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn nonzero_buckets_compact_form() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(6);
+        h.record(1 << 20);
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz, vec![(7, 2), ((1 << 21) - 1, 1)]);
+    }
+}

@@ -1,0 +1,322 @@
+//! Bounded ring-buffer span/event tracing.
+//!
+//! A [`Tracer`] holds the most recent `capacity` events (older ones are
+//! dropped and counted, so memory stays bounded on arbitrarily long runs).
+//! Timestamps are nanoseconds on a monotonic clock whose epoch is the
+//! tracer's creation — or, for subsystems with a logical clock (simulated
+//! time, synchronization-point indices), whatever the caller passes to
+//! [`Tracer::record_at`], which makes those timelines fully deterministic.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::{JsonObj, ToJsonl};
+
+/// A trace field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Float.
+    F(f64),
+    /// String.
+    S(String),
+}
+
+impl From<u64> for Val {
+    fn from(v: u64) -> Self {
+        Val::U(v)
+    }
+}
+
+impl From<usize> for Val {
+    fn from(v: usize) -> Self {
+        Val::U(v as u64)
+    }
+}
+
+impl From<i64> for Val {
+    fn from(v: i64) -> Self {
+        Val::I(v)
+    }
+}
+
+impl From<f64> for Val {
+    fn from(v: f64) -> Self {
+        Val::F(v)
+    }
+}
+
+impl From<&str> for Val {
+    fn from(v: &str) -> Self {
+        Val::S(v.to_string())
+    }
+}
+
+/// One recorded event (instant if `dur_ns == 0`, a span otherwise).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Start timestamp, nanoseconds since the tracer's epoch (or the
+    /// caller's logical clock).
+    pub t_ns: u64,
+    /// Duration; 0 for instant events.
+    pub dur_ns: u64,
+    /// Event name.
+    pub name: &'static str,
+    /// Event-specific fields.
+    pub fields: Vec<(&'static str, Val)>,
+}
+
+impl ToJsonl for TraceEvent {
+    fn to_jsonl(&self) -> String {
+        let mut obj = JsonObj::new()
+            .str("event", self.name)
+            .u64("t_ns", self.t_ns);
+        if self.dur_ns > 0 {
+            obj = obj.u64("dur_ns", self.dur_ns);
+        }
+        for (k, v) in &self.fields {
+            obj = match v {
+                Val::U(u) => obj.u64(k, *u),
+                Val::I(i) => obj.i64(k, *i),
+                Val::F(f) => obj.f64(k, *f),
+                Val::S(s) => obj.str(k, s),
+            };
+        }
+        obj.finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe event/span recorder.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+/// Default event capacity.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// Nanoseconds since the tracer's epoch (monotonic).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records an event at an explicit (logical) timestamp — the
+    /// deterministic entry point for subsystems with their own clock.
+    pub fn record_at(
+        &self,
+        t_ns: u64,
+        dur_ns: u64,
+        name: &'static str,
+        fields: Vec<(&'static str, Val)>,
+    ) {
+        self.push(TraceEvent {
+            t_ns,
+            dur_ns,
+            name,
+            fields,
+        });
+    }
+
+    /// Records an instant event stamped with the monotonic clock.
+    pub fn event(&self, name: &'static str, fields: Vec<(&'static str, Val)>) {
+        self.record_at(self.now_ns(), 0, name, fields);
+    }
+
+    /// Opens a span; the span records itself (with its wall duration) when
+    /// dropped.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            tracer: self,
+            name,
+            t0: self.now_ns(),
+            fields: Vec::new(),
+        }
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut ring = self.ring.lock().expect("tracer poisoned");
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(ev);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("tracer poisoned").events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("tracer poisoned").dropped
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .expect("tracer poisoned")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Serializes the retained events as JSON Lines.
+    pub fn jsonl_lines(&self) -> Vec<String> {
+        self.snapshot().iter().map(ToJsonl::to_jsonl).collect()
+    }
+}
+
+impl Clone for Tracer {
+    /// Cloning snapshots the retained events (epoch and capacity carry
+    /// over).
+    fn clone(&self) -> Self {
+        let ring = self.ring.lock().expect("tracer poisoned");
+        Tracer {
+            epoch: self.epoch,
+            capacity: self.capacity,
+            ring: Mutex::new(Ring {
+                events: ring.events.clone(),
+                dropped: ring.dropped,
+            }),
+        }
+    }
+}
+
+/// An open span; records a [`TraceEvent`] with its duration on drop.
+#[must_use = "a span records only when dropped"]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    t0: u64,
+    fields: Vec<(&'static str, Val)>,
+}
+
+impl Span<'_> {
+    /// Attaches a field to the span's eventual event.
+    pub fn field(&mut self, k: &'static str, v: impl Into<Val>) {
+        self.fields.push((k, v.into()));
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let dur = self.tracer.now_ns().saturating_sub(self.t0).max(1);
+        self.tracer
+            .record_at(self.t0, dur, self.name, std::mem::take(&mut self.fields));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_at_logical_times() {
+        let t = Tracer::new(16);
+        t.record_at(5, 0, "a", vec![("x", Val::U(1))]);
+        t.record_at(9, 2, "b", vec![]);
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "a");
+        assert_eq!(evs[0].t_ns, 5);
+        assert_eq!(evs[1].dur_ns, 2);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = Tracer::new(3);
+        for i in 0..10u64 {
+            t.record_at(i, 0, "tick", vec![]);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let ts: Vec<u64> = t.snapshot().iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![7, 8, 9], "newest survive");
+    }
+
+    #[test]
+    fn span_records_duration_and_fields() {
+        let t = Tracer::new(8);
+        {
+            let mut s = t.span("work");
+            s.field("items", 42u64);
+        }
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "work");
+        assert!(evs[0].dur_ns >= 1);
+        assert_eq!(evs[0].fields, vec![("items", Val::U(42))]);
+    }
+
+    #[test]
+    fn jsonl_rendering() {
+        let t = Tracer::new(4);
+        t.record_at(
+            100,
+            7,
+            "link_busy",
+            vec![("link", Val::U(3)), ("frac", Val::F(0.25))],
+        );
+        let lines = t.jsonl_lines();
+        assert_eq!(
+            lines[0],
+            r#"{"event":"link_busy","t_ns":100,"dur_ns":7,"link":3,"frac":0.25}"#
+        );
+    }
+
+    #[test]
+    fn clone_snapshots() {
+        let t = Tracer::new(4);
+        t.record_at(1, 0, "a", vec![]);
+        let c = t.clone();
+        t.record_at(2, 0, "b", vec![]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let t = Tracer::new(2);
+        let a = t.now_ns();
+        let b = t.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -47,11 +47,8 @@ pub fn bisection_bytes(graph: &CommGraph) -> u64 {
         return 0;
     }
     let half = n / 2;
-    let cuts: [&dyn Fn(usize) -> bool; 3] = [
-        &|v| v >= half,
-        &|v| v % 2 == 1,
-        &|v| (v / 2) % 2 == 1,
-    ];
+    let cuts: [&dyn Fn(usize) -> bool; 3] =
+        [&|v| v >= half, &|v| v % 2 == 1, &|v| (v / 2) % 2 == 1];
     cuts.iter()
         .map(|cut| bisection_bytes_for(graph, cut))
         .min()

@@ -118,8 +118,7 @@ impl CommGraph {
         v: usize,
         cutoff: u64,
     ) -> impl Iterator<Item = (usize, &EdgeStat)> {
-        self.neighbors(v)
-            .filter(move |(_, e)| e.max_msg >= cutoff)
+        self.neighbors(v).filter(move |(_, e)| e.max_msg >= cutoff)
     }
 
     /// Unthresholded topological degree of `v`.

@@ -55,11 +55,7 @@ impl BufferHistogram {
         if total == 0 {
             return 0.0;
         }
-        let below: u64 = self
-            .entries
-            .range(..=bytes)
-            .map(|(_, &c)| c)
-            .sum();
+        let below: u64 = self.entries.range(..=bytes).map(|(_, &c)| c).sum();
         below as f64 / total as f64
     }
 
@@ -138,7 +134,9 @@ mod tests {
 
     #[test]
     fn cumulative_fraction() {
-        let h: BufferHistogram = [(8u64, 5u64), (2048, 4), (1 << 20, 1)].into_iter().collect();
+        let h: BufferHistogram = [(8u64, 5u64), (2048, 4), (1 << 20, 1)]
+            .into_iter()
+            .collect();
         assert!((h.fraction_at_or_below(7) - 0.0).abs() < 1e-12);
         assert!((h.fraction_at_or_below(8) - 0.5).abs() < 1e-12);
         assert!((h.fraction_at_or_below(2048) - 0.9).abs() < 1e-12);
@@ -156,7 +154,9 @@ mod tests {
 
     #[test]
     fn median_and_percentiles() {
-        let h: BufferHistogram = [(10u64, 1u64), (20, 1), (30, 1), (40, 1)].into_iter().collect();
+        let h: BufferHistogram = [(10u64, 1u64), (20, 1), (30, 1), (40, 1)]
+            .into_iter()
+            .collect();
         assert_eq!(h.median(), Some(20));
         assert_eq!(h.percentile(100.0), Some(40));
         assert_eq!(h.percentile(25.0), Some(10));

@@ -62,10 +62,7 @@ pub fn to_csv(graph: &CommGraph) -> String {
         for b in (a + 1)..n {
             let e = graph.edge(a, b);
             if e.is_active() {
-                out.push_str(&format!(
-                    "{a},{b},{},{},{}\n",
-                    e.bytes, e.count, e.max_msg
-                ));
+                out.push_str(&format!("{a},{b},{},{},{}\n", e.bytes, e.count, e.max_msg));
             }
         }
     }

@@ -56,7 +56,10 @@ fn sweep_equals_naive_per_cutoff() {
     forall("sweep_equals_naive_per_cutoff", 256, |rng| {
         let n = rng.range(1, 16);
         let g = random_graph(rng, n, 200);
-        assert_eq!(tdc_sweep(&g, &PAPER_CUTOFFS), tdc_sweep_naive(&g, &PAPER_CUTOFFS));
+        assert_eq!(
+            tdc_sweep(&g, &PAPER_CUTOFFS),
+            tdc_sweep_naive(&g, &PAPER_CUTOFFS)
+        );
         let cutoffs: Vec<u64> = (0..rng.range(1, 10))
             .map(|_| rng.range_u64(0, 4 << 20))
             .collect();

@@ -59,7 +59,8 @@ fn main() {
                 }
                 comm.waitall(reqs).unwrap();
                 // Global residual check.
-                comm.allreduce(Payload::synthetic(8), ReduceOp::Max).unwrap();
+                comm.allreduce(Payload::synthetic(8), ReduceOp::Max)
+                    .unwrap();
             }
             prof.exit_region(rank);
         },

@@ -7,7 +7,7 @@
 
 use hfast::apps::{profile_app, Lbmhd, Paratec};
 use hfast::core::{ProvisionConfig, Provisioning};
-use hfast::netsim::{simulate, traffic, Fabric, FatTreeFabric, HfastFabric, TorusFabric};
+use hfast::netsim::{traffic, Fabric, FatTreeFabric, HfastFabric, Simulation, TorusFabric};
 use hfast::topology::generators::balanced_dims3;
 
 fn showdown(name: &str, graph: &hfast::topology::CommGraph) {
@@ -23,7 +23,7 @@ fn showdown(name: &str, graph: &hfast::topology::CommGraph) {
         ))),
     ];
     for fabric in &fabrics {
-        let stats = simulate(fabric.as_ref(), &flows);
+        let stats = Simulation::new(fabric.as_ref()).run(&flows).stats;
         println!("  {:<9} {stats}", fabric.name());
     }
     println!();

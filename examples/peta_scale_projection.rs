@@ -24,9 +24,8 @@ fn main() {
     for exp in [6u32, 8, 10, 12, 14, 16, 18, 20] {
         let p = 1usize << exp;
         let ft = FatTree::for_processors(p, config.block_ports);
-        let per_node = |tdc: usize| {
-            AnalyticHfast { p, tdc, config }.packet_ports() as f64 / p as f64
-        };
+        let per_node =
+            |tdc: usize| AnalyticHfast { p, tdc, config }.packet_ports() as f64 / p as f64;
         println!(
             "{:>10} {:>10} {:>14.0} {:>14.0} {:>14.0}",
             p,
@@ -38,7 +37,10 @@ fn main() {
     }
 
     println!("\ntotal interconnect cost ratio (HFAST / fat-tree):\n");
-    println!("{:>10} {:>12} {:>12} {:>12}", "P", "TDC=6", "TDC=12", "TDC=30");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "P", "TDC=6", "TDC=12", "TDC=30"
+    );
     for exp in [6u32, 10, 14, 18, 20] {
         let p = 1usize << exp;
         let ft = FatTree::for_processors(p, config.block_ports).cost(&model);

@@ -15,7 +15,11 @@ fn study(name: &str, graph: &hfast::topology::CommGraph, width: usize) {
     let blocked = SmpAssignment::blocked(graph.n(), width);
     let optimized = localize(graph, width, 4);
     println!("{name} on {}-way SMP nodes:", width);
-    for (label, asg) in [("round-robin", &rr), ("blocked", &blocked), ("localized", &optimized)] {
+    for (label, asg) in [
+        ("round-robin", &rr),
+        ("blocked", &blocked),
+        ("localized", &optimized),
+    ] {
         let folded = asg.fold(graph);
         let node_tdc = tdc(&folded, BDP_CUTOFF);
         let prov = Provisioning::per_node(&folded, ProvisionConfig::default());

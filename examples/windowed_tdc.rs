@@ -30,7 +30,8 @@ fn main() {
                 let r = comm
                     .irecv(SrcSel::Rank(left), TagSel::Tag(Tag(1)), 64 << 10)
                     .unwrap();
-                comm.isend(right, Tag(1), Payload::synthetic(64 << 10)).unwrap();
+                comm.isend(right, Tag(1), Payload::synthetic(64 << 10))
+                    .unwrap();
                 comm.wait(r).unwrap();
             }
             comm.barrier().unwrap();
@@ -40,10 +41,12 @@ fn main() {
                 let r = comm
                     .irecv(SrcSel::Rank(partner), TagSel::Tag(Tag(2)), 32 << 10)
                     .unwrap();
-                comm.isend(partner, Tag(2), Payload::synthetic(32 << 10)).unwrap();
+                comm.isend(partner, Tag(2), Payload::synthetic(32 << 10))
+                    .unwrap();
                 comm.wait(r).unwrap();
             }
-            comm.allreduce(Payload::synthetic(8), ReduceOp::Sum).unwrap();
+            comm.allreduce(Payload::synthetic(8), ReduceOp::Sum)
+                .unwrap();
         },
     )
     .expect("world ran");

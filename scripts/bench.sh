@@ -2,16 +2,23 @@
 # Runs every bench suite and assembles the results into BENCH_<tag>.json
 # at the repo root (one JSON document: {"tag": ..., "results": [...]}).
 #
-# Usage: scripts/bench.sh [tag]        (default tag: pr1)
+# Usage: scripts/bench.sh [tag]        (default tag: pr2)
 #   HFAST_BENCH_FAST=1 scripts/bench.sh   # quick smoke pass
+#
+# When a BENCH_pr1.json baseline exists, the netsim suite also records the
+# obs-off overhead guard (guard/obs_off_vs_pr1_cold: current cold-run median
+# over the PR-1 median; must stay <= 1.05).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-pr1}"
+TAG="${1:-pr2}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 export HFAST_BENCH_JSON="$TMP"
+if [[ -f BENCH_pr1.json ]]; then
+  export HFAST_BENCH_BASELINE="$PWD/BENCH_pr1.json"
+fi
 
 for suite in topology provision netsim runtime apps; do
   cargo bench -q -p hfast-bench --bench "$suite" 2>&1 | sed 's/^/  /'

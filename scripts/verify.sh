@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, lint, test.
+# Tier-1 verification: build, format, lint, test (unit + doc).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
+cargo test --doc --workspace -q
 echo "verify: OK"

@@ -12,7 +12,9 @@
 use std::process::ExitCode;
 
 use hfast::apps::{all_apps, profile_app};
-use hfast::core::{classify, ClassifyConfig, CostComparison, CostModel, ProvisionConfig, Provisioning};
+use hfast::core::{
+    classify, ClassifyConfig, CostComparison, CostModel, ProvisionConfig, Provisioning,
+};
 use hfast::ipm::{from_text, render, to_text};
 use hfast::topology::render_ascii;
 

@@ -10,6 +10,8 @@
 //! * [`topology`] — communication graphs, TDC analysis, thresholding.
 //! * [`core`] — the HFAST architecture: switches, provisioning, cost models.
 //! * [`netsim`] — discrete-event simulator for fat-tree/torus/HFAST fabrics.
+//! * [`obs`] — zero-dependency observability: counters, histograms, traces,
+//!   and the `HFAST_OBS` JSON Lines export switch.
 
 #![warn(missing_docs)]
 
@@ -18,4 +20,5 @@ pub use hfast_core as core;
 pub use hfast_ipm as ipm;
 pub use hfast_mpi as mpi;
 pub use hfast_netsim as netsim;
+pub use hfast_obs as obs;
 pub use hfast_topology as topology;

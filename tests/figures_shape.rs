@@ -15,7 +15,11 @@ fn figure3_collective_buffers_are_small() {
         combined.merge(&out.steady.collective_buffer_histogram());
     }
     let at_2k = combined.fraction_at_or_below(2048);
-    assert!(at_2k >= 0.9, "Figure 3: ≥90% ≤ 2KB, got {:.1}%", 100.0 * at_2k);
+    assert!(
+        at_2k >= 0.9,
+        "Figure 3: ≥90% ≤ 2KB, got {:.1}%",
+        100.0 * at_2k
+    );
     let at_100 = combined.fraction_at_or_below(100);
     assert!(
         at_100 >= 0.4,

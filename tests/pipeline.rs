@@ -5,7 +5,7 @@
 use hfast::apps::{profile_app, Lbmhd};
 use hfast::core::{ProvisionConfig, Provisioning};
 use hfast::ipm::{from_text, to_text};
-use hfast::netsim::{simulate, traffic, Fabric, FatTreeFabric, HfastFabric};
+use hfast::netsim::{traffic, Fabric, FatTreeFabric, HfastFabric, Simulation};
 use hfast::topology::{tdc, BDP_CUTOFF};
 
 #[test]
@@ -32,13 +32,13 @@ fn profile_to_simulation_pipeline() {
     let flows = traffic::flows_from_graph(&graph, BDP_CUTOFF);
     assert_eq!(flows.len(), 64 * 12, "12 partners each, both directions");
     let hfast = HfastFabric::new(prov);
-    let stats = simulate(&hfast, &flows);
+    let stats = Simulation::new(&hfast).run(&flows).stats;
     assert_eq!(stats.unrouted, 0, "every hot flow has a dedicated circuit");
     assert_eq!(stats.completed, flows.len());
     assert_eq!(stats.avg_hops, 3.0, "constant-depth paths");
 
     let ft = FatTreeFabric::new(64, 8);
-    let ft_stats = simulate(&ft, &flows);
+    let ft_stats = Simulation::new(&ft).run(&flows).stats;
     assert_eq!(ft_stats.completed, flows.len());
     assert!(
         ft_stats.avg_hops > stats.avg_hops,
@@ -69,7 +69,7 @@ fn fabric_trait_objects_interoperate() {
         ))),
     ];
     for fabric in fabrics {
-        let stats = simulate(fabric.as_ref(), &flows);
+        let stats = Simulation::new(fabric.as_ref()).run(&flows).stats;
         assert_eq!(stats.completed, flows.len(), "{}", fabric.name());
     }
 }

@@ -14,7 +14,12 @@ fn sweep_matches_independent_tdc_on_every_app_graph() {
         let sweep = tdc_sweep(&graph, &PAPER_CUTOFFS);
         let csr_sweep = tdc_sweep_csr(&CsrGraph::from_graph(&graph, 0), &PAPER_CUTOFFS);
         assert_eq!(sweep.len(), PAPER_CUTOFFS.len());
-        assert_eq!(sweep, csr_sweep, "{}: CSR and dense sweeps agree", app.name());
+        assert_eq!(
+            sweep,
+            csr_sweep,
+            "{}: CSR and dense sweeps agree",
+            app.name()
+        );
         for (&cutoff, (swept_cutoff, summary)) in PAPER_CUTOFFS.iter().zip(&sweep) {
             assert_eq!(cutoff, *swept_cutoff);
             assert_eq!(
