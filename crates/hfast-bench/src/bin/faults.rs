@@ -1,7 +1,7 @@
 //! Fault-tolerance experiment: node failures on a torus vs HFAST (§1's
 //! qualitative argument, quantified).
 
-use hfast_core::{hfast_fault_impact, torus_fault_impact, ProvisionConfig};
+use hfast_core::{hfast_fault_impact, seeded_failures, torus_fault_impact, ProvisionConfig};
 use hfast_topology::generators::{balanced_dims3, mesh3d_graph};
 
 fn main() {
@@ -14,7 +14,7 @@ fn main() {
         "failed", "unreachable", "max dilation", "hfast degraded", "hfast circuits Δ"
     );
     for k in [1usize, 2, 4, 8] {
-        let failed: Vec<usize> = (0..k).map(|i| (i * 13 + 5) % p).collect();
+        let failed = seeded_failures(k, p, 0x5C05);
         let torus = torus_fault_impact(dims, &failed);
         let hfast = hfast_fault_impact(&app, ProvisionConfig::default(), &failed);
         println!(

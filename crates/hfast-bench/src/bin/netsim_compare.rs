@@ -27,8 +27,8 @@ fn main() {
         if flows.is_empty() {
             return None;
         }
-        let ft = FatTreeFabric::new(procs, 8);
-        let torus = TorusFabric::new(balanced_dims3(procs));
+        let ft = FatTreeFabric::new(procs, 8).expect("valid shape");
+        let torus = TorusFabric::new(balanced_dims3(procs)).expect("valid shape");
         let hfast = HfastFabric::new(Provisioning::per_node(&graph, ProvisionConfig::default()));
         // One path cache per fabric: each app replays the same (src, dst)
         // pairs many times over, so routes are resolved once.

@@ -143,6 +143,17 @@ impl Harness {
             .map(|r| r.median_ns)
     }
 
+    /// Fastest sample's ns/iter of an already-run case. The minimum
+    /// approximates the unthrottled cost of the work, so it is the right
+    /// statistic for cross-session comparisons exposed to frequency and
+    /// load drift (overhead guards against recorded baselines).
+    pub fn min_ns(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.min_ns)
+    }
+
     /// Records a computed value (a ratio, a guard metric) as a pseudo-case
     /// so `BENCH_*.json` carries it alongside the timings.
     pub fn record_value(&mut self, name: &str, value: f64) {

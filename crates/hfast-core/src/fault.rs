@@ -61,6 +61,35 @@ impl hfast_obs::ToJsonl for HfastFaultReport {
     }
 }
 
+/// Draws `k` distinct indices from `0..n` deterministically from `seed`
+/// (SplitMix64 over a shrinking candidate pool), returned in ascending
+/// order.
+///
+/// This is the shared sampling primitive behind every seeded fault
+/// scenario: the analytic reports here, `hfast-netsim`'s runtime
+/// `FaultPlan` schedules, and the `faults_replay` sweep all pick failed
+/// components through it, so "the same seed" means the same components
+/// everywhere.
+pub fn seeded_failures(k: usize, n: usize, seed: u64) -> Vec<usize> {
+    let k = k.min(n);
+    let mut pool: Vec<usize> = (0..n).collect();
+    let mut picked = Vec::with_capacity(k);
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for _ in 0..k {
+        let idx = (next() % pool.len() as u64) as usize;
+        picked.push(pool.swap_remove(idx));
+    }
+    picked.sort_unstable();
+    picked
+}
+
 fn all_pairs_torus_distances(dims: (usize, usize, usize), alive: &[bool]) -> Vec<Vec<usize>> {
     let n = dims.0 * dims.1 * dims.2;
     let mut out = Vec::with_capacity(n);
@@ -211,6 +240,22 @@ mod tests {
     use super::*;
     use hfast_topology::generators::{mesh3d_graph, ring_graph};
     use hfast_topology::tdc::tdc;
+
+    #[test]
+    fn seeded_failures_are_deterministic_and_distinct() {
+        let a = seeded_failures(8, 64, 42);
+        let b = seeded_failures(8, 64, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup, a, "sorted and distinct");
+        assert!(a.iter().all(|&v| v < 64));
+        let c = seeded_failures(8, 64, 43);
+        assert_ne!(a, c, "different seeds draw different components");
+        assert_eq!(seeded_failures(10, 3, 7), vec![0, 1, 2], "k clamps to n");
+        assert!(seeded_failures(0, 10, 7).is_empty());
+    }
 
     #[test]
     fn torus_single_failure_routes_around() {

@@ -60,7 +60,7 @@ pub use bdp::{InterconnectSpec, TABLE1_SYSTEMS, TARGET_BDP_BYTES};
 pub use classify::{classify, CaseClass, Classification, ClassifyConfig};
 pub use clique::cluster_nodes;
 pub use cost::{hfast_cost, AnalyticHfast, CostComparison, CostModel, FatTree};
-pub use fault::{hfast_fault_impact, remove_nodes, torus_fault_impact};
+pub use fault::{hfast_fault_impact, remove_nodes, seeded_failures, torus_fault_impact};
 pub use icn::{embed as icn_embed, IcnConfig, IcnEmbedding, IcnError};
 pub use obs::{ProvisionObs, ReconfigObs};
 pub use provision::{Cluster, EdgeCircuit, ProvisionConfig, Provisioning, Route};

@@ -32,6 +32,31 @@ pub struct ReconfigStep {
     pub reconfig_time_ns: u64,
 }
 
+impl ReconfigStep {
+    /// The outcome of a *fault-driven* mid-run re-provisioning: `circuits`
+    /// failed circuits are repatched through spare switch ports at a
+    /// synchronization point, paying one parallel
+    /// [`CircuitSwitch::RECONFIG_LATENCY_NS`] when anything moved at all.
+    ///
+    /// [`observe_and_adapt`](ReconfigEngine::observe_and_adapt) covers the
+    /// planned case (traffic drifted, re-match the measured graph); this
+    /// constructor covers the unplanned one (a component died mid-run) with
+    /// the same accounting, so the simulator's runtime fault events and the
+    /// engine's sync-point steps export through one `ReconfigStep` shape.
+    pub fn repatch(circuits: usize, coverage_before: f64, coverage_after: f64) -> ReconfigStep {
+        ReconfigStep {
+            coverage_before,
+            coverage_after,
+            circuits_changed: circuits,
+            reconfig_time_ns: if circuits > 0 {
+                CircuitSwitch::RECONFIG_LATENCY_NS
+            } else {
+                0
+            },
+        }
+    }
+}
+
 impl hfast_obs::ToJsonl for ReconfigStep {
     fn to_jsonl(&self) -> String {
         hfast_obs::JsonObj::new()
@@ -154,6 +179,16 @@ mod tests {
 
     fn cfg() -> ProvisionConfig {
         ProvisionConfig::default()
+    }
+
+    #[test]
+    fn repatch_step_accounts_like_adaptation() {
+        let step = ReconfigStep::repatch(3, 0.4, 1.0);
+        assert_eq!(step.circuits_changed, 3);
+        assert_eq!(step.reconfig_time_ns, CircuitSwitch::RECONFIG_LATENCY_NS);
+        assert!((step.coverage_after - 1.0).abs() < 1e-12);
+        let noop = ReconfigStep::repatch(0, 1.0, 1.0);
+        assert_eq!(noop.reconfig_time_ns, 0, "nothing moved, nothing paid");
     }
 
     #[test]

@@ -1,107 +1,97 @@
-//! Fault injection for fabric simulation.
+//! Static fault injection (deprecated shim).
 //!
-//! Wraps any [`Fabric`] and fails a set of nodes and/or links: paths that
-//! would traverse them become unroutable, so the same traffic replay shows
-//! how much of a workload each topology loses — the simulation counterpart
-//! of [`hfast_core::fault`]'s analytic comparison (paper §1's
-//! fault-tolerance argument).
+//! [`DegradedFabric`] predates the runtime fault subsystem: it wraps any
+//! [`Fabric`] with a *fixed* set of failed nodes and links, making paths
+//! through them unroutable for a whole replay. The dynamic API subsumes it
+//! — a [`FaultPlan`](crate::FaultPlan) whose failures all land at `t = 0`
+//! with no recoveries reproduces the same scenario, plus retries, adaptive
+//! rerouting, and mid-run re-provisioning. The shim now stores its failure
+//! set in a [`FaultState`] and answers routing questions through the same
+//! [`Fabric::path_avoiding`] machinery, so both APIs agree by construction.
 
-use std::collections::BTreeSet;
-
+use crate::error::NetsimError;
 use crate::fabric::{Fabric, LinkId, LinkSpec};
+use crate::faultplan::{FaultAction, FaultEvent, FaultState, FaultTarget};
 
-/// A failure specification that does not fit the wrapped fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DegradedError {
-    /// A failed node id at or beyond the fabric's node count.
-    NodeOutOfRange {
-        /// The offending node id.
-        node: usize,
-        /// The wrapped fabric's node count.
-        nodes: usize,
-    },
-    /// A failed link id at or beyond the fabric's link count.
-    LinkOutOfRange {
-        /// The offending link id.
-        link: LinkId,
-        /// The wrapped fabric's link count.
-        links: usize,
-    },
-}
-
-impl std::fmt::Display for DegradedError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match *self {
-            DegradedError::NodeOutOfRange { node, nodes } => {
-                write!(
-                    f,
-                    "failed node {node} out of range (fabric has {nodes} nodes)"
-                )
-            }
-            DegradedError::LinkOutOfRange { link, links } => {
-                write!(
-                    f,
-                    "failed link {link} out of range (fabric has {links} links)"
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for DegradedError {}
-
-/// A fabric with failed components.
+/// A fabric with a fixed set of failed components.
+#[deprecated(
+    note = "use Simulation::with_faults with a FaultPlan failing the same components at t = 0"
+)]
 pub struct DegradedFabric<'a> {
     inner: &'a dyn Fabric,
-    failed_nodes: BTreeSet<usize>,
-    failed_links: BTreeSet<LinkId>,
+    state: FaultState,
+    failed_node_count: usize,
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for DegradedFabric<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DegradedFabric")
             .field("inner", &self.inner.name())
-            .field("failed_nodes", &self.failed_nodes)
-            .field("failed_links", &self.failed_links)
+            .field("state", &self.state)
             .finish()
     }
 }
 
+#[allow(deprecated)]
 impl<'a> DegradedFabric<'a> {
     /// Wraps `inner` with the given failures.
     ///
     /// # Errors
-    /// Returns a [`DegradedError`] naming the first failed node or link id
+    /// Returns a [`NetsimError`] naming the first failed node or link id
     /// that does not exist in `inner`.
     pub fn new(
         inner: &'a dyn Fabric,
         failed_nodes: impl IntoIterator<Item = usize>,
         failed_links: impl IntoIterator<Item = LinkId>,
-    ) -> Result<Self, DegradedError> {
-        let failed_nodes: BTreeSet<usize> = failed_nodes.into_iter().collect();
-        let failed_links: BTreeSet<LinkId> = failed_links.into_iter().collect();
-        if let Some(&node) = failed_nodes.iter().find(|&&n| n >= inner.nodes()) {
-            return Err(DegradedError::NodeOutOfRange {
-                node,
-                nodes: inner.nodes(),
-            });
+    ) -> Result<Self, NetsimError> {
+        let mut state = FaultState::healthy(inner);
+        let mut failed_node_count = 0;
+        for node in failed_nodes {
+            if node >= inner.nodes() {
+                return Err(NetsimError::NodeOutOfRange {
+                    node,
+                    nodes: inner.nodes(),
+                });
+            }
+            if state.node_up(node) {
+                failed_node_count += 1;
+            }
+            state.apply(
+                inner,
+                FaultEvent {
+                    time_ns: 0,
+                    action: FaultAction::Fail,
+                    target: FaultTarget::Node(node),
+                },
+            );
         }
-        if let Some(&link) = failed_links.iter().find(|&&l| l >= inner.link_count()) {
-            return Err(DegradedError::LinkOutOfRange {
-                link,
-                links: inner.link_count(),
-            });
+        for link in failed_links {
+            if link >= inner.link_count() {
+                return Err(NetsimError::LinkOutOfRange {
+                    link,
+                    links: inner.link_count(),
+                });
+            }
+            state.apply(
+                inner,
+                FaultEvent {
+                    time_ns: 0,
+                    action: FaultAction::Fail,
+                    target: FaultTarget::Link(link),
+                },
+            );
         }
         Ok(DegradedFabric {
             inner,
-            failed_nodes,
-            failed_links,
+            state,
+            failed_node_count,
         })
     }
 
     /// Number of failed nodes.
     pub fn failed_node_count(&self) -> usize {
-        self.failed_nodes.len()
+        self.failed_node_count
     }
 
     /// Fraction of node pairs that still route (both endpoints alive).
@@ -113,11 +103,11 @@ impl<'a> DegradedFabric<'a> {
         let mut total = 0usize;
         let mut routed = 0usize;
         for a in 0..n {
-            if self.failed_nodes.contains(&a) {
+            if !self.state.node_up(a) {
                 continue;
             }
             for b in (a + 1)..n {
-                if self.failed_nodes.contains(&b) {
+                if !self.state.node_up(b) {
                     continue;
                 }
                 total += 1;
@@ -134,6 +124,7 @@ impl<'a> DegradedFabric<'a> {
     }
 }
 
+#[allow(deprecated)]
 impl Fabric for DegradedFabric<'_> {
     fn name(&self) -> &str {
         "degraded"
@@ -152,18 +143,15 @@ impl Fabric for DegradedFabric<'_> {
     }
 
     fn path(&self, src: usize, dst: usize) -> Option<Vec<LinkId>> {
-        if self.failed_nodes.contains(&src) || self.failed_nodes.contains(&dst) {
+        if !self.state.node_up(src) || !self.state.node_up(dst) {
             return None;
         }
-        // The inner fabric routes deterministically (no adaptive rerouting);
-        // a path through a failed component is lost, which models
-        // non-adaptive dimension-order/tree routing. Adaptive fabrics would
-        // override path() themselves.
+        // Historical semantics: NON-adaptive. The inner fabric's primary
+        // route either survives or the pair is lost — no detours, which is
+        // why this shim is deprecated in favor of the dynamic API (where
+        // Fabric::path_avoiding searches for one).
         let path = self.inner.path(src, dst)?;
-        if path.iter().any(|l| self.failed_links.contains(l)) {
-            return None;
-        }
-        Some(path)
+        (!self.state.blocks(&path)).then_some(path)
     }
 
     fn switch_hops(&self, src: usize, dst: usize) -> Option<usize> {
@@ -172,6 +160,7 @@ impl Fabric for DegradedFabric<'_> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::engine::Simulation;
@@ -181,16 +170,17 @@ mod tests {
 
     #[test]
     fn failed_endpoint_is_unroutable() {
-        let torus = TorusFabric::new((4, 4, 1));
+        let torus = TorusFabric::new((4, 4, 1)).unwrap();
         let degraded = DegradedFabric::new(&torus, [5], []).unwrap();
         assert!(degraded.path(5, 0).is_none());
         assert!(degraded.path(0, 5).is_none());
         assert!(degraded.path(0, 1).is_some(), "others unaffected");
+        assert_eq!(degraded.failed_node_count(), 1);
     }
 
     #[test]
     fn failed_link_blocks_static_routes() {
-        let torus = TorusFabric::new((8, 1, 1));
+        let torus = TorusFabric::new((8, 1, 1)).unwrap();
         let healthy_path = torus.path(0, 1).unwrap();
         let degraded = DegradedFabric::new(&torus, [], healthy_path.clone()).unwrap();
         // Dimension-order routing has exactly one path: it is now gone.
@@ -201,7 +191,7 @@ mod tests {
 
     #[test]
     fn surviving_fraction_quantifies_damage() {
-        let torus = TorusFabric::new((4, 4, 1));
+        let torus = TorusFabric::new((4, 4, 1)).unwrap();
         let healthy = DegradedFabric::new(&torus, [], []).unwrap();
         assert_eq!(healthy.surviving_pair_fraction(), 1.0);
         // Fail the central node's outgoing +x link: every pair whose
@@ -214,7 +204,7 @@ mod tests {
 
     #[test]
     fn replay_counts_unrouted_flows() {
-        let ft = FatTreeFabric::new(16, 8);
+        let ft = FatTreeFabric::new(16, 8).unwrap();
         let degraded = DegradedFabric::new(&ft, [3], []).unwrap();
         let flows: Vec<Flow> = (0..16)
             .map(|s| Flow {
@@ -232,18 +222,60 @@ mod tests {
 
     #[test]
     fn out_of_range_failure_rejected() {
-        let ft = FatTreeFabric::new(4, 8);
+        let ft = FatTreeFabric::new(4, 8).unwrap();
         let err = DegradedFabric::new(&ft, [99], []).unwrap_err();
         assert_eq!(
             err,
-            DegradedError::NodeOutOfRange {
+            NetsimError::NodeOutOfRange {
                 node: 99,
                 nodes: ft.nodes()
             }
         );
-        assert!(err.to_string().contains("failed node 99 out of range"));
+        assert!(err.to_string().contains("node 99 out of range"));
         let err = DegradedFabric::new(&ft, [], [usize::MAX]).unwrap_err();
-        assert!(matches!(err, DegradedError::LinkOutOfRange { .. }));
+        assert!(matches!(err, NetsimError::LinkOutOfRange { .. }));
         assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn dynamic_api_dominates_the_shim() {
+        // Same failure set, expressed both ways. Endpoint flows die under
+        // both; flows merely *transiting* the dead router are lost by the
+        // non-adaptive shim but rerouted by the dynamic API — exactly why
+        // the shim is deprecated.
+        let torus = TorusFabric::new((4, 4, 1)).unwrap();
+        let flows: Vec<Flow> = (0..16)
+            .map(|s| Flow {
+                src: s,
+                dst: (s + 7) % 16,
+                bytes: 2048,
+                start_ns: 0,
+            })
+            .collect();
+        let degraded = DegradedFabric::new(&torus, [5], []).unwrap();
+        let static_stats = Simulation::new(&degraded).run(&flows).stats;
+        let plan = crate::FaultPlan::builder()
+            .fail_node(0, 5)
+            .build(&torus)
+            .unwrap();
+        let dynamic = Simulation::new(&torus)
+            .with_faults(&plan)
+            .with_retry(crate::RetryPolicy {
+                max_attempts: 1,
+                base_backoff_ns: 1,
+                max_backoff_ns: 1,
+            })
+            .run(&flows);
+        assert_eq!(dynamic.stats.unrouted, 2, "only 5→12 and 14→5 are lost");
+        assert!(
+            static_stats.unrouted >= dynamic.stats.unrouted,
+            "the shim can only do worse: {} vs {}",
+            static_stats.unrouted,
+            dynamic.stats.unrouted
+        );
+        assert_eq!(
+            dynamic.stats.completed + dynamic.stats.unrouted,
+            flows.len()
+        );
     }
 }

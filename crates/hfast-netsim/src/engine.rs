@@ -1,9 +1,22 @@
-//! The discrete-event core: per-link FIFO serialization of flows.
+//! The discrete-event core: per-link FIFO serialization of flows, with
+//! optional runtime fault injection.
+//!
+//! Fault-free runs use a static loop (one event per flow-hop arrival).
+//! Attaching a non-empty [`FaultPlan`] switches to the dynamic loop, where
+//! plan events, HFAST sync points, and flow admissions interleave on one
+//! simulated-time axis: in-flight flows are killed when their header meets
+//! a dead link, re-admitted under a [`RetryPolicy`] with exponential
+//! backoff after targeted [`PathCache`] invalidation, and — on fabrics
+//! that support it — failed circuits are repatched mid-run through the
+//! MEMS crossbar at the next synchronization point.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+use hfast_core::ReconfigStep;
 
 use crate::fabric::{Fabric, LinkId};
+use crate::faultplan::{FaultAction, FaultPlan, FaultState, FaultTarget, RetryPolicy};
 use crate::obs::EngineObs;
 use crate::stats::RunStats;
 use crate::traffic::Flow;
@@ -20,10 +33,21 @@ const PAR_PATH_THRESHOLD: usize = 64;
 /// fabric — replaying several traffic patterns on one fabric pays the
 /// routing cost once — and missing paths are computed in parallel (input
 /// order preserved, so results are deterministic).
-#[derive(Debug, Default)]
+///
+/// Fault runs evict affected routes in place via [`invalidate_link`] /
+/// [`invalidate_node`]: the slot stays allocated but is marked stale, and
+/// the next resolution of that pair recomputes it. A cache handed to a
+/// fault run therefore stays safe to reuse afterwards — every route the
+/// faults touched is left stale, so a later run re-derives the primary
+/// route instead of inheriting a detour.
+///
+/// [`invalidate_link`]: PathCache::invalidate_link
+/// [`invalidate_node`]: PathCache::invalidate_node
+#[derive(Debug, Default, Clone)]
 pub struct PathCache {
     slot_of_pair: HashMap<(usize, usize), usize>,
     paths: Vec<Option<Vec<LinkId>>>,
+    stale: Vec<bool>,
 }
 
 impl PathCache {
@@ -46,6 +70,54 @@ impl PathCache {
     pub fn clear(&mut self) {
         self.slot_of_pair.clear();
         self.paths.clear();
+        self.stale.clear();
+    }
+
+    /// The current route for a pair: `None` if the pair was never resolved
+    /// or its entry is stale, `Some(None)` if the fabric has no route,
+    /// `Some(Some(path))` otherwise.
+    pub fn cached(&self, src: usize, dst: usize) -> Option<Option<&[LinkId]>> {
+        let &slot = self.slot_of_pair.get(&(src, dst))?;
+        if self.stale[slot] {
+            return None;
+        }
+        Some(self.paths[slot].as_deref())
+    }
+
+    /// Marks every cached route crossing `link` stale, returning how many
+    /// routes were evicted. O(cached pairs) — called per fault event, not
+    /// per flow.
+    pub fn invalidate_link(&mut self, link: LinkId) -> usize {
+        let mut evicted = 0;
+        for (slot, path) in self.paths.iter().enumerate() {
+            if !self.stale[slot] && path.as_deref().is_some_and(|p| p.contains(&link)) {
+                self.stale[slot] = true;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Marks every cached route with `node` as an endpoint or crossing any
+    /// of its `incident` links stale, returning how many routes were
+    /// evicted.
+    pub fn invalidate_node(&mut self, node: usize, incident: &[LinkId]) -> usize {
+        let mut evicted = 0;
+        for (&(src, dst), &slot) in &self.slot_of_pair {
+            if self.stale[slot] {
+                continue;
+            }
+            let touches = src == node
+                || dst == node
+                || self.paths[slot]
+                    .as_deref()
+                    .is_some_and(|p| p.iter().any(|l| incident.contains(l)));
+            if touches {
+                self.stale[slot] = true;
+                evicted += 1;
+            }
+        }
+        evicted
     }
 
     /// The cached route in slot `slot`.
@@ -55,7 +127,9 @@ impl PathCache {
     }
 
     /// Resolves every flow's pair (computing missing routes, in parallel
-    /// when there are many) and returns each flow's cache slot.
+    /// when there are many) and returns each flow's cache slot. Stale
+    /// entries count as misses and are recomputed from the fabric's
+    /// primary routing.
     fn index_flows(
         &mut self,
         fabric: &dyn Fabric,
@@ -64,6 +138,7 @@ impl PathCache {
     ) -> Vec<usize> {
         let mut slots = Vec::with_capacity(flows.len());
         let mut missing: Vec<(usize, usize)> = Vec::new();
+        let mut refresh: Vec<(usize, (usize, usize))> = Vec::new();
         let mut hits = 0u64;
         for f in flows {
             assert!(
@@ -78,13 +153,21 @@ impl PathCache {
                 next
             });
             if !fresh {
-                hits += 1;
+                // A slot allocated earlier in this same call has no stale
+                // entry yet — it is being computed fresh below.
+                if self.stale.get(slot).copied().unwrap_or(false) {
+                    // Claim the refresh so a repeated pair is queued once.
+                    self.stale[slot] = false;
+                    refresh.push((slot, (f.src, f.dst)));
+                } else {
+                    hits += 1;
+                }
             }
             slots.push(slot);
         }
         if let Some(obs) = obs {
             obs.cache_hits.add(hits);
-            obs.cache_misses.add(missing.len() as u64);
+            obs.cache_misses.add((missing.len() + refresh.len()) as u64);
         }
         if missing.len() >= PAR_PATH_THRESHOLD {
             self.paths
@@ -92,6 +175,10 @@ impl PathCache {
         } else {
             self.paths
                 .extend(missing.into_iter().map(|(s, d)| fabric.path(s, d)));
+        }
+        self.stale.resize(self.paths.len(), false);
+        for (slot, (s, d)) in refresh {
+            self.paths[slot] = fabric.path(s, d);
         }
         slots
     }
@@ -114,10 +201,15 @@ pub struct FlowRecord {
     pub flow: usize,
     /// Injection time.
     pub start_ns: u64,
-    /// Delivery time (`None` if the fabric had no route).
+    /// Delivery time (`None` if the fabric had no route or the flow was
+    /// abandoned).
     pub end_ns: Option<u64>,
-    /// Links traversed.
+    /// Links traversed (of the delivering route).
     pub hops: usize,
+    /// Re-admissions this flow needed (0 in fault-free runs).
+    pub retries: u32,
+    /// True if the retry policy gave up on this flow.
+    pub abandoned: bool,
 }
 
 /// Everything a simulation run produces.
@@ -127,6 +219,9 @@ pub struct SimOutput {
     pub stats: RunStats,
     /// Per-flow records; present only for [`Simulation::detailed`] runs.
     pub records: Option<Vec<FlowRecord>>,
+    /// Mid-run circuit re-provisioning rounds, in sync-point order (empty
+    /// unless faults hit a reprovision-capable fabric).
+    pub reprovisions: Vec<ReconfigStep>,
 }
 
 impl SimOutput {
@@ -141,9 +236,8 @@ impl SimOutput {
     }
 }
 
-/// Builder for one simulation run — the single entry point that replaced
-/// the `simulate` / `simulate_with_cache` / `simulate_detailed` /
-/// `simulate_detailed_with_cache` sprawl.
+/// Builder for one simulation run — the single entry point for fault-free
+/// and fault-injected replays alike.
 ///
 /// Model: virtual cut-through. The message *header* advances hop by hop,
 /// paying each link's fixed latency and waiting where a link is busy; each
@@ -156,7 +250,7 @@ impl SimOutput {
 /// ```
 /// use hfast_netsim::{engine::PathCache, Simulation, TorusFabric, traffic};
 ///
-/// let torus = TorusFabric::new((4, 4, 1));
+/// let torus = TorusFabric::new((4, 4, 1)).unwrap();
 /// let flows = traffic::alltoall(16, 4 << 10);
 /// let mut cache = PathCache::new();
 /// let out = Simulation::new(&torus)
@@ -166,23 +260,48 @@ impl SimOutput {
 /// assert_eq!(out.stats.completed, flows.len());
 /// assert_eq!(out.records().len(), flows.len());
 /// ```
+///
+/// Injecting faults:
+///
+/// ```
+/// use hfast_netsim::{FaultPlan, RetryPolicy, Simulation, TorusFabric, traffic};
+///
+/// let torus = TorusFabric::new((4, 4, 1)).unwrap();
+/// let flows = traffic::alltoall(16, 4 << 10);
+/// let plan = FaultPlan::builder()
+///     .fail_link(0, 0)
+///     .recover_link(60_000, 0)
+///     .build(&torus)
+///     .unwrap();
+/// let out = Simulation::new(&torus)
+///     .with_faults(&plan)
+///     .with_retry(RetryPolicy::default())
+///     .run(&flows);
+/// assert_eq!(out.stats.completed + out.stats.unrouted, flows.len());
+/// ```
 #[must_use = "a Simulation does nothing until run()"]
 pub struct Simulation<'a> {
     fabric: &'a dyn Fabric,
     cache: Option<&'a mut PathCache>,
     detailed: bool,
     obs: Option<&'a EngineObs>,
+    faults: Option<&'a FaultPlan>,
+    retry: RetryPolicy,
+    reprovision_interval_ns: Option<u64>,
 }
 
 impl<'a> Simulation<'a> {
     /// A run over `fabric` with default settings: private path cache, no
-    /// per-flow records, observability per `HFAST_OBS`.
+    /// per-flow records, observability per `HFAST_OBS`, no faults.
     pub fn new(fabric: &'a dyn Fabric) -> Self {
         Simulation {
             fabric,
             cache: None,
             detailed: false,
             obs: None,
+            faults: None,
+            retry: RetryPolicy::default(),
+            reprovision_interval_ns: None,
         }
     }
 
@@ -206,6 +325,34 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Replays `plan`'s failures and recoveries during the run. An empty
+    /// plan leaves the output bit-identical to a run without one.
+    pub fn with_faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the [`RetryPolicy`] used when faults kill flows.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables mid-run circuit re-provisioning at sync points spaced
+    /// `interval_ns` apart: when a reprovisionable link fails (see
+    /// [`Fabric::reprovisionable`]), the repair is batched to the next
+    /// multiple of `interval_ns` and the batch pays one
+    /// [`CircuitSwitch::RECONFIG_LATENCY_NS`](hfast_core::CircuitSwitch::RECONFIG_LATENCY_NS).
+    /// A no-op on fabrics without reprovisionable links (fat tree, torus).
+    ///
+    /// # Panics
+    /// If `interval_ns` is zero.
+    pub fn with_reprovision(mut self, interval_ns: u64) -> Self {
+        assert!(interval_ns > 0, "sync interval must be positive");
+        self.reprovision_interval_ns = Some(interval_ns);
+        self
+    }
+
     /// Runs the simulation.
     ///
     /// The event loop is fully deterministic: identical inputs produce
@@ -223,15 +370,34 @@ impl<'a> Simulation<'a> {
                 &mut own_cache
             }
         };
-        let (stats, records) = run_event_loop(self.fabric, flows, cache, obs);
-        SimOutput {
-            stats,
-            records: self.detailed.then_some(records),
+        match self.faults {
+            Some(plan) if !plan.is_empty() => {
+                let dyn_run = FaultRun {
+                    fabric: self.fabric,
+                    plan,
+                    retry: self.retry,
+                    reprovision_interval_ns: self.reprovision_interval_ns,
+                };
+                let (stats, records, reprovisions) = dyn_run.run(flows, cache, obs);
+                SimOutput {
+                    stats,
+                    records: self.detailed.then_some(records),
+                    reprovisions,
+                }
+            }
+            _ => {
+                let (stats, records) = run_event_loop(self.fabric, flows, cache, obs);
+                SimOutput {
+                    stats,
+                    records: self.detailed.then_some(records),
+                    reprovisions: Vec::new(),
+                }
+            }
         }
     }
 }
 
-/// The event loop shared by every run configuration.
+/// The static event loop shared by every fault-free run configuration.
 ///
 /// Flows are resolved to cache slots — one stored route per distinct
 /// (src, dst) pair, however many flows repeat it — and the loop reads
@@ -257,6 +423,8 @@ fn run_event_loop(
             start_ns: f.start_ns,
             end_ns: None,
             hops: cache.path(flow_slot[i]).map_or(0, <[LinkId]>::len),
+            retries: 0,
+            abandoned: false,
         })
         .collect();
 
@@ -327,39 +495,491 @@ fn run_event_loop(
     (stats, records)
 }
 
-/// Simulates `flows` over `fabric` and aggregates statistics.
-#[deprecated(note = "use Simulation::new(fabric).run(flows).stats")]
-pub fn simulate(fabric: &dyn Fabric, flows: &[Flow]) -> RunStats {
-    Simulation::new(fabric).run(flows).stats
+/// Event classes of the dynamic loop. At equal timestamps topology changes
+/// apply first, then pending repatches complete, then sync points fire,
+/// then flow traffic moves — so a flow admitted at the instant of a failure
+/// already sees the failure, matching the static loop's "state before
+/// traffic" reading.
+const CLASS_FAULT: u8 = 0;
+const CLASS_REPATCH: u8 = 1;
+const CLASS_SYNC: u8 = 2;
+const CLASS_FLOW: u8 = 3;
+
+/// One dynamic-loop event; `Ord` derives over (time, class, seq), making
+/// the processing order independent of heap internals and thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct DynEvent {
+    time_ns: u64,
+    class: u8,
+    seq: u64,
+    kind: DynKind,
 }
 
-/// [`simulate`] with a caller-owned [`PathCache`].
-#[deprecated(note = "use Simulation::new(fabric).with_cache(cache).run(flows).stats")]
-pub fn simulate_with_cache(fabric: &dyn Fabric, flows: &[Flow], cache: &mut PathCache) -> RunStats {
-    Simulation::new(fabric).with_cache(cache).run(flows).stats
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum DynKind {
+    /// Apply plan event `idx`.
+    Fault(usize),
+    /// Complete re-provisioning batch `idx`.
+    Repatch(usize),
+    /// HFAST synchronization point: collect failed circuits for repatch.
+    Sync,
+    /// (Re-)admit flow `idx`: resolve a route and claim its first link.
+    Admit(usize),
+    /// Flow `.0`'s header arrives at hop `.1` of its current route.
+    Arrive(usize, usize),
 }
 
-/// [`simulate`], additionally returning per-flow records.
-#[deprecated(note = "use Simulation::new(fabric).detailed().run(flows)")]
-pub fn simulate_detailed(fabric: &dyn Fabric, flows: &[Flow]) -> (RunStats, Vec<FlowRecord>) {
-    let out = Simulation::new(fabric).detailed().run(flows);
-    let records = out.records.expect("detailed run");
-    (out.stats, records)
+/// The dynamic fault-injection run (configuration plus the loop).
+struct FaultRun<'a> {
+    fabric: &'a dyn Fabric,
+    plan: &'a FaultPlan,
+    retry: RetryPolicy,
+    reprovision_interval_ns: Option<u64>,
 }
 
-/// [`simulate_detailed`] with a caller-owned [`PathCache`].
-#[deprecated(note = "use Simulation::new(fabric).with_cache(cache).detailed().run(flows)")]
-pub fn simulate_detailed_with_cache(
-    fabric: &dyn Fabric,
-    flows: &[Flow],
-    cache: &mut PathCache,
-) -> (RunStats, Vec<FlowRecord>) {
-    let out = Simulation::new(fabric)
-        .with_cache(cache)
-        .detailed()
-        .run(flows);
-    let records = out.records.expect("detailed run");
-    (out.stats, records)
+impl FaultRun<'_> {
+    fn run(
+        &self,
+        flows: &[Flow],
+        cache: &mut PathCache,
+        obs: Option<&EngineObs>,
+    ) -> (RunStats, Vec<FlowRecord>, Vec<ReconfigStep>) {
+        let fabric = self.fabric;
+        let flow_slot = cache.index_flows(fabric, flows, obs);
+        let mut state = FaultState::healthy(fabric);
+
+        let mut link_free_at: Vec<u64> = vec![0; fabric.link_count()];
+        let mut link_busy_ns: Vec<u64> = vec![0; fabric.link_count()];
+        let mut records: Vec<FlowRecord> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FlowRecord {
+                flow: i,
+                start_ns: f.start_ns,
+                end_ns: None,
+                hops: 0,
+                retries: 0,
+                abandoned: false,
+            })
+            .collect();
+        // Each flow owns its admitted route: cache slots can be rewritten
+        // by later resolutions while the flow is still in flight.
+        let mut route: Vec<Option<Vec<LinkId>>> = vec![None; flows.len()];
+        let mut admissions: Vec<u32> = vec![0; flows.len()];
+        let mut first_fail: Vec<Option<u64>> = vec![None; flows.len()];
+        // Slots rewritten while components were down: their routes are
+        // fault-era detours, re-marked stale at the end of the run so a
+        // reused cache re-derives primary routes.
+        let mut dirty: BTreeSet<usize> = BTreeSet::new();
+
+        let mut heap: BinaryHeap<Reverse<DynEvent>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (idx, ev) in self.plan.events().iter().enumerate() {
+            heap.push(Reverse(DynEvent {
+                time_ns: ev.time_ns,
+                class: CLASS_FAULT,
+                seq,
+                kind: DynKind::Fault(idx),
+            }));
+            seq += 1;
+        }
+        for (i, f) in flows.iter().enumerate() {
+            heap.push(Reverse(DynEvent {
+                time_ns: f.start_ns,
+                class: CLASS_FLOW,
+                seq,
+                kind: DynKind::Admit(i),
+            }));
+            seq += 1;
+        }
+
+        // Distinct pairs with byte weights, for circuit-coverage snapshots
+        // around each re-provisioning round.
+        let mut pair_weight: Vec<((usize, usize), u64)> = Vec::new();
+        {
+            let mut acc: std::collections::BTreeMap<(usize, usize), u64> = Default::default();
+            for f in flows {
+                *acc.entry((f.src, f.dst)).or_insert(0) += f.bytes;
+            }
+            pair_weight.extend(acc);
+        }
+        let coverage = |state: &FaultState| -> f64 {
+            let mut covered = 0u64;
+            let mut total = 0u64;
+            for &((s, d), w) in &pair_weight {
+                total += w;
+                if fabric.path_avoiding(s, d, state).is_some() {
+                    covered += w;
+                }
+            }
+            if total == 0 {
+                1.0
+            } else {
+                covered as f64 / total as f64
+            }
+        };
+
+        let mut sync_pending = false;
+        let mut batches: Vec<(Vec<LinkId>, f64)> = Vec::new();
+        let mut reprovisions: Vec<ReconfigStep> = Vec::new();
+        let mut n_events = 0u64;
+        let mut heap_peak = heap.len();
+
+        while let Some(Reverse(ev)) = heap.pop() {
+            n_events += 1;
+            let now = ev.time_ns;
+            match ev.kind {
+                DynKind::Fault(idx) => {
+                    let fe = self.plan.events()[idx];
+                    let incident = state.apply(fabric, fe);
+                    let evicted = match fe.target {
+                        FaultTarget::Link(l) => match fe.action {
+                            FaultAction::Fail => cache.invalidate_link(l),
+                            FaultAction::Recover => 0,
+                        },
+                        FaultTarget::Node(n) => match fe.action {
+                            FaultAction::Fail => cache.invalidate_node(n, &incident),
+                            FaultAction::Recover => 0,
+                        },
+                    };
+                    if let Some(obs) = obs {
+                        obs.cache_evictions.add(evicted as u64);
+                        let (kind, id) = match (fe.action, fe.target) {
+                            (FaultAction::Fail, FaultTarget::Link(l)) => ("link_fail", l),
+                            (FaultAction::Recover, FaultTarget::Link(l)) => ("link_recover", l),
+                            (FaultAction::Fail, FaultTarget::Node(n)) => ("node_fail", n),
+                            (FaultAction::Recover, FaultTarget::Node(n)) => ("node_recover", n),
+                        };
+                        match fe.action {
+                            FaultAction::Fail => obs.faults.inc(),
+                            FaultAction::Recover => obs.recoveries.inc(),
+                        }
+                        obs.fault_event(now, kind, id);
+                    }
+                    // A repairable circuit failure books the next sync
+                    // point (once; later failures join the same batch).
+                    if let (Some(interval), FaultAction::Fail, FaultTarget::Link(l)) =
+                        (self.reprovision_interval_ns, fe.action, fe.target)
+                    {
+                        if fabric.reprovisionable(l) && !sync_pending {
+                            sync_pending = true;
+                            heap.push(Reverse(DynEvent {
+                                time_ns: (now / interval + 1) * interval,
+                                class: CLASS_SYNC,
+                                seq,
+                                kind: DynKind::Sync,
+                            }));
+                            seq += 1;
+                        }
+                    }
+                }
+                DynKind::Sync => {
+                    let batch: Vec<LinkId> = state
+                        .failed_links()
+                        .into_iter()
+                        .filter(|&l| fabric.reprovisionable(l))
+                        .collect();
+                    if batch.is_empty() {
+                        // Everything already recovered on its own.
+                        sync_pending = false;
+                        continue;
+                    }
+                    let cov_before = coverage(&state);
+                    let done_at = now + hfast_core::CircuitSwitch::RECONFIG_LATENCY_NS;
+                    batches.push((batch, cov_before));
+                    heap.push(Reverse(DynEvent {
+                        time_ns: done_at,
+                        class: CLASS_REPATCH,
+                        seq,
+                        kind: DynKind::Repatch(batches.len() - 1),
+                    }));
+                    seq += 1;
+                }
+                DynKind::Repatch(idx) => {
+                    let (batch, cov_before) = batches[idx].clone();
+                    for &l in &batch {
+                        state.repatch_link(l);
+                    }
+                    // Fault-era detours may now be worse than the repaired
+                    // primary: force those pairs to re-resolve.
+                    for &slot in &dirty {
+                        cache.stale[slot] = true;
+                    }
+                    let cov_after = coverage(&state);
+                    reprovisions.push(ReconfigStep::repatch(batch.len(), cov_before, cov_after));
+                    if let Some(obs) = obs {
+                        obs.reprovisions.inc();
+                        obs.repatched_links.add(batch.len() as u64);
+                        obs.fault_event(now, "reprovision", batch.len());
+                    }
+                    sync_pending = false;
+                    // Circuits that failed during the repatch window get
+                    // their own round.
+                    if let Some(interval) = self.reprovision_interval_ns {
+                        if state
+                            .failed_links()
+                            .iter()
+                            .any(|&l| fabric.reprovisionable(l))
+                        {
+                            sync_pending = true;
+                            heap.push(Reverse(DynEvent {
+                                time_ns: (now / interval + 1) * interval,
+                                class: CLASS_SYNC,
+                                seq,
+                                kind: DynKind::Sync,
+                            }));
+                            seq += 1;
+                        }
+                    }
+                }
+                DynKind::Admit(flow) => {
+                    admissions[flow] += 1;
+                    let slot = flow_slot[flow];
+                    let resolved =
+                        Self::resolve(cache, slot, fabric, &state, flows[flow], &mut dirty);
+                    match resolved {
+                        Resolution::Route(r) => {
+                            records[flow].hops = r.len();
+                            if r.is_empty() {
+                                records[flow].end_ns = Some(now); // self-delivery
+                                continue;
+                            }
+                            route[flow] = Some(r);
+                            self.advance(
+                                flow,
+                                0,
+                                now,
+                                flows,
+                                &state,
+                                &route,
+                                &mut records,
+                                &mut link_free_at,
+                                &mut link_busy_ns,
+                                obs,
+                                &mut heap,
+                                &mut seq,
+                                &mut admissions,
+                                &mut first_fail,
+                                false,
+                            );
+                        }
+                        Resolution::Unreachable => {
+                            // The topology itself has no route; retrying
+                            // cannot help (matches the static loop).
+                            if let Some(obs) = obs {
+                                obs.unrouted.inc();
+                            }
+                        }
+                        Resolution::Blocked => {
+                            self.reschedule(
+                                flow,
+                                now,
+                                &mut records,
+                                &mut heap,
+                                &mut seq,
+                                &mut admissions,
+                                &mut first_fail,
+                                obs,
+                            );
+                        }
+                    }
+                }
+                DynKind::Arrive(flow, hop) => {
+                    self.advance(
+                        flow,
+                        hop,
+                        now,
+                        flows,
+                        &state,
+                        &route,
+                        &mut records,
+                        &mut link_free_at,
+                        &mut link_busy_ns,
+                        obs,
+                        &mut heap,
+                        &mut seq,
+                        &mut admissions,
+                        &mut first_fail,
+                        true,
+                    );
+                }
+            }
+            heap_peak = heap_peak.max(heap.len());
+        }
+
+        // Leave no fault-era route behind for the next (possibly
+        // fault-free) user of this cache.
+        for slot in dirty {
+            cache.stale[slot] = true;
+        }
+
+        let stats = RunStats::from_records(fabric, flows, &records, &link_busy_ns);
+        if let Some(obs) = obs {
+            obs.runs.inc();
+            obs.flows.add(flows.len() as u64);
+            obs.events.add(n_events);
+            obs.heap_peak.set_max(heap_peak as u64);
+            for f in flows {
+                obs.flow_bytes.record(f.bytes);
+            }
+        }
+        (stats, records, reprovisions)
+    }
+
+    /// Resolves the current best route for `flow`'s pair through the
+    /// cache, recomputing via [`Fabric::path_avoiding`] when the stored
+    /// route is stale or blocked.
+    fn resolve(
+        cache: &mut PathCache,
+        slot: usize,
+        fabric: &dyn Fabric,
+        state: &FaultState,
+        flow: Flow,
+        dirty: &mut BTreeSet<usize>,
+    ) -> Resolution {
+        if !cache.stale[slot] {
+            match &cache.paths[slot] {
+                Some(p) if !state.blocks(p) => return Resolution::Route(p.clone()),
+                None => return Resolution::Unreachable,
+                Some(_) => {}
+            }
+        }
+        match fabric.path_avoiding(flow.src, flow.dst, state) {
+            Some(r) => {
+                cache.paths[slot] = Some(r.clone());
+                cache.stale[slot] = false;
+                if state.any_down() {
+                    dirty.insert(slot);
+                } else {
+                    dirty.remove(&slot);
+                }
+                Resolution::Route(r)
+            }
+            None => {
+                if state.any_down() {
+                    Resolution::Blocked
+                } else {
+                    // Healthy fabric, still no route: permanently
+                    // unreachable. Cache the verdict.
+                    cache.paths[slot] = None;
+                    cache.stale[slot] = false;
+                    dirty.remove(&slot);
+                    Resolution::Unreachable
+                }
+            }
+        }
+    }
+
+    /// Moves `flow`'s header onto hop `hop` at time `now`: kills the
+    /// attempt if the link is down, otherwise claims the link FIFO exactly
+    /// like the static loop and schedules the next hop or the delivery.
+    #[allow(clippy::too_many_arguments)]
+    fn advance(
+        &self,
+        flow: usize,
+        hop: usize,
+        now: u64,
+        flows: &[Flow],
+        state: &FaultState,
+        route: &[Option<Vec<LinkId>>],
+        records: &mut [FlowRecord],
+        link_free_at: &mut [u64],
+        link_busy_ns: &mut [u64],
+        obs: Option<&EngineObs>,
+        heap: &mut BinaryHeap<Reverse<DynEvent>>,
+        seq: &mut u64,
+        admissions: &mut [u32],
+        first_fail: &mut [Option<u64>],
+        in_flight: bool,
+    ) {
+        let path = route[flow].as_deref().expect("admitted flows have routes");
+        let link_id = path[hop];
+        if !state.link_up(link_id) {
+            // Lazy kill: the header met a dead link.
+            if in_flight {
+                if let Some(obs) = obs {
+                    obs.flow_kills.inc();
+                }
+            }
+            self.reschedule(flow, now, records, heap, seq, admissions, first_fail, obs);
+            return;
+        }
+        let spec = self.fabric.link(link_id);
+        let bytes = flows[flow].bytes;
+        let start = now.max(link_free_at[link_id]);
+        let serialization = spec.serialize_ns(bytes);
+        link_free_at[link_id] = start + serialization;
+        link_busy_ns[link_id] += serialization;
+        if let Some(obs) = obs {
+            obs.queue_wait_ns.record(start - now);
+            obs.link_busy(start, serialization, link_id);
+        }
+        let header_out = start + spec.latency_ns;
+        if hop + 1 < path.len() {
+            heap.push(Reverse(DynEvent {
+                time_ns: header_out,
+                class: CLASS_FLOW,
+                seq: *seq,
+                kind: DynKind::Arrive(flow, hop + 1),
+            }));
+            *seq += 1;
+        } else {
+            let end = header_out + serialization;
+            records[flow].end_ns = Some(end);
+            if let (Some(obs), Some(t0)) = (obs, first_fail[flow]) {
+                obs.reroute_latency_ns.record(end.saturating_sub(t0));
+            }
+        }
+    }
+
+    /// Books a retry for a failed attempt, or abandons the flow once the
+    /// policy's attempt budget is spent.
+    #[allow(clippy::too_many_arguments)]
+    fn reschedule(
+        &self,
+        flow: usize,
+        now: u64,
+        records: &mut [FlowRecord],
+        heap: &mut BinaryHeap<Reverse<DynEvent>>,
+        seq: &mut u64,
+        admissions: &mut [u32],
+        first_fail: &mut [Option<u64>],
+        obs: Option<&EngineObs>,
+    ) {
+        if first_fail[flow].is_none() {
+            first_fail[flow] = Some(now);
+        }
+        let failed = admissions[flow];
+        if failed < self.retry.attempts() {
+            records[flow].retries += 1;
+            if let Some(obs) = obs {
+                obs.retries.inc();
+            }
+            heap.push(Reverse(DynEvent {
+                time_ns: now + self.retry.backoff_ns(failed),
+                class: CLASS_FLOW,
+                seq: *seq,
+                kind: DynKind::Admit(flow),
+            }));
+            *seq += 1;
+        } else {
+            records[flow].abandoned = true;
+            if let Some(obs) = obs {
+                obs.abandoned_flows.inc();
+                obs.unrouted.inc();
+            }
+        }
+    }
+}
+
+/// Outcome of one route resolution under the current fault state.
+enum Resolution {
+    /// A live route (possibly a detour).
+    Route(Vec<LinkId>),
+    /// The healthy topology has no route for this pair; never retried.
+    Unreachable,
+    /// Everything is blocked by active faults; worth retrying.
+    Blocked,
 }
 
 #[cfg(test)]
@@ -392,6 +1012,9 @@ mod tests {
             } else {
                 Some(vec![src])
             }
+        }
+        fn incident_links(&self, node: usize) -> Vec<LinkId> {
+            vec![node]
         }
     }
 
@@ -490,22 +1113,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_wrappers_still_answer() {
-        let flows = [flow(0, 1, 1000, 0)];
-        let stats = simulate(&Wire, &flows);
-        assert_eq!(stats.completed, 1);
-        let mut cache = PathCache::new();
-        assert_eq!(simulate_with_cache(&Wire, &flows, &mut cache), stats);
-        let (s2, recs) = simulate_detailed(&Wire, &flows);
-        assert_eq!(s2, stats);
-        assert_eq!(recs[0].end_ns, Some(1100));
-        cache.clear();
-        let (s3, recs3) = simulate_detailed_with_cache(&Wire, &flows, &mut cache);
-        assert_eq!((s3, recs3), (s2, recs));
-    }
-
-    #[test]
     fn obs_counts_cache_and_events() {
         let obs = EngineObs::new();
         let flows: Vec<Flow> = (0..10).map(|i| flow(0, 1, 64, i)).collect();
@@ -522,5 +1129,128 @@ mod tests {
         // 64-byte serialization time.
         assert_eq!(obs.queue_wait_ns.count(), 10);
         assert_eq!(out.stats.completed, 10);
+    }
+
+    #[test]
+    fn targeted_invalidation_recomputes_on_next_index() {
+        let mut cache = PathCache::new();
+        let flows = [flow(0, 1, 64, 0), flow(1, 0, 64, 0)];
+        Simulation::new(&Wire).with_cache(&mut cache).run(&flows);
+        assert_eq!(cache.cached(0, 1), Some(Some(&[0usize][..])));
+        assert_eq!(cache.invalidate_link(0), 1, "only 0→1 crosses link 0");
+        assert_eq!(cache.cached(0, 1), None, "stale entries read as absent");
+        assert_eq!(cache.cached(1, 0), Some(Some(&[1usize][..])));
+        assert_eq!(
+            cache.invalidate_node(0, &[0]),
+            1,
+            "only the still-fresh 1→0 entry is left to evict"
+        );
+        // A fresh run repopulates the stale slots in place.
+        let again = Simulation::new(&Wire).with_cache(&mut cache).run(&flows);
+        assert_eq!(again.stats.completed, 2);
+        assert_eq!(cache.cached(0, 1), Some(Some(&[0usize][..])));
+        assert_eq!(cache.len(), 2, "slots reused, not reallocated");
+    }
+
+    #[test]
+    fn transient_failure_is_retried_and_delivered() {
+        // Link 0 dies before the flow starts and recovers at t = 10 µs;
+        // the default policy retries into the recovery window.
+        let plan = FaultPlan::builder()
+            .fail_link(0, 0)
+            .recover_link(10_000, 0)
+            .build(&Wire)
+            .unwrap();
+        let out = Simulation::new(&Wire)
+            .with_faults(&plan)
+            .detailed()
+            .run(&[flow(0, 1, 1000, 5)]);
+        let rec = out.records()[0];
+        assert!(rec.retries >= 1, "at least one re-admission");
+        assert!(!rec.abandoned);
+        let end = rec.end_ns.expect("delivered after recovery");
+        assert!(end >= 10_000 + 1100, "delivery after the link came back");
+        assert_eq!(out.stats.completed, 1);
+        assert_eq!(out.stats.total_retries, u64::from(rec.retries));
+    }
+
+    #[test]
+    fn permanent_failure_abandons_after_budget() {
+        let plan = FaultPlan::builder().fail_link(0, 0).build(&Wire).unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ns: 100,
+            max_backoff_ns: 1_000,
+        };
+        let out = Simulation::new(&Wire)
+            .with_faults(&plan)
+            .with_retry(policy)
+            .detailed()
+            .run(&[flow(0, 1, 1000, 5), flow(1, 0, 1000, 5)]);
+        let dead = out.records()[0];
+        assert!(dead.abandoned);
+        assert_eq!(dead.end_ns, None);
+        assert_eq!(dead.retries, 2, "attempts 2 and 3 were retries");
+        let alive = out.records()[1];
+        assert_eq!(alive.end_ns, Some(1105), "reverse direction unaffected");
+        assert_eq!(out.stats.completed, 1);
+        assert_eq!(out.stats.unrouted, 1);
+        assert_eq!(out.stats.abandoned, 1);
+    }
+
+    #[test]
+    fn node_failure_kills_incident_traffic() {
+        let plan = FaultPlan::builder().fail_node(0, 0).build(&Wire).unwrap();
+        let out = Simulation::new(&Wire)
+            .with_faults(&plan)
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                base_backoff_ns: 10,
+                max_backoff_ns: 10,
+            })
+            .detailed()
+            .run(&[flow(0, 1, 100, 0), flow(1, 0, 100, 0)]);
+        // Node 0 is down: it can neither send (0→1) nor receive (1→0).
+        assert!(out.records()[0].abandoned);
+        assert!(out.records()[1].abandoned, "a dead node cannot receive");
+    }
+
+    #[test]
+    fn failed_link_blocks_new_admissions() {
+        // The first flow claims the link at t = 0, before the failure at
+        // t = 50, and sails through. The second admits at t = 60, finds
+        // the link down, and retries into the recovery window.
+        let obs = EngineObs::new();
+        let plan = FaultPlan::builder()
+            .fail_link(50, 0)
+            .recover_link(5_000, 0)
+            .build(&Wire)
+            .unwrap();
+        let out = Simulation::new(&Wire)
+            .with_faults(&plan)
+            .with_obs(&obs)
+            .detailed()
+            .run(&[flow(0, 1, 1000, 0), flow(0, 1, 1000, 60)]);
+        assert_eq!(out.records()[0].end_ns, Some(1100), "first flow launched");
+        let second = out.records()[1];
+        assert!(second.retries >= 1);
+        assert!(second.end_ns.unwrap() > 5_000);
+        assert_eq!(obs.retries.get(), u64::from(second.retries));
+        assert!(obs.faults.get() == 1 && obs.recoveries.get() == 1);
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan() {
+        let flows: Vec<Flow> = (0..30)
+            .map(|i| flow(i % 2, (i + 1) % 2, 256 + i as u64, i as u64 * 11))
+            .collect();
+        let plain = Simulation::new(&Wire).detailed().run(&flows);
+        let empty = FaultPlan::default();
+        let with_plan = Simulation::new(&Wire)
+            .with_faults(&empty)
+            .detailed()
+            .run(&flows);
+        assert_eq!(plain, with_plan);
+        assert!(with_plan.reprovisions.is_empty());
     }
 }

@@ -57,6 +57,52 @@ pub trait Fabric: Sync {
         // fabrics override this with exact counts where it differs.
         self.path(src, dst).map(|p| p.len().saturating_sub(1))
     }
+
+    /// A route from `src` to `dst` that avoids everything `state` marks
+    /// down, or `None` if no such route exists right now.
+    ///
+    /// The default covers single-path fabrics: the primary [`path`] is
+    /// returned when it is fully up, otherwise the pair is unreachable.
+    /// Fabrics with path diversity (torus detours, HFAST tree fallback)
+    /// override this with a real search.
+    ///
+    /// [`path`]: Fabric::path
+    fn path_avoiding(
+        &self,
+        src: usize,
+        dst: usize,
+        state: &crate::faultplan::FaultState,
+    ) -> Option<Vec<LinkId>> {
+        if !state.node_up(src) || !state.node_up(dst) {
+            return None;
+        }
+        self.path(src, dst).filter(|p| !state.blocks(p))
+    }
+
+    /// Every link that dies with `node`: its injection/ejection links plus
+    /// any fabric link terminating at its NIC. Used to translate a node
+    /// fault into link outages.
+    ///
+    /// The default (no links) is only correct for fabrics without attached
+    /// nodes; every real fabric overrides it.
+    fn incident_links(&self, node: usize) -> Vec<LinkId> {
+        let _ = node;
+        Vec::new()
+    }
+
+    /// True if a failure of `link` can be repaired mid-run by repatching a
+    /// circuit through spare switch ports (HFAST's MEMS circuits). Fixed
+    /// copper and node fibers cannot.
+    fn reprovisionable(&self, link: LinkId) -> bool {
+        let _ = link;
+        false
+    }
+
+    /// True if the fabric has any reprovisionable links at all, so the
+    /// engine knows whether scheduling sync-point repatches is worthwhile.
+    fn supports_reprovision(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! conservative: what remains is the latency of traversing switch layers,
 //! exactly the cost paper §5.3 highlights.
 
+use crate::error::NetsimError;
 use crate::fabric::{Fabric, LinkId, LinkSpec};
 
 /// A fat tree over `p` nodes built from `n_ports`-port switches.
@@ -25,9 +26,18 @@ pub struct FatTreeFabric {
 
 impl FatTreeFabric {
     /// Builds the fabric.
-    pub fn new(p: usize, n_ports: usize) -> Self {
-        assert!(p >= 1);
-        assert!(n_ports >= 4, "fat-tree switches need at least 4 ports");
+    ///
+    /// # Errors
+    /// [`NetsimError::EmptyFabric`] for `p == 0`,
+    /// [`NetsimError::FatTreeArity`] for switches with fewer than 4 ports
+    /// (2 down, 2 up is the minimum that still forms a tree).
+    pub fn new(p: usize, n_ports: usize) -> Result<Self, NetsimError> {
+        if p == 0 {
+            return Err(NetsimError::EmptyFabric { fabric: "fat-tree" });
+        }
+        if n_ports < 4 {
+            return Err(NetsimError::FatTreeArity { n_ports });
+        }
         let arity = n_ports / 2;
         let mut level_sizes = vec![p.div_ceil(arity)];
         while *level_sizes.last().expect("non-empty") > 1 {
@@ -62,13 +72,13 @@ impl FatTreeFabric {
                 links.push(fat); // down
             }
         }
-        FatTreeFabric {
+        Ok(FatTreeFabric {
             p,
             arity,
             level_sizes,
             links,
             level_up_base,
-        }
+        })
     }
 
     /// Number of switch levels.
@@ -130,6 +140,14 @@ impl Fabric for FatTreeFabric {
         path.push(self.node_down(dst));
         Some(path)
     }
+
+    fn incident_links(&self, node: usize) -> Vec<LinkId> {
+        // A node owns exactly its injection and ejection fibers; the tree
+        // has a single deterministic route per pair, so there is no detour
+        // to offer when an interior link dies (path_avoiding keeps the
+        // single-path default).
+        vec![self.node_up(node), self.node_down(node)]
+    }
 }
 
 #[cfg(test)]
@@ -139,17 +157,35 @@ mod tests {
     use crate::traffic::Flow;
 
     #[test]
+    fn bad_shapes_are_rejected() {
+        assert_eq!(
+            FatTreeFabric::new(0, 8).unwrap_err(),
+            NetsimError::EmptyFabric { fabric: "fat-tree" }
+        );
+        assert_eq!(
+            FatTreeFabric::new(16, 3).unwrap_err(),
+            NetsimError::FatTreeArity { n_ports: 3 }
+        );
+    }
+
+    #[test]
+    fn incident_links_are_the_node_fibers() {
+        let ft = FatTreeFabric::new(16, 8).unwrap();
+        assert_eq!(ft.incident_links(3), vec![3, 19]);
+    }
+
+    #[test]
     fn level_structure() {
         // 64 nodes, 8-port switches: 16 leaves, 4, 1 → 3 levels.
-        let ft = FatTreeFabric::new(64, 8);
+        let ft = FatTreeFabric::new(64, 8).unwrap();
         assert_eq!(ft.levels(), 3);
-        let small = FatTreeFabric::new(4, 8);
+        let small = FatTreeFabric::new(4, 8).unwrap();
         assert_eq!(small.levels(), 1);
     }
 
     #[test]
     fn same_leaf_path_is_short() {
-        let ft = FatTreeFabric::new(64, 8);
+        let ft = FatTreeFabric::new(64, 8).unwrap();
         // Nodes 0 and 1 share leaf switch 0.
         let p = ft.path(0, 1).unwrap();
         assert_eq!(p.len(), 2, "up, down through one switch");
@@ -158,7 +194,7 @@ mod tests {
 
     #[test]
     fn distant_path_climbs_to_root() {
-        let ft = FatTreeFabric::new(64, 8);
+        let ft = FatTreeFabric::new(64, 8).unwrap();
         let p = ft.path(0, 63).unwrap();
         // up + 2 switch-ups + 2 switch-downs + down = 6 links, 5 switches.
         assert_eq!(p.len(), 6);
@@ -169,7 +205,7 @@ mod tests {
     fn hops_match_paper_layer_formula() {
         // Worst case crosses 2L−1 switches.
         for (p, ports) in [(64usize, 8usize), (256, 8), (128, 16)] {
-            let ft = FatTreeFabric::new(p, ports);
+            let ft = FatTreeFabric::new(p, ports).unwrap();
             let worst = (0..p).map(|d| ft.switch_hops(0, d).unwrap()).max().unwrap();
             assert_eq!(worst, 2 * ft.levels() - 1, "P={p} N={ports}");
         }
@@ -177,7 +213,7 @@ mod tests {
 
     #[test]
     fn paths_are_symmetric_in_length() {
-        let ft = FatTreeFabric::new(32, 8);
+        let ft = FatTreeFabric::new(32, 8).unwrap();
         for a in 0..32 {
             for b in 0..32 {
                 assert_eq!(ft.path(a, b).unwrap().len(), ft.path(b, a).unwrap().len());
@@ -187,7 +223,7 @@ mod tests {
 
     #[test]
     fn simulation_runs_clean() {
-        let ft = FatTreeFabric::new(16, 8);
+        let ft = FatTreeFabric::new(16, 8).unwrap();
         let flows: Vec<Flow> = (0..16)
             .map(|i| Flow {
                 src: i,

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use hfast_core::Provisioning;
 
 use crate::fabric::{Fabric, LinkId, LinkSpec};
+use crate::faultplan::FaultState;
 
 /// Circuit propagation latency (no switching decision, §2.1).
 const CIRCUIT_NS: u64 = 10;
@@ -165,6 +166,49 @@ impl Fabric for HfastFabric {
         let r = self.prov.route(src, dst)?;
         Some(r.switch_hops)
     }
+
+    fn incident_links(&self, node: usize) -> Vec<LinkId> {
+        // The node's fibers into its attach block and onto the collective
+        // tree; interior chain/edge circuits belong to the switch fabric.
+        let (up, down) = self.node_links[node];
+        let (tup, tdown) = self.tree_links[node];
+        vec![up, down, tup, tdown]
+    }
+
+    fn path_avoiding(&self, src: usize, dst: usize, state: &FaultState) -> Option<Vec<LinkId>> {
+        if !state.node_up(src) || !state.node_up(dst) {
+            return None;
+        }
+        if src == dst {
+            return Some(vec![]);
+        }
+        // Circuits are point-to-point: the provisioned route either works
+        // or the pair drops to the collective tree (§2.4) until the MEMS
+        // crossbar repatches the circuit at a synchronization point.
+        if let Some(p) = self.path(src, dst) {
+            if !state.blocks(&p) {
+                return Some(p);
+            }
+        }
+        let fallback = vec![self.tree_links[src].0, self.tree_links[dst].1];
+        (!state.blocks(&fallback)).then_some(fallback)
+    }
+
+    fn reprovisionable(&self, link: LinkId) -> bool {
+        // Chain and edge circuits live between [2n, tree_base): they are
+        // MEMS crossbar patches with spare ports to move to. Node fibers
+        // ([0, 2n)) and the fixed collective tree are physical runs.
+        let circuit_base = 2 * self.prov.n_nodes;
+        let tree_base = match self.tree_links.first() {
+            Some(&(up, _)) => up,
+            None => return false,
+        };
+        (circuit_base..tree_base).contains(&link)
+    }
+
+    fn supports_reprovision(&self) -> bool {
+        !self.tree_links.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -214,7 +258,7 @@ mod tests {
         }
         let flows = traffic::flows_from_graph(&g, 2048);
         let hf = hfast_for(&g);
-        let ft = FatTreeFabric::new(n, 8);
+        let ft = FatTreeFabric::new(n, 8).unwrap();
         let hf_stats = Simulation::new(&hf).run(&flows).stats;
         let ft_stats = Simulation::new(&ft).run(&flows).stats;
         assert_eq!(hf_stats.completed, flows.len());
@@ -237,7 +281,7 @@ mod tests {
         let g = ring_graph(64, 4096);
         let flows = traffic::flows_from_graph(&g, 2048);
         let hf = hfast_for(&g);
-        let ft = FatTreeFabric::new(64, 8);
+        let ft = FatTreeFabric::new(64, 8).unwrap();
         let hf_stats = Simulation::new(&hf).run(&flows).stats;
         let ft_stats = Simulation::new(&ft).run(&flows).stats;
         assert!(hf_stats.p50_latency_ns >= ft_stats.p50_latency_ns);
@@ -271,6 +315,34 @@ mod tests {
     }
 
     #[test]
+    fn failed_circuit_falls_back_to_tree() {
+        let g = ring_graph(8, 1 << 20);
+        let f = hfast_for(&g);
+        let primary = f.path(0, 1).unwrap();
+        let mut state = FaultState::healthy(&f);
+        // Kill the middle link (the provisioned circuit, not a node fiber).
+        let circuit = primary[1];
+        assert!(f.reprovisionable(circuit), "edge circuits are MEMS patches");
+        assert!(
+            !f.reprovisionable(primary[0]),
+            "node fibers are physical runs"
+        );
+        state.apply(
+            &f,
+            crate::faultplan::FaultEvent {
+                time_ns: 0,
+                action: crate::faultplan::FaultAction::Fail,
+                target: crate::faultplan::FaultTarget::Link(circuit),
+            },
+        );
+        let fallback = f.path_avoiding(0, 1, &state).expect("tree fallback");
+        assert_eq!(fallback.len(), 2);
+        assert!(f.link(fallback[0]).bandwidth < 0.5, "tree is slow");
+        assert!(!f.reprovisionable(fallback[0]), "tree is fixed");
+        assert!(f.supports_reprovision());
+    }
+
+    #[test]
     fn self_path_is_empty() {
         let g = ring_graph(4, 1 << 20);
         let f = hfast_for(&g);
@@ -286,7 +358,7 @@ mod tests {
         let flows = traffic::alltoall(16, 32 << 10);
         let stats = Simulation::new(&f).run(&flows).stats;
         assert_eq!(stats.completed, flows.len());
-        let ft = FatTreeFabric::new(16, 8);
+        let ft = FatTreeFabric::new(16, 8).unwrap();
         let ft_stats = Simulation::new(&ft).run(&flows).stats;
         assert!(
             stats.max_latency_ns > ft_stats.max_latency_ns,

@@ -14,13 +14,19 @@
 //! modeling virtual channels or flow control. DESIGN.md records this
 //! substitution.
 //!
+//! Runtime faults are first-class: a seeded [`FaultPlan`] schedules link
+//! and node failures (and recoveries) at simulated timestamps, the event
+//! loop kills flows on dead paths and re-admits them under a
+//! [`RetryPolicy`], and HFAST fabrics additionally repair failed circuits
+//! mid-run at synchronization points.
+//!
 //! ```
 //! use hfast_netsim::{FatTreeFabric, Simulation, TorusFabric, traffic};
 //! use hfast_topology::generators::ring_graph;
 //!
 //! let graph = ring_graph(16, 1 << 20);
 //! let flows = traffic::flows_from_graph(&graph, 0);
-//! let ft = FatTreeFabric::new(16, 8);
+//! let ft = FatTreeFabric::new(16, 8).expect("valid shape");
 //! let stats = Simulation::new(&ft).run(&flows).stats;
 //! assert_eq!(stats.completed, flows.len());
 //! ```
@@ -29,20 +35,26 @@
 
 pub mod degraded;
 pub mod engine;
+pub mod error;
 pub mod fabric;
 pub mod fattree;
+pub mod faultplan;
 pub mod hfast;
 pub mod obs;
 pub mod stats;
 pub mod torus;
 pub mod traffic;
 
-pub use degraded::{DegradedError, DegradedFabric};
 #[allow(deprecated)]
-pub use engine::simulate;
-pub use engine::{FlowRecord, SimOutput, Simulation};
+pub use degraded::DegradedFabric;
+pub use engine::{FlowRecord, PathCache, SimOutput, Simulation};
+pub use error::NetsimError;
 pub use fabric::{Fabric, LinkId, LinkSpec};
 pub use fattree::FatTreeFabric;
+pub use faultplan::{
+    transit_links, FaultAction, FaultEvent, FaultPlan, FaultPlanBuilder, FaultState, FaultTarget,
+    RetryPolicy,
+};
 pub use hfast::HfastFabric;
 pub use obs::EngineObs;
 pub use stats::RunStats;

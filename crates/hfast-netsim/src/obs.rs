@@ -32,9 +32,30 @@ pub struct EngineObs {
     pub queue_wait_ns: Histogram,
     /// Flow payload sizes.
     pub flow_bytes: Histogram,
+    /// Fault-plan events applied (link and node failures).
+    pub faults: Counter,
+    /// Fault-plan recovery events applied.
+    pub recoveries: Counter,
+    /// In-flight flows killed by hitting a dead link.
+    pub flow_kills: Counter,
+    /// Re-admissions scheduled by the retry policy.
+    pub retries: Counter,
+    /// Flows abandoned after exhausting their retry budget.
+    pub abandoned_flows: Counter,
+    /// Mid-run circuit re-provisioning rounds (HFAST sync points).
+    pub reprovisions: Counter,
+    /// Failed circuits repaired across all re-provisioning rounds.
+    pub repatched_links: Counter,
+    /// Cached routes evicted by targeted fault invalidation.
+    pub cache_evictions: Counter,
+    /// Delivery delay attributable to faults: delivery time minus the
+    /// flow's first kill, for flows that were killed and later delivered.
+    pub reroute_latency_ns: Histogram,
     /// Per-link busy intervals in simulated time: one `link_busy` event
     /// per link occupancy, `t_ns` = occupancy start, `dur_ns` =
-    /// serialization time, field `link` = link id.
+    /// serialization time, field `link` = link id. Fault runs add
+    /// `link_fail` / `link_recover` / `node_fail` / `node_recover` /
+    /// `reprovision` events on the same simulated-time axis.
     pub timeline: Tracer,
 }
 
@@ -63,6 +84,14 @@ impl EngineObs {
         );
     }
 
+    /// Records one fault-plan or re-provisioning event on the simulated
+    /// timeline (`kind` is e.g. `"link_fail"`, `id` the link or node).
+    #[inline]
+    pub(crate) fn fault_event(&self, t_ns: u64, kind: &'static str, id: usize) {
+        self.timeline
+            .record_at(t_ns, 0, kind, vec![("id", Val::U(id as u64))]);
+    }
+
     /// One-line JSON summary of the counters and histograms.
     pub fn summary_jsonl(&self) -> String {
         JsonObj::new()
@@ -73,6 +102,22 @@ impl EngineObs {
             .u64("unrouted", self.unrouted.get())
             .u64("cache_hits", self.cache_hits.get())
             .u64("cache_misses", self.cache_misses.get())
+            .u64("faults", self.faults.get())
+            .u64("recoveries", self.recoveries.get())
+            .u64("flow_kills", self.flow_kills.get())
+            .u64("retries", self.retries.get())
+            .u64("abandoned_flows", self.abandoned_flows.get())
+            .u64("reprovisions", self.reprovisions.get())
+            .u64("repatched_links", self.repatched_links.get())
+            .u64("cache_evictions", self.cache_evictions.get())
+            .u64(
+                "reroute_p50_ns",
+                self.reroute_latency_ns.quantile_bound(0.5),
+            )
+            .u64(
+                "reroute_p95_ns",
+                self.reroute_latency_ns.quantile_bound(0.95),
+            )
             .u64("heap_peak", self.heap_peak.get())
             .u64("queue_wait_p50_ns", self.queue_wait_ns.quantile_bound(0.5))
             .u64("queue_wait_p95_ns", self.queue_wait_ns.quantile_bound(0.95))

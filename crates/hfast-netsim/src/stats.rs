@@ -9,8 +9,13 @@ use crate::traffic::Flow;
 pub struct RunStats {
     /// Flows delivered.
     pub completed: usize,
-    /// Flows with no route in the fabric.
+    /// Flows with no route in the fabric, plus flows abandoned after
+    /// exhausting their retry budget under faults.
     pub unrouted: usize,
+    /// Flows abandoned by the retry policy (a subset of `unrouted`).
+    pub abandoned: usize,
+    /// Retry re-admissions across all flows (0 for fault-free runs).
+    pub total_retries: u64,
     /// Total payload bytes delivered.
     pub delivered_bytes: u64,
     /// Time of the last delivery.
@@ -40,8 +45,11 @@ impl RunStats {
         let mut delivered_bytes = 0u64;
         let mut makespan = 0u64;
         let mut unrouted = 0usize;
+        let mut abandoned = 0usize;
+        let mut total_retries = 0u64;
         let mut hop_sum = 0usize;
         for r in records {
+            total_retries += u64::from(r.retries);
             match r.end_ns {
                 Some(end) => {
                     latencies.push(end - r.start_ns);
@@ -49,7 +57,10 @@ impl RunStats {
                     makespan = makespan.max(end);
                     hop_sum += r.hops;
                 }
-                None => unrouted += 1,
+                None => {
+                    unrouted += 1;
+                    abandoned += usize::from(r.abandoned);
+                }
             }
         }
         latencies.sort_unstable();
@@ -67,6 +78,8 @@ impl RunStats {
         RunStats {
             completed,
             unrouted,
+            abandoned,
+            total_retries,
             delivered_bytes,
             makespan_ns: makespan,
             p50_latency_ns: pick(0.5),
@@ -97,6 +110,8 @@ impl hfast_obs::ToJsonl for RunStats {
             .str("event", "run_stats")
             .usize("completed", self.completed)
             .usize("unrouted", self.unrouted)
+            .usize("abandoned", self.abandoned)
+            .u64("total_retries", self.total_retries)
             .u64("delivered_bytes", self.delivered_bytes)
             .u64("makespan_ns", self.makespan_ns)
             .u64("p50_latency_ns", self.p50_latency_ns)

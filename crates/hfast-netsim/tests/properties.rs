@@ -3,7 +3,8 @@
 use hfast_core::{ProvisionConfig, Provisioning};
 use hfast_netsim::engine::PathCache;
 use hfast_netsim::{
-    traffic, EngineObs, Fabric, FatTreeFabric, Flow, HfastFabric, Simulation, TorusFabric,
+    traffic, transit_links, EngineObs, Fabric, FatTreeFabric, FaultPlan, Flow, HfastFabric,
+    Simulation, TorusFabric,
 };
 use hfast_par::{forall, Rng64};
 use hfast_topology::CommGraph;
@@ -22,8 +23,14 @@ fn flows(rng: &mut Rng64, n: usize, max: usize) -> Vec<Flow> {
 /// A random fabric drawn from the three healthy families.
 fn any_fabric(rng: &mut Rng64) -> (Box<dyn Fabric>, usize) {
     match rng.range(0, 3) {
-        0 => (Box::new(FatTreeFabric::new(24, 8)), 24),
-        1 => (Box::new(TorusFabric::new((3, 3, 3))), 27),
+        0 => (
+            Box::new(FatTreeFabric::new(24, 8).expect("valid shape")),
+            24,
+        ),
+        1 => (
+            Box::new(TorusFabric::new((3, 3, 3)).expect("valid shape")),
+            27,
+        ),
         _ => {
             let mut g = CommGraph::new(12);
             for _ in 0..rng.range(1, 30) {
@@ -43,7 +50,7 @@ fn any_fabric(rng: &mut Rng64) -> (Box<dyn Fabric>, usize) {
 fn fat_tree_delivers_everything() {
     forall("fat_tree_delivers_everything", 48, |rng| {
         let fs = flows(rng, 32, 60);
-        let fabric = FatTreeFabric::new(32, 8);
+        let fabric = FatTreeFabric::new(32, 8).expect("valid shape");
         let stats = Simulation::new(&fabric).run(&fs).stats;
         assert_eq!(stats.completed, fs.len());
         assert_eq!(stats.unrouted, 0);
@@ -58,7 +65,7 @@ fn fat_tree_delivers_everything() {
 fn torus_delivers_everything() {
     forall("torus_delivers_everything", 48, |rng| {
         let fs = flows(rng, 27, 60);
-        let fabric = TorusFabric::new((3, 3, 3));
+        let fabric = TorusFabric::new((3, 3, 3)).expect("valid shape");
         let stats = Simulation::new(&fabric).run(&fs).stats;
         assert_eq!(stats.completed, fs.len());
     });
@@ -70,7 +77,7 @@ fn latency_lower_bound_holds() {
         // No flow can beat its uncontended cut-through time:
         // sum of link latencies + one serialization on its slowest link.
         let fs = flows(rng, 32, 40);
-        let fabric = FatTreeFabric::new(32, 8);
+        let fabric = FatTreeFabric::new(32, 8).expect("valid shape");
         let out = Simulation::new(&fabric).detailed().run(&fs);
         for r in out.records() {
             let f = &fs[r.flow];
@@ -98,7 +105,7 @@ fn latency_lower_bound_holds() {
 fn simulation_is_deterministic() {
     forall("simulation_is_deterministic", 48, |rng| {
         let fs = flows(rng, 16, 50);
-        let fabric = TorusFabric::new((4, 2, 2));
+        let fabric = TorusFabric::new((4, 2, 2)).expect("valid shape");
         let a = Simulation::new(&fabric).run(&fs);
         let b = Simulation::new(&fabric).run(&fs);
         assert_eq!(a, b);
@@ -110,7 +117,7 @@ fn cached_simulation_matches_uncached() {
     // A shared PathCache — cold, then warm across repeated runs — must
     // leave the simulation results bit-identical to the cache-free path.
     forall("cached_simulation_matches_uncached", 48, |rng| {
-        let fabric = TorusFabric::new((3, 3, 3));
+        let fabric = TorusFabric::new((3, 3, 3)).expect("valid shape");
         let mut cache = PathCache::new();
         for _ in 0..3 {
             let fs = flows(rng, 27, 80);
@@ -154,50 +161,134 @@ fn attached_observability_never_changes_results() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn builder_reproduces_all_legacy_entry_points() {
-    // Satellite: the Simulation builder must reproduce the four deprecated
-    // simulate* functions exactly, cold and warm.
-    use hfast_netsim::engine::{
-        simulate, simulate_detailed, simulate_detailed_with_cache, simulate_with_cache,
-    };
-    forall("builder_matches_legacy_simulate", 48, |rng| {
+fn empty_fault_plan_is_bit_identical_to_no_plan() {
+    // Satellite: an attached-but-empty FaultPlan must not perturb the
+    // simulation in any way — stats AND records bit-identical, on every
+    // fabric family, cold and warm cache.
+    forall("empty_fault_plan_is_bit_identical", 48, |rng| {
+        let (fabric, n) = any_fabric(rng);
+        let fabric = fabric.as_ref();
+        let fs = flows(rng, n, 60);
+        let plan = FaultPlan::builder().build(fabric).expect("empty plan");
+        assert!(plan.is_empty());
+        let bare = Simulation::new(fabric).detailed().run(&fs);
+        let with_plan = Simulation::new(fabric)
+            .with_faults(&plan)
+            .detailed()
+            .run(&fs);
+        assert_eq!(bare, with_plan, "empty plan perturbed the simulation");
+
+        let mut cache = PathCache::new();
+        let warm_bare = Simulation::new(fabric)
+            .with_cache(&mut cache)
+            .detailed()
+            .run(&fs);
+        let mut cache2 = PathCache::new();
+        let warm_plan = Simulation::new(fabric)
+            .with_cache(&mut cache2)
+            .with_faults(&plan)
+            .detailed()
+            .run(&fs);
+        assert_eq!(warm_bare, warm_plan);
+        assert_eq!(cache.len(), cache2.len());
+    });
+}
+
+#[test]
+fn targeted_invalidation_equals_full_clear() {
+    // Satellite: after invalidate_link / invalidate_node, re-running a
+    // replay through the surgically-evicted cache must match a run through
+    // a fully cleared cache bit-for-bit, and every surviving cached entry
+    // must still equal a fresh route computation.
+    forall("targeted_invalidation_equals_full_clear", 48, |rng| {
         let (fabric, n) = any_fabric(rng);
         let fabric = fabric.as_ref();
         let fs = flows(rng, n, 60);
 
-        assert_eq!(
-            simulate(fabric, &fs),
-            Simulation::new(fabric).run(&fs).stats
-        );
+        let mut targeted = PathCache::new();
+        Simulation::new(fabric).with_cache(&mut targeted).run(&fs);
+        let mut cleared = targeted.clone();
 
-        let (legacy_stats, legacy_recs) = simulate_detailed(fabric, &fs);
-        let out = Simulation::new(fabric).detailed().run(&fs);
-        assert_eq!(legacy_stats, out.stats);
-        assert_eq!(legacy_recs, out.records.expect("detailed"));
+        // Evict around a random link and a random node, both ways.
+        let link = rng.range(0, fabric.link_count());
+        let node = rng.range(0, n);
+        targeted.invalidate_link(link);
+        targeted.invalidate_node(node, &fabric.incident_links(node));
+        cleared.clear();
 
-        let mut legacy_cache = PathCache::new();
-        let mut builder_cache = PathCache::new();
-        for _ in 0..2 {
-            assert_eq!(
-                simulate_with_cache(fabric, &fs, &mut legacy_cache),
-                Simulation::new(fabric)
-                    .with_cache(&mut builder_cache)
-                    .run(&fs)
-                    .stats
-            );
+        // Surviving entries agree with fresh computation for every pair.
+        for src in 0..n {
+            for dst in 0..n {
+                if let Some(entry) = targeted.cached(src, dst) {
+                    let fresh = fabric.path(src, dst);
+                    assert_eq!(
+                        entry,
+                        fresh.as_deref(),
+                        "stale survivor for pair ({src}, {dst})"
+                    );
+                    // Anything touching the invalidated components is gone.
+                    if let Some(path) = entry {
+                        assert!(!path.contains(&link), "({src}, {dst}) kept link {link}");
+                    }
+                    assert!(
+                        src != node && dst != node,
+                        "({src}, {dst}) kept node {node}"
+                    );
+                }
+            }
         }
-        legacy_cache.clear();
-        builder_cache.clear();
-        let (legacy_stats, legacy_recs) =
-            simulate_detailed_with_cache(fabric, &fs, &mut legacy_cache);
-        let out = Simulation::new(fabric)
-            .with_cache(&mut builder_cache)
+
+        // And a replay through either cache is bit-identical.
+        let a = Simulation::new(fabric)
+            .with_cache(&mut targeted)
             .detailed()
             .run(&fs);
-        assert_eq!(legacy_stats, out.stats);
-        assert_eq!(legacy_recs, out.records.expect("detailed"));
-        assert_eq!(legacy_cache.len(), builder_cache.len());
+        let b = Simulation::new(fabric)
+            .with_cache(&mut cleared)
+            .detailed()
+            .run(&fs);
+        assert_eq!(a, b, "targeted eviction diverged from full clear");
+    });
+}
+
+#[test]
+fn fault_replay_is_deterministic() {
+    // Satellite: a seeded fault schedule replays bit-identically across
+    // repeated same-seed runs, with and without a shared cache.
+    forall("fault_replay_is_deterministic", 32, |rng| {
+        let fabric = TorusFabric::new((4, 4, 1)).expect("valid shape");
+        let fs = flows(rng, 16, 40);
+        let eligible = transit_links(&fabric, &fs);
+        if eligible.is_empty() {
+            return;
+        }
+        let seed = rng.range_u64(0, u64::MAX - 1);
+        let count = rng.range(1, eligible.len().min(4) + 1);
+        let plan = FaultPlan::builder()
+            .random_link_failures(seed, count, &eligible, (0, 500_000), Some(200_000))
+            .build(&fabric)
+            .expect("valid plan");
+        let run = |cache: Option<&mut PathCache>| {
+            let sim = Simulation::new(&fabric).with_faults(&plan).detailed();
+            match cache {
+                Some(c) => sim.with_cache(c).run(&fs),
+                None => sim.run(&fs),
+            }
+        };
+        let a = run(None);
+        let b = run(None);
+        assert_eq!(a, b, "same seed, same schedule, different output");
+        let mut cache = PathCache::new();
+        let c = run(Some(&mut cache));
+        assert_eq!(a, c, "shared cache perturbed a fault replay");
+        // The cache stays safe for a fault-free run afterwards: fault-era
+        // entries were re-marked stale, so the healthy baseline is exact.
+        let healthy = Simulation::new(&fabric).detailed().run(&fs);
+        let after = Simulation::new(&fabric)
+            .with_cache(&mut cache)
+            .detailed()
+            .run(&fs);
+        assert_eq!(healthy, after, "fault-era routes leaked into a healthy run");
     });
 }
 
@@ -227,7 +318,7 @@ fn delaying_a_flow_never_helps_others_complete_later_overall() {
         // (weak sanity of the FIFO model).
         let fs = flows(rng, 16, 20);
         let delay = rng.range_u64(1, 1_000_000);
-        let fabric = FatTreeFabric::new(16, 8);
+        let fabric = FatTreeFabric::new(16, 8).expect("valid shape");
         let base = Simulation::new(&fabric).run(&fs).stats;
         let mut delayed = fs.clone();
         delayed[0].start_ns += delay;
@@ -241,8 +332,8 @@ fn paths_stay_within_link_table() {
     forall("paths_stay_within_link_table", 48, |rng| {
         let fs = flows(rng, 30, 30);
         for fabric in [
-            Box::new(FatTreeFabric::new(30, 8)) as Box<dyn Fabric>,
-            Box::new(TorusFabric::new((5, 3, 2))) as Box<dyn Fabric>,
+            Box::new(FatTreeFabric::new(30, 8).expect("valid shape")) as Box<dyn Fabric>,
+            Box::new(TorusFabric::new((5, 3, 2)).expect("valid shape")) as Box<dyn Fabric>,
         ] {
             for f in &fs {
                 if f.src < fabric.nodes() && f.dst < fabric.nodes() {
@@ -300,13 +391,14 @@ fn hfast_fabric_paths_agree_with_provisioning_routes() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn degraded_fabric_never_routes_through_failures() {
     forall("degraded_fabric_never_routes_through_failures", 32, |rng| {
         let fs = flows(rng, 27, 30);
         let mut dead: Vec<usize> = (0..rng.range(0, 5)).map(|_| rng.range(0, 27)).collect();
         dead.sort_unstable();
         dead.dedup();
-        let torus = TorusFabric::new((3, 3, 3));
+        let torus = TorusFabric::new((3, 3, 3)).expect("valid shape");
         let degraded =
             hfast_netsim::DegradedFabric::new(&torus, dead.clone(), []).expect("in-range failures");
         let stats = Simulation::new(&degraded).run(&fs).stats;

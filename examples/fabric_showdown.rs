@@ -15,8 +15,8 @@ fn showdown(name: &str, graph: &hfast::topology::CommGraph) {
     let flows = traffic::flows_from_graph(graph, 2048);
     println!("{name}: {} hot flows", flows.len());
     let fabrics: Vec<Box<dyn Fabric>> = vec![
-        Box::new(FatTreeFabric::new(procs, 8)),
-        Box::new(TorusFabric::new(balanced_dims3(procs))),
+        Box::new(FatTreeFabric::new(procs, 8).expect("valid shape")),
+        Box::new(TorusFabric::new(balanced_dims3(procs)).expect("valid shape")),
         Box::new(HfastFabric::new(Provisioning::per_node(
             graph,
             ProvisionConfig::default(),

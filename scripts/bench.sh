@@ -2,24 +2,30 @@
 # Runs every bench suite and assembles the results into BENCH_<tag>.json
 # at the repo root (one JSON document: {"tag": ..., "results": [...]}).
 #
-# Usage: scripts/bench.sh [tag]        (default tag: pr2)
+# Usage: scripts/bench.sh [tag]        (default tag: pr3)
 #   HFAST_BENCH_FAST=1 scripts/bench.sh   # quick smoke pass
 #
-# When a BENCH_pr1.json baseline exists, the netsim suite also records the
-# obs-off overhead guard (guard/obs_off_vs_pr1_cold: current cold-run median
-# over the PR-1 median; must stay <= 1.05).
+# When a BENCH_pr2.json (or, failing that, BENCH_pr1.json) baseline exists,
+# the netsim suite also records the faults-off overhead guard
+# (guard/faults_off_vs_pr2: fastest fault-free cold-run sample over the
+# baseline's, drift-normalized by a calibration case; must stay <= 1.05).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-pr2}"
+TAG="${1:-pr3}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 export HFAST_BENCH_JSON="$TMP"
-if [[ -f BENCH_pr1.json ]]; then
+if [[ -f BENCH_pr2.json ]]; then
+  export HFAST_BENCH_BASELINE="$PWD/BENCH_pr2.json"
+elif [[ -f BENCH_pr1.json ]]; then
   export HFAST_BENCH_BASELINE="$PWD/BENCH_pr1.json"
 fi
 
+# topology must run before netsim: the netsim overhead guard normalizes
+# its cross-session ratio by a topology case (code untouched across PRs)
+# from the accumulating JSONL, canceling machine-speed drift.
 for suite in topology provision netsim runtime apps; do
   cargo bench -q -p hfast-bench --bench "$suite" 2>&1 | sed 's/^/  /'
 done

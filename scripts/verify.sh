@@ -8,4 +8,7 @@ cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 cargo test --doc --workspace -q
+# Fault-replay smoke: exits non-zero unless HFAST beats the fat tree in
+# goodput on every (app, failure-rate) cell.
+cargo run --release -q -p hfast-bench --bin faults_replay > /dev/null
 echo "verify: OK"

@@ -37,7 +37,7 @@ fn profile_to_simulation_pipeline() {
     assert_eq!(stats.completed, flows.len());
     assert_eq!(stats.avg_hops, 3.0, "constant-depth paths");
 
-    let ft = FatTreeFabric::new(64, 8);
+    let ft = FatTreeFabric::new(64, 8).expect("valid shape");
     let ft_stats = Simulation::new(&ft).run(&flows).stats;
     assert_eq!(ft_stats.completed, flows.len());
     assert!(
@@ -62,7 +62,7 @@ fn fabric_trait_objects_interoperate() {
     let graph = outcome.steady.comm_graph();
     let flows = traffic::flows_from_graph(&graph, BDP_CUTOFF);
     let fabrics: Vec<Box<dyn Fabric>> = vec![
-        Box::new(FatTreeFabric::new(16, 8)),
+        Box::new(FatTreeFabric::new(16, 8).expect("valid shape")),
         Box::new(HfastFabric::new(Provisioning::per_node(
             &graph,
             ProvisionConfig::default(),
