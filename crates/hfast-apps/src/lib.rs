@@ -41,7 +41,7 @@ pub use lbmhd::Lbmhd;
 pub use meta::AppMeta;
 pub use paratec::Paratec;
 pub use pmemd::Pmemd;
-pub use runner::{profile_app, AppOutcome};
+pub use runner::{profile_app, profile_app_with, AppOutcome};
 pub use superlu::SuperLu;
 pub use synthetic::Synthetic;
 

@@ -26,16 +26,33 @@ pub struct AppOutcome {
 /// regioning feature … to examine only the profiling data from one section
 /// of the code").
 pub fn profile_app(app: &dyn CommKernel, procs: usize) -> Result<AppOutcome, MpiError> {
+    profile_app_with(
+        app,
+        procs,
+        WorldConfig::new(procs).timeout(Duration::from_secs(60)),
+    )
+}
+
+/// Like [`profile_app`], but composes the profiler into a caller-supplied
+/// [`WorldConfig`] — e.g. one carrying a trace recorder, an extra hook, or
+/// a different timeout. The config's `size` is overridden to `procs` and
+/// the IPM profiler is chained after any hook already installed.
+pub fn profile_app_with(
+    app: &dyn CommKernel,
+    procs: usize,
+    config: WorldConfig,
+) -> Result<AppOutcome, MpiError> {
     let profiler = Arc::new(IpmProfiler::new(procs));
     let prof_for_ranks = Arc::clone(&profiler);
-    World::run_with(
-        WorldConfig::new(procs)
-            .timeout(Duration::from_secs(60))
-            .hook(Arc::clone(&profiler) as Arc<dyn CommHook>),
-        move |comm| app.run(comm, &prof_for_ranks),
-    )?
-    .into_iter()
-    .collect::<Result<Vec<()>, MpiError>>()?;
+    let base_hook = config.hook.clone();
+    let mut config = config.hook(Arc::new(hfast_mpi::MultiHook::new(vec![
+        base_hook,
+        Arc::clone(&profiler) as Arc<dyn CommHook>,
+    ])));
+    config.size = procs;
+    World::run_with(config, move |comm| app.run(comm, &prof_for_ranks))?
+        .into_iter()
+        .collect::<Result<Vec<()>, MpiError>>()?;
     Ok(AppOutcome {
         name: app.name(),
         procs,
@@ -56,5 +73,20 @@ mod tests {
         assert_eq!(out.procs, 8);
         assert!(out.steady.total_calls() > 0);
         assert!(out.merged.total_calls() >= out.steady.total_calls());
+    }
+
+    #[test]
+    fn custom_config_composes_trace_and_profiler() {
+        let rec = Arc::new(hfast_trace::TraceRecorder::new());
+        let cfg = WorldConfig::new(1).trace(Arc::clone(&rec));
+        let out = profile_app_with(&Cactus::new(4), 8, cfg).unwrap();
+        assert_eq!(out.procs, 8, "config size overridden to procs");
+        assert!(out.steady.total_calls() > 0, "profiler still attached");
+        assert!(!rec.is_empty(), "ranks recorded spans into the recorder");
+        let doc = hfast_trace::export(&rec.snapshot());
+        let stats = hfast_trace::validate(&doc).expect("valid trace JSON");
+        assert_eq!(stats.rank_tracks, 8, "one track per rank");
+        assert!(stats.linked_recvs > 0);
+        assert_eq!(stats.orphan_recvs, 0, "every recv has its send parent");
     }
 }

@@ -1,8 +1,9 @@
 //! Benchmarks of the discrete-event simulator across fabrics and loads,
 //! including the path-cache ablation: cold (routes recomputed every run)
 //! versus warm (a reused [`PathCache`]), the observability ablation (an
-//! attached [`EngineObs`] versus none), the fault-replay overhead, and the
-//! faults-off overhead guard against the PR-2 baseline.
+//! attached [`EngineObs`] versus none), the causal-tracing ablation (an
+//! attached [`TraceRecorder`] versus none), the fault-replay overhead,
+//! and the trace-off overhead guard against the PR-3 baseline.
 
 use hfast_bench::Harness;
 use hfast_core::{ProvisionConfig, Provisioning};
@@ -12,6 +13,7 @@ use hfast_netsim::{
     Simulation, TorusFabric,
 };
 use hfast_topology::generators::{balanced_dims3, torus3d_graph};
+use hfast_trace::TraceRecorder;
 
 /// A recorded statistic (`"median_ns"`, `"min_ns"`, …) of case `name` in
 /// the JSONL-per-line file at `path_env`, if present. Works on both the
@@ -86,6 +88,22 @@ fn main() {
         "netsim/20k-flows-512-torus/cold",
     );
 
+    // Causal-tracing ablation: the same cold run with a span recorder
+    // attached — every hop and flow becomes a span record. A fresh
+    // recorder per iteration keeps memory bounded and prices the span
+    // drop alongside the push, which is what a real capture pays.
+    h.bench("netsim/20k-flows-512-torus/trace-on", || {
+        let rec = TraceRecorder::new();
+        Simulation::new(&big)
+            .with_trace(&rec)
+            .run(std::hint::black_box(&many))
+    });
+    h.report_speedup(
+        "trace_off_vs_on",
+        "netsim/20k-flows-512-torus/trace-on",
+        "netsim/20k-flows-512-torus/cold",
+    );
+
     // Fault-replay ablation: the same load with a seeded mid-run outage
     // (12 transit links down for 500 us each) and the default retry
     // policy. This prices the dynamic loop itself — stale-slot checks,
@@ -107,10 +125,10 @@ fn main() {
         "netsim/20k-flows-512-torus/cold",
     );
 
-    // Overhead guard: with no FaultPlan attached the engine dispatches to
-    // the untouched static loop, so the cold run must stay within 5% of
-    // the recorded PR-2 baseline (scripts/bench.sh exports
-    // HFAST_BENCH_BASELINE=BENCH_pr2.json when present). Raw
+    // Overhead guard: with no TraceRecorder attached, tracing is one
+    // `Option` check per run, so the cold run must stay within 5% of the
+    // recorded PR-3 baseline (scripts/bench.sh exports
+    // HFAST_BENCH_BASELINE=BENCH_pr3.json when present). Raw
     // cross-session timing comparisons measure mostly machine-speed
     // drift, so the guard (a) compares fastest samples (min_ns, the
     // least-throttled cost), (b) measures the cold case twice — once up
@@ -120,7 +138,7 @@ fn main() {
     // scripts/bench.sh runs earlier into the same JSONL stream): any
     // slowdown shared with the untouched calibration workload is the
     // machine, not the engine. The ratio lands in BENCH_<tag>.json;
-    // values > 1.05 mean the fault subsystem taxed fault-free runs.
+    // values > 1.05 mean the tracing hooks taxed trace-off runs.
     h.bench("netsim/20k-flows-512-torus/cold-recheck", || {
         Simulation::new(&big).run(std::hint::black_box(&many))
     });
@@ -138,7 +156,7 @@ fn main() {
             (Some(cal_base), Some(cal_now)) => cal_now / cal_base,
             _ => 1.0, // standalone run: fall back to the raw ratio
         };
-        h.record_value("guard/faults_off_vs_pr2", first.min(recheck) / base / drift);
+        h.record_value("guard/trace_off_vs_pr3", first.min(recheck) / base / drift);
     }
 
     h.finish();

@@ -1,0 +1,127 @@
+//! End-to-end causal trace capture: GTC at P = 256, world run plus fabric
+//! replay, exported as one Chrome trace-event / Perfetto JSON document.
+//!
+//! One [`TraceRecorder`] collects both layers — rank send/recv/wait spans
+//! from the MPI runtime (stamped through message envelopes, so every recv
+//! links to its originating send) and flow/hop spans from the simulator
+//! replay of the measured steady-state traffic on a provisioned HFAST
+//! fabric. Span-id spaces are disjoint by construction, so the merged
+//! document is one browsable timeline: ranks, links, and the engine as
+//! separate tracks.
+//!
+//! The capture self-validates against the acceptance contract (valid
+//! JSON, one track per rank and per used transit link, zero orphan recvs)
+//! and exits non-zero on any violation. Pass `--trace-out <path>` to keep
+//! the document; a flamegraph-style self/total aggregation per call kind
+//! is printed either way.
+
+use std::sync::Arc;
+
+use hfast_apps::{profile_app_with, Gtc};
+use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_ipm::format_bytes;
+use hfast_mpi::WorldConfig;
+use hfast_netsim::{traffic, HfastFabric, Simulation};
+use hfast_trace::{aggregate, export, rank_hotspots, validate, TraceRecorder};
+
+const PROCS: usize = 256;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut trace_out: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => {
+                trace_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other} (usage: trace_capture [--trace-out FILE])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("== causal trace capture: GTC, P = {PROCS} ==\n");
+    let rec = Arc::new(TraceRecorder::new());
+    let outcome = profile_app_with(
+        &Gtc::default(),
+        PROCS,
+        WorldConfig::new(PROCS).trace(Arc::clone(&rec)),
+    )
+    .expect("GTC world run");
+    let world_spans = rec.len();
+    println!("world run: {world_spans} rank spans recorded");
+
+    // Replay the measured steady-state traffic on a provisioned HFAST
+    // fabric into the same recorder.
+    let graph = outcome.steady.comm_graph();
+    let flows = traffic::flows_from_graph(&graph, 2048);
+    let hf = HfastFabric::new(Provisioning::per_node(&graph, ProvisionConfig::default()));
+    Simulation::new(&hf).with_trace(&rec).run(&flows);
+    println!(
+        "replay: {} flows ({}) -> {} spans total",
+        flows.len(),
+        format_bytes(flows.iter().map(|f| f.bytes).sum::<u64>()),
+        rec.len()
+    );
+
+    let spans = rec.snapshot();
+    let doc = export(&spans);
+    let stats = validate(&doc).expect("exporter must emit valid trace-event JSON");
+    let used_links = rank_hotspots(&spans).len();
+    println!(
+        "\ntrace: {} events, {} rank tracks, {} link tracks, \
+         {} linked recvs, {} orphans",
+        stats.events, stats.rank_tracks, stats.link_tracks, stats.linked_recvs, stats.orphan_recvs
+    );
+
+    println!("\nflamegraph aggregation (self/total per call kind):");
+    for agg in aggregate(&spans).iter().take(8) {
+        println!(
+            "  {:>12}: {:>7} calls  total {:>12} ns  self {:>12} ns",
+            agg.name, agg.count, agg.total_ns, agg.self_ns
+        );
+    }
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, &doc).expect("write trace document");
+        println!(
+            "\nwrote {} bytes to {path} (load in ui.perfetto.dev)",
+            doc.len()
+        );
+    }
+
+    let mut failures = Vec::new();
+    if stats.rank_tracks != PROCS {
+        failures.push(format!(
+            "expected {PROCS} rank tracks, got {}",
+            stats.rank_tracks
+        ));
+    }
+    if stats.link_tracks != used_links || used_links == 0 {
+        failures.push(format!(
+            "expected {used_links} used-link tracks, got {}",
+            stats.link_tracks
+        ));
+    }
+    if stats.orphan_recvs != 0 {
+        failures.push(format!(
+            "{} recv spans without a send parent",
+            stats.orphan_recvs
+        ));
+    }
+    if stats.linked_recvs == 0 {
+        failures.push("no linked recv spans at all".to_string());
+    }
+    if failures.is_empty() {
+        println!("\nPASS: capture satisfies the trace contract");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

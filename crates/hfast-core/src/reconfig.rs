@@ -11,8 +11,11 @@
 //! circuits changed and the milliseconds of switch reconfiguration they
 //! cost.
 
+use std::sync::Arc;
+
 use hfast_topology::generators::{balanced_dims3, mesh3d_graph};
 use hfast_topology::CommGraph;
+use hfast_trace::{engine_span_id, TraceRecorder, Track};
 
 use crate::obs::ReconfigObs;
 use crate::provision::{ProvisionConfig, Provisioning};
@@ -69,6 +72,11 @@ impl hfast_obs::ToJsonl for ReconfigStep {
     }
 }
 
+/// Span-id namespace for sync-point adaptation spans: offset far past any
+/// simulator flow or repatch index, so one [`TraceRecorder`] can hold a
+/// reconfig engine and a netsim replay without id collisions.
+const ADAPT_SPAN_OFFSET: u64 = 1 << 48;
+
 /// Adaptive provisioning engine.
 #[derive(Debug, Clone)]
 pub struct ReconfigEngine {
@@ -76,6 +84,7 @@ pub struct ReconfigEngine {
     current: Provisioning,
     steps: Vec<ReconfigStep>,
     obs: Option<ReconfigObs>,
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl ReconfigEngine {
@@ -90,6 +99,7 @@ impl ReconfigEngine {
             current: Provisioning::per_node(&assumed, config),
             steps: Vec::new(),
             obs: hfast_obs::enabled().then(ReconfigObs::new),
+            trace: None,
         }
     }
 
@@ -103,6 +113,17 @@ impl ReconfigEngine {
     /// The attached observability, if any.
     pub fn obs(&self) -> Option<&ReconfigObs> {
         self.obs.as_ref()
+    }
+
+    /// Records one `adapt` span per synchronization point into `recorder`
+    /// on the reconfig track: `t_ns` is the sync-point index (the engine's
+    /// logical clock — it has no wall clock), the duration is the
+    /// reconfiguration latency paid, and the fields carry circuit-change
+    /// and coverage figures. Span ids derive from the sync-point index, so
+    /// identical adaptation sequences trace identically.
+    pub fn with_trace(mut self, recorder: Arc<TraceRecorder>) -> Self {
+        self.trace = Some(recorder);
+        self
     }
 
     /// The active provisioning.
@@ -165,8 +186,30 @@ impl ReconfigEngine {
             },
         };
         self.steps.push(step);
+        let idx = self.steps.len() as u64 - 1;
         if let Some(obs) = &self.obs {
-            obs.record_step(self.steps.len() as u64 - 1, &step);
+            obs.record_step(idx, &step);
+        }
+        if let Some(tr) = &self.trace {
+            tr.record_span(
+                Track::Reconfig,
+                "adapt",
+                idx,
+                step.reconfig_time_ns,
+                engine_span_id(ADAPT_SPAN_OFFSET + idx),
+                0,
+                vec![
+                    ("circuits_changed", step.circuits_changed as u64),
+                    (
+                        "coverage_before_permille",
+                        (step.coverage_before * 1000.0) as u64,
+                    ),
+                    (
+                        "coverage_after_permille",
+                        (step.coverage_after * 1000.0) as u64,
+                    ),
+                ],
+            );
         }
         step
     }
@@ -253,6 +296,32 @@ mod tests {
         let evs = obs.timeline.snapshot();
         assert_eq!(evs[0].t_ns, 0, "timeline stamped with sync-point index");
         assert_eq!(evs[1].t_ns, 1);
+    }
+
+    #[test]
+    fn attached_trace_records_adapt_spans() {
+        let n = 16;
+        let rec = Arc::new(TraceRecorder::new());
+        let mut engine = ReconfigEngine::initial_mesh(n, cfg()).with_trace(Arc::clone(&rec));
+        let ring = ring_graph(n, 1 << 20);
+        engine.observe_and_adapt(&ring);
+        engine.observe_and_adapt(&ring);
+        let spans = rec.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.track == Track::Reconfig));
+        assert_eq!(spans[0].name, "adapt");
+        assert_eq!(spans[0].t_ns, 0, "stamped with sync-point index");
+        assert_eq!(spans[1].t_ns, 1);
+        assert_eq!(spans[0].span_id, engine_span_id(ADAPT_SPAN_OFFSET));
+        assert!(spans[0].dur_ns > 0, "first adaptation moved circuits");
+        assert_eq!(spans[1].dur_ns, 0, "fixed point pays nothing");
+        let circuits = spans[0]
+            .fields
+            .iter()
+            .find(|(k, _)| *k == "circuits_changed")
+            .expect("field present")
+            .1;
+        assert_eq!(circuits as usize, engine.steps()[0].circuits_changed);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::error::{MpiError, Result};
 use crate::hook::{CallKind, CommEvent, CommHook, Scope};
 use crate::message::{Envelope, Payload};
 use crate::request::{RecvHandle, Request, RequestTable};
+use crate::trace::CommTrace;
 use crate::{Rank, Tag};
 
 /// Source selector for receives (`MPI_ANY_SOURCE` analogue).
@@ -78,12 +79,15 @@ pub struct Comm {
     hook: Arc<dyn CommHook>,
     epoch: Instant,
     timeout: Duration,
+    /// Causal tracing state, present only when a recorder is attached.
+    trace: Option<CommTrace>,
     /// Per-rank counter of collective invocations, used for debugging and
     /// round-tag construction sanity checks.
     pub(crate) collective_count: u64,
 }
 
 impl Comm {
+    #[allow(clippy::too_many_arguments)] // internal plumbing constructor
     pub(crate) fn new(
         rank: Rank,
         size: usize,
@@ -92,6 +96,7 @@ impl Comm {
         hook: Arc<dyn CommHook>,
         epoch: Instant,
         timeout: Duration,
+        trace: Option<CommTrace>,
     ) -> Self {
         Comm {
             rank,
@@ -103,6 +108,7 @@ impl Comm {
             hook,
             epoch,
             timeout,
+            trace,
             collective_count: 0,
         }
     }
@@ -170,14 +176,58 @@ impl Comm {
     // raw transport (no hook events, no tag restrictions)
     // ------------------------------------------------------------------
 
-    pub(crate) fn send_raw(&self, dest: Rank, tag: Tag, payload: Payload) -> Result<()> {
+    /// Sends an envelope; when tracing is on, stamps it with a fresh
+    /// [`SpanContext`](hfast_trace::SpanContext) and returns the stamped
+    /// span id (0 otherwise) so the caller can record the send span.
+    pub(crate) fn send_raw(&self, dest: Rank, tag: Tag, payload: Payload) -> Result<u64> {
         self.check_rank(dest)?;
+        let stamp = self.trace.as_ref().map(|t| t.send_stamp());
+        let span_id = stamp.as_ref().map_or(0, |s| s.span_id);
         self.txs[dest]
-            .send(Envelope::new(self.rank, tag, payload))
+            .send(Envelope::stamped(self.rank, tag, payload, stamp))
             .map_err(|_| MpiError::Disconnected {
                 rank: self.rank,
                 peer: dest,
-            })
+            })?;
+        Ok(span_id)
+    }
+
+    /// Records the send-side span closing now, if tracing is on.
+    fn trace_send(&self, name: &'static str, t0: u64, span_id: u64, dest: Rank, bytes: usize) {
+        if let Some(t) = &self.trace {
+            let dur = self.now_ns().saturating_sub(t0).max(1);
+            t.record(
+                name,
+                t0,
+                dur,
+                span_id,
+                0,
+                vec![("dst", dest as u64), ("bytes", bytes as u64)],
+            );
+        }
+    }
+
+    /// Records the receive-side span for a delivered envelope, parented to
+    /// the originating send span and merging its Lamport clock.
+    fn trace_recv(&self, name: &'static str, t0: u64, env: &Envelope) {
+        if let Some(t) = &self.trace {
+            if let Some(stamp) = &env.stamp {
+                let (span_id, clock) = t.recv_merge(stamp);
+                let dur = self.now_ns().saturating_sub(t0).max(1);
+                t.record(
+                    name,
+                    t0,
+                    dur,
+                    span_id,
+                    stamp.span_id,
+                    vec![
+                        ("src", env.src as u64),
+                        ("bytes", env.payload.len() as u64),
+                        ("clock", clock),
+                    ],
+                );
+            }
+        }
     }
 
     /// Pumps one envelope off the wire, delivering to posted receives first.
@@ -241,7 +291,7 @@ impl Comm {
     pub(crate) fn send_transport(&self, dest: Rank, tag: Tag, payload: Payload) -> Result<()> {
         let t0 = self.now_ns();
         let bytes = payload.len();
-        self.send_raw(dest, tag, payload)?;
+        let span_id = self.send_raw(dest, tag, payload)?;
         self.emit(
             CallKind::TransportSend,
             Scope::Transport,
@@ -250,6 +300,7 @@ impl Comm {
             Some(tag),
             t0,
         );
+        self.trace_send("send", t0, span_id, dest, bytes);
         Ok(())
     }
 
@@ -265,6 +316,7 @@ impl Comm {
             Some(env.tag),
             t0,
         );
+        self.trace_recv("recv", t0, &env);
         Ok(env)
     }
 
@@ -277,8 +329,9 @@ impl Comm {
         self.check_tag(tag)?;
         let t0 = self.now_ns();
         let bytes = payload.len();
-        self.send_raw(dest, tag, payload)?;
+        let span_id = self.send_raw(dest, tag, payload)?;
         self.emit(CallKind::Send, Scope::Api, Some(dest), bytes, Some(tag), t0);
+        self.trace_send("send", t0, span_id, dest, bytes);
         Ok(())
     }
 
@@ -309,6 +362,7 @@ impl Comm {
             Some(env.tag),
             t0,
         );
+        self.trace_recv("recv", t0, &env);
         Ok((status, env.payload))
     }
 
@@ -321,7 +375,7 @@ impl Comm {
         self.check_tag(tag)?;
         let t0 = self.now_ns();
         let bytes = payload.len();
-        self.send_raw(dest, tag, payload)?;
+        let span_id = self.send_raw(dest, tag, payload)?;
         self.emit(
             CallKind::Isend,
             Scope::Api,
@@ -330,6 +384,7 @@ impl Comm {
             Some(tag),
             t0,
         );
+        self.trace_send("send", t0, span_id, dest, bytes);
         Ok(Request::Send(Status {
             source: dest,
             tag,
@@ -394,7 +449,8 @@ impl Comm {
         self.check_rank(src)?;
         let t0 = self.now_ns();
         let bytes = payload.len();
-        self.send_raw(dest, send_tag, payload)?;
+        let span_id = self.send_raw(dest, send_tag, payload)?;
+        self.trace_send("send", t0, span_id, dest, bytes);
         let env = self.recv_raw(SrcSel::Rank(src), TagSel::Tag(recv_tag))?;
         let status = Status {
             source: env.src,
@@ -409,6 +465,7 @@ impl Comm {
             Some(send_tag),
             t0,
         );
+        self.trace_recv("recv", t0, &env);
         Ok((status, env.payload))
     }
 
@@ -439,6 +496,7 @@ impl Comm {
             Request::Send(status) => (status, None),
             Request::Recv(handle) => {
                 let env = self.resolve_recv(handle)?;
+                self.trace_recv("wait", t0, &env);
                 (
                     Status {
                         source: env.src,
@@ -462,6 +520,7 @@ impl Comm {
                 Request::Send(status) => out.push((status, None)),
                 Request::Recv(handle) => {
                     let env = self.resolve_recv(handle)?;
+                    self.trace_recv("wait", t0, &env);
                     out.push((
                         Status {
                             source: env.src,
@@ -511,6 +570,7 @@ impl Comm {
                     Request::Send(status) => (i, status, None),
                     Request::Recv(handle) => {
                         let env = self.table.complete(handle).expect("checked complete");
+                        self.trace_recv("wait", t0, &env);
                         (
                             i,
                             Status {
@@ -551,6 +611,7 @@ impl Comm {
             Request::Recv(handle) => {
                 if self.table.is_complete(handle) {
                     let env = self.table.complete(handle).expect("checked complete");
+                    self.trace_recv("wait", t0, &env);
                     Ok((
                         Status {
                             source: env.src,

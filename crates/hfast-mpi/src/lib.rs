@@ -57,6 +57,7 @@ pub mod probe;
 pub mod request;
 pub mod runtime;
 pub mod split;
+pub mod trace;
 
 pub use bytes::Bytes;
 pub use comm::{Comm, SrcSel, Status, TagSel};
@@ -67,6 +68,7 @@ pub use message::{Payload, ReduceOp};
 pub use obs::{RankObs, WorldObs};
 pub use request::Request;
 pub use runtime::{World, WorldConfig};
+pub use trace::CommTrace;
 
 /// Index of a process in a [`World`] (0-based, dense).
 pub type Rank = usize;

@@ -159,12 +159,34 @@ pub struct Envelope {
     pub tag: Tag,
     /// Message body.
     pub payload: Payload,
+    /// Causal stamp of the originating send span, when tracing is on.
+    pub stamp: Option<hfast_trace::SpanContext>,
 }
 
 impl Envelope {
-    /// Creates an envelope.
+    /// Creates an unstamped envelope.
     pub fn new(src: Rank, tag: Tag, payload: Payload) -> Self {
-        Envelope { src, tag, payload }
+        Envelope {
+            src,
+            tag,
+            payload,
+            stamp: None,
+        }
+    }
+
+    /// Creates an envelope carrying a causal stamp.
+    pub fn stamped(
+        src: Rank,
+        tag: Tag,
+        payload: Payload,
+        stamp: Option<hfast_trace::SpanContext>,
+    ) -> Self {
+        Envelope {
+            src,
+            tag,
+            payload,
+            stamp,
+        }
     }
 }
 

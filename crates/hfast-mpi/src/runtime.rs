@@ -3,12 +3,15 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use hfast_trace::TraceRecorder;
+
 use crate::chan::unbounded;
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
 use crate::hook::{CommHook, MultiHook, NullHook};
 use crate::message::Envelope;
 use crate::obs::WorldObs;
+use crate::trace::CommTrace;
 
 /// Configuration for a [`World`] launch.
 #[derive(Clone)]
@@ -21,6 +24,12 @@ pub struct WorldConfig {
     pub timeout: Duration,
     /// Observer for communication events.
     pub hook: Arc<dyn CommHook>,
+    /// Causal span recorder. When set, every rank stamps its outgoing
+    /// envelopes and records send/recv spans into it; the caller owns the
+    /// recorder and its export. When unset but `HFAST_TRACE` is on, the
+    /// world attaches a recorder itself and writes a Perfetto JSON
+    /// document to the `HFAST_TRACE` sink at world end.
+    pub trace: Option<Arc<TraceRecorder>>,
 }
 
 impl WorldConfig {
@@ -30,6 +39,7 @@ impl WorldConfig {
             size,
             timeout: Duration::from_secs(30),
             hook: Arc::new(NullHook),
+            trace: None,
         }
     }
 
@@ -42,6 +52,12 @@ impl WorldConfig {
     /// Installs an observer hook.
     pub fn hook(mut self, hook: Arc<dyn CommHook>) -> Self {
         self.hook = hook;
+        self
+    }
+
+    /// Attaches a causal span recorder (the caller exports it).
+    pub fn trace(mut self, recorder: Arc<TraceRecorder>) -> Self {
+        self.trace = Some(recorder);
         self
     }
 }
@@ -94,6 +110,19 @@ impl World {
             ])),
             None => Arc::clone(&config.hook),
         };
+        // Tracing: a caller-supplied recorder wins; otherwise HFAST_TRACE
+        // attaches one whose Perfetto export goes to the env sink at the
+        // end of the world.
+        let auto_trace = config.trace.is_none() && hfast_trace::enabled();
+        let trace: Option<Arc<TraceRecorder>> = config
+            .trace
+            .clone()
+            .or_else(|| auto_trace.then(|| Arc::new(TraceRecorder::new())));
+        let rank_trace = |rank: usize| {
+            trace
+                .as_ref()
+                .map(|r| CommTrace::new(Arc::clone(r), 1, rank))
+        };
         let mut txs = Vec::with_capacity(size);
         let mut rxs = Vec::with_capacity(size);
         for _ in 0..size {
@@ -122,8 +151,9 @@ impl World {
                 let txs = Arc::clone(&txs);
                 let hook = Arc::clone(&hook);
                 let timeout = config.timeout;
+                let rtrace = rank_trace(rank);
                 let handle = scope.spawn(move || {
-                    let mut comm = Comm::new(rank, size, txs, rx, hook, epoch, timeout);
+                    let mut comm = Comm::new(rank, size, txs, rx, hook, epoch, timeout, rtrace);
                     f(&mut comm)
                 });
                 handles.push((rank, handle));
@@ -138,6 +168,7 @@ impl World {
                 Arc::clone(&hook),
                 epoch,
                 config.timeout,
+                rank_trace(0),
             );
             let r0 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm0)));
             match r0 {
@@ -156,6 +187,11 @@ impl World {
 
         if let Some(o) = &obs {
             o.export();
+        }
+        if auto_trace {
+            if let Some(rec) = &trace {
+                hfast_trace::write_to_env_sink(&hfast_trace::export(&rec.snapshot()));
+            }
         }
         if let Some(&rank) = panicked.iter().min() {
             return Err(MpiError::RankPanic { rank });

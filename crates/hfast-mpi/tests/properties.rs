@@ -1,8 +1,12 @@
 //! Property-based tests for the message-passing runtime: payload codecs,
 //! reduction semantics, and randomized communication schedules.
 
-use hfast_mpi::{Group, Payload, ReduceOp, Tag, World};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use hfast_mpi::{Group, Payload, ReduceOp, Tag, World, WorldConfig};
 use hfast_par::{forall, Rng64};
+use hfast_trace::{export, validate, TraceRecorder};
 
 fn f64s(rng: &mut Rng64, lo: usize, hi: usize, span: f64) -> Vec<f64> {
     (0..rng.range(lo, hi))
@@ -159,5 +163,122 @@ fn alltoall_is_a_transpose() {
                 assert_eq!(b.to_f64s().unwrap()[0] as usize, j * 100 + i);
             }
         }
+    });
+}
+
+/// A random valid point-to-point schedule: (src, dst, bytes) triples with
+/// src != dst, all inside a `size`-rank world.
+fn random_schedule(rng: &mut Rng64, size: usize) -> Vec<(usize, usize, usize)> {
+    (0..rng.range(1, 24))
+        .map(|_| (rng.range(0, 8), rng.range(0, 8), rng.range(1, 4096)))
+        .filter(|&(s, d, _)| s < size && d < size && s != d)
+        .collect()
+}
+
+/// The random-exchange workload: post receives for everything addressed
+/// to this rank, send everything this rank originates, wait, and return
+/// total bytes received.
+fn exchange(comm: &mut hfast_mpi::Comm, sends: &[(usize, usize, usize)]) -> usize {
+    let me = comm.rank();
+    let mut reqs = vec![];
+    for &(s, d, bytes) in sends {
+        if d == me {
+            reqs.push(
+                comm.irecv(
+                    hfast_mpi::SrcSel::Rank(s),
+                    hfast_mpi::TagSel::Tag(Tag(3)),
+                    bytes,
+                )
+                .unwrap(),
+            );
+        }
+    }
+    for &(s, d, bytes) in sends {
+        if s == me {
+            comm.send(d, Tag(3), Payload::synthetic(bytes)).unwrap();
+        }
+    }
+    reqs.into_iter()
+        .map(|req| comm.wait(req).unwrap().0.bytes)
+        .sum()
+}
+
+#[test]
+fn every_recv_span_links_to_its_send() {
+    // Satellite: the SpanContext stamped into each message envelope must
+    // make every recv-family span a child of the originating send span —
+    // no orphans, on any random point-to-point schedule.
+    forall("every_recv_span_links_to_its_send", 16, |rng| {
+        let size = rng.range(2, 8);
+        let sends = random_schedule(rng, size);
+        if sends.is_empty() {
+            return;
+        }
+        let rec = Arc::new(TraceRecorder::new());
+        let sends2 = sends.clone();
+        World::run_with(
+            WorldConfig::new(size).trace(Arc::clone(&rec)),
+            move |comm| exchange(comm, &sends2),
+        )
+        .unwrap();
+
+        let spans = rec.snapshot();
+        let send_ids: HashSet<u64> = spans
+            .iter()
+            .filter(|s| s.name == "send")
+            .map(|s| s.span_id)
+            .collect();
+        assert_eq!(
+            send_ids.len(),
+            sends.len(),
+            "one span per send, all distinct"
+        );
+        let mut recv_family = 0usize;
+        for s in &spans {
+            if s.name == "recv" || s.name == "wait" {
+                recv_family += 1;
+                assert_ne!(s.parent_id, 0, "{} span has no parent", s.name);
+                assert!(
+                    send_ids.contains(&s.parent_id),
+                    "{} span parent {:#x} is not a recorded send",
+                    s.name,
+                    s.parent_id
+                );
+            }
+        }
+        assert_eq!(recv_family, sends.len(), "one recv-family span per message");
+
+        // The exported document agrees with the raw-span check.
+        let stats = validate(&export(&spans)).expect("valid trace-event JSON");
+        assert_eq!(stats.orphan_recvs, 0);
+        assert_eq!(stats.linked_recvs, recv_family);
+        // One track per rank that actually communicated (a silent rank
+        // records no spans and so gets no track).
+        let active: HashSet<usize> = sends.iter().flat_map(|&(s, d, _)| [s, d]).collect();
+        assert_eq!(stats.rank_tracks, active.len());
+    });
+}
+
+#[test]
+fn tracing_never_changes_world_results() {
+    // Satellite: an attached TraceRecorder is invisible to the program —
+    // the same workload returns identical results with tracing on or off.
+    forall("tracing_never_changes_world_results", 12, |rng| {
+        let size = rng.range(2, 8);
+        let sends = random_schedule(rng, size);
+        let sends_plain = sends.clone();
+        let plain = World::run(size, move |comm| exchange(comm, &sends_plain)).unwrap();
+        let rec = Arc::new(TraceRecorder::new());
+        let sends_traced = sends.clone();
+        let traced = World::run_with(
+            WorldConfig::new(size).trace(Arc::clone(&rec)),
+            move |comm| exchange(comm, &sends_traced),
+        )
+        .unwrap();
+        assert_eq!(plain, traced, "tracing changed the program's results");
+        assert!(
+            rec.len() >= 2 * sends.len(),
+            "a send and a recv-family span per message when traced"
+        );
     });
 }

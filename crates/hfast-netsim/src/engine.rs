@@ -14,6 +14,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 use hfast_core::ReconfigStep;
+use hfast_trace::{engine_span_id, TraceRecorder, Track};
 
 use crate::fabric::{Fabric, LinkId};
 use crate::faultplan::{FaultAction, FaultPlan, FaultState, FaultTarget, RetryPolicy};
@@ -285,6 +286,7 @@ pub struct Simulation<'a> {
     cache: Option<&'a mut PathCache>,
     detailed: bool,
     obs: Option<&'a EngineObs>,
+    trace: Option<&'a TraceRecorder>,
     faults: Option<&'a FaultPlan>,
     retry: RetryPolicy,
     reprovision_interval_ns: Option<u64>,
@@ -299,6 +301,7 @@ impl<'a> Simulation<'a> {
             cache: None,
             detailed: false,
             obs: None,
+            trace: None,
             faults: None,
             retry: RetryPolicy::default(),
             reprovision_interval_ns: None,
@@ -322,6 +325,17 @@ impl<'a> Simulation<'a> {
     /// timeline into `obs` (overrides the `HFAST_OBS`-gated global sink).
     pub fn with_obs(mut self, obs: &'a EngineObs) -> Self {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Records causal spans into `recorder`: one `flow` span per flow on
+    /// the engine track (timestamped with simulated time, span ids from
+    /// the flow index — fully deterministic) and one `hop` span per link
+    /// crossing on that link's track, parented to the flow span with the
+    /// queueing delay as a `wait` field. Fault kills, retries, and
+    /// repatches land as annotations. Never changes results.
+    pub fn with_trace(mut self, recorder: &'a TraceRecorder) -> Self {
+        self.trace = Some(recorder);
         self
     }
 
@@ -377,6 +391,7 @@ impl<'a> Simulation<'a> {
                     plan,
                     retry: self.retry,
                     reprovision_interval_ns: self.reprovision_interval_ns,
+                    trace: self.trace,
                 };
                 let (stats, records, reprovisions) = dyn_run.run(flows, cache, obs);
                 SimOutput {
@@ -386,7 +401,7 @@ impl<'a> Simulation<'a> {
                 }
             }
             _ => {
-                let (stats, records) = run_event_loop(self.fabric, flows, cache, obs);
+                let (stats, records) = run_event_loop(self.fabric, flows, cache, obs, self.trace);
                 SimOutput {
                     stats,
                     records: self.detailed.then_some(records),
@@ -410,6 +425,7 @@ fn run_event_loop(
     flows: &[Flow],
     cache: &mut PathCache,
     obs: Option<&EngineObs>,
+    trace: Option<&TraceRecorder>,
 ) -> (RunStats, Vec<FlowRecord>) {
     let flow_slot = cache.index_flows(fabric, flows, obs);
 
@@ -464,6 +480,17 @@ fn run_event_loop(
             obs.queue_wait_ns.record(start - ev.time_ns);
             obs.link_busy(start, serialization, link_id);
         }
+        if let Some(tr) = trace {
+            tr.record_span(
+                Track::Link(link_id),
+                "hop",
+                start,
+                serialization,
+                0,
+                engine_span_id(ev.flow as u64 + 1),
+                vec![("wait", start - ev.time_ns), ("flow", ev.flow as u64)],
+            );
+        }
         // The header clears this link after the fixed latency; the tail
         // follows one serialization time behind.
         let header_out = start + spec.latency_ns;
@@ -481,6 +508,10 @@ fn run_event_loop(
         }
     }
 
+    if let Some(tr) = trace {
+        record_flow_spans(tr, flows, &records);
+    }
+
     let stats = RunStats::from_records(fabric, flows, &records, &link_busy_ns);
     if let Some(obs) = obs {
         obs.runs.inc();
@@ -493,6 +524,51 @@ fn run_event_loop(
         }
     }
     (stats, records)
+}
+
+/// Records one `flow` span (or terminal instant) per flow on the engine
+/// track; its span id (`engine_span_id(index + 1)`) is what every hop
+/// span recorded during the run parented itself to. Self-deliveries cross
+/// no link and leave no span.
+fn record_flow_spans(trace: &TraceRecorder, flows: &[Flow], records: &[FlowRecord]) {
+    for (i, (f, r)) in flows.iter().zip(records).enumerate() {
+        let span_id = engine_span_id(i as u64 + 1);
+        let fields = vec![
+            ("src", f.src as u64),
+            ("dst", f.dst as u64),
+            ("bytes", f.bytes),
+            ("retries", u64::from(r.retries)),
+        ];
+        match r.end_ns {
+            Some(end) if end > r.start_ns => {
+                trace.record_span(
+                    Track::Engine,
+                    "flow",
+                    r.start_ns,
+                    end - r.start_ns,
+                    span_id,
+                    0,
+                    fields,
+                );
+            }
+            Some(_) => {}
+            None => {
+                trace.record_span(
+                    Track::Engine,
+                    if r.abandoned {
+                        "flow_abandoned"
+                    } else {
+                        "flow_unrouted"
+                    },
+                    r.start_ns,
+                    0,
+                    span_id,
+                    0,
+                    fields,
+                );
+            }
+        }
+    }
 }
 
 /// Event classes of the dynamic loop. At equal timestamps topology changes
@@ -535,6 +611,7 @@ struct FaultRun<'a> {
     plan: &'a FaultPlan,
     retry: RetryPolicy,
     reprovision_interval_ns: Option<u64>,
+    trace: Option<&'a TraceRecorder>,
 }
 
 impl FaultRun<'_> {
@@ -656,6 +733,25 @@ impl FaultRun<'_> {
                         }
                         obs.fault_event(now, kind, id);
                     }
+                    if let Some(tr) = self.trace {
+                        // Fault instants: link events annotate the link's
+                        // own track; node events land on the engine track.
+                        let (name, track, field) = match (fe.action, fe.target) {
+                            (FaultAction::Fail, FaultTarget::Link(l)) => {
+                                ("link_fail", Track::Link(l), ("link", l as u64))
+                            }
+                            (FaultAction::Recover, FaultTarget::Link(l)) => {
+                                ("link_recover", Track::Link(l), ("link", l as u64))
+                            }
+                            (FaultAction::Fail, FaultTarget::Node(n)) => {
+                                ("node_fail", Track::Engine, ("node", n as u64))
+                            }
+                            (FaultAction::Recover, FaultTarget::Node(n)) => {
+                                ("node_recover", Track::Engine, ("node", n as u64))
+                            }
+                        };
+                        tr.record_span(track, name, now, 0, 0, 0, vec![field]);
+                    }
                     // A repairable circuit failure books the next sync
                     // point (once; later failures join the same batch).
                     if let (Some(interval), FaultAction::Fail, FaultTarget::Link(l)) =
@@ -686,6 +782,17 @@ impl FaultRun<'_> {
                     }
                     let cov_before = coverage(&state);
                     let done_at = now + hfast_core::CircuitSwitch::RECONFIG_LATENCY_NS;
+                    if let Some(tr) = self.trace {
+                        tr.record_span(
+                            Track::Reconfig,
+                            "sync_point",
+                            now,
+                            0,
+                            0,
+                            0,
+                            vec![("failed_circuits", batch.len() as u64)],
+                        );
+                    }
                     batches.push((batch, cov_before));
                     heap.push(Reverse(DynEvent {
                         time_ns: done_at,
@@ -706,6 +813,25 @@ impl FaultRun<'_> {
                         cache.stale[slot] = true;
                     }
                     let cov_after = coverage(&state);
+                    if let Some(tr) = self.trace {
+                        // The batch occupied the crossbar from its sync
+                        // point until now; span ids continue past the flow
+                        // id range so both stay unique in one recorder.
+                        let latency = hfast_core::CircuitSwitch::RECONFIG_LATENCY_NS;
+                        tr.record_span(
+                            Track::Reconfig,
+                            "reprovision",
+                            now.saturating_sub(latency),
+                            latency,
+                            engine_span_id(flows.len() as u64 + 1 + idx as u64),
+                            0,
+                            vec![
+                                ("circuits", batch.len() as u64),
+                                ("coverage_before_permille", (cov_before * 1000.0) as u64),
+                                ("coverage_after_permille", (cov_after * 1000.0) as u64),
+                            ],
+                        );
+                    }
                     reprovisions.push(ReconfigStep::repatch(batch.len(), cov_before, cov_after));
                     if let Some(obs) = obs {
                         obs.reprovisions.inc();
@@ -813,6 +939,10 @@ impl FaultRun<'_> {
             cache.stale[slot] = true;
         }
 
+        if let Some(tr) = self.trace {
+            record_flow_spans(tr, flows, &records);
+        }
+
         let stats = RunStats::from_records(fabric, flows, &records, &link_busy_ns);
         if let Some(obs) = obs {
             obs.runs.inc();
@@ -901,6 +1031,17 @@ impl FaultRun<'_> {
                     obs.flow_kills.inc();
                 }
             }
+            if let Some(tr) = self.trace {
+                tr.record_span(
+                    Track::Link(link_id),
+                    "flow_kill",
+                    now,
+                    0,
+                    0,
+                    engine_span_id(flow as u64 + 1),
+                    vec![("flow", flow as u64), ("hop", hop as u64)],
+                );
+            }
             self.reschedule(flow, now, records, heap, seq, admissions, first_fail, obs);
             return;
         }
@@ -913,6 +1054,17 @@ impl FaultRun<'_> {
         if let Some(obs) = obs {
             obs.queue_wait_ns.record(start - now);
             obs.link_busy(start, serialization, link_id);
+        }
+        if let Some(tr) = self.trace {
+            tr.record_span(
+                Track::Link(link_id),
+                "hop",
+                start,
+                serialization,
+                0,
+                engine_span_id(flow as u64 + 1),
+                vec![("wait", start - now), ("flow", flow as u64)],
+            );
         }
         let header_out = start + spec.latency_ns;
         if hop + 1 < path.len() {
@@ -954,6 +1106,17 @@ impl FaultRun<'_> {
             records[flow].retries += 1;
             if let Some(obs) = obs {
                 obs.retries.inc();
+            }
+            if let Some(tr) = self.trace {
+                tr.record_span(
+                    Track::Engine,
+                    "flow_retry",
+                    now,
+                    0,
+                    0,
+                    engine_span_id(flow as u64 + 1),
+                    vec![("flow", flow as u64), ("attempt", u64::from(failed))],
+                );
             }
             heap.push(Reverse(DynEvent {
                 time_ns: now + self.retry.backoff_ns(failed),

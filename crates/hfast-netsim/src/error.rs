@@ -8,9 +8,8 @@ use crate::fabric::LinkId;
 /// ([`FatTreeFabric::new`](crate::FatTreeFabric::new),
 /// [`TorusFabric::new`](crate::TorusFabric::new)) return it for invalid
 /// shapes, and [`FaultPlanBuilder::build`](crate::FaultPlanBuilder::build)
-/// (plus the deprecated `DegradedFabric` shim) returns it for failure
-/// specifications that do not fit the target fabric — the roles the old
-/// `DegradedError` used to cover.
+/// returns it for failure specifications that do not fit the target
+/// fabric — the roles the old `DegradedError` used to cover.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetsimError {
     /// Fat-tree switches need at least 4 ports (2 down, 2 up).

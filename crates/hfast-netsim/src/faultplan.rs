@@ -8,13 +8,11 @@
 //! [`FaultPlanBuilder::random_link_failures`] draws a seeded batch through
 //! [`hfast_core::seeded_failures`] so the same seed fails the same
 //! components everywhere. [`FaultPlanBuilder::build`] validates every id
-//! against the target fabric, mirroring how the static `DegradedFabric`
-//! wrapper used to validate its failure sets.
+//! against the target fabric.
 //!
 //! [`FaultState`] is the runtime side: the engine folds plan events into it
-//! as simulated time advances, fabrics consult it through
-//! [`Fabric::path_avoiding`](crate::Fabric::path_avoiding), and the
-//! deprecated `DegradedFabric` shim reuses it for its static failure sets.
+//! as simulated time advances and fabrics consult it through
+//! [`Fabric::path_avoiding`](crate::Fabric::path_avoiding).
 
 use crate::error::NetsimError;
 use crate::fabric::{Fabric, LinkId};

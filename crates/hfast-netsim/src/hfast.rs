@@ -90,6 +90,30 @@ impl HfastFabric {
         &self.prov
     }
 
+    /// Which layer of the hybrid fabric a link belongs to: `"fiber"` for
+    /// the fixed node-to-block runs, `"circuit"` for MEMS-patched chain
+    /// and edge circuits, `"tree"` for the low-bandwidth collective
+    /// network. The hotspot analyzer cross-references measured congestion
+    /// against these classes.
+    ///
+    /// # Panics
+    /// If `link` is out of range.
+    pub fn link_class(&self, link: LinkId) -> &'static str {
+        assert!(link < self.links.len(), "link {link} out of range");
+        let fiber_end = 2 * self.prov.n_nodes;
+        let tree_base = self
+            .tree_links
+            .first()
+            .map_or(self.links.len(), |&(up, _)| up);
+        if link < fiber_end {
+            "fiber"
+        } else if link < tree_base {
+            "circuit"
+        } else {
+            "tree"
+        }
+    }
+
     /// Chain links from position `from` to `to` within a cluster.
     fn chain_walk(&self, cluster: usize, from: usize, to: usize, path: &mut Vec<LinkId>) {
         if from <= to {
@@ -340,6 +364,22 @@ mod tests {
         assert!(f.link(fallback[0]).bandwidth < 0.5, "tree is slow");
         assert!(!f.reprovisionable(fallback[0]), "tree is fixed");
         assert!(f.supports_reprovision());
+    }
+
+    #[test]
+    fn link_classes_partition_the_fabric() {
+        let g = ring_graph(8, 1 << 20);
+        let f = hfast_for(&g);
+        let primary = f.path(0, 1).unwrap();
+        assert_eq!(f.link_class(primary[0]), "fiber");
+        assert_eq!(f.link_class(primary[1]), "circuit");
+        assert_eq!(f.link_class(*primary.last().unwrap()), "fiber");
+        let tree = f.path(0, 4).unwrap();
+        assert_eq!(f.link_class(tree[0]), "tree");
+        // Classes agree with reprovisionability: only circuits repatch.
+        for l in 0..f.link_count() {
+            assert_eq!(f.link_class(l) == "circuit", f.reprovisionable(l));
+        }
     }
 
     #[test]

@@ -33,7 +33,6 @@
 
 #![warn(missing_docs)]
 
-pub mod degraded;
 pub mod engine;
 pub mod error;
 pub mod fabric;
@@ -45,8 +44,6 @@ pub mod stats;
 pub mod torus;
 pub mod traffic;
 
-#[allow(deprecated)]
-pub use degraded::DegradedFabric;
 pub use engine::{FlowRecord, PathCache, SimOutput, Simulation};
 pub use error::NetsimError;
 pub use fabric::{Fabric, LinkId, LinkSpec};

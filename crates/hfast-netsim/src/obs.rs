@@ -110,21 +110,16 @@ impl EngineObs {
             .u64("reprovisions", self.reprovisions.get())
             .u64("repatched_links", self.repatched_links.get())
             .u64("cache_evictions", self.cache_evictions.get())
-            .u64(
-                "reroute_p50_ns",
-                self.reroute_latency_ns.quantile_bound(0.5),
-            )
-            .u64(
-                "reroute_p95_ns",
-                self.reroute_latency_ns.quantile_bound(0.95),
-            )
+            .u64("reroute_p50_ns", self.reroute_latency_ns.quantile(0.5))
+            .u64("reroute_p95_ns", self.reroute_latency_ns.quantile(0.95))
+            .u64("reroute_p99_ns", self.reroute_latency_ns.quantile(0.99))
             .u64("heap_peak", self.heap_peak.get())
-            .u64("queue_wait_p50_ns", self.queue_wait_ns.quantile_bound(0.5))
-            .u64("queue_wait_p95_ns", self.queue_wait_ns.quantile_bound(0.95))
-            .raw(
-                "flow_bytes_hist",
-                &hfast_obs::json::buckets_to_json(&self.flow_bytes.nonzero_buckets()),
-            )
+            .u64("queue_wait_p50_ns", self.queue_wait_ns.quantile(0.5))
+            .u64("queue_wait_p95_ns", self.queue_wait_ns.quantile(0.95))
+            .u64("queue_wait_p99_ns", self.queue_wait_ns.quantile(0.99))
+            .u64("flow_bytes_p50", self.flow_bytes.quantile(0.5))
+            .u64("flow_bytes_p95", self.flow_bytes.quantile(0.95))
+            .u64("flow_bytes_p99", self.flow_bytes.quantile(0.99))
             .u64("timeline_events", self.timeline.len() as u64)
             .u64("timeline_dropped", self.timeline.dropped())
             .finish()
@@ -163,7 +158,10 @@ mod tests {
         obs.flow_bytes.record(4096);
         let line = obs.summary_jsonl();
         assert!(line.starts_with(r#"{"event":"netsim_summary","runs":1"#));
-        assert!(line.contains(r#""flow_bytes_hist":[[8191,1]]"#));
+        let p50 = obs.flow_bytes.quantile(0.5);
+        assert!((4096..=8191).contains(&p50), "interpolated within bucket");
+        assert!(line.contains(&format!(r#""flow_bytes_p50":{p50}"#)));
+        assert!(line.contains(r#""queue_wait_p99_ns":0"#));
     }
 
     #[test]

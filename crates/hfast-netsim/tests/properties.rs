@@ -1,13 +1,17 @@
 //! Property-based tests for the discrete-event simulator and fabrics.
 
+use std::collections::HashMap;
+
 use hfast_core::{ProvisionConfig, Provisioning};
 use hfast_netsim::engine::PathCache;
 use hfast_netsim::{
     traffic, transit_links, EngineObs, Fabric, FatTreeFabric, FaultPlan, Flow, HfastFabric,
-    Simulation, TorusFabric,
+    RetryPolicy, Simulation, TorusFabric,
 };
+use hfast_obs::Val;
 use hfast_par::{forall, Rng64};
 use hfast_topology::CommGraph;
+use hfast_trace::{export, parse, validate, TraceRecorder, Track};
 
 fn flows(rng: &mut Rng64, n: usize, max: usize) -> Vec<Flow> {
     (0..rng.range(1, max))
@@ -391,17 +395,144 @@ fn hfast_fabric_paths_agree_with_provisioning_routes() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn degraded_fabric_never_routes_through_failures() {
-    forall("degraded_fabric_never_routes_through_failures", 32, |rng| {
+fn attached_trace_never_changes_results() {
+    // Satellite: a TraceRecorder is strictly write-only from the engine's
+    // perspective — attaching one must leave both the static and the
+    // faulted event loop bit-identical to a bare run.
+    forall("attached_trace_never_changes_results", 32, |rng| {
+        let (fabric, n) = any_fabric(rng);
+        let fabric = fabric.as_ref();
+        let fs = flows(rng, n, 60);
+        let bare = Simulation::new(fabric).detailed().run(&fs);
+        let rec = TraceRecorder::new();
+        let traced = Simulation::new(fabric).with_trace(&rec).detailed().run(&fs);
+        assert_eq!(bare, traced, "tracing perturbed the static loop");
+        assert!(!rec.is_empty() || fs.iter().all(|f| f.src == f.dst));
+
+        // Same invariant through the dynamic (faulted) loop.
+        let eligible = transit_links(fabric, &fs);
+        if eligible.is_empty() {
+            return;
+        }
+        let seed = rng.range_u64(0, u64::MAX - 1);
+        let count = rng.range(1, eligible.len().min(4) + 1);
+        let plan = FaultPlan::builder()
+            .random_link_failures(seed, count, &eligible, (0, 500_000), Some(200_000))
+            .build(fabric)
+            .expect("valid plan");
+        let bare_f = Simulation::new(fabric)
+            .with_faults(&plan)
+            .detailed()
+            .run(&fs);
+        let rec_f = TraceRecorder::new();
+        let traced_f = Simulation::new(fabric)
+            .with_faults(&plan)
+            .with_trace(&rec_f)
+            .detailed()
+            .run(&fs);
+        assert_eq!(bare_f, traced_f, "tracing perturbed the faulted loop");
+    });
+}
+
+#[test]
+fn hop_spans_reconcile_with_engine_obs() {
+    // Satellite: the two observability layers are independent recordings
+    // of the same event loop, so per-link busy time folded from `hop`
+    // spans must equal the sum of the EngineObs `link_busy` timeline —
+    // link for link, nanosecond for nanosecond.
+    forall("hop_spans_reconcile_with_engine_obs", 32, |rng| {
+        let (fabric, n) = any_fabric(rng);
+        let fabric = fabric.as_ref();
+        let fs = flows(rng, n, 50);
+        let obs = EngineObs::with_timeline_capacity(1 << 16);
+        let rec = TraceRecorder::new();
+        Simulation::new(fabric)
+            .with_obs(&obs)
+            .with_trace(&rec)
+            .run(&fs);
+        assert_eq!(obs.timeline.dropped(), 0, "ring too small for this test");
+
+        let mut from_obs: HashMap<u64, u64> = HashMap::new();
+        for ev in obs.timeline.snapshot() {
+            if ev.name == "link_busy" {
+                let link = ev
+                    .fields
+                    .iter()
+                    .find_map(|(k, v)| match (k, v) {
+                        (&"link", Val::U(l)) => Some(*l),
+                        _ => None,
+                    })
+                    .expect("link_busy carries a link id");
+                *from_obs.entry(link).or_default() += ev.dur_ns;
+            }
+        }
+        let mut from_spans: HashMap<u64, u64> = HashMap::new();
+        for s in rec.snapshot() {
+            if let Track::Link(l) = s.track {
+                if s.name == "hop" {
+                    *from_spans.entry(l as u64).or_default() += s.dur_ns;
+                }
+            }
+        }
+        assert_eq!(from_obs, from_spans, "span busy sums diverged from obs");
+    });
+}
+
+#[test]
+fn exporter_round_trips_through_json_parser() {
+    // Satellite: whatever the engine records, the Perfetto exporter's
+    // output must parse with the in-repo JSON parser and validate as
+    // trace-event JSON, with validate()'s event count agreeing with an
+    // independent walk of the parsed traceEvents array.
+    forall("exporter_round_trips_through_json_parser", 32, |rng| {
+        let (fabric, n) = any_fabric(rng);
+        let fabric = fabric.as_ref();
+        let fs = flows(rng, n, 50);
+        let rec = TraceRecorder::new();
+        Simulation::new(fabric).with_trace(&rec).run(&fs);
+        let spans = rec.snapshot();
+        let doc = export(&spans);
+        let parsed = parse(&doc).expect("exporter emitted unparseable JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("document has a traceEvents array");
+        let stats = validate(&doc).expect("exporter emitted invalid trace");
+        let non_meta = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) != Some("M"))
+            .count();
+        assert_eq!(stats.events, non_meta);
+        // Every span produced at least its own event; causal edges add
+        // flow-arrow pairs on top.
+        assert!(stats.events >= spans.len());
+    });
+}
+
+#[test]
+fn fault_plan_never_routes_through_failures() {
+    forall("fault_plan_never_routes_through_failures", 32, |rng| {
         let fs = flows(rng, 27, 30);
         let mut dead: Vec<usize> = (0..rng.range(0, 5)).map(|_| rng.range(0, 27)).collect();
         dead.sort_unstable();
         dead.dedup();
         let torus = TorusFabric::new((3, 3, 3)).expect("valid shape");
-        let degraded =
-            hfast_netsim::DegradedFabric::new(&torus, dead.clone(), []).expect("in-range failures");
-        let stats = Simulation::new(&degraded).run(&fs).stats;
+        let mut builder = FaultPlan::builder();
+        for &n in &dead {
+            builder = builder.fail_node(0, n);
+        }
+        let plan = builder.build(&torus).expect("in-range failures");
+        // One attempt, no recoveries: dead endpoints stay dead, matching
+        // the static failure sets the old DegradedFabric shim modeled.
+        let stats = Simulation::new(&torus)
+            .with_faults(&plan)
+            .with_retry(RetryPolicy {
+                max_attempts: 1,
+                base_backoff_ns: 1,
+                max_backoff_ns: 1,
+            })
+            .run(&fs)
+            .stats;
         let involving_dead = fs
             .iter()
             .filter(|f| dead.contains(&f.src) || dead.contains(&f.dst))

@@ -111,6 +111,43 @@ impl Histogram {
         bucket_bound(BUCKETS - 1)
     }
 
+    /// Interpolated q-quantile (0.0–1.0) from the log₂ buckets; 0 when
+    /// empty.
+    ///
+    /// Where [`quantile_bound`](Histogram::quantile_bound) reports the
+    /// bucket's upper bound (an overestimate by up to 2×), this linearly
+    /// interpolates by rank position inside the bucket that crosses the
+    /// threshold, assuming observations spread uniformly across the
+    /// bucket's `[2^(i-1), 2^i)` range — the estimator summaries should
+    /// print (p50/p95/p99) instead of raw bucket dumps.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= threshold {
+                if i == 0 {
+                    return 0;
+                }
+                // Rank position inside this bucket, in (0, 1].
+                let into = (threshold - cum) as f64 / c as f64;
+                let lo = if i == 1 { 1 } else { 1u64 << (i - 1) };
+                let hi = bucket_bound(i);
+                let span = (hi - lo) as f64;
+                return lo + (span * into).round() as u64;
+            }
+            cum += c;
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+
     /// Non-empty buckets as `(upper_bound, count)` pairs, for compact
     /// export.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
@@ -185,6 +222,37 @@ mod tests {
         assert!((500..=1023).contains(&p50), "p50 bound {p50}");
         assert!(h.quantile_bound(1.0) >= 1000);
         assert_eq!(Histogram::new().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        // 500 observations land in buckets up to [256, 511]; interpolation
+        // keeps the estimate near the true median instead of the 1023
+        // bucket bound.
+        assert!(
+            (350..=700).contains(&p50),
+            "interpolated p50 {p50} near true 500"
+        );
+        assert!(h.quantile(0.99) <= h.quantile_bound(0.99));
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+        // Only zeros: the zero bucket answers every quantile.
+        let z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_exact_for_single_value_buckets() {
+        let h = Histogram::new();
+        h.record(1); // bucket [1, 1]
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(1.0), 1);
     }
 
     #[test]

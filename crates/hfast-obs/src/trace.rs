@@ -104,12 +104,28 @@ pub struct Tracer {
     ring: Mutex<Ring>,
 }
 
-/// Default event capacity.
+/// Default event capacity (overridable via `HFAST_OBS_RING`).
 pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// The default ring capacity: [`DEFAULT_CAPACITY`] unless the
+/// `HFAST_OBS_RING` environment variable holds a positive integer. Probed
+/// once per process.
+pub fn default_capacity() -> usize {
+    static CAPACITY: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CAPACITY.get_or_init(|| {
+        parse_ring_override(std::env::var("HFAST_OBS_RING").ok().as_deref())
+            .unwrap_or(DEFAULT_CAPACITY)
+    })
+}
+
+/// Pure parser behind [`default_capacity`]: the override, if valid.
+pub fn parse_ring_override(value: Option<&str>) -> Option<usize> {
+    value?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
 
 impl Default for Tracer {
     fn default() -> Self {
-        Tracer::new(DEFAULT_CAPACITY)
+        Tracer::new(default_capacity())
     }
 }
 
@@ -198,8 +214,23 @@ impl Tracer {
     }
 
     /// Serializes the retained events as JSON Lines.
+    ///
+    /// When the ring evicted anything, a final `trace_truncated` record
+    /// reports how many events were dropped and the retaining capacity —
+    /// otherwise a full-looking export would silently hide the truncation.
     pub fn jsonl_lines(&self) -> Vec<String> {
-        self.snapshot().iter().map(ToJsonl::to_jsonl).collect()
+        let mut lines: Vec<String> = self.snapshot().iter().map(ToJsonl::to_jsonl).collect();
+        let dropped = self.dropped();
+        if dropped > 0 {
+            lines.push(
+                JsonObj::new()
+                    .str("event", "trace_truncated")
+                    .u64("dropped", dropped)
+                    .usize("capacity", self.capacity)
+                    .finish(),
+            );
+        }
+        lines
     }
 }
 
@@ -270,6 +301,33 @@ mod tests {
         assert_eq!(t.dropped(), 7);
         let ts: Vec<u64> = t.snapshot().iter().map(|e| e.t_ns).collect();
         assert_eq!(ts, vec![7, 8, 9], "newest survive");
+        let lines = t.jsonl_lines();
+        assert_eq!(lines.len(), 4, "3 events + 1 truncation record");
+        assert_eq!(
+            lines[3],
+            r#"{"event":"trace_truncated","dropped":7,"capacity":3}"#
+        );
+    }
+
+    #[test]
+    fn untruncated_export_has_no_truncation_record() {
+        let t = Tracer::new(8);
+        t.record_at(1, 0, "a", vec![]);
+        assert_eq!(t.jsonl_lines().len(), 1);
+    }
+
+    #[test]
+    fn ring_override_parsing() {
+        assert_eq!(parse_ring_override(None), None);
+        assert_eq!(parse_ring_override(Some("")), None);
+        assert_eq!(parse_ring_override(Some("0")), None);
+        assert_eq!(parse_ring_override(Some("nope")), None);
+        assert_eq!(parse_ring_override(Some(" 128 ")), Some(128));
+        // Whatever the environment says, the probed value is stable and
+        // positive.
+        let cap = default_capacity();
+        assert!(cap > 0);
+        assert_eq!(default_capacity(), cap);
     }
 
     #[test]

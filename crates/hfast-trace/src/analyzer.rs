@@ -1,0 +1,243 @@
+//! Congestion analysis over per-link hop spans.
+//!
+//! The simulator records one `hop` span per message per link (start = when
+//! the link began serializing, duration = serialization time, `wait` field
+//! = queueing delay before the link freed up). Folding those intervals per
+//! link yields the congestion picture Jha et al. argue is the diagnosable
+//! unit of interconnect behaviour: busy/wait totals, peak queue depth, and
+//! bucketed utilization/queue-depth timelines, ranked into a hotspot
+//! table.
+
+use std::collections::BTreeMap;
+
+use crate::span::{SpanRecord, Track};
+
+/// Folded load for one link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkLoad {
+    /// Link id (the fabric's `LinkId`).
+    pub link: usize,
+    /// Total serialization time on the link.
+    pub busy_ns: u64,
+    /// Total queueing delay suffered by messages before this link.
+    pub wait_ns: u64,
+    /// Messages that crossed the link.
+    pub messages: u64,
+    /// Peak number of messages simultaneously queued or serializing.
+    pub peak_queue: usize,
+    /// `busy_ns` over the trace horizon (max span end across all links).
+    pub utilization: f64,
+}
+
+fn hop_intervals(spans: &[SpanRecord]) -> BTreeMap<usize, Vec<&SpanRecord>> {
+    let mut by_link: BTreeMap<usize, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        if let Track::Link(l) = s.track {
+            if s.dur_ns > 0 {
+                by_link.entry(l).or_default().push(s);
+            }
+        }
+    }
+    by_link
+}
+
+fn wait_of(s: &SpanRecord) -> u64 {
+    s.fields
+        .iter()
+        .find(|(k, _)| *k == "wait")
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// Folds hop spans into per-link loads, ranked by descending busy time
+/// (link id breaks ties). Links with no hop spans do not appear.
+pub fn rank_hotspots(spans: &[SpanRecord]) -> Vec<LinkLoad> {
+    let by_link = hop_intervals(spans);
+    let horizon = by_link
+        .values()
+        .flat_map(|v| v.iter().map(|s| s.t_ns + s.dur_ns))
+        .max()
+        .unwrap_or(0);
+
+    let mut loads: Vec<LinkLoad> = by_link
+        .into_iter()
+        .map(|(link, hops)| {
+            let busy_ns: u64 = hops.iter().map(|s| s.dur_ns).sum();
+            let wait_ns: u64 = hops.iter().map(|s| wait_of(s)).sum();
+
+            // Peak queue depth: sweep arrivals (+1) and departures (-1);
+            // at equal times departures land first so a message arriving
+            // exactly as another finishes does not count as overlap.
+            let mut edges: Vec<(u64, i32)> = Vec::with_capacity(hops.len() * 2);
+            for s in &hops {
+                let arrival = s.t_ns.saturating_sub(wait_of(s));
+                edges.push((arrival, 1));
+                edges.push((s.t_ns + s.dur_ns, -1));
+            }
+            edges.sort_by_key(|&(t, d)| (t, d));
+            let mut depth = 0i32;
+            let mut peak = 0i32;
+            for (_, d) in edges {
+                depth += d;
+                peak = peak.max(depth);
+            }
+
+            LinkLoad {
+                link,
+                busy_ns,
+                wait_ns,
+                messages: hops.len() as u64,
+                peak_queue: peak.max(0) as usize,
+                utilization: if horizon > 0 {
+                    busy_ns as f64 / horizon as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    loads.sort_by(|a, b| b.busy_ns.cmp(&a.busy_ns).then(a.link.cmp(&b.link)));
+    loads
+}
+
+/// Fraction of each of `buckets` equal time slices (over `[0, horizon)`)
+/// that `link` spent serializing. Empty when the link has no hops or the
+/// horizon is zero.
+pub fn utilization_timeline(
+    spans: &[SpanRecord],
+    link: usize,
+    horizon_ns: u64,
+    buckets: usize,
+) -> Vec<f64> {
+    if horizon_ns == 0 || buckets == 0 {
+        return Vec::new();
+    }
+    let mut busy = vec![0u64; buckets];
+    let width = horizon_ns.div_ceil(buckets as u64).max(1);
+    for s in spans {
+        if s.track != Track::Link(link) || s.dur_ns == 0 {
+            continue;
+        }
+        let (start, end) = (s.t_ns, s.t_ns + s.dur_ns);
+        let first = (start / width) as usize;
+        let last = (((end - 1) / width) as usize).min(buckets - 1);
+        for (b, slot) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
+            let b_start = b as u64 * width;
+            let b_end = b_start + width;
+            let overlap = end.min(b_end).saturating_sub(start.max(b_start));
+            *slot += overlap;
+        }
+    }
+    busy.into_iter().map(|b| b as f64 / width as f64).collect()
+}
+
+/// Peak queue depth of `link` within each of `buckets` equal slices of
+/// `[0, horizon)`. A message occupies the queue from its arrival
+/// (`t_ns - wait`) until its serialization ends.
+pub fn queue_depth_timeline(
+    spans: &[SpanRecord],
+    link: usize,
+    horizon_ns: u64,
+    buckets: usize,
+) -> Vec<usize> {
+    if horizon_ns == 0 || buckets == 0 {
+        return Vec::new();
+    }
+    let width = horizon_ns.div_ceil(buckets as u64).max(1);
+    let mut edges: Vec<(u64, i32)> = Vec::new();
+    for s in spans {
+        if s.track != Track::Link(link) || s.dur_ns == 0 {
+            continue;
+        }
+        edges.push((s.t_ns.saturating_sub(wait_of(s)), 1));
+        edges.push((s.t_ns + s.dur_ns, -1));
+    }
+    edges.sort_by_key(|&(t, d)| (t, d));
+    let mut out = vec![0usize; buckets];
+    let mut depth = 0i32;
+    for (t, d) in edges {
+        depth += d;
+        if d > 0 {
+            let b = ((t / width) as usize).min(buckets - 1);
+            out[b] = out[b].max(depth.max(0) as usize);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(link: usize, t: u64, dur: u64, wait: u64) -> SpanRecord {
+        SpanRecord {
+            track: Track::Link(link),
+            name: "hop",
+            t_ns: t,
+            dur_ns: dur,
+            span_id: 0,
+            parent_id: 0,
+            fields: vec![("wait", wait)],
+        }
+    }
+
+    #[test]
+    fn ranks_by_busy_time() {
+        let spans = vec![
+            hop(1, 0, 10, 0),
+            hop(2, 0, 30, 5),
+            hop(2, 40, 30, 0),
+            hop(3, 0, 50, 0),
+        ];
+        let loads = rank_hotspots(&spans);
+        assert_eq!(loads[0].link, 2, "60 ns busy wins");
+        assert_eq!(loads[0].busy_ns, 60);
+        assert_eq!(loads[0].wait_ns, 5);
+        assert_eq!(loads[0].messages, 2);
+        assert_eq!(loads[1].link, 3);
+        assert_eq!(loads[2].link, 1);
+        // Horizon is 70 (link 2's last hop ends at 70).
+        assert!((loads[1].utilization - 50.0 / 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_queue_counts_overlap() {
+        // Three messages contend: arrivals at 0, 0, 5; the link serializes
+        // them back to back (10 ns each).
+        let spans = vec![hop(4, 0, 10, 0), hop(4, 10, 10, 10), hop(4, 20, 10, 15)];
+        let loads = rank_hotspots(&spans);
+        assert_eq!(loads[0].peak_queue, 3);
+        // Back-to-back without waits: no overlap.
+        let serial = vec![hop(5, 0, 10, 0), hop(5, 10, 10, 0)];
+        assert_eq!(rank_hotspots(&serial)[0].peak_queue, 1);
+    }
+
+    #[test]
+    fn utilization_timeline_buckets_overlap() {
+        // One 50 ns hop over a 100 ns horizon in 4 buckets of 25 ns.
+        let spans = vec![hop(1, 0, 50, 0)];
+        let tl = utilization_timeline(&spans, 1, 100, 4);
+        assert_eq!(tl.len(), 4);
+        assert!((tl[0] - 1.0).abs() < 1e-12);
+        assert!((tl[1] - 1.0).abs() < 1e-12);
+        assert_eq!(tl[2], 0.0);
+        assert_eq!(tl[3], 0.0);
+        assert!(utilization_timeline(&spans, 2, 100, 4)
+            .iter()
+            .all(|&f| f == 0.0));
+        assert!(utilization_timeline(&spans, 1, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn queue_depth_timeline_places_arrivals() {
+        let spans = vec![hop(1, 10, 10, 10), hop(1, 20, 10, 15)];
+        // Arrivals at 0 and 5; both pending in bucket 0 of [0, 40)/4.
+        let tl = queue_depth_timeline(&spans, 1, 40, 4);
+        assert_eq!(tl[0], 2);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(rank_hotspots(&[]).is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Flamegraph-style self/total aggregation per span name.
+//!
+//! Spans on one track nest by interval containment (a `hop` inside its
+//! `flow`, a `wait` inside a collective). Folding them gives the classic
+//! flamegraph numbers: *total* time (span durations summed) and *self*
+//! time (total minus time spent in nested child spans on the same track),
+//! per span name across all tracks.
+
+use std::collections::BTreeMap;
+
+use crate::span::SpanRecord;
+
+/// Aggregated self/total times for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallAgg {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of spans.
+    pub count: u64,
+    /// Sum of durations.
+    pub total_ns: u64,
+    /// Sum of durations minus nested same-track child time.
+    pub self_ns: u64,
+}
+
+/// Folds spans into per-name self/total aggregates, sorted by descending
+/// total time (name breaks ties).
+///
+/// Nesting is inferred per track from interval containment: while the
+/// stack top ends at or before the next span starts it is popped; the
+/// remaining top, if any, is the parent and loses the child's duration
+/// from its self time. Instants (`dur_ns == 0`) are ignored.
+pub fn aggregate(spans: &[SpanRecord]) -> Vec<CallAgg> {
+    // Group span indices per track.
+    let mut by_track: BTreeMap<_, Vec<usize>> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.dur_ns > 0 {
+            by_track.entry(s.track).or_default().push(i);
+        }
+    }
+
+    let mut agg: BTreeMap<&'static str, CallAgg> = BTreeMap::new();
+    for (_, mut idxs) in by_track {
+        // Earlier start first; at equal starts the longer span encloses.
+        idxs.sort_by_key(|&i| (spans[i].t_ns, u64::MAX - spans[i].dur_ns));
+        let mut child_time: Vec<u64> = vec![0; idxs.len()];
+        let mut stack: Vec<usize> = Vec::new(); // indices into idxs
+        for pos in 0..idxs.len() {
+            let s = &spans[idxs[pos]];
+            while let Some(&top) = stack.last() {
+                let t = &spans[idxs[top]];
+                if t.t_ns + t.dur_ns <= s.t_ns {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&parent) = stack.last() {
+                child_time[parent] += s.dur_ns;
+            }
+            stack.push(pos);
+        }
+        for (pos, &i) in idxs.iter().enumerate() {
+            let s = &spans[i];
+            let e = agg.entry(s.name).or_insert(CallAgg {
+                name: s.name,
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+            });
+            e.count += 1;
+            e.total_ns += s.dur_ns;
+            e.self_ns += s.dur_ns.saturating_sub(child_time[pos]);
+        }
+    }
+
+    let mut out: Vec<CallAgg> = agg.into_values().collect();
+    out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(b.name)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Track;
+
+    fn span(track: Track, name: &'static str, t: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            track,
+            name,
+            t_ns: t,
+            dur_ns: dur,
+            span_id: 0,
+            parent_id: 0,
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn nested_child_subtracts_from_parent_self() {
+        let spans = vec![
+            span(Track::Rank(0), "allreduce", 0, 100),
+            span(Track::Rank(0), "send", 10, 30),
+            span(Track::Rank(0), "recv", 50, 20),
+        ];
+        let agg = aggregate(&spans);
+        let all = agg.iter().find(|a| a.name == "allreduce").unwrap();
+        assert_eq!(all.total_ns, 100);
+        assert_eq!(all.self_ns, 50, "100 - 30 - 20");
+        let send = agg.iter().find(|a| a.name == "send").unwrap();
+        assert_eq!(send.self_ns, 30, "leaf keeps all its time");
+        assert_eq!(agg[0].name, "allreduce", "sorted by total desc");
+    }
+
+    #[test]
+    fn sibling_tracks_do_not_nest() {
+        let spans = vec![
+            span(Track::Rank(0), "send", 0, 100),
+            span(Track::Rank(1), "recv", 10, 50),
+        ];
+        let agg = aggregate(&spans);
+        let send = agg.iter().find(|a| a.name == "send").unwrap();
+        assert_eq!(send.self_ns, 100, "other track's span is not a child");
+    }
+
+    #[test]
+    fn back_to_back_spans_are_siblings() {
+        let spans = vec![
+            span(Track::Rank(0), "a", 0, 10),
+            span(Track::Rank(0), "b", 10, 10),
+        ];
+        let agg = aggregate(&spans);
+        for a in &agg {
+            assert_eq!(a.self_ns, a.total_ns);
+        }
+    }
+
+    #[test]
+    fn instants_are_ignored() {
+        let spans = vec![
+            span(Track::Rank(0), "send", 0, 10),
+            span(Track::Rank(0), "fault", 5, 0),
+        ];
+        let agg = aggregate(&spans);
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].name, "send");
+        assert_eq!(agg[0].self_ns, 10);
+    }
+}

@@ -1,0 +1,216 @@
+//! Span records, causal contexts, and the shared recorder.
+//!
+//! A [`SpanContext`] is the four-word stamp that rides inside an
+//! `hfast-mpi` message envelope: trace id, span id, parent span id, and a
+//! Lamport logical clock. Every id derives from logical clocks — rank
+//! counters on the MPI side, the event-loop sequence on the simulator
+//! side — so identical runs produce identical traces regardless of
+//! wall-clock or thread scheduling.
+//!
+//! Spans from different subsystems land in one [`TraceRecorder`] keyed by
+//! [`Track`]: rank timelines, per-link timelines, and the engine/reconfig
+//! control tracks. The Perfetto exporter turns each track into a thread
+//! row; the analyzer folds the link tracks into congestion timelines.
+
+use std::sync::Mutex;
+
+/// Bit marking engine-allocated span ids; rank ids never set it.
+pub const ENGINE_SPAN_BASE: u64 = 1 << 63;
+
+/// Span id for the `counter`-th span opened by `rank`.
+///
+/// Rank ids live in `[(rank+1) << 32, (rank+2) << 32)`; two ranks can
+/// never collide and the zero id is reserved for "no parent".
+#[inline]
+pub fn rank_span_id(rank: usize, counter: u64) -> u64 {
+    ((rank as u64 + 1) << 32) | (counter & 0xFFFF_FFFF)
+}
+
+/// Span id for the `counter`-th span allocated by the (single-threaded)
+/// simulator event loop or reconfig engine. Disjoint from every rank id.
+#[inline]
+pub fn engine_span_id(counter: u64) -> u64 {
+    ENGINE_SPAN_BASE | counter
+}
+
+/// The causal stamp carried inside a message envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// Trace this span belongs to (one per world/simulation run).
+    pub trace_id: u64,
+    /// This span's id (see [`rank_span_id`] / [`engine_span_id`]).
+    pub span_id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent_id: u64,
+    /// Lamport clock: send increments, recv takes `max(local, stamp) + 1`.
+    pub clock: u64,
+}
+
+impl SpanContext {
+    /// A root context (no parent) at logical time `clock`.
+    pub fn root(trace_id: u64, span_id: u64, clock: u64) -> Self {
+        SpanContext {
+            trace_id,
+            span_id,
+            parent_id: 0,
+            clock,
+        }
+    }
+
+    /// A child of `self` with a fresh span id at logical time `clock`.
+    pub fn child(&self, span_id: u64, clock: u64) -> Self {
+        SpanContext {
+            trace_id: self.trace_id,
+            span_id,
+            parent_id: self.span_id,
+            clock,
+        }
+    }
+}
+
+/// The timeline a span renders on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// One per MPI rank thread.
+    Rank(usize),
+    /// One per fabric link (simulator hop spans).
+    Link(usize),
+    /// The simulator event loop (flow lifecycles, fault instants).
+    Engine,
+    /// The reconfiguration engine (sync points, repatches).
+    Reconfig,
+}
+
+/// One closed span (or instant, when `dur_ns == 0`) on a track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Timeline this span belongs to.
+    pub track: Track,
+    /// Span name (`send`, `recv`, `flow`, `hop`, ...).
+    pub name: &'static str,
+    /// Start, nanoseconds on the track's clock (MPI: monotonic-per-world
+    /// microstep derived from logical clocks; simulator: virtual time).
+    pub t_ns: u64,
+    /// Duration; 0 marks an instant annotation.
+    pub dur_ns: u64,
+    /// This span's id (0 allowed for pure annotations).
+    pub span_id: u64,
+    /// Causal parent's span id, 0 for roots.
+    pub parent_id: u64,
+    /// Numeric payload fields (kept numeric for determinism and size).
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+/// Thread-safe, unbounded collector of [`SpanRecord`]s for one run.
+///
+/// Unbounded on purpose: unlike the `hfast-obs` ring (an always-on
+/// low-cost monitor), the recorder only exists when `HFAST_TRACE` asked
+/// for a full capture, and the exporters need every span to reconstruct
+/// causality. Recording is a mutex push; contention is irrelevant next to
+/// the channel send it piggybacks on.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Appends one span record.
+    pub fn record(&self, span: SpanRecord) {
+        self.spans
+            .lock()
+            .expect("trace recorder poisoned")
+            .push(span);
+    }
+
+    /// Appends a span built from parts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span(
+        &self,
+        track: Track,
+        name: &'static str,
+        t_ns: u64,
+        dur_ns: u64,
+        span_id: u64,
+        parent_id: u64,
+        fields: Vec<(&'static str, u64)>,
+    ) {
+        self.record(SpanRecord {
+            track,
+            name,
+            t_ns,
+            dur_ns,
+            span_id,
+            parent_id,
+            fields,
+        });
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("trace recorder poisoned").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out all spans in a deterministic order: sorted by
+    /// `(track, t_ns, span_id, name)`. Recording order depends on thread
+    /// interleaving; the sort restores the determinism contract for
+    /// exports.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut spans = self.spans.lock().expect("trace recorder poisoned").clone();
+        spans.sort_by(|a, b| {
+            (a.track, a.t_ns, a.span_id, a.name).cmp(&(b.track, b.t_ns, b.span_id, b.name))
+        });
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_id_spaces_are_disjoint() {
+        let rank_ids: Vec<u64> = (0..8).map(|r| rank_span_id(r, 5)).collect();
+        for (i, &a) in rank_ids.iter().enumerate() {
+            assert_ne!(a, 0);
+            assert_eq!(a & ENGINE_SPAN_BASE, 0, "rank ids never set the engine bit");
+            for &b in &rank_ids[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_ne!(engine_span_id(5), rank_span_id(0, 5));
+        assert_eq!(engine_span_id(7) & ENGINE_SPAN_BASE, ENGINE_SPAN_BASE);
+    }
+
+    #[test]
+    fn context_child_links_parent() {
+        let root = SpanContext::root(9, rank_span_id(0, 1), 1);
+        let child = root.child(rank_span_id(1, 1), 4);
+        assert_eq!(child.trace_id, 9);
+        assert_eq!(child.parent_id, root.span_id);
+        assert_eq!(child.clock, 4);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let rec = TraceRecorder::new();
+        rec.record_span(Track::Link(3), "hop", 10, 5, 2, 1, vec![]);
+        rec.record_span(Track::Rank(0), "send", 20, 5, 1, 0, vec![("bytes", 64)]);
+        rec.record_span(Track::Rank(0), "send", 5, 5, 3, 0, vec![]);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].t_ns, 5, "rank track first, time-ordered");
+        assert_eq!(snap[1].t_ns, 20);
+        assert_eq!(snap[2].track, Track::Link(3));
+        assert_eq!(rec.snapshot(), snap, "snapshot is reproducible");
+    }
+}

@@ -2,26 +2,27 @@
 # Runs every bench suite and assembles the results into BENCH_<tag>.json
 # at the repo root (one JSON document: {"tag": ..., "results": [...]}).
 #
-# Usage: scripts/bench.sh [tag]        (default tag: pr3)
+# Usage: scripts/bench.sh [tag]        (default tag: pr4)
 #   HFAST_BENCH_FAST=1 scripts/bench.sh   # quick smoke pass
 #
-# When a BENCH_pr2.json (or, failing that, BENCH_pr1.json) baseline exists,
-# the netsim suite also records the faults-off overhead guard
-# (guard/faults_off_vs_pr2: fastest fault-free cold-run sample over the
-# baseline's, drift-normalized by a calibration case; must stay <= 1.05).
+# When a BENCH_pr3.json (or an earlier PR's) baseline exists, the netsim
+# suite also records the trace-off overhead guard (guard/trace_off_vs_pr3:
+# fastest trace-free cold-run sample over the baseline's,
+# drift-normalized by a calibration case; must stay <= 1.05).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-pr3}"
+TAG="${1:-pr4}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 export HFAST_BENCH_JSON="$TMP"
-if [[ -f BENCH_pr2.json ]]; then
-  export HFAST_BENCH_BASELINE="$PWD/BENCH_pr2.json"
-elif [[ -f BENCH_pr1.json ]]; then
-  export HFAST_BENCH_BASELINE="$PWD/BENCH_pr1.json"
-fi
+for base in BENCH_pr3.json BENCH_pr2.json BENCH_pr1.json; do
+  if [[ -f "$base" ]]; then
+    export HFAST_BENCH_BASELINE="$PWD/$base"
+    break
+  fi
+done
 
 # topology must run before netsim: the netsim overhead guard normalizes
 # its cross-session ratio by a topology case (code untouched across PRs)

@@ -11,4 +11,11 @@ cargo test --doc --workspace -q
 # Fault-replay smoke: exits non-zero unless HFAST beats the fat tree in
 # goodput on every (app, failure-rate) cell.
 cargo run --release -q -p hfast-bench --bin faults_replay > /dev/null
+# Hotspot-analyzer smoke on one app: exits non-zero unless the traced
+# replay's hottest HFAST transit link is circuit-switched.
+cargo run --release -q -p hfast-bench --bin hotspots -- GTC > /dev/null
+# Trace capture + JSON validation (GTC, P=256): exits non-zero unless the
+# exported document is valid trace-event JSON with one track per rank and
+# per used link and zero orphan recv spans.
+cargo run --release -q -p hfast-bench --bin trace_capture > /dev/null
 echo "verify: OK"

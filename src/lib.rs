@@ -12,6 +12,8 @@
 //! * [`netsim`] — discrete-event simulator for fat-tree/torus/HFAST fabrics.
 //! * [`obs`] — zero-dependency observability: counters, histograms, traces,
 //!   and the `HFAST_OBS` JSON Lines export switch.
+//! * [`trace`] — causal span tracing across ranks and fabric links, Perfetto
+//!   export, and congestion analysis behind the `HFAST_TRACE` switch.
 
 #![warn(missing_docs)]
 
@@ -22,3 +24,4 @@ pub use hfast_mpi as mpi;
 pub use hfast_netsim as netsim;
 pub use hfast_obs as obs;
 pub use hfast_topology as topology;
+pub use hfast_trace as trace;
