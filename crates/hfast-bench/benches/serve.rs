@@ -1,0 +1,103 @@
+//! Benchmarks of the serving daemon: request round-trip latencies over a
+//! real socket (cache hit versus compute), a sustained closed-loop load
+//! (throughput and tail latency, recorded for `BENCH_<tag>.json`), and
+//! the observability ablation — the full per-request `ServeObs` record
+//! sequence priced against the bare handler call.
+
+use hfast_bench::{loadgen, Harness};
+use hfast_obs::ServeObs;
+use hfast_serve::{
+    encode_request, execute, start, AppSpec, Client, Registry, Request, ServerConfig, ENDPOINTS,
+};
+
+fn main() {
+    let mut h = Harness::new("serve");
+    let fast = std::env::var("HFAST_BENCH_FAST").is_ok_and(|v| v != "0");
+
+    let app = AppSpec::Inline {
+        n: 32,
+        edges: (0..32)
+            .map(|i| (i, (i + 1) % 32, 1 << 16, 16, 4096))
+            .collect(),
+    };
+    let tdc = Request::Tdc {
+        app,
+        cutoffs: vec![0, 2048, 64 << 10],
+    };
+
+    // Socket round-trips against a live daemon: the cache-hit path (conn
+    // thread only) and the compute path (cache defeated by a changing
+    // cutoff, so every call crosses the queue and a worker).
+    let server = start("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let tdc_payload = encode_request(&tdc);
+    client.call_raw(&tdc_payload).expect("prime cache");
+    h.bench("serve/roundtrip/cache-hit", || {
+        client.call_raw(&tdc_payload).expect("cached call")
+    });
+    let mut cutoff = 0u64;
+    h.bench("serve/roundtrip/compute", || {
+        cutoff += 1; // distinct request every iteration: always a miss
+        client
+            .call(&Request::Provision {
+                app: provision_app(),
+                block_ports: 16,
+                cutoff,
+            })
+            .expect("compute call")
+    });
+
+    fn provision_app() -> AppSpec {
+        AppSpec::Inline {
+            n: 16,
+            edges: (0..16)
+                .map(|i| (i, (i + 1) % 16, 1 << 14, 8, 2048))
+                .collect(),
+        }
+    }
+
+    // Sustained closed-loop mix over the six paper apps. One measured
+    // run (not a h.bench repeat: the load generator is its own repeated
+    // sampler); throughput and tail latency land in the JSON stream.
+    let load = loadgen::LoadConfig {
+        connections: 4,
+        requests_per_connection: if fast { 25 } else { 100 },
+        ..loadgen::LoadConfig::default()
+    };
+    let report = loadgen::run(&addr, &load);
+    assert_eq!(report.dropped, 0, "load run dropped responses");
+    h.record_value("serve/throughput_rps", report.throughput_rps);
+    h.record_value("serve/p50_ms", report.p50_ns as f64 / 1e6);
+    h.record_value("serve/p99_ms", report.p99_ns as f64 / 1e6);
+
+    let mut drain = Client::connect(&addr).expect("connect for drain");
+    drain.call(&Request::Shutdown).expect("shutdown");
+    server.join();
+
+    // Observability ablation: the bare handler call versus the same call
+    // wrapped in the exact ServeObs sequence the daemon performs per
+    // request (endpoint counter, admission gauge, two histogram records).
+    // The recorded guard is obs-on over obs-off; > 1.05 means metric
+    // collection taxed serving by more than 5%.
+    let registry = Registry::new();
+    h.bench("serve/handle/obs-off", || execute(&tdc, &registry));
+    let obs = ServeObs::new(&ENDPOINTS);
+    h.bench("serve/handle/obs-on", || {
+        obs.record_request(tdc.endpoint_index());
+        obs.request_admitted();
+        obs.queue_wait_ns.record(1_000);
+        let resp = execute(&tdc, &registry);
+        obs.service_ns.record(50_000);
+        obs.request_done();
+        resp
+    });
+    if let (Some(off), Some(on)) = (
+        h.min_ns("serve/handle/obs-off"),
+        h.min_ns("serve/handle/obs-on"),
+    ) {
+        h.record_value("guard/serve_obs_overhead", on / off);
+    }
+
+    h.finish();
+}

@@ -15,10 +15,12 @@
 
 pub mod figures;
 pub mod harness;
+pub mod loadgen;
 pub mod measure;
 pub mod paper;
 pub mod render;
 
 pub use harness::Harness;
+pub use loadgen::{LoadConfig, LoadReport};
 pub use measure::{measure_app, measure_cells, AppRow};
 pub use paper::PAPER_TABLE3;

@@ -24,7 +24,7 @@ use crate::traffic::Flow;
 
 /// Unique-pair count above which missing paths are computed on worker
 /// threads; below it the spawn cost outweighs the routing work.
-const PAR_PATH_THRESHOLD: usize = 64;
+pub(crate) const PAR_PATH_THRESHOLD: usize = 64;
 
 /// Memoized per-(src, dst) routes for a static fabric.
 ///
@@ -127,6 +127,39 @@ impl PathCache {
         self.paths[slot].as_deref()
     }
 
+    /// Number of allocated slots (fresh or stale). Unlike [`len`], this is
+    /// the bound a [`RouteView`] partitions on.
+    ///
+    /// [`len`]: PathCache::len
+    #[inline]
+    pub(crate) fn slot_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The slot of a pair with a *fresh* entry, if any.
+    #[inline]
+    pub(crate) fn fresh_slot(&self, src: usize, dst: usize) -> Option<usize> {
+        let &slot = self.slot_of_pair.get(&(src, dst))?;
+        (!self.stale[slot]).then_some(slot)
+    }
+
+    /// Stores a resolved route for a pair, allocating or refreshing its
+    /// slot (used by warm-cache builders outside a run).
+    pub(crate) fn insert_resolved(&mut self, src: usize, dst: usize, path: Option<Vec<LinkId>>) {
+        match self.slot_of_pair.get(&(src, dst)) {
+            Some(&slot) => {
+                self.paths[slot] = path;
+                self.stale[slot] = false;
+            }
+            None => {
+                let slot = self.paths.len();
+                self.slot_of_pair.insert((src, dst), slot);
+                self.paths.push(path);
+                self.stale.push(false);
+            }
+        }
+    }
+
     /// Resolves every flow's pair (computing missing routes, in parallel
     /// when there are many) and returns each flow's cache slot. Stale
     /// entries count as misses and are recomputed from the fabric's
@@ -182,6 +215,97 @@ impl PathCache {
             self.paths[slot] = fabric.path(s, d);
         }
         slots
+    }
+}
+
+/// Resolved routes for one static run: an immutable base cache plus an
+/// optional local overlay for pairs the base did not cover.
+///
+/// Slots below `base_len` index into `base`; slots at or above it index
+/// into `extra`. The owned-cache path uses `extra: None` (every slot lands
+/// in the caller's cache); the snapshot path leaves the shared base
+/// untouched and resolves strictly-new pairs into a run-private overlay,
+/// which is what lets many concurrent runs read one warm cache without
+/// cloning or locking it.
+struct RouteView<'a> {
+    base: &'a PathCache,
+    base_len: usize,
+    extra: Option<PathCache>,
+    slots: Vec<usize>,
+}
+
+impl RouteView<'_> {
+    /// The route of flow `flow`, wherever its slot lives.
+    #[inline]
+    fn path(&self, flow: usize) -> Option<&[LinkId]> {
+        let slot = self.slots[flow];
+        if slot < self.base_len {
+            self.base.path(slot)
+        } else {
+            self.extra
+                .as_ref()
+                .expect("overlay slots require an overlay")
+                .path(slot - self.base_len)
+        }
+    }
+}
+
+/// Builds a [`RouteView`] over an immutable snapshot: pairs the snapshot
+/// covers (fresh entries) are hits; everything else is resolved into a
+/// run-private overlay, in parallel when there are many, exactly like
+/// [`PathCache::index_flows`].
+fn index_flows_layered<'a>(
+    base: &'a PathCache,
+    fabric: &dyn Fabric,
+    flows: &[Flow],
+    obs: Option<&EngineObs>,
+) -> RouteView<'a> {
+    let base_len = base.slot_count();
+    let mut extra = PathCache::new();
+    let mut slots = Vec::with_capacity(flows.len());
+    let mut missing: Vec<(usize, usize)> = Vec::new();
+    let mut hits = 0u64;
+    for f in flows {
+        assert!(
+            f.src < fabric.nodes() && f.dst < fabric.nodes(),
+            "flow endpoints in range"
+        );
+        if let Some(slot) = base.fresh_slot(f.src, f.dst) {
+            hits += 1;
+            slots.push(slot);
+            continue;
+        }
+        let next = extra.paths.len() + missing.len();
+        let mut fresh = false;
+        let slot = *extra.slot_of_pair.entry((f.src, f.dst)).or_insert_with(|| {
+            missing.push((f.src, f.dst));
+            fresh = true;
+            next
+        });
+        if !fresh {
+            hits += 1;
+        }
+        slots.push(base_len + slot);
+    }
+    if let Some(obs) = obs {
+        obs.cache_hits.add(hits);
+        obs.cache_misses.add(missing.len() as u64);
+    }
+    if missing.len() >= PAR_PATH_THRESHOLD {
+        extra
+            .paths
+            .extend(hfast_par::par_map(missing, |(s, d)| fabric.path(s, d)));
+    } else {
+        extra
+            .paths
+            .extend(missing.into_iter().map(|(s, d)| fabric.path(s, d)));
+    }
+    extra.stale.resize(extra.paths.len(), false);
+    RouteView {
+        base,
+        base_len,
+        extra: Some(extra),
+        slots,
     }
 }
 
@@ -284,6 +408,7 @@ impl SimOutput {
 pub struct Simulation<'a> {
     fabric: &'a dyn Fabric,
     cache: Option<&'a mut PathCache>,
+    snapshot: Option<&'a PathCache>,
     detailed: bool,
     obs: Option<&'a EngineObs>,
     trace: Option<&'a TraceRecorder>,
@@ -299,6 +424,7 @@ impl<'a> Simulation<'a> {
         Simulation {
             fabric,
             cache: None,
+            snapshot: None,
             detailed: false,
             obs: None,
             trace: None,
@@ -312,6 +438,27 @@ impl<'a> Simulation<'a> {
     /// fabric; [`PathCache::clear`] it before switching fabrics).
     pub fn with_cache(mut self, cache: &'a mut PathCache) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Reads routes from an immutable warm-cache snapshot (see
+    /// [`SharedPathCache`](crate::SharedPathCache)) instead of resolving
+    /// them privately: pairs the snapshot covers cost nothing, and only
+    /// strictly-new pairs are routed into a run-private overlay. Because
+    /// the snapshot is never written, any number of concurrent runs can
+    /// share one `Arc<PathCache>` — this is what fixes the cold-start
+    /// rescan a fresh private cache forces on every run.
+    ///
+    /// The snapshot must describe the same fabric. [`with_cache`] takes
+    /// precedence when both are set; fault runs, which rewrite routes
+    /// mid-flight, seed their private cache from a clone of the snapshot.
+    ///
+    /// Results are bit-identical to a run with a private cache (asserted
+    /// by property tests).
+    ///
+    /// [`with_cache`]: Simulation::with_cache
+    pub fn with_snapshot(mut self, snapshot: &'a PathCache) -> Self {
+        self.snapshot = Some(snapshot);
         self
     }
 
@@ -376,16 +523,20 @@ impl<'a> Simulation<'a> {
         let obs = self
             .obs
             .or_else(|| hfast_obs::enabled().then(crate::obs::global));
-        let mut own_cache;
-        let cache = match self.cache {
-            Some(c) => c,
-            None => {
-                own_cache = PathCache::new();
-                &mut own_cache
-            }
-        };
         match self.faults {
             Some(plan) if !plan.is_empty() => {
+                // The dynamic loop rewrites routes in place (detours,
+                // invalidations), so a shared snapshot cannot back it
+                // directly — clone it into the run-private cache instead,
+                // which still saves the cold resolution work.
+                let mut own_cache;
+                let cache = match self.cache {
+                    Some(c) => c,
+                    None => {
+                        own_cache = self.snapshot.cloned().unwrap_or_default();
+                        &mut own_cache
+                    }
+                };
                 let dyn_run = FaultRun {
                     fabric: self.fabric,
                     plan,
@@ -401,7 +552,32 @@ impl<'a> Simulation<'a> {
                 }
             }
             _ => {
-                let (stats, records) = run_event_loop(self.fabric, flows, cache, obs, self.trace);
+                let mut own_cache;
+                let routes = match (self.cache, self.snapshot) {
+                    (Some(cache), _) => {
+                        let slots = cache.index_flows(self.fabric, flows, obs);
+                        let base_len = cache.slot_count();
+                        RouteView {
+                            base: cache,
+                            base_len,
+                            extra: None,
+                            slots,
+                        }
+                    }
+                    (None, Some(snap)) => index_flows_layered(snap, self.fabric, flows, obs),
+                    (None, None) => {
+                        own_cache = PathCache::new();
+                        let slots = own_cache.index_flows(self.fabric, flows, obs);
+                        let base_len = own_cache.slot_count();
+                        RouteView {
+                            base: &own_cache,
+                            base_len,
+                            extra: None,
+                            slots,
+                        }
+                    }
+                };
+                let (stats, records) = run_event_loop(self.fabric, flows, &routes, obs, self.trace);
                 SimOutput {
                     stats,
                     records: self.detailed.then_some(records),
@@ -416,19 +592,18 @@ impl<'a> Simulation<'a> {
 ///
 /// Flows are resolved to cache slots — one stored route per distinct
 /// (src, dst) pair, however many flows repeat it — and the loop reads
-/// routes through the cache, so no per-flow path buffers are allocated.
-/// Observability is strictly read-from: `obs` never influences event
-/// ordering or timing, so an instrumented run returns bit-identical
-/// results (asserted by property tests).
+/// routes through a [`RouteView`], so no per-flow path buffers are
+/// allocated and a shared snapshot is never written. Observability is
+/// strictly read-from: `obs` never influences event ordering or timing,
+/// so an instrumented run returns bit-identical results (asserted by
+/// property tests).
 fn run_event_loop(
     fabric: &dyn Fabric,
     flows: &[Flow],
-    cache: &mut PathCache,
+    routes: &RouteView<'_>,
     obs: Option<&EngineObs>,
     trace: Option<&TraceRecorder>,
 ) -> (RunStats, Vec<FlowRecord>) {
-    let flow_slot = cache.index_flows(fabric, flows, obs);
-
     let mut link_free_at: Vec<u64> = vec![0; fabric.link_count()];
     let mut link_busy_ns: Vec<u64> = vec![0; fabric.link_count()];
     let mut records: Vec<FlowRecord> = flows
@@ -438,7 +613,7 @@ fn run_event_loop(
             flow: i,
             start_ns: f.start_ns,
             end_ns: None,
-            hops: cache.path(flow_slot[i]).map_or(0, <[LinkId]>::len),
+            hops: routes.path(i).map_or(0, <[LinkId]>::len),
             retries: 0,
             abandoned: false,
         })
@@ -447,7 +622,7 @@ fn run_event_loop(
     let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     let mut seq = 0u64;
     for (i, f) in flows.iter().enumerate() {
-        if let Some(p) = cache.path(flow_slot[i]) {
+        if let Some(p) = routes.path(i) {
             if p.is_empty() {
                 records[i].end_ns = Some(f.start_ns); // self-delivery
                 continue;
@@ -466,9 +641,7 @@ fn run_event_loop(
     let mut heap_peak = heap.len();
     while let Some(Reverse(ev)) = heap.pop() {
         n_events += 1;
-        let path = cache
-            .path(flow_slot[ev.flow])
-            .expect("queued flows have paths");
+        let path = routes.path(ev.flow).expect("queued flows have paths");
         let link_id = path[ev.hop];
         let spec = fabric.link(link_id);
         let bytes = flows[ev.flow].bytes;

@@ -43,6 +43,7 @@ pub mod obs;
 pub mod stats;
 pub mod torus;
 pub mod traffic;
+pub mod warm;
 
 pub use engine::{FlowRecord, PathCache, SimOutput, Simulation};
 pub use error::NetsimError;
@@ -57,3 +58,4 @@ pub use obs::EngineObs;
 pub use stats::RunStats;
 pub use torus::TorusFabric;
 pub use traffic::Flow;
+pub use warm::SharedPathCache;

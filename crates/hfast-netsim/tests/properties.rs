@@ -6,7 +6,7 @@ use hfast_core::{ProvisionConfig, Provisioning};
 use hfast_netsim::engine::PathCache;
 use hfast_netsim::{
     traffic, transit_links, EngineObs, Fabric, FatTreeFabric, FaultPlan, Flow, HfastFabric,
-    RetryPolicy, Simulation, TorusFabric,
+    RetryPolicy, SharedPathCache, Simulation, TorusFabric,
 };
 use hfast_obs::Val;
 use hfast_par::{forall, Rng64};
@@ -133,6 +133,127 @@ fn cached_simulation_matches_uncached() {
             assert_eq!(fresh, warm);
         }
         assert!(cache.len() <= 27 * 27);
+    });
+}
+
+#[test]
+fn snapshot_simulation_matches_fresh_and_cached() {
+    // Satellite: a run reading routes from an immutable shared snapshot —
+    // cold, partially warm, or fully warm — must be bit-identical to both
+    // the cache-free run and the private-cache run, and must never mutate
+    // the snapshot it reads.
+    forall("snapshot_simulation_matches_fresh", 48, |rng| {
+        let (fabric, n) = any_fabric(rng);
+        let fabric = fabric.as_ref();
+        let shared = SharedPathCache::new();
+        for round in 0..3 {
+            let fs = flows(rng, n, 80);
+            if round > 0 {
+                // Later rounds warm with a subset so the snapshot is only
+                // partially covering and the overlay path gets exercised.
+                shared.warm(fabric, &fs[..fs.len() / 2]);
+            }
+            let snap = shared.snapshot();
+            let before = snap.len();
+            let fresh = Simulation::new(fabric).detailed().run(&fs);
+            let via_snap = Simulation::new(fabric)
+                .with_snapshot(&snap)
+                .detailed()
+                .run(&fs);
+            let mut cache = PathCache::new();
+            let via_cache = Simulation::new(fabric)
+                .with_cache(&mut cache)
+                .detailed()
+                .run(&fs);
+            assert_eq!(fresh, via_snap, "snapshot run diverged from fresh");
+            assert_eq!(fresh, via_cache, "private-cache run diverged");
+            assert_eq!(snap.len(), before, "run mutated the shared snapshot");
+        }
+    });
+}
+
+#[test]
+fn warmed_snapshot_serves_all_hits() {
+    // After warm() covers a flow set, a snapshot run resolves no new
+    // routes: every flow is a cache hit.
+    forall("warmed_snapshot_serves_all_hits", 32, |rng| {
+        let (fabric, n) = any_fabric(rng);
+        let fabric = fabric.as_ref();
+        let fs = flows(rng, n, 60);
+        let shared = SharedPathCache::new();
+        let snap = shared.warm(fabric, &fs);
+        let obs = EngineObs::new();
+        let out = Simulation::new(fabric)
+            .with_snapshot(&snap)
+            .with_obs(&obs)
+            .run(&fs);
+        assert_eq!(obs.cache_hits.get(), fs.len() as u64, "all hits when warm");
+        assert_eq!(obs.cache_misses.get(), 0);
+        assert_eq!(out.stats, Simulation::new(fabric).run(&fs).stats);
+    });
+}
+
+#[test]
+fn concurrent_snapshot_runs_are_identical() {
+    // Many threads simulating through one snapshot concurrently all get
+    // the single-threaded answer.
+    forall("concurrent_snapshot_runs_are_identical", 16, |rng| {
+        let fabric = TorusFabric::new((3, 3, 3)).expect("valid shape");
+        let fs = flows(rng, 27, 60);
+        let shared = SharedPathCache::new();
+        shared.warm(&fabric, &fs[..fs.len() / 2]);
+        let snap = shared.snapshot();
+        let expected = Simulation::new(&fabric).detailed().run(&fs);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (snap, fabric, fs) = (&snap, &fabric, &fs);
+                    scope.spawn(move || {
+                        Simulation::new(fabric)
+                            .with_snapshot(snap)
+                            .detailed()
+                            .run(fs)
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("no panic"), expected);
+            }
+        });
+    });
+}
+
+#[test]
+fn snapshot_fault_run_matches_private_cache() {
+    // Under faults the snapshot is cloned into the run's own cache; the
+    // replay must still be bit-identical to a fresh private-cache run.
+    forall("snapshot_fault_run_matches_private", 24, |rng| {
+        let fabric = TorusFabric::new((4, 4, 1)).expect("valid shape");
+        let fs = flows(rng, 16, 40);
+        let eligible = transit_links(&fabric, &fs);
+        if eligible.is_empty() {
+            return;
+        }
+        let seed = rng.range_u64(0, u64::MAX - 1);
+        let count = rng.range(1, eligible.len().min(4) + 1);
+        let plan = FaultPlan::builder()
+            .random_link_failures(seed, count, &eligible, (0, 500_000), Some(200_000))
+            .build(&fabric)
+            .expect("valid plan");
+        let shared = SharedPathCache::new();
+        let snap = shared.warm(&fabric, &fs);
+        let before = snap.len();
+        let bare = Simulation::new(&fabric)
+            .with_faults(&plan)
+            .detailed()
+            .run(&fs);
+        let via_snap = Simulation::new(&fabric)
+            .with_snapshot(&snap)
+            .with_faults(&plan)
+            .detailed()
+            .run(&fs);
+        assert_eq!(bare, via_snap, "snapshot perturbed a fault replay");
+        assert_eq!(snap.len(), before, "fault run mutated the snapshot");
     });
 }
 

@@ -73,6 +73,24 @@ impl Gauge {
         self.v.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Adds one (for level gauges like in-flight request counts).
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one, saturating at zero even under racing decrements.
+    #[inline]
+    pub fn dec(&self) {
+        // fetch_update loops only under contention; a level gauge is
+        // touched twice per request, so this is never hot.
+        let _ = self
+            .v
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
@@ -112,6 +130,18 @@ mod tests {
         assert_eq!(g.get(), 99);
         g.set(1);
         assert_eq!(g.get(), 1, "set overwrites");
+    }
+
+    #[test]
+    fn gauge_level_tracking() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 0, "dec saturates at zero");
     }
 
     #[test]

@@ -50,12 +50,14 @@
 pub mod counter;
 pub mod hist;
 pub mod json;
+pub mod serve;
 pub mod sink;
 pub mod trace;
 
 pub use counter::{Counter, Gauge};
 pub use hist::Histogram;
 pub use json::{JsonObj, ToJsonl};
+pub use serve::ServeObs;
 pub use sink::{emit, emit_lines, Sink};
 pub use trace::{Span, TraceEvent, Tracer, Val};
 

@@ -1,0 +1,107 @@
+//! Blocking client for the hfast-serve protocol.
+//!
+//! One [`Client`] wraps one connection and issues closed-loop requests:
+//! write a frame, read a frame. That mirrors how the load generator and
+//! the integration tests drive the daemon, and it is the model under
+//! which the server's per-connection ordering guarantee is defined.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::protocol::{decode_response, encode_request, Request, Response};
+
+/// Why a call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write).
+    Io(io::Error),
+    /// The stream broke mid-frame or a frame was invalid.
+    Frame(FrameError),
+    /// The response frame arrived but did not decode.
+    Decode(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Frame(e) => write!(f, "frame: {e}"),
+            ClientError::Decode(e) => write!(f, "decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// One connection to a running daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (any `ToSocketAddrs`, e.g. `"127.0.0.1:4711"`).
+    ///
+    /// # Errors
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends a request and blocks for its response.
+    ///
+    /// # Errors
+    /// Transport, framing, or decode failure. A [`Response::Error`] is a
+    /// *successful* call — the server answered — not a `ClientError`.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let raw = self.call_raw(&encode_request(req))?;
+        decode_response(&raw).map_err(ClientError::Decode)
+    }
+
+    /// Sends a pre-encoded payload and returns the raw response text.
+    /// Exists so tests can send deliberately malformed payloads (and so
+    /// the load generator can hash exact response bytes).
+    ///
+    /// # Errors
+    /// Transport or framing failure.
+    pub fn call_raw(&mut self, payload: &str) -> Result<String, ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        Ok(read_frame(&mut self.stream)?)
+    }
+
+    /// Writes raw bytes with *no* length prefix, then shuts down the
+    /// write side. For truncation tests only: the server must answer
+    /// nothing and simply drop the connection.
+    ///
+    /// # Errors
+    /// Propagates write/shutdown failures.
+    pub fn send_raw_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Reads until the server closes the stream, returning what arrived.
+    ///
+    /// # Errors
+    /// Propagates read failures other than clean EOF.
+    pub fn drain_bytes(&mut self) -> io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.stream.read_to_end(&mut out)?;
+        Ok(out)
+    }
+}

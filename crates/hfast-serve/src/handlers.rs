@@ -1,0 +1,356 @@
+//! Pure request execution: `Request` in, `Response` out.
+//!
+//! Everything here is a deterministic function of the request plus the
+//! (memoizing, but semantically transparent) [`Registry`] — which is what
+//! makes the response cache sound and worker-count invariance testable.
+//! Server-level concerns (health, stats, shutdown, queueing) never reach
+//! this module.
+
+use hfast_core::{CostComparison, CostModel, ProvisionConfig, Provisioning};
+use hfast_netsim::traffic::flows_from_graph;
+use hfast_netsim::{transit_links, FaultPlan, Simulation};
+use hfast_topology::tdc_sweep;
+
+use crate::protocol::{AppSpec, FabricSpec, FaultSpec, Request, Response, TdcRow};
+use crate::registry::Registry;
+
+/// Upper bound on cutoffs per TDC request (keeps one request's work and
+/// response size proportionate to everyone else's).
+pub const MAX_TDC_CUTOFFS: usize = 64;
+
+fn err(message: impl Into<String>) -> Response {
+    Response::Error {
+        message: message.into(),
+    }
+}
+
+fn provision_for(
+    reg: &Registry,
+    app: &AppSpec,
+    block_ports: usize,
+    cutoff: u64,
+) -> Result<(usize, Provisioning), Response> {
+    if block_ports < 2 {
+        return Err(err(format!(
+            "block_ports must be at least 2, got {block_ports}"
+        )));
+    }
+    let graph = reg.graph(app).map_err(err)?;
+    let prov = Provisioning::per_node(
+        &graph,
+        ProvisionConfig {
+            block_ports,
+            cutoff,
+        },
+    );
+    Ok((graph.n(), prov))
+}
+
+fn simulate(
+    reg: &Registry,
+    app: &AppSpec,
+    fabric: FabricSpec,
+    cutoff: u64,
+    faults: &Option<FaultSpec>,
+) -> Response {
+    let graph = match reg.graph(app) {
+        Ok(g) => g,
+        Err(e) => return err(e),
+    };
+    let block_ports = ProvisionConfig::default().block_ports;
+    let entry = match reg.fabric(&graph, fabric, block_ports, cutoff) {
+        Ok(e) => e,
+        Err(e) => return err(e),
+    };
+    let flows = flows_from_graph(&graph, cutoff);
+    let out = if let Some(spec) = faults {
+        let eligible = transit_links(entry.fabric.as_ref(), &flows);
+        let plan = match FaultPlan::builder()
+            .random_link_failures(
+                spec.seed,
+                spec.count,
+                &eligible,
+                spec.window,
+                spec.downtime_ns,
+            )
+            .build(entry.fabric.as_ref())
+        {
+            Ok(p) => p,
+            Err(e) => return err(format!("fault plan: {e}")),
+        };
+        // Fault runs mutate routes as links fail, so they get a private
+        // cache seeded from the shared snapshot instead of the snapshot
+        // itself.
+        let snap = entry.warm.warm(entry.fabric.as_ref(), &flows);
+        Simulation::new(entry.fabric.as_ref())
+            .with_snapshot(&snap)
+            .with_faults(&plan)
+            .run(&flows)
+    } else {
+        let snap = entry.warm.warm(entry.fabric.as_ref(), &flows);
+        Simulation::new(entry.fabric.as_ref())
+            .with_snapshot(&snap)
+            .run(&flows)
+    };
+    Response::SimReport {
+        completed: out.stats.completed,
+        unrouted: out.stats.unrouted,
+        abandoned: out.stats.abandoned,
+        delivered_bytes: out.stats.delivered_bytes,
+        max_latency_ns: out.stats.max_latency_ns,
+        makespan_ns: out.stats.makespan_ns,
+        total_retries: out.stats.total_retries,
+        reprovisions: out.reprovisions.len(),
+    }
+}
+
+/// Executes one compute request against the registry.
+///
+/// # Panics
+/// [`Request::DebugPanic`] panics by design — callers run this under
+/// `catch_unwind` and must survive (that is the point of the endpoint).
+pub fn execute(req: &Request, reg: &Registry) -> Response {
+    match req {
+        Request::Provision {
+            app,
+            block_ports,
+            cutoff,
+        } => match provision_for(reg, app, *block_ports, *cutoff) {
+            Ok((n, prov)) => Response::Provisioned {
+                n,
+                blocks: prov.total_blocks(),
+                total_block_ports: prov.total_block_ports(),
+                circuit_ports: prov.circuit_ports_used(),
+                ports_per_node: prov.block_ports_per_node(),
+                max_switch_hops: prov.max_route().map_or(0, |r| r.switch_hops),
+            },
+            Err(resp) => resp,
+        },
+        Request::Cost {
+            app,
+            block_ports,
+            cutoff,
+        } => match provision_for(reg, app, *block_ports, *cutoff) {
+            Ok((_, prov)) => {
+                let cmp = CostComparison::of(&prov, &CostModel::default());
+                Response::CostReport {
+                    hfast: cmp.hfast,
+                    fat_tree: cmp.fat_tree,
+                    ratio: cmp.ratio(),
+                    hfast_wins: cmp.hfast_wins(),
+                    hfast_ports_per_node: cmp.hfast_ports_per_node,
+                    fat_tree_ports_per_node: cmp.fat_tree_ports_per_node,
+                }
+            }
+            Err(resp) => resp,
+        },
+        Request::Tdc { app, cutoffs } => {
+            if cutoffs.is_empty() || cutoffs.len() > MAX_TDC_CUTOFFS {
+                return err(format!(
+                    "tdc wants 1..={MAX_TDC_CUTOFFS} cutoffs, got {}",
+                    cutoffs.len()
+                ));
+            }
+            match reg.graph(app) {
+                Ok(graph) => Response::TdcReport {
+                    rows: tdc_sweep(&graph, cutoffs)
+                        .into_iter()
+                        .map(|(cutoff, s)| TdcRow {
+                            cutoff,
+                            max: s.max,
+                            min: s.min,
+                            avg: s.avg,
+                            median: s.median,
+                        })
+                        .collect(),
+                },
+                Err(e) => err(e),
+            }
+        }
+        Request::Simulate {
+            app,
+            fabric,
+            cutoff,
+            faults,
+        } => simulate(reg, app, *fabric, *cutoff, faults),
+        Request::DebugPanic => panic!("debug_panic endpoint exercised"),
+        Request::Health | Request::Stats | Request::Shutdown => err(format!(
+            "{} is handled by the server, not a worker",
+            req.endpoint()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> AppSpec {
+        AppSpec::Inline {
+            n,
+            edges: (0..n)
+                .map(|i| (i, (i + 1) % n, 64 * 1024, 16, 4096))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn provision_reports_port_math() {
+        let reg = Registry::new();
+        let resp = execute(
+            &Request::Provision {
+                app: ring(8),
+                block_ports: 16,
+                cutoff: 2048,
+            },
+            &reg,
+        );
+        let Response::Provisioned {
+            n,
+            blocks,
+            total_block_ports,
+            ..
+        } = resp
+        else {
+            panic!("expected Provisioned, got {resp:?}");
+        };
+        assert_eq!(n, 8);
+        assert!(blocks > 0);
+        assert_eq!(total_block_ports, blocks * 16);
+    }
+
+    #[test]
+    fn cost_ratio_is_consistent() {
+        let reg = Registry::new();
+        let resp = execute(
+            &Request::Cost {
+                app: ring(16),
+                block_ports: 16,
+                cutoff: 2048,
+            },
+            &reg,
+        );
+        let Response::CostReport {
+            hfast,
+            fat_tree,
+            ratio,
+            hfast_wins,
+            ..
+        } = resp
+        else {
+            panic!("expected CostReport, got {resp:?}");
+        };
+        assert!((ratio - hfast / fat_tree).abs() < 1e-12);
+        assert_eq!(hfast_wins, hfast < fat_tree);
+    }
+
+    #[test]
+    fn tdc_rows_follow_request_order() {
+        let reg = Registry::new();
+        let resp = execute(
+            &Request::Tdc {
+                app: ring(8),
+                cutoffs: vec![0, 2048, 1 << 20],
+            },
+            &reg,
+        );
+        let Response::TdcReport { rows } = resp else {
+            panic!("expected TdcReport, got {resp:?}");
+        };
+        assert_eq!(
+            rows.iter().map(|r| r.cutoff).collect::<Vec<_>>(),
+            vec![0, 2048, 1 << 20]
+        );
+        // A 4 KiB max message passes the 2 KiB cutoff but not 1 MiB.
+        assert_eq!(rows[0].max, 2);
+        assert_eq!(rows[1].max, 2);
+        assert_eq!(rows[2].max, 0);
+    }
+
+    #[test]
+    fn simulate_delivers_all_ring_flows() {
+        let reg = Registry::new();
+        let resp = execute(
+            &Request::Simulate {
+                app: ring(8),
+                fabric: FabricSpec::FatTree { ports: 8 },
+                cutoff: 0,
+                faults: None,
+            },
+            &reg,
+        );
+        let Response::SimReport {
+            completed,
+            unrouted,
+            delivered_bytes,
+            ..
+        } = resp
+        else {
+            panic!("expected SimReport, got {resp:?}");
+        };
+        // Two flows per undirected ring edge, each at the edge's mean
+        // message size (64 KiB over 16 messages = 4 KiB).
+        assert_eq!(completed, 16);
+        assert_eq!(unrouted, 0);
+        assert_eq!(delivered_bytes, 16 * 4096);
+    }
+
+    #[test]
+    fn simulate_is_deterministic_with_and_without_warm_cache() {
+        let reg_a = Registry::new();
+        let reg_b = Registry::new();
+        let req = Request::Simulate {
+            app: ring(12),
+            fabric: FabricSpec::Torus { dims: (3, 2, 2) },
+            cutoff: 0,
+            faults: Some(FaultSpec {
+                seed: 7,
+                count: 2,
+                window: (0, 50_000),
+                downtime_ns: Some(100_000),
+            }),
+        };
+        let a = execute(&req, &reg_a);
+        // Second registry: cold caches, same answer. Run twice on reg_a
+        // too so the warmed path is also covered.
+        let b = execute(&req, &reg_b);
+        let c = execute(&req, &reg_a);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn validation_failures_are_structured_errors() {
+        let reg = Registry::new();
+        for req in [
+            Request::Provision {
+                app: ring(4),
+                block_ports: 1,
+                cutoff: 0,
+            },
+            Request::Tdc {
+                app: ring(4),
+                cutoffs: vec![],
+            },
+            Request::Simulate {
+                app: ring(9),
+                fabric: FabricSpec::Torus { dims: (2, 2, 2) },
+                cutoff: 0,
+                faults: None,
+            },
+            Request::Provision {
+                app: AppSpec::Named {
+                    name: "NoSuchApp".into(),
+                    procs: 8,
+                },
+                block_ports: 16,
+                cutoff: 2048,
+            },
+        ] {
+            assert!(
+                matches!(execute(&req, &reg), Response::Error { .. }),
+                "{req:?} should be a structured error"
+            );
+        }
+    }
+}

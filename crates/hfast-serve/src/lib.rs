@@ -1,0 +1,63 @@
+//! Provisioning-as-a-service: a concurrent daemon over the HFAST toolkit.
+//!
+//! Everything this workspace can compute about the paper's applications —
+//! HFAST provisioning, fat-tree cost comparisons, thresholded-degree
+//! sweeps, full traffic replays with optional fault injection — is
+//! exposed here as a network service, so one warm process answers many
+//! clients instead of every caller paying profiling and fabric
+//! construction from scratch.
+//!
+//! The daemon is std-only: `TcpListener` plus a fixed thread pool, a
+//! length-prefixed JSON protocol (the in-repo parser from `hfast-trace`,
+//! no external dependencies), and production shapes scaled down to
+//! something auditable:
+//!
+//! - **Sharded response cache** ([`ResponseCache`]): cacheable endpoints
+//!   are pure functions of their canonical request encoding, so responses
+//!   are memoized under a byte budget with LRU eviction.
+//! - **Admission control**: a bounded queue ahead of the worker pool;
+//!   overflow sheds with [`Response::Busy`], stale queue entries expire
+//!   against a per-request deadline.
+//! - **Panic isolation**: handlers run under `catch_unwind`; a panicking
+//!   request produces a structured error, never a dead worker.
+//! - **Graceful drain**: shutdown stops accepting, finishes in-flight
+//!   work, then flushes `hfast-obs` metrics and the Perfetto trace.
+//!
+//! ```no_run
+//! use hfast_serve::{start, Client, Request, Response, ServerConfig};
+//!
+//! let server = start("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let resp = client
+//!     .call(&Request::Provision {
+//!         app: hfast_serve::AppSpec::Named { name: "GTC".into(), procs: 64 },
+//!         block_ports: 16,
+//!         cutoff: 2048,
+//!     })
+//!     .unwrap();
+//! assert!(matches!(resp, Response::Provisioned { .. }));
+//! client.call(&Request::Shutdown).unwrap();
+//! server.join();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod frame;
+pub mod handlers;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheStats, ResponseCache};
+pub use client::{Client, ClientError};
+pub use frame::{read_frame, write_frame, FrameError, FramePoll, FrameReader, MAX_FRAME_BYTES};
+pub use handlers::execute;
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, request_key, AppSpec,
+    FabricSpec, FaultSpec, Request, Response, TdcRow, ENDPOINTS,
+};
+pub use registry::Registry;
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,138 @@
+//! `hfast-serve` binary: run the daemon, or exercise it end to end.
+//!
+//! ```text
+//! hfast-serve [ADDR]        serve on ADDR (default 127.0.0.1:4711)
+//!                           until a client sends `shutdown`
+//! hfast-serve --self-test   start on an ephemeral port, drive every
+//!                           endpoint through a real socket, verify the
+//!                           answers, drain, exit non-zero on failure
+//! ```
+//!
+//! The self-test is the smoke `verify.sh` runs: it proves the daemon
+//! binds, serves all endpoints, caches repeats, isolates a handler
+//! panic, and drains cleanly — in a few hundred milliseconds.
+
+use std::process::ExitCode;
+
+use hfast_serve::{start, AppSpec, Client, FabricSpec, Request, Response, ServerConfig};
+
+fn self_test() -> Result<(), String> {
+    // The debug_panic probe panics a worker on purpose; one quiet line
+    // beats a full backtrace in the middle of a smoke run.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("hfast-serve self-test: worker panic contained ({info})");
+    }));
+    let server =
+        start("127.0.0.1:0", ServerConfig::from_env()).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let app = AppSpec::Named {
+        name: "GTC".into(),
+        procs: 16,
+    };
+
+    match client.call(&Request::Health) {
+        Ok(Response::Health { workers, .. }) if workers > 0 => {}
+        other => return Err(format!("health: unexpected {other:?}")),
+    }
+    match client.call(&Request::Provision {
+        app: app.clone(),
+        block_ports: 16,
+        cutoff: 2048,
+    }) {
+        Ok(Response::Provisioned { n, blocks, .. }) if n == 16 && blocks > 0 => {}
+        other => return Err(format!("provision: unexpected {other:?}")),
+    }
+    match client.call(&Request::Cost {
+        app: app.clone(),
+        block_ports: 16,
+        cutoff: 2048,
+    }) {
+        Ok(Response::CostReport { ratio, .. }) if ratio > 0.0 => {}
+        other => return Err(format!("cost: unexpected {other:?}")),
+    }
+    match client.call(&Request::Tdc {
+        app: app.clone(),
+        cutoffs: vec![0, 2048, 1 << 20],
+    }) {
+        Ok(Response::TdcReport { rows }) if rows.len() == 3 => {}
+        other => return Err(format!("tdc: unexpected {other:?}")),
+    }
+    let sim = Request::Simulate {
+        app: app.clone(),
+        fabric: FabricSpec::FatTree { ports: 16 },
+        cutoff: 2048,
+        faults: None,
+    };
+    let first = match client.call(&sim) {
+        Ok(Response::SimReport {
+            completed,
+            delivered_bytes,
+            ..
+        }) if completed > 0 => (completed, delivered_bytes),
+        other => return Err(format!("simulate: unexpected {other:?}")),
+    };
+    // Repeat must be served from cache and byte-identical in effect.
+    match client.call(&sim) {
+        Ok(Response::SimReport {
+            completed,
+            delivered_bytes,
+            ..
+        }) if (completed, delivered_bytes) == first => {}
+        other => return Err(format!("simulate repeat: unexpected {other:?}")),
+    }
+    match client.call(&Request::DebugPanic) {
+        Ok(Response::Error { message }) if message.contains("panicked") => {}
+        other => return Err(format!("debug_panic: unexpected {other:?}")),
+    }
+    // The worker that just panicked must still answer.
+    match client.call(&Request::Stats) {
+        Ok(Response::Stats {
+            requests,
+            cache_hits,
+            ..
+        }) if requests >= 7 && cache_hits >= 1 => {}
+        other => return Err(format!("stats: unexpected {other:?}")),
+    }
+    match client.call(&Request::Shutdown) {
+        Ok(Response::Ok) => {}
+        other => return Err(format!("shutdown: unexpected {other:?}")),
+    }
+    server.join();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--self-test") => match self_test() {
+            Ok(()) => {
+                println!("hfast-serve self-test: ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("hfast-serve self-test: FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(flag) if flag.starts_with('-') => {
+            eprintln!("usage: hfast-serve [ADDR | --self-test]");
+            ExitCode::FAILURE
+        }
+        addr => {
+            let addr = addr.unwrap_or("127.0.0.1:4711");
+            match start(addr, ServerConfig::from_env()) {
+                Ok(server) => {
+                    eprintln!("hfast-serve listening on {}", server.local_addr());
+                    server.join(); // drains when a client sends `shutdown`
+                    eprintln!("hfast-serve drained");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("hfast-serve: cannot bind {addr}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,851 @@
+//! The wire protocol: typed requests and responses, and their canonical
+//! JSON codec.
+//!
+//! Encoding goes through `hfast_obs::JsonObj` (floats rendered with the
+//! shortest round-trip `Display` form), decoding through the in-repo
+//! `hfast_trace::json` parser — no external serialization crates. The
+//! encoder is *canonical*: one value has exactly one encoding, so the
+//! encoded request doubles as the cache key (hashed with FNV-1a) and a
+//! decode → encode round trip reproduces the input byte for byte
+//! (asserted by property tests).
+//!
+//! Integers ride on JSON numbers, so — as in any interoperable JSON
+//! protocol — they are exact only up to 2^53 (the f64 mantissa). Every
+//! field carried here (byte counts, nanoseconds, port counts, seeds)
+//! fits comfortably; values beyond that round.
+
+use hfast_obs::JsonObj;
+use hfast_topology::{CommGraph, EdgeStat};
+use hfast_trace::json::{self, JsonValue};
+
+/// How a request names the application whose communication graph drives
+/// the analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppSpec {
+    /// One of the six paper applications, profiled at `procs` ranks.
+    Named {
+        /// Application name as in Table 2 (`Cactus`, `LBMHD`, `GTC`,
+        /// `SuperLU`, `PMEMD`, `PARATEC`).
+        name: String,
+        /// Processor count to profile at.
+        procs: usize,
+    },
+    /// An inline communication graph.
+    Inline {
+        /// Number of tasks.
+        n: usize,
+        /// Undirected edges as `(a, b, bytes, count, max_msg)`; both
+        /// orientations of a pair merge into one edge.
+        edges: Vec<(usize, usize, u64, u64, u64)>,
+    },
+}
+
+impl AppSpec {
+    /// Materializes an inline spec into a [`CommGraph`]. Named specs are
+    /// resolved by the registry (profiling is expensive and deduplicated).
+    pub fn inline_graph(&self) -> Option<CommGraph> {
+        match self {
+            AppSpec::Named { .. } => None,
+            AppSpec::Inline { n, edges } => {
+                let directed = edges.iter().map(|&(a, b, bytes, count, max_msg)| {
+                    (
+                        a,
+                        b,
+                        EdgeStat {
+                            bytes,
+                            count,
+                            max_msg,
+                        },
+                    )
+                });
+                Some(CommGraph::from_directed(*n, directed))
+            }
+        }
+    }
+}
+
+/// The simulated fabric family for a `simulate` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricSpec {
+    /// A fat tree of `ports`-port switches sized to the app.
+    FatTree {
+        /// Switch port count.
+        ports: usize,
+    },
+    /// A 3D torus of the given dimensions.
+    Torus {
+        /// Dimensions (product must cover the app's task count).
+        dims: (usize, usize, usize),
+    },
+    /// An HFAST fabric provisioned from the app's thresholded graph.
+    Hfast,
+}
+
+/// Optional fault injection for a `simulate` request: seeded random link
+/// failures inside a time window, mirroring
+/// `FaultPlanBuilder::random_link_failures`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// RNG seed (same seed, same schedule).
+    pub seed: u64,
+    /// Number of link failures to draw.
+    pub count: usize,
+    /// Failure-time window `[lo, hi)` in simulated nanoseconds.
+    pub window: (u64, u64),
+    /// Downtime before automatic recovery; `None` leaves links down.
+    pub downtime_ns: Option<u64>,
+}
+
+/// One request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; never queued, never cached.
+    Health,
+    /// Server counters and cache statistics.
+    Stats,
+    /// HFAST provisioning for an app: switch-block counts and port math.
+    Provision {
+        /// The application graph.
+        app: AppSpec,
+        /// Ports per switch block.
+        block_ports: usize,
+        /// Message-size cutoff in bytes.
+        cutoff: u64,
+    },
+    /// Fat-tree versus HFAST cost comparison.
+    Cost {
+        /// The application graph.
+        app: AppSpec,
+        /// Ports per switch block.
+        block_ports: usize,
+        /// Message-size cutoff in bytes.
+        cutoff: u64,
+    },
+    /// Thresholded-degree sweep over several cutoffs.
+    Tdc {
+        /// The application graph.
+        app: AppSpec,
+        /// Cutoffs to sweep, in bytes.
+        cutoffs: Vec<u64>,
+    },
+    /// Replay the app's traffic over a fabric, optionally under faults.
+    Simulate {
+        /// The application graph.
+        app: AppSpec,
+        /// Fabric to replay over.
+        fabric: FabricSpec,
+        /// Message-size cutoff for flow extraction.
+        cutoff: u64,
+        /// Optional seeded fault injection.
+        faults: Option<FaultSpec>,
+    },
+    /// Begin graceful drain: stop accepting, finish in-flight, exit.
+    Shutdown,
+    /// Panic inside a worker (panic-isolation testing only).
+    DebugPanic,
+}
+
+impl Request {
+    /// True for requests whose response is a pure function of the request
+    /// and therefore cacheable.
+    pub fn cacheable(&self) -> bool {
+        matches!(
+            self,
+            Request::Provision { .. }
+                | Request::Cost { .. }
+                | Request::Tdc { .. }
+                | Request::Simulate { .. }
+        )
+    }
+
+    /// The endpoint label used in metrics, one of [`ENDPOINTS`].
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::Health => "health",
+            Request::Stats => "stats",
+            Request::Provision { .. } => "provision",
+            Request::Cost { .. } => "cost",
+            Request::Tdc { .. } => "tdc",
+            Request::Simulate { .. } => "simulate",
+            Request::Shutdown => "shutdown",
+            Request::DebugPanic => "debug_panic",
+        }
+    }
+
+    /// Index of this request's endpoint in [`ENDPOINTS`].
+    pub fn endpoint_index(&self) -> usize {
+        ENDPOINTS
+            .iter()
+            .position(|&e| e == self.endpoint())
+            .expect("every endpoint is listed")
+    }
+}
+
+/// Metric labels for every endpoint, in a fixed order.
+pub const ENDPOINTS: [&str; 8] = [
+    "health",
+    "stats",
+    "provision",
+    "cost",
+    "tdc",
+    "simulate",
+    "shutdown",
+    "debug_panic",
+];
+
+/// One row of a TDC sweep response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TdcRow {
+    /// Cutoff in bytes.
+    pub cutoff: u64,
+    /// Maximum thresholded degree.
+    pub max: usize,
+    /// Minimum thresholded degree.
+    pub min: usize,
+    /// Mean thresholded degree.
+    pub avg: f64,
+    /// Median thresholded degree.
+    pub median: usize,
+}
+
+/// One response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness acknowledgement.
+    Health {
+        /// Compute worker count.
+        workers: usize,
+        /// Admission queue capacity.
+        queue: usize,
+    },
+    /// Server counters; numbers move between calls, so never cached.
+    Stats {
+        /// Total requests parsed (all endpoints).
+        requests: u64,
+        /// Requests shed with [`Response::Busy`].
+        shed: u64,
+        /// Response-cache hits.
+        cache_hits: u64,
+        /// Response-cache misses.
+        cache_misses: u64,
+        /// Response-cache LRU evictions.
+        cache_evictions: u64,
+        /// Cached entries right now.
+        cache_entries: u64,
+        /// Cached payload bytes right now.
+        cache_bytes: u64,
+    },
+    /// Provisioning summary for one app graph.
+    Provisioned {
+        /// Tasks in the graph.
+        n: usize,
+        /// Switch blocks allocated.
+        blocks: usize,
+        /// Packet-switch ports purchased.
+        total_block_ports: usize,
+        /// Circuit (MEMS) ports in use.
+        circuit_ports: usize,
+        /// Packet ports per node.
+        ports_per_node: f64,
+        /// Worst provisioned route's switch hops (0 if nothing routed).
+        max_switch_hops: usize,
+    },
+    /// Fat tree versus HFAST cost report.
+    CostReport {
+        /// HFAST build cost (normalized packet-port units).
+        hfast: f64,
+        /// Fat-tree build cost.
+        fat_tree: f64,
+        /// `hfast / fat_tree`.
+        ratio: f64,
+        /// True when HFAST is the cheaper build.
+        hfast_wins: bool,
+        /// Packet ports per node under HFAST.
+        hfast_ports_per_node: f64,
+        /// Switch ports per processor in the fat tree.
+        fat_tree_ports_per_node: usize,
+    },
+    /// TDC sweep rows, one per requested cutoff.
+    TdcReport {
+        /// Rows in request cutoff order.
+        rows: Vec<TdcRow>,
+    },
+    /// Simulation outcome summary.
+    SimReport {
+        /// Flows delivered.
+        completed: usize,
+        /// Flows without a route (including abandoned).
+        unrouted: usize,
+        /// Flows abandoned by the retry policy.
+        abandoned: usize,
+        /// Payload bytes delivered.
+        delivered_bytes: u64,
+        /// Worst flow latency.
+        max_latency_ns: u64,
+        /// Time of last delivery.
+        makespan_ns: u64,
+        /// Retry re-admissions.
+        total_retries: u64,
+        /// Mid-run circuit re-provisioning rounds.
+        reprovisions: usize,
+    },
+    /// Load shed: the admission queue was full. Retry later.
+    Busy,
+    /// Acknowledgement (shutdown).
+    Ok,
+    /// Structured failure; the connection stays usable.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+fn encode_app(app: &AppSpec) -> String {
+    match app {
+        AppSpec::Named { name, procs } => JsonObj::new()
+            .str("name", name)
+            .usize("procs", *procs)
+            .finish(),
+        AppSpec::Inline { n, edges } => {
+            let mut rows = String::from("[");
+            for (i, &(a, b, bytes, count, max_msg)) in edges.iter().enumerate() {
+                if i > 0 {
+                    rows.push(',');
+                }
+                rows.push_str(&format!("[{a},{b},{bytes},{count},{max_msg}]"));
+            }
+            rows.push(']');
+            JsonObj::new().usize("n", *n).raw("edges", &rows).finish()
+        }
+    }
+}
+
+fn encode_fabric(fabric: &FabricSpec) -> String {
+    match fabric {
+        FabricSpec::FatTree { ports } => JsonObj::new()
+            .str("kind", "fattree")
+            .usize("ports", *ports)
+            .finish(),
+        FabricSpec::Torus { dims } => JsonObj::new()
+            .str("kind", "torus")
+            .usize("x", dims.0)
+            .usize("y", dims.1)
+            .usize("z", dims.2)
+            .finish(),
+        FabricSpec::Hfast => JsonObj::new().str("kind", "hfast").finish(),
+    }
+}
+
+fn encode_faults(f: &FaultSpec) -> String {
+    let mut obj = JsonObj::new()
+        .u64("seed", f.seed)
+        .usize("count", f.count)
+        .raw("window", &format!("[{},{}]", f.window.0, f.window.1));
+    if let Some(d) = f.downtime_ns {
+        obj = obj.u64("downtime_ns", d);
+    }
+    obj.finish()
+}
+
+/// Encodes a request canonically (the encoding is the cache-key basis).
+pub fn encode_request(req: &Request) -> String {
+    match req {
+        Request::Health | Request::Stats | Request::Shutdown | Request::DebugPanic => {
+            JsonObj::new().str("type", req.endpoint()).finish()
+        }
+        Request::Provision {
+            app,
+            block_ports,
+            cutoff,
+        }
+        | Request::Cost {
+            app,
+            block_ports,
+            cutoff,
+        } => JsonObj::new()
+            .str("type", req.endpoint())
+            .raw("app", &encode_app(app))
+            .usize("block_ports", *block_ports)
+            .u64("cutoff", *cutoff)
+            .finish(),
+        Request::Tdc { app, cutoffs } => {
+            let mut arr = String::from("[");
+            for (i, c) in cutoffs.iter().enumerate() {
+                if i > 0 {
+                    arr.push(',');
+                }
+                arr.push_str(&c.to_string());
+            }
+            arr.push(']');
+            JsonObj::new()
+                .str("type", "tdc")
+                .raw("app", &encode_app(app))
+                .raw("cutoffs", &arr)
+                .finish()
+        }
+        Request::Simulate {
+            app,
+            fabric,
+            cutoff,
+            faults,
+        } => {
+            let mut obj = JsonObj::new()
+                .str("type", "simulate")
+                .raw("app", &encode_app(app))
+                .raw("fabric", &encode_fabric(fabric))
+                .u64("cutoff", *cutoff);
+            if let Some(f) = faults {
+                obj = obj.raw("faults", &encode_faults(f));
+            }
+            obj.finish()
+        }
+    }
+}
+
+/// Encodes a response canonically.
+pub fn encode_response(resp: &Response) -> String {
+    match resp {
+        Response::Health { workers, queue } => JsonObj::new()
+            .str("type", "health")
+            .bool("ok", true)
+            .usize("workers", *workers)
+            .usize("queue", *queue)
+            .finish(),
+        Response::Stats {
+            requests,
+            shed,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            cache_entries,
+            cache_bytes,
+        } => JsonObj::new()
+            .str("type", "stats")
+            .u64("requests", *requests)
+            .u64("shed", *shed)
+            .u64("cache_hits", *cache_hits)
+            .u64("cache_misses", *cache_misses)
+            .u64("cache_evictions", *cache_evictions)
+            .u64("cache_entries", *cache_entries)
+            .u64("cache_bytes", *cache_bytes)
+            .finish(),
+        Response::Provisioned {
+            n,
+            blocks,
+            total_block_ports,
+            circuit_ports,
+            ports_per_node,
+            max_switch_hops,
+        } => JsonObj::new()
+            .str("type", "provisioned")
+            .usize("n", *n)
+            .usize("blocks", *blocks)
+            .usize("total_block_ports", *total_block_ports)
+            .usize("circuit_ports", *circuit_ports)
+            .f64("ports_per_node", *ports_per_node)
+            .usize("max_switch_hops", *max_switch_hops)
+            .finish(),
+        Response::CostReport {
+            hfast,
+            fat_tree,
+            ratio,
+            hfast_wins,
+            hfast_ports_per_node,
+            fat_tree_ports_per_node,
+        } => JsonObj::new()
+            .str("type", "cost")
+            .f64("hfast", *hfast)
+            .f64("fat_tree", *fat_tree)
+            .f64("ratio", *ratio)
+            .bool("hfast_wins", *hfast_wins)
+            .f64("hfast_ports_per_node", *hfast_ports_per_node)
+            .usize("fat_tree_ports_per_node", *fat_tree_ports_per_node)
+            .finish(),
+        Response::TdcReport { rows } => {
+            let mut arr = String::from("[");
+            for (i, r) in rows.iter().enumerate() {
+                if i > 0 {
+                    arr.push(',');
+                }
+                arr.push_str(
+                    &JsonObj::new()
+                        .u64("cutoff", r.cutoff)
+                        .usize("max", r.max)
+                        .usize("min", r.min)
+                        .f64("avg", r.avg)
+                        .usize("median", r.median)
+                        .finish(),
+                );
+            }
+            arr.push(']');
+            JsonObj::new().str("type", "tdc").raw("rows", &arr).finish()
+        }
+        Response::SimReport {
+            completed,
+            unrouted,
+            abandoned,
+            delivered_bytes,
+            max_latency_ns,
+            makespan_ns,
+            total_retries,
+            reprovisions,
+        } => JsonObj::new()
+            .str("type", "sim")
+            .usize("completed", *completed)
+            .usize("unrouted", *unrouted)
+            .usize("abandoned", *abandoned)
+            .u64("delivered_bytes", *delivered_bytes)
+            .u64("max_latency_ns", *max_latency_ns)
+            .u64("makespan_ns", *makespan_ns)
+            .u64("total_retries", *total_retries)
+            .usize("reprovisions", *reprovisions)
+            .finish(),
+        Response::Busy => JsonObj::new().str("type", "busy").finish(),
+        Response::Ok => JsonObj::new().str("type", "ok").finish(),
+        Response::Error { message } => JsonObj::new()
+            .str("type", "error")
+            .str("message", message)
+            .finish(),
+    }
+}
+
+fn need_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .map(|u| u as usize)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn need_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn need_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn need_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+fn need_bool(v: &JsonValue, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing or non-boolean field {key:?}")),
+    }
+}
+
+fn decode_app(v: &JsonValue) -> Result<AppSpec, String> {
+    let app = v.get("app").ok_or("missing field \"app\"")?;
+    if app.get("name").is_some() {
+        Ok(AppSpec::Named {
+            name: need_str(app, "name")?.to_string(),
+            procs: need_usize(app, "procs")?,
+        })
+    } else {
+        let n = need_usize(app, "n")?;
+        let rows = app
+            .get("edges")
+            .and_then(JsonValue::as_arr)
+            .ok_or("inline app needs an \"edges\" array")?;
+        let mut edges = Vec::with_capacity(rows.len());
+        for row in rows {
+            let cells = row.as_arr().ok_or("edge rows are arrays")?;
+            if cells.len() != 5 {
+                return Err("edge rows are [a,b,bytes,count,max_msg]".into());
+            }
+            let num = |i: usize| {
+                cells[i]
+                    .as_u64()
+                    .ok_or_else(|| format!("edge cell {i} is not an integer"))
+            };
+            edges.push((
+                num(0)? as usize,
+                num(1)? as usize,
+                num(2)?,
+                num(3)?,
+                num(4)?,
+            ));
+        }
+        Ok(AppSpec::Inline { n, edges })
+    }
+}
+
+fn decode_fabric(v: &JsonValue) -> Result<FabricSpec, String> {
+    let fab = v.get("fabric").ok_or("missing field \"fabric\"")?;
+    match need_str(fab, "kind")? {
+        "fattree" => Ok(FabricSpec::FatTree {
+            ports: need_usize(fab, "ports")?,
+        }),
+        "torus" => Ok(FabricSpec::Torus {
+            dims: (
+                need_usize(fab, "x")?,
+                need_usize(fab, "y")?,
+                need_usize(fab, "z")?,
+            ),
+        }),
+        "hfast" => Ok(FabricSpec::Hfast),
+        other => Err(format!("unknown fabric kind {other:?}")),
+    }
+}
+
+fn decode_faults(v: &JsonValue) -> Result<Option<FaultSpec>, String> {
+    let Some(f) = v.get("faults") else {
+        return Ok(None);
+    };
+    let window = f
+        .get("window")
+        .and_then(JsonValue::as_arr)
+        .ok_or("faults need a [lo,hi] \"window\"")?;
+    if window.len() != 2 {
+        return Err("fault window is [lo,hi]".into());
+    }
+    let bound = |i: usize| {
+        window[i]
+            .as_u64()
+            .ok_or_else(|| format!("window bound {i} is not an integer"))
+    };
+    let downtime_ns = match f.get("downtime_ns") {
+        None => None,
+        Some(d) => Some(d.as_u64().ok_or("downtime_ns is not an integer")?),
+    };
+    Ok(Some(FaultSpec {
+        seed: need_u64(f, "seed")?,
+        count: need_usize(f, "count")?,
+        window: (bound(0)?, bound(1)?),
+        downtime_ns,
+    }))
+}
+
+/// Decodes one request frame.
+pub fn decode_request(text: &str) -> Result<Request, String> {
+    let v = json::parse(text)?;
+    match need_str(&v, "type")? {
+        "health" => Ok(Request::Health),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "debug_panic" => Ok(Request::DebugPanic),
+        "provision" => Ok(Request::Provision {
+            app: decode_app(&v)?,
+            block_ports: need_usize(&v, "block_ports")?,
+            cutoff: need_u64(&v, "cutoff")?,
+        }),
+        "cost" => Ok(Request::Cost {
+            app: decode_app(&v)?,
+            block_ports: need_usize(&v, "block_ports")?,
+            cutoff: need_u64(&v, "cutoff")?,
+        }),
+        "tdc" => {
+            let arr = v
+                .get("cutoffs")
+                .and_then(JsonValue::as_arr)
+                .ok_or("tdc needs a \"cutoffs\" array")?;
+            let mut cutoffs = Vec::with_capacity(arr.len());
+            for c in arr {
+                cutoffs.push(c.as_u64().ok_or("cutoffs are integers")?);
+            }
+            Ok(Request::Tdc {
+                app: decode_app(&v)?,
+                cutoffs,
+            })
+        }
+        "simulate" => Ok(Request::Simulate {
+            app: decode_app(&v)?,
+            fabric: decode_fabric(&v)?,
+            cutoff: need_u64(&v, "cutoff")?,
+            faults: decode_faults(&v)?,
+        }),
+        other => Err(format!("unknown request type {other:?}")),
+    }
+}
+
+/// Decodes one response frame.
+pub fn decode_response(text: &str) -> Result<Response, String> {
+    let v = json::parse(text)?;
+    match need_str(&v, "type")? {
+        "health" => Ok(Response::Health {
+            workers: need_usize(&v, "workers")?,
+            queue: need_usize(&v, "queue")?,
+        }),
+        "stats" => Ok(Response::Stats {
+            requests: need_u64(&v, "requests")?,
+            shed: need_u64(&v, "shed")?,
+            cache_hits: need_u64(&v, "cache_hits")?,
+            cache_misses: need_u64(&v, "cache_misses")?,
+            cache_evictions: need_u64(&v, "cache_evictions")?,
+            cache_entries: need_u64(&v, "cache_entries")?,
+            cache_bytes: need_u64(&v, "cache_bytes")?,
+        }),
+        "provisioned" => Ok(Response::Provisioned {
+            n: need_usize(&v, "n")?,
+            blocks: need_usize(&v, "blocks")?,
+            total_block_ports: need_usize(&v, "total_block_ports")?,
+            circuit_ports: need_usize(&v, "circuit_ports")?,
+            ports_per_node: need_f64(&v, "ports_per_node")?,
+            max_switch_hops: need_usize(&v, "max_switch_hops")?,
+        }),
+        "cost" => Ok(Response::CostReport {
+            hfast: need_f64(&v, "hfast")?,
+            fat_tree: need_f64(&v, "fat_tree")?,
+            ratio: need_f64(&v, "ratio")?,
+            hfast_wins: need_bool(&v, "hfast_wins")?,
+            hfast_ports_per_node: need_f64(&v, "hfast_ports_per_node")?,
+            fat_tree_ports_per_node: need_usize(&v, "fat_tree_ports_per_node")?,
+        }),
+        "tdc" => {
+            let arr = v
+                .get("rows")
+                .and_then(JsonValue::as_arr)
+                .ok_or("tdc response needs \"rows\"")?;
+            let mut rows = Vec::with_capacity(arr.len());
+            for r in arr {
+                rows.push(TdcRow {
+                    cutoff: need_u64(r, "cutoff")?,
+                    max: need_usize(r, "max")?,
+                    min: need_usize(r, "min")?,
+                    avg: need_f64(r, "avg")?,
+                    median: need_usize(r, "median")?,
+                });
+            }
+            Ok(Response::TdcReport { rows })
+        }
+        "sim" => Ok(Response::SimReport {
+            completed: need_usize(&v, "completed")?,
+            unrouted: need_usize(&v, "unrouted")?,
+            abandoned: need_usize(&v, "abandoned")?,
+            delivered_bytes: need_u64(&v, "delivered_bytes")?,
+            max_latency_ns: need_u64(&v, "max_latency_ns")?,
+            makespan_ns: need_u64(&v, "makespan_ns")?,
+            total_retries: need_u64(&v, "total_retries")?,
+            reprovisions: need_usize(&v, "reprovisions")?,
+        }),
+        "busy" => Ok(Response::Busy),
+        "ok" => Ok(Response::Ok),
+        "error" => Ok(Response::Error {
+            message: need_str(&v, "message")?.to_string(),
+        }),
+        other => Err(format!("unknown response type {other:?}")),
+    }
+}
+
+/// FNV-1a hash of a canonical request encoding — the response-cache key.
+pub fn request_key(canonical: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in canonical.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = vec![
+            Request::Health,
+            Request::Stats,
+            Request::Shutdown,
+            Request::DebugPanic,
+            Request::Provision {
+                app: AppSpec::Named {
+                    name: "GTC".into(),
+                    procs: 64,
+                },
+                block_ports: 16,
+                cutoff: 2048,
+            },
+            Request::Cost {
+                app: AppSpec::Inline {
+                    n: 4,
+                    edges: vec![(0, 1, 4096, 2, 4096), (2, 3, 100, 1, 100)],
+                },
+                block_ports: 8,
+                cutoff: 0,
+            },
+            Request::Tdc {
+                app: AppSpec::Named {
+                    name: "Cactus".into(),
+                    procs: 64,
+                },
+                cutoffs: vec![0, 2048, 1 << 20],
+            },
+            Request::Simulate {
+                app: AppSpec::Named {
+                    name: "LBMHD".into(),
+                    procs: 64,
+                },
+                fabric: FabricSpec::Torus { dims: (4, 4, 4) },
+                cutoff: 2048,
+                faults: Some(FaultSpec {
+                    seed: 7,
+                    count: 2,
+                    window: (0, 500_000),
+                    downtime_ns: Some(100_000),
+                }),
+            },
+        ];
+        for req in reqs {
+            let enc = encode_request(&req);
+            let dec = decode_request(&enc).expect("canonical encoding decodes");
+            assert_eq!(dec, req, "round trip changed {enc}");
+            assert_eq!(encode_request(&dec), enc, "re-encoding not canonical");
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = vec![
+            Response::Health {
+                workers: 4,
+                queue: 64,
+            },
+            Response::Busy,
+            Response::Ok,
+            Response::Error {
+                message: "bad \"app\"\nline".into(),
+            },
+            Response::TdcReport {
+                rows: vec![TdcRow {
+                    cutoff: 2048,
+                    max: 6,
+                    min: 3,
+                    avg: 5.25,
+                    median: 5,
+                }],
+            },
+        ];
+        for resp in resps {
+            let enc = encode_response(&resp);
+            let dec = decode_response(&enc).expect("canonical encoding decodes");
+            assert_eq!(dec, resp, "round trip changed {enc}");
+        }
+    }
+
+    #[test]
+    fn keys_separate_distinct_requests() {
+        let a = encode_request(&Request::Health);
+        let b = encode_request(&Request::Stats);
+        assert_ne!(request_key(&a), request_key(&b));
+        assert_eq!(request_key(&a), request_key(&a));
+    }
+
+    #[test]
+    fn malformed_requests_are_structured_errors() {
+        assert!(decode_request("").is_err());
+        assert!(decode_request("{}").is_err());
+        assert!(decode_request(r#"{"type":"warp"}"#).is_err());
+        assert!(decode_request(r#"{"type":"tdc","app":{"name":"GTC"}}"#).is_err());
+        assert!(decode_request(r#"{"type":"provision","app":{"n":2,"edges":[[0]]}}"#).is_err());
+    }
+}

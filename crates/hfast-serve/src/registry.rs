@@ -1,0 +1,222 @@
+//! Deduplicated construction of expensive request inputs.
+//!
+//! Profiling a paper application (running its communication kernel over
+//! the simulated MPI runtime) and building a fabric with a warm route
+//! cache are orders of magnitude more expensive than any single response.
+//! When many connections name the same app × scale, the work must happen
+//! once: each registry entry is an `Arc<OnceLock<…>>` — the map lock is
+//! held only to clone the entry's `Arc`, and `get_or_init` then blocks
+//! *only* requesters of the same key while the first one computes.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use hfast_apps::{all_apps, profile_app};
+use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_netsim::{Fabric, FatTreeFabric, HfastFabric, SharedPathCache, TorusFabric};
+use hfast_topology::CommGraph;
+
+use crate::protocol::{AppSpec, FabricSpec};
+
+/// Sanity bound on profiling scale: the six kernels spawn one thread per
+/// rank, so an unbounded `procs` would let one request exhaust the host.
+pub const MAX_PROCS: usize = 1024;
+
+type GraphResult = Result<Arc<CommGraph>, String>;
+
+/// A fabric built for one (app, fabric-spec, cutoff) key, with the warm
+/// shared route cache every simulate request on that key reuses.
+pub struct FabricEntry {
+    /// The fabric (immutable; `Fabric: Sync` by trait contract).
+    pub fabric: Box<dyn Fabric + Send>,
+    /// Warm routes shared by concurrent runs over this fabric.
+    pub warm: SharedPathCache,
+}
+
+type FabricResult = Result<Arc<FabricEntry>, String>;
+
+/// The server-wide registry of profiled graphs and built fabrics.
+#[derive(Default)]
+pub struct Registry {
+    graphs: Mutex<HashMap<String, Arc<OnceLock<GraphResult>>>>,
+    fabrics: Mutex<HashMap<String, Arc<OnceLock<FabricResult>>>>,
+}
+
+fn entry<K: std::hash::Hash + Eq + Clone, V>(
+    map: &Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    key: &K,
+) -> Arc<OnceLock<V>> {
+    let mut map = map.lock().expect("registry poisoned");
+    Arc::clone(map.entry(key.clone()).or_default())
+}
+
+fn profile_named(name: &str, procs: usize) -> GraphResult {
+    if procs == 0 || procs > MAX_PROCS {
+        return Err(format!("procs must be in 1..={MAX_PROCS}, got {procs}"));
+    }
+    let apps = all_apps();
+    let app = apps
+        .iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| format!("unknown application {name:?}"))?;
+    let outcome = profile_app(app.as_ref(), procs)
+        .map_err(|e| format!("profiling {name} at {procs} ranks failed: {e:?}"))?;
+    Ok(Arc::new(outcome.steady.comm_graph()))
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The communication graph of an app spec: inline graphs materialize
+    /// directly (cheap), named apps profile once per (name, procs) and
+    /// every later request — concurrent or not — reuses the result.
+    pub fn graph(&self, app: &AppSpec) -> GraphResult {
+        if let Some(g) = app.inline_graph() {
+            if g.n() == 0 {
+                return Err("inline graph needs at least one task".into());
+            }
+            return Ok(Arc::new(g));
+        }
+        let AppSpec::Named { name, procs } = app else {
+            unreachable!("inline handled above")
+        };
+        let key = format!("{name}\u{1}{procs}");
+        let slot = entry(&self.graphs, &key);
+        slot.get_or_init(|| profile_named(name, *procs)).clone()
+    }
+
+    /// The fabric (plus warm cache) for a simulate key. Keyed by the
+    /// graph's content hash rather than the app spec, so an inline graph
+    /// identical to a profiled one shares the same entry.
+    pub fn fabric(
+        &self,
+        graph: &Arc<CommGraph>,
+        spec: FabricSpec,
+        block_ports: usize,
+        cutoff: u64,
+    ) -> FabricResult {
+        let key = format!(
+            "{:016x}\u{1}{spec:?}\u{1}{block_ports}\u{1}{cutoff}",
+            graph.content_hash()
+        );
+        let slot = entry(&self.fabrics, &key);
+        slot.get_or_init(|| {
+            let fabric: Box<dyn Fabric + Send> = match spec {
+                FabricSpec::FatTree { ports } => Box::new(
+                    FatTreeFabric::new(graph.n(), ports).map_err(|e| format!("fat tree: {e}"))?,
+                ),
+                FabricSpec::Torus { dims } => {
+                    if dims.0 * dims.1 * dims.2 < graph.n() {
+                        return Err(format!(
+                            "torus {dims:?} holds {} nodes, app needs {}",
+                            dims.0 * dims.1 * dims.2,
+                            graph.n()
+                        ));
+                    }
+                    Box::new(TorusFabric::new(dims).map_err(|e| format!("torus: {e}"))?)
+                }
+                FabricSpec::Hfast => {
+                    let prov = Provisioning::per_node(
+                        graph,
+                        ProvisionConfig {
+                            block_ports,
+                            cutoff,
+                        },
+                    );
+                    Box::new(HfastFabric::new(prov))
+                }
+            };
+            Ok(Arc::new(FabricEntry {
+                fabric,
+                warm: SharedPathCache::new(),
+            }))
+        })
+        .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_graphs_bypass_the_registry() {
+        let reg = Registry::new();
+        let spec = AppSpec::Inline {
+            n: 4,
+            edges: vec![(0, 1, 4096, 1, 4096)],
+        };
+        let g = reg.graph(&spec).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.edge(0, 1).bytes, 4096);
+        assert!(reg.graphs.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn named_graphs_are_memoized() {
+        let reg = Registry::new();
+        let spec = AppSpec::Named {
+            name: "Cactus".into(),
+            procs: 8,
+        };
+        let a = reg.graph(&spec).unwrap();
+        let b = reg.graph(&spec).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second request reused the profile");
+        assert_eq!(reg.graphs.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_app_and_bad_procs_are_errors() {
+        let reg = Registry::new();
+        let bad_name = AppSpec::Named {
+            name: "NotAnApp".into(),
+            procs: 8,
+        };
+        assert!(reg.graph(&bad_name).is_err());
+        let bad_procs = AppSpec::Named {
+            name: "GTC".into(),
+            procs: MAX_PROCS + 1,
+        };
+        assert!(reg.graph(&bad_procs).is_err());
+    }
+
+    #[test]
+    fn fabric_entries_are_shared_by_graph_content() {
+        let reg = Registry::new();
+        let spec = AppSpec::Inline {
+            n: 8,
+            edges: vec![(0, 1, 4096, 1, 4096), (2, 3, 8192, 2, 4096)],
+        };
+        let g1 = reg.graph(&spec).unwrap();
+        let g2 = reg.graph(&spec).unwrap();
+        assert!(!Arc::ptr_eq(&g1, &g2), "inline graphs rebuild");
+        let f1 = reg
+            .fabric(&g1, FabricSpec::Torus { dims: (2, 2, 2) }, 16, 2048)
+            .unwrap();
+        let f2 = reg
+            .fabric(&g2, FabricSpec::Torus { dims: (2, 2, 2) }, 16, 2048)
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&f1, &f2),
+            "same content, same fabric + warm cache"
+        );
+        assert_eq!(f1.fabric.nodes(), 8);
+    }
+
+    #[test]
+    fn undersized_torus_is_rejected() {
+        let reg = Registry::new();
+        let g = reg
+            .graph(&AppSpec::Inline {
+                n: 9,
+                edges: vec![(0, 8, 4096, 1, 4096)],
+            })
+            .unwrap();
+        assert!(reg
+            .fabric(&g, FabricSpec::Torus { dims: (2, 2, 2) }, 16, 2048)
+            .is_err());
+    }
+}

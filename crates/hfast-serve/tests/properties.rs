@@ -1,0 +1,365 @@
+//! Property and end-to-end tests for the serving daemon.
+//!
+//! The socket-driving tests each start a real server on an ephemeral
+//! port, talk to it over TCP, and drain it — nothing is mocked. They are
+//! intentionally small-scale (inline graphs, a handful of requests); the
+//! sustained-load version lives in the `hfast-bench` integration suite.
+
+use hfast_par::check::forall;
+use hfast_par::rng::Rng64;
+use hfast_serve::{
+    decode_request, decode_response, encode_request, encode_response, request_key, start, AppSpec,
+    Client, FabricSpec, FaultSpec, Request, Response, ServerConfig, TdcRow,
+};
+
+/// A random integer in the JSON-safe range: the protocol's numbers ride
+/// on JSON, where integers are exact only up to 2^53 (the f64 mantissa).
+fn u53(rng: &mut Rng64) -> u64 {
+    rng.next_u64() >> 11
+}
+
+fn random_app(rng: &mut Rng64) -> AppSpec {
+    if rng.bool(0.3) {
+        AppSpec::Named {
+            name: (*rng.pick(&["Cactus", "LBMHD", "GTC", "SuperLU", "PMEMD", "PARATEC"]))
+                .to_string(),
+            procs: rng.range(1, 128),
+        }
+    } else {
+        let n = rng.range(2, 12);
+        let edges = (0..rng.range(1, 10))
+            .map(|_| {
+                let a = rng.range(0, n);
+                let mut b = rng.range(0, n);
+                if b == a {
+                    b = (a + 1) % n;
+                }
+                (
+                    a,
+                    b,
+                    rng.range_u64(1, 1 << 24),
+                    rng.range_u64(1, 64),
+                    rng.range_u64(1, 1 << 20),
+                )
+            })
+            .collect();
+        AppSpec::Inline { n, edges }
+    }
+}
+
+fn random_fabric(rng: &mut Rng64) -> FabricSpec {
+    match rng.range(0, 3) {
+        0 => FabricSpec::FatTree {
+            ports: rng.range(4, 64),
+        },
+        1 => FabricSpec::Torus {
+            dims: (rng.range(1, 6), rng.range(1, 6), rng.range(1, 6)),
+        },
+        _ => FabricSpec::Hfast,
+    }
+}
+
+fn random_request(rng: &mut Rng64) -> Request {
+    match rng.range(0, 8) {
+        0 => Request::Health,
+        1 => Request::Stats,
+        2 => Request::Provision {
+            app: random_app(rng),
+            block_ports: rng.range(2, 64),
+            cutoff: rng.range_u64(0, 1 << 20),
+        },
+        3 => Request::Cost {
+            app: random_app(rng),
+            block_ports: rng.range(2, 64),
+            cutoff: rng.range_u64(0, 1 << 20),
+        },
+        4 => Request::Tdc {
+            app: random_app(rng),
+            cutoffs: (0..rng.range(1, 8))
+                .map(|_| rng.range_u64(0, 1 << 24))
+                .collect(),
+        },
+        5 => Request::Simulate {
+            app: random_app(rng),
+            fabric: random_fabric(rng),
+            cutoff: rng.range_u64(0, 1 << 16),
+            faults: rng.bool(0.5).then(|| FaultSpec {
+                seed: u53(rng),
+                count: rng.range(0, 8),
+                window: (rng.range_u64(0, 1000), rng.range_u64(1000, 1 << 20)),
+                downtime_ns: rng.bool(0.5).then(|| rng.range_u64(1, 1 << 20)),
+            }),
+        },
+        6 => Request::Shutdown,
+        _ => Request::DebugPanic,
+    }
+}
+
+#[test]
+fn any_request_round_trips_and_is_canonical() {
+    forall("request codec round-trip", 200, |rng| {
+        let req = random_request(rng);
+        let text = encode_request(&req);
+        let back = decode_request(&text).expect("encoded request decodes");
+        assert_eq!(back, req);
+        // Canonical: re-encoding the decoded value reproduces the bytes,
+        // so the cache key is well-defined.
+        assert_eq!(encode_request(&back), text);
+        assert_eq!(request_key(&text), request_key(&encode_request(&back)));
+    });
+}
+
+#[test]
+fn any_response_round_trips() {
+    forall("response codec round-trip", 200, |rng| {
+        let resp = match rng.range(0, 8) {
+            0 => Response::Health {
+                workers: rng.range(1, 64),
+                queue: rng.range(1, 1024),
+            },
+            1 => Response::Stats {
+                requests: u53(rng),
+                shed: u53(rng),
+                cache_hits: u53(rng),
+                cache_misses: u53(rng),
+                cache_evictions: u53(rng),
+                cache_entries: u53(rng),
+                cache_bytes: u53(rng),
+            },
+            2 => Response::Provisioned {
+                n: rng.range(1, 4096),
+                blocks: rng.range(0, 4096),
+                total_block_ports: rng.range(0, 1 << 20),
+                circuit_ports: rng.range(0, 1 << 20),
+                ports_per_node: rng.f64() * 64.0,
+                max_switch_hops: rng.range(0, 16),
+            },
+            3 => Response::CostReport {
+                hfast: rng.f64() * 1e6,
+                fat_tree: rng.f64() * 1e6,
+                ratio: rng.f64(),
+                hfast_wins: rng.bool(0.5),
+                hfast_ports_per_node: rng.f64() * 64.0,
+                fat_tree_ports_per_node: rng.range(1, 64),
+            },
+            4 => Response::TdcReport {
+                rows: (0..rng.range(0, 6))
+                    .map(|_| TdcRow {
+                        cutoff: u53(rng),
+                        max: rng.range(0, 4096),
+                        min: rng.range(0, 4096),
+                        avg: rng.f64() * 4096.0,
+                        median: rng.range(0, 4096),
+                    })
+                    .collect(),
+            },
+            5 => Response::SimReport {
+                completed: rng.range(0, 1 << 20),
+                unrouted: rng.range(0, 1 << 20),
+                abandoned: rng.range(0, 1 << 20),
+                delivered_bytes: u53(rng),
+                max_latency_ns: u53(rng),
+                makespan_ns: u53(rng),
+                total_retries: u53(rng),
+                reprovisions: rng.range(0, 64),
+            },
+            6 => rng.pick(&[Response::Busy, Response::Ok]).clone(),
+            _ => Response::Error {
+                message: format!(
+                    "error #{} with \"quotes\" and \\slashes",
+                    rng.range(0, 1000)
+                ),
+            },
+        };
+        let text = encode_response(&resp);
+        let back = decode_response(&text).expect("encoded response decodes");
+        assert_eq!(back, resp);
+        assert_eq!(encode_response(&back), text);
+    });
+}
+
+/// A small inline app whose requests are cheap enough to fire many times.
+fn toy_app() -> AppSpec {
+    AppSpec::Inline {
+        n: 6,
+        edges: vec![
+            (0, 1, 1 << 16, 16, 4096),
+            (1, 2, 1 << 14, 4, 4096),
+            (2, 3, 1 << 18, 32, 8192),
+            (4, 5, 1 << 12, 2, 2048),
+        ],
+    }
+}
+
+fn toy_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn cached_response_is_byte_identical_to_fresh() {
+    let server = start("127.0.0.1:0", toy_config()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let requests = [
+        Request::Provision {
+            app: toy_app(),
+            block_ports: 16,
+            cutoff: 2048,
+        },
+        Request::Cost {
+            app: toy_app(),
+            block_ports: 8,
+            cutoff: 4096,
+        },
+        Request::Tdc {
+            app: toy_app(),
+            cutoffs: vec![0, 4096, 1 << 16],
+        },
+        Request::Simulate {
+            app: toy_app(),
+            fabric: FabricSpec::Torus { dims: (2, 2, 2) },
+            cutoff: 0,
+            faults: Some(FaultSpec {
+                seed: 42,
+                count: 2,
+                window: (0, 10_000),
+                downtime_ns: None,
+            }),
+        },
+    ];
+    for req in &requests {
+        let fresh = client.call_raw(&encode_request(req)).expect("fresh call");
+        let cached = client.call_raw(&encode_request(req)).expect("cached call");
+        assert_eq!(fresh, cached, "cache changed the bytes of {req:?}");
+        assert!(decode_response(&fresh).is_ok(), "response decodes: {fresh}");
+    }
+    match client.call(&Request::Stats).expect("stats") {
+        Response::Stats {
+            cache_hits,
+            cache_misses,
+            ..
+        } => {
+            assert_eq!(cache_hits, requests.len() as u64);
+            assert_eq!(cache_misses, requests.len() as u64);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    client.call(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn malformed_frames_are_structured_errors_and_leave_the_server_serving() {
+    let server = start("127.0.0.1:0", toy_config()).expect("bind");
+    let addr = server.local_addr();
+
+    // Valid frame, garbage payload: structured error, connection usable.
+    let mut client = Client::connect(addr).expect("connect");
+    for bad in [
+        "",
+        "not json at all",
+        "{\"type\":\"no_such_endpoint\"}",
+        "[1,2,3]",
+    ] {
+        match decode_response(&client.call_raw(bad).expect("call survives")) {
+            Ok(Response::Error { message }) => assert!(!message.is_empty()),
+            other => panic!("payload {bad:?} should yield Error, got {other:?}"),
+        }
+    }
+    // The same connection still serves real requests afterwards.
+    assert!(matches!(
+        client.call(&Request::Health).expect("health"),
+        Response::Health { .. }
+    ));
+
+    // Oversized length prefix: one structured refusal, then close.
+    let mut evil = Client::connect(addr).expect("connect");
+    evil.send_raw_bytes(&u32::MAX.to_be_bytes()).expect("send");
+    let bytes = evil.drain_bytes().expect("server answered before closing");
+    assert!(bytes.len() > 4, "expected an error frame, got {bytes:?}");
+    let text = std::str::from_utf8(&bytes[4..]).expect("utf8 payload");
+    assert!(
+        matches!(decode_response(text), Ok(Response::Error { .. })),
+        "oversized prefix should refuse with Error, got {text}"
+    );
+
+    // Truncated frame (prefix promises more than arrives): the server
+    // just drops the connection — nothing to answer.
+    let mut cut = Client::connect(addr).expect("connect");
+    let mut partial = 100u32.to_be_bytes().to_vec();
+    partial.extend_from_slice(b"only a few bytes");
+    cut.send_raw_bytes(&partial).expect("send");
+    assert!(cut.drain_bytes().expect("clean close").is_empty());
+
+    // After all of that the server still computes.
+    let mut fine = Client::connect(addr).expect("connect");
+    assert!(matches!(
+        fine.call(&Request::Tdc {
+            app: toy_app(),
+            cutoffs: vec![2048],
+        })
+        .expect("tdc"),
+        Response::TdcReport { .. }
+    ));
+    fine.call(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn a_panicking_handler_does_not_kill_its_worker() {
+    // One worker: if the panic killed it, the follow-up request would
+    // hang (nobody left to serve the queue) instead of answering.
+    let server = start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for _ in 0..3 {
+        match client
+            .call(&Request::DebugPanic)
+            .expect("panic call answers")
+        {
+            Response::Error { message } => assert!(message.contains("panicked")),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        match client
+            .call(&Request::Provision {
+                app: toy_app(),
+                block_ports: 16,
+                cutoff: 2048,
+            })
+            .expect("worker survived")
+        {
+            Response::Provisioned { n, .. } => assert_eq!(n, 6),
+            other => panic!("expected Provisioned, got {other:?}"),
+        }
+    }
+    client.call(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn draining_server_sheds_new_compute_requests() {
+    let server = start("127.0.0.1:0", toy_config()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.call(&Request::Shutdown).expect("shutdown ack");
+    // The connection is already open, so the next request reaches the
+    // server mid-drain; compute must be refused, not hung.
+    match client.call(&Request::Provision {
+        app: toy_app(),
+        block_ports: 16,
+        cutoff: 2048,
+    }) {
+        Ok(Response::Busy) => {}
+        // The drain may close the connection before the request lands.
+        Ok(other) => panic!("expected Busy, got {other:?}"),
+        Err(_) => {}
+    }
+    server.join();
+}

@@ -170,6 +170,39 @@ impl CommGraph {
         c
     }
 
+    /// A canonical 64-bit content hash (FNV-1a over `n` and every active
+    /// upper-triangle edge with its statistics).
+    ///
+    /// Two graphs hash equal iff they carry identical traffic; the hash is
+    /// stable across processes and platforms, so it can key caches and
+    /// name fabrics in serving registries. Inactive edges are skipped,
+    /// making the hash independent of matrix storage.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.n as u64);
+        for a in 0..self.n {
+            for b in a..self.n {
+                let e = self.edge(a, b);
+                if e.is_active() {
+                    mix(a as u64);
+                    mix(b as u64);
+                    mix(e.bytes);
+                    mix(e.count);
+                    mix(e.max_msg);
+                }
+            }
+        }
+        h
+    }
+
     /// Verifies the symmetry invariant (diagnostic; cheap for test sizes).
     pub fn is_symmetric(&self) -> bool {
         for a in 0..self.n {
@@ -277,5 +310,25 @@ mod tests {
         let mut ns: Vec<usize> = g.neighbors(2).map(|(u, _)| u).collect();
         ns.sort_unstable();
         assert_eq!(ns, vec![0, 4]);
+    }
+
+    #[test]
+    fn content_hash_tracks_traffic_not_storage() {
+        let mut a = CommGraph::new(4);
+        a.add_message(0, 1, 100);
+        a.add_message(2, 3, 50);
+        // Same traffic inserted in a different order hashes identically.
+        let mut b = CommGraph::new(4);
+        b.add_message(2, 3, 50);
+        b.add_message(0, 1, 100);
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Any change to traffic or size changes the hash.
+        let mut c = a.clone();
+        c.add_message(0, 1, 1);
+        assert_ne!(a.content_hash(), c.content_hash());
+        assert_ne!(
+            CommGraph::new(4).content_hash(),
+            CommGraph::new(5).content_hash()
+        );
     }
 }

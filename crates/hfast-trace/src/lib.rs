@@ -52,7 +52,8 @@ pub use flame::{aggregate, CallAgg};
 pub use json::{parse, JsonValue};
 pub use perfetto::{export, validate, TraceStats};
 pub use span::{
-    engine_span_id, rank_span_id, SpanContext, SpanRecord, TraceRecorder, Track, ENGINE_SPAN_BASE,
+    engine_span_id, rank_span_id, server_span_id, SpanContext, SpanRecord, TraceRecorder, Track,
+    ENGINE_SPAN_BASE, SERVER_SPAN_BASE,
 };
 
 use std::sync::atomic::{AtomicU8, Ordering};

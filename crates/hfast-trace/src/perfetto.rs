@@ -26,6 +26,7 @@ pub fn track_coords(track: Track) -> (u64, u64) {
         Track::Link(l) => (2, l as u64),
         Track::Engine => (3, 0),
         Track::Reconfig => (3, 1),
+        Track::Server(c) => (4, c as u64),
     }
 }
 
@@ -35,6 +36,7 @@ fn track_label(track: Track) -> String {
         Track::Link(l) => format!("link {l}"),
         Track::Engine => "event loop".to_string(),
         Track::Reconfig => "reconfig".to_string(),
+        Track::Server(c) => format!("conn {c}"),
     }
 }
 
@@ -42,6 +44,7 @@ fn process_label(pid: u64) -> &'static str {
     match pid {
         1 => "ranks",
         2 => "links",
+        4 => "server",
         _ => "engine",
     }
 }

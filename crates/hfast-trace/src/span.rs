@@ -17,6 +17,10 @@ use std::sync::Mutex;
 /// Bit marking engine-allocated span ids; rank ids never set it.
 pub const ENGINE_SPAN_BASE: u64 = 1 << 63;
 
+/// Bit marking server-allocated span ids (daemon request spans); disjoint
+/// from both the engine bit and the rank id range.
+pub const SERVER_SPAN_BASE: u64 = 1 << 62;
+
 /// Span id for the `counter`-th span opened by `rank`.
 ///
 /// Rank ids live in `[(rank+1) << 32, (rank+2) << 32)`; two ranks can
@@ -31,6 +35,14 @@ pub fn rank_span_id(rank: usize, counter: u64) -> u64 {
 #[inline]
 pub fn engine_span_id(counter: u64) -> u64 {
     ENGINE_SPAN_BASE | counter
+}
+
+/// Span id for the `counter`-th span allocated by a serving daemon
+/// (request / parse / execute / respond spans). Disjoint from engine ids
+/// (bit 63 unset) and from rank ids (ranks would need to exceed 2³⁰).
+#[inline]
+pub fn server_span_id(counter: u64) -> u64 {
+    SERVER_SPAN_BASE | (counter & (SERVER_SPAN_BASE - 1))
 }
 
 /// The causal stamp carried inside a message envelope.
@@ -79,6 +91,8 @@ pub enum Track {
     Engine,
     /// The reconfiguration engine (sync points, repatches).
     Reconfig,
+    /// One per serving-daemon connection (request lifecycle spans).
+    Server(usize),
 }
 
 /// One closed span (or instant, when `dur_ns == 0`) on a track.
@@ -189,6 +203,10 @@ mod tests {
         }
         assert_ne!(engine_span_id(5), rank_span_id(0, 5));
         assert_eq!(engine_span_id(7) & ENGINE_SPAN_BASE, ENGINE_SPAN_BASE);
+        assert_ne!(server_span_id(5), engine_span_id(5));
+        assert_ne!(server_span_id(5), rank_span_id(0, 5));
+        assert_eq!(server_span_id(9) & ENGINE_SPAN_BASE, 0);
+        assert_eq!(server_span_id(9) & SERVER_SPAN_BASE, SERVER_SPAN_BASE);
     }
 
     #[test]

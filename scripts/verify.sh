@@ -6,7 +6,7 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
-cargo test -q
+cargo test --workspace -q
 cargo test --doc --workspace -q
 # Fault-replay smoke: exits non-zero unless HFAST beats the fat tree in
 # goodput on every (app, failure-rate) cell.
@@ -18,4 +18,9 @@ cargo run --release -q -p hfast-bench --bin hotspots -- GTC > /dev/null
 # exported document is valid trace-event JSON with one track per rank and
 # per used link and zero orphan recv spans.
 cargo run --release -q -p hfast-bench --bin trace_capture > /dev/null
+# Serving smoke: ephemeral-port daemon exercised across every endpoint
+# (health, provision, cost, tdc, simulate with and without faults, the
+# panic-isolation probe, stats) and drained; exits non-zero on any
+# mismatch, unexercised cache, or a hung drain.
+cargo run --release -q -p hfast-serve -- --self-test > /dev/null
 echo "verify: OK"
