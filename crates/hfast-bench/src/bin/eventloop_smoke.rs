@@ -1,0 +1,103 @@
+//! Thread-count determinism smoke for the rewritten event loop: every
+//! scenario runs under `HFAST_THREADS=1` and `=8` semantics (via
+//! `Simulation::with_threads`, the same resolution path the env variable
+//! feeds) and the outputs must be byte-identical. Exits non-zero, naming
+//! the scenario and both digests, on any divergence.
+//!
+//! Scenarios cover both loops: the 20k-flow static suite the bench
+//! measures (where the conservative-parallel executor actually engages),
+//! a bursty all-to-all on the fat tree (same-timestamp event storms), and
+//! a faulted torus with retries (the dynamic loop, which must stay
+//! untouched by the thread knob).
+
+use hfast_netsim::{
+    traffic, transit_links, FatTreeFabric, FaultPlan, RetryPolicy, SimOutput, Simulation,
+    TorusFabric,
+};
+
+/// FNV-1a over every stats field and per-flow record: equal digests ⇔
+/// byte-identical simulated results (mirrors the eventloop golden tests).
+fn digest(out: &SimOutput) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    let s = &out.stats;
+    for v in [
+        s.completed as u64,
+        s.unrouted as u64,
+        s.abandoned as u64,
+        s.total_retries,
+        s.delivered_bytes,
+        s.makespan_ns,
+        s.p50_latency_ns,
+        s.p95_latency_ns,
+        s.max_latency_ns,
+        s.avg_hops.to_bits(),
+        s.max_link_utilization.to_bits(),
+        s.throughput.to_bits(),
+    ] {
+        mix(v);
+    }
+    if let Some(records) = &out.records {
+        for r in records {
+            mix(r.flow as u64);
+            mix(r.start_ns);
+            mix(r.end_ns.map_or(u64::MAX, |e| e));
+            mix(r.hops as u64);
+            mix(u64::from(r.retries));
+            mix(u64::from(r.abandoned));
+        }
+    }
+    h
+}
+
+fn check(name: &str, run: impl Fn(usize) -> SimOutput) {
+    let seq = run(1);
+    let par = run(8);
+    let (d1, d8) = (digest(&seq), digest(&par));
+    assert_eq!(
+        seq, par,
+        "{name}: HFAST_THREADS=1 and =8 diverged (digests {d1:#018x} vs {d8:#018x})"
+    );
+    println!("{name}: threads 1 == 8, digest {d1:#018x}");
+}
+
+fn main() {
+    let torus = TorusFabric::new((8, 8, 8)).unwrap();
+    let many = traffic::uniform_random(512, 20_000, 4096, 1_000_000, 42);
+    check("static/20k-flows-512-torus", |threads| {
+        Simulation::new(&torus)
+            .detailed()
+            .with_threads(threads)
+            .run(&many)
+    });
+
+    let ft = FatTreeFabric::new(32, 8).unwrap();
+    let burst = traffic::alltoall(32, 4096);
+    check("static/alltoall-fat-tree", |threads| {
+        Simulation::new(&ft)
+            .detailed()
+            .with_threads(threads)
+            .run(&burst)
+    });
+
+    let small = TorusFabric::new((4, 4, 1)).unwrap();
+    let fs = traffic::uniform_random(16, 200, 4096, 400_000, 13);
+    let eligible = transit_links(&small, &fs);
+    let plan = FaultPlan::builder()
+        .random_link_failures(0xFEED, 4, &eligible, (0, 400_000), Some(150_000))
+        .build(&small)
+        .unwrap();
+    check("faulted/torus-retries", |threads| {
+        Simulation::new(&small)
+            .with_faults(&plan)
+            .with_retry(RetryPolicy::default())
+            .detailed()
+            .with_threads(threads)
+            .run(&fs)
+    });
+
+    println!("eventloop smoke: OK");
+}

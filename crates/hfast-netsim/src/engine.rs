@@ -9,22 +9,90 @@
 //! backoff after targeted [`PathCache`] invalidation, and — on fabrics
 //! that support it — failed circuits are repatched mid-run through the
 //! MEMS crossbar at the next synchronization point.
+//!
+//! Both loops schedule through one calendar-queue [`Scheduler`] over a
+//! flat SoA event arena (see [`crate::queue`]) instead of a
+//! `BinaryHeap<Reverse<Event>>`: events are `u32` indices into parallel
+//! columns, routes are interned once per run into a flat link arena, and
+//! per-event work touches dense per-run tables (latency, bandwidth,
+//! route offsets) rather than virtual calls and hash probes. On top of
+//! the sequential rewrite the static loop can execute conservative
+//! lookahead windows in parallel (`HFAST_THREADS` /
+//! [`Simulation::with_threads`]) while preserving the deterministic
+//! `(time_ns, class, seq)` total order, so any thread count produces
+//! byte-identical [`SimOutput`]s — the invariant every release asserts.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{BuildHasher, Hasher};
 
 use hfast_core::ReconfigStep;
 use hfast_trace::{engine_span_id, TraceRecorder, Track};
 
-use crate::fabric::{Fabric, LinkId};
+use crate::fabric::{Fabric, LinkId, LinkSpec};
 use crate::faultplan::{FaultAction, FaultPlan, FaultState, FaultTarget, RetryPolicy};
 use crate::obs::EngineObs;
+use crate::queue::{FlowQueue, Scheduler};
 use crate::stats::RunStats;
 use crate::traffic::Flow;
 
 /// Unique-pair count above which missing paths are computed on worker
 /// threads; below it the spawn cost outweighs the routing work.
 pub(crate) const PAR_PATH_THRESHOLD: usize = 64;
+
+/// Batch size below which a drained lookahead window is executed inline:
+/// fanning a handful of events out to workers costs more than the events.
+const PAR_BATCH_MIN: usize = 64;
+
+/// Per-slot state: fresh entries have no bits set; [`STALE_BIT`] marks an
+/// entry whose route must be re-derived; [`NOROUTE_BIT`] caches the "this
+/// pair is unreachable in the healthy fabric" verdict.
+const STALE_BIT: u8 = 1;
+const NOROUTE_BIT: u8 = 2;
+
+/// `(src, dst)` packed into the cache's hash key.
+#[inline]
+fn pair_key(src: usize, dst: usize) -> u64 {
+    ((src as u64) << 32) | dst as u64
+}
+
+/// A multiply-mix hasher for the packed pair keys: one SplitMix64
+/// finalizer instead of SipHash's rounds. Pair interning runs once per
+/// flow per run, so this is on the run-setup critical path.
+#[derive(Debug, Clone, Default)]
+struct PairHashBuilder;
+
+impl BuildHasher for PairHashBuilder {
+    type Hasher = PairHasher;
+    fn build_hasher(&self) -> PairHasher {
+        PairHasher(0)
+    }
+}
+
+#[derive(Debug)]
+struct PairHasher(u64);
+
+impl Hasher for PairHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused by the pair map).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut z = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Memoized per-(src, dst) routes for a static fabric.
 ///
@@ -35,20 +103,33 @@ pub(crate) const PAR_PATH_THRESHOLD: usize = 64;
 /// routing cost once — and missing paths are computed in parallel (input
 /// order preserved, so results are deterministic).
 ///
-/// Fault runs evict affected routes in place via [`invalidate_link`] /
-/// [`invalidate_node`]: the slot stays allocated but is marked stale, and
-/// the next resolution of that pair recomputes it. A cache handed to a
-/// fault run therefore stays safe to reuse afterwards — every route the
-/// faults touched is left stale, so a later run re-derives the primary
-/// route instead of inheriting a detour.
+/// Internally the cache is an interned slot table: each pair owns a `u32`
+/// slot whose route lives in one flat link arena (`offs`/`lens` spans
+/// into `links`) and whose freshness is a per-slot state byte. Fault runs
+/// evict affected routes in place via [`invalidate_link`] /
+/// [`invalidate_node`] — one indexed store per evicted slot, no hash
+/// probing — and the slot stays allocated, so the next resolution of that
+/// pair recomputes it. A cache handed to a fault run therefore stays safe
+/// to reuse afterwards: every route the faults touched is left stale, so
+/// a later run re-derives the primary route instead of inheriting a
+/// detour.
 ///
 /// [`invalidate_link`]: PathCache::invalidate_link
 /// [`invalidate_node`]: PathCache::invalidate_node
 #[derive(Debug, Default, Clone)]
 pub struct PathCache {
-    slot_of_pair: HashMap<(usize, usize), usize>,
-    paths: Vec<Option<Vec<LinkId>>>,
-    stale: Vec<bool>,
+    slot_of_pair: HashMap<u64, u32, PairHashBuilder>,
+    /// Slot → its (src, dst) pair, densely iterable for node invalidation.
+    pairs: Vec<(u32, u32)>,
+    /// Slot → start of its route span in `links`.
+    offs: Vec<u32>,
+    /// Slot → length of its route span.
+    lens: Vec<u32>,
+    /// Flat route arena: every slot's links, concatenated. Rewrites (fault
+    /// detours) append a fresh span and abandon the old one.
+    links: Vec<LinkId>,
+    /// Slot → [`STALE_BIT`] | [`NOROUTE_BIT`] state byte.
+    state: Vec<u8>,
 }
 
 impl PathCache {
@@ -59,40 +140,49 @@ impl PathCache {
 
     /// Number of distinct (src, dst) pairs resolved so far.
     pub fn len(&self) -> usize {
-        self.paths.len()
+        self.pairs.len()
     }
 
     /// True if no pair has been resolved yet.
     pub fn is_empty(&self) -> bool {
-        self.paths.is_empty()
+        self.pairs.is_empty()
     }
 
     /// Forgets all cached routes (required before switching fabrics).
     pub fn clear(&mut self) {
         self.slot_of_pair.clear();
-        self.paths.clear();
-        self.stale.clear();
+        self.pairs.clear();
+        self.offs.clear();
+        self.lens.clear();
+        self.links.clear();
+        self.state.clear();
     }
 
     /// The current route for a pair: `None` if the pair was never resolved
     /// or its entry is stale, `Some(None)` if the fabric has no route,
     /// `Some(Some(path))` otherwise.
     pub fn cached(&self, src: usize, dst: usize) -> Option<Option<&[LinkId]>> {
-        let &slot = self.slot_of_pair.get(&(src, dst))?;
-        if self.stale[slot] {
+        let &slot = self.slot_of_pair.get(&pair_key(src, dst))?;
+        if self.state[slot as usize] & STALE_BIT != 0 {
             return None;
         }
-        Some(self.paths[slot].as_deref())
+        Some(self.path(slot as usize))
     }
 
     /// Marks every cached route crossing `link` stale, returning how many
-    /// routes were evicted. O(cached pairs) — called per fault event, not
-    /// per flow.
+    /// routes were evicted. O(cached pairs) over the dense slot table —
+    /// called per fault event, not per flow — and each eviction is one
+    /// indexed store into the state column.
     pub fn invalidate_link(&mut self, link: LinkId) -> usize {
         let mut evicted = 0;
-        for (slot, path) in self.paths.iter().enumerate() {
-            if !self.stale[slot] && path.as_deref().is_some_and(|p| p.contains(&link)) {
-                self.stale[slot] = true;
+        for slot in 0..self.state.len() {
+            if self.state[slot] != 0 {
+                continue; // stale already, or no route to cross the link
+            }
+            let off = self.offs[slot] as usize;
+            let len = self.lens[slot] as usize;
+            if self.links[off..off + len].contains(&link) {
+                self.state[slot] |= STALE_BIT;
                 evicted += 1;
             }
         }
@@ -103,28 +193,81 @@ impl PathCache {
     /// of its `incident` links stale, returning how many routes were
     /// evicted.
     pub fn invalidate_node(&mut self, node: usize, incident: &[LinkId]) -> usize {
+        let node = node as u32;
         let mut evicted = 0;
-        for (&(src, dst), &slot) in &self.slot_of_pair {
-            if self.stale[slot] {
+        for (slot, &(src, dst)) in self.pairs.iter().enumerate() {
+            if self.state[slot] & STALE_BIT != 0 {
                 continue;
             }
             let touches = src == node
                 || dst == node
-                || self.paths[slot]
-                    .as_deref()
+                || self
+                    .path(slot)
                     .is_some_and(|p| p.iter().any(|l| incident.contains(l)));
             if touches {
-                self.stale[slot] = true;
+                self.state[slot] |= STALE_BIT;
                 evicted += 1;
             }
         }
         evicted
     }
 
-    /// The cached route in slot `slot`.
+    /// The cached route in slot `slot` (ignoring staleness): `None` for a
+    /// cached unreachable verdict.
     #[inline]
     fn path(&self, slot: usize) -> Option<&[LinkId]> {
-        self.paths[slot].as_deref()
+        if self.state[slot] & NOROUTE_BIT != 0 {
+            return None;
+        }
+        let off = self.offs[slot] as usize;
+        Some(&self.links[off..off + self.lens[slot] as usize])
+    }
+
+    /// True if the slot's entry must be re-derived before use.
+    #[inline]
+    fn is_stale(&self, slot: usize) -> bool {
+        self.state[slot] & STALE_BIT != 0
+    }
+
+    /// Marks one slot stale: a single indexed store.
+    #[inline]
+    fn mark_stale(&mut self, slot: usize) {
+        self.state[slot] |= STALE_BIT;
+    }
+
+    /// Appends a new slot for `pair` holding `route`.
+    fn push_slot(&mut self, src: u32, dst: u32, route: Option<&[LinkId]>) {
+        self.pairs.push((src, dst));
+        self.offs.push(self.links.len() as u32);
+        match route {
+            Some(p) => {
+                self.links.extend_from_slice(p);
+                self.lens.push(p.len() as u32);
+                self.state.push(0);
+            }
+            None => {
+                self.lens.push(0);
+                self.state.push(NOROUTE_BIT);
+            }
+        }
+    }
+
+    /// Overwrites slot `slot`'s route and marks it fresh. New routes
+    /// append a fresh arena span (the old span is abandoned — only fault
+    /// runs rewrite, so the garbage is bounded by detour churn).
+    fn set_route(&mut self, slot: usize, route: Option<&[LinkId]>) {
+        match route {
+            Some(p) => {
+                self.offs[slot] = self.links.len() as u32;
+                self.links.extend_from_slice(p);
+                self.lens[slot] = p.len() as u32;
+                self.state[slot] = 0;
+            }
+            None => {
+                self.lens[slot] = 0;
+                self.state[slot] = NOROUTE_BIT;
+            }
+        }
     }
 
     /// Number of allocated slots (fresh or stale). Unlike [`len`], this is
@@ -133,29 +276,25 @@ impl PathCache {
     /// [`len`]: PathCache::len
     #[inline]
     pub(crate) fn slot_count(&self) -> usize {
-        self.paths.len()
+        self.pairs.len()
     }
 
     /// The slot of a pair with a *fresh* entry, if any.
     #[inline]
     pub(crate) fn fresh_slot(&self, src: usize, dst: usize) -> Option<usize> {
-        let &slot = self.slot_of_pair.get(&(src, dst))?;
-        (!self.stale[slot]).then_some(slot)
+        let &slot = self.slot_of_pair.get(&pair_key(src, dst))?;
+        (self.state[slot as usize] & STALE_BIT == 0).then_some(slot as usize)
     }
 
     /// Stores a resolved route for a pair, allocating or refreshing its
     /// slot (used by warm-cache builders outside a run).
     pub(crate) fn insert_resolved(&mut self, src: usize, dst: usize, path: Option<Vec<LinkId>>) {
-        match self.slot_of_pair.get(&(src, dst)) {
-            Some(&slot) => {
-                self.paths[slot] = path;
-                self.stale[slot] = false;
-            }
+        match self.slot_of_pair.get(&pair_key(src, dst)) {
+            Some(&slot) => self.set_route(slot as usize, path.as_deref()),
             None => {
-                let slot = self.paths.len();
-                self.slot_of_pair.insert((src, dst), slot);
-                self.paths.push(path);
-                self.stale.push(false);
+                self.slot_of_pair
+                    .insert(pair_key(src, dst), self.pairs.len() as u32);
+                self.push_slot(src as u32, dst as u32, path.as_deref());
             }
         }
     }
@@ -171,48 +310,60 @@ impl PathCache {
         obs: Option<&EngineObs>,
     ) -> Vec<usize> {
         let mut slots = Vec::with_capacity(flows.len());
-        let mut missing: Vec<(usize, usize)> = Vec::new();
-        let mut refresh: Vec<(usize, (usize, usize))> = Vec::new();
+        let mut missing: Vec<(u32, u32)> = Vec::new();
+        let mut refresh: Vec<u32> = Vec::new();
         let mut hits = 0u64;
+        let base = self.pairs.len();
         for f in flows {
             assert!(
                 f.src < fabric.nodes() && f.dst < fabric.nodes(),
                 "flow endpoints in range"
             );
-            let next = self.paths.len() + missing.len();
+            let next = (base + missing.len()) as u32;
             let mut fresh = false;
-            let slot = *self.slot_of_pair.entry((f.src, f.dst)).or_insert_with(|| {
-                missing.push((f.src, f.dst));
-                fresh = true;
-                next
-            });
+            let slot = *self
+                .slot_of_pair
+                .entry(pair_key(f.src, f.dst))
+                .or_insert_with(|| {
+                    missing.push((f.src as u32, f.dst as u32));
+                    fresh = true;
+                    next
+                });
             if !fresh {
-                // A slot allocated earlier in this same call has no stale
-                // entry yet — it is being computed fresh below.
-                if self.stale.get(slot).copied().unwrap_or(false) {
+                let s = slot as usize;
+                // A slot allocated earlier in this same call has no state
+                // byte yet — it is being computed fresh below.
+                if s < self.state.len() && self.state[s] & STALE_BIT != 0 {
                     // Claim the refresh so a repeated pair is queued once.
-                    self.stale[slot] = false;
-                    refresh.push((slot, (f.src, f.dst)));
+                    self.state[s] &= !STALE_BIT;
+                    refresh.push(slot);
                 } else {
                     hits += 1;
                 }
             }
-            slots.push(slot);
+            slots.push(slot as usize);
         }
         if let Some(obs) = obs {
             obs.cache_hits.add(hits);
             obs.cache_misses.add((missing.len() + refresh.len()) as u64);
         }
-        if missing.len() >= PAR_PATH_THRESHOLD {
-            self.paths
-                .extend(hfast_par::par_map(missing, |(s, d)| fabric.path(s, d)));
+        let routed: Vec<Option<Vec<LinkId>>> = if missing.len() >= PAR_PATH_THRESHOLD {
+            hfast_par::par_map(missing.clone(), |(s, d)| {
+                fabric.path(s as usize, d as usize)
+            })
         } else {
-            self.paths
-                .extend(missing.into_iter().map(|(s, d)| fabric.path(s, d)));
+            missing
+                .iter()
+                .map(|&(s, d)| fabric.path(s as usize, d as usize))
+                .collect()
+        };
+        for (&(s, d), path) in missing.iter().zip(&routed) {
+            self.push_slot(s, d, path.as_deref());
         }
-        self.stale.resize(self.paths.len(), false);
-        for (slot, (s, d)) in refresh {
-            self.paths[slot] = fabric.path(s, d);
+        for slot in refresh {
+            let (s, d) = self.pairs[slot as usize];
+            let path = fabric.path(s as usize, d as usize);
+            self.set_route(slot as usize, path.as_deref());
         }
         slots
     }
@@ -263,7 +414,7 @@ fn index_flows_layered<'a>(
     let base_len = base.slot_count();
     let mut extra = PathCache::new();
     let mut slots = Vec::with_capacity(flows.len());
-    let mut missing: Vec<(usize, usize)> = Vec::new();
+    let mut missing: Vec<(u32, u32)> = Vec::new();
     let mut hits = 0u64;
     for f in flows {
         assert!(
@@ -275,48 +426,44 @@ fn index_flows_layered<'a>(
             slots.push(slot);
             continue;
         }
-        let next = extra.paths.len() + missing.len();
+        let next = missing.len() as u32;
         let mut fresh = false;
-        let slot = *extra.slot_of_pair.entry((f.src, f.dst)).or_insert_with(|| {
-            missing.push((f.src, f.dst));
-            fresh = true;
-            next
-        });
+        let slot = *extra
+            .slot_of_pair
+            .entry(pair_key(f.src, f.dst))
+            .or_insert_with(|| {
+                missing.push((f.src as u32, f.dst as u32));
+                fresh = true;
+                next
+            });
         if !fresh {
             hits += 1;
         }
-        slots.push(base_len + slot);
+        slots.push(base_len + slot as usize);
     }
     if let Some(obs) = obs {
         obs.cache_hits.add(hits);
         obs.cache_misses.add(missing.len() as u64);
     }
-    if missing.len() >= PAR_PATH_THRESHOLD {
-        extra
-            .paths
-            .extend(hfast_par::par_map(missing, |(s, d)| fabric.path(s, d)));
+    let routed: Vec<Option<Vec<LinkId>>> = if missing.len() >= PAR_PATH_THRESHOLD {
+        hfast_par::par_map(missing.clone(), |(s, d)| {
+            fabric.path(s as usize, d as usize)
+        })
     } else {
-        extra
-            .paths
-            .extend(missing.into_iter().map(|(s, d)| fabric.path(s, d)));
+        missing
+            .iter()
+            .map(|&(s, d)| fabric.path(s as usize, d as usize))
+            .collect()
+    };
+    for (&(s, d), path) in missing.iter().zip(&routed) {
+        extra.push_slot(s, d, path.as_deref());
     }
-    extra.stale.resize(extra.paths.len(), false);
     RouteView {
         base,
         base_len,
         extra: Some(extra),
         slots,
     }
-}
-
-/// One scheduled simulator event: a flow arriving at hop `hop` of its path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Event {
-    time_ns: u64,
-    /// Tie-break so ordering is fully deterministic.
-    seq: u64,
-    flow: usize,
-    hop: usize,
 }
 
 /// Per-flow simulation record.
@@ -338,7 +485,7 @@ pub struct FlowRecord {
 }
 
 /// Everything a simulation run produces.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SimOutput {
     /// Aggregate statistics.
     pub stats: RunStats,
@@ -347,6 +494,47 @@ pub struct SimOutput {
     /// Mid-run circuit re-provisioning rounds, in sync-point order (empty
     /// unless faults hit a reprovision-capable fabric).
     pub reprovisions: Vec<ReconfigStep>,
+    /// Event-loop execution metrics for this run. The **only**
+    /// wall-clock-derived data in a `SimOutput`: everything else is
+    /// deterministic simulated output, so equality checks and digests
+    /// must ignore this field.
+    pub perf: LoopPerf,
+}
+
+/// Simulated-output equality: compares `stats`, `records`, and
+/// `reprovisions`; `perf` is wall-clock and deliberately excluded, so
+/// two deterministic replays compare equal.
+impl PartialEq for SimOutput {
+    fn eq(&self, other: &Self) -> bool {
+        self.stats == other.stats
+            && self.records == other.records
+            && self.reprovisions == other.reprovisions
+    }
+}
+
+/// How much work the event loop did and how fast it did it: the
+/// benchmark currency of the engine (`speedup/eventloop_*` in
+/// `BENCH_<tag>.json` is computed from these numbers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopPerf {
+    /// Events the loop processed (hop arrivals, plus fault, sync,
+    /// repatch, and admission events on dynamic runs).
+    pub events: u64,
+    /// Wall-clock nanoseconds spent inside the event loop proper —
+    /// excludes route resolution, table setup, and statistics
+    /// aggregation.
+    pub loop_ns: u64,
+}
+
+impl LoopPerf {
+    /// Events per wall-clock second, `0.0` for an instant loop.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.loop_ns == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e9 / self.loop_ns as f64
+        }
+    }
 }
 
 impl SimOutput {
@@ -359,6 +547,19 @@ impl SimOutput {
             .as_deref()
             .expect("records require Simulation::detailed()")
     }
+}
+
+/// Worker count for the static loop's lookahead windows: an explicitly
+/// set `HFAST_THREADS` wins; unset (or 1) keeps the plain sequential
+/// loop. Unlike [`hfast_par::thread_count`] this does **not** fall back
+/// to the machine's available parallelism — windowed execution is an
+/// opt-in, so default runs stay on the fastest single-thread path.
+fn engine_threads() -> usize {
+    std::env::var("HFAST_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// Builder for one simulation run — the single entry point for fault-free
@@ -415,6 +616,7 @@ pub struct Simulation<'a> {
     faults: Option<&'a FaultPlan>,
     retry: RetryPolicy,
     reprovision_interval_ns: Option<u64>,
+    threads: Option<usize>,
 }
 
 impl<'a> Simulation<'a> {
@@ -431,6 +633,7 @@ impl<'a> Simulation<'a> {
             faults: None,
             retry: RetryPolicy::default(),
             reprovision_interval_ns: None,
+            threads: None,
         }
     }
 
@@ -499,6 +702,17 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Executes the static loop's conservative lookahead windows on
+    /// `threads` workers (overriding `HFAST_THREADS`). `1` is the plain
+    /// sequential loop. Results are byte-identical for every thread count
+    /// — the windowed executor preserves the `(time_ns, class, seq)`
+    /// total order (property-tested) — so this only trades wall-clock
+    /// for cores. Fault runs are always sequential.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// Enables mid-run circuit re-provisioning at sync points spaced
     /// `interval_ns` apart: when a reprovisionable link fails (see
     /// [`Fabric::reprovisionable`]), the repair is batched to the next
@@ -523,6 +737,7 @@ impl<'a> Simulation<'a> {
         let obs = self
             .obs
             .or_else(|| hfast_obs::enabled().then(crate::obs::global));
+        let threads = self.threads.unwrap_or_else(engine_threads);
         match self.faults {
             Some(plan) if !plan.is_empty() => {
                 // The dynamic loop rewrites routes in place (detours,
@@ -544,11 +759,12 @@ impl<'a> Simulation<'a> {
                     reprovision_interval_ns: self.reprovision_interval_ns,
                     trace: self.trace,
                 };
-                let (stats, records, reprovisions) = dyn_run.run(flows, cache, obs);
+                let (stats, records, reprovisions, perf) = dyn_run.run(flows, cache, obs);
                 SimOutput {
                     stats,
                     records: self.detailed.then_some(records),
                     reprovisions,
+                    perf,
                 }
             }
             _ => {
@@ -577,126 +793,742 @@ impl<'a> Simulation<'a> {
                         }
                     }
                 };
-                let (stats, records) = run_event_loop(self.fabric, flows, &routes, obs, self.trace);
+                let (stats, records, perf) =
+                    run_event_loop(self.fabric, flows, &routes, obs, self.trace, threads);
                 SimOutput {
                     stats,
                     records: self.detailed.then_some(records),
                     reprovisions: Vec::new(),
+                    perf,
                 }
             }
         }
     }
 }
 
+/// Sentinel in the flattened per-flow route table: this flow has no route.
+const UNROUTED: u32 = u32::MAX;
+
+/// Sentinel in the flat delivery-time column: not delivered.
+const NO_END: u64 = u64::MAX;
+
+/// A route-arena cell: a link id with the entry's high bit flagging the
+/// route's final hop. Lets flow events carry a bare arena index — the loop
+/// learns both the link and whether the flow delivers from one load.
+///
+/// Two widths exist because the arena is the static loop's biggest random
+/// working set: fabrics with < 2^15 links (every suite benched here) halve
+/// their arena-cache footprint with `u16` cells, while bigger fabrics fall
+/// back to `u32`. The loops are generic over the cell, so both widths run
+/// identical event math.
+trait ArenaEntry: Copy + Send + Sync + 'static {
+    /// Largest representable link id (the flag claims the top bit).
+    const MAX_LINKS: usize;
+    fn from_link(link: usize) -> Self;
+    fn mark_last(&mut self);
+    /// The link id, flag stripped.
+    fn link(self) -> usize;
+    fn is_last(self) -> bool;
+}
+
+impl ArenaEntry for u16 {
+    const MAX_LINKS: usize = 1 << 15;
+    #[inline(always)]
+    fn from_link(link: usize) -> Self {
+        link as u16
+    }
+    #[inline(always)]
+    fn mark_last(&mut self) {
+        *self |= 1 << 15;
+    }
+    #[inline(always)]
+    fn link(self) -> usize {
+        (self & !(1 << 15)) as usize
+    }
+    #[inline(always)]
+    fn is_last(self) -> bool {
+        self & (1 << 15) != 0
+    }
+}
+
+impl ArenaEntry for u32 {
+    const MAX_LINKS: usize = 1 << 31;
+    #[inline(always)]
+    fn from_link(link: usize) -> Self {
+        link as u32
+    }
+    #[inline(always)]
+    fn mark_last(&mut self) {
+        *self |= 1 << 31;
+    }
+    #[inline(always)]
+    fn link(self) -> usize {
+        (self & !(1 << 31)) as usize
+    }
+    #[inline(always)]
+    fn is_last(self) -> bool {
+        self & (1 << 31) != 0
+    }
+}
+
+/// How the static loop resolves per-event serialization times; picked
+/// once per run, cheapest viable representation first (see
+/// [`run_event_loop`]).
+enum SerMode {
+    /// Uniform bandwidth and payload: one scalar, zero per-event lookups.
+    Scalar(u64),
+    /// Uniform bandwidth, varying payloads: a flat per-flow table.
+    Table(Vec<u64>),
+    /// Mixed bandwidths: per-flow memo in [`FlowHot`], recomputed when a
+    /// flow crosses a differently-provisioned link.
+    Memo,
+}
+
+/// Per-link hot state: everything an event touches about its link, packed
+/// so one claim is one cache line instead of four (`free_at` / `busy` /
+/// `lat` / `bw` used to live in four parallel `Vec`s).
+#[derive(Clone, Copy)]
+struct LinkHot {
+    free_at: u64,
+    busy_ns: u64,
+    lat: u64,
+    bw_bits: u64,
+}
+
+/// Per-flow hot state: the route length (for the post-loop records pass)
+/// plus the memoized serialization time. `bw_bits` caches the bandwidth
+/// the memo was computed for; links share a handful of bandwidths, so the
+/// `bytes / bandwidth` division runs once per flow, not per hop (and on
+/// uniform-bandwidth fabrics the loop never touches this struct at all —
+/// see [`SerMode`]).
+#[derive(Clone, Copy)]
+struct FlowHot {
+    len: u32,
+    bw_bits: u64,
+    ser: u64,
+}
+
+#[inline]
+fn serialize(bw_bits: u64, bytes: u64) -> u64 {
+    LinkSpec {
+        latency_ns: 0,
+        bandwidth: f64::from_bits(bw_bits),
+    }
+    .serialize_ns(bytes)
+}
+
 /// The static event loop shared by every fault-free run configuration.
 ///
-/// Flows are resolved to cache slots — one stored route per distinct
-/// (src, dst) pair, however many flows repeat it — and the loop reads
-/// routes through a [`RouteView`], so no per-flow path buffers are
-/// allocated and a shared snapshot is never written. Observability is
-/// strictly read-from: `obs` never influences event ordering or timing,
-/// so an instrumented run returns bit-identical results (asserted by
-/// property tests).
+/// Setup interns everything the per-event work touches into dense per-run
+/// tables: each distinct route slot is flattened once into one link arena
+/// of [`ArenaEntry`] cells (`u16` when the fabric's link ids fit, `u32`
+/// otherwise), per-link specs land in [`LinkHot`] (one virtual
+/// [`Fabric::link`] call per link per run instead of per event), and
+/// per-flow route spans and serialization memos in [`FlowHot`].
+///
+/// Seed admissions are **not** enqueued: they are sorted once into a flat
+/// `(start_ns, flow)` array and merged with the calendar queue at pop
+/// time, with seeds winning timestamp ties — exactly the order the old
+/// code produced by pushing every seed first (seeds held the lowest
+/// sequence numbers). This keeps the queue's live set at the number of
+/// in-flight flows (typically hundreds) instead of the total flow count
+/// (tens of thousands), which is the difference between the hot path
+/// living in L1 and every queue operation missing to L3.
+///
+/// Observability is strictly read-from: `obs` never influences event
+/// ordering or timing, so an instrumented run returns bit-identical
+/// results (asserted by property tests).
+///
+/// `threads > 1` executes conservative lookahead windows in parallel; see
+/// [`run_windows`] for the determinism argument.
 fn run_event_loop(
     fabric: &dyn Fabric,
     flows: &[Flow],
     routes: &RouteView<'_>,
     obs: Option<&EngineObs>,
     trace: Option<&TraceRecorder>,
-) -> (RunStats, Vec<FlowRecord>) {
-    let mut link_free_at: Vec<u64> = vec![0; fabric.link_count()];
-    let mut link_busy_ns: Vec<u64> = vec![0; fabric.link_count()];
-    let mut records: Vec<FlowRecord> = flows
-        .iter()
-        .enumerate()
-        .map(|(i, f)| FlowRecord {
-            flow: i,
-            start_ns: f.start_ns,
-            end_ns: None,
-            hops: routes.path(i).map_or(0, <[LinkId]>::len),
-            retries: 0,
-            abandoned: false,
-        })
-        .collect();
+    threads: usize,
+) -> (RunStats, Vec<FlowRecord>, LoopPerf) {
+    let link_count = fabric.link_count();
 
-    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    for (i, f) in flows.iter().enumerate() {
-        if let Some(p) = routes.path(i) {
-            if p.is_empty() {
-                records[i].end_ns = Some(f.start_ns); // self-delivery
-                continue;
-            }
-            heap.push(Reverse(Event {
-                time_ns: f.start_ns,
-                seq,
-                flow: i,
-                hop: 0,
-            }));
-            seq += 1;
-        }
+    // Per-link spec table: one virtual call per link, up front.
+    let mut links: Vec<LinkHot> = Vec::with_capacity(link_count);
+    let mut uniform_bw = true;
+    for id in 0..link_count {
+        let spec = fabric.link(id);
+        let bw_bits = spec.bandwidth.to_bits();
+        uniform_bw &= id == 0 || bw_bits == links[0].bw_bits;
+        links.push(LinkHot {
+            free_at: 0,
+            busy_ns: 0,
+            lat: spec.latency_ns,
+            bw_bits,
+        });
     }
 
+    // Narrow arena cells whenever link ids fit: the route arena is the
+    // loop's largest random working set, and halving it is a straight
+    // cache-footprint win (the event math is identical — both widths are
+    // one monomorphization of the same generic code).
+    if link_count < <u16 as ArenaEntry>::MAX_LINKS {
+        run_static::<u16>(
+            fabric, flows, routes, obs, trace, threads, links, uniform_bw,
+        )
+    } else {
+        run_static::<u32>(
+            fabric, flows, routes, obs, trace, threads, links, uniform_bw,
+        )
+    }
+}
+
+/// The body of [`run_event_loop`], monomorphized per arena-cell width.
+#[allow(clippy::too_many_arguments)]
+fn run_static<E: ArenaEntry>(
+    fabric: &dyn Fabric,
+    flows: &[Flow],
+    routes: &RouteView<'_>,
+    obs: Option<&EngineObs>,
+    trace: Option<&TraceRecorder>,
+    threads: usize,
+    mut links: Vec<LinkHot>,
+    uniform_bw: bool,
+) -> (RunStats, Vec<FlowRecord>, LoopPerf) {
+    // Flatten each distinct route slot once into the link arena. Each
+    // cell is a link id with the last-hop flag set on a route's final
+    // link, so events carry a bare arena index and the loop never consults
+    // a per-flow route span.
+    debug_assert!(links.len() < E::MAX_LINKS, "link ids fit beside the flag");
+    let total_slots = routes.base_len + routes.extra.as_ref().map_or(0, PathCache::slot_count);
+    let mut slot_span: Vec<(u32, u32)> = vec![(0, 0); total_slots];
+    let mut slot_seen: Vec<bool> = vec![false; total_slots];
+    let mut route_links: Vec<E> = Vec::new();
+    let mut flow_hot: Vec<FlowHot> = Vec::with_capacity(flows.len());
+    // Delivery times, `NO_END` = undelivered; records are built from this
+    // flat column after the loop so the hot path writes 8 bytes per flow.
+    let mut ends: Vec<u64> = vec![NO_END; flows.len()];
+    // Routed admissions as (start, flow, arena offset), merged with the
+    // queue at pop time once sorted.
+    let mut seeds: Vec<(u64, u32, u32)> = Vec::with_capacity(flows.len());
+    let mut uniform_bytes = true;
+    let mut first_bytes = None;
+    for (i, f) in flows.iter().enumerate() {
+        let slot = routes.slots[i];
+        if !slot_seen[slot] {
+            slot_seen[slot] = true;
+            slot_span[slot] = match routes.path(i) {
+                Some(p) => {
+                    let off = route_links.len() as u32;
+                    route_links.extend(p.iter().map(|&l| E::from_link(l)));
+                    if !p.is_empty() {
+                        route_links.last_mut().expect("just extended").mark_last();
+                    }
+                    (off, p.len() as u32)
+                }
+                None => (0, UNROUTED),
+            };
+        }
+        let (off, len) = slot_span[slot];
+        flow_hot.push(FlowHot {
+            len,
+            bw_bits: u64::MAX,
+            ser: 0,
+        });
+        match len {
+            UNROUTED => {}
+            0 => ends[i] = f.start_ns, // self-delivery
+            _ => {
+                uniform_bytes &= *first_bytes.get_or_insert(f.bytes) == f.bytes;
+                seeds.push((f.start_ns, i as u32, off));
+            }
+        }
+    }
+    // (start, flow) order = the order the old code assigned seed sequence
+    // numbers in (flow order within a timestamp); the offset rides along
+    // without influencing it (it is a function of the flow).
+    seeds.sort_unstable();
+
+    // How the loop finds an event's serialization time, cheapest viable
+    // representation first: one scalar when every routed flow crosses
+    // identical-bandwidth links with identical payloads (no per-event
+    // flow lookup at all), a flat per-flow table under uniform bandwidth,
+    // and the per-flow bandwidth memo in [`FlowHot`] otherwise.
+    let ser_mode = if uniform_bw && !links.is_empty() {
+        match (uniform_bytes, first_bytes) {
+            (true, Some(b)) => SerMode::Scalar(serialize(links[0].bw_bits, b)),
+            _ => SerMode::Table(
+                flows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| match flow_hot[i].len {
+                        0 | UNROUTED => 0,
+                        _ => serialize(links[0].bw_bits, f.bytes),
+                    })
+                    .collect(),
+            ),
+        }
+    } else {
+        SerMode::Memo
+    };
+
+    // The static loop schedules exactly one event class, so it uses the
+    // stable single-class queue: 16-byte entries, timestamp-only
+    // comparisons, push order standing in for sequence numbers.
+    let mut q = FlowQueue::with_hint(256, 1 << 12);
+
     let mut n_events = 0u64;
-    let mut heap_peak = heap.len();
-    while let Some(Reverse(ev)) = heap.pop() {
-        n_events += 1;
-        let path = routes.path(ev.flow).expect("queued flows have paths");
-        let link_id = path[ev.hop];
-        let spec = fabric.link(link_id);
-        let bytes = flows[ev.flow].bytes;
-        let start = ev.time_ns.max(link_free_at[link_id]);
-        let serialization = spec.serialize_ns(bytes);
-        link_free_at[link_id] = start + serialization;
-        link_busy_ns[link_id] += serialization;
-        if let Some(obs) = obs {
-            obs.queue_wait_ns.record(start - ev.time_ns);
-            obs.link_busy(start, serialization, link_id);
+    let t_loop = std::time::Instant::now();
+    if threads <= 1 && obs.is_none() && trace.is_none() {
+        // The uninstrumented hot path, monomorphized per serialization
+        // mode: the closure inlines away, so the Scalar instantiation adds
+        // literally nothing per event beyond the merged pop, the arena
+        // load, the link claim, and the push. The
+        // `warm_cache_and_obs_runs_are_byte_identical` property test pins
+        // this specialization to the instrumented loop below.
+        n_events = match &ser_mode {
+            SerMode::Scalar(s) => {
+                let s = *s;
+                seq_lean(
+                    &mut q,
+                    &seeds,
+                    &route_links,
+                    &mut links,
+                    &mut ends,
+                    |_, _| s,
+                )
+            }
+            SerMode::Table(tab) => seq_lean(
+                &mut q,
+                &seeds,
+                &route_links,
+                &mut links,
+                &mut ends,
+                |flow, _| tab[flow as usize],
+            ),
+            SerMode::Memo => {
+                let flow_hot = &mut flow_hot;
+                seq_lean(
+                    &mut q,
+                    &seeds,
+                    &route_links,
+                    &mut links,
+                    &mut ends,
+                    |flow, bw_bits| {
+                        let fi = flow as usize;
+                        let fh = flow_hot[fi];
+                        if fh.bw_bits == bw_bits {
+                            fh.ser
+                        } else {
+                            let s = serialize(bw_bits, flows[fi].bytes);
+                            flow_hot[fi].bw_bits = bw_bits;
+                            flow_hot[fi].ser = s;
+                            s
+                        }
+                    },
+                )
+            }
+        };
+    } else if threads <= 1 {
+        // The instrumented sequential loop: identical event math with the
+        // observability and tracing hooks woven in.
+        let mut seed_pos = 0usize;
+        loop {
+            let take_seed = match (seeds.get(seed_pos), q.peek_time()) {
+                (Some(&(s, _, _)), Some(t)) => s <= t,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (t, flow, idx) = if take_seed {
+                let (s, f, off) = seeds[seed_pos];
+                seed_pos += 1;
+                (s, f, off)
+            } else {
+                q.pop().expect("peeked event pops")
+            };
+            n_events += 1;
+            let entry = route_links[idx as usize];
+            let link = entry.link();
+            let lh = &mut links[link];
+            let start = t.max(lh.free_at);
+            let ser = match &ser_mode {
+                SerMode::Scalar(s) => *s,
+                SerMode::Table(tab) => tab[flow as usize],
+                SerMode::Memo => {
+                    let fi = flow as usize;
+                    let fh = flow_hot[fi];
+                    if fh.bw_bits == lh.bw_bits {
+                        fh.ser
+                    } else {
+                        let s = serialize(lh.bw_bits, flows[fi].bytes);
+                        flow_hot[fi].bw_bits = lh.bw_bits;
+                        flow_hot[fi].ser = s;
+                        s
+                    }
+                }
+            };
+            lh.free_at = start + ser;
+            lh.busy_ns += ser;
+            let lat = lh.lat;
+            if let Some(obs) = obs {
+                obs.queue_wait_ns.record(start - t);
+                obs.queue_occupancy
+                    .record((q.len() + seeds.len() - seed_pos) as u64);
+                obs.link_busy(start, ser, link);
+            }
+            if let Some(tr) = trace {
+                tr.record_span(
+                    Track::Link(link),
+                    "hop",
+                    start,
+                    ser,
+                    0,
+                    engine_span_id(u64::from(flow) + 1),
+                    vec![("wait", start - t), ("flow", u64::from(flow))],
+                );
+            }
+            // The header clears this link after the fixed latency; the
+            // tail follows one serialization time behind.
+            let header_out = start + lat;
+            if !entry.is_last() {
+                q.push(header_out, flow, idx + 1);
+            } else {
+                ends[flow as usize] = header_out + ser;
+            }
         }
-        if let Some(tr) = trace {
-            tr.record_span(
-                Track::Link(link_id),
-                "hop",
-                start,
-                serialization,
-                0,
-                engine_span_id(ev.flow as u64 + 1),
-                vec![("wait", start - ev.time_ns), ("flow", ev.flow as u64)],
-            );
-        }
-        // The header clears this link after the fixed latency; the tail
-        // follows one serialization time behind.
-        let header_out = start + spec.latency_ns;
-        if ev.hop + 1 < path.len() {
-            heap.push(Reverse(Event {
-                time_ns: header_out,
-                seq,
-                flow: ev.flow,
-                hop: ev.hop + 1,
-            }));
-            seq += 1;
-            heap_peak = heap_peak.max(heap.len());
-        } else {
-            records[ev.flow].end_ns = Some(header_out + serialization);
-        }
+    } else {
+        n_events = run_windows(
+            &mut q,
+            &seeds,
+            flows,
+            &route_links,
+            &ser_mode,
+            &mut flow_hot,
+            &mut links,
+            &mut ends,
+            obs,
+            trace,
+            threads,
+        );
+    }
+
+    let perf = LoopPerf {
+        events: n_events,
+        loop_ns: t_loop.elapsed().as_nanos() as u64,
+    };
+
+    let mut records: Vec<FlowRecord> = Vec::with_capacity(flows.len());
+    for (i, f) in flows.iter().enumerate() {
+        let len = flow_hot[i].len;
+        records.push(FlowRecord {
+            flow: i,
+            start_ns: f.start_ns,
+            end_ns: (ends[i] != NO_END).then_some(ends[i]),
+            hops: if len == UNROUTED { 0 } else { len as usize },
+            retries: 0,
+            abandoned: false,
+        });
     }
 
     if let Some(tr) = trace {
         record_flow_spans(tr, flows, &records);
     }
 
+    let link_busy_ns: Vec<u64> = links.iter().map(|l| l.busy_ns).collect();
     let stats = RunStats::from_records(fabric, flows, &records, &link_busy_ns);
     if let Some(obs) = obs {
         obs.runs.inc();
         obs.flows.add(flows.len() as u64);
         obs.events.add(n_events);
         obs.unrouted.add(stats.unrouted as u64);
-        obs.heap_peak.set_max(heap_peak as u64);
+        obs.heap_peak.set_max(q.peak() as u64);
+        obs.set_events_per_sec(&perf);
         for f in flows {
             obs.flow_bytes.record(f.bytes);
         }
     }
-    (stats, records)
+    (stats, records, perf)
+}
+
+/// The uninstrumented sequential event loop, generic over the arena-cell
+/// width and over how an event's serialization time is found
+/// (`ser_of(flow, bw_bits)`). Each [`SerMode`] instantiates its own copy
+/// with the closure fully inlined — under `SerMode::Scalar` the body
+/// compiles down to the merged pop, one arena load, one link claim, and
+/// one push, with no per-flow memory traffic at all. Event math is
+/// byte-for-byte the instrumented loop's (property tests assert the
+/// equivalence).
+#[inline(always)]
+fn seq_lean<E: ArenaEntry>(
+    q: &mut FlowQueue,
+    seeds: &[(u64, u32, u32)],
+    route_links: &[E],
+    links: &mut [LinkHot],
+    ends: &mut [u64],
+    mut ser_of: impl FnMut(u32, u64) -> u64,
+) -> u64 {
+    let mut n_events = 0u64;
+    let mut seed_pos = 0usize;
+    loop {
+        // Merged head of the sorted seed stream and the calendar queue;
+        // seeds win timestamp ties (they held the lowest sequence numbers
+        // in the old single-queue order), so the queue pops only when its
+        // top is strictly earlier than the next seed.
+        let limit = seeds.get(seed_pos).map_or(u64::MAX, |&(s, _, _)| s);
+        let (t, flow, idx) = match q.pop_before(limit) {
+            Some(ev) => ev,
+            None if seed_pos < seeds.len() => {
+                let (s, f, off) = seeds[seed_pos];
+                seed_pos += 1;
+                (s, f, off)
+            }
+            // `pop_before` is strict, so an event at exactly `u64::MAX`
+            // (unreachable for real timestamps) still drains here.
+            None => match q.pop() {
+                Some(ev) => ev,
+                None => break,
+            },
+        };
+        n_events += 1;
+        let entry = route_links[idx as usize];
+        let lh = &mut links[entry.link()];
+        let start = t.max(lh.free_at);
+        let ser = ser_of(flow, lh.bw_bits);
+        lh.free_at = start + ser;
+        lh.busy_ns += ser;
+        // The header clears this link after the fixed latency; the tail
+        // follows one serialization time behind.
+        let header_out = start + lh.lat;
+        if !entry.is_last() {
+            q.push(header_out, flow, idx + 1);
+        } else {
+            ends[flow as usize] = header_out + ser;
+        }
+    }
+    n_events
+}
+
+/// One parallel worker's output in [`run_windows`]: the group's link, the
+/// link's final `free_at`, and `(start, ser)` per event in drain order.
+type GroupResult = (usize, u64, Vec<(u64, u64)>);
+
+/// The conservative-parallelism executor for the static loop.
+///
+/// Events are drained in `(time, insertion)` order into a batch while each
+/// event's timestamp stays below the running lookahead bound
+/// `W = min over drained events of (time + latency(link(event)))`.
+///
+/// Why every drained batch is safe to execute out of order across links:
+///
+/// 1. Every batch event's time is `< W`: events pop in nondecreasing
+///    time, and for any members `j`, `k`: if `k` drained first, the bound
+///    including `k` already gated `j`'s admission (`t_j < W ≤ t_k +
+///    lat_k`); if `k` drained after `j`, then `t_j ≤ t_k < t_k + lat_k`.
+/// 2. Every successor lands at `start + latency ≥ time + latency ≥ W`,
+///    so no event scheduled *by* the batch can belong *in* the batch —
+///    the sequential loop would also have processed the entire batch
+///    before any successor.
+/// 3. Within the batch, only same-link events interact (through
+///    `link_free_at`); grouping by link preserves the drain order, so
+///    each link's FIFO claims replay exactly the sequential order.
+/// 4. Successors are pushed during the merge in batch order — the same
+///    order the sequential loop would have pushed them — and the stable
+///    [`FlowQueue`] breaks timestamp ties by push order, so the
+///    *(time, insertion)* total order (the old `(time, class, seq)`
+///    order with one class and monotone seqs), and with it every
+///    downstream tie-break, is byte-identical.
+///
+/// Observability and trace spans are recorded at merge time in batch
+/// order, so instrumented streams are also identical across thread
+/// counts. Batches smaller than [`PAR_BATCH_MIN`] execute inline; the
+/// fan-out only engages on bursts (all-to-alls, incasts) where per-link
+/// groups carry real work.
+#[allow(clippy::too_many_arguments)]
+fn run_windows<E: ArenaEntry>(
+    q: &mut FlowQueue,
+    seeds: &[(u64, u32, u32)],
+    flows: &[Flow],
+    route_links: &[E],
+    ser_mode: &SerMode,
+    flow_hot: &mut [FlowHot],
+    links: &mut [LinkHot],
+    ends: &mut [u64],
+    obs: Option<&EngineObs>,
+    trace: Option<&TraceRecorder>,
+    threads: usize,
+) -> u64 {
+    let mut n_events = 0u64;
+    let mut seed_pos = 0usize;
+    // (time, flow, arena index, arena entry) per drained event, in pop
+    // order.
+    let mut batch: Vec<(u64, u32, u32, E)> = Vec::new();
+    // (start, ser) per batch event, filled by the per-link groups.
+    let mut rows: Vec<(u64, u64)> = Vec::new();
+    // link -> group index for the current batch; reset after each batch.
+    let mut link_group: Vec<u32> = vec![u32::MAX; links.len()];
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+
+    loop {
+        batch.clear();
+        let mut bound = u64::MAX;
+        loop {
+            // Merged head of the seed stream and the calendar queue;
+            // seeds win timestamp ties (they carried the lowest sequence
+            // numbers in the old single-queue order).
+            let take_seed = match (seeds.get(seed_pos), q.peek_time()) {
+                (Some(&(s, _, _)), Some(t)) => s <= t,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let t_next = if take_seed {
+                seeds[seed_pos].0
+            } else {
+                q.peek_time().expect("peeked above")
+            };
+            if !batch.is_empty() && t_next >= bound {
+                break;
+            }
+            let (t, flow, idx) = if take_seed {
+                let (s, f, off) = seeds[seed_pos];
+                seed_pos += 1;
+                (s, f, off)
+            } else {
+                q.pop().expect("peeked event pops")
+            };
+            let entry = route_links[idx as usize];
+            bound = bound.min(t + links[entry.link()].lat);
+            batch.push((t, flow, idx, entry));
+        }
+        if batch.is_empty() {
+            break;
+        }
+        let k = batch.len();
+        n_events += k as u64;
+
+        if k < PAR_BATCH_MIN {
+            rows.clear();
+            for &(t, flow, _idx, entry) in batch.iter() {
+                let fi = flow as usize;
+                let lh = &mut links[entry.link()];
+                let start = t.max(lh.free_at);
+                let ser = match ser_mode {
+                    SerMode::Scalar(s) => *s,
+                    SerMode::Table(tab) => tab[fi],
+                    SerMode::Memo => {
+                        let fh = flow_hot[fi];
+                        if fh.bw_bits == lh.bw_bits {
+                            fh.ser
+                        } else {
+                            let s = serialize(lh.bw_bits, flows[fi].bytes);
+                            flow_hot[fi].bw_bits = lh.bw_bits;
+                            flow_hot[fi].ser = s;
+                            s
+                        }
+                    }
+                };
+                lh.free_at = start + ser;
+                rows.push((start, ser));
+            }
+        } else {
+            // Group by link, preserving drain order within each group.
+            groups.clear();
+            for (i, &(_, _, _, entry)) in batch.iter().enumerate() {
+                let link = entry.link();
+                let g = link_group[link];
+                if g == u32::MAX {
+                    link_group[link] = groups.len() as u32;
+                    groups.push(vec![i as u32]);
+                } else {
+                    groups[g as usize].push(i as u32);
+                }
+            }
+            // Each link's FIFO replays independently on a worker. Workers
+            // read the serialization memo but never write it (a pure
+            // recompute on miss costs the same either way and keeps the
+            // fan-out free of shared mutable state).
+            let batch_ref = &batch;
+            let groups_ref = &groups;
+            let links_ref: &[LinkHot] = links;
+            let flow_hot_ref: &[FlowHot] = flow_hot;
+            // Per group: (link, final free_at, (start, ser) per event).
+            let results: Vec<GroupResult> =
+                hfast_par::par_map_range(threads, groups_ref.len(), |gi| {
+                    let idxs = &groups_ref[gi];
+                    let link = batch_ref[idxs[0] as usize].3.link();
+                    let lh = links_ref[link];
+                    let mut free = lh.free_at;
+                    let mut out = Vec::with_capacity(idxs.len());
+                    for &bi in idxs {
+                        let (t, flow, _, _) = batch_ref[bi as usize];
+                        let start = t.max(free);
+                        let ser = match ser_mode {
+                            SerMode::Scalar(s) => *s,
+                            SerMode::Table(tab) => tab[flow as usize],
+                            SerMode::Memo => {
+                                let fh = flow_hot_ref[flow as usize];
+                                if fh.bw_bits == lh.bw_bits {
+                                    fh.ser
+                                } else {
+                                    serialize(lh.bw_bits, flows[flow as usize].bytes)
+                                }
+                            }
+                        };
+                        free = start + ser;
+                        out.push((start, ser));
+                    }
+                    (link, free, out)
+                });
+            rows.clear();
+            rows.resize(k, (0, 0));
+            for (gi, (link, free, out)) in results.into_iter().enumerate() {
+                links[link].free_at = free;
+                for (&bi, row) in groups[gi].iter().zip(out) {
+                    rows[bi as usize] = row;
+                }
+            }
+            for g in &groups {
+                link_group[batch[g[0] as usize].3.link()] = u32::MAX;
+            }
+        }
+
+        // Merge in batch (= sequential) order: busy accounting, delivery
+        // times, observability, and successor pushes (whose order is the
+        // stable queue's tie-break).
+        for (i, (&(t, flow, idx, entry), &(start, ser))) in
+            batch.iter().zip(rows.iter()).enumerate()
+        {
+            let link = entry.link();
+            links[link].busy_ns += ser;
+            if let Some(obs) = obs {
+                obs.queue_wait_ns.record(start - t);
+                // The pending-event count the sequential loop would
+                // observe after consuming this event: the still-undrained
+                // remainder of the batch plus the unconsumed seed tail
+                // plus everything scheduled so far.
+                obs.queue_occupancy
+                    .record((q.len() + (seeds.len() - seed_pos) + k - i - 1) as u64);
+                obs.link_busy(start, ser, link);
+            }
+            if let Some(tr) = trace {
+                tr.record_span(
+                    Track::Link(link),
+                    "hop",
+                    start,
+                    ser,
+                    0,
+                    engine_span_id(u64::from(flow) + 1),
+                    vec![("wait", start - t), ("flow", u64::from(flow))],
+                );
+            }
+            let header_out = start + links[link].lat;
+            if !entry.is_last() {
+                q.push(header_out, flow, idx + 1);
+            } else {
+                ends[flow as usize] = header_out + ser;
+            }
+        }
+    }
+    n_events
 }
 
 /// Records one `flow` span (or terminal instant) per flow on the engine
@@ -754,29 +1586,15 @@ const CLASS_REPATCH: u8 = 1;
 const CLASS_SYNC: u8 = 2;
 const CLASS_FLOW: u8 = 3;
 
-/// One dynamic-loop event; `Ord` derives over (time, class, seq), making
-/// the processing order independent of heap internals and thread count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct DynEvent {
-    time_ns: u64,
-    class: u8,
-    seq: u64,
-    kind: DynKind,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum DynKind {
-    /// Apply plan event `idx`.
-    Fault(usize),
-    /// Complete re-provisioning batch `idx`.
-    Repatch(usize),
-    /// HFAST synchronization point: collect failed circuits for repatch.
-    Sync,
-    /// (Re-)admit flow `idx`: resolve a route and claim its first link.
-    Admit(usize),
-    /// Flow `.0`'s header arrives at hop `.1` of its current route.
-    Arrive(usize, usize),
-}
+/// Event kinds carried in the queue's payload byte. The static loop only
+/// uses [`KIND_FLOW`] (a hop arrival, `a` = flow, `b` = hop); the dynamic
+/// loop adds plan application (`a` = plan index), repatch completion
+/// (`a` = batch index), sync points, and (re-)admissions (`a` = flow).
+const KIND_FLOW: u8 = 0;
+const KIND_FAULT: u8 = 1;
+const KIND_REPATCH: u8 = 2;
+const KIND_SYNC: u8 = 3;
+const KIND_ADMIT: u8 = 4;
 
 /// The dynamic fault-injection run (configuration plus the loop).
 struct FaultRun<'a> {
@@ -793,7 +1611,7 @@ impl FaultRun<'_> {
         flows: &[Flow],
         cache: &mut PathCache,
         obs: Option<&EngineObs>,
-    ) -> (RunStats, Vec<FlowRecord>, Vec<ReconfigStep>) {
+    ) -> (RunStats, Vec<FlowRecord>, Vec<ReconfigStep>, LoopPerf) {
         let fabric = self.fabric;
         let flow_slot = cache.index_flows(fabric, flows, obs);
         let mut state = FaultState::healthy(fabric);
@@ -822,25 +1640,27 @@ impl FaultRun<'_> {
         // reused cache re-derives primary routes.
         let mut dirty: BTreeSet<usize> = BTreeSet::new();
 
-        let mut heap: BinaryHeap<Reverse<DynEvent>> = BinaryHeap::new();
-        let mut seq = 0u64;
+        let mut t_min = u64::MAX;
+        let mut t_max = 0u64;
+        for t in self
+            .plan
+            .events()
+            .iter()
+            .map(|e| e.time_ns)
+            .chain(flows.iter().map(|f| f.start_ns))
+        {
+            t_min = t_min.min(t);
+            t_max = t_max.max(t);
+        }
+        let mut sched = Scheduler::with_hint(
+            self.plan.events().len() + flows.len(),
+            t_max.saturating_sub(t_min.min(t_max)),
+        );
         for (idx, ev) in self.plan.events().iter().enumerate() {
-            heap.push(Reverse(DynEvent {
-                time_ns: ev.time_ns,
-                class: CLASS_FAULT,
-                seq,
-                kind: DynKind::Fault(idx),
-            }));
-            seq += 1;
+            sched.schedule(ev.time_ns, CLASS_FAULT, KIND_FAULT, idx as u32, 0);
         }
         for (i, f) in flows.iter().enumerate() {
-            heap.push(Reverse(DynEvent {
-                time_ns: f.start_ns,
-                class: CLASS_FLOW,
-                seq,
-                kind: DynKind::Admit(i),
-            }));
-            seq += 1;
+            sched.schedule(f.start_ns, CLASS_FLOW, KIND_ADMIT, i as u32, 0);
         }
 
         // Distinct pairs with byte weights, for circuit-coverage snapshots
@@ -873,13 +1693,17 @@ impl FaultRun<'_> {
         let mut batches: Vec<(Vec<LinkId>, f64)> = Vec::new();
         let mut reprovisions: Vec<ReconfigStep> = Vec::new();
         let mut n_events = 0u64;
-        let mut heap_peak = heap.len();
+        let t_loop = std::time::Instant::now();
 
-        while let Some(Reverse(ev)) = heap.pop() {
+        while let Some(ev) = sched.pop() {
             n_events += 1;
             let now = ev.time_ns;
+            if let Some(obs) = obs {
+                obs.queue_occupancy.record(sched.q.len() as u64);
+            }
             match ev.kind {
-                DynKind::Fault(idx) => {
+                KIND_FAULT => {
+                    let idx = ev.a as usize;
                     let fe = self.plan.events()[idx];
                     let incident = state.apply(fabric, fe);
                     let evicted = match fe.target {
@@ -932,17 +1756,17 @@ impl FaultRun<'_> {
                     {
                         if fabric.reprovisionable(l) && !sync_pending {
                             sync_pending = true;
-                            heap.push(Reverse(DynEvent {
-                                time_ns: (now / interval + 1) * interval,
-                                class: CLASS_SYNC,
-                                seq,
-                                kind: DynKind::Sync,
-                            }));
-                            seq += 1;
+                            sched.schedule(
+                                (now / interval + 1) * interval,
+                                CLASS_SYNC,
+                                KIND_SYNC,
+                                0,
+                                0,
+                            );
                         }
                     }
                 }
-                DynKind::Sync => {
+                KIND_SYNC => {
                     let batch: Vec<LinkId> = state
                         .failed_links()
                         .into_iter()
@@ -967,15 +1791,16 @@ impl FaultRun<'_> {
                         );
                     }
                     batches.push((batch, cov_before));
-                    heap.push(Reverse(DynEvent {
-                        time_ns: done_at,
-                        class: CLASS_REPATCH,
-                        seq,
-                        kind: DynKind::Repatch(batches.len() - 1),
-                    }));
-                    seq += 1;
+                    sched.schedule(
+                        done_at,
+                        CLASS_REPATCH,
+                        KIND_REPATCH,
+                        (batches.len() - 1) as u32,
+                        0,
+                    );
                 }
-                DynKind::Repatch(idx) => {
+                KIND_REPATCH => {
+                    let idx = ev.a as usize;
                     let (batch, cov_before) = batches[idx].clone();
                     for &l in &batch {
                         state.repatch_link(l);
@@ -983,7 +1808,7 @@ impl FaultRun<'_> {
                     // Fault-era detours may now be worse than the repaired
                     // primary: force those pairs to re-resolve.
                     for &slot in &dirty {
-                        cache.stale[slot] = true;
+                        cache.mark_stale(slot);
                     }
                     let cov_after = coverage(&state);
                     if let Some(tr) = self.trace {
@@ -1021,17 +1846,18 @@ impl FaultRun<'_> {
                             .any(|&l| fabric.reprovisionable(l))
                         {
                             sync_pending = true;
-                            heap.push(Reverse(DynEvent {
-                                time_ns: (now / interval + 1) * interval,
-                                class: CLASS_SYNC,
-                                seq,
-                                kind: DynKind::Sync,
-                            }));
-                            seq += 1;
+                            sched.schedule(
+                                (now / interval + 1) * interval,
+                                CLASS_SYNC,
+                                KIND_SYNC,
+                                0,
+                                0,
+                            );
                         }
                     }
                 }
-                DynKind::Admit(flow) => {
+                KIND_ADMIT => {
+                    let flow = ev.a as usize;
                     admissions[flow] += 1;
                     let slot = flow_slot[flow];
                     let resolved =
@@ -1055,8 +1881,7 @@ impl FaultRun<'_> {
                                 &mut link_free_at,
                                 &mut link_busy_ns,
                                 obs,
-                                &mut heap,
-                                &mut seq,
+                                &mut sched,
                                 &mut admissions,
                                 &mut first_fail,
                                 false,
@@ -1074,8 +1899,7 @@ impl FaultRun<'_> {
                                 flow,
                                 now,
                                 &mut records,
-                                &mut heap,
-                                &mut seq,
+                                &mut sched,
                                 &mut admissions,
                                 &mut first_fail,
                                 obs,
@@ -1083,10 +1907,11 @@ impl FaultRun<'_> {
                         }
                     }
                 }
-                DynKind::Arrive(flow, hop) => {
+                _ => {
+                    debug_assert_eq!(ev.kind, KIND_FLOW);
                     self.advance(
-                        flow,
-                        hop,
+                        ev.a as usize,
+                        ev.b as usize,
                         now,
                         flows,
                         &state,
@@ -1095,21 +1920,24 @@ impl FaultRun<'_> {
                         &mut link_free_at,
                         &mut link_busy_ns,
                         obs,
-                        &mut heap,
-                        &mut seq,
+                        &mut sched,
                         &mut admissions,
                         &mut first_fail,
                         true,
                     );
                 }
             }
-            heap_peak = heap_peak.max(heap.len());
         }
+
+        let perf = LoopPerf {
+            events: n_events,
+            loop_ns: t_loop.elapsed().as_nanos() as u64,
+        };
 
         // Leave no fault-era route behind for the next (possibly
         // fault-free) user of this cache.
         for slot in dirty {
-            cache.stale[slot] = true;
+            cache.mark_stale(slot);
         }
 
         if let Some(tr) = self.trace {
@@ -1121,12 +1949,13 @@ impl FaultRun<'_> {
             obs.runs.inc();
             obs.flows.add(flows.len() as u64);
             obs.events.add(n_events);
-            obs.heap_peak.set_max(heap_peak as u64);
+            obs.heap_peak.set_max(sched.q.peak() as u64);
+            obs.set_events_per_sec(&perf);
             for f in flows {
                 obs.flow_bytes.record(f.bytes);
             }
         }
-        (stats, records, reprovisions)
+        (stats, records, reprovisions, perf)
     }
 
     /// Resolves the current best route for `flow`'s pair through the
@@ -1140,17 +1969,16 @@ impl FaultRun<'_> {
         flow: Flow,
         dirty: &mut BTreeSet<usize>,
     ) -> Resolution {
-        if !cache.stale[slot] {
-            match &cache.paths[slot] {
-                Some(p) if !state.blocks(p) => return Resolution::Route(p.clone()),
+        if !cache.is_stale(slot) {
+            match cache.path(slot) {
+                Some(p) if !state.blocks(p) => return Resolution::Route(p.to_vec()),
                 None => return Resolution::Unreachable,
                 Some(_) => {}
             }
         }
         match fabric.path_avoiding(flow.src, flow.dst, state) {
             Some(r) => {
-                cache.paths[slot] = Some(r.clone());
-                cache.stale[slot] = false;
+                cache.set_route(slot, Some(&r));
                 if state.any_down() {
                     dirty.insert(slot);
                 } else {
@@ -1164,8 +1992,7 @@ impl FaultRun<'_> {
                 } else {
                     // Healthy fabric, still no route: permanently
                     // unreachable. Cache the verdict.
-                    cache.paths[slot] = None;
-                    cache.stale[slot] = false;
+                    cache.set_route(slot, None);
                     dirty.remove(&slot);
                     Resolution::Unreachable
                 }
@@ -1189,8 +2016,7 @@ impl FaultRun<'_> {
         link_free_at: &mut [u64],
         link_busy_ns: &mut [u64],
         obs: Option<&EngineObs>,
-        heap: &mut BinaryHeap<Reverse<DynEvent>>,
-        seq: &mut u64,
+        sched: &mut Scheduler,
         admissions: &mut [u32],
         first_fail: &mut [Option<u64>],
         in_flight: bool,
@@ -1215,7 +2041,7 @@ impl FaultRun<'_> {
                     vec![("flow", flow as u64), ("hop", hop as u64)],
                 );
             }
-            self.reschedule(flow, now, records, heap, seq, admissions, first_fail, obs);
+            self.reschedule(flow, now, records, sched, admissions, first_fail, obs);
             return;
         }
         let spec = self.fabric.link(link_id);
@@ -1241,13 +2067,13 @@ impl FaultRun<'_> {
         }
         let header_out = start + spec.latency_ns;
         if hop + 1 < path.len() {
-            heap.push(Reverse(DynEvent {
-                time_ns: header_out,
-                class: CLASS_FLOW,
-                seq: *seq,
-                kind: DynKind::Arrive(flow, hop + 1),
-            }));
-            *seq += 1;
+            sched.schedule(
+                header_out,
+                CLASS_FLOW,
+                KIND_FLOW,
+                flow as u32,
+                (hop + 1) as u32,
+            );
         } else {
             let end = header_out + serialization;
             records[flow].end_ns = Some(end);
@@ -1265,8 +2091,7 @@ impl FaultRun<'_> {
         flow: usize,
         now: u64,
         records: &mut [FlowRecord],
-        heap: &mut BinaryHeap<Reverse<DynEvent>>,
-        seq: &mut u64,
+        sched: &mut Scheduler,
         admissions: &mut [u32],
         first_fail: &mut [Option<u64>],
         obs: Option<&EngineObs>,
@@ -1291,13 +2116,13 @@ impl FaultRun<'_> {
                     vec![("flow", flow as u64), ("attempt", u64::from(failed))],
                 );
             }
-            heap.push(Reverse(DynEvent {
-                time_ns: now + self.retry.backoff_ns(failed),
-                class: CLASS_FLOW,
-                seq: *seq,
-                kind: DynKind::Admit(flow),
-            }));
-            *seq += 1;
+            sched.schedule(
+                now + self.retry.backoff_ns(failed),
+                CLASS_FLOW,
+                KIND_ADMIT,
+                flow as u32,
+                0,
+            );
         } else {
             records[flow].abandoned = true;
             if let Some(obs) = obs {
@@ -1421,6 +2246,24 @@ mod tests {
     }
 
     #[test]
+    fn thread_counts_are_byte_identical() {
+        let flows: Vec<Flow> = (0..200)
+            .map(|i| flow(i % 2, (i + 1) % 2, 64 + i as u64, (i as u64 % 5) * 40))
+            .collect();
+        let seq = Simulation::new(&Wire)
+            .detailed()
+            .with_threads(1)
+            .run(&flows);
+        for threads in [2, 8] {
+            let par = Simulation::new(&Wire)
+                .detailed()
+                .with_threads(threads)
+                .run(&flows);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn cache_deduplicates_repeated_pairs() {
         let flows: Vec<Flow> = (0..40)
             .map(|i| flow(i % 2, (i + 1) % 2, 64, i as u64))
@@ -1464,6 +2307,8 @@ mod tests {
         // Nine flows queued behind the first; waits are multiples of the
         // 64-byte serialization time.
         assert_eq!(obs.queue_wait_ns.count(), 10);
+        assert_eq!(obs.queue_occupancy.count(), 10, "one sample per event");
+        assert!(obs.events_per_sec.get() > 0, "throughput gauge set");
         assert_eq!(out.stats.completed, 10);
     }
 

@@ -121,12 +121,15 @@ impl Fabric for FatTreeFabric {
         if src == dst {
             return Some(vec![]);
         }
-        let mut path = vec![self.node_up(src)];
+        // Up-over-down: at most `levels` climbs each way plus the two
+        // node fibers.
+        let mut path = Vec::with_capacity(2 + 2 * self.levels());
+        path.push(self.node_up(src));
         let mut s = src / self.arity;
         let mut d = dst / self.arity;
         let mut level = 0;
         // Ascend until both sides sit in the same switch.
-        let mut down_stack = Vec::new();
+        let mut down_stack = Vec::with_capacity(self.levels());
         while s != d {
             path.push(self.switch_up(level, s));
             down_stack.push(self.switch_down(level, d));

@@ -155,7 +155,11 @@ impl Fabric for HfastFabric {
         if ca == usize::MAX || cb == usize::MAX {
             return None; // offline node
         }
-        let mut path = vec![self.node_links[src].0];
+        // Chain walks are bounded by each cluster's chain length; the rest
+        // is the two node fibers plus at most one edge circuit.
+        let cap = 4 + self.prov.clusters[ca].blocks.len() + self.prov.clusters[cb].blocks.len();
+        let mut path = Vec::with_capacity(cap);
+        path.push(self.node_links[src].0);
         if ca == cb {
             // Along the shared chain.
             self.chain_walk(

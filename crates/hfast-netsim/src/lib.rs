@@ -40,12 +40,13 @@ pub mod fattree;
 pub mod faultplan;
 pub mod hfast;
 pub mod obs;
+mod queue;
 pub mod stats;
 pub mod torus;
 pub mod traffic;
 pub mod warm;
 
-pub use engine::{FlowRecord, PathCache, SimOutput, Simulation};
+pub use engine::{FlowRecord, LoopPerf, PathCache, SimOutput, Simulation};
 pub use error::NetsimError;
 pub use fabric::{Fabric, LinkId, LinkSpec};
 pub use fattree::FatTreeFabric;

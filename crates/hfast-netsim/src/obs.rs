@@ -26,8 +26,19 @@ pub struct EngineObs {
     pub cache_hits: Counter,
     /// Distinct (src, dst) pairs that had to be routed.
     pub cache_misses: Counter,
-    /// High-water mark of the event heap.
+    /// High-water mark of live events in the calendar queue (the name
+    /// predates the heap → calendar-queue rewrite and is kept stable for
+    /// downstream summary consumers).
     pub heap_peak: Gauge,
+    /// Event-loop throughput of the most recent instrumented run, in
+    /// events per wall-clock second spent inside the loop proper (0 until
+    /// a run completes). Instrumented loops pay for their own recording,
+    /// so this reads lower than the uninstrumented throughput benched via
+    /// [`LoopPerf`](crate::engine::LoopPerf).
+    pub events_per_sec: Gauge,
+    /// Live events in the calendar queue, sampled once per processed
+    /// event.
+    pub queue_occupancy: Histogram,
     /// Per-hop queueing delay (ns a header waited for a busy link).
     pub queue_wait_ns: Histogram,
     /// Flow payload sizes.
@@ -92,6 +103,19 @@ impl EngineObs {
             .record_at(t_ns, 0, kind, vec![("id", Val::U(id as u64))]);
     }
 
+    /// Sets the throughput gauge from a run's [`LoopPerf`]. Wall-clock
+    /// only feeds this gauge — never simulated results — so instrumented
+    /// outputs stay bit-identical across machines.
+    ///
+    /// [`LoopPerf`]: crate::engine::LoopPerf
+    #[inline]
+    pub(crate) fn set_events_per_sec(&self, perf: &crate::engine::LoopPerf) {
+        let eps = perf.events_per_sec();
+        if eps > 0.0 {
+            self.events_per_sec.set(eps as u64);
+        }
+    }
+
     /// One-line JSON summary of the counters and histograms.
     pub fn summary_jsonl(&self) -> String {
         JsonObj::new()
@@ -122,6 +146,9 @@ impl EngineObs {
             .u64("flow_bytes_p99", self.flow_bytes.quantile(0.99))
             .u64("timeline_events", self.timeline.len() as u64)
             .u64("timeline_dropped", self.timeline.dropped())
+            .u64("events_per_sec", self.events_per_sec.get())
+            .u64("queue_occupancy_p50", self.queue_occupancy.quantile(0.5))
+            .u64("queue_occupancy_p99", self.queue_occupancy.quantile(0.99))
             .finish()
     }
 

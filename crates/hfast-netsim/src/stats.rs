@@ -41,7 +41,7 @@ impl RunStats {
         records: &[FlowRecord],
         link_busy_ns: &[u64],
     ) -> RunStats {
-        let mut latencies: Vec<u64> = Vec::new();
+        let mut latencies: Vec<u64> = Vec::with_capacity(records.len());
         let mut delivered_bytes = 0u64;
         let mut makespan = 0u64;
         let mut unrouted = 0usize;

@@ -87,7 +87,9 @@ impl Fabric for TorusFabric {
         let (dx, dy, dz) = self.dims;
         let (mut x, mut y, mut z) = grid_coords(self.dims, src);
         let (tx, ty, tz) = grid_coords(self.dims, dst);
-        let mut path = Vec::new();
+        // Dimension-order routing takes the shorter way around each ring,
+        // so ⌊extent/2⌋ hops per axis bounds the route exactly.
+        let mut path = Vec::with_capacity(dx / 2 + dy / 2 + dz / 2);
 
         let walk = |path: &mut Vec<LinkId>,
                     cur: &mut usize,

@@ -1,0 +1,243 @@
+//! Event-loop rewrite anchors: golden output digests frozen on the
+//! pre-rewrite (`BinaryHeap`) engine, plus thread-count and warm-cache
+//! equivalence properties.
+//!
+//! The golden constants below were produced by the heap-based engine
+//! before the calendar-queue rewrite and must never change: any diff in
+//! any digest means the rewrite altered simulated results, not just
+//! performance. The property tests then pin the new degrees of freedom —
+//! `HFAST_THREADS` and route-cache reuse — to the same byte-for-byte
+//! output.
+
+use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_netsim::{
+    traffic, transit_links, EngineObs, Fabric, FatTreeFabric, FaultPlan, Flow, HfastFabric,
+    PathCache, RetryPolicy, SimOutput, Simulation, TorusFabric,
+};
+use hfast_par::{forall, Rng64};
+use hfast_topology::CommGraph;
+
+/// FNV-1a over every stats field and per-flow record in a [`SimOutput`]:
+/// two runs with equal digests produced byte-identical results.
+fn digest(out: &SimOutput) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    let s = &out.stats;
+    for v in [
+        s.completed as u64,
+        s.unrouted as u64,
+        s.abandoned as u64,
+        s.total_retries,
+        s.delivered_bytes,
+        s.makespan_ns,
+        s.p50_latency_ns,
+        s.p95_latency_ns,
+        s.max_latency_ns,
+        s.avg_hops.to_bits(),
+        s.max_link_utilization.to_bits(),
+        s.throughput.to_bits(),
+    ] {
+        mix(v);
+    }
+    if let Some(records) = &out.records {
+        for r in records {
+            mix(r.flow as u64);
+            mix(r.start_ns);
+            mix(r.end_ns.map_or(u64::MAX, |e| e));
+            mix(r.hops as u64);
+            mix(u64::from(r.retries));
+            mix(u64::from(r.abandoned));
+        }
+    }
+    mix(out.reprovisions.len() as u64);
+    for step in &out.reprovisions {
+        mix(format!("{step:?}").len() as u64);
+    }
+    h
+}
+
+fn seeded_flows(seed: u64, n_nodes: usize, count: usize) -> Vec<Flow> {
+    let mut rng = Rng64::new(seed);
+    (0..count)
+        .map(|_| Flow {
+            src: rng.range(0, n_nodes),
+            dst: rng.range(0, n_nodes),
+            bytes: rng.range_u64(1, 1 << 18),
+            start_ns: rng.range_u64(0, 500_000),
+        })
+        .collect()
+}
+
+fn hfast_graph() -> (HfastFabric, Vec<Flow>) {
+    let mut g = CommGraph::new(16);
+    let mut rng = Rng64::new(99);
+    for _ in 0..60 {
+        let a = rng.range(0, 16);
+        let b = rng.range(0, 16);
+        if a != b {
+            g.add_message(a, b, rng.range_u64(2048, 1 << 20));
+        }
+    }
+    let fabric = HfastFabric::new(Provisioning::per_node(&g, ProvisionConfig::default()));
+    let flows = traffic::flows_from_graph(&g, 0);
+    (fabric, flows)
+}
+
+#[test]
+fn golden_torus_seeded() {
+    let torus = TorusFabric::new((4, 4, 2)).unwrap();
+    let fs = seeded_flows(7, 32, 300);
+    let out = Simulation::new(&torus).detailed().run(&fs);
+    assert_eq!(digest(&out), 0xabbcd0e7dc7f40df);
+}
+
+#[test]
+fn golden_fattree_alltoall() {
+    let ft = FatTreeFabric::new(32, 8).unwrap();
+    let fs = traffic::alltoall(32, 4096);
+    let out = Simulation::new(&ft).detailed().run(&fs);
+    assert_eq!(digest(&out), 0x77fc692a8b8f1a26);
+}
+
+#[test]
+fn golden_hfast_graph() {
+    let (fabric, flows) = hfast_graph();
+    let out = Simulation::new(&fabric).detailed().run(&flows);
+    assert_eq!(digest(&out), 0x15f09c765c0e994c);
+}
+
+#[test]
+fn golden_torus_faulted() {
+    let torus = TorusFabric::new((4, 4, 1)).unwrap();
+    let fs = seeded_flows(13, 16, 200);
+    let eligible = transit_links(&torus, &fs);
+    let plan = FaultPlan::builder()
+        .random_link_failures(0xFEED, 4, &eligible, (0, 400_000), Some(150_000))
+        .build(&torus)
+        .unwrap();
+    let out = Simulation::new(&torus)
+        .with_faults(&plan)
+        .with_retry(RetryPolicy::default())
+        .detailed()
+        .run(&fs);
+    assert_eq!(digest(&out), 0xe3be6145e07f0fef);
+}
+
+#[test]
+fn golden_hfast_reprovision() {
+    let (fabric, flows) = hfast_graph();
+    let eligible = transit_links(&fabric, &flows);
+    let plan = FaultPlan::builder()
+        .random_link_failures(0xBEEF, 3, &eligible, (0, 200_000), None)
+        .build(&fabric)
+        .unwrap();
+    let out = Simulation::new(&fabric)
+        .with_faults(&plan)
+        .with_reprovision(100_000)
+        .detailed()
+        .run(&flows);
+    assert_eq!(digest(&out), 0x20fdd71d89adcc16);
+}
+
+/// The conservative-parallel executor must be indistinguishable from the
+/// sequential loop on arbitrary fabrics and traffic, for every thread
+/// count.
+#[test]
+fn threads_equivalent_on_random_scenarios() {
+    forall("eventloop_threads_equivalent", 24, |rng| {
+        let nodes = rng.range(4, 48);
+        let fabric: Box<dyn Fabric> = if rng.bool(0.5) {
+            Box::new(TorusFabric::new((nodes, rng.range(1, 4), 1)).unwrap())
+        } else {
+            Box::new(FatTreeFabric::new(nodes.next_power_of_two(), 8).unwrap())
+        };
+        let n = fabric.nodes();
+        let flows = seeded_flows(rng.range_u64(0, u64::MAX), n, rng.range(1, 400));
+        let d1 = digest(
+            &Simulation::new(&*fabric)
+                .detailed()
+                .with_threads(1)
+                .run(&flows),
+        );
+        for threads in [2, 8] {
+            let dt = digest(
+                &Simulation::new(&*fabric)
+                    .detailed()
+                    .with_threads(threads)
+                    .run(&flows),
+            );
+            assert_eq!(d1, dt, "threads={threads} diverged from sequential");
+        }
+    });
+}
+
+/// Fault runs are defined to execute sequentially regardless of the
+/// requested thread count: `with_threads` must be a no-op on them.
+#[test]
+fn threads_are_inert_on_fault_runs() {
+    let torus = TorusFabric::new((4, 4, 1)).unwrap();
+    let fs = seeded_flows(21, 16, 150);
+    let eligible = transit_links(&torus, &fs);
+    let plan = FaultPlan::builder()
+        .random_link_failures(0xACE, 3, &eligible, (0, 300_000), Some(100_000))
+        .build(&torus)
+        .unwrap();
+    let base = digest(
+        &Simulation::new(&torus)
+            .with_faults(&plan)
+            .with_retry(RetryPolicy::default())
+            .detailed()
+            .run(&fs),
+    );
+    for threads in [2, 8] {
+        let d = digest(
+            &Simulation::new(&torus)
+                .with_faults(&plan)
+                .with_retry(RetryPolicy::default())
+                .with_threads(threads)
+                .detailed()
+                .run(&fs),
+        );
+        assert_eq!(base, d);
+    }
+}
+
+/// Warm cache reuse, cold routing, and instrumented runs all produce the
+/// same bytes: the route cache and observability are performance and
+/// visibility features, never semantic ones.
+#[test]
+fn warm_cache_and_obs_runs_are_byte_identical() {
+    forall("eventloop_warm_cache_identity", 12, |rng| {
+        let shape = (rng.range(2, 6), rng.range(2, 6), rng.range(1, 3));
+        let torus = TorusFabric::new(shape).unwrap();
+        let flows = seeded_flows(rng.range_u64(0, u64::MAX), torus.nodes(), rng.range(1, 300));
+        let cold = digest(&Simulation::new(&torus).detailed().run(&flows));
+        let mut cache = PathCache::new();
+        let first = digest(
+            &Simulation::new(&torus)
+                .with_cache(&mut cache)
+                .detailed()
+                .run(&flows),
+        );
+        let warm = digest(
+            &Simulation::new(&torus)
+                .with_cache(&mut cache)
+                .detailed()
+                .run(&flows),
+        );
+        let obs = EngineObs::new();
+        let instrumented = digest(
+            &Simulation::new(&torus)
+                .with_obs(&obs)
+                .detailed()
+                .run(&flows),
+        );
+        assert_eq!(cold, first, "cold vs first cached run");
+        assert_eq!(cold, warm, "cold vs warm-cache run");
+        assert_eq!(cold, instrumented, "cold vs instrumented run");
+        assert!(obs.events.get() > 0 || flows.is_empty());
+    });
+}

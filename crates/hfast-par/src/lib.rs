@@ -27,5 +27,5 @@ pub mod par;
 pub mod rng;
 
 pub use check::forall;
-pub use par::{par_chunks, par_map, par_map_with, thread_count};
+pub use par::{par_chunks, par_map, par_map_range, par_map_with, thread_count};
 pub use rng::Rng64;

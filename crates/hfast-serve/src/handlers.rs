@@ -85,11 +85,13 @@ fn simulate(
         Simulation::new(entry.fabric.as_ref())
             .with_snapshot(&snap)
             .with_faults(&plan)
+            .with_obs(reg.sim_obs())
             .run(&flows)
     } else {
         let snap = entry.warm.warm(entry.fabric.as_ref(), &flows);
         Simulation::new(entry.fabric.as_ref())
             .with_snapshot(&snap)
+            .with_obs(reg.sim_obs())
             .run(&flows)
     };
     Response::SimReport {

@@ -90,8 +90,9 @@ fn self_test() -> Result<(), String> {
         Ok(Response::Stats {
             requests,
             cache_hits,
+            sim_events,
             ..
-        }) if requests >= 7 && cache_hits >= 1 => {}
+        }) if requests >= 7 && cache_hits >= 1 && sim_events > 0 => {}
         other => return Err(format!("stats: unexpected {other:?}")),
     }
     match client.call(&Request::Shutdown) {

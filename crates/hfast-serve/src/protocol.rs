@@ -234,6 +234,12 @@ pub enum Response {
         cache_entries: u64,
         /// Cached payload bytes right now.
         cache_bytes: u64,
+        /// Simulator events processed across all simulate runs.
+        sim_events: u64,
+        /// Event-loop throughput of the most recent simulate run
+        /// (events per wall-clock second inside the loop; 0 before the
+        /// first run).
+        sim_events_per_sec: u64,
     },
     /// Provisioning summary for one app graph.
     Provisioned {
@@ -419,6 +425,8 @@ pub fn encode_response(resp: &Response) -> String {
             cache_evictions,
             cache_entries,
             cache_bytes,
+            sim_events,
+            sim_events_per_sec,
         } => JsonObj::new()
             .str("type", "stats")
             .u64("requests", *requests)
@@ -428,6 +436,8 @@ pub fn encode_response(resp: &Response) -> String {
             .u64("cache_evictions", *cache_evictions)
             .u64("cache_entries", *cache_entries)
             .u64("cache_bytes", *cache_bytes)
+            .u64("sim_events", *sim_events)
+            .u64("sim_events_per_sec", *sim_events_per_sec)
             .finish(),
         Response::Provisioned {
             n,
@@ -681,6 +691,8 @@ pub fn decode_response(text: &str) -> Result<Response, String> {
             cache_evictions: need_u64(&v, "cache_evictions")?,
             cache_entries: need_u64(&v, "cache_entries")?,
             cache_bytes: need_u64(&v, "cache_bytes")?,
+            sim_events: need_u64(&v, "sim_events")?,
+            sim_events_per_sec: need_u64(&v, "sim_events_per_sec")?,
         }),
         "provisioned" => Ok(Response::Provisioned {
             n: need_usize(&v, "n")?,

@@ -13,7 +13,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use hfast_apps::{all_apps, profile_app};
 use hfast_core::{ProvisionConfig, Provisioning};
-use hfast_netsim::{Fabric, FatTreeFabric, HfastFabric, SharedPathCache, TorusFabric};
+use hfast_netsim::{EngineObs, Fabric, FatTreeFabric, HfastFabric, SharedPathCache, TorusFabric};
 use hfast_topology::CommGraph;
 
 use crate::protocol::{AppSpec, FabricSpec};
@@ -40,6 +40,12 @@ type FabricResult = Result<Arc<FabricEntry>, String>;
 pub struct Registry {
     graphs: Mutex<HashMap<String, Arc<OnceLock<GraphResult>>>>,
     fabrics: Mutex<HashMap<String, Arc<OnceLock<FabricResult>>>>,
+    /// Engine observability every simulate request records into; the
+    /// `stats` verb reports simulator event counts and loop throughput
+    /// from here. Wall-clock feeds only the throughput gauge, never
+    /// simulated results, so responses stay byte-identical across worker
+    /// counts.
+    sim_obs: EngineObs,
 }
 
 fn entry<K: std::hash::Hash + Eq + Clone, V>(
@@ -68,6 +74,11 @@ impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// The engine observability sink shared by every simulate run.
+    pub fn sim_obs(&self) -> &EngineObs {
+        &self.sim_obs
     }
 
     /// The communication graph of an app spec: inline graphs materialize

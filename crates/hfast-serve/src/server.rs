@@ -175,6 +175,7 @@ fn route_request(shared: &Shared, req: Request) -> Routed {
         ),
         Request::Stats => {
             let c = shared.cache.stats();
+            let sim = shared.registry.sim_obs();
             Routed::Immediate(
                 encode_response(&Response::Stats {
                     requests: shared.obs.total_requests(),
@@ -184,6 +185,8 @@ fn route_request(shared: &Shared, req: Request) -> Routed {
                     cache_evictions: c.evictions,
                     cache_entries: c.entries,
                     cache_bytes: c.bytes,
+                    sim_events: sim.events.get(),
+                    sim_events_per_sec: sim.events_per_sec.get(),
                 }),
                 false,
             )

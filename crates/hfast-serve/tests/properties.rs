@@ -125,6 +125,8 @@ fn any_response_round_trips() {
                 cache_evictions: u53(rng),
                 cache_entries: u53(rng),
                 cache_bytes: u53(rng),
+                sim_events: u53(rng),
+                sim_events_per_sec: u53(rng),
             },
             2 => Response::Provisioned {
                 n: rng.range(1, 4096),

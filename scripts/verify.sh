@@ -18,6 +18,10 @@ cargo run --release -q -p hfast-bench --bin hotspots -- GTC > /dev/null
 # exported document is valid trace-event JSON with one track per rank and
 # per used link and zero orphan recv spans.
 cargo run --release -q -p hfast-bench --bin trace_capture > /dev/null
+# Event-loop determinism smoke: every scenario (static 20k-flow suite,
+# all-to-all burst, faulted torus with retries) must produce byte-identical
+# digests under HFAST_THREADS=1 and =8; exits non-zero on divergence.
+cargo run --release -q -p hfast-bench --bin eventloop_smoke > /dev/null
 # Serving smoke: ephemeral-port daemon exercised across every endpoint
 # (health, provision, cost, tdc, simulate with and without faults, the
 # panic-isolation probe, stats) and drained; exits non-zero on any
