@@ -4,6 +4,7 @@
 
 use hfast_apps::{all_apps, profile_app, Cactus, STUDY_SIZES};
 use hfast_bench::{measure_cells, Harness};
+use hfast_core::Provisioner as _;
 use hfast_par::par_map_with;
 
 fn main() {
@@ -21,7 +22,7 @@ fn main() {
         let graph = outcome.steady.comm_graph();
         let summary = hfast_topology::tdc(&graph, 2048);
         let prov =
-            hfast_core::Provisioning::per_node(&graph, hfast_core::ProvisionConfig::default());
+            hfast_core::PaperLinear.provision(&graph, hfast_core::ProvisionConfig::default());
         (summary.max, prov.total_blocks())
     });
 

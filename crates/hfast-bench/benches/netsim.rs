@@ -9,7 +9,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use hfast_bench::Harness;
-use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_core::{PaperLinear, ProvisionConfig, Provisioner};
 use hfast_netsim::engine::PathCache;
 use hfast_netsim::{
     traffic, transit_links, EngineObs, Fabric, FatTreeFabric, FaultPlan, HfastFabric, RetryPolicy,
@@ -50,7 +50,7 @@ fn main() {
     h.bench("netsim_alltoall_64/torus", || {
         Simulation::new(&torus).run(std::hint::black_box(&flows))
     });
-    let hfast = HfastFabric::new(Provisioning::per_node(&graph, ProvisionConfig::default()));
+    let hfast = HfastFabric::new(PaperLinear.provision(&graph, ProvisionConfig::default()));
     h.bench("netsim_alltoall_64/hfast", || {
         Simulation::new(&hfast).run(std::hint::black_box(&flows))
     });

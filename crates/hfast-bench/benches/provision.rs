@@ -1,9 +1,23 @@
 //! Benchmarks of the HFAST provisioning algorithms, including the ablation
 //! the paper calls out: the linear-time per-node mapping versus the
 //! clique-clustering heuristic (future work implemented here).
+//!
+//! PR 7 guards:
+//!
+//! - `guard/provision_trait_vs_pr6` — the [`Provisioner`] trait extraction
+//!   must not slow the paper heuristic down: fastest boxed-trait sample
+//!   over the fastest static-dispatch sample (the exact PR-6 code path)
+//!   must stay <= 1.05.
+//! - `speedup/reprovision_incremental_vs_scratch` — PaperLinear's
+//!   O(changed-edges) incremental path versus a from-scratch rebuild over
+//!   a GTC sync-point replay, must be > 1.
 
+use hfast_apps::{all_apps, profile_app};
 use hfast_bench::Harness;
-use hfast_core::{cluster_nodes, optimize_clusters, ProvisionConfig, Provisioning};
+use hfast_core::{
+    cluster_nodes, optimize_clusters, Clustered, GraphDelta, PaperLinear, ProvisionConfig,
+    Provisioner, Strategy,
+};
 use hfast_topology::generators::{complete_graph, mesh3d_graph, torus3d_graph};
 use hfast_topology::CommGraph;
 
@@ -15,28 +29,102 @@ fn graphs() -> Vec<(&'static str, CommGraph)> {
     ]
 }
 
+/// A GTC sync-point replay: the profiled steady-state graph, then one
+/// window per drifting heavy chord. Returns (previous provisioning, graph
+/// after the window, delta) triples ready for `reprovision`.
+fn gtc_windows(config: ProvisionConfig) -> Vec<(hfast_core::Provisioning, CommGraph, GraphDelta)> {
+    let apps = all_apps();
+    let gtc = apps
+        .iter()
+        .find(|a| a.name() == "GTC")
+        .expect("GTC kernel present");
+    let outcome = profile_app(gtc.as_ref(), 64).expect("GTC profiles at 64 ranks");
+    let mut graph = outcome.steady.comm_graph();
+    let mut prev = PaperLinear.provision(&graph, config);
+    let mut windows = Vec::new();
+    for w in 0..8usize {
+        // Each sync point surfaces one new above-cutoff pair (a drifting
+        // gather partner) — the shape §2.3's runtime is built to chase.
+        let (a, b) = ((w * 7) % 64, (w * 13 + 31) % 64);
+        let mut next = graph.clone();
+        next.add_message(a, b, 1 << 20);
+        let delta = GraphDelta::diff(&graph, &next);
+        let out = PaperLinear.reprovision(prev.clone(), &next, &delta);
+        windows.push((prev, next.clone(), delta));
+        prev = out.provisioning;
+        graph = next;
+    }
+    windows
+}
+
 fn main() {
     let mut h = Harness::new("provision");
 
+    // Static dispatch: the PR-6 entry point (`Provisioning::per_node`) was
+    // extracted verbatim into `PaperLinear::provision`, so this IS the
+    // PR-6 code path and keeps the baseline case name.
     for (name, graph) in graphs() {
         h.bench(&format!("provision_per_node/{name}"), || {
-            Provisioning::per_node(std::hint::black_box(&graph), ProvisionConfig::default())
+            PaperLinear.provision(std::hint::black_box(&graph), ProvisionConfig::default())
         });
+    }
+
+    // Boxed-trait dispatch: the path every strategy-selecting caller
+    // (ReconfigEngine, hfast-serve, AdaptiveReplay) actually takes.
+    let boxed = Strategy::PaperLinear.provisioner();
+    for (name, graph) in graphs() {
+        h.bench(&format!("provision_trait/{name}"), || {
+            boxed.provision(std::hint::black_box(&graph), ProvisionConfig::default())
+        });
+    }
+    if let (Some(t), Some(d)) = (
+        h.min_ns("provision_trait/torus-8x8x4"),
+        h.min_ns("provision_per_node/torus-8x8x4"),
+    ) {
+        // Same process, same graph, back to back: no drift normalization
+        // needed. Must stay <= 1.05.
+        h.record_value("guard/provision_trait_vs_pr6", t / d);
     }
 
     for (name, graph) in graphs() {
         h.bench(&format!("provision_clustered/{name}"), || {
             let clusters = cluster_nodes(std::hint::black_box(&graph), &ProvisionConfig::default());
-            Provisioning::build(&graph, ProvisionConfig::default(), clusters)
+            Clustered::new(clusters).provision(&graph, ProvisionConfig::default())
         });
     }
+
+    // PR 7: incremental re-provisioning versus scratch over a GTC
+    // sync-point replay (one drifting heavy chord per window).
+    let config = ProvisionConfig::default();
+    let windows = gtc_windows(config);
+    h.bench("reprovision_scratch/gtc-64", || {
+        let mut blocks = 0usize;
+        for (_, graph, _) in &windows {
+            blocks += PaperLinear.provision(graph, config).total_blocks();
+        }
+        blocks
+    });
+    h.bench("reprovision_incremental/gtc-64", || {
+        let mut blocks = 0usize;
+        for (prev, graph, delta) in &windows {
+            blocks += PaperLinear
+                .reprovision(prev.clone(), graph, delta)
+                .provisioning
+                .total_blocks();
+        }
+        blocks
+    });
+    h.report_speedup(
+        "reprovision_incremental_vs_scratch",
+        "reprovision_scratch/gtc-64",
+        "reprovision_incremental/gtc-64",
+    );
 
     // Port-count ablation: report block totals, then bench route() lookups
     // over both layouts.
     let graph = torus3d_graph((8, 8, 4), 300 << 10);
-    let config = ProvisionConfig::default();
-    let per_node = Provisioning::per_node(&graph, config);
-    let clustered = Provisioning::build(&graph, config, cluster_nodes(&graph, &config));
+    let per_node = PaperLinear.provision(&graph, config);
+    let clustered = Clustered::new(cluster_nodes(&graph, &config)).provision(&graph, config);
     eprintln!(
         "[ablation] blocks: per-node {} vs clustered {}",
         per_node.total_blocks(),
@@ -67,7 +155,9 @@ fn main() {
 
     // §6 ablation: greedy clustering vs annealing-refined clustering.
     let greedy = cluster_nodes(&graph, &config);
-    let greedy_blocks = Provisioning::build(&graph, config, greedy.clone()).total_blocks();
+    let greedy_blocks = Clustered::new(greedy.clone())
+        .provision(&graph, config)
+        .total_blocks();
     let refined = optimize_clusters(&graph, &config, greedy.clone(), 4000, 1);
     eprintln!(
         "[ablation] blocks: greedy {} vs annealed {}",

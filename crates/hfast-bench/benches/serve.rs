@@ -44,6 +44,7 @@ fn main() {
                 app: provision_app(),
                 block_ports: 16,
                 cutoff,
+                strategy: None,
             })
             .expect("compute call")
     });

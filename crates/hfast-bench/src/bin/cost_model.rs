@@ -4,7 +4,7 @@
 use hfast_apps::all_apps;
 use hfast_bench::measure_app;
 use hfast_core::cost::AnalyticHfast;
-use hfast_core::{CostComparison, CostModel, FatTree, ProvisionConfig, Provisioning};
+use hfast_core::{CostComparison, CostModel, FatTree, PaperLinear, ProvisionConfig, Provisioner};
 
 fn main() {
     let model = CostModel::default();
@@ -46,7 +46,7 @@ fn main() {
     for app in all_apps() {
         let row = measure_app(app.as_ref(), 64);
         let graph = row.steady.comm_graph();
-        let prov = Provisioning::per_node(&graph, ProvisionConfig::default());
+        let prov = PaperLinear.provision(&graph, ProvisionConfig::default());
         let cmp = CostComparison::of(&prov, &model);
         println!(
             "{:>9} {:>12.0} {:>12.0} {:>7.2} {:>16.1}",

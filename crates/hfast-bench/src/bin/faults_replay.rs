@@ -16,7 +16,7 @@
 
 use hfast_apps::all_apps;
 use hfast_bench::measure_app;
-use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_core::{PaperLinear, ProvisionConfig, Provisioner};
 use hfast_netsim::{
     traffic, transit_links, Fabric, FatTreeFabric, FaultPlan, HfastFabric, RetryPolicy, Simulation,
 };
@@ -69,7 +69,7 @@ fn main() {
             continue;
         }
         let ft = FatTreeFabric::new(PROCS, 8).expect("valid shape");
-        let hf = HfastFabric::new(Provisioning::per_node(&graph, ProvisionConfig::default()));
+        let hf = HfastFabric::new(PaperLinear.provision(&graph, ProvisionConfig::default()));
         for rate in RATES {
             let g_ft = goodput(&ft, &flows, rate, false);
             let g_hf = goodput(&hf, &flows, rate, true);

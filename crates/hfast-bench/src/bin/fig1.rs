@@ -2,7 +2,7 @@
 //! blocks of size 4, with routes for node1→node2 (one block) and
 //! node1→node6 (two blocks).
 
-use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_core::{Clustered, ProvisionConfig, Provisioner};
 use hfast_topology::CommGraph;
 
 fn main() {
@@ -11,13 +11,12 @@ fn main() {
     g.add_message(0, 1, 1 << 20); // node1 ↔ node2 in the paper's 1-indexing
     g.add_message(0, 5, 1 << 20); // node1 ↔ node6
     let clustering = vec![vec![0, 1, 2], vec![3, 4, 5]];
-    let prov = Provisioning::build(
+    let prov = Clustered::new(clustering).provision(
         &g,
         ProvisionConfig {
             block_ports: 4,
             cutoff: 2048,
         },
-        clustering,
     );
     prov.validate(&g).expect("valid provisioning");
 

@@ -17,7 +17,7 @@
 
 use hfast_apps::all_apps;
 use hfast_bench::measure_app;
-use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_core::{PaperLinear, ProvisionConfig, Provisioner};
 use hfast_netsim::{traffic, Fabric, FatTreeFabric, HfastFabric, Simulation};
 use hfast_obs::Histogram;
 use hfast_trace::{rank_hotspots, LinkLoad, TraceRecorder, Track};
@@ -89,7 +89,7 @@ fn main() {
             ft_waits.quantile(0.99)
         );
 
-        let hf = HfastFabric::new(Provisioning::per_node(&graph, ProvisionConfig::default()));
+        let hf = HfastFabric::new(PaperLinear.provision(&graph, ProvisionConfig::default()));
         let (hf_loads, hf_waits) = trace_replay(&hf, &flows);
         // Transit links only: endpoint fibers aggregate a whole node's
         // traffic and would rank first on any fabric.

@@ -6,7 +6,7 @@
 
 use hfast_apps::all_apps;
 use hfast_bench::measure_app;
-use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_core::{PaperLinear, ProvisionConfig, Provisioner};
 use hfast_netsim::engine::PathCache;
 use hfast_netsim::{traffic, FatTreeFabric, HfastFabric, Simulation, TorusFabric};
 use hfast_topology::generators::balanced_dims3;
@@ -29,7 +29,7 @@ fn main() {
         }
         let ft = FatTreeFabric::new(procs, 8).expect("valid shape");
         let torus = TorusFabric::new(balanced_dims3(procs)).expect("valid shape");
-        let hfast = HfastFabric::new(Provisioning::per_node(&graph, ProvisionConfig::default()));
+        let hfast = HfastFabric::new(PaperLinear.provision(&graph, ProvisionConfig::default()));
         // One path cache per fabric: each app replays the same (src, dst)
         // pairs many times over, so routes are resolved once.
         let mut cache = PathCache::new();

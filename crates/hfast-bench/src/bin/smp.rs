@@ -3,7 +3,7 @@
 
 use hfast_apps::all_apps;
 use hfast_bench::measure_app;
-use hfast_core::{localize, ProvisionConfig, Provisioning, SmpAssignment};
+use hfast_core::{localize, PaperLinear, ProvisionConfig, Provisioner, SmpAssignment};
 use hfast_topology::{tdc, BDP_CUTOFF};
 
 fn main() {
@@ -21,8 +21,8 @@ fn main() {
         let best = localize(&graph, width, 3);
         let folded = best.fold(&graph);
         let node_tdc = tdc(&folded, BDP_CUTOFF);
-        let node_prov = Provisioning::per_node(&folded, ProvisionConfig::default());
-        let flat_prov = Provisioning::per_node(&graph, ProvisionConfig::default());
+        let node_prov = PaperLinear.provision(&folded, ProvisionConfig::default());
+        let flat_prov = PaperLinear.provision(&graph, ProvisionConfig::default());
         println!(
             "{:>9} {:>11.1}% {:>11.1}% {:>14} {:>9} ({:>3})",
             row.name,

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use hfast_apps::{profile_app_with, Gtc};
-use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_core::{PaperLinear, ProvisionConfig, Provisioner};
 use hfast_ipm::format_bytes;
 use hfast_mpi::WorldConfig;
 use hfast_netsim::{traffic, HfastFabric, Simulation};
@@ -59,7 +59,7 @@ fn main() {
     // fabric into the same recorder.
     let graph = outcome.steady.comm_graph();
     let flows = traffic::flows_from_graph(&graph, 2048);
-    let hf = HfastFabric::new(Provisioning::per_node(&graph, ProvisionConfig::default()));
+    let hf = HfastFabric::new(PaperLinear.provision(&graph, ProvisionConfig::default()));
     Simulation::new(&hf).with_trace(&rec).run(&flows);
     println!(
         "replay: {} flows ({}) -> {} spans total",

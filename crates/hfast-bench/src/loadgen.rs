@@ -103,6 +103,7 @@ pub fn request_pool(procs: usize) -> Vec<Request> {
             app: app.clone(),
             block_ports: 16,
             cutoff: 2048,
+            strategy: None,
         });
         pool.push(Request::Cost {
             app: app.clone(),
@@ -118,6 +119,7 @@ pub fn request_pool(procs: usize) -> Vec<Request> {
             fabric: FabricSpec::FatTree { ports: 16 },
             cutoff: 2048,
             faults: None,
+            strategy: None,
         });
     }
     pool

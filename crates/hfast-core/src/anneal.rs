@@ -86,7 +86,7 @@ pub struct AnnealOutcome {
 /// Every accepted state remains *feasible by construction*: the block-count
 /// objective is computed with the same [`ProvisionConfig::blocks_needed`]
 /// capacity rule the provisioner uses, so any clustering this returns can
-/// be materialized by [`crate::Provisioning::build`].
+/// be materialized by [`crate::provisioner::Clustered`].
 pub fn optimize_clusters(
     graph: &CommGraph,
     config: &ProvisionConfig,
@@ -168,7 +168,7 @@ pub fn optimize_clusters(
 mod tests {
     use super::*;
     use crate::clique::cluster_nodes;
-    use crate::provision::Provisioning;
+    use crate::provisioner::{Clustered, Provisioner};
     use hfast_topology::generators::{ring_graph, torus3d_graph};
     use hfast_topology::CommGraph;
 
@@ -183,7 +183,7 @@ mod tests {
         let out = optimize_clusters(&g, &config, singletons(32), 2000, 1);
         assert!(out.final_blocks <= out.initial_blocks);
         // The result must be buildable.
-        let prov = Provisioning::build(&g, config, out.clusters.clone());
+        let prov = Clustered::new(out.clusters.clone()).provision(&g, config);
         prov.validate(&g).unwrap();
         assert_eq!(prov.total_blocks(), out.final_blocks);
     }
@@ -216,10 +216,13 @@ mod tests {
         let g = ring_graph(24, 1 << 20);
         let config = ProvisionConfig::default();
         let greedy = cluster_nodes(&g, &config);
-        let greedy_blocks = Provisioning::build(&g, config, greedy.clone()).total_blocks();
+        let greedy_blocks = Clustered::new(greedy.clone())
+            .provision(&g, config)
+            .total_blocks();
         let out = optimize_clusters(&g, &config, greedy, 3000, 3);
         assert!(out.final_blocks <= greedy_blocks);
-        Provisioning::build(&g, config, out.clusters)
+        Clustered::new(out.clusters)
+            .provision(&g, config)
             .validate(&g)
             .unwrap();
     }

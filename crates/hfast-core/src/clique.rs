@@ -93,7 +93,7 @@ pub fn cluster_nodes(graph: &CommGraph, config: &ProvisionConfig) -> Vec<Vec<usi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::provision::Provisioning;
+    use crate::provisioner::{Clustered, PaperLinear, Provisioner};
     use hfast_topology::generators::{complete_graph, ring_graph};
 
     fn cfg(k: usize) -> ProvisionConfig {
@@ -146,8 +146,8 @@ mod tests {
         }
         let config = cfg(16);
         let clusters = cluster_nodes(&g, &config);
-        let clustered = Provisioning::build(&g, config, clusters);
-        let per_node = Provisioning::per_node(&g, config);
+        let clustered = Clustered::new(clusters).provision(&g, config);
+        let per_node = PaperLinear.provision(&g, config);
         clustered.validate(&g).unwrap();
         assert!(
             clustered.total_blocks() < per_node.total_blocks(),
@@ -177,7 +177,7 @@ mod tests {
         assert!(is_disjoint_cover(&clusters, 21));
         assert!(clusters.len() > 1);
         // The provisioning built from it must still route every edge.
-        let p = Provisioning::build(&g, cfg(8), clusters);
+        let p = Clustered::new(clusters).provision(&g, cfg(8));
         p.validate(&g).unwrap();
     }
 
@@ -186,9 +186,9 @@ mod tests {
         let g = ring_graph(16, 100_000);
         let config = cfg(16);
         let clusters = cluster_nodes(&g, &config);
-        let p = Provisioning::build(&g, config, clusters);
+        let p = Clustered::new(clusters).provision(&g, config);
         p.validate(&g).unwrap();
-        let per_node = Provisioning::per_node(&g, config);
+        let per_node = PaperLinear.provision(&g, config);
         assert!(p.total_blocks() <= per_node.total_blocks());
     }
 }

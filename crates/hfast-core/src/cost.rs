@@ -205,7 +205,8 @@ impl CostComparison {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::provision::{ProvisionConfig, Provisioning};
+    use crate::provision::ProvisionConfig;
+    use crate::provisioner::{PaperLinear, Provisioner};
     use hfast_topology::generators::{complete_graph, mesh3d_graph};
 
     #[test]
@@ -285,7 +286,7 @@ mod tests {
         use hfast_topology::generators::torus3d_graph;
         let g = torus3d_graph((4, 4, 4), 300 << 10);
         let config = ProvisionConfig::default();
-        let prov = Provisioning::per_node(&g, config);
+        let prov = PaperLinear.provision(&g, config);
         let analytic = AnalyticHfast {
             p: 64,
             tdc: 6,
@@ -302,7 +303,7 @@ mod tests {
         // PARATEC-like: fully connected at P=64 with big messages. The
         // per-node mapping needs block trees for degree 63 ≫ 15.
         let g = complete_graph(64, 32 << 10);
-        let p = Provisioning::per_node(&g, ProvisionConfig::default());
+        let p = PaperLinear.provision(&g, ProvisionConfig::default());
         let cmp = CostComparison::of(&p, &CostModel::default());
         assert!(
             !cmp.hfast_wins(),
@@ -315,11 +316,11 @@ mod tests {
     #[test]
     fn hfast_packet_ports_scale_linearly() {
         // Same per-node TDC at two scales → identical ports/node.
-        let small = Provisioning::per_node(
+        let small = PaperLinear.provision(
             &mesh3d_graph((4, 4, 4), 300 << 10),
             ProvisionConfig::default(),
         );
-        let large = Provisioning::per_node(
+        let large = PaperLinear.provision(
             &mesh3d_graph((8, 8, 8), 300 << 10),
             ProvisionConfig::default(),
         );
@@ -329,7 +330,7 @@ mod tests {
     #[test]
     fn cost_model_components_add_up() {
         let g = mesh3d_graph((2, 2, 2), 1 << 20);
-        let prov = Provisioning::per_node(&g, ProvisionConfig::default());
+        let prov = PaperLinear.provision(&g, ProvisionConfig::default());
         let model = CostModel {
             packet_port: 1.0,
             circuit_port: 0.0,

@@ -9,7 +9,8 @@
 use hfast_topology::generators::torus3d_neighbors;
 use hfast_topology::CommGraph;
 
-use crate::provision::{ProvisionConfig, Provisioning};
+use crate::provision::ProvisionConfig;
+use crate::provisioner::{Clustered, PaperLinear, Provisioner};
 
 /// Impact of node failures on a fixed 3D-torus interconnect.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -197,7 +198,7 @@ pub fn hfast_fault_impact(
     config: ProvisionConfig,
     failed: &[usize],
 ) -> HfastFaultReport {
-    let before = Provisioning::per_node(graph, config);
+    let before = PaperLinear.provision(graph, config);
     let surviving = remove_nodes(graph, failed);
     // Re-provision only the alive nodes: failed nodes are offline, so their
     // blocks return to the pool.
@@ -212,7 +213,7 @@ pub fn hfast_fault_impact(
         .filter(|&v| !dead[v])
         .map(|v| vec![v])
         .collect();
-    let after = Provisioning::build(&surviving, config, alive_clusters);
+    let after = Clustered::new(alive_clusters).provision(&surviving, config);
 
     let old: std::collections::BTreeSet<_> = before.circuit.circuits().collect();
     let new: std::collections::BTreeSet<_> = after.circuit.circuits().collect();

@@ -25,13 +25,13 @@
 //! * [`fault`] — node-failure impact, mesh/torus versus HFAST.
 //!
 //! ```
-//! use hfast_core::{ProvisionConfig, Provisioning, CostModel};
+//! use hfast_core::{CostModel, PaperLinear, ProvisionConfig, Provisioner};
 //! use hfast_core::cost::AnalyticHfast;
 //! use hfast_topology::generators::mesh3d_graph;
 //!
 //! // A Cactus-like stencil topology at P = 512.
 //! let graph = mesh3d_graph((8, 8, 8), 300 << 10);
-//! let prov = Provisioning::per_node(&graph, ProvisionConfig::default());
+//! let prov = PaperLinear.provision(&graph, ProvisionConfig::default());
 //! assert_eq!(prov.total_blocks(), 512); // one 16-port block per node
 //!
 //! // At ultra scale, HFAST's linear packet-port cost undercuts the fat tree.
@@ -51,6 +51,7 @@ pub mod fault;
 pub mod icn;
 pub mod obs;
 pub mod provision;
+pub mod provisioner;
 pub mod reconfig;
 pub mod smp;
 pub mod switch;
@@ -64,6 +65,10 @@ pub use fault::{hfast_fault_impact, remove_nodes, seeded_failures, torus_fault_i
 pub use icn::{embed as icn_embed, IcnConfig, IcnEmbedding, IcnError};
 pub use obs::{ProvisionObs, ReconfigObs};
 pub use provision::{Cluster, EdgeCircuit, ProvisionConfig, Provisioning, Route};
-pub use reconfig::{ReconfigEngine, ReconfigStep};
+pub use provisioner::{
+    BffCircuit, Clustered, DemandDecomp, GraphDelta, PaperLinear, Provisioner, ReprovisionOutcome,
+    Strategy,
+};
+pub use reconfig::{AdaptScope, ReconfigBuilder, ReconfigEngine, ReconfigStep};
 pub use smp::{localize, SmpAssignment};
 pub use switch::{CircuitSwitch, Endpoint, SwitchBlock, SwitchError};

@@ -118,6 +118,8 @@ mod tests {
             coverage_after: 1.0,
             circuits_changed: 12,
             reconfig_time_ns: 5_000_000,
+            strategy: "paper_linear",
+            edges_touched: 12,
         };
         obs.record_step(0, &step);
         obs.record_step(1, &step);

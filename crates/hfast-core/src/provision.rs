@@ -124,185 +124,273 @@ pub struct Provisioning {
     pub intra_edges: Vec<(usize, usize)>,
     /// Edges below the cutoff, relegated to the low-bandwidth network.
     pub unprovisioned: Vec<(usize, usize)>,
+    /// Block-pool slots released by incremental re-provisioning (see
+    /// [`crate::provisioner::Provisioner::reprovision`]): the ids stay in
+    /// [`blocks`](Self::blocks) so every other id remains stable, but they
+    /// hold no ports and are excluded from [`total_blocks`](Self::total_blocks).
+    /// Always empty after a from-scratch build.
+    pub spare_blocks: Vec<usize>,
+}
+
+/// Provisions `graph` with an explicit node clustering — the shared
+/// algorithm behind every [`crate::provisioner::Provisioner`] strategy
+/// (they differ only in the clustering they feed it).
+pub(crate) fn build_clustered(
+    graph: &CommGraph,
+    config: ProvisionConfig,
+    clustering: Vec<Vec<usize>>,
+) -> Provisioning {
+    let n = graph.n();
+
+    // Validate the clustering assigns each node at most once. Nodes in
+    // no cluster are *offline* (failed/absent): they get no attachment
+    // and no routes — the mechanism behind fault re-provisioning.
+    let mut node_cluster = vec![usize::MAX; n];
+    for (cid, members) in clustering.iter().enumerate() {
+        for &v in members {
+            assert!(v < n, "cluster references node {v} out of range");
+            assert_eq!(
+                node_cluster[v],
+                usize::MAX,
+                "node {v} appears in two clusters"
+            );
+            node_cluster[v] = cid;
+        }
+    }
+
+    // Classify edges, iterating a packed CSR snapshot of the active
+    // adjacency rather than rescanning dense matrix rows.
+    let csr = CsrGraph::from_graph(graph, 0);
+    let mut intra = Vec::new();
+    let mut inter = Vec::new();
+    let mut unprov = Vec::new();
+    for a in 0..n {
+        for (b, e) in csr.neighbors_with_stats(a) {
+            if b <= a {
+                continue;
+            }
+            if node_cluster[a] == usize::MAX || node_cluster[b] == usize::MAX {
+                continue; // edges touching offline nodes are ignored
+            }
+            if e.max_msg < config.cutoff {
+                unprov.push((a, b));
+            } else if node_cluster[a] == node_cluster[b] {
+                intra.push((a, b));
+            } else {
+                inter.push((a, b));
+            }
+        }
+    }
+
+    // External port demand per cluster.
+    let mut external = vec![0usize; clustering.len()];
+    for &(a, b) in &inter {
+        external[node_cluster[a]] += 1;
+        external[node_cluster[b]] += 1;
+    }
+
+    // Build block chains per cluster.
+    let mut blocks: Vec<SwitchBlock> = Vec::new();
+    let mut circuit = CircuitSwitch::new();
+    let mut clusters = Vec::with_capacity(clustering.len());
+    let mut attach = vec![(usize::MAX, usize::MAX); n];
+    for (cid, members) in clustering.into_iter().enumerate() {
+        let b = config.blocks_needed(members.len(), external[cid]);
+        let first = blocks.len();
+        for i in 0..b {
+            blocks.push(SwitchBlock::new(first + i, config.block_ports));
+        }
+        let chain: Vec<usize> = (first..first + b).collect();
+        // Chain links consume one port on each adjacent block.
+        for w in chain.windows(2) {
+            let pa = blocks[w[0]].allocate_port().expect("chain port");
+            let pb = blocks[w[1]].allocate_port().expect("chain port");
+            circuit
+                .connect(
+                    Endpoint::BlockPort {
+                        block: w[0],
+                        port: pa,
+                    },
+                    Endpoint::BlockPort {
+                        block: w[1],
+                        port: pb,
+                    },
+                )
+                .expect("fresh ports cannot collide");
+        }
+        // Attach member nodes, spread across the chain.
+        for (i, &v) in members.iter().enumerate() {
+            let pos = i * chain.len() / members.len().max(1);
+            // The chosen block may be full of chain links in pathological
+            // configs; fall back to scanning.
+            let pos = (0..chain.len())
+                .map(|off| (pos + off) % chain.len())
+                .find(|&p| blocks[chain[p]].free_ports() > 0)
+                .expect("capacity accounted for attachments");
+            let block = chain[pos];
+            let port = blocks[block].allocate_port().expect("checked free");
+            circuit
+                .connect(Endpoint::Node(v), Endpoint::BlockPort { block, port })
+                .expect("fresh ports cannot collide");
+            attach[v] = (block, pos);
+        }
+        clusters.push(Cluster {
+            id: cid,
+            nodes: members,
+            blocks: chain,
+        });
+    }
+
+    // Patch a dedicated circuit per inter-cluster edge, placing each
+    // port as close to its node's attachment block as possible.
+    let mut edge_circuits = BTreeMap::new();
+    let allocate_near =
+        |clusters: &[Cluster], blocks: &mut [SwitchBlock], v: usize| -> (usize, usize, usize) {
+            let chain = &clusters[node_cluster[v]].blocks;
+            let home = attach[v].1;
+            // Nearest chain block with a free port; one always exists
+            // because blocks_needed() sized the chain for attachments
+            // plus every external edge endpoint.
+            let pos = (0..chain.len())
+                .filter(|&p| blocks[chain[p]].free_ports() > 0)
+                .min_by_key(|&p| (p as isize - home as isize).unsigned_abs())
+                .expect("capacity accounted for external edges");
+            let block = chain[pos];
+            let port = blocks[block].allocate_port().expect("checked free");
+            (block, port, pos)
+        };
+    for &(a, b) in &inter {
+        let (blk_a, port_a, pos_a) = allocate_near(&clusters, &mut blocks, a);
+        let (blk_b, port_b, pos_b) = allocate_near(&clusters, &mut blocks, b);
+        let ea = Endpoint::BlockPort {
+            block: blk_a,
+            port: port_a,
+        };
+        let eb = Endpoint::BlockPort {
+            block: blk_b,
+            port: port_b,
+        };
+        circuit.connect(ea, eb).expect("fresh ports cannot collide");
+        edge_circuits.insert(
+            (a, b),
+            EdgeCircuit {
+                a_chain_pos: pos_a,
+                b_chain_pos: pos_b,
+                ports: (ea, eb),
+            },
+        );
+    }
+
+    let prov = Provisioning {
+        config,
+        n_nodes: n,
+        clusters,
+        node_cluster,
+        blocks,
+        circuit,
+        attach,
+        edge_circuits,
+        intra_edges: intra,
+        unprovisioned: unprov,
+        spare_blocks: Vec::new(),
+    };
+    if hfast_obs::enabled() {
+        let obs = crate::obs::provision_obs();
+        obs.builds.inc();
+        obs.blocks.record(prov.total_blocks() as u64);
+        obs.circuits.record(prov.edge_circuits.len() as u64);
+    }
+    prov
 }
 
 impl Provisioning {
     /// The paper's linear-time algorithm: one cluster (hence one block
     /// chain) per node.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `provisioner::PaperLinear.provision(graph, config)` (or \
+                `Strategy::PaperLinear.provisioner()`); this shim is removed next release"
+    )]
     pub fn per_node(graph: &CommGraph, config: ProvisionConfig) -> Self {
-        let clusters = (0..graph.n()).map(|v| vec![v]).collect();
-        Self::build(graph, config, clusters)
+        crate::provisioner::Provisioner::provision(&crate::provisioner::PaperLinear, graph, config)
     }
 
     /// Provisions with an explicit node clustering (see
     /// [`crate::clique::cluster_nodes`] for the heuristic the paper proposes
     /// as future work).
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `provisioner::Clustered::new(clustering).provision(graph, config)`; \
+                this shim is removed next release"
+    )]
     pub fn build(graph: &CommGraph, config: ProvisionConfig, clustering: Vec<Vec<usize>>) -> Self {
-        let n = graph.n();
-
-        // Validate the clustering assigns each node at most once. Nodes in
-        // no cluster are *offline* (failed/absent): they get no attachment
-        // and no routes — the mechanism behind fault re-provisioning.
-        let mut node_cluster = vec![usize::MAX; n];
-        for (cid, members) in clustering.iter().enumerate() {
-            for &v in members {
-                assert!(v < n, "cluster references node {v} out of range");
-                assert_eq!(
-                    node_cluster[v],
-                    usize::MAX,
-                    "node {v} appears in two clusters"
-                );
-                node_cluster[v] = cid;
-            }
-        }
-
-        // Classify edges, iterating a packed CSR snapshot of the active
-        // adjacency rather than rescanning dense matrix rows.
-        let csr = CsrGraph::from_graph(graph, 0);
-        let mut intra = Vec::new();
-        let mut inter = Vec::new();
-        let mut unprov = Vec::new();
-        for a in 0..n {
-            for (b, e) in csr.neighbors_with_stats(a) {
-                if b <= a {
-                    continue;
-                }
-                if node_cluster[a] == usize::MAX || node_cluster[b] == usize::MAX {
-                    continue; // edges touching offline nodes are ignored
-                }
-                if e.max_msg < config.cutoff {
-                    unprov.push((a, b));
-                } else if node_cluster[a] == node_cluster[b] {
-                    intra.push((a, b));
-                } else {
-                    inter.push((a, b));
-                }
-            }
-        }
-
-        // External port demand per cluster.
-        let mut external = vec![0usize; clustering.len()];
-        for &(a, b) in &inter {
-            external[node_cluster[a]] += 1;
-            external[node_cluster[b]] += 1;
-        }
-
-        // Build block chains per cluster.
-        let mut blocks: Vec<SwitchBlock> = Vec::new();
-        let mut circuit = CircuitSwitch::new();
-        let mut clusters = Vec::with_capacity(clustering.len());
-        let mut attach = vec![(usize::MAX, usize::MAX); n];
-        for (cid, members) in clustering.into_iter().enumerate() {
-            let b = config.blocks_needed(members.len(), external[cid]);
-            let first = blocks.len();
-            for i in 0..b {
-                blocks.push(SwitchBlock::new(first + i, config.block_ports));
-            }
-            let chain: Vec<usize> = (first..first + b).collect();
-            // Chain links consume one port on each adjacent block.
-            for w in chain.windows(2) {
-                let pa = blocks[w[0]].allocate_port().expect("chain port");
-                let pb = blocks[w[1]].allocate_port().expect("chain port");
-                circuit
-                    .connect(
-                        Endpoint::BlockPort {
-                            block: w[0],
-                            port: pa,
-                        },
-                        Endpoint::BlockPort {
-                            block: w[1],
-                            port: pb,
-                        },
-                    )
-                    .expect("fresh ports cannot collide");
-            }
-            // Attach member nodes, spread across the chain.
-            for (i, &v) in members.iter().enumerate() {
-                let pos = i * chain.len() / members.len().max(1);
-                // The chosen block may be full of chain links in pathological
-                // configs; fall back to scanning.
-                let pos = (0..chain.len())
-                    .map(|off| (pos + off) % chain.len())
-                    .find(|&p| blocks[chain[p]].free_ports() > 0)
-                    .expect("capacity accounted for attachments");
-                let block = chain[pos];
-                let port = blocks[block].allocate_port().expect("checked free");
-                circuit
-                    .connect(Endpoint::Node(v), Endpoint::BlockPort { block, port })
-                    .expect("fresh ports cannot collide");
-                attach[v] = (block, pos);
-            }
-            clusters.push(Cluster {
-                id: cid,
-                nodes: members,
-                blocks: chain,
-            });
-        }
-
-        // Patch a dedicated circuit per inter-cluster edge, placing each
-        // port as close to its node's attachment block as possible.
-        let mut edge_circuits = BTreeMap::new();
-        let allocate_near =
-            |clusters: &[Cluster], blocks: &mut [SwitchBlock], v: usize| -> (usize, usize, usize) {
-                let chain = &clusters[node_cluster[v]].blocks;
-                let home = attach[v].1;
-                // Nearest chain block with a free port; one always exists
-                // because blocks_needed() sized the chain for attachments
-                // plus every external edge endpoint.
-                let pos = (0..chain.len())
-                    .filter(|&p| blocks[chain[p]].free_ports() > 0)
-                    .min_by_key(|&p| (p as isize - home as isize).unsigned_abs())
-                    .expect("capacity accounted for external edges");
-                let block = chain[pos];
-                let port = blocks[block].allocate_port().expect("checked free");
-                (block, port, pos)
-            };
-        for &(a, b) in &inter {
-            let (blk_a, port_a, pos_a) = allocate_near(&clusters, &mut blocks, a);
-            let (blk_b, port_b, pos_b) = allocate_near(&clusters, &mut blocks, b);
-            let ea = Endpoint::BlockPort {
-                block: blk_a,
-                port: port_a,
-            };
-            let eb = Endpoint::BlockPort {
-                block: blk_b,
-                port: port_b,
-            };
-            circuit.connect(ea, eb).expect("fresh ports cannot collide");
-            edge_circuits.insert(
-                (a, b),
-                EdgeCircuit {
-                    a_chain_pos: pos_a,
-                    b_chain_pos: pos_b,
-                    ports: (ea, eb),
-                },
-            );
-        }
-
-        let prov = Provisioning {
-            config,
-            n_nodes: n,
-            clusters,
-            node_cluster,
-            blocks,
-            circuit,
-            attach,
-            edge_circuits,
-            intra_edges: intra,
-            unprovisioned: unprov,
-        };
-        if hfast_obs::enabled() {
-            let obs = crate::obs::provision_obs();
-            obs.builds.inc();
-            obs.blocks.record(prov.total_blocks() as u64);
-            obs.circuits.record(prov.edge_circuits.len() as u64);
-        }
-        prov
+        build_clustered(graph, config, clustering)
     }
 
     /// Number of packet switch blocks consumed (`N_active` in §5.3).
+    ///
+    /// Spare slots parked by incremental re-provisioning hold no ports and
+    /// do not count.
     pub fn total_blocks(&self) -> usize {
-        self.blocks.len()
+        self.blocks.len() - self.spare_blocks.len()
+    }
+
+    /// Order-stable FNV-1a digest of the complete structure: config, pool,
+    /// attachments, circuits, and edge ledgers. Two provisionings with the
+    /// same digest route identically; the bake-off pins `PaperLinear`
+    /// digests against pre-trait goldens with it.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        let ep = |e: &Endpoint| -> u64 {
+            match *e {
+                Endpoint::Node(v) => (v as u64) << 1,
+                Endpoint::BlockPort { block, port } => {
+                    ((block as u64) << 17 | port as u64) << 1 | 1
+                }
+            }
+        };
+        fold(self.config.block_ports as u64);
+        fold(self.config.cutoff);
+        fold(self.n_nodes as u64);
+        fold(self.total_blocks() as u64);
+        for c in &self.clusters {
+            fold(c.id as u64);
+            fold(c.nodes.len() as u64);
+            for &v in &c.nodes {
+                fold(v as u64);
+            }
+            fold(c.blocks.len() as u64);
+        }
+        for &(block, pos) in &self.attach {
+            fold(block as u64);
+            fold(pos as u64);
+        }
+        for b in &self.blocks {
+            fold(b.allocated_ports() as u64);
+        }
+        for (&(a, b), ec) in &self.edge_circuits {
+            fold(a as u64);
+            fold(b as u64);
+            fold(ec.a_chain_pos as u64);
+            fold(ec.b_chain_pos as u64);
+            fold(ep(&ec.ports.0));
+            fold(ep(&ec.ports.1));
+        }
+        for &(a, b) in &self.intra_edges {
+            fold(a as u64);
+            fold(b as u64);
+        }
+        for &(a, b) in &self.unprovisioned {
+            fold(a as u64);
+            fold(b as u64);
+        }
+        h
     }
 
     /// Total packet-switch ports purchased (blocks × ports).
@@ -417,7 +505,16 @@ impl Provisioning {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::provisioner::{Clustered, PaperLinear, Provisioner};
     use hfast_topology::generators::{complete_graph, mesh3d_graph, ring_graph};
+
+    fn per_node(graph: &CommGraph, config: ProvisionConfig) -> Provisioning {
+        PaperLinear.provision(graph, config)
+    }
+
+    fn build(graph: &CommGraph, config: ProvisionConfig, c: Vec<Vec<usize>>) -> Provisioning {
+        Clustered::new(c).provision(graph, config)
+    }
 
     fn cfg(k: usize) -> ProvisionConfig {
         ProvisionConfig {
@@ -444,7 +541,7 @@ mod tests {
     #[test]
     fn per_node_ring_uses_one_block_each() {
         let g = ring_graph(8, 100_000);
-        let p = Provisioning::per_node(&g, cfg(16));
+        let p = per_node(&g, cfg(16));
         assert_eq!(p.total_blocks(), 8, "TDC 2 < 15: one block per node");
         p.validate(&g).unwrap();
         let r = p.route(0, 1).unwrap();
@@ -457,7 +554,7 @@ mod tests {
     fn mesh_provisioning_matches_paper_cactus_case() {
         // Cactus-like: 4x4x4 mesh, TDC ≤ 6 → N_active = P.
         let g = mesh3d_graph((4, 4, 4), 300 << 10);
-        let p = Provisioning::per_node(&g, ProvisionConfig::default());
+        let p = per_node(&g, ProvisionConfig::default());
         assert_eq!(p.total_blocks(), 64);
         assert!((p.block_ports_per_node() - 16.0).abs() < 1e-12);
         p.validate(&g).unwrap();
@@ -471,7 +568,7 @@ mod tests {
         for i in 1..41 {
             g.add_message(0, i, 1 << 20);
         }
-        let p = Provisioning::per_node(&g, cfg(16));
+        let p = per_node(&g, cfg(16));
         let hub_cluster = &p.clusters[p.node_cluster[0]];
         assert_eq!(hub_cluster.blocks.len(), 3);
         // Leaves keep a single block.
@@ -488,7 +585,7 @@ mod tests {
     fn below_cutoff_edges_are_not_provisioned() {
         let mut g = ring_graph(6, 100_000);
         g.add_message(0, 3, 64); // latency-bound chord
-        let p = Provisioning::per_node(&g, cfg(16));
+        let p = per_node(&g, cfg(16));
         assert_eq!(p.unprovisioned, vec![(0, 3)]);
         assert!(p.route(0, 3).is_none());
         assert!(p.route(0, 1).is_some());
@@ -508,8 +605,8 @@ mod tests {
             }
         }
         let clustering: Vec<Vec<usize>> = (0..4).map(|c| (4 * c..4 * c + 4).collect()).collect();
-        let clustered = Provisioning::build(&g, cfg(16), clustering);
-        let per_node = Provisioning::per_node(&g, cfg(16));
+        let clustered = build(&g, cfg(16), clustering);
+        let per_node = per_node(&g, cfg(16));
         clustered.validate(&g).unwrap();
         per_node.validate(&g).unwrap();
         assert_eq!(clustered.total_blocks(), 4, "one block per clique");
@@ -528,7 +625,7 @@ mod tests {
         g.add_message(0, 1, 1 << 20); // intra-SB pair
         g.add_message(0, 5, 1 << 20); // crosses both blocks
         let clustering = vec![vec![0, 1, 2], vec![3, 4, 5]];
-        let p = Provisioning::build(&g, cfg(4), clustering);
+        let p = build(&g, cfg(4), clustering);
         p.validate(&g).unwrap();
         // node1→node2: through the circuit switch into SB1 and back: 2
         // traversals, 1 active hop.
@@ -544,7 +641,7 @@ mod tests {
     #[test]
     fn fully_connected_strains_the_pool() {
         let g = complete_graph(8, 1 << 20);
-        let p = Provisioning::per_node(&g, cfg(16));
+        let p = per_node(&g, cfg(16));
         p.validate(&g).unwrap();
         // Degree 7 < 15: still one block per node, every port busy.
         assert_eq!(p.total_blocks(), 8);
@@ -555,7 +652,7 @@ mod tests {
     #[test]
     fn empty_graph_gets_attachments_only() {
         let g = CommGraph::new(4);
-        let p = Provisioning::per_node(&g, cfg(16));
+        let p = per_node(&g, cfg(16));
         assert_eq!(p.total_blocks(), 4);
         assert_eq!(p.edge_circuits.len(), 0);
         assert_eq!(p.circuit_ports_used(), 8, "4 node-block patches");
@@ -566,6 +663,6 @@ mod tests {
     #[should_panic(expected = "two clusters")]
     fn overlapping_clusters_rejected() {
         let g = ring_graph(4, 100_000);
-        Provisioning::build(&g, cfg(16), vec![vec![0, 1], vec![1, 2, 3]]);
+        build(&g, cfg(16), vec![vec![0, 1], vec![1, 2, 3]]);
     }
 }

@@ -2,8 +2,8 @@
 
 use hfast_core::cost::AnalyticHfast;
 use hfast_core::{
-    cluster_nodes, hfast_fault_impact, remove_nodes, CostModel, FatTree, ProvisionConfig,
-    Provisioning,
+    cluster_nodes, hfast_fault_impact, remove_nodes, Clustered, CostModel, FatTree, GraphDelta,
+    PaperLinear, ProvisionConfig, Provisioner, Strategy,
 };
 use hfast_par::{forall, Rng64};
 use hfast_topology::CommGraph;
@@ -29,7 +29,7 @@ fn per_node_provisioning_always_validates() {
             block_ports: k,
             cutoff: 2048,
         };
-        let prov = Provisioning::per_node(&g, config);
+        let prov = PaperLinear.provision(&g, config);
         assert!(prov.validate(&g).is_ok());
         // Every above-cutoff pair routes with ≥2 hops; symmetric.
         for a in 0..14 {
@@ -65,7 +65,7 @@ fn clustered_provisioning_always_validates() {
             }
         }
         assert!(seen.iter().all(|&s| s));
-        let prov = Provisioning::build(&g, config, clusters);
+        let prov = Clustered::new(clusters).provision(&g, config);
         assert!(prov.validate(&g).is_ok());
     });
 }
@@ -78,8 +78,8 @@ fn clustering_never_needs_more_blocks_than_per_node() {
         |rng| {
             let g = random_graph(rng, 12, 100);
             let config = ProvisionConfig::default();
-            let clustered = Provisioning::build(&g, config, cluster_nodes(&g, &config));
-            let per_node = Provisioning::per_node(&g, config);
+            let clustered = Clustered::new(cluster_nodes(&g, &config)).provision(&g, config);
+            let per_node = PaperLinear.provision(&g, config);
             assert!(
                 clustered.total_blocks() <= per_node.total_blocks(),
                 "sharing blocks can only reduce the pool: {} vs {}",
@@ -169,4 +169,76 @@ fn blocks_needed_capacity_is_sufficient_and_tight() {
             }
         },
     );
+}
+
+#[test]
+fn every_strategy_validates_on_random_graphs() {
+    forall("every_strategy_validates_on_random_graphs", 48, |rng| {
+        let n = rng.range(4, 20);
+        let g = random_graph(rng, n, 100);
+        let config = ProvisionConfig {
+            block_ports: rng.range(4, 24),
+            cutoff: 2048,
+        };
+        for s in Strategy::ALL {
+            let prov = s.provisioner().provision(&g, config);
+            assert!(
+                prov.validate(&g).is_ok(),
+                "{s} must produce a valid provisioning"
+            );
+        }
+    });
+}
+
+/// The paper heuristic's incremental path must land on the exact structure
+/// a from-scratch pass over the updated graph produces: same block count,
+/// same circuit ledger (keys *and* chain positions), same below-cutoff
+/// ledger, same route for every pair — over an arbitrary sequence of
+/// traffic deltas, not just one step.
+#[test]
+fn incremental_reprovision_matches_scratch() {
+    forall("incremental_reprovision_matches_scratch", 32, |rng| {
+        let n = rng.range(6, 18);
+        let mut g = random_graph(rng, n, 60);
+        let config = ProvisionConfig {
+            block_ports: rng.range(4, 24),
+            cutoff: 2048,
+        };
+        let mut prov = PaperLinear.provision(&g, config);
+        for _ in 0..rng.range(1, 6) {
+            let mut next = g.clone();
+            for _ in 0..rng.range(1, 8) {
+                let a = rng.range(0, n);
+                let b = rng.range(0, n);
+                if a != b {
+                    next.add_message(a, b, rng.range_u64(1, 2 << 20));
+                }
+            }
+            let delta = GraphDelta::diff(&g, &next);
+            prov = PaperLinear.reprovision(prov, &next, &delta).provisioning;
+            g = next;
+
+            let scratch = PaperLinear.provision(&g, config);
+            assert!(prov.validate(&g).is_ok());
+            assert_eq!(prov.total_blocks(), scratch.total_blocks());
+            assert_eq!(prov.unprovisioned, scratch.unprovisioned);
+            assert_eq!(
+                prov.edge_circuits.keys().collect::<Vec<_>>(),
+                scratch.edge_circuits.keys().collect::<Vec<_>>()
+            );
+            for (pair, ec) in &prov.edge_circuits {
+                let se = &scratch.edge_circuits[pair];
+                assert_eq!(
+                    (ec.a_chain_pos, ec.b_chain_pos),
+                    (se.a_chain_pos, se.b_chain_pos),
+                    "chain positions for {pair:?}"
+                );
+            }
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(prov.route(a, b), scratch.route(a, b), "route {a}->{b}");
+                }
+            }
+        }
+    });
 }

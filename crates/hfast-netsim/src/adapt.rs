@@ -1,0 +1,262 @@
+//! Online adaptive replay: windowed simulation with incremental
+//! re-provisioning at synchronization points.
+//!
+//! §2.3 of the paper sketches a runtime that measures traffic between
+//! synchronization points and repatches the MEMS crossbar to match.
+//! [`AdaptiveReplay`] is that loop over the simulator: each call to
+//! [`window`](AdaptiveReplay::window) replays one bulk-synchronous phase
+//! on the current fabric, folds the observed per-pair traffic into the
+//! communication graph, asks the configured [`Provisioner`] strategy for
+//! an **incremental** re-provisioning over the delta, applies it to the
+//! live [`HfastFabric`], and invalidates exactly the cached routes the
+//! outcome touched. Strategies that cannot adapt incrementally fall back
+//! to a full rebuild (and a full cache clear) transparently.
+//!
+//! ```
+//! use hfast_core::{ProvisionConfig, Strategy};
+//! use hfast_netsim::adapt::AdaptiveReplay;
+//! use hfast_netsim::traffic::flows_from_graph;
+//! use hfast_topology::generators::ring_graph;
+//!
+//! let g = ring_graph(16, 1 << 20);
+//! let mut replay = AdaptiveReplay::builder(16, ProvisionConfig::default())
+//!     .strategy(Strategy::PaperLinear)
+//!     .initial_graph(&g)
+//!     .build();
+//! let report = replay.window(&flows_from_graph(&g, 2048));
+//! assert_eq!(report.stats.unrouted, 0);
+//! assert_eq!(report.edges_touched, 0); // traffic matched the forecast
+//! ```
+
+use hfast_core::{AdaptScope, GraphDelta, ProvisionConfig, Provisioner, Strategy};
+use hfast_topology::CommGraph;
+
+use crate::engine::{PathCache, Simulation};
+use crate::hfast::HfastFabric;
+use crate::stats::RunStats;
+use crate::traffic::Flow;
+
+/// Builder for [`AdaptiveReplay`]: pick the node count, provisioning
+/// config, strategy, and (optionally) an initial traffic forecast.
+#[derive(Debug)]
+pub struct AdaptiveReplayBuilder {
+    n: usize,
+    config: ProvisionConfig,
+    strategy: Strategy,
+    initial: CommGraph,
+}
+
+impl AdaptiveReplayBuilder {
+    /// Selects the provisioner strategy (default: the paper's linear
+    /// heuristic, the only one with a native incremental path).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Seeds the initial provisioning from a traffic forecast instead of
+    /// an empty graph (which would start every pair on the slow tree).
+    pub fn initial_graph(mut self, graph: &CommGraph) -> Self {
+        self.initial = graph.clone();
+        self
+    }
+
+    /// Provisions the initial fabric and returns the replay driver.
+    ///
+    /// # Panics
+    /// If the initial graph's task count disagrees with the builder's `n`.
+    pub fn build(self) -> AdaptiveReplay {
+        assert_eq!(self.initial.n(), self.n, "forecast must cover all nodes");
+        let provisioner = self.strategy.provisioner();
+        let fabric = HfastFabric::new(provisioner.provision(&self.initial, self.config));
+        AdaptiveReplay {
+            fabric,
+            cache: PathCache::new(),
+            provisioner,
+            observed: self.initial,
+            windows: 0,
+        }
+    }
+}
+
+/// What one synchronization window did: replay stats plus the
+/// re-provisioning work it triggered.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// Simulation stats for the window's flows.
+    pub stats: RunStats,
+    /// Strategy that handled the sync point.
+    pub strategy: &'static str,
+    /// Edges whose circuit-worthiness status the delta changed.
+    pub edges_touched: usize,
+    /// True if the strategy recomputed the provisioning from scratch.
+    pub full_rebuild: bool,
+    /// Cached routes evicted by the adaptation.
+    pub routes_evicted: usize,
+}
+
+/// Windowed sync-point replay with online incremental re-provisioning.
+///
+/// Construct with [`AdaptiveReplay::builder`]; drive with
+/// [`window`](AdaptiveReplay::window) once per bulk-synchronous phase.
+#[derive(Debug)]
+pub struct AdaptiveReplay {
+    fabric: HfastFabric,
+    cache: PathCache,
+    provisioner: Box<dyn Provisioner>,
+    observed: CommGraph,
+    windows: usize,
+}
+
+impl AdaptiveReplay {
+    /// A builder for `n` nodes under `config`.
+    pub fn builder(n: usize, config: ProvisionConfig) -> AdaptiveReplayBuilder {
+        AdaptiveReplayBuilder {
+            n,
+            config,
+            strategy: Strategy::PaperLinear,
+            initial: CommGraph::new(n),
+        }
+    }
+
+    /// The live fabric (adapted to everything observed so far).
+    pub fn fabric(&self) -> &HfastFabric {
+        &self.fabric
+    }
+
+    /// The strategy handling sync points.
+    pub fn strategy_name(&self) -> &'static str {
+        self.provisioner.name()
+    }
+
+    /// Synchronization windows replayed so far.
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// Replays one window of flows on the current fabric, then adapts the
+    /// provisioning to the traffic actually observed.
+    ///
+    /// The flows run against routes provisioned from *previous* windows —
+    /// exactly the runtime's position at a sync point — and the fabric the
+    /// *next* window sees reflects this one's traffic. Cached routes for
+    /// untouched pairs survive the adaptation.
+    pub fn window(&mut self, flows: &[Flow]) -> WindowReport {
+        let stats = Simulation::new(&self.fabric)
+            .with_cache(&mut self.cache)
+            .run(flows)
+            .stats;
+        self.windows += 1;
+
+        // Fold the window's traffic into the observed communication graph.
+        let mut next = self.observed.clone();
+        for f in flows {
+            next.add_message(f.src, f.dst, f.bytes);
+        }
+        let delta = GraphDelta::diff(&self.observed, &next);
+        self.observed = next;
+        if delta.is_empty() {
+            return WindowReport {
+                stats,
+                strategy: self.provisioner.name(),
+                edges_touched: 0,
+                full_rebuild: false,
+                routes_evicted: 0,
+            };
+        }
+
+        let prev = self.fabric.provisioning().clone();
+        let out = self.provisioner.reprovision(prev, &self.observed, &delta);
+        let (strategy, edges_touched, full_rebuild) =
+            (out.strategy, out.edges_touched, out.full_rebuild);
+        let routes_evicted = match self.fabric.adapt(&out) {
+            AdaptScope::Full => {
+                let evicted = self.cache.len();
+                self.cache.clear();
+                evicted
+            }
+            AdaptScope::Pairs(pairs) => self.cache.invalidate_pairs(&pairs),
+        };
+        WindowReport {
+            stats,
+            strategy,
+            edges_touched,
+            full_rebuild,
+            routes_evicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use crate::traffic::flows_from_graph;
+    use hfast_topology::generators::ring_graph;
+
+    /// A drifting workload: each window's phase adds one fresh chord. The
+    /// driver must keep adapting incrementally — never a full rebuild
+    /// under PaperLinear — and each new chord must ride a circuit by the
+    /// window after it first appears.
+    #[test]
+    fn drifting_chords_adapt_incrementally() {
+        let n = 32;
+        let base = ring_graph(n, 1 << 20);
+        let mut replay = AdaptiveReplay::builder(n, ProvisionConfig::default())
+            .initial_graph(&base)
+            .build();
+
+        for w in 0..4 {
+            let (a, b) = (w, (w + n / 2) % n);
+            let mut flows = flows_from_graph(&base, 2048);
+            flows.push(Flow {
+                src: a,
+                dst: b,
+                bytes: 1 << 20,
+                start_ns: 0,
+            });
+            let report = replay.window(&flows);
+            assert_eq!(report.stats.unrouted, 0);
+            assert!(!report.full_rebuild, "paper heuristic adapts in place");
+            assert!(report.edges_touched >= 1, "the chord is new traffic");
+            // Next window: the chord now rides a dedicated circuit.
+            let path = replay.fabric().path(a, b).unwrap();
+            assert_eq!(path.len(), 3, "window {w} chord got a circuit");
+        }
+        assert_eq!(replay.windows(), 4);
+        assert_eq!(replay.strategy_name(), "paper_linear");
+    }
+
+    /// Strategies without a native incremental path still work through
+    /// the same driver — every sync point is a (correct) full rebuild.
+    #[test]
+    fn scratch_strategies_fall_back_to_full_rebuild() {
+        let n = 16;
+        let base = ring_graph(n, 1 << 20);
+        let mut replay = AdaptiveReplay::builder(n, ProvisionConfig::default())
+            .strategy(Strategy::BffCircuit)
+            .initial_graph(&base)
+            .build();
+        let mut flows = flows_from_graph(&base, 2048);
+        flows.push(Flow {
+            src: 2,
+            dst: 9,
+            bytes: 1 << 20,
+            start_ns: 0,
+        });
+        let report = replay.window(&flows);
+        assert_eq!(report.stats.unrouted, 0);
+        assert!(report.full_rebuild);
+        assert_eq!(report.strategy, "bff_circuit");
+        // The rebuilt fabric routes the new pair off the slow tree (BFF
+        // may even marry the two onto one shared chain).
+        let p = replay.fabric().path(2, 9).unwrap();
+        assert_eq!(replay.fabric().link_class(p[0]), "fiber");
+        // Another window of identical traffic: the cumulative byte counts
+        // still shift, so a scratch strategy rebuilds again — correct but
+        // paying the full cost the incremental path avoids.
+        let second = replay.window(&flows);
+        assert_eq!(second.stats.unrouted, 0);
+        assert!(second.full_rebuild);
+    }
+}

@@ -212,6 +212,28 @@ impl PathCache {
         evicted
     }
 
+    /// Marks the cached routes for exactly the given (src, dst) pairs stale
+    /// (both orientations), returning how many routes were evicted. This is
+    /// the targeted eviction path for incremental re-provisioning: an
+    /// [`ReprovisionOutcome`](hfast_core::ReprovisionOutcome) names the pairs
+    /// whose circuits moved, and only those slots pay a recompute — O(pairs
+    /// touched) hash probes instead of an O(cached pairs) sweep.
+    pub fn invalidate_pairs(&mut self, pairs: &[(usize, usize)]) -> usize {
+        let mut evicted = 0;
+        for &(a, b) in pairs {
+            for key in [pair_key(a, b), pair_key(b, a)] {
+                if let Some(&slot) = self.slot_of_pair.get(&key) {
+                    let slot = slot as usize;
+                    if self.state[slot] & STALE_BIT == 0 {
+                        self.state[slot] |= STALE_BIT;
+                        evicted += 1;
+                    }
+                }
+            }
+        }
+        evicted
+    }
+
     /// The cached route in slot `slot` (ignoring staleness): `None` for a
     /// cached unreachable verdict.
     #[inline]

@@ -9,9 +9,10 @@
 //! tree network the paper pairs with HFAST (§2.4), modeled as a star at a
 //! tenth of the link bandwidth.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use hfast_core::Provisioning;
+use hfast_core::{AdaptScope, ProvisionConfig, Provisioning, ReprovisionOutcome, Strategy};
+use hfast_topology::CommGraph;
 
 use crate::fabric::{Fabric, LinkId, LinkSpec};
 use crate::faultplan::FaultState;
@@ -23,11 +24,26 @@ const BLOCK_NS: u64 = 50;
 /// Collective-tree bandwidth relative to the main fabric.
 const TREE_BW: f64 = 0.1;
 
+/// Which layer of the hybrid fabric a link belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkClass {
+    /// Fixed node-to-block fiber runs.
+    Fiber,
+    /// MEMS-patched chain and edge circuits (reprovisionable).
+    Circuit,
+    /// The fixed low-bandwidth collective tree.
+    Tree,
+}
+
 /// An HFAST fabric instantiated from a provisioning.
 #[derive(Debug, Clone)]
 pub struct HfastFabric {
     prov: Provisioning,
     links: Vec<LinkSpec>,
+    /// Explicit per-link layer table. Incremental adaptation appends and
+    /// orphans circuit links out of positional order, so classification
+    /// cannot rely on id ranges.
+    classes: Vec<LinkClass>,
     /// node → (uplink into attach block, downlink out to the node).
     node_links: Vec<(LinkId, LinkId)>,
     /// (cluster, lower chain pos) → (link toward higher pos, toward lower).
@@ -38,17 +54,23 @@ pub struct HfastFabric {
     tree_links: Vec<(LinkId, LinkId)>,
 }
 
+/// Link spec for a hop that enters a packet-switch block.
+const fn into_block() -> LinkSpec {
+    LinkSpec {
+        latency_ns: CIRCUIT_NS + BLOCK_NS,
+        bandwidth: 1.0,
+    }
+}
+
 impl HfastFabric {
     /// Builds the fabric from a provisioning.
     pub fn new(prov: Provisioning) -> Self {
         let mut links = Vec::new();
-        let mut push = |spec: LinkSpec| -> LinkId {
+        let mut classes = Vec::new();
+        let mut push = |spec: LinkSpec, class: LinkClass| -> LinkId {
             links.push(spec);
+            classes.push(class);
             links.len() - 1
-        };
-        let into_block = LinkSpec {
-            latency_ns: CIRCUIT_NS + BLOCK_NS,
-            bandwidth: 1.0,
         };
         let out_of_block = LinkSpec {
             latency_ns: CIRCUIT_NS,
@@ -61,23 +83,43 @@ impl HfastFabric {
 
         let n = prov.n_nodes;
         let node_links: Vec<(LinkId, LinkId)> = (0..n)
-            .map(|_| (push(into_block), push(out_of_block)))
+            .map(|_| {
+                (
+                    push(into_block(), LinkClass::Fiber),
+                    push(out_of_block, LinkClass::Fiber),
+                )
+            })
             .collect();
         let mut chain_links = BTreeMap::new();
         for cluster in &prov.clusters {
             for pos in 0..cluster.blocks.len().saturating_sub(1) {
-                chain_links.insert((cluster.id, pos), (push(into_block), push(into_block)));
+                chain_links.insert(
+                    (cluster.id, pos),
+                    (
+                        push(into_block(), LinkClass::Circuit),
+                        push(into_block(), LinkClass::Circuit),
+                    ),
+                );
             }
         }
         let mut edge_links = BTreeMap::new();
         for &(a, b) in prov.edge_circuits.keys() {
-            edge_links.insert((a, b), (push(into_block), push(into_block)));
+            edge_links.insert(
+                (a, b),
+                (
+                    push(into_block(), LinkClass::Circuit),
+                    push(into_block(), LinkClass::Circuit),
+                ),
+            );
         }
-        let tree_links: Vec<(LinkId, LinkId)> = (0..n).map(|_| (push(tree), push(tree))).collect();
+        let tree_links: Vec<(LinkId, LinkId)> = (0..n)
+            .map(|_| (push(tree, LinkClass::Tree), push(tree, LinkClass::Tree)))
+            .collect();
 
         HfastFabric {
             prov,
             links,
+            classes,
             node_links,
             chain_links,
             edge_links,
@@ -85,9 +127,90 @@ impl HfastFabric {
         }
     }
 
+    /// Provisions `graph` with the given [`Strategy`] and builds the
+    /// fabric from the result — the netsim-side entry point for the
+    /// pluggable provisioner API.
+    pub fn provisioned(graph: &CommGraph, config: ProvisionConfig, strategy: Strategy) -> Self {
+        HfastFabric::new(strategy.provisioner().provision(graph, config))
+    }
+
     /// The underlying provisioning.
     pub fn provisioning(&self) -> &Provisioning {
         &self.prov
+    }
+
+    /// Applies a [`ReprovisionOutcome`] to the live fabric, returning the
+    /// [`AdaptScope`] the caller must invalidate in any [`PathCache`].
+    ///
+    /// A full rebuild replaces every link (the caller clears its cache).
+    /// An incremental outcome rewires only the chain and edge circuits of
+    /// the clusters its touched pairs name: links for untouched pairs keep
+    /// their ids, so their cached routes — and any in-flight flows riding
+    /// them — stay valid. Torn-down circuits leave orphaned link slots
+    /// (never on any route) rather than renumbering the survivors; the
+    /// MEMS crossbar analog is a dark fiber left patched to nothing.
+    ///
+    /// [`PathCache`]: crate::engine::PathCache
+    pub fn adapt(&mut self, outcome: &ReprovisionOutcome) -> AdaptScope {
+        if outcome.full_rebuild {
+            *self = HfastFabric::new(outcome.provisioning.clone());
+            return AdaptScope::Full;
+        }
+        let new = &outcome.provisioning;
+        // Clusters whose chains may have been resized: every endpoint of a
+        // touched pair, in both the old and the new clustering.
+        let mut clusters = BTreeSet::new();
+        for &(a, b) in &outcome.touched_pairs {
+            for prov in [&self.prov, new] {
+                for v in [a, b] {
+                    if let Some(&c) = prov.node_cluster.get(v) {
+                        if c != usize::MAX {
+                            clusters.insert(c);
+                        }
+                    }
+                }
+            }
+        }
+        for &c in &clusters {
+            let want = new
+                .clusters
+                .get(c)
+                .map_or(0, |cl| cl.blocks.len().saturating_sub(1));
+            let have = self
+                .chain_links
+                .range((c, 0)..(c + 1, 0))
+                .map(|(&(_, pos), _)| pos + 1)
+                .max()
+                .unwrap_or(0);
+            for pos in want..have {
+                self.chain_links.remove(&(c, pos)); // orphan the link slots
+            }
+            for pos in have..want {
+                let fwd = self.push_circuit_link();
+                let back = self.push_circuit_link();
+                self.chain_links.insert((c, pos), (fwd, back));
+            }
+        }
+        for &(a, b) in &outcome.touched_pairs {
+            let provisioned = new.edge_circuits.contains_key(&(a, b));
+            let mapped = self.edge_links.contains_key(&(a, b));
+            if provisioned && !mapped {
+                let fwd = self.push_circuit_link();
+                let back = self.push_circuit_link();
+                self.edge_links.insert((a, b), (fwd, back));
+            } else if !provisioned && mapped {
+                self.edge_links.remove(&(a, b)); // orphan the link slots
+            }
+        }
+        self.prov = new.clone();
+        AdaptScope::Pairs(outcome.touched_pairs.clone())
+    }
+
+    /// Appends one fresh circuit link and returns its id.
+    fn push_circuit_link(&mut self) -> LinkId {
+        self.links.push(into_block());
+        self.classes.push(LinkClass::Circuit);
+        self.links.len() - 1
     }
 
     /// Which layer of the hybrid fabric a link belongs to: `"fiber"` for
@@ -100,17 +223,10 @@ impl HfastFabric {
     /// If `link` is out of range.
     pub fn link_class(&self, link: LinkId) -> &'static str {
         assert!(link < self.links.len(), "link {link} out of range");
-        let fiber_end = 2 * self.prov.n_nodes;
-        let tree_base = self
-            .tree_links
-            .first()
-            .map_or(self.links.len(), |&(up, _)| up);
-        if link < fiber_end {
-            "fiber"
-        } else if link < tree_base {
-            "circuit"
-        } else {
-            "tree"
+        match self.classes[link] {
+            LinkClass::Fiber => "fiber",
+            LinkClass::Circuit => "circuit",
+            LinkClass::Tree => "tree",
         }
     }
 
@@ -223,15 +339,10 @@ impl Fabric for HfastFabric {
     }
 
     fn reprovisionable(&self, link: LinkId) -> bool {
-        // Chain and edge circuits live between [2n, tree_base): they are
-        // MEMS crossbar patches with spare ports to move to. Node fibers
-        // ([0, 2n)) and the fixed collective tree are physical runs.
-        let circuit_base = 2 * self.prov.n_nodes;
-        let tree_base = match self.tree_links.first() {
-            Some(&(up, _)) => up,
-            None => return false,
-        };
-        (circuit_base..tree_base).contains(&link)
+        // Chain and edge circuits are MEMS crossbar patches with spare
+        // ports to move to; node fibers and the fixed collective tree are
+        // physical runs.
+        self.classes.get(link) == Some(&LinkClass::Circuit)
     }
 
     fn supports_reprovision(&self) -> bool {
@@ -245,11 +356,11 @@ mod tests {
     use crate::engine::Simulation;
     use crate::fattree::FatTreeFabric;
     use crate::traffic::{self};
-    use hfast_core::{ProvisionConfig, Provisioning};
+    use hfast_core::{GraphDelta, PaperLinear, ProvisionConfig, Provisioner};
     use hfast_topology::generators::{mesh3d_graph, ring_graph};
 
     fn hfast_for(graph: &hfast_topology::CommGraph) -> HfastFabric {
-        HfastFabric::new(Provisioning::per_node(graph, ProvisionConfig::default()))
+        HfastFabric::provisioned(graph, ProvisionConfig::default(), Strategy::PaperLinear)
     }
 
     #[test]
@@ -391,6 +502,79 @@ mod tests {
         let g = ring_graph(4, 1 << 20);
         let f = hfast_for(&g);
         assert_eq!(f.path(2, 2).unwrap().len(), 0);
+    }
+
+    /// Paths after an incremental [`HfastFabric::adapt`] must agree hop
+    /// class by hop class with a fabric built fresh from the adapted
+    /// provisioning, and links of untouched pairs must keep their ids.
+    #[test]
+    fn incremental_adapt_matches_fresh_fabric() {
+        let n = 16;
+        let before = ring_graph(n, 1 << 20);
+        let mut after = before.clone();
+        after.add_message(3, 11, 1 << 20); // new chord: circuit appears
+        let config = ProvisionConfig::default();
+
+        let mut f = hfast_for(&before);
+        let stable = f.path(5, 6).unwrap(); // pair far from the chord
+        let prev = f.provisioning().clone();
+        let delta = GraphDelta::diff(&before, &after);
+        let out = PaperLinear.reprovision(prev, &after, &delta);
+        assert!(!out.full_rebuild, "one chord stays incremental");
+        let scope = f.adapt(&out);
+        match scope {
+            AdaptScope::Pairs(ref pairs) => assert!(pairs.contains(&(3, 11))),
+            AdaptScope::Full => panic!("incremental outcome must not clear everything"),
+        }
+
+        let fresh = HfastFabric::provisioned(&after, config, Strategy::PaperLinear);
+        for src in 0..n {
+            for dst in 0..n {
+                let a = f.path(src, dst).unwrap();
+                let b = fresh.path(src, dst).unwrap();
+                assert_eq!(a.len(), b.len(), "path shape for ({src},{dst})");
+                for (la, lb) in a.iter().zip(&b) {
+                    assert_eq!(f.link_class(*la), fresh.link_class(*lb));
+                    assert_eq!(f.link(*la), fresh.link(*lb));
+                }
+            }
+        }
+        // The untouched pair kept its exact links: cached routes stay valid.
+        assert_eq!(f.path(5, 6).unwrap(), stable);
+        // The new chord rides a dedicated circuit, not the tree.
+        let chord = f.path(3, 11).unwrap();
+        assert_eq!(chord.len(), 3);
+        assert_eq!(f.link_class(chord[1]), "circuit");
+    }
+
+    /// Tearing a circuit back down orphans its links but leaves every
+    /// other route untouched and the class table consistent.
+    #[test]
+    fn incremental_adapt_handles_removal() {
+        let n = 16;
+        let mut with_chord = ring_graph(n, 1 << 20);
+        with_chord.add_message(3, 11, 1 << 20);
+        let without = ring_graph(n, 1 << 20);
+
+        let mut f = hfast_for(&with_chord);
+        let links_before = f.link_count();
+        let prev = f.provisioning().clone();
+        let delta = GraphDelta::diff(&with_chord, &without);
+        let out = PaperLinear.reprovision(prev, &without, &delta);
+        assert!(!out.full_rebuild);
+        f.adapt(&out);
+
+        // The chord dropped to the tree; orphaned slots stay allocated.
+        let p = f.path(3, 11).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(f.link_class(p[0]), "tree");
+        assert!(f.link_count() >= links_before);
+        // Every surviving route still resolves and classifies sanely.
+        for src in 0..n {
+            let p = f.path(src, (src + 1) % n).unwrap();
+            assert_eq!(p.len(), 3);
+            assert_eq!(f.link_class(p[1]), "circuit");
+        }
     }
 
     #[test]

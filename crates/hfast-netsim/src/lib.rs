@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod engine;
 pub mod error;
 pub mod fabric;
@@ -46,6 +47,7 @@ pub mod torus;
 pub mod traffic;
 pub mod warm;
 
+pub use adapt::{AdaptiveReplay, AdaptiveReplayBuilder, WindowReport};
 pub use engine::{FlowRecord, LoopPerf, PathCache, SimOutput, Simulation};
 pub use error::NetsimError;
 pub use fabric::{Fabric, LinkId, LinkSpec};

@@ -9,7 +9,7 @@
 //! `HFAST_THREADS` and route-cache reuse — to the same byte-for-byte
 //! output.
 
-use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_core::{PaperLinear, ProvisionConfig, Provisioner};
 use hfast_netsim::{
     traffic, transit_links, EngineObs, Fabric, FatTreeFabric, FaultPlan, Flow, HfastFabric,
     PathCache, RetryPolicy, SimOutput, Simulation, TorusFabric,
@@ -81,7 +81,7 @@ fn hfast_graph() -> (HfastFabric, Vec<Flow>) {
             g.add_message(a, b, rng.range_u64(2048, 1 << 20));
         }
     }
-    let fabric = HfastFabric::new(Provisioning::per_node(&g, ProvisionConfig::default()));
+    let fabric = HfastFabric::new(PaperLinear.provision(&g, ProvisionConfig::default()));
     let flows = traffic::flows_from_graph(&g, 0);
     (fabric, flows)
 }
@@ -139,7 +139,11 @@ fn golden_hfast_reprovision() {
         .with_reprovision(100_000)
         .detailed()
         .run(&flows);
-    assert_eq!(digest(&out), 0x20fdd71d89adcc16);
+    // Golden updated when [`ReconfigStep`] gained `strategy` and
+    // `edges_touched`: the digest folds in each step's Debug length, so
+    // the wider struct shifts it while flow records stay byte-identical
+    // (`golden_hfast_graph` pins those separately).
+    assert_eq!(digest(&out), 0x2342ee1d8b9b75c8);
 }
 
 /// The conservative-parallel executor must be indistinguishable from the

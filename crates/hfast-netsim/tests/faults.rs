@@ -5,7 +5,7 @@
 
 use std::sync::Mutex;
 
-use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_core::{PaperLinear, ProvisionConfig, Provisioner};
 use hfast_netsim::engine::PathCache;
 use hfast_netsim::{
     traffic, transit_links, Fabric, FatTreeFabric, FaultPlan, HfastFabric, RetryPolicy, SimOutput,
@@ -99,7 +99,7 @@ fn hfast_reprovision_repairs_failed_circuits() {
         g.add_message(i, (i + 1) % n, 1 << 20);
         g.add_message(i, (i + 5) % n, 1 << 19);
     }
-    let fabric = HfastFabric::new(Provisioning::per_node(&g, ProvisionConfig::default()));
+    let fabric = HfastFabric::new(PaperLinear.provision(&g, ProvisionConfig::default()));
     assert!(fabric.supports_reprovision());
     let flows = traffic::flows_from_graph(&g, 2048);
 
@@ -168,7 +168,7 @@ fn fat_tree_cannot_survive_what_hfast_survives() {
         .with_retry(RetryPolicy::default())
         .run(&flows);
 
-    let hf = HfastFabric::new(Provisioning::per_node(&g, ProvisionConfig::default()));
+    let hf = HfastFabric::new(PaperLinear.provision(&g, ProvisionConfig::default()));
     let hf_eligible = transit_links(&hf, &flows);
     let hf_plan = FaultPlan::builder()
         .random_link_failures(1234, 6, &hf_eligible, (0, 0), None)

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_core::{PaperLinear, ProvisionConfig, Provisioner};
 use hfast_netsim::engine::PathCache;
 use hfast_netsim::{
     traffic, transit_links, EngineObs, Fabric, FatTreeFabric, FaultPlan, Flow, HfastFabric,
@@ -44,7 +44,7 @@ fn any_fabric(rng: &mut Rng64) -> (Box<dyn Fabric>, usize) {
                     g.add_message(a, b, rng.range_u64(2048, 1 << 20));
                 }
             }
-            let prov = Provisioning::per_node(&g, ProvisionConfig::default());
+            let prov = PaperLinear.provision(&g, ProvisionConfig::default());
             (Box::new(HfastFabric::new(prov)), 12)
         }
     }
@@ -428,7 +428,7 @@ fn hfast_routes_every_provisioned_flow() {
                 g.add_message(a, b, rng.range_u64(2048, 1 << 20));
             }
         }
-        let fabric = HfastFabric::new(Provisioning::per_node(&g, ProvisionConfig::default()));
+        let fabric = HfastFabric::new(PaperLinear.provision(&g, ProvisionConfig::default()));
         let fs = traffic::flows_from_graph(&g, 2048);
         let stats = Simulation::new(&fabric).run(&fs).stats;
         assert_eq!(stats.unrouted, 0);
@@ -491,7 +491,7 @@ fn hfast_fabric_paths_agree_with_provisioning_routes() {
                     g.add_message(a, b, rng.range_u64(2048, 1 << 21));
                 }
             }
-            let prov = Provisioning::per_node(&g, ProvisionConfig::default());
+            let prov = PaperLinear.provision(&g, ProvisionConfig::default());
             let fabric = HfastFabric::new(prov.clone());
             for a in 0..14 {
                 for b in 0..14 {

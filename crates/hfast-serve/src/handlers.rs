@@ -6,7 +6,7 @@
 //! Server-level concerns (health, stats, shutdown, queueing) never reach
 //! this module.
 
-use hfast_core::{CostComparison, CostModel, ProvisionConfig, Provisioning};
+use hfast_core::{CostComparison, CostModel, ProvisionConfig, Provisioning, Strategy};
 use hfast_netsim::traffic::flows_from_graph;
 use hfast_netsim::{transit_links, FaultPlan, Simulation};
 use hfast_topology::tdc_sweep;
@@ -29,6 +29,7 @@ fn provision_for(
     app: &AppSpec,
     block_ports: usize,
     cutoff: u64,
+    strategy: Strategy,
 ) -> Result<(usize, Provisioning), Response> {
     if block_ports < 2 {
         return Err(err(format!(
@@ -36,7 +37,8 @@ fn provision_for(
         )));
     }
     let graph = reg.graph(app).map_err(err)?;
-    let prov = Provisioning::per_node(
+    reg.note_strategy(strategy);
+    let prov = strategy.provisioner().provision(
         &graph,
         ProvisionConfig {
             block_ports,
@@ -52,13 +54,14 @@ fn simulate(
     fabric: FabricSpec,
     cutoff: u64,
     faults: &Option<FaultSpec>,
+    strategy: Strategy,
 ) -> Response {
     let graph = match reg.graph(app) {
         Ok(g) => g,
         Err(e) => return err(e),
     };
     let block_ports = ProvisionConfig::default().block_ports;
-    let entry = match reg.fabric(&graph, fabric, block_ports, cutoff) {
+    let entry = match reg.fabric(&graph, fabric, block_ports, cutoff, strategy) {
         Ok(e) => e,
         Err(e) => return err(e),
     };
@@ -117,7 +120,14 @@ pub fn execute(req: &Request, reg: &Registry) -> Response {
             app,
             block_ports,
             cutoff,
-        } => match provision_for(reg, app, *block_ports, *cutoff) {
+            strategy,
+        } => match provision_for(
+            reg,
+            app,
+            *block_ports,
+            *cutoff,
+            strategy.unwrap_or(Strategy::PaperLinear),
+        ) {
             Ok((n, prov)) => Response::Provisioned {
                 n,
                 blocks: prov.total_blocks(),
@@ -132,7 +142,7 @@ pub fn execute(req: &Request, reg: &Registry) -> Response {
             app,
             block_ports,
             cutoff,
-        } => match provision_for(reg, app, *block_ports, *cutoff) {
+        } => match provision_for(reg, app, *block_ports, *cutoff, Strategy::PaperLinear) {
             Ok((_, prov)) => {
                 let cmp = CostComparison::of(&prov, &CostModel::default());
                 Response::CostReport {
@@ -174,7 +184,15 @@ pub fn execute(req: &Request, reg: &Registry) -> Response {
             fabric,
             cutoff,
             faults,
-        } => simulate(reg, app, *fabric, *cutoff, faults),
+            strategy,
+        } => simulate(
+            reg,
+            app,
+            *fabric,
+            *cutoff,
+            faults,
+            strategy.unwrap_or(Strategy::PaperLinear),
+        ),
         Request::DebugPanic => panic!("debug_panic endpoint exercised"),
         Request::Health | Request::Stats | Request::Shutdown => err(format!(
             "{} is handled by the server, not a worker",
@@ -204,6 +222,7 @@ mod tests {
                 app: ring(8),
                 block_ports: 16,
                 cutoff: 2048,
+                strategy: None,
             },
             &reg,
         );
@@ -278,6 +297,7 @@ mod tests {
                 fabric: FabricSpec::FatTree { ports: 8 },
                 cutoff: 0,
                 faults: None,
+                strategy: None,
             },
             &reg,
         );
@@ -311,6 +331,7 @@ mod tests {
                 window: (0, 50_000),
                 downtime_ns: Some(100_000),
             }),
+            strategy: None,
         };
         let a = execute(&req, &reg_a);
         // Second registry: cold caches, same answer. Run twice on reg_a
@@ -329,6 +350,7 @@ mod tests {
                 app: ring(4),
                 block_ports: 1,
                 cutoff: 0,
+                strategy: None,
             },
             Request::Tdc {
                 app: ring(4),
@@ -339,6 +361,7 @@ mod tests {
                 fabric: FabricSpec::Torus { dims: (2, 2, 2) },
                 cutoff: 0,
                 faults: None,
+                strategy: None,
             },
             Request::Provision {
                 app: AppSpec::Named {
@@ -347,6 +370,7 @@ mod tests {
                 },
                 block_ports: 16,
                 cutoff: 2048,
+                strategy: None,
             },
         ] {
             assert!(

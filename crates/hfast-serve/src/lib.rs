@@ -33,6 +33,7 @@
 //!         app: hfast_serve::AppSpec::Named { name: "GTC".into(), procs: 64 },
 //!         block_ports: 16,
 //!         cutoff: 2048,
+//!         strategy: None,
 //!     })
 //!     .unwrap();
 //! assert!(matches!(resp, Response::Provisioned { .. }));
@@ -55,6 +56,7 @@ pub use cache::{CacheStats, ResponseCache};
 pub use client::{Client, ClientError};
 pub use frame::{read_frame, write_frame, FrameError, FramePoll, FrameReader, MAX_FRAME_BYTES};
 pub use handlers::execute;
+pub use hfast_core::Strategy;
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, request_key, AppSpec,
     FabricSpec, FaultSpec, Request, Response, TdcRow, ENDPOINTS,

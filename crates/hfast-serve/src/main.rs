@@ -39,9 +39,20 @@ fn self_test() -> Result<(), String> {
         app: app.clone(),
         block_ports: 16,
         cutoff: 2048,
+        strategy: None,
     }) {
         Ok(Response::Provisioned { n, blocks, .. }) if n == 16 && blocks > 0 => {}
         other => return Err(format!("provision: unexpected {other:?}")),
+    }
+    // Explicit non-default strategy: same graph, independently provisioned.
+    match client.call(&Request::Provision {
+        app: app.clone(),
+        block_ports: 16,
+        cutoff: 2048,
+        strategy: Some(hfast_serve::Strategy::BffCircuit),
+    }) {
+        Ok(Response::Provisioned { n, blocks, .. }) if n == 16 && blocks > 0 => {}
+        other => return Err(format!("provision (bff): unexpected {other:?}")),
     }
     match client.call(&Request::Cost {
         app: app.clone(),
@@ -63,6 +74,7 @@ fn self_test() -> Result<(), String> {
         fabric: FabricSpec::FatTree { ports: 16 },
         cutoff: 2048,
         faults: None,
+        strategy: None,
     };
     let first = match client.call(&sim) {
         Ok(Response::SimReport {
@@ -91,8 +103,13 @@ fn self_test() -> Result<(), String> {
             requests,
             cache_hits,
             sim_events,
+            strategy_hits,
             ..
-        }) if requests >= 7 && cache_hits >= 1 && sim_events > 0 => {}
+        }) if requests >= 7
+            && cache_hits >= 1
+            && sim_events > 0
+            && strategy_hits[0] >= 1
+            && strategy_hits[1] >= 1 => {}
         other => return Err(format!("stats: unexpected {other:?}")),
     }
     match client.call(&Request::Shutdown) {

@@ -14,6 +14,7 @@
 //! field carried here (byte counts, nanoseconds, port counts, seeds)
 //! fits comfortably; values beyond that round.
 
+use hfast_core::Strategy;
 use hfast_obs::JsonObj;
 use hfast_topology::{CommGraph, EdgeStat};
 use hfast_trace::json::{self, JsonValue};
@@ -111,6 +112,10 @@ pub enum Request {
         block_ports: usize,
         /// Message-size cutoff in bytes.
         cutoff: u64,
+        /// Provisioner strategy; `None` means the paper's linear heuristic
+        /// and is omitted from the encoding so pre-strategy clients keep
+        /// byte-identical cache keys.
+        strategy: Option<Strategy>,
     },
     /// Fat-tree versus HFAST cost comparison.
     Cost {
@@ -138,6 +143,9 @@ pub enum Request {
         cutoff: u64,
         /// Optional seeded fault injection.
         faults: Option<FaultSpec>,
+        /// Provisioner strategy for HFAST fabrics (ignored by fat tree and
+        /// torus); `None` means the paper heuristic, omitted on the wire.
+        strategy: Option<Strategy>,
     },
     /// Begin graceful drain: stop accepting, finish in-flight, exit.
     Shutdown,
@@ -240,6 +248,10 @@ pub enum Response {
         /// (events per wall-clock second inside the loop; 0 before the
         /// first run).
         sim_events_per_sec: u64,
+        /// Provision/simulate executions per strategy, in
+        /// [`Strategy::ALL`] order (cache hits do not re-execute and are
+        /// not counted).
+        strategy_hits: [u64; 3],
     },
     /// Provisioning summary for one app graph.
     Provisioned {
@@ -363,13 +375,26 @@ pub fn encode_request(req: &Request) -> String {
             app,
             block_ports,
             cutoff,
+            strategy,
+        } => {
+            let mut obj = JsonObj::new()
+                .str("type", "provision")
+                .raw("app", &encode_app(app))
+                .usize("block_ports", *block_ports)
+                .u64("cutoff", *cutoff);
+            // Omitted when None: strategy-less requests stay byte-identical
+            // to the pre-strategy wire format (and thus to its cache keys).
+            if let Some(s) = strategy {
+                obj = obj.str("strategy", s.as_str());
+            }
+            obj.finish()
         }
-        | Request::Cost {
+        Request::Cost {
             app,
             block_ports,
             cutoff,
         } => JsonObj::new()
-            .str("type", req.endpoint())
+            .str("type", "cost")
             .raw("app", &encode_app(app))
             .usize("block_ports", *block_ports)
             .u64("cutoff", *cutoff)
@@ -394,6 +419,7 @@ pub fn encode_request(req: &Request) -> String {
             fabric,
             cutoff,
             faults,
+            strategy,
         } => {
             let mut obj = JsonObj::new()
                 .str("type", "simulate")
@@ -402,6 +428,9 @@ pub fn encode_request(req: &Request) -> String {
                 .u64("cutoff", *cutoff);
             if let Some(f) = faults {
                 obj = obj.raw("faults", &encode_faults(f));
+            }
+            if let Some(s) = strategy {
+                obj = obj.str("strategy", s.as_str());
             }
             obj.finish()
         }
@@ -427,18 +456,26 @@ pub fn encode_response(resp: &Response) -> String {
             cache_bytes,
             sim_events,
             sim_events_per_sec,
-        } => JsonObj::new()
-            .str("type", "stats")
-            .u64("requests", *requests)
-            .u64("shed", *shed)
-            .u64("cache_hits", *cache_hits)
-            .u64("cache_misses", *cache_misses)
-            .u64("cache_evictions", *cache_evictions)
-            .u64("cache_entries", *cache_entries)
-            .u64("cache_bytes", *cache_bytes)
-            .u64("sim_events", *sim_events)
-            .u64("sim_events_per_sec", *sim_events_per_sec)
-            .finish(),
+            strategy_hits,
+        } => {
+            let mut hits = JsonObj::new();
+            for (s, &count) in Strategy::ALL.iter().zip(strategy_hits) {
+                hits = hits.u64(s.as_str(), count);
+            }
+            JsonObj::new()
+                .str("type", "stats")
+                .u64("requests", *requests)
+                .u64("shed", *shed)
+                .u64("cache_hits", *cache_hits)
+                .u64("cache_misses", *cache_misses)
+                .u64("cache_evictions", *cache_evictions)
+                .u64("cache_entries", *cache_entries)
+                .u64("cache_bytes", *cache_bytes)
+                .u64("sim_events", *sim_events)
+                .u64("sim_events_per_sec", *sim_events_per_sec)
+                .raw("strategy_hits", &hits.finish())
+                .finish()
+        }
         Response::Provisioned {
             n,
             blocks,
@@ -605,6 +642,14 @@ fn decode_fabric(v: &JsonValue) -> Result<FabricSpec, String> {
     }
 }
 
+fn decode_strategy(v: &JsonValue) -> Result<Option<Strategy>, String> {
+    let Some(s) = v.get("strategy") else {
+        return Ok(None);
+    };
+    let name = s.as_str().ok_or("strategy is a string")?;
+    name.parse().map(Some)
+}
+
 fn decode_faults(v: &JsonValue) -> Result<Option<FaultSpec>, String> {
     let Some(f) = v.get("faults") else {
         return Ok(None);
@@ -645,6 +690,7 @@ pub fn decode_request(text: &str) -> Result<Request, String> {
             app: decode_app(&v)?,
             block_ports: need_usize(&v, "block_ports")?,
             cutoff: need_u64(&v, "cutoff")?,
+            strategy: decode_strategy(&v)?,
         }),
         "cost" => Ok(Request::Cost {
             app: decode_app(&v)?,
@@ -670,6 +716,7 @@ pub fn decode_request(text: &str) -> Result<Request, String> {
             fabric: decode_fabric(&v)?,
             cutoff: need_u64(&v, "cutoff")?,
             faults: decode_faults(&v)?,
+            strategy: decode_strategy(&v)?,
         }),
         other => Err(format!("unknown request type {other:?}")),
     }
@@ -683,17 +730,25 @@ pub fn decode_response(text: &str) -> Result<Response, String> {
             workers: need_usize(&v, "workers")?,
             queue: need_usize(&v, "queue")?,
         }),
-        "stats" => Ok(Response::Stats {
-            requests: need_u64(&v, "requests")?,
-            shed: need_u64(&v, "shed")?,
-            cache_hits: need_u64(&v, "cache_hits")?,
-            cache_misses: need_u64(&v, "cache_misses")?,
-            cache_evictions: need_u64(&v, "cache_evictions")?,
-            cache_entries: need_u64(&v, "cache_entries")?,
-            cache_bytes: need_u64(&v, "cache_bytes")?,
-            sim_events: need_u64(&v, "sim_events")?,
-            sim_events_per_sec: need_u64(&v, "sim_events_per_sec")?,
-        }),
+        "stats" => {
+            let hits = v.get("strategy_hits").ok_or("stats needs strategy_hits")?;
+            let mut strategy_hits = [0u64; 3];
+            for (s, slot) in Strategy::ALL.iter().zip(strategy_hits.iter_mut()) {
+                *slot = need_u64(hits, s.as_str())?;
+            }
+            Ok(Response::Stats {
+                requests: need_u64(&v, "requests")?,
+                shed: need_u64(&v, "shed")?,
+                cache_hits: need_u64(&v, "cache_hits")?,
+                cache_misses: need_u64(&v, "cache_misses")?,
+                cache_evictions: need_u64(&v, "cache_evictions")?,
+                cache_entries: need_u64(&v, "cache_entries")?,
+                cache_bytes: need_u64(&v, "cache_bytes")?,
+                sim_events: need_u64(&v, "sim_events")?,
+                sim_events_per_sec: need_u64(&v, "sim_events_per_sec")?,
+                strategy_hits,
+            })
+        }
         "provisioned" => Ok(Response::Provisioned {
             n: need_usize(&v, "n")?,
             blocks: need_usize(&v, "blocks")?,
@@ -776,6 +831,16 @@ mod tests {
                 },
                 block_ports: 16,
                 cutoff: 2048,
+                strategy: None,
+            },
+            Request::Provision {
+                app: AppSpec::Named {
+                    name: "GTC".into(),
+                    procs: 64,
+                },
+                block_ports: 16,
+                cutoff: 2048,
+                strategy: Some(Strategy::BffCircuit),
             },
             Request::Cost {
                 app: AppSpec::Inline {
@@ -805,6 +870,17 @@ mod tests {
                     window: (0, 500_000),
                     downtime_ns: Some(100_000),
                 }),
+                strategy: None,
+            },
+            Request::Simulate {
+                app: AppSpec::Named {
+                    name: "LBMHD".into(),
+                    procs: 64,
+                },
+                fabric: FabricSpec::Hfast,
+                cutoff: 2048,
+                faults: None,
+                strategy: Some(Strategy::DemandDecomp),
             },
         ];
         for req in reqs {
@@ -842,6 +918,62 @@ mod tests {
             let dec = decode_response(&enc).expect("canonical encoding decodes");
             assert_eq!(dec, resp, "round trip changed {enc}");
         }
+    }
+
+    /// Strategy-less requests must encode to exactly the pre-strategy wire
+    /// bytes: these literals are pinned from before the `strategy` field
+    /// existed, so old clients keep their cache keys (and cached entries)
+    /// across the upgrade.
+    #[test]
+    fn strategyless_requests_keep_the_legacy_wire_format() {
+        let provision = Request::Provision {
+            app: AppSpec::Named {
+                name: "GTC".into(),
+                procs: 64,
+            },
+            block_ports: 16,
+            cutoff: 2048,
+            strategy: None,
+        };
+        assert_eq!(
+            encode_request(&provision),
+            r#"{"type":"provision","app":{"name":"GTC","procs":64},"block_ports":16,"cutoff":2048}"#
+        );
+        let simulate = Request::Simulate {
+            app: AppSpec::Inline {
+                n: 4,
+                edges: vec![(0, 1, 4096, 2, 4096)],
+            },
+            fabric: FabricSpec::Hfast,
+            cutoff: 2048,
+            faults: None,
+            strategy: None,
+        };
+        assert_eq!(
+            encode_request(&simulate),
+            r#"{"type":"simulate","app":{"n":4,"edges":[[0,1,4096,2,4096]]},"fabric":{"kind":"hfast"},"cutoff":2048}"#
+        );
+        // Naming the default strategy explicitly is a *different* request
+        // (and key): equivalence is semantic, not wire-level.
+        let explicit = Request::Provision {
+            app: AppSpec::Named {
+                name: "GTC".into(),
+                procs: 64,
+            },
+            block_ports: 16,
+            cutoff: 2048,
+            strategy: Some(Strategy::PaperLinear),
+        };
+        assert_ne!(
+            request_key(&encode_request(&provision)),
+            request_key(&encode_request(&explicit))
+        );
+    }
+
+    #[test]
+    fn unknown_strategy_is_a_structured_error() {
+        let enc = r#"{"type":"provision","app":{"name":"GTC","procs":64},"block_ports":16,"cutoff":2048,"strategy":"warp_speed"}"#;
+        assert!(decode_request(enc).is_err());
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //! *only* requesters of the same key while the first one computes.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use hfast_apps::{all_apps, profile_app};
-use hfast_core::{ProvisionConfig, Provisioning};
+use hfast_core::{ProvisionConfig, Strategy};
 use hfast_netsim::{EngineObs, Fabric, FatTreeFabric, HfastFabric, SharedPathCache, TorusFabric};
 use hfast_topology::CommGraph;
 
@@ -46,6 +47,10 @@ pub struct Registry {
     /// simulated results, so responses stay byte-identical across worker
     /// counts.
     sim_obs: EngineObs,
+    /// Provisioner executions per strategy, in [`Strategy::ALL`] order.
+    /// Response-cache hits never reach the handlers, so these count real
+    /// provisioning work, not request traffic.
+    strategy_hits: [AtomicU64; 3],
 }
 
 fn entry<K: std::hash::Hash + Eq + Clone, V>(
@@ -81,6 +86,24 @@ impl Registry {
         &self.sim_obs
     }
 
+    /// Records one provisioner execution under `strategy`.
+    pub fn note_strategy(&self, strategy: Strategy) {
+        let idx = Strategy::ALL
+            .iter()
+            .position(|s| *s == strategy)
+            .expect("every strategy is listed");
+        self.strategy_hits[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-strategy execution counts, in [`Strategy::ALL`] order.
+    pub fn strategy_hits(&self) -> [u64; 3] {
+        [
+            self.strategy_hits[0].load(Ordering::Relaxed),
+            self.strategy_hits[1].load(Ordering::Relaxed),
+            self.strategy_hits[2].load(Ordering::Relaxed),
+        ]
+    }
+
     /// The communication graph of an app spec: inline graphs materialize
     /// directly (cheap), named apps profile once per (name, procs) and
     /// every later request — concurrent or not — reuses the result.
@@ -101,16 +124,19 @@ impl Registry {
 
     /// The fabric (plus warm cache) for a simulate key. Keyed by the
     /// graph's content hash rather than the app spec, so an inline graph
-    /// identical to a profiled one shares the same entry.
+    /// identical to a profiled one shares the same entry; the provisioner
+    /// strategy is part of the key, so two strategies on one graph never
+    /// share a (differently provisioned) fabric.
     pub fn fabric(
         &self,
         graph: &Arc<CommGraph>,
         spec: FabricSpec,
         block_ports: usize,
         cutoff: u64,
+        strategy: Strategy,
     ) -> FabricResult {
         let key = format!(
-            "{:016x}\u{1}{spec:?}\u{1}{block_ports}\u{1}{cutoff}",
+            "{:016x}\u{1}{spec:?}\u{1}{block_ports}\u{1}{cutoff}\u{1}{strategy}",
             graph.content_hash()
         );
         let slot = entry(&self.fabrics, &key);
@@ -130,14 +156,15 @@ impl Registry {
                     Box::new(TorusFabric::new(dims).map_err(|e| format!("torus: {e}"))?)
                 }
                 FabricSpec::Hfast => {
-                    let prov = Provisioning::per_node(
+                    self.note_strategy(strategy);
+                    Box::new(HfastFabric::provisioned(
                         graph,
                         ProvisionConfig {
                             block_ports,
                             cutoff,
                         },
-                    );
-                    Box::new(HfastFabric::new(prov))
+                        strategy,
+                    ))
                 }
             };
             Ok(Arc::new(FabricEntry {
@@ -205,16 +232,52 @@ mod tests {
         let g2 = reg.graph(&spec).unwrap();
         assert!(!Arc::ptr_eq(&g1, &g2), "inline graphs rebuild");
         let f1 = reg
-            .fabric(&g1, FabricSpec::Torus { dims: (2, 2, 2) }, 16, 2048)
+            .fabric(
+                &g1,
+                FabricSpec::Torus { dims: (2, 2, 2) },
+                16,
+                2048,
+                Strategy::PaperLinear,
+            )
             .unwrap();
         let f2 = reg
-            .fabric(&g2, FabricSpec::Torus { dims: (2, 2, 2) }, 16, 2048)
+            .fabric(
+                &g2,
+                FabricSpec::Torus { dims: (2, 2, 2) },
+                16,
+                2048,
+                Strategy::PaperLinear,
+            )
             .unwrap();
         assert!(
             Arc::ptr_eq(&f1, &f2),
             "same content, same fabric + warm cache"
         );
         assert_eq!(f1.fabric.nodes(), 8);
+    }
+
+    #[test]
+    fn strategies_get_separate_fabrics_and_are_counted() {
+        let reg = Registry::new();
+        let g = reg
+            .graph(&AppSpec::Inline {
+                n: 4,
+                edges: vec![(0, 1, 4096, 1, 4096), (2, 3, 8192, 2, 4096)],
+            })
+            .unwrap();
+        let a = reg
+            .fabric(&g, FabricSpec::Hfast, 16, 2048, Strategy::PaperLinear)
+            .unwrap();
+        let b = reg
+            .fabric(&g, FabricSpec::Hfast, 16, 2048, Strategy::BffCircuit)
+            .unwrap();
+        let a2 = reg
+            .fabric(&g, FabricSpec::Hfast, 16, 2048, Strategy::PaperLinear)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "strategies provision differently");
+        assert!(Arc::ptr_eq(&a, &a2), "same strategy reuses the entry");
+        // Memoized rebuilds don't re-count: one execution per strategy.
+        assert_eq!(reg.strategy_hits(), [1, 1, 0]);
     }
 
     #[test]
@@ -227,7 +290,13 @@ mod tests {
             })
             .unwrap();
         assert!(reg
-            .fabric(&g, FabricSpec::Torus { dims: (2, 2, 2) }, 16, 2048)
+            .fabric(
+                &g,
+                FabricSpec::Torus { dims: (2, 2, 2) },
+                16,
+                2048,
+                Strategy::PaperLinear,
+            )
             .is_err());
     }
 }

@@ -187,6 +187,7 @@ fn route_request(shared: &Shared, req: Request) -> Routed {
                     cache_bytes: c.bytes,
                     sim_events: sim.events.get(),
                     sim_events_per_sec: sim.events_per_sec.get(),
+                    strategy_hits: shared.registry.strategy_hits(),
                 }),
                 false,
             )

@@ -9,7 +9,7 @@ use hfast_par::check::forall;
 use hfast_par::rng::Rng64;
 use hfast_serve::{
     decode_request, decode_response, encode_request, encode_response, request_key, start, AppSpec,
-    Client, FabricSpec, FaultSpec, Request, Response, ServerConfig, TdcRow,
+    Client, FabricSpec, FaultSpec, Request, Response, ServerConfig, Strategy, TdcRow,
 };
 
 /// A random integer in the JSON-safe range: the protocol's numbers ride
@@ -59,6 +59,16 @@ fn random_fabric(rng: &mut Rng64) -> FabricSpec {
     }
 }
 
+fn random_strategy(rng: &mut Rng64) -> Option<Strategy> {
+    rng.bool(0.5).then(|| {
+        *rng.pick(&[
+            Strategy::PaperLinear,
+            Strategy::BffCircuit,
+            Strategy::DemandDecomp,
+        ])
+    })
+}
+
 fn random_request(rng: &mut Rng64) -> Request {
     match rng.range(0, 8) {
         0 => Request::Health,
@@ -67,6 +77,7 @@ fn random_request(rng: &mut Rng64) -> Request {
             app: random_app(rng),
             block_ports: rng.range(2, 64),
             cutoff: rng.range_u64(0, 1 << 20),
+            strategy: random_strategy(rng),
         },
         3 => Request::Cost {
             app: random_app(rng),
@@ -89,6 +100,7 @@ fn random_request(rng: &mut Rng64) -> Request {
                 window: (rng.range_u64(0, 1000), rng.range_u64(1000, 1 << 20)),
                 downtime_ns: rng.bool(0.5).then(|| rng.range_u64(1, 1 << 20)),
             }),
+            strategy: random_strategy(rng),
         },
         6 => Request::Shutdown,
         _ => Request::DebugPanic,
@@ -127,6 +139,7 @@ fn any_response_round_trips() {
                 cache_bytes: u53(rng),
                 sim_events: u53(rng),
                 sim_events_per_sec: u53(rng),
+                strategy_hits: [u53(rng), u53(rng), u53(rng)],
             },
             2 => Response::Provisioned {
                 n: rng.range(1, 4096),
@@ -209,6 +222,7 @@ fn cached_response_is_byte_identical_to_fresh() {
             app: toy_app(),
             block_ports: 16,
             cutoff: 2048,
+            strategy: None,
         },
         Request::Cost {
             app: toy_app(),
@@ -229,6 +243,7 @@ fn cached_response_is_byte_identical_to_fresh() {
                 window: (0, 10_000),
                 downtime_ns: None,
             }),
+            strategy: None,
         },
     ];
     for req in &requests {
@@ -335,6 +350,7 @@ fn a_panicking_handler_does_not_kill_its_worker() {
                 app: toy_app(),
                 block_ports: 16,
                 cutoff: 2048,
+                strategy: None,
             })
             .expect("worker survived")
         {
@@ -357,6 +373,7 @@ fn draining_server_sheds_new_compute_requests() {
         app: toy_app(),
         block_ports: 16,
         cutoff: 2048,
+        strategy: None,
     }) {
         Ok(Response::Busy) => {}
         // The drain may close the connection before the request lands.

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use hfast::core::{classify, ClassifyConfig, ProvisionConfig, Provisioning};
+use hfast::core::{classify, ClassifyConfig, PaperLinear, ProvisionConfig, Provisioner};
 use hfast::ipm::IpmProfiler;
 use hfast::mpi::{CommHook, Payload, ReduceOp, SrcSel, Tag, TagSel, World, WorldConfig};
 use hfast::topology::{tdc, BDP_CUTOFF};
@@ -78,7 +78,7 @@ fn main() {
     let verdict = classify(&graph, &ClassifyConfig::default());
     println!("classification: {} — {}", verdict.case, verdict.rationale);
 
-    let prov = Provisioning::per_node(&graph, ProvisionConfig::default());
+    let prov = PaperLinear.provision(&graph, ProvisionConfig::default());
     prov.validate(&graph).expect("all hot edges provisioned");
     println!(
         "HFAST would need {} switch blocks ({:.0} packet ports/node) for this job",

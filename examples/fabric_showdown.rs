@@ -6,7 +6,7 @@
 //! ```
 
 use hfast::apps::{profile_app, Lbmhd, Paratec};
-use hfast::core::{ProvisionConfig, Provisioning};
+use hfast::core::{PaperLinear, ProvisionConfig, Provisioner};
 use hfast::netsim::{traffic, Fabric, FatTreeFabric, HfastFabric, Simulation, TorusFabric};
 use hfast::topology::generators::balanced_dims3;
 
@@ -17,10 +17,9 @@ fn showdown(name: &str, graph: &hfast::topology::CommGraph) {
     let fabrics: Vec<Box<dyn Fabric>> = vec![
         Box::new(FatTreeFabric::new(procs, 8).expect("valid shape")),
         Box::new(TorusFabric::new(balanced_dims3(procs)).expect("valid shape")),
-        Box::new(HfastFabric::new(Provisioning::per_node(
-            graph,
-            ProvisionConfig::default(),
-        ))),
+        Box::new(HfastFabric::new(
+            PaperLinear.provision(graph, ProvisionConfig::default()),
+        )),
     ];
     for fabric in &fabrics {
         let stats = Simulation::new(fabric.as_ref()).run(&flows).stats;

@@ -6,7 +6,7 @@
 //! ```
 
 use hfast::apps::{profile_app, Cactus};
-use hfast::core::{CostComparison, CostModel, ProvisionConfig, Provisioning};
+use hfast::core::{CostComparison, CostModel, PaperLinear, ProvisionConfig, Provisioner};
 use hfast::topology::{detect_structure, fcn_utilization, tdc, BDP_CUTOFF};
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
     );
 
     // 3. Provision an HFAST fabric: circuit switch + packet switch blocks.
-    let prov = Provisioning::per_node(&graph, ProvisionConfig::default());
+    let prov = PaperLinear.provision(&graph, ProvisionConfig::default());
     prov.validate(&graph).expect("every hot edge routed");
     println!(
         "HFAST provisioning: {} switch blocks ({} ports/node), {} circuits",

@@ -7,7 +7,7 @@
 //! ```
 
 use hfast::apps::{profile_app, Cactus, Lbmhd};
-use hfast::core::{localize, ProvisionConfig, Provisioning, SmpAssignment};
+use hfast::core::{localize, PaperLinear, ProvisionConfig, Provisioner, SmpAssignment};
 use hfast::topology::{tdc, BDP_CUTOFF};
 
 fn study(name: &str, graph: &hfast::topology::CommGraph, width: usize) {
@@ -22,7 +22,7 @@ fn study(name: &str, graph: &hfast::topology::CommGraph, width: usize) {
     ] {
         let folded = asg.fold(graph);
         let node_tdc = tdc(&folded, BDP_CUTOFF);
-        let prov = Provisioning::per_node(&folded, ProvisionConfig::default());
+        let prov = PaperLinear.provision(&folded, ProvisionConfig::default());
         println!(
             "  {label:<12} locality {:>5.1}%  node TDC (max {}, avg {:.1})  switch blocks {}",
             100.0 * asg.locality(graph),

@@ -22,6 +22,10 @@ cargo run --release -q -p hfast-bench --bin trace_capture > /dev/null
 # all-to-all burst, faulted torus with retries) must produce byte-identical
 # digests under HFAST_THREADS=1 and =8; exits non-zero on divergence.
 cargo run --release -q -p hfast-bench --bin eventloop_smoke > /dev/null
+# Provisioner bake-off smoke: every strategy must produce a valid
+# provisioning on every app cell and paper_linear digests must match the
+# PR-6 goldens (the trait extraction is bit-identical).
+cargo run --release -q -p hfast-bench --bin provision_bakeoff -- --check > /dev/null
 # Serving smoke: ephemeral-port daemon exercised across every endpoint
 # (health, provision, cost, tdc, simulate with and without faults, the
 # panic-isolation probe, stats) and drained; exits non-zero on any

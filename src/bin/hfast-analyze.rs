@@ -13,7 +13,7 @@ use std::process::ExitCode;
 
 use hfast::apps::{all_apps, profile_app};
 use hfast::core::{
-    classify, ClassifyConfig, CostComparison, CostModel, ProvisionConfig, Provisioning,
+    classify, ClassifyConfig, CostComparison, CostModel, PaperLinear, ProvisionConfig, Provisioner,
 };
 use hfast::ipm::{from_text, render, to_text};
 use hfast::topology::render_ascii;
@@ -98,7 +98,7 @@ fn main() -> ExitCode {
             let verdict = classify(&graph, &ClassifyConfig::default());
             println!("\nclassification: {} — {}", verdict.case, verdict.rationale);
             println!("prescription:   {}", verdict.case.prescription());
-            let prov = Provisioning::per_node(&graph, ProvisionConfig::default());
+            let prov = PaperLinear.provision(&graph, ProvisionConfig::default());
             let cmp = CostComparison::of(&prov, &CostModel::default());
             println!(
                 "\nHFAST provisioning: {} blocks, {:.0} packet ports/node, \

@@ -2,7 +2,7 @@
 //! case the paper assigns it, and the §2.5 hypothesis checks out.
 
 use hfast::apps::{profile_app, Cactus, CommKernel, Gtc, Lbmhd, Paratec, Pmemd, SuperLu};
-use hfast::core::{classify, CaseClass, ClassifyConfig, ProvisionConfig, Provisioning};
+use hfast::core::{classify, CaseClass, ClassifyConfig, PaperLinear, ProvisionConfig, Provisioner};
 use hfast::topology::{detect_structure, StructureClass, BDP_CUTOFF};
 
 fn class_of(app: &dyn CommKernel, procs: usize) -> CaseClass {
@@ -98,7 +98,7 @@ fn provisioning_handles_every_study_app() {
     for app in apps {
         let out = profile_app(app.as_ref(), 64).expect("profiled run");
         let g = out.steady.comm_graph();
-        let prov = Provisioning::per_node(&g, ProvisionConfig::default());
+        let prov = PaperLinear.provision(&g, ProvisionConfig::default());
         prov.validate(&g)
             .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
     }

@@ -8,7 +8,7 @@
 //! to allocating packet-switch resources is warranted."
 
 use hfast::apps::{profile_app, Gtc, Lbmhd, Pmemd};
-use hfast::core::{icn_embed, IcnConfig, IcnError, ProvisionConfig, Provisioning};
+use hfast::core::{icn_embed, IcnConfig, IcnError, PaperLinear, ProvisionConfig, Provisioner};
 
 #[test]
 fn lbmhd_fits_the_bounded_degree_icn() {
@@ -18,7 +18,8 @@ fn lbmhd_fits_the_bounded_degree_icn() {
     let emb = icn_embed(&g, &IcnConfig::default()).expect("case-ii code embeds");
     assert!(emb.blocks > 0);
     // HFAST of course handles it too.
-    Provisioning::per_node(&g, ProvisionConfig::default())
+    PaperLinear
+        .provision(&g, ProvisionConfig::default())
         .validate(&g)
         .unwrap();
 }
@@ -38,7 +39,7 @@ fn gtc_leaders_overflow_the_icn_but_not_hfast() {
     .unwrap_err();
     assert!(matches!(err, IcnError::DegreeOverflow { degree: 17, .. }));
     // HFAST assigns the leaders extra blocks and routes everything.
-    let prov = Provisioning::per_node(
+    let prov = PaperLinear.provision(
         &g,
         ProvisionConfig {
             block_ports: 16,
@@ -73,7 +74,7 @@ fn pmemd_overflows_any_practical_icn() {
         );
     }
     // HFAST provisions it with chained blocks.
-    let prov = Provisioning::per_node(&g, ProvisionConfig::default());
+    let prov = PaperLinear.provision(&g, ProvisionConfig::default());
     prov.validate(&g).unwrap();
     assert!(prov.total_blocks() > 64, "block trees for degree-63 nodes");
 }

@@ -3,7 +3,7 @@
 //! replay the traffic in the network simulator.
 
 use hfast::apps::{profile_app, Lbmhd};
-use hfast::core::{ProvisionConfig, Provisioning};
+use hfast::core::{PaperLinear, ProvisionConfig, Provisioner};
 use hfast::ipm::{from_text, to_text};
 use hfast::netsim::{traffic, Fabric, FatTreeFabric, HfastFabric, Simulation};
 use hfast::topology::{tdc, BDP_CUTOFF};
@@ -24,7 +24,7 @@ fn profile_to_simulation_pipeline() {
     assert_eq!(summary.max, 12);
 
     // 4. Provision and validate.
-    let prov = Provisioning::per_node(&graph, ProvisionConfig::default());
+    let prov = PaperLinear.provision(&graph, ProvisionConfig::default());
     prov.validate(&graph).expect("all hot edges provisioned");
     assert_eq!(prov.total_blocks(), 64, "TDC 12 < 15: one block per node");
 
@@ -63,10 +63,9 @@ fn fabric_trait_objects_interoperate() {
     let flows = traffic::flows_from_graph(&graph, BDP_CUTOFF);
     let fabrics: Vec<Box<dyn Fabric>> = vec![
         Box::new(FatTreeFabric::new(16, 8).expect("valid shape")),
-        Box::new(HfastFabric::new(Provisioning::per_node(
-            &graph,
-            ProvisionConfig::default(),
-        ))),
+        Box::new(HfastFabric::new(
+            PaperLinear.provision(&graph, ProvisionConfig::default()),
+        )),
     ];
     for fabric in fabrics {
         let stats = Simulation::new(fabric.as_ref()).run(&flows).stats;
