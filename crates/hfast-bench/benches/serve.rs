@@ -1,13 +1,14 @@
 //! Benchmarks of the serving daemon: request round-trip latencies over a
-//! real socket (cache hit versus compute), a sustained closed-loop load
-//! (throughput and tail latency, recorded for `BENCH_<tag>.json`), and
-//! the observability ablation — the full per-request `ServeObs` record
-//! sequence priced against the bare handler call.
+//! real socket (cache hit versus compute, v1 versus v2 envelope), a
+//! sustained closed-loop load (throughput and tail latency, recorded for
+//! `BENCH_<tag>.json`), a two-shard fleet run priced against the single
+//! node, and the observability ablation — the full per-request
+//! `ServeObs` record sequence priced against the bare handler call.
 
 use hfast_bench::{loadgen, Harness};
 use hfast_obs::ServeObs;
 use hfast_serve::{
-    encode_request, execute, start, AppSpec, Client, Registry, Request, ServerConfig, ENDPOINTS,
+    execute, start, AppSpec, Client, Registry, Request, ServerConfig, WireVersion, ENDPOINTS,
 };
 
 fn main() {
@@ -31,11 +32,27 @@ fn main() {
     let server = start("127.0.0.1:0", ServerConfig::default()).expect("bind");
     let addr = server.local_addr().to_string();
     let mut client = Client::connect(&addr).expect("connect");
-    let tdc_payload = encode_request(&tdc);
-    client.call_raw(&tdc_payload).expect("prime cache");
+    client.call(&tdc).expect("prime cache");
     h.bench("serve/roundtrip/cache-hit", || {
-        client.call_raw(&tdc_payload).expect("cached call")
+        client.call_text(&tdc).expect("cached call")
     });
+
+    // The same cached round-trip in both envelope versions. The v2 body
+    // is the v1 body plus a `"v":2` tag on each side, so the guard pins
+    // that version negotiation costs essentially nothing on the wire:
+    // anything over 5% means the envelope path regressed.
+    h.bench("serve/roundtrip/v1", || {
+        client.call_versioned(&tdc, WireVersion::V1).expect("v1")
+    });
+    h.bench("serve/roundtrip/v2", || {
+        client.call_versioned(&tdc, WireVersion::V2).expect("v2")
+    });
+    if let (Some(v1), Some(v2)) = (
+        h.min_ns("serve/roundtrip/v1"),
+        h.min_ns("serve/roundtrip/v2"),
+    ) {
+        h.record_value("guard/serve_v2_vs_pr7", v2 / v1);
+    }
     let mut cutoff = 0u64;
     h.bench("serve/roundtrip/compute", || {
         cutoff += 1; // distinct request every iteration: always a miss
@@ -72,8 +89,30 @@ fn main() {
     h.record_value("serve/p50_ms", report.p50_ns as f64 / 1e6);
     h.record_value("serve/p99_ms", report.p99_ns as f64 / 1e6);
 
-    let mut drain = Client::connect(&addr).expect("connect for drain");
-    drain.call(&Request::Shutdown).expect("shutdown");
+    // The same load over a two-shard fleet, routed client-side with
+    // consistent hashing. Correctness first — the digest must match the
+    // single node byte-for-byte — then the throughput ratio. On this
+    // cache-heavy mix two shards roughly double the serving capacity,
+    // but the recorded value is informational, not a guard: a loaded CI
+    // box can flatten the scaling without anything being wrong.
+    let second = start("127.0.0.1:0", ServerConfig::default()).expect("bind second shard");
+    let shards = vec![addr.clone(), second.local_addr().to_string()];
+    let fleet_report = loadgen::run_fleet(&shards, &load);
+    assert_eq!(fleet_report.dropped, 0, "fleet run dropped responses");
+    assert_eq!(
+        fleet_report.digest, report.digest,
+        "two-shard fleet must serve byte-identical responses"
+    );
+    h.record_value(
+        "speedup/fleet_2shard_vs_single",
+        fleet_report.throughput_rps / report.throughput_rps,
+    );
+
+    for shard in &shards {
+        let mut drain = Client::connect(shard).expect("connect for drain");
+        drain.call(&Request::Shutdown).expect("shutdown");
+    }
+    second.join();
     server.join();
 
     // Observability ablation: the bare handler call versus the same call

@@ -1,13 +1,16 @@
 //! Closed-loop load generator against an `hfast-serve` daemon.
 //!
 //! ```text
-//! loadgen [--addr HOST:PORT] [--connections N] [--requests N] [--seed S]
+//! loadgen [--addr HOST:PORT | --fleet A,B,C] [--connections N] [--requests N] [--seed S]
 //! ```
 //!
-//! Without `--addr`, a daemon is started in-process on an ephemeral port
-//! (config from the `HFAST_SERVE_*` environment), loaded, drained, and
-//! joined — the one-command version of the serving experiment. With
-//! `--addr`, an already-running daemon is loaded and left running.
+//! Without `--addr` or `--fleet`, a daemon is started in-process on an
+//! ephemeral port (config from the `HFAST_SERVE_*` environment), loaded,
+//! drained, and joined — the one-command version of the serving
+//! experiment. With `--addr`, an already-running daemon is loaded and
+//! left running. With `--fleet` (comma-separated shard addresses), the
+//! same load is routed client-side over the shards with consistent
+//! hashing — the digest must match the single-node run.
 //!
 //! The report ends with a deterministic digest over every response byte:
 //! two runs with the same seed against any healthy daemon — 1 worker or
@@ -43,6 +46,35 @@ fn run() -> Result<(), String> {
         config.seed = s;
     }
     let addr: Option<String> = parse_flag(&args, "--addr")?;
+    let fleet: Option<String> = parse_flag(&args, "--fleet")?;
+
+    if let Some(fleet) = fleet {
+        if addr.is_some() {
+            return Err("--addr and --fleet are mutually exclusive".into());
+        }
+        let shards: Vec<String> = fleet
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if shards.is_empty() {
+            return Err("--fleet needs at least one shard address".into());
+        }
+        eprintln!(
+            "loadgen: {} connections x {} requests (seed {:#x}) -> fleet of {} shards",
+            config.connections,
+            config.requests_per_connection,
+            config.seed,
+            shards.len()
+        );
+        let report = loadgen::run_fleet(&shards, &config);
+        println!("{}", report.render());
+        if report.dropped > 0 {
+            return Err(format!("{} responses dropped", report.dropped));
+        }
+        return Ok(());
+    }
 
     let (addr, server) = match addr {
         Some(addr) => (addr, None),

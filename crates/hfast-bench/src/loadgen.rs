@@ -13,9 +13,7 @@ use std::time::Instant;
 
 use hfast_obs::Histogram;
 use hfast_par::rng::Rng64;
-use hfast_serve::{
-    decode_response, encode_request, AppSpec, Client, FabricSpec, Request, Response,
-};
+use hfast_serve::{AppSpec, Client, ClientError, FabricSpec, FleetClient, Request, Response};
 
 /// The six paper applications (Table 2 names).
 pub const PAPER_APPS: [&str; 6] = ["Cactus", "LBMHD", "GTC", "SuperLU", "PMEMD", "PARATEC"];
@@ -133,9 +131,39 @@ struct ConnOutcome {
     dropped: usize,
 }
 
+/// Where the load goes: one daemon, or a sharded fleet addressed
+/// client-side (same `call_text` surface either way).
+enum Target<'a> {
+    Single(&'a str),
+    Fleet(&'a [String]),
+}
+
+enum Conn {
+    Single(Client),
+    Fleet(Box<FleetClient>),
+}
+
+impl Target<'_> {
+    fn connect(&self) -> Result<Conn, ClientError> {
+        match self {
+            Target::Single(addr) => Ok(Conn::Single(Client::connect(addr)?)),
+            Target::Fleet(addrs) => Ok(Conn::Fleet(Box::new(FleetClient::connect(addrs)))),
+        }
+    }
+}
+
+impl Conn {
+    fn call_text(&mut self, req: &Request) -> Result<(Response, String), ClientError> {
+        match self {
+            Conn::Single(c) => c.call_text(req),
+            Conn::Fleet(c) => c.call_text(req),
+        }
+    }
+}
+
 fn run_connection(
-    addr: &str,
-    pool: &[String],
+    target: &Target<'_>,
+    pool: &[Request],
     requests: usize,
     mut rng: Rng64,
     hist: &Histogram,
@@ -147,22 +175,21 @@ fn run_connection(
         errors: 0,
         dropped: 0,
     };
-    let Ok(mut client) = Client::connect(addr) else {
+    let Ok(mut client) = target.connect() else {
         out.dropped = requests;
         return out;
     };
     for _ in 0..requests {
-        let payload = &pool[rng.range(0, pool.len())];
+        let req = &pool[rng.range(0, pool.len())];
         let t = Instant::now();
-        match client.call_raw(payload) {
-            Ok(raw) => {
+        match client.call_text(req) {
+            Ok((resp, raw)) => {
                 hist.record(t.elapsed().as_nanos() as u64);
                 out.digest = fnv_fold(out.digest, raw.as_bytes());
-                match decode_response(&raw) {
-                    Ok(Response::Busy) => out.busy += 1,
-                    Ok(Response::Error { .. }) => out.errors += 1,
-                    Ok(_) => out.ok += 1,
-                    Err(_) => out.dropped += 1,
+                match resp {
+                    Response::Busy => out.busy += 1,
+                    Response::Error { .. } => out.errors += 1,
+                    _ => out.ok += 1,
                 }
             }
             Err(_) => {
@@ -176,16 +203,12 @@ fn run_connection(
     out
 }
 
-/// Drives `addr` with the configured closed-loop load and reports.
-pub fn run(addr: &str, config: &LoadConfig) -> LoadReport {
-    let pool: Vec<String> = request_pool(config.procs)
-        .iter()
-        .map(encode_request)
-        .collect();
+fn run_target(target: &Target<'_>, config: &LoadConfig) -> LoadReport {
+    let pool = request_pool(config.procs);
     if config.warmup {
-        if let Ok(mut warm) = Client::connect(addr) {
-            for payload in &pool {
-                let _ = warm.call_raw(payload);
+        if let Ok(mut warm) = target.connect() {
+            for req in &pool {
+                let _ = warm.call_text(req);
             }
         }
     }
@@ -201,7 +224,7 @@ pub fn run(addr: &str, config: &LoadConfig) -> LoadReport {
                 );
                 let (pool, hist) = (&pool, &hist);
                 s.spawn(move || {
-                    run_connection(addr, pool, config.requests_per_connection, rng, hist)
+                    run_connection(target, pool, config.requests_per_connection, rng, hist)
                 })
             })
             .collect();
@@ -236,6 +259,19 @@ pub fn run(addr: &str, config: &LoadConfig) -> LoadReport {
         p95_ns: hist.quantile(0.95),
         p99_ns: hist.quantile(0.99),
     }
+}
+
+/// Drives `addr` with the configured closed-loop load and reports.
+pub fn run(addr: &str, config: &LoadConfig) -> LoadReport {
+    run_target(&Target::Single(addr), config)
+}
+
+/// Drives a fleet of shards through client-side consistent-hash routing
+/// ([`FleetClient`]) with the same closed-loop load. Because every pool
+/// request is cacheable (pure), the digest must equal a single-node
+/// [`run`] with the same config, whatever the shard count.
+pub fn run_fleet(shard_addrs: &[String], config: &LoadConfig) -> LoadReport {
+    run_target(&Target::Fleet(shard_addrs), config)
 }
 
 impl LoadReport {

@@ -1,0 +1,456 @@
+//! `hfast-fleet`: supervise N `hfast-serve` shards behind one router.
+//!
+//! ```text
+//! hfast-fleet --shards N [--addr A] [--journal-dir D]
+//!     supervisor: reserve N ports, spawn this binary once per shard
+//!     (`--shard`), start the consistent-hash router on A (default
+//!     127.0.0.1:4712), serve until a client sends `shutdown`.
+//!
+//! hfast-fleet --shard ADDR [--journal PATH]
+//!     one shard: bind ADDR (retrying through a restart window), print
+//!     `READY ADDR`, serve until drained.
+//!
+//! hfast-fleet --smoke
+//!     self-contained fleet check (what verify.sh runs):
+//!       1. single-node baseline — every pool response recorded;
+//!       2. 2-shard fleet behind a router — fixed-length run must be
+//!          byte-identical (digest match) with zero busy/error/drop;
+//!       3. durable jobs submitted, shard 0 rolling-restarted mid-load,
+//!          load keeps answering baseline bytes, every job still
+//!          completes and fetches byte-identical results.
+//!     Exits non-zero on any violation.
+//! ```
+//!
+//! The supervisor re-executes its own binary (`current_exe`) for shard
+//! processes, so one artifact deploys the whole fleet.
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use hfast_serve::{
+    start, start_fleet, AppSpec, Client, FabricSpec, FleetConfig, JobState, Request, Response,
+    ServerConfig,
+};
+
+/// How long shard binds and readiness probes retry before giving up.
+const STARTUP_WINDOW: Duration = Duration::from_secs(10);
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Binds with retries so a restarted shard can reclaim its old address
+/// while the previous incarnation's socket finishes closing.
+fn start_shard_server(
+    addr: &str,
+    journal: Option<PathBuf>,
+) -> Result<hfast_serve::ServerHandle, String> {
+    let mut config = ServerConfig::from_env();
+    if journal.is_some() {
+        config.journal = journal;
+    }
+    let deadline = Instant::now() + STARTUP_WINDOW;
+    loop {
+        match start(addr, config.clone()) {
+            Ok(server) => return Ok(server),
+            Err(e) if Instant::now() < deadline => {
+                eprintln!("hfast-fleet shard {addr}: bind retry ({e})");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(format!("bind {addr}: {e}")),
+        }
+    }
+}
+
+fn run_shard(addr: &str, journal: Option<PathBuf>) -> Result<(), String> {
+    // Queued debug_panic probes panic a job worker on purpose; keep the
+    // log to one line per contained panic.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("hfast-fleet shard: worker panic contained ({info})");
+    }));
+    let server = start_shard_server(addr, journal)?;
+    println!("READY {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server.join();
+    eprintln!("hfast-fleet shard {addr}: drained");
+    Ok(())
+}
+
+/// Reserves `n` distinct loopback ports by binding ephemerally and
+/// noting the address. Racy by nature, tolerated by the shard's bind
+/// retry loop.
+fn reserve_ports(n: usize) -> Result<Vec<String>, String> {
+    let mut addrs = Vec::new();
+    let mut holds = Vec::new();
+    for _ in 0..n {
+        let l = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("reserve port: {e}"))?;
+        addrs.push(l.local_addr().map_err(|e| e.to_string())?.to_string());
+        holds.push(l);
+    }
+    drop(holds);
+    Ok(addrs)
+}
+
+fn spawn_shard(addr: &str, journal: &Path) -> Result<Child, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    Command::new(exe)
+        .args(["--shard", addr, "--journal"])
+        .arg(journal)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn shard {addr}: {e}"))
+}
+
+/// Polls a shard's health endpoint until it answers.
+fn await_ready(addr: &str) -> Result<(), String> {
+    let deadline = Instant::now() + STARTUP_WINDOW;
+    loop {
+        if let Ok(mut c) = Client::connect(addr) {
+            if matches!(c.call(&Request::Health), Ok(Response::Health { .. })) {
+                return Ok(());
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("shard {addr} never became ready"));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn run_supervisor(shards: usize, addr: &str, journal_dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(journal_dir).map_err(|e| format!("journal dir: {e}"))?;
+    let shard_addrs = reserve_ports(shards)?;
+    let mut children = Vec::new();
+    for (i, shard_addr) in shard_addrs.iter().enumerate() {
+        children.push(spawn_shard(
+            shard_addr,
+            &journal_dir.join(format!("shard-{i}.jsonl")),
+        )?);
+    }
+    for shard_addr in &shard_addrs {
+        await_ready(shard_addr)?;
+    }
+    let router = start_fleet(addr, &shard_addrs, FleetConfig::default())
+        .map_err(|e| format!("router bind {addr}: {e}"))?;
+    println!("READY {}", router.local_addr());
+    let _ = std::io::stdout().flush();
+    router.join(); // a client's `shutdown` fans out to the shards first
+    for mut child in children {
+        let _ = child.wait();
+    }
+    eprintln!("hfast-fleet: drained");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Smoke mode
+// ---------------------------------------------------------------------
+
+/// The closed-loop request pool: cacheable compute verbs only, so every
+/// response is a pure function of the request and any two correct
+/// serving topologies answer byte-identical text.
+fn smoke_pool() -> Vec<Request> {
+    let ring = |n: usize| AppSpec::Inline {
+        n,
+        edges: (0..n)
+            .map(|i| (i, (i + 1) % n, 64 * 1024, 16, 4096))
+            .collect(),
+    };
+    let mut pool = Vec::new();
+    for n in [6usize, 8, 10, 12] {
+        pool.push(Request::Provision {
+            app: ring(n),
+            block_ports: 16,
+            cutoff: 2048,
+            strategy: None,
+        });
+        pool.push(Request::Cost {
+            app: ring(n),
+            block_ports: 8,
+            cutoff: 4096,
+        });
+        pool.push(Request::Tdc {
+            app: ring(n),
+            cutoffs: vec![0, 2048, 1 << 16],
+        });
+        pool.push(Request::Simulate {
+            app: ring(n),
+            fabric: FabricSpec::Hfast,
+            cutoff: 2048,
+            faults: None,
+            strategy: None,
+        });
+    }
+    pool
+}
+
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Runs `reps` pool cycles through one connection, returning the digest
+/// over all response bytes and counting busy/error responses.
+fn run_load(
+    addr: &str,
+    pool: &[Request],
+    reps: usize,
+) -> Result<(u64, Vec<String>, u64, u64), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut digest = FNV_SEED;
+    let mut first_cycle = Vec::new();
+    let (mut busy, mut errors) = (0u64, 0u64);
+    for rep in 0..reps {
+        for req in pool {
+            let (resp, text) = client
+                .call_text(req)
+                .map_err(|e| format!("load call: {e}"))?;
+            match resp {
+                Response::Busy => busy += 1,
+                Response::Error { .. } => errors += 1,
+                _ => {}
+            }
+            digest = fnv_fold(digest, text.as_bytes());
+            if rep == 0 {
+                first_cycle.push(text);
+            }
+        }
+    }
+    Ok((digest, first_cycle, busy, errors))
+}
+
+fn smoke() -> Result<(), String> {
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("hfast-fleet smoke: worker panic contained ({info})");
+    }));
+    let dir = std::env::temp_dir().join(format!("hfast-fleet-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("smoke dir: {e}"))?;
+    let pool = smoke_pool();
+    const REPS: usize = 12;
+
+    // -- Phase 1: single-node baseline ---------------------------------
+    let single = start("127.0.0.1:0", ServerConfig::default()).map_err(|e| format!("bind: {e}"))?;
+    let single_addr = single.local_addr().to_string();
+    let (base_digest, base_cycle, busy, errors) = run_load(&single_addr, &pool, REPS)?;
+    if busy != 0 || errors != 0 {
+        return Err(format!(
+            "baseline run shed or errored: {busy} busy, {errors} errors"
+        ));
+    }
+    // Baseline job result: what a fetched job must later return.
+    let job_req = pool[3].clone(); // a simulate request
+    let mut c = Client::connect(&single_addr).map_err(|e| e.to_string())?;
+    let (_, job_baseline) = c.call_text(&job_req).map_err(|e| e.to_string())?;
+    c.call(&Request::Shutdown).map_err(|e| e.to_string())?;
+    single.join();
+    eprintln!(
+        "smoke: baseline digest {base_digest:#018x} over {} responses",
+        REPS * pool.len()
+    );
+
+    // -- Phase 2: 2-shard fleet, digest must match ----------------------
+    let shard_addrs = reserve_ports(2)?;
+    let journals: Vec<PathBuf> = (0..2)
+        .map(|i| dir.join(format!("shard-{i}.jsonl")))
+        .collect();
+    let mut children: Vec<Child> = Vec::new();
+    for (addr, journal) in shard_addrs.iter().zip(&journals) {
+        children.push(spawn_shard(addr, journal)?);
+    }
+    for addr in &shard_addrs {
+        await_ready(addr)?;
+    }
+    let router = start_fleet("127.0.0.1:0", &shard_addrs, FleetConfig::default())
+        .map_err(|e| format!("router: {e}"))?;
+    let router_addr = router.local_addr().to_string();
+    let (fleet_digest, _, busy, errors) = run_load(&router_addr, &pool, REPS)?;
+    if busy != 0 || errors != 0 {
+        return Err(format!(
+            "fleet run shed or errored: {busy} busy, {errors} errors"
+        ));
+    }
+    if fleet_digest != base_digest {
+        return Err(format!(
+            "fleet digest {fleet_digest:#018x} != single-node {base_digest:#018x}"
+        ));
+    }
+    eprintln!("smoke: 2-shard fleet digest matches single node");
+
+    // -- Phase 3: durable jobs + rolling restart of shard 0 mid-load ----
+    let mut jobs_client = Client::connect(&router_addr).map_err(|e| e.to_string())?;
+    let mut job_ids = Vec::new();
+    for _ in 0..4 {
+        match jobs_client
+            .call(&Request::Submit {
+                job: Box::new(job_req.clone()),
+            })
+            .map_err(|e| format!("submit: {e}"))?
+        {
+            Response::JobAccepted { id } => job_ids.push(id),
+            other => return Err(format!("submit: unexpected {other:?}")),
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    let refused = AtomicU64::new(0);
+    let load_err = std::sync::Mutex::new(None::<String>);
+    std::thread::scope(|s| -> Result<(), String> {
+        let loader = s.spawn(|| {
+            let mut client = match Client::connect(&router_addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    *load_err.lock().unwrap() = Some(format!("loader connect: {e}"));
+                    return;
+                }
+            };
+            'outer: while !stop.load(Ordering::Relaxed) {
+                for (req, expect) in pool.iter().zip(&base_cycle) {
+                    match client.call_text(req) {
+                        Ok((resp, text)) => {
+                            if matches!(resp, Response::Busy | Response::Error { .. }) {
+                                refused.fetch_add(1, Ordering::Relaxed);
+                            } else if &text != expect {
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            *load_err.lock().unwrap() = Some(format!("loader call: {e}"));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        });
+
+        // Let the loader get going, then roll shard 0.
+        let wait_served = |target: u64, what: &str| -> Result<(), String> {
+            let deadline = Instant::now() + STARTUP_WINDOW;
+            while served.load(Ordering::Relaxed) < target {
+                if load_err.lock().unwrap().is_some() || Instant::now() >= deadline {
+                    stop.store(true, Ordering::Relaxed);
+                    return Err(format!(
+                        "loader stalled {what}: {:?}",
+                        load_err.lock().unwrap().clone()
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok(())
+        };
+        wait_served(50, "before restart")?;
+        let mut direct = Client::connect(&shard_addrs[0]).map_err(|e| e.to_string())?;
+        direct
+            .call(&Request::Shutdown)
+            .map_err(|e| format!("shard 0 drain: {e}"))?;
+        let _ = children[0].wait();
+        eprintln!("smoke: shard 0 drained mid-load, restarting");
+        children[0] = spawn_shard(&shard_addrs[0], &journals[0])?;
+        await_ready(&shard_addrs[0])?;
+        let after_restart = served.load(Ordering::Relaxed);
+        wait_served(after_restart + 50, "after restart")?;
+        stop.store(true, Ordering::Relaxed);
+        loader.join().map_err(|_| "loader panicked".to_string())?;
+        Ok(())
+    })?;
+    if let Some(e) = load_err.lock().unwrap().clone() {
+        return Err(e);
+    }
+    if mismatches.load(Ordering::Relaxed) != 0 || refused.load(Ordering::Relaxed) != 0 {
+        return Err(format!(
+            "rolling restart surfaced {} mismatched and {} refused responses over {}",
+            mismatches.load(Ordering::Relaxed),
+            refused.load(Ordering::Relaxed),
+            served.load(Ordering::Relaxed),
+        ));
+    }
+    eprintln!(
+        "smoke: rolling restart invisible across {} responses",
+        served.load(Ordering::Relaxed)
+    );
+
+    // Every accepted job must complete and fetch the baseline bytes.
+    let deadline = Instant::now() + STARTUP_WINDOW;
+    for &id in &job_ids {
+        loop {
+            match jobs_client.call(&Request::Poll { id }) {
+                Ok(Response::JobStatus {
+                    state: JobState::Done,
+                    ..
+                }) => break,
+                Ok(Response::JobStatus {
+                    state: JobState::Failed,
+                    message,
+                    ..
+                }) => {
+                    return Err(format!("job {id} failed: {message:?}"));
+                }
+                Ok(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+                other => return Err(format!("job {id} never finished: {other:?}")),
+            }
+        }
+        let (_, text) = jobs_client
+            .call_text(&Request::Fetch { id })
+            .map_err(|e| format!("fetch {id}: {e}"))?;
+        if text != job_baseline {
+            return Err(format!(
+                "job {id} result differs from the synchronous bytes"
+            ));
+        }
+    }
+    eprintln!("smoke: {} durable jobs survived the restart", job_ids.len());
+
+    // -- Teardown -------------------------------------------------------
+    let mut c = Client::connect(&router_addr).map_err(|e| e.to_string())?;
+    c.call(&Request::Shutdown).map_err(|e| e.to_string())?;
+    router.join();
+    for mut child in children {
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let done = if args.iter().any(|a| a == "--smoke") {
+        smoke().map(|()| println!("hfast-fleet smoke: ok"))
+    } else if let Some(addr) = parse_flag(&args, "--shard") {
+        run_shard(&addr, parse_flag(&args, "--journal").map(PathBuf::from))
+    } else if let Some(shards) = parse_flag(&args, "--shards") {
+        match shards.parse::<usize>() {
+            Ok(n) if n > 0 => {
+                let addr = parse_flag(&args, "--addr").unwrap_or("127.0.0.1:4712".into());
+                let dir = parse_flag(&args, "--journal-dir")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| std::env::temp_dir().join("hfast-fleet-journals"));
+                run_supervisor(n, &addr, &dir)
+            }
+            _ => Err("--shards wants a positive integer".into()),
+        }
+    } else {
+        Err("usage: hfast-fleet --shards N [--addr A] [--journal-dir D] | --shard ADDR [--journal P] | --smoke".into())
+    };
+    match done {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hfast-fleet: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,33 +1,64 @@
-//! Blocking client for the hfast-serve protocol.
+//! Blocking clients for the hfast-serve protocol.
 //!
 //! One [`Client`] wraps one connection and issues closed-loop requests:
 //! write a frame, read a frame. That mirrors how the load generator and
 //! the integration tests drive the daemon, and it is the model under
 //! which the server's per-connection ordering guarantee is defined.
+//!
+//! [`FleetClient`] speaks to a *set* of daemons: it routes each request
+//! over the same consistent-hash ring the fleet router uses, fails over
+//! to replica shards on transport errors (sound for cacheable verbs,
+//! which are pure functions of the request), and pins job verbs to the
+//! shard that owns the job — all behind the same `call` surface.
+//!
+//! Errors are typed by *where* they happened so failover can key off the
+//! variant: [`ClientError::Transport`] (retry another replica),
+//! [`ClientError::Protocol`] (a bug, never retried), and
+//! [`ClientError::Server`] (the fleet gave up after the server kept
+//! refusing).
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
+use crate::fleet::{unwrap_job_id, wrap_job_id, HashRing, DEFAULT_VNODES};
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::protocol::{decode_response, encode_request, Request, Response};
+use crate::protocol::{
+    decode_response, encode_request, encode_request_versioned, request_key, Request, Response,
+    WireVersion,
+};
 
-/// Why a call failed.
+/// Why a call failed, by layer.
+///
+/// A [`Response::Error`] is a *successful* call — the server answered —
+/// and is never a `ClientError`.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Transport-level failure (connect, read, write).
-    Io(io::Error),
-    /// The stream broke mid-frame or a frame was invalid.
-    Frame(FrameError),
-    /// The response frame arrived but did not decode.
-    Decode(String),
+    /// The bytes never made it there and back: connect, read, or write
+    /// failure, or the stream ended mid-frame. Retrying against a
+    /// replica is sound for pure (cacheable) requests.
+    Transport(io::Error),
+    /// The bytes arrived but were not a valid frame or response — a
+    /// protocol bug on one side. Never retried.
+    Protocol(String),
+    /// The server kept refusing (e.g. [`Response::Busy`] past the retry
+    /// budget): the fleet gave up, not the wire.
+    Server(String),
+}
+
+impl ClientError {
+    /// True when retrying the same bytes against a replica is sound.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, ClientError::Transport(_))
+    }
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ClientError::Io(e) => write!(f, "i/o: {e}"),
-            ClientError::Frame(e) => write!(f, "frame: {e}"),
-            ClientError::Decode(e) => write!(f, "decode: {e}"),
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
         }
     }
 }
@@ -36,13 +67,19 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        ClientError::Transport(e)
     }
 }
 
 impl From<FrameError> for ClientError {
     fn from(e: FrameError) -> Self {
-        ClientError::Frame(e)
+        match e {
+            FrameError::Io(io) => ClientError::Transport(io),
+            FrameError::Eof | FrameError::Truncated => {
+                ClientError::Transport(io::Error::new(io::ErrorKind::UnexpectedEof, e.to_string()))
+            }
+            FrameError::Oversized(_) | FrameError::NotUtf8 => ClientError::Protocol(e.to_string()),
+        }
     }
 }
 
@@ -62,25 +99,65 @@ impl Client {
         Ok(Client { stream })
     }
 
+    /// One frame out, one frame in.
+    fn exchange(&mut self, payload: &str) -> Result<String, ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        Ok(read_frame(&mut self.stream)?)
+    }
+
     /// Sends a request and blocks for its response.
     ///
     /// # Errors
     /// Transport, framing, or decode failure. A [`Response::Error`] is a
     /// *successful* call — the server answered — not a `ClientError`.
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        let raw = self.call_raw(&encode_request(req))?;
-        decode_response(&raw).map_err(ClientError::Decode)
+        self.call_text(req).map(|(resp, _)| resp)
+    }
+
+    /// Like [`call`](Client::call) but also returns the exact response
+    /// text, so callers that digest bytes (the load generator, the
+    /// byte-identity tests) stay on the typed path.
+    ///
+    /// # Errors
+    /// Transport, framing, or decode failure.
+    pub fn call_text(&mut self, req: &Request) -> Result<(Response, String), ClientError> {
+        let raw = self.exchange(&encode_request(req))?;
+        let resp = decode_response(&raw).map_err(ClientError::Protocol)?;
+        Ok((resp, raw))
+    }
+
+    /// Sends a request in the given wire version and decodes the reply,
+    /// checking the server answered in kind.
+    ///
+    /// # Errors
+    /// Transport, framing, or decode failure; [`ClientError::Protocol`]
+    /// when the reply's envelope version differs from the request's.
+    pub fn call_versioned(
+        &mut self,
+        req: &Request,
+        version: WireVersion,
+    ) -> Result<Response, ClientError> {
+        let raw = self.exchange(&encode_request_versioned(req, version))?;
+        let (resp, got) =
+            crate::protocol::decode_response_versioned(&raw).map_err(ClientError::Protocol)?;
+        if got != version {
+            return Err(ClientError::Protocol(format!(
+                "sent {version:?}, server answered {got:?}"
+            )));
+        }
+        Ok(resp)
     }
 
     /// Sends a pre-encoded payload and returns the raw response text.
-    /// Exists so tests can send deliberately malformed payloads (and so
-    /// the load generator can hash exact response bytes).
     ///
     /// # Errors
     /// Transport or framing failure.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the typed `call` / `call_text`; raw payloads bypass request validation"
+    )]
     pub fn call_raw(&mut self, payload: &str) -> Result<String, ClientError> {
-        write_frame(&mut self.stream, payload)?;
-        Ok(read_frame(&mut self.stream)?)
+        self.exchange(payload)
     }
 
     /// Writes raw bytes with *no* length prefix, then shuts down the
@@ -89,6 +166,10 @@ impl Client {
     ///
     /// # Errors
     /// Propagates write/shutdown failures.
+    #[deprecated(
+        since = "0.8.0",
+        note = "truncation-test helper; production code has no business writing unframed bytes"
+    )]
     pub fn send_raw_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.stream.write_all(bytes)?;
         self.stream.flush()?;
@@ -103,5 +184,224 @@ impl Client {
         let mut out = Vec::new();
         self.stream.read_to_end(&mut out)?;
         Ok(out)
+    }
+}
+
+/// How many times a shard-pinned (job) verb retries its owning shard
+/// before giving up — sized to ride out one rolling restart.
+const DEFAULT_STATEFUL_RETRIES: usize = 40;
+
+/// Pause between shard-pinned retries.
+const DEFAULT_RETRY_PAUSE: Duration = Duration::from_millis(50);
+
+/// A sharded client: one logical connection to a fleet of daemons.
+///
+/// Cacheable verbs route by consistent hash of their canonical encoding
+/// and fail over to replica shards on transport errors or `Busy` (sound:
+/// they are pure functions of the request, so any shard computes the
+/// same bytes). Job verbs pin to the shard that owns the job id and
+/// retry it through restart windows. `shutdown` fans out to every shard.
+pub struct FleetClient {
+    addrs: Vec<String>,
+    ring: HashRing,
+    conns: Vec<Option<Client>>,
+    stateful_retries: usize,
+    retry_pause: Duration,
+}
+
+impl FleetClient {
+    /// A fleet client over `addrs` (one per shard, order = shard index —
+    /// every participant must use the same order).
+    ///
+    /// Connections are opened lazily, so this never fails.
+    pub fn connect(addrs: &[String]) -> FleetClient {
+        let mut conns = Vec::new();
+        conns.resize_with(addrs.len(), || None);
+        FleetClient {
+            addrs: addrs.to_vec(),
+            ring: HashRing::new(addrs.len(), DEFAULT_VNODES),
+            conns,
+            stateful_retries: DEFAULT_STATEFUL_RETRIES,
+            retry_pause: DEFAULT_RETRY_PAUSE,
+        }
+    }
+
+    /// Overrides the shard-pinned retry budget (count, pause).
+    pub fn with_stateful_retries(mut self, retries: usize, pause: Duration) -> FleetClient {
+        self.stateful_retries = retries;
+        self.retry_pause = pause;
+        self
+    }
+
+    /// Calls one shard, reusing its connection when warm.
+    fn call_shard(
+        &mut self,
+        shard: usize,
+        req: &Request,
+    ) -> Result<(Response, String), ClientError> {
+        if self.conns[shard].is_none() {
+            self.conns[shard] = Some(Client::connect(&self.addrs[shard])?);
+        }
+        let conn = self.conns[shard].as_mut().expect("just connected");
+        let out = conn.call_text(req);
+        if matches!(out, Err(ClientError::Transport(_))) {
+            // A broken connection never heals; reconnect on next use.
+            self.conns[shard] = None;
+        }
+        out
+    }
+
+    /// Failover path for pure requests: owner first, then ring-order
+    /// replicas, skipping shards that are unreachable or shedding.
+    fn call_pure(&mut self, req: &Request, key: u64) -> Result<(Response, String), ClientError> {
+        let order = self.ring.route(key);
+        let mut last: Option<ClientError> = None;
+        for shard in order {
+            match self.call_shard(shard, req) {
+                Ok((Response::Busy, _)) => {
+                    last = Some(ClientError::Server(format!("shard {shard} is shedding")));
+                }
+                Ok(out) => return Ok(out),
+                Err(e) if e.is_transport() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(ClientError::Server("no shards configured".into())))
+    }
+
+    /// Shard-pinned path for job verbs: stateful, so failover to a
+    /// different shard is wrong — instead retry the owner through its
+    /// restart window.
+    fn call_pinned(
+        &mut self,
+        shard: usize,
+        req: &Request,
+    ) -> Result<(Response, String), ClientError> {
+        if shard >= self.addrs.len() {
+            return Err(ClientError::Protocol(format!(
+                "job id names shard {shard}, fleet has {}",
+                self.addrs.len()
+            )));
+        }
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..self.stateful_retries.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.retry_pause);
+            }
+            match self.call_shard(shard, req) {
+                Ok((Response::Busy, _)) => {
+                    last = Some(ClientError::Server(format!(
+                        "shard {shard} still shedding after {attempt} retries"
+                    )));
+                }
+                Ok(out) => return Ok(out),
+                Err(e) if e.is_transport() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(ClientError::Server("no retry budget".into())))
+    }
+
+    /// Rewrites shard-local job ids in a response to fleet-global ids.
+    fn globalize(resp: Response, raw: String, shard: usize) -> (Response, String) {
+        match resp {
+            Response::JobAccepted { id } => {
+                let global = wrap_job_id(shard, id);
+                let resp = Response::JobAccepted { id: global };
+                let raw = crate::protocol::encode_response(&resp);
+                (resp, raw)
+            }
+            Response::JobStatus {
+                id,
+                state,
+                attempts,
+                message,
+            } => {
+                let resp = Response::JobStatus {
+                    id: wrap_job_id(shard, id),
+                    state,
+                    attempts,
+                    message,
+                };
+                let raw = crate::protocol::encode_response(&resp);
+                (resp, raw)
+            }
+            other => (other, raw),
+        }
+    }
+
+    /// Sends a request to the fleet and blocks for its response,
+    /// returning both the decoded response and its exact text.
+    ///
+    /// # Errors
+    /// Transport failure once every eligible shard has been tried,
+    /// protocol violations, or a fleet-level give-up
+    /// ([`ClientError::Server`]).
+    pub fn call_text(&mut self, req: &Request) -> Result<(Response, String), ClientError> {
+        match req {
+            // Liveness of the fleet = any reachable shard.
+            Request::Health => {
+                let mut last: Option<ClientError> = None;
+                for shard in 0..self.addrs.len() {
+                    match self.call_shard(shard, req) {
+                        Ok(out) => return Ok(out),
+                        Err(e) => last = Some(e),
+                    }
+                }
+                Err(last.unwrap_or(ClientError::Server("no shards configured".into())))
+            }
+            // Fleet stats = sum over shards.
+            Request::Stats => {
+                let mut parts = Vec::new();
+                for shard in 0..self.addrs.len() {
+                    parts.push(self.call_shard(shard, req)?.0);
+                }
+                let resp = crate::fleet::aggregate_stats(&parts)
+                    .ok_or_else(|| ClientError::Protocol("no stats to aggregate".into()))?;
+                let raw = crate::protocol::encode_response(&resp);
+                Ok((resp, raw))
+            }
+            // Shutdown fans out; the fleet is down when every shard
+            // acknowledged (or was already gone).
+            Request::Shutdown => {
+                for shard in 0..self.addrs.len() {
+                    let _ = self.call_shard(shard, req);
+                }
+                let resp = Response::Ok;
+                let raw = crate::protocol::encode_response(&resp);
+                Ok((resp, raw))
+            }
+            // Jobs live on the shard that owns the inner request's key.
+            Request::Submit { job } => {
+                let key = request_key(&encode_request(job));
+                let shard = self.ring.shard_for(key);
+                let (resp, raw) = self.call_pinned(shard, req)?;
+                Ok(Self::globalize(resp, raw, shard))
+            }
+            Request::Poll { id } | Request::Fetch { id } | Request::Cancel { id } => {
+                let (shard, local) = unwrap_job_id(*id);
+                let local_req = match req {
+                    Request::Poll { .. } => Request::Poll { id: local },
+                    Request::Fetch { .. } => Request::Fetch { id: local },
+                    _ => Request::Cancel { id: local },
+                };
+                let (resp, raw) = self.call_pinned(shard, &local_req)?;
+                Ok(Self::globalize(resp, raw, shard))
+            }
+            // Compute verbs (cacheable or the deterministic panic probe):
+            // pure functions of the request, so key-routed with failover.
+            req => {
+                let key = request_key(&encode_request(req));
+                self.call_pure(req, key)
+            }
+        }
+    }
+
+    /// Sends a request to the fleet and blocks for its response.
+    ///
+    /// # Errors
+    /// As [`call_text`](FleetClient::call_text).
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.call_text(req).map(|(resp, _)| resp)
     }
 }

@@ -1,0 +1,728 @@
+//! Fleet routing: consistent-hash sharding, failover, hot-key caching,
+//! and a router daemon that fronts N `hfast-serve` shards.
+//!
+//! ## The ring
+//!
+//! [`HashRing`] places `vnodes` points per shard on a `u64` ring; a
+//! request key (FNV-1a of its canonical v1 encoding, the same key the
+//! response cache uses) is owned by the first point clockwise. Points
+//! are hashed from the *shard index* (`"shard-3/vnode-17"`), not the
+//! address, so a [`crate::FleetClient`] and a router fronting the same
+//! shard list agree on ownership without exchanging ring state — and
+//! re-addressing a shard (rolling restart on a new port) does not move
+//! keys.
+//!
+//! ## Failover
+//!
+//! Cacheable verbs are pure functions of their canonical encoding, so
+//! when the owner shard is unreachable or shedding, the request is
+//! retried on the next *distinct* shard in ring order — any shard
+//! computes byte-identical responses. Job verbs are stateful (the job
+//! lives in one shard's journal), so they never fail over: they retry
+//! the owning shard through its restart window instead.
+//!
+//! ## Job ids
+//!
+//! Shards allocate job ids locally; the fleet namespaces them as
+//! `(shard_index << 40) | local_id` — still below 2^53, so the id
+//! survives JSON number transport. [`wrap_job_id`] / [`unwrap_job_id`]
+//! are the whole scheme.
+//!
+//! ## Hot keys
+//!
+//! The router counts key frequencies ([`HotKeys`]); once a key crosses
+//! the threshold its responses are admitted to a router-level sharded
+//! LRU ([`ResponseCache`]) and served without touching a shard. Only
+//! canonical v1 bodies of successful responses are cached, so a hit is
+//! byte-identical to a shard round-trip.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::cache::ResponseCache;
+use crate::client::{Client, ClientError};
+use crate::frame::{write_frame, FrameError, FramePoll, FrameReader};
+use crate::protocol::{
+    decode_request_versioned, decode_response, encode_request, encode_response, envelope_v2,
+    request_key, JobTotals, Request, Response, WireVersion,
+};
+
+/// Bits reserved for the shard-local job id; the shard index lives above
+/// them. `40 + log2(shards) < 53` keeps ids JSON-number-safe.
+pub const JOB_SHARD_SHIFT: u32 = 40;
+
+/// Default virtual nodes per shard — enough to keep the keyspace split
+/// within a few percent of even at small shard counts.
+pub const DEFAULT_VNODES: usize = 32;
+
+/// Namespaces a shard-local job id as a fleet-global one.
+pub fn wrap_job_id(shard: usize, local: u64) -> u64 {
+    ((shard as u64) << JOB_SHARD_SHIFT) | (local & ((1u64 << JOB_SHARD_SHIFT) - 1))
+}
+
+/// Splits a fleet-global job id into (shard index, shard-local id).
+pub fn unwrap_job_id(global: u64) -> (usize, u64) {
+    (
+        (global >> JOB_SHARD_SHIFT) as usize,
+        global & ((1u64 << JOB_SHARD_SHIFT) - 1),
+    )
+}
+
+/// A consistent-hash ring over shard *indexes*.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted (point, shard) pairs.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// A ring of `shards` shards with `vnodes` points each.
+    ///
+    /// # Panics
+    /// When `shards` or `vnodes` is zero.
+    pub fn new(shards: usize, vnodes: usize) -> HashRing {
+        assert!(shards > 0, "a ring needs at least one shard");
+        assert!(vnodes > 0, "a ring needs at least one point per shard");
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for v in 0..vnodes {
+                points.push((request_key(&format!("shard-{shard}/vnode-{v}")), shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// The shard count this ring was built for.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: first ring point clockwise from it.
+    pub fn shard_for(&self, key: u64) -> usize {
+        let idx = self.points.partition_point(|&(p, _)| p < key);
+        self.points[idx % self.points.len()].1
+    }
+
+    /// Every shard in preference order for `key`: the owner first, then
+    /// each further shard in the order its first point appears clockwise.
+    pub fn route(&self, key: u64) -> Vec<usize> {
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        let mut order = Vec::with_capacity(self.shards);
+        for i in 0..self.points.len() {
+            let shard = self.points[(start + i) % self.points.len()].1;
+            if !order.contains(&shard) {
+                order.push(shard);
+                if order.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Frequency-threshold hot-key detector with a bounded table.
+pub struct HotKeys {
+    threshold: u32,
+    cap: usize,
+    counts: Mutex<std::collections::HashMap<u64, u32>>,
+}
+
+impl HotKeys {
+    /// Keys seen at least `threshold` times count as hot; the table
+    /// tracks at most `cap` keys (then resets — a coarse decay that also
+    /// bounds memory).
+    pub fn new(threshold: u32, cap: usize) -> HotKeys {
+        HotKeys {
+            threshold: threshold.max(1),
+            cap: cap.max(1),
+            counts: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Records one sighting of `key`; true once the key is hot.
+    pub fn touch(&self, key: u64) -> bool {
+        let mut counts = self.counts.lock().expect("hot-key table poisoned");
+        if counts.len() >= self.cap && !counts.contains_key(&key) {
+            counts.clear();
+        }
+        let c = counts.entry(key).or_insert(0);
+        *c = c.saturating_add(1);
+        *c >= self.threshold
+    }
+}
+
+/// Sums per-shard stats into one fleet-wide [`Response::Stats`].
+///
+/// Returns `None` when `parts` holds no stats response.
+pub fn aggregate_stats(parts: &[Response]) -> Option<Response> {
+    let mut requests = 0u64;
+    let mut shed = 0u64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut cache_evictions = 0u64;
+    let mut cache_entries = 0u64;
+    let mut cache_bytes = 0u64;
+    let mut sim_events = 0u64;
+    let mut sim_events_per_sec = 0u64;
+    let mut strategy_hits = [0u64; 3];
+    let mut graphs = 0u64;
+    let mut fabrics = 0u64;
+    let mut jobs = JobTotals::default();
+    let mut any = false;
+    for part in parts {
+        let Response::Stats {
+            requests: r,
+            shed: s,
+            cache_hits: ch,
+            cache_misses: cm,
+            cache_evictions: ce,
+            cache_entries: cn,
+            cache_bytes: cb,
+            sim_events: se,
+            sim_events_per_sec: sps,
+            strategy_hits: sh,
+            graphs: g,
+            fabrics: f,
+            jobs: j,
+        } = part
+        else {
+            continue;
+        };
+        any = true;
+        requests += r;
+        shed += s;
+        cache_hits += ch;
+        cache_misses += cm;
+        cache_evictions += ce;
+        cache_entries += cn;
+        cache_bytes += cb;
+        sim_events += se;
+        sim_events_per_sec += sps;
+        for (slot, hit) in strategy_hits.iter_mut().zip(sh.iter()) {
+            *slot += hit;
+        }
+        graphs += g;
+        fabrics += f;
+        jobs.submitted += j.submitted;
+        jobs.completed += j.completed;
+        jobs.failed += j.failed;
+        jobs.cancelled += j.cancelled;
+        jobs.retried += j.retried;
+    }
+    any.then_some(Response::Stats {
+        requests,
+        shed,
+        cache_hits,
+        cache_misses,
+        cache_evictions,
+        cache_entries,
+        cache_bytes,
+        sim_events,
+        sim_events_per_sec,
+        strategy_hits,
+        graphs,
+        fabrics,
+        jobs,
+    })
+}
+
+/// Router knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: usize,
+    /// Sightings before a key counts as hot (and gets router-cached).
+    pub hot_threshold: u32,
+    /// Hot-key table capacity.
+    pub hot_cap: usize,
+    /// Router response-cache byte budget.
+    pub cache_bytes: usize,
+    /// Router response-cache shard count.
+    pub cache_shards: usize,
+    /// Same-shard retries for job verbs (rides out a rolling restart).
+    pub stateful_retries: usize,
+    /// Pause between same-shard retries.
+    pub retry_pause: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            vnodes: DEFAULT_VNODES,
+            hot_threshold: 4,
+            hot_cap: 64 << 10,
+            cache_bytes: 4 << 20,
+            cache_shards: 8,
+            stateful_retries: 40,
+            retry_pause: Duration::from_millis(50),
+        }
+    }
+}
+
+struct RouterShared {
+    shard_addrs: Vec<String>,
+    ring: HashRing,
+    hot: HotKeys,
+    cache: ResponseCache,
+    config: FleetConfig,
+    shutdown: AtomicBool,
+}
+
+impl RouterShared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-connection pool of upstream shard connections.
+struct Upstreams {
+    conns: Vec<Option<Client>>,
+}
+
+impl Upstreams {
+    fn new(n: usize) -> Upstreams {
+        let mut conns = Vec::new();
+        conns.resize_with(n, || None);
+        Upstreams { conns }
+    }
+
+    /// One canonical-v1 exchange with `shard`; reconnects lazily and
+    /// forgets broken connections.
+    fn exchange(
+        &mut self,
+        shared: &RouterShared,
+        shard: usize,
+        payload: &str,
+    ) -> Result<String, ClientError> {
+        if self.conns[shard].is_none() {
+            self.conns[shard] = Some(Client::connect(&shared.shard_addrs[shard])?);
+        }
+        let conn = self.conns[shard].as_mut().expect("just connected");
+        #[allow(deprecated)]
+        let out = conn.call_raw(payload);
+        if matches!(out, Err(ClientError::Transport(_))) {
+            self.conns[shard] = None;
+        }
+        out
+    }
+
+    /// Same-shard retry loop for stateful (job) verbs.
+    fn exchange_pinned(
+        &mut self,
+        shared: &RouterShared,
+        shard: usize,
+        payload: &str,
+    ) -> Result<String, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..shared.config.stateful_retries.max(1) {
+            if attempt > 0 {
+                thread::sleep(shared.config.retry_pause);
+            }
+            match self.exchange(shared, shard, payload) {
+                Ok(raw) => {
+                    if decode_response(&raw).is_ok_and(|r| matches!(r, Response::Busy)) {
+                        last = Some(ClientError::Server(format!(
+                            "shard {shard} shedding a pinned verb"
+                        )));
+                        continue;
+                    }
+                    return Ok(raw);
+                }
+                Err(e) if e.is_transport() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(ClientError::Server("no retry budget".into())))
+    }
+
+    /// Owner-then-replicas failover for pure verbs.
+    fn exchange_pure(
+        &mut self,
+        shared: &RouterShared,
+        key: u64,
+        payload: &str,
+    ) -> Result<String, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for shard in shared.ring.route(key) {
+            match self.exchange(shared, shard, payload) {
+                Ok(raw) => {
+                    // Busy from a draining/overloaded shard: a replica can
+                    // answer the same bytes, so keep going.
+                    if decode_response(&raw).is_ok_and(|r| matches!(r, Response::Busy)) {
+                        last = Some(ClientError::Server(format!("shard {shard} is shedding")));
+                        continue;
+                    }
+                    return Ok(raw);
+                }
+                Err(e) if e.is_transport() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        match last {
+            // Every shard shed: Busy is the honest fleet-wide answer.
+            Some(ClientError::Server(_)) => Ok(encode_response(&Response::Busy)),
+            Some(e) => Err(e),
+            None => Err(ClientError::Server("no shards configured".into())),
+        }
+    }
+}
+
+/// Routes one decoded request, returning the canonical v1 response text.
+fn route(shared: &RouterShared, ups: &mut Upstreams, req: Request) -> String {
+    let err = |e: &ClientError| {
+        encode_response(&Response::Error {
+            message: format!("fleet: {e}"),
+        })
+    };
+    match &req {
+        // The router answers health itself: it is the liveness surface of
+        // the fleet (shards report theirs through stats).
+        Request::Health => encode_response(&Response::Health {
+            workers: shared.shard_addrs.len(),
+            queue: 0,
+        }),
+        Request::Stats => {
+            let payload = encode_request(&Request::Stats);
+            let mut parts = Vec::new();
+            for shard in 0..shared.shard_addrs.len() {
+                if let Ok(raw) = ups.exchange(shared, shard, &payload) {
+                    if let Ok(resp) = decode_response(&raw) {
+                        parts.push(resp);
+                    }
+                }
+            }
+            match aggregate_stats(&parts) {
+                Some(resp) => encode_response(&resp),
+                None => encode_response(&Response::Error {
+                    message: "fleet: no shard answered stats".into(),
+                }),
+            }
+        }
+        Request::Shutdown => {
+            let payload = encode_request(&Request::Shutdown);
+            for shard in 0..shared.shard_addrs.len() {
+                let _ = ups.exchange(shared, shard, &payload);
+            }
+            shared.shutdown.store(true, Ordering::Relaxed);
+            encode_response(&Response::Ok)
+        }
+        Request::Submit { job } => {
+            let shard = shared.ring.shard_for(request_key(&encode_request(job)));
+            match ups.exchange_pinned(shared, shard, &encode_request(&req)) {
+                Ok(raw) => match decode_response(&raw) {
+                    Ok(Response::JobAccepted { id }) => encode_response(&Response::JobAccepted {
+                        id: wrap_job_id(shard, id),
+                    }),
+                    Ok(_) => raw,
+                    Err(e) => encode_response(&Response::Error {
+                        message: format!("fleet: shard answered garbage: {e}"),
+                    }),
+                },
+                Err(e) => err(&e),
+            }
+        }
+        Request::Poll { id } | Request::Fetch { id } | Request::Cancel { id } => {
+            let (shard, local) = unwrap_job_id(*id);
+            if shard >= shared.shard_addrs.len() {
+                return encode_response(&Response::Error {
+                    message: format!(
+                        "job id names shard {shard}, fleet has {}",
+                        shared.shard_addrs.len()
+                    ),
+                });
+            }
+            let local_req = match &req {
+                Request::Poll { .. } => Request::Poll { id: local },
+                Request::Fetch { .. } => Request::Fetch { id: local },
+                _ => Request::Cancel { id: local },
+            };
+            match ups.exchange_pinned(shared, shard, &encode_request(&local_req)) {
+                Ok(raw) => match decode_response(&raw) {
+                    Ok(Response::JobStatus {
+                        id,
+                        state,
+                        attempts,
+                        message,
+                    }) => encode_response(&Response::JobStatus {
+                        id: wrap_job_id(shard, id),
+                        state,
+                        attempts,
+                        message,
+                    }),
+                    _ => raw,
+                },
+                Err(e) => err(&e),
+            }
+        }
+        // Compute verbs: pure, so key-routed with failover and (when hot
+        // and cacheable) served from the router cache.
+        _ => {
+            let payload = encode_request(&req);
+            let key = request_key(&payload);
+            let cache_worthy = req.cacheable() && shared.hot.touch(key);
+            if cache_worthy {
+                if let Some(hit) = shared.cache.get(key) {
+                    return hit;
+                }
+            }
+            match ups.exchange_pure(shared, key, &payload) {
+                Ok(raw) => {
+                    let cacheable_body = decode_response(&raw)
+                        .is_ok_and(|r| !matches!(r, Response::Error { .. } | Response::Busy));
+                    if cache_worthy && cacheable_body {
+                        shared.cache.put(key, &raw);
+                    }
+                    raw
+                }
+                Err(e) => err(&e),
+            }
+        }
+    }
+}
+
+/// Socket-read tick; drain checks happen at this cadence.
+const TICK: Duration = Duration::from_millis(50);
+
+fn router_connection(shared: &RouterShared, mut stream: TcpStream) {
+    if stream.set_read_timeout(Some(TICK)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut ups = Upstreams::new(shared.shard_addrs.len());
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.poll(&mut stream) {
+            Ok(FramePoll::Frame(payload)) => {
+                let body = match decode_request_versioned(&payload) {
+                    Ok((req, version)) => {
+                        let body = route(shared, &mut ups, req);
+                        match version {
+                            WireVersion::V1 => body,
+                            WireVersion::V2 => envelope_v2(&body),
+                        }
+                    }
+                    Err(message) => encode_response(&Response::Error { message }),
+                };
+                if write_frame(&mut stream, &body).is_err() {
+                    return;
+                }
+            }
+            Ok(FramePoll::Pending) => {
+                if shared.draining() && !reader.mid_frame() {
+                    return;
+                }
+            }
+            Err(FrameError::Eof) | Err(FrameError::Truncated) | Err(FrameError::Io(_)) => return,
+            Err(e @ (FrameError::Oversized(_) | FrameError::NotUtf8)) => {
+                let resp = encode_response(&Response::Error {
+                    message: e.to_string(),
+                });
+                let _ = write_frame(&mut stream, &resp);
+                return;
+            }
+        }
+    }
+}
+
+/// A running fleet router.
+pub struct FleetHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl FleetHandle {
+    /// The router's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins drain without forwarding shutdown to the shards (the
+    /// `shutdown` *request* does forward) — used for router-only
+    /// restarts.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the acceptor and every connection thread exit.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts a router fronting `shard_addrs` (index order
+/// must match every other participant's).
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn start_fleet(
+    addr: &str,
+    shard_addrs: &[String],
+    config: FleetConfig,
+) -> io::Result<FleetHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(RouterShared {
+        ring: HashRing::new(shard_addrs.len(), config.vnodes),
+        hot: HotKeys::new(config.hot_threshold, config.hot_cap),
+        cache: ResponseCache::new(config.cache_shards, config.cache_bytes),
+        shard_addrs: shard_addrs.to_vec(),
+        config,
+        shutdown: AtomicBool::new(false),
+    });
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("hfast-fleet-acceptor".into())
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                while !shared.draining() {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let shared = Arc::clone(&shared);
+                            conns.push(
+                                thread::Builder::new()
+                                    .name("hfast-fleet-conn".into())
+                                    .spawn(move || router_connection(&shared, stream))
+                                    .expect("spawn router connection thread"),
+                            );
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                            if conns.len() > 64 {
+                                conns.retain(|h| !h.is_finished());
+                            }
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+                for conn in conns {
+                    let _ = conn.join();
+                }
+            })
+            .expect("spawn fleet acceptor")
+    };
+    Ok(FleetHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_ids_round_trip_the_namespace() {
+        for shard in [0usize, 1, 3, 7, 4095] {
+            for local in [0u64, 1, 42, (1 << JOB_SHARD_SHIFT) - 1] {
+                let global = wrap_job_id(shard, local);
+                assert_eq!(unwrap_job_id(global), (shard, local));
+                assert!(global < (1 << 53), "JSON-number-safe");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_shards() {
+        let a = HashRing::new(4, 32);
+        let b = HashRing::new(4, 32);
+        let mut owners = [0usize; 4];
+        for key in 0..10_000u64 {
+            let shard = a.shard_for(key.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            assert_eq!(shard, b.shard_for(key.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            owners[shard] += 1;
+        }
+        for (shard, count) in owners.iter().enumerate() {
+            assert!(
+                *count > 500,
+                "shard {shard} owns {count}/10000 keys — ring badly skewed: {owners:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn route_starts_at_owner_and_visits_every_shard_once() {
+        let ring = HashRing::new(4, 32);
+        for key in [0u64, 17, 1 << 40, u64::MAX] {
+            let order = ring.route(key);
+            assert_eq!(order[0], ring.shard_for(key));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(
+                sorted,
+                vec![0, 1, 2, 3],
+                "route {order:?} not a permutation"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_ring_owns_everything() {
+        let ring = HashRing::new(1, 8);
+        for key in [0u64, 1, u64::MAX] {
+            assert_eq!(ring.shard_for(key), 0);
+            assert_eq!(ring.route(key), vec![0]);
+        }
+    }
+
+    #[test]
+    fn hot_keys_trip_at_threshold() {
+        let hot = HotKeys::new(3, 16);
+        assert!(!hot.touch(1));
+        assert!(!hot.touch(1));
+        assert!(hot.touch(1));
+        assert!(hot.touch(1), "stays hot");
+        assert!(!hot.touch(2), "independent keys");
+    }
+
+    #[test]
+    fn aggregate_stats_sums_fields() {
+        let part = |requests: u64| Response::Stats {
+            requests,
+            shed: 1,
+            cache_hits: 2,
+            cache_misses: 3,
+            cache_evictions: 0,
+            cache_entries: 4,
+            cache_bytes: 100,
+            sim_events: 5,
+            sim_events_per_sec: 6,
+            strategy_hits: [1, 0, 2],
+            graphs: 1,
+            fabrics: 1,
+            jobs: JobTotals {
+                submitted: 2,
+                completed: 1,
+                failed: 0,
+                cancelled: 1,
+                retried: 0,
+            },
+        };
+        let agg = aggregate_stats(&[part(10), part(20), Response::Busy]).unwrap();
+        let Response::Stats {
+            requests,
+            strategy_hits,
+            jobs,
+            ..
+        } = agg
+        else {
+            panic!("expected stats");
+        };
+        assert_eq!(requests, 30);
+        assert_eq!(strategy_hits, [2, 0, 4]);
+        assert_eq!(jobs.submitted, 4);
+        assert!(aggregate_stats(&[Response::Ok]).is_none());
+    }
+}

@@ -24,6 +24,7 @@ fn err(message: impl Into<String>) -> Response {
     }
 }
 
+#[allow(clippy::result_large_err)] // the Err is the wire response
 fn provision_for(
     reg: &Registry,
     app: &AppSpec,
@@ -48,7 +49,7 @@ fn provision_for(
     Ok((graph.n(), prov))
 }
 
-fn simulate(
+fn simulate_for(
     reg: &Registry,
     app: &AppSpec,
     fabric: FabricSpec,
@@ -109,92 +110,146 @@ fn simulate(
     }
 }
 
-/// Executes one compute request against the registry.
+/// Handles [`Request::Provision`]: builds the provisioning and reports
+/// its port math. Row handler in [`crate::protocol::VERBS`].
+pub fn provision(req: &Request, reg: &Registry) -> Response {
+    let Request::Provision {
+        app,
+        block_ports,
+        cutoff,
+        strategy,
+    } = req
+    else {
+        return wrong_verb(req, "provision");
+    };
+    match provision_for(
+        reg,
+        app,
+        *block_ports,
+        *cutoff,
+        strategy.unwrap_or(Strategy::PaperLinear),
+    ) {
+        Ok((n, prov)) => Response::Provisioned {
+            n,
+            blocks: prov.total_blocks(),
+            total_block_ports: prov.total_block_ports(),
+            circuit_ports: prov.circuit_ports_used(),
+            ports_per_node: prov.block_ports_per_node(),
+            max_switch_hops: prov.max_route().map_or(0, |r| r.switch_hops),
+        },
+        Err(resp) => resp,
+    }
+}
+
+/// Handles [`Request::Cost`]: provisions with the paper strategy and
+/// compares against an equivalent fat tree.
+pub fn cost(req: &Request, reg: &Registry) -> Response {
+    let Request::Cost {
+        app,
+        block_ports,
+        cutoff,
+    } = req
+    else {
+        return wrong_verb(req, "cost");
+    };
+    match provision_for(reg, app, *block_ports, *cutoff, Strategy::PaperLinear) {
+        Ok((_, prov)) => {
+            let cmp = CostComparison::of(&prov, &CostModel::default());
+            Response::CostReport {
+                hfast: cmp.hfast,
+                fat_tree: cmp.fat_tree,
+                ratio: cmp.ratio(),
+                hfast_wins: cmp.hfast_wins(),
+                hfast_ports_per_node: cmp.hfast_ports_per_node,
+                fat_tree_ports_per_node: cmp.fat_tree_ports_per_node,
+            }
+        }
+        Err(resp) => resp,
+    }
+}
+
+/// Handles [`Request::Tdc`]: thresholded-degree sweep over the request's
+/// cutoff list, rows in request order.
+pub fn tdc(req: &Request, reg: &Registry) -> Response {
+    let Request::Tdc { app, cutoffs } = req else {
+        return wrong_verb(req, "tdc");
+    };
+    if cutoffs.is_empty() || cutoffs.len() > MAX_TDC_CUTOFFS {
+        return err(format!(
+            "tdc wants 1..={MAX_TDC_CUTOFFS} cutoffs, got {}",
+            cutoffs.len()
+        ));
+    }
+    match reg.graph(app) {
+        Ok(graph) => Response::TdcReport {
+            rows: tdc_sweep(&graph, cutoffs)
+                .into_iter()
+                .map(|(cutoff, s)| TdcRow {
+                    cutoff,
+                    max: s.max,
+                    min: s.min,
+                    avg: s.avg,
+                    median: s.median,
+                })
+                .collect(),
+        },
+        Err(e) => err(e),
+    }
+}
+
+/// Handles [`Request::Simulate`]: full traffic replay with optional fault
+/// injection on the requested fabric.
+pub fn simulate(req: &Request, reg: &Registry) -> Response {
+    let Request::Simulate {
+        app,
+        fabric,
+        cutoff,
+        faults,
+        strategy,
+    } = req
+    else {
+        return wrong_verb(req, "simulate");
+    };
+    simulate_for(
+        reg,
+        app,
+        *fabric,
+        *cutoff,
+        faults,
+        strategy.unwrap_or(Strategy::PaperLinear),
+    )
+}
+
+/// Handles [`Request::DebugPanic`].
+///
+/// # Panics
+/// Always — this endpoint exists to prove panic isolation (and, queued,
+/// to exercise the job-retry path deterministically). Callers run it
+/// under `catch_unwind`.
+pub fn debug_panic(req: &Request, _reg: &Registry) -> Response {
+    if !matches!(req, Request::DebugPanic) {
+        return wrong_verb(req, "debug_panic");
+    }
+    panic!("debug_panic endpoint exercised")
+}
+
+fn wrong_verb(req: &Request, expected: &str) -> Response {
+    err(format!(
+        "handler {expected} dispatched for {}",
+        req.endpoint()
+    ))
+}
+
+/// Executes one compute request against the registry by dispatching
+/// through the verb table.
 ///
 /// # Panics
 /// [`Request::DebugPanic`] panics by design — callers run this under
 /// `catch_unwind` and must survive (that is the point of the endpoint).
 pub fn execute(req: &Request, reg: &Registry) -> Response {
-    match req {
-        Request::Provision {
-            app,
-            block_ports,
-            cutoff,
-            strategy,
-        } => match provision_for(
-            reg,
-            app,
-            *block_ports,
-            *cutoff,
-            strategy.unwrap_or(Strategy::PaperLinear),
-        ) {
-            Ok((n, prov)) => Response::Provisioned {
-                n,
-                blocks: prov.total_blocks(),
-                total_block_ports: prov.total_block_ports(),
-                circuit_ports: prov.circuit_ports_used(),
-                ports_per_node: prov.block_ports_per_node(),
-                max_switch_hops: prov.max_route().map_or(0, |r| r.switch_hops),
-            },
-            Err(resp) => resp,
-        },
-        Request::Cost {
-            app,
-            block_ports,
-            cutoff,
-        } => match provision_for(reg, app, *block_ports, *cutoff, Strategy::PaperLinear) {
-            Ok((_, prov)) => {
-                let cmp = CostComparison::of(&prov, &CostModel::default());
-                Response::CostReport {
-                    hfast: cmp.hfast,
-                    fat_tree: cmp.fat_tree,
-                    ratio: cmp.ratio(),
-                    hfast_wins: cmp.hfast_wins(),
-                    hfast_ports_per_node: cmp.hfast_ports_per_node,
-                    fat_tree_ports_per_node: cmp.fat_tree_ports_per_node,
-                }
-            }
-            Err(resp) => resp,
-        },
-        Request::Tdc { app, cutoffs } => {
-            if cutoffs.is_empty() || cutoffs.len() > MAX_TDC_CUTOFFS {
-                return err(format!(
-                    "tdc wants 1..={MAX_TDC_CUTOFFS} cutoffs, got {}",
-                    cutoffs.len()
-                ));
-            }
-            match reg.graph(app) {
-                Ok(graph) => Response::TdcReport {
-                    rows: tdc_sweep(&graph, cutoffs)
-                        .into_iter()
-                        .map(|(cutoff, s)| TdcRow {
-                            cutoff,
-                            max: s.max,
-                            min: s.min,
-                            avg: s.avg,
-                            median: s.median,
-                        })
-                        .collect(),
-                },
-                Err(e) => err(e),
-            }
-        }
-        Request::Simulate {
-            app,
-            fabric,
-            cutoff,
-            faults,
-            strategy,
-        } => simulate(
-            reg,
-            app,
-            *fabric,
-            *cutoff,
-            faults,
-            strategy.unwrap_or(Strategy::PaperLinear),
-        ),
-        Request::DebugPanic => panic!("debug_panic endpoint exercised"),
-        Request::Health | Request::Stats | Request::Shutdown => err(format!(
+    match req.spec().handler {
+        crate::protocol::VerbHandler::Worker(f) => f(req, reg),
+        crate::protocol::VerbHandler::Server => err(format!(
             "{} is handled by the server, not a worker",
             req.endpoint()
         )),

@@ -1,0 +1,647 @@
+//! Durable job queue: `submit` / `poll` / `fetch` / `cancel` for
+//! long-running verbs.
+//!
+//! Synchronous request/response caps how long a verb may run at the
+//! connection deadline; a faulted ultra-scale replay does not fit. The
+//! queue gives those verbs the asynchronous shape: `submit` returns a job
+//! id immediately, `poll` reports progress, `fetch` returns the result
+//! once done, `cancel` withdraws work that has not started.
+//!
+//! **Durability** is a JSON-lines journal (one line per state change)
+//! replayed on restart:
+//!
+//! ```text
+//! {"op":"submit","id":3,"job":"{\"type\":\"simulate\",...}"}
+//! {"op":"done","id":3,"resp":"{\"type\":\"sim\",...}"}
+//! {"op":"fail","id":4,"message":"panicked: ..."}
+//! {"op":"cancel","id":5}
+//! ```
+//!
+//! Payloads are embedded as JSON *strings* (escaped canonical v1
+//! encodings) so the line grammar stays flat and replay restores the
+//! response text byte-exactly. Replay tolerates a torn final line — the
+//! crash case — and re-enqueues every job with no terminal record: a
+//! submitted job is never lost and never duplicated across a restart.
+//!
+//! **Retries** reuse the netsim [`RetryPolicy`] shape: a panicking
+//! attempt re-enqueues with exponential backoff until the max-attempt cap
+//! turns it into a terminal failure. Structured [`Response::Error`]s are
+//! terminal immediately — they are deterministic verdicts, not transient
+//! faults.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hfast_netsim::RetryPolicy;
+use hfast_obs::JsonObj;
+use hfast_trace::json;
+
+use crate::handlers::execute;
+use crate::protocol::{
+    decode_request, encode_request, encode_response, JobState, JobTotals, Request, Response,
+};
+use crate::registry::Registry;
+
+/// Upper bound on jobs resident in the queue (any state) before `submit`
+/// sheds; keeps the journal and the in-memory map proportionate.
+pub const MAX_RESIDENT_JOBS: usize = 4096;
+
+/// How long a worker sleeps when every ready job is still backing off.
+const BACKOFF_TICK: Duration = Duration::from_millis(20);
+
+struct JobRecord {
+    req: Request,
+    state: JobState,
+    attempts: u32,
+    message: Option<String>,
+    /// Canonical v1 response text, present once `state == Done`.
+    response: Option<String>,
+    /// Earliest instant the next attempt may start (backoff gate).
+    not_before: Option<Instant>,
+}
+
+struct QueueState {
+    jobs: HashMap<u64, JobRecord>,
+    ready: VecDeque<u64>,
+    totals: JobTotals,
+    draining: bool,
+}
+
+/// Outcome of [`JobQueue::fetch`]: either the stored canonical response
+/// text (pass-through, byte-identical to a synchronous run) or a status.
+pub enum Fetched {
+    /// The job finished; this is its canonical v1 response text.
+    Ready(String),
+    /// The job is not done (or does not exist): a status response.
+    Status(Response),
+}
+
+/// A durable, retrying job queue shared by the server's job workers.
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    journal: Mutex<Option<File>>,
+    next_id: AtomicU64,
+    retry: RetryPolicy,
+}
+
+impl JobQueue {
+    /// An in-memory queue (no journal — jobs do not survive a restart).
+    pub fn new(retry: RetryPolicy) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: HashMap::new(),
+                ready: VecDeque::new(),
+                totals: JobTotals::default(),
+                draining: false,
+            }),
+            cond: Condvar::new(),
+            journal: Mutex::new(None),
+            next_id: AtomicU64::new(1),
+            retry,
+        }
+    }
+
+    /// A journaled queue: replays `path` if it exists (re-enqueueing every
+    /// non-terminal job), then appends new records to it.
+    pub fn with_journal(path: &Path, retry: RetryPolicy) -> io::Result<JobQueue> {
+        let queue = JobQueue::new(retry);
+        let mut text = String::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut text)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        queue.replay(&text);
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        *queue.journal.lock().unwrap() = Some(file);
+        Ok(queue)
+    }
+
+    /// Applies journal text to the (empty) queue. Stops at the first
+    /// malformed line: a torn tail is the expected crash artifact, and
+    /// anything after it is suspect.
+    fn replay(&self, text: &str) {
+        let mut st = self.state.lock().unwrap();
+        let mut max_id = 0u64;
+        for line in text.lines() {
+            let Ok(v) = json::parse(line) else { break };
+            let (Some(op), Some(id)) = (
+                v.get("op").and_then(|o| o.as_str()),
+                v.get("id").and_then(|i| i.as_u64()),
+            ) else {
+                break;
+            };
+            max_id = max_id.max(id);
+            match op {
+                "submit" => {
+                    let Some(req) = v
+                        .get("job")
+                        .and_then(|j| j.as_str())
+                        .and_then(|s| decode_request(s).ok())
+                    else {
+                        break;
+                    };
+                    st.jobs.insert(
+                        id,
+                        JobRecord {
+                            req,
+                            state: JobState::Queued,
+                            attempts: 0,
+                            message: None,
+                            response: None,
+                            not_before: None,
+                        },
+                    );
+                    st.totals.submitted += 1;
+                }
+                "done" => {
+                    let Some(resp) = v.get("resp").and_then(|r| r.as_str()) else {
+                        break;
+                    };
+                    if let Some(rec) = st.jobs.get_mut(&id) {
+                        rec.state = JobState::Done;
+                        rec.response = Some(resp.to_string());
+                        st.totals.completed += 1;
+                    }
+                }
+                "fail" => {
+                    let message = v.get("message").and_then(|m| m.as_str()).unwrap_or("");
+                    if let Some(rec) = st.jobs.get_mut(&id) {
+                        rec.state = JobState::Failed;
+                        rec.message = Some(message.to_string());
+                        st.totals.failed += 1;
+                    }
+                }
+                "cancel" => {
+                    if let Some(rec) = st.jobs.get_mut(&id) {
+                        rec.state = JobState::Cancelled;
+                        st.totals.cancelled += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Re-enqueue survivors in id order: deterministic restart order.
+        let mut pending: Vec<u64> = st
+            .jobs
+            .iter()
+            .filter(|(_, r)| !r.state.is_terminal())
+            .map(|(&id, _)| id)
+            .collect();
+        pending.sort_unstable();
+        for id in pending {
+            st.jobs.get_mut(&id).unwrap().state = JobState::Queued;
+            st.ready.push_back(id);
+        }
+        self.next_id.store(max_id + 1, Ordering::SeqCst);
+    }
+
+    fn journal_line(&self, line: &str) {
+        let mut guard = self.journal.lock().unwrap();
+        if let Some(f) = guard.as_mut() {
+            // Single write of line + newline: a crash tears at most the
+            // final line, which replay tolerates.
+            let mut buf = String::with_capacity(line.len() + 1);
+            buf.push_str(line);
+            buf.push('\n');
+            let _ = f.write_all(buf.as_bytes());
+            let _ = f.flush();
+        }
+    }
+
+    fn has_journal(&self) -> bool {
+        self.journal.lock().unwrap().is_some()
+    }
+
+    /// Accepts a queueable request as a job, returning its id.
+    ///
+    /// Rejects non-queueable verbs, a full queue, and — unless a journal
+    /// makes the job durable across the restart — a draining server.
+    /// The `Err` carries the refusal response verbatim.
+    #[allow(clippy::result_large_err)] // the Err *is* the wire response
+    pub fn submit(&self, job: Request) -> Result<u64, Response> {
+        if !job.spec().queueable {
+            return Err(Response::Error {
+                message: format!("verb {:?} is not queueable", job.endpoint()),
+            });
+        }
+        let mut st = self.state.lock().unwrap();
+        if st.draining && !self.has_journal() {
+            return Err(Response::Busy);
+        }
+        if st.jobs.len() >= MAX_RESIDENT_JOBS {
+            return Err(Response::Busy);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let line = JsonObj::new()
+            .str("op", "submit")
+            .u64("id", id)
+            .str("job", &encode_request(&job))
+            .finish();
+        st.jobs.insert(
+            id,
+            JobRecord {
+                req: job,
+                state: JobState::Queued,
+                attempts: 0,
+                message: None,
+                response: None,
+                not_before: None,
+            },
+        );
+        st.totals.submitted += 1;
+        st.ready.push_back(id);
+        drop(st);
+        self.journal_line(&line);
+        self.cond.notify_one();
+        Ok(id)
+    }
+
+    fn status_of(id: u64, rec: &JobRecord) -> Response {
+        Response::JobStatus {
+            id,
+            state: rec.state,
+            attempts: rec.attempts,
+            message: rec.message.clone(),
+        }
+    }
+
+    /// Reports a job's status (idempotent).
+    pub fn poll(&self, id: u64) -> Response {
+        let st = self.state.lock().unwrap();
+        match st.jobs.get(&id) {
+            Some(rec) => Self::status_of(id, rec),
+            None => Response::Error {
+                message: format!("no such job {id}"),
+            },
+        }
+    }
+
+    /// Returns the stored response of a done job, or its status
+    /// (idempotent — fetching twice returns the same bytes).
+    pub fn fetch(&self, id: u64) -> Fetched {
+        let st = self.state.lock().unwrap();
+        match st.jobs.get(&id) {
+            Some(rec) => match &rec.response {
+                Some(text) => Fetched::Ready(text.clone()),
+                None => Fetched::Status(Self::status_of(id, rec)),
+            },
+            None => Fetched::Status(Response::Error {
+                message: format!("no such job {id}"),
+            }),
+        }
+    }
+
+    /// Cancels a queued job. Running and terminal jobs are left untouched
+    /// (their current status is returned), so cancel is idempotent.
+    pub fn cancel(&self, id: u64) -> Response {
+        let mut st = self.state.lock().unwrap();
+        let Some(rec) = st.jobs.get_mut(&id) else {
+            return Response::Error {
+                message: format!("no such job {id}"),
+            };
+        };
+        if rec.state == JobState::Queued {
+            rec.state = JobState::Cancelled;
+            let resp = Self::status_of(id, rec);
+            st.totals.cancelled += 1;
+            st.ready.retain(|&r| r != id);
+            drop(st);
+            self.journal_line(&JsonObj::new().str("op", "cancel").u64("id", id).finish());
+            resp
+        } else {
+            Self::status_of(id, rec)
+        }
+    }
+
+    /// Lifetime job counters for the stats verb.
+    pub fn totals(&self) -> JobTotals {
+        self.state.lock().unwrap().totals
+    }
+
+    /// Jobs not yet in a terminal state (queued or running).
+    pub fn pending(&self) -> usize {
+        let st = self.state.lock().unwrap();
+        st.jobs.values().filter(|r| !r.state.is_terminal()).count()
+    }
+
+    /// Stops workers: in-flight attempts finish, queued jobs stay journaled
+    /// for the next incarnation to replay.
+    pub fn drain(&self) {
+        self.state.lock().unwrap().draining = true;
+        self.cond.notify_all();
+    }
+
+    /// Pops the next runnable job id, waiting while the queue is empty or
+    /// every entry is backing off. Returns `None` once draining.
+    fn next_job(&self) -> Option<u64> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            let now = Instant::now();
+            if let Some(pos) = st.ready.iter().position(|id| {
+                st.jobs
+                    .get(id)
+                    .is_some_and(|r| r.not_before.is_none_or(|t| t <= now))
+            }) {
+                let id = st.ready.remove(pos).unwrap();
+                let rec = st.jobs.get_mut(&id).unwrap();
+                rec.state = JobState::Running;
+                rec.attempts += 1;
+                rec.not_before = None;
+                return Some(id);
+            }
+            if st.draining {
+                return None;
+            }
+            // Deferred entries need a timed wait; an empty queue can block
+            // until submit/drain notifies.
+            st = if st.ready.is_empty() {
+                self.cond.wait(st).unwrap()
+            } else {
+                self.cond.wait_timeout(st, BACKOFF_TICK).unwrap().0
+            };
+        }
+    }
+
+    /// Runs one job worker until drained. Panicking attempts retry with
+    /// exponential backoff up to the policy's attempt cap; structured
+    /// errors are terminal.
+    pub fn run_worker(&self, reg: &Registry) {
+        while let Some(id) = self.next_job() {
+            let req = {
+                let st = self.state.lock().unwrap();
+                st.jobs.get(&id).map(|r| r.req.clone())
+            };
+            let Some(req) = req else { continue };
+            let outcome = catch_unwind(AssertUnwindSafe(|| execute(&req, reg)));
+            let mut st = self.state.lock().unwrap();
+            let Some(rec) = st.jobs.get_mut(&id) else {
+                continue;
+            };
+            match outcome {
+                Ok(Response::Error { message }) => {
+                    rec.state = JobState::Failed;
+                    rec.message = Some(message.clone());
+                    st.totals.failed += 1;
+                    drop(st);
+                    self.journal_line(
+                        &JsonObj::new()
+                            .str("op", "fail")
+                            .u64("id", id)
+                            .str("message", &message)
+                            .finish(),
+                    );
+                }
+                Ok(resp) => {
+                    let text = encode_response(&resp);
+                    rec.state = JobState::Done;
+                    rec.response = Some(text.clone());
+                    st.totals.completed += 1;
+                    drop(st);
+                    self.journal_line(
+                        &JsonObj::new()
+                            .str("op", "done")
+                            .u64("id", id)
+                            .str("resp", &text)
+                            .finish(),
+                    );
+                }
+                Err(payload) => {
+                    let what = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic".to_string());
+                    let message = format!("panicked: {what}");
+                    if rec.attempts >= self.retry.attempts() {
+                        rec.state = JobState::Failed;
+                        rec.message = Some(message.clone());
+                        st.totals.failed += 1;
+                        drop(st);
+                        self.journal_line(
+                            &JsonObj::new()
+                                .str("op", "fail")
+                                .u64("id", id)
+                                .str("message", &message)
+                                .finish(),
+                        );
+                    } else {
+                        let backoff = Duration::from_nanos(self.retry.backoff_ns(rec.attempts));
+                        rec.state = JobState::Queued;
+                        rec.message = Some(message);
+                        rec.not_before = Some(Instant::now() + backoff);
+                        st.totals.retried += 1;
+                        st.ready.push_back(id);
+                        drop(st);
+                        self.cond.notify_one();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{AppSpec, FabricSpec};
+
+    fn sim_request(procs: usize) -> Request {
+        Request::Simulate {
+            app: AppSpec::Inline {
+                n: procs,
+                edges: (0..procs)
+                    .map(|i| (i, (i + 1) % procs, 64 * 1024, 16, 4096))
+                    .collect(),
+            },
+            fabric: FabricSpec::Hfast,
+            cutoff: 2048,
+            faults: None,
+            strategy: None,
+        }
+    }
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 10_000,
+        }
+    }
+
+    #[test]
+    fn submit_run_fetch_cycle() {
+        let reg = Registry::new();
+        let q = JobQueue::new(fast_retry());
+        let id = q.submit(sim_request(8)).expect("queueable");
+        // Drain after one pass so the worker loop terminates.
+        let done = {
+            std::thread::scope(|s| {
+                let h = s.spawn(|| q.run_worker(&reg));
+                loop {
+                    if let Response::JobStatus { state, .. } = q.poll(id) {
+                        if state.is_terminal() {
+                            break;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                q.drain();
+                h.join().unwrap();
+                q.poll(id)
+            })
+        };
+        let Response::JobStatus {
+            state, attempts, ..
+        } = done
+        else {
+            panic!("expected status");
+        };
+        assert_eq!(state, JobState::Done);
+        assert_eq!(attempts, 1);
+        let Fetched::Ready(text) = q.fetch(id) else {
+            panic!("expected stored response");
+        };
+        // Fetch is idempotent: same bytes again.
+        let Fetched::Ready(text2) = q.fetch(id) else {
+            panic!("expected stored response twice");
+        };
+        assert_eq!(text, text2);
+        assert!(text.starts_with(r#"{"type":"sim""#), "{text}");
+    }
+
+    #[test]
+    fn panics_retry_to_the_cap_then_fail() {
+        let reg = Registry::new();
+        let q = JobQueue::new(fast_retry());
+        let id = q.submit(Request::DebugPanic).expect("queueable");
+        std::thread::scope(|s| {
+            let h = s.spawn(|| q.run_worker(&reg));
+            loop {
+                if let Response::JobStatus { state, .. } = q.poll(id) {
+                    if state.is_terminal() {
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            q.drain();
+            h.join().unwrap();
+        });
+        let Response::JobStatus {
+            state,
+            attempts,
+            message,
+            ..
+        } = q.poll(id)
+        else {
+            panic!("expected status");
+        };
+        assert_eq!(state, JobState::Failed);
+        assert_eq!(attempts, 3, "retried to the max-attempt cap");
+        assert!(message.unwrap().contains("panicked"));
+        assert_eq!(q.totals().retried, 2);
+        assert_eq!(q.totals().failed, 1);
+    }
+
+    #[test]
+    fn unqueueable_and_unknown_ids_are_structured() {
+        let q = JobQueue::new(RetryPolicy::default());
+        assert!(matches!(
+            q.submit(Request::Health),
+            Err(Response::Error { .. })
+        ));
+        assert!(matches!(q.poll(99), Response::Error { .. }));
+        assert!(matches!(q.cancel(99), Response::Error { .. }));
+        assert!(matches!(
+            q.fetch(99),
+            Fetched::Status(Response::Error { .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_only_hits_queued_jobs() {
+        let q = JobQueue::new(RetryPolicy::default());
+        let id = q.submit(sim_request(4)).expect("queueable");
+        let Response::JobStatus { state, .. } = q.cancel(id) else {
+            panic!("expected status");
+        };
+        assert_eq!(state, JobState::Cancelled);
+        // Second cancel: same answer, no double count.
+        let Response::JobStatus { state, .. } = q.cancel(id) else {
+            panic!("expected status");
+        };
+        assert_eq!(state, JobState::Cancelled);
+        assert_eq!(q.totals().cancelled, 1);
+    }
+
+    #[test]
+    fn journal_replay_restores_pending_and_done_jobs() {
+        let dir = std::env::temp_dir().join(format!(
+            "hfast-jobs-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let reg = Registry::new();
+
+        // First incarnation: finish one job, leave one queued, then "crash"
+        // (drop without draining the queue's backlog).
+        let (done_id, pending_id, done_text) = {
+            let q = JobQueue::with_journal(&path, fast_retry()).unwrap();
+            let done_id = q.submit(sim_request(4)).unwrap();
+            std::thread::scope(|s| {
+                let h = s.spawn(|| q.run_worker(&reg));
+                loop {
+                    if let Response::JobStatus { state, .. } = q.poll(done_id) {
+                        if state.is_terminal() {
+                            break;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                q.drain();
+                h.join().unwrap();
+            });
+            let pending_id = q.submit(sim_request(6)).unwrap();
+            let Fetched::Ready(text) = q.fetch(done_id) else {
+                panic!("first incarnation finished the job");
+            };
+            (done_id, pending_id, text)
+        };
+
+        // Simulated torn tail from the crash: half a record.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"op\":\"submit\",\"id\":9").unwrap();
+        }
+
+        // Second incarnation replays: done job still fetchable
+        // byte-identically, pending job re-enqueued exactly once.
+        let q = JobQueue::with_journal(&path, fast_retry()).unwrap();
+        let Fetched::Ready(text) = q.fetch(done_id) else {
+            panic!("done job survived the restart");
+        };
+        assert_eq!(text, done_text, "stored response is byte-identical");
+        let Response::JobStatus { state, .. } = q.poll(pending_id) else {
+            panic!("pending job survived the restart");
+        };
+        assert_eq!(state, JobState::Queued);
+        assert_eq!(q.pending(), 1, "no duplicate enqueue");
+        // Fresh ids never collide with replayed ones.
+        let new_id = q.submit(sim_request(4)).unwrap();
+        assert!(new_id > pending_id);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

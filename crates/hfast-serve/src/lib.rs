@@ -22,6 +22,16 @@
 //!   request produces a structured error, never a dead worker.
 //! - **Graceful drain**: shutdown stops accepting, finishes in-flight
 //!   work, then flushes `hfast-obs` metrics and the Perfetto trace.
+//! - **Durable jobs** ([`JobQueue`]): `submit`/`poll`/`fetch`/`cancel`
+//!   verbs run long work asynchronously with retry/backoff on panics and
+//!   an optional JSONL journal replayed on restart.
+//! - **Versioned wire protocol**: the untagged v1 encoding stays
+//!   canonical (cache keys, journal entries); a `{"v":2,...}` envelope
+//!   is detected per frame and answered in kind.
+//! - **Fleet scale-out** ([`fleet`]): consistent-hash sharding across
+//!   daemon processes, reachable either client-side ([`FleetClient`])
+//!   or through the `start_fleet` router and the `hfast-fleet`
+//!   supervisor (rolling restarts, journaled shards).
 //!
 //! ```no_run
 //! use hfast_serve::{start, Client, Request, Response, ServerConfig};
@@ -46,20 +56,26 @@
 
 pub mod cache;
 pub mod client;
+pub mod fleet;
 pub mod frame;
 pub mod handlers;
+pub mod jobs;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
 pub use cache::{CacheStats, ResponseCache};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, FleetClient};
+pub use fleet::{start_fleet, FleetConfig, FleetHandle, HashRing};
 pub use frame::{read_frame, write_frame, FrameError, FramePoll, FrameReader, MAX_FRAME_BYTES};
 pub use handlers::execute;
 pub use hfast_core::Strategy;
+pub use jobs::{Fetched, JobQueue};
 pub use protocol::{
-    decode_request, decode_response, encode_request, encode_response, request_key, AppSpec,
-    FabricSpec, FaultSpec, Request, Response, TdcRow, ENDPOINTS,
+    decode_request, decode_request_versioned, decode_response, decode_response_versioned,
+    encode_request, encode_request_versioned, encode_response, encode_response_versioned,
+    envelope_v2, request_key, AppSpec, FabricSpec, FaultSpec, JobState, JobTotals, Request,
+    Response, TdcRow, VerbHandler, VerbSpec, WireVersion, ENDPOINTS, VERBS,
 };
 pub use registry::Registry;
 pub use server::{start, ServerConfig, ServerHandle};

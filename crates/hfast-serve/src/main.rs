@@ -14,7 +14,9 @@
 
 use std::process::ExitCode;
 
-use hfast_serve::{start, AppSpec, Client, FabricSpec, Request, Response, ServerConfig};
+use hfast_serve::{
+    start, AppSpec, Client, FabricSpec, JobState, Request, Response, ServerConfig, WireVersion,
+};
 
 fn self_test() -> Result<(), String> {
     // The debug_panic probe panics a worker on purpose; one quiet line
@@ -93,6 +95,47 @@ fn self_test() -> Result<(), String> {
         }) if (completed, delivered_bytes) == first => {}
         other => return Err(format!("simulate repeat: unexpected {other:?}")),
     }
+    // The same cached answer through the v2 envelope: version negotiation
+    // must not change what the daemon computes.
+    match client.call_versioned(&sim, WireVersion::V2) {
+        Ok(Response::SimReport {
+            completed,
+            delivered_bytes,
+            ..
+        }) if (completed, delivered_bytes) == first => {}
+        other => return Err(format!("simulate (v2): unexpected {other:?}")),
+    }
+    // Submit the same work as a durable job and drive it to completion.
+    let job_id = match client.call(&Request::Submit {
+        job: Box::new(sim.clone()),
+    }) {
+        Ok(Response::JobAccepted { id }) => id,
+        other => return Err(format!("submit: unexpected {other:?}")),
+    };
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match client.call(&Request::Poll { id: job_id }) {
+            Ok(Response::JobStatus {
+                state: JobState::Done,
+                ..
+            }) => break,
+            Ok(Response::JobStatus { state, .. }) if !state.is_terminal() => {
+                if std::time::Instant::now() >= deadline {
+                    return Err("poll: job never finished".into());
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            other => return Err(format!("poll: unexpected {other:?}")),
+        }
+    }
+    match client.call(&Request::Fetch { id: job_id }) {
+        Ok(Response::SimReport {
+            completed,
+            delivered_bytes,
+            ..
+        }) if (completed, delivered_bytes) == first => {}
+        other => return Err(format!("fetch: unexpected {other:?}")),
+    }
     match client.call(&Request::DebugPanic) {
         Ok(Response::Error { message }) if message.contains("panicked") => {}
         other => return Err(format!("debug_panic: unexpected {other:?}")),
@@ -104,12 +147,14 @@ fn self_test() -> Result<(), String> {
             cache_hits,
             sim_events,
             strategy_hits,
+            jobs,
             ..
         }) if requests >= 7
             && cache_hits >= 1
             && sim_events > 0
             && strategy_hits[0] >= 1
-            && strategy_hits[1] >= 1 => {}
+            && strategy_hits[1] >= 1
+            && jobs.completed >= 1 => {}
         other => return Err(format!("stats: unexpected {other:?}")),
     }
     match client.call(&Request::Shutdown) {

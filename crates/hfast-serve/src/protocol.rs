@@ -13,11 +13,34 @@
 //! protocol — they are exact only up to 2^53 (the f64 mantissa). Every
 //! field carried here (byte counts, nanoseconds, port counts, seeds)
 //! fits comfortably; values beyond that round.
+//!
+//! ## Wire versions
+//!
+//! Two envelopes share one body grammar. **v1** is the untagged PR-6/
+//! PR-7 format: the body object *is* the frame
+//! (`{"type":"provision",...}`), and it stays byte-identical forever —
+//! pinned by the wire-golden tests so old clients never break. **v2**
+//! prefixes the same body with a version tag as the first field
+//! (`{"v":2,"type":"provision",...}`). A frame with no `"v"` field is
+//! v1; the server answers every request in the version it arrived in.
+//! Cache keys are always derived from the canonical **v1** body, so both
+//! generations share one cache.
+//!
+//! ## The verb table
+//!
+//! Every verb is one [`VerbSpec`] row in [`VERBS`]: its wire name,
+//! whether responses are cacheable, whether it may ride the durable job
+//! queue, and how it is handled (in the server's connection thread or by
+//! a pure worker function). [`ENDPOINTS`], the metric labels, the cache
+//! admission test, and worker dispatch are all derived from the table —
+//! adding a verb is one row plus its codec arms.
 
 use hfast_core::Strategy;
 use hfast_obs::JsonObj;
 use hfast_topology::{CommGraph, EdgeStat};
 use hfast_trace::json::{self, JsonValue};
+
+use crate::registry::Registry;
 
 /// How a request names the application whose communication graph drives
 /// the analysis.
@@ -97,6 +120,79 @@ pub struct FaultSpec {
     pub downtime_ns: Option<u64>,
 }
 
+/// Which envelope a frame used (and its answer must use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireVersion {
+    /// Untagged body object — the PR-6/PR-7 format, frozen forever.
+    #[default]
+    V1,
+    /// `{"v":2,...}`-tagged body.
+    V2,
+}
+
+/// Lifecycle state of a queued job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted (journaled when a journal is configured), not yet run.
+    Queued,
+    /// Executing on a job worker right now.
+    Running,
+    /// Finished; the result is ready to `fetch`.
+    Done,
+    /// Exhausted its retry budget or hit a terminal error.
+    Failed,
+    /// Cancelled before it ran.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire name of this state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a wire name back into a state.
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            _ => return None,
+        })
+    }
+
+    /// True once the job can never change state again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// Lifetime job-queue totals reported by the `stats` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobTotals {
+    /// Jobs accepted by `submit`.
+    pub submitted: u64,
+    /// Jobs that finished with a result.
+    pub completed: u64,
+    /// Jobs that exhausted retries or hit a terminal error.
+    pub failed: u64,
+    /// Jobs cancelled before running.
+    pub cancelled: u64,
+    /// Re-admissions after a failed attempt.
+    pub retried: u64,
+}
+
 /// One request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -151,55 +247,192 @@ pub enum Request {
     Shutdown,
     /// Panic inside a worker (panic-isolation testing only).
     DebugPanic,
+    /// Enqueue a queueable request as a durable job; answers
+    /// [`Response::JobAccepted`] immediately.
+    Submit {
+        /// The request to run asynchronously (must be queueable per its
+        /// [`VerbSpec`]).
+        job: Box<Request>,
+    },
+    /// Ask for a job's status without consuming anything.
+    Poll {
+        /// Job id from [`Response::JobAccepted`].
+        id: u64,
+    },
+    /// Retrieve a finished job's result; answers the job's own response
+    /// when done, [`Response::JobStatus`] while it is still pending.
+    /// Idempotent: fetching never consumes the result.
+    Fetch {
+        /// Job id from [`Response::JobAccepted`].
+        id: u64,
+    },
+    /// Cancel a queued job (running or terminal jobs are unaffected);
+    /// answers the job's resulting status.
+    Cancel {
+        /// Job id from [`Response::JobAccepted`].
+        id: u64,
+    },
 }
 
+/// How a verb is executed.
+#[derive(Debug, Clone, Copy)]
+pub enum VerbHandler {
+    /// Answered in the server's connection thread (health, stats, drain,
+    /// job-queue bookkeeping) — never reaches the worker pool.
+    Server,
+    /// Executed by this pure function on a compute worker (or a job
+    /// worker when submitted through the queue).
+    Worker(fn(&Request, &Registry) -> Response),
+}
+
+/// One row of the declarative verb table: everything the server needs to
+/// know about a verb besides its codec arms.
+#[derive(Debug, Clone, Copy)]
+pub struct VerbSpec {
+    /// Wire name (`"type"` field) and metric label.
+    pub name: &'static str,
+    /// True when the response is a pure function of the request and may
+    /// be cached under its canonical-encoding key.
+    pub cacheable: bool,
+    /// True when the verb may be wrapped in `submit` and ride the
+    /// durable job queue.
+    pub queueable: bool,
+    /// Where the verb executes.
+    pub handler: VerbHandler,
+}
+
+/// The verb table. Index order is frozen: the first eight rows predate
+/// the table (their metric indexes are pinned by recorded observability),
+/// new verbs append.
+pub const VERBS: [VerbSpec; 12] = [
+    VerbSpec {
+        name: "health",
+        cacheable: false,
+        queueable: false,
+        handler: VerbHandler::Server,
+    },
+    VerbSpec {
+        name: "stats",
+        cacheable: false,
+        queueable: false,
+        handler: VerbHandler::Server,
+    },
+    VerbSpec {
+        name: "provision",
+        cacheable: true,
+        queueable: false,
+        handler: VerbHandler::Worker(crate::handlers::provision),
+    },
+    VerbSpec {
+        name: "cost",
+        cacheable: true,
+        queueable: false,
+        handler: VerbHandler::Worker(crate::handlers::cost),
+    },
+    VerbSpec {
+        name: "tdc",
+        cacheable: true,
+        queueable: false,
+        handler: VerbHandler::Worker(crate::handlers::tdc),
+    },
+    VerbSpec {
+        name: "simulate",
+        cacheable: true,
+        queueable: true,
+        handler: VerbHandler::Worker(crate::handlers::simulate),
+    },
+    VerbSpec {
+        name: "shutdown",
+        cacheable: false,
+        queueable: false,
+        handler: VerbHandler::Server,
+    },
+    VerbSpec {
+        name: "debug_panic",
+        cacheable: false,
+        // Queueable so the job queue's retry/backoff path has a
+        // deterministic failure to exercise.
+        queueable: true,
+        handler: VerbHandler::Worker(crate::handlers::debug_panic),
+    },
+    VerbSpec {
+        name: "submit",
+        cacheable: false,
+        queueable: false,
+        handler: VerbHandler::Server,
+    },
+    VerbSpec {
+        name: "poll",
+        cacheable: false,
+        queueable: false,
+        handler: VerbHandler::Server,
+    },
+    VerbSpec {
+        name: "fetch",
+        cacheable: false,
+        queueable: false,
+        handler: VerbHandler::Server,
+    },
+    VerbSpec {
+        name: "cancel",
+        cacheable: false,
+        queueable: false,
+        handler: VerbHandler::Server,
+    },
+];
+
 impl Request {
+    /// Index of this request's row in [`VERBS`] — the only hand-written
+    /// request-shape match left; everything else derives from the table.
+    pub fn verb_index(&self) -> usize {
+        match self {
+            Request::Health => 0,
+            Request::Stats => 1,
+            Request::Provision { .. } => 2,
+            Request::Cost { .. } => 3,
+            Request::Tdc { .. } => 4,
+            Request::Simulate { .. } => 5,
+            Request::Shutdown => 6,
+            Request::DebugPanic => 7,
+            Request::Submit { .. } => 8,
+            Request::Poll { .. } => 9,
+            Request::Fetch { .. } => 10,
+            Request::Cancel { .. } => 11,
+        }
+    }
+
+    /// This request's [`VerbSpec`] row.
+    pub fn spec(&self) -> &'static VerbSpec {
+        &VERBS[self.verb_index()]
+    }
+
     /// True for requests whose response is a pure function of the request
     /// and therefore cacheable.
     pub fn cacheable(&self) -> bool {
-        matches!(
-            self,
-            Request::Provision { .. }
-                | Request::Cost { .. }
-                | Request::Tdc { .. }
-                | Request::Simulate { .. }
-        )
+        self.spec().cacheable
     }
 
     /// The endpoint label used in metrics, one of [`ENDPOINTS`].
     pub fn endpoint(&self) -> &'static str {
-        match self {
-            Request::Health => "health",
-            Request::Stats => "stats",
-            Request::Provision { .. } => "provision",
-            Request::Cost { .. } => "cost",
-            Request::Tdc { .. } => "tdc",
-            Request::Simulate { .. } => "simulate",
-            Request::Shutdown => "shutdown",
-            Request::DebugPanic => "debug_panic",
-        }
+        self.spec().name
     }
 
     /// Index of this request's endpoint in [`ENDPOINTS`].
     pub fn endpoint_index(&self) -> usize {
-        ENDPOINTS
-            .iter()
-            .position(|&e| e == self.endpoint())
-            .expect("every endpoint is listed")
+        self.verb_index()
     }
 }
 
-/// Metric labels for every endpoint, in a fixed order.
-pub const ENDPOINTS: [&str; 8] = [
-    "health",
-    "stats",
-    "provision",
-    "cost",
-    "tdc",
-    "simulate",
-    "shutdown",
-    "debug_panic",
-];
+/// Metric labels for every endpoint, in [`VERBS`] order.
+pub const ENDPOINTS: [&str; VERBS.len()] = {
+    let mut names = [""; VERBS.len()];
+    let mut i = 0;
+    while i < VERBS.len() {
+        names[i] = VERBS[i].name;
+        i += 1;
+    }
+    names
+};
 
 /// One row of a TDC sweep response.
 #[derive(Debug, Clone, PartialEq)]
@@ -252,6 +485,12 @@ pub enum Response {
         /// [`Strategy::ALL`] order (cache hits do not re-execute and are
         /// not counted).
         strategy_hits: [u64; 3],
+        /// Profiled app graphs resident in the registry.
+        graphs: u64,
+        /// Built fabrics resident in the registry.
+        fabrics: u64,
+        /// Durable-job-queue lifetime totals.
+        jobs: JobTotals,
     },
     /// Provisioning summary for one app graph.
     Provisioned {
@@ -306,6 +545,22 @@ pub enum Response {
         total_retries: u64,
         /// Mid-run circuit re-provisioning rounds.
         reprovisions: usize,
+    },
+    /// A job was accepted onto the durable queue.
+    JobAccepted {
+        /// The id to `poll`/`fetch`/`cancel` with.
+        id: u64,
+    },
+    /// A job's current status (`poll`, a pending `fetch`, or `cancel`).
+    JobStatus {
+        /// The job id asked about.
+        id: u64,
+        /// Lifecycle state right now.
+        state: JobState,
+        /// Admissions so far (1 = first attempt running or finished).
+        attempts: u32,
+        /// Failure cause; present only for [`JobState::Failed`].
+        message: Option<String>,
     },
     /// Load shed: the admission queue was full. Retry later.
     Busy,
@@ -365,12 +620,49 @@ fn encode_faults(f: &FaultSpec) -> String {
     obj.finish()
 }
 
+/// Wraps a canonical v1 body in the v2 envelope: the version tag becomes
+/// the object's first field, everything else is byte-identical.
+pub fn envelope_v2(body: &str) -> String {
+    debug_assert!(body.len() > 2 && body.starts_with('{'), "body is an object");
+    let mut out = String::with_capacity(body.len() + 6);
+    out.push_str("{\"v\":2,");
+    out.push_str(&body[1..]);
+    out
+}
+
+/// Encodes a request under the given wire version (v1 is canonical; v2
+/// adds the envelope tag).
+pub fn encode_request_versioned(req: &Request, version: WireVersion) -> String {
+    let body = encode_request(req);
+    match version {
+        WireVersion::V1 => body,
+        WireVersion::V2 => envelope_v2(&body),
+    }
+}
+
+/// Encodes a response under the given wire version.
+pub fn encode_response_versioned(resp: &Response, version: WireVersion) -> String {
+    let body = encode_response(resp);
+    match version {
+        WireVersion::V1 => body,
+        WireVersion::V2 => envelope_v2(&body),
+    }
+}
+
 /// Encodes a request canonically (the encoding is the cache-key basis).
 pub fn encode_request(req: &Request) -> String {
     match req {
         Request::Health | Request::Stats | Request::Shutdown | Request::DebugPanic => {
             JsonObj::new().str("type", req.endpoint()).finish()
         }
+        Request::Submit { job } => JsonObj::new()
+            .str("type", "submit")
+            .raw("job", &encode_request(job))
+            .finish(),
+        Request::Poll { id } | Request::Fetch { id } | Request::Cancel { id } => JsonObj::new()
+            .str("type", req.endpoint())
+            .u64("id", *id)
+            .finish(),
         Request::Provision {
             app,
             block_ports,
@@ -457,11 +749,21 @@ pub fn encode_response(resp: &Response) -> String {
             sim_events,
             sim_events_per_sec,
             strategy_hits,
+            graphs,
+            fabrics,
+            jobs,
         } => {
             let mut hits = JsonObj::new();
             for (s, &count) in Strategy::ALL.iter().zip(strategy_hits) {
                 hits = hits.u64(s.as_str(), count);
             }
+            let job_obj = JsonObj::new()
+                .u64("submitted", jobs.submitted)
+                .u64("completed", jobs.completed)
+                .u64("failed", jobs.failed)
+                .u64("cancelled", jobs.cancelled)
+                .u64("retried", jobs.retried)
+                .finish();
             JsonObj::new()
                 .str("type", "stats")
                 .u64("requests", *requests)
@@ -474,6 +776,9 @@ pub fn encode_response(resp: &Response) -> String {
                 .u64("sim_events", *sim_events)
                 .u64("sim_events_per_sec", *sim_events_per_sec)
                 .raw("strategy_hits", &hits.finish())
+                .u64("graphs", *graphs)
+                .u64("fabrics", *fabrics)
+                .raw("jobs", &job_obj)
                 .finish()
         }
         Response::Provisioned {
@@ -547,6 +852,24 @@ pub fn encode_response(resp: &Response) -> String {
             .u64("total_retries", *total_retries)
             .usize("reprovisions", *reprovisions)
             .finish(),
+        Response::JobAccepted { id } => JsonObj::new().str("type", "job").u64("id", *id).finish(),
+        Response::JobStatus {
+            id,
+            state,
+            attempts,
+            message,
+        } => {
+            let mut obj = JsonObj::new()
+                .str("type", "job_status")
+                .u64("id", *id)
+                .str("state", state.as_str())
+                .u64("attempts", u64::from(*attempts));
+            // Omitted unless present, keeping the common statuses short.
+            if let Some(m) = message {
+                obj = obj.str("message", m);
+            }
+            obj.finish()
+        }
         Response::Busy => JsonObj::new().str("type", "busy").finish(),
         Response::Ok => JsonObj::new().str("type", "ok").finish(),
         Response::Error { message } => JsonObj::new()
@@ -678,24 +1001,49 @@ fn decode_faults(v: &JsonValue) -> Result<Option<FaultSpec>, String> {
     }))
 }
 
-/// Decodes one request frame.
-pub fn decode_request(text: &str) -> Result<Request, String> {
+/// Reads the envelope version of a parsed frame: no `"v"` field is v1,
+/// `"v":2` is v2, anything else is from the future and refused.
+pub fn wire_version(v: &JsonValue) -> Result<WireVersion, String> {
+    match v.get("v") {
+        None => Ok(WireVersion::V1),
+        Some(tag) => match tag.as_u64() {
+            Some(2) => Ok(WireVersion::V2),
+            Some(other) => Err(format!("unsupported wire version {other}")),
+            None => Err("wire version tag must be an integer".into()),
+        },
+    }
+}
+
+/// Decodes one request frame in either envelope, reporting which one it
+/// used so the response can answer in kind.
+pub fn decode_request_versioned(text: &str) -> Result<(Request, WireVersion), String> {
     let v = json::parse(text)?;
-    match need_str(&v, "type")? {
+    let version = wire_version(&v)?;
+    Ok((decode_request_value(&v)?, version))
+}
+
+/// Decodes one request frame (either envelope; the version is dropped —
+/// use [`decode_request_versioned`] to answer in kind).
+pub fn decode_request(text: &str) -> Result<Request, String> {
+    decode_request_versioned(text).map(|(req, _)| req)
+}
+
+fn decode_request_value(v: &JsonValue) -> Result<Request, String> {
+    match need_str(v, "type")? {
         "health" => Ok(Request::Health),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         "debug_panic" => Ok(Request::DebugPanic),
         "provision" => Ok(Request::Provision {
-            app: decode_app(&v)?,
-            block_ports: need_usize(&v, "block_ports")?,
-            cutoff: need_u64(&v, "cutoff")?,
-            strategy: decode_strategy(&v)?,
+            app: decode_app(v)?,
+            block_ports: need_usize(v, "block_ports")?,
+            cutoff: need_u64(v, "cutoff")?,
+            strategy: decode_strategy(v)?,
         }),
         "cost" => Ok(Request::Cost {
-            app: decode_app(&v)?,
-            block_ports: need_usize(&v, "block_ports")?,
-            cutoff: need_u64(&v, "cutoff")?,
+            app: decode_app(v)?,
+            block_ports: need_usize(v, "block_ports")?,
+            cutoff: need_u64(v, "cutoff")?,
         }),
         "tdc" => {
             let arr = v
@@ -707,28 +1055,56 @@ pub fn decode_request(text: &str) -> Result<Request, String> {
                 cutoffs.push(c.as_u64().ok_or("cutoffs are integers")?);
             }
             Ok(Request::Tdc {
-                app: decode_app(&v)?,
+                app: decode_app(v)?,
                 cutoffs,
             })
         }
         "simulate" => Ok(Request::Simulate {
-            app: decode_app(&v)?,
-            fabric: decode_fabric(&v)?,
-            cutoff: need_u64(&v, "cutoff")?,
-            faults: decode_faults(&v)?,
-            strategy: decode_strategy(&v)?,
+            app: decode_app(v)?,
+            fabric: decode_fabric(v)?,
+            cutoff: need_u64(v, "cutoff")?,
+            faults: decode_faults(v)?,
+            strategy: decode_strategy(v)?,
+        }),
+        "submit" => {
+            let job = v.get("job").ok_or("submit needs a \"job\" object")?;
+            let job = decode_request_value(job)?;
+            if !job.spec().queueable {
+                return Err(format!("verb {:?} is not queueable", job.endpoint()));
+            }
+            Ok(Request::Submit { job: Box::new(job) })
+        }
+        "poll" => Ok(Request::Poll {
+            id: need_u64(v, "id")?,
+        }),
+        "fetch" => Ok(Request::Fetch {
+            id: need_u64(v, "id")?,
+        }),
+        "cancel" => Ok(Request::Cancel {
+            id: need_u64(v, "id")?,
         }),
         other => Err(format!("unknown request type {other:?}")),
     }
 }
 
-/// Decodes one response frame.
-pub fn decode_response(text: &str) -> Result<Response, String> {
+/// Decodes one response frame in either envelope, reporting which one it
+/// used.
+pub fn decode_response_versioned(text: &str) -> Result<(Response, WireVersion), String> {
     let v = json::parse(text)?;
-    match need_str(&v, "type")? {
+    let version = wire_version(&v)?;
+    Ok((decode_response_value(&v)?, version))
+}
+
+/// Decodes one response frame (either envelope).
+pub fn decode_response(text: &str) -> Result<Response, String> {
+    decode_response_versioned(text).map(|(resp, _)| resp)
+}
+
+fn decode_response_value(v: &JsonValue) -> Result<Response, String> {
+    match need_str(v, "type")? {
         "health" => Ok(Response::Health {
-            workers: need_usize(&v, "workers")?,
-            queue: need_usize(&v, "queue")?,
+            workers: need_usize(v, "workers")?,
+            queue: need_usize(v, "queue")?,
         }),
         "stats" => {
             let hits = v.get("strategy_hits").ok_or("stats needs strategy_hits")?;
@@ -736,34 +1112,45 @@ pub fn decode_response(text: &str) -> Result<Response, String> {
             for (s, slot) in Strategy::ALL.iter().zip(strategy_hits.iter_mut()) {
                 *slot = need_u64(hits, s.as_str())?;
             }
+            let job_obj = v.get("jobs").ok_or("stats needs jobs")?;
+            let jobs = JobTotals {
+                submitted: need_u64(job_obj, "submitted")?,
+                completed: need_u64(job_obj, "completed")?,
+                failed: need_u64(job_obj, "failed")?,
+                cancelled: need_u64(job_obj, "cancelled")?,
+                retried: need_u64(job_obj, "retried")?,
+            };
             Ok(Response::Stats {
-                requests: need_u64(&v, "requests")?,
-                shed: need_u64(&v, "shed")?,
-                cache_hits: need_u64(&v, "cache_hits")?,
-                cache_misses: need_u64(&v, "cache_misses")?,
-                cache_evictions: need_u64(&v, "cache_evictions")?,
-                cache_entries: need_u64(&v, "cache_entries")?,
-                cache_bytes: need_u64(&v, "cache_bytes")?,
-                sim_events: need_u64(&v, "sim_events")?,
-                sim_events_per_sec: need_u64(&v, "sim_events_per_sec")?,
+                requests: need_u64(v, "requests")?,
+                shed: need_u64(v, "shed")?,
+                cache_hits: need_u64(v, "cache_hits")?,
+                cache_misses: need_u64(v, "cache_misses")?,
+                cache_evictions: need_u64(v, "cache_evictions")?,
+                cache_entries: need_u64(v, "cache_entries")?,
+                cache_bytes: need_u64(v, "cache_bytes")?,
+                sim_events: need_u64(v, "sim_events")?,
+                sim_events_per_sec: need_u64(v, "sim_events_per_sec")?,
                 strategy_hits,
+                graphs: need_u64(v, "graphs")?,
+                fabrics: need_u64(v, "fabrics")?,
+                jobs,
             })
         }
         "provisioned" => Ok(Response::Provisioned {
-            n: need_usize(&v, "n")?,
-            blocks: need_usize(&v, "blocks")?,
-            total_block_ports: need_usize(&v, "total_block_ports")?,
-            circuit_ports: need_usize(&v, "circuit_ports")?,
-            ports_per_node: need_f64(&v, "ports_per_node")?,
-            max_switch_hops: need_usize(&v, "max_switch_hops")?,
+            n: need_usize(v, "n")?,
+            blocks: need_usize(v, "blocks")?,
+            total_block_ports: need_usize(v, "total_block_ports")?,
+            circuit_ports: need_usize(v, "circuit_ports")?,
+            ports_per_node: need_f64(v, "ports_per_node")?,
+            max_switch_hops: need_usize(v, "max_switch_hops")?,
         }),
         "cost" => Ok(Response::CostReport {
-            hfast: need_f64(&v, "hfast")?,
-            fat_tree: need_f64(&v, "fat_tree")?,
-            ratio: need_f64(&v, "ratio")?,
-            hfast_wins: need_bool(&v, "hfast_wins")?,
-            hfast_ports_per_node: need_f64(&v, "hfast_ports_per_node")?,
-            fat_tree_ports_per_node: need_usize(&v, "fat_tree_ports_per_node")?,
+            hfast: need_f64(v, "hfast")?,
+            fat_tree: need_f64(v, "fat_tree")?,
+            ratio: need_f64(v, "ratio")?,
+            hfast_wins: need_bool(v, "hfast_wins")?,
+            hfast_ports_per_node: need_f64(v, "hfast_ports_per_node")?,
+            fat_tree_ports_per_node: need_usize(v, "fat_tree_ports_per_node")?,
         }),
         "tdc" => {
             let arr = v
@@ -783,19 +1170,36 @@ pub fn decode_response(text: &str) -> Result<Response, String> {
             Ok(Response::TdcReport { rows })
         }
         "sim" => Ok(Response::SimReport {
-            completed: need_usize(&v, "completed")?,
-            unrouted: need_usize(&v, "unrouted")?,
-            abandoned: need_usize(&v, "abandoned")?,
-            delivered_bytes: need_u64(&v, "delivered_bytes")?,
-            max_latency_ns: need_u64(&v, "max_latency_ns")?,
-            makespan_ns: need_u64(&v, "makespan_ns")?,
-            total_retries: need_u64(&v, "total_retries")?,
-            reprovisions: need_usize(&v, "reprovisions")?,
+            completed: need_usize(v, "completed")?,
+            unrouted: need_usize(v, "unrouted")?,
+            abandoned: need_usize(v, "abandoned")?,
+            delivered_bytes: need_u64(v, "delivered_bytes")?,
+            max_latency_ns: need_u64(v, "max_latency_ns")?,
+            makespan_ns: need_u64(v, "makespan_ns")?,
+            total_retries: need_u64(v, "total_retries")?,
+            reprovisions: need_usize(v, "reprovisions")?,
         }),
+        "job" => Ok(Response::JobAccepted {
+            id: need_u64(v, "id")?,
+        }),
+        "job_status" => {
+            let state = JobState::parse(need_str(v, "state")?)
+                .ok_or_else(|| "unknown job state".to_string())?;
+            let message = match v.get("message") {
+                None => None,
+                Some(m) => Some(m.as_str().ok_or("message is a string")?.to_string()),
+            };
+            Ok(Response::JobStatus {
+                id: need_u64(v, "id")?,
+                state,
+                attempts: need_u64(v, "attempts")? as u32,
+                message,
+            })
+        }
         "busy" => Ok(Response::Busy),
         "ok" => Ok(Response::Ok),
         "error" => Ok(Response::Error {
-            message: need_str(&v, "message")?.to_string(),
+            message: need_str(v, "message")?.to_string(),
         }),
         other => Err(format!("unknown response type {other:?}")),
     }
@@ -882,6 +1286,21 @@ mod tests {
                 faults: None,
                 strategy: Some(Strategy::DemandDecomp),
             },
+            Request::Submit {
+                job: Box::new(Request::Simulate {
+                    app: AppSpec::Named {
+                        name: "GTC".into(),
+                        procs: 64,
+                    },
+                    fabric: FabricSpec::Hfast,
+                    cutoff: 2048,
+                    faults: None,
+                    strategy: None,
+                }),
+            },
+            Request::Poll { id: 7 },
+            Request::Fetch { id: (3 << 40) | 9 },
+            Request::Cancel { id: 0 },
         ];
         for req in reqs {
             let enc = encode_request(&req);
@@ -912,11 +1331,51 @@ mod tests {
                     median: 5,
                 }],
             },
+            Response::Stats {
+                requests: 10,
+                shed: 1,
+                cache_hits: 4,
+                cache_misses: 6,
+                cache_evictions: 0,
+                cache_entries: 6,
+                cache_bytes: 1234,
+                sim_events: 99,
+                sim_events_per_sec: 1_000_000,
+                strategy_hits: [3, 2, 1],
+                graphs: 5,
+                fabrics: 2,
+                jobs: JobTotals {
+                    submitted: 4,
+                    completed: 2,
+                    failed: 1,
+                    cancelled: 1,
+                    retried: 3,
+                },
+            },
+            Response::JobAccepted { id: (1 << 40) | 12 },
+            Response::JobStatus {
+                id: 12,
+                state: JobState::Running,
+                attempts: 2,
+                message: None,
+            },
+            Response::JobStatus {
+                id: 13,
+                state: JobState::Failed,
+                attempts: 4,
+                message: Some("panicked: \"boom\"".into()),
+            },
         ];
         for resp in resps {
             let enc = encode_response(&resp);
             let dec = decode_response(&enc).expect("canonical encoding decodes");
             assert_eq!(dec, resp, "round trip changed {enc}");
+            // The v2 wrap of the same body must round-trip too, and report
+            // its version.
+            let v2 = envelope_v2(&enc);
+            let (dec2, ver) = decode_response_versioned(&v2).expect("v2 decodes");
+            assert_eq!(dec2, resp);
+            assert_eq!(ver, WireVersion::V2);
         }
     }
 
@@ -991,5 +1450,134 @@ mod tests {
         assert!(decode_request(r#"{"type":"warp"}"#).is_err());
         assert!(decode_request(r#"{"type":"tdc","app":{"name":"GTC"}}"#).is_err());
         assert!(decode_request(r#"{"type":"provision","app":{"n":2,"edges":[[0]]}}"#).is_err());
+        // v3 does not exist yet; refusing it beats misreading it as v1.
+        assert!(decode_request(r#"{"v":3,"type":"health"}"#).is_err());
+        assert!(decode_request(r#"{"v":2,"type":"warp"}"#).is_err());
+    }
+
+    /// The v2 envelope is the v1 body with a leading `"v":2` member: same
+    /// canonical field order after the tag, and `decode_request_versioned`
+    /// reports which envelope arrived so the server can answer in kind.
+    #[test]
+    fn v2_envelope_wraps_the_v1_body() {
+        let provision = Request::Provision {
+            app: AppSpec::Named {
+                name: "GTC".into(),
+                procs: 64,
+            },
+            block_ports: 16,
+            cutoff: 2048,
+            strategy: None,
+        };
+        assert_eq!(
+            encode_request_versioned(&provision, WireVersion::V2),
+            r#"{"v":2,"type":"provision","app":{"name":"GTC","procs":64},"block_ports":16,"cutoff":2048}"#
+        );
+        assert_eq!(
+            encode_request_versioned(&provision, WireVersion::V1),
+            encode_request(&provision)
+        );
+        let (dec, ver) =
+            decode_request_versioned(&encode_request_versioned(&provision, WireVersion::V2))
+                .expect("v2 decodes");
+        assert_eq!(dec, provision);
+        assert_eq!(ver, WireVersion::V2);
+        let (dec, ver) = decode_request_versioned(&encode_request(&provision)).expect("v1 decodes");
+        assert_eq!(dec, provision);
+        assert_eq!(ver, WireVersion::V1);
+        // Cache keys are always computed over the canonical v1 body, so a
+        // v2 client shares cached entries with v1 clients.
+        assert_ne!(
+            request_key(&encode_request(&provision)),
+            request_key(&encode_request_versioned(&provision, WireVersion::V2)),
+        );
+        assert_eq!(
+            encode_response_versioned(&Response::Busy, WireVersion::V2),
+            r#"{"v":2,"type":"busy"}"#
+        );
+    }
+
+    /// Job verbs pin their wire form: submit nests the inner request
+    /// verbatim, poll/fetch/cancel are `{"type":...,"id":N}`.
+    #[test]
+    fn job_verbs_pin_their_wire_format() {
+        let submit = Request::Submit {
+            job: Box::new(Request::Simulate {
+                app: AppSpec::Named {
+                    name: "GTC".into(),
+                    procs: 64,
+                },
+                fabric: FabricSpec::Hfast,
+                cutoff: 2048,
+                faults: None,
+                strategy: None,
+            }),
+        };
+        assert_eq!(
+            encode_request(&submit),
+            r#"{"type":"submit","job":{"type":"simulate","app":{"name":"GTC","procs":64},"fabric":{"kind":"hfast"},"cutoff":2048}}"#
+        );
+        assert_eq!(
+            encode_request(&Request::Poll { id: 7 }),
+            r#"{"type":"poll","id":7}"#
+        );
+        assert_eq!(
+            encode_response(&Response::JobAccepted { id: 7 }),
+            r#"{"type":"job","id":7}"#
+        );
+        assert_eq!(
+            encode_response(&Response::JobStatus {
+                id: 7,
+                state: JobState::Queued,
+                attempts: 0,
+                message: None,
+            }),
+            r#"{"type":"job_status","id":7,"state":"queued","attempts":0}"#
+        );
+        // Only simulate-shaped work (and the deterministic panic probe) is
+        // queueable; submitting a submit is a decode-level error.
+        let nested = r#"{"type":"submit","job":{"type":"submit","job":{"type":"health"}}}"#;
+        assert!(decode_request(nested).is_err());
+        let unqueueable = r#"{"type":"submit","job":{"type":"health"}}"#;
+        assert!(decode_request(unqueueable).is_err());
+    }
+
+    /// The verb table is the single source of truth: every row's name is
+    /// the endpoint string, indexes match `verb_index`, and the first
+    /// eight rows keep their pre-table order (obs metric stability).
+    #[test]
+    fn verb_table_is_consistent() {
+        assert_eq!(VERBS.len(), ENDPOINTS.len());
+        for (i, spec) in VERBS.iter().enumerate() {
+            assert_eq!(spec.name, ENDPOINTS[i]);
+        }
+        assert_eq!(
+            &ENDPOINTS[..8],
+            &[
+                "health",
+                "stats",
+                "provision",
+                "cost",
+                "tdc",
+                "simulate",
+                "shutdown",
+                "debug_panic"
+            ]
+        );
+        let poll = Request::Poll { id: 1 };
+        assert_eq!(poll.endpoint(), "poll");
+        assert_eq!(ENDPOINTS[poll.endpoint_index()], "poll");
+        assert!(!poll.cacheable());
+        // Queueable rows are exactly simulate and debug_panic.
+        let queueable: Vec<&str> = VERBS
+            .iter()
+            .filter(|s| s.queueable)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(queueable, ["simulate", "debug_panic"]);
+        // Cacheable rows never include the stateful job verbs.
+        for spec in VERBS.iter().filter(|s| s.cacheable) {
+            assert!(matches!(spec.handler, VerbHandler::Worker(_)));
+        }
     }
 }

@@ -95,6 +95,14 @@ impl Registry {
         self.strategy_hits[idx].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// How many memoized (graph, fabric) entries are resident — reported
+    /// by the stats verb so operators can watch registry growth.
+    pub fn entry_counts(&self) -> (u64, u64) {
+        let graphs = self.graphs.lock().expect("graphs poisoned").len() as u64;
+        let fabrics = self.fabrics.lock().expect("fabrics poisoned").len() as u64;
+        (graphs, fabrics)
+    }
+
     /// Per-strategy execution counts, in [`Strategy::ALL`] order.
     pub fn strategy_hits(&self) -> [u64; 3] {
         [

@@ -34,20 +34,24 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use hfast_netsim::RetryPolicy;
 use hfast_obs::ServeObs;
 use hfast_trace::{perfetto, server_span_id, TraceRecorder, Track};
 
 use crate::cache::ResponseCache;
 use crate::frame::{write_frame, FrameError, FramePoll, FrameReader};
 use crate::handlers::execute;
+use crate::jobs::{Fetched, JobQueue};
 use crate::protocol::{
-    decode_request, encode_request, encode_response, request_key, Request, Response, ENDPOINTS,
+    decode_request_versioned, encode_request, encode_response, request_key, Request, Response,
+    WireVersion, ENDPOINTS,
 };
 use crate::registry::Registry;
 
@@ -71,6 +75,14 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// Per-request queue deadline (`HFAST_SERVE_DEADLINE_MS`).
     pub deadline: Duration,
+    /// Job worker threads for the durable queue
+    /// (`HFAST_SERVE_JOB_WORKERS`).
+    pub job_workers: usize,
+    /// Job-journal path (`HFAST_SERVE_JOURNAL`); `None` keeps the queue
+    /// in memory only.
+    pub journal: Option<PathBuf>,
+    /// Retry policy for panicking job attempts.
+    pub job_retry: RetryPolicy,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +93,9 @@ impl Default for ServerConfig {
             cache_bytes: 4 << 20,
             cache_shards: 8,
             deadline: Duration::from_millis(10_000),
+            job_workers: 1,
+            journal: None,
+            job_retry: RetryPolicy::default(),
         }
     }
 }
@@ -107,6 +122,12 @@ impl ServerConfig {
                 "HFAST_SERVE_DEADLINE_MS",
                 d.deadline.as_millis() as usize,
             ) as u64),
+            job_workers: env_nonzero("HFAST_SERVE_JOB_WORKERS", d.job_workers),
+            journal: std::env::var("HFAST_SERVE_JOURNAL")
+                .ok()
+                .filter(|v| !v.trim().is_empty())
+                .map(PathBuf::from),
+            job_retry: d.job_retry,
         }
     }
 }
@@ -130,6 +151,7 @@ struct Shared {
     obs: ServeObs,
     queue: Mutex<VecDeque<Job>>,
     queue_cond: Condvar,
+    jobs: JobQueue,
     shutdown: AtomicBool,
     trace: Option<TraceRecorder>,
     epoch: Instant,
@@ -144,6 +166,7 @@ impl Shared {
     fn begin_drain(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
         self.queue_cond.notify_all();
+        self.jobs.drain();
     }
 
     fn now_ns(&self) -> u64 {
@@ -176,6 +199,7 @@ fn route_request(shared: &Shared, req: Request) -> Routed {
         Request::Stats => {
             let c = shared.cache.stats();
             let sim = shared.registry.sim_obs();
+            let (graphs, fabrics) = shared.registry.entry_counts();
             Routed::Immediate(
                 encode_response(&Response::Stats {
                     requests: shared.obs.total_requests(),
@@ -188,6 +212,9 @@ fn route_request(shared: &Shared, req: Request) -> Routed {
                     sim_events: sim.events.get(),
                     sim_events_per_sec: sim.events_per_sec.get(),
                     strategy_hits: shared.registry.strategy_hits(),
+                    graphs,
+                    fabrics,
+                    jobs: shared.jobs.totals(),
                 }),
                 false,
             )
@@ -195,6 +222,47 @@ fn route_request(shared: &Shared, req: Request) -> Routed {
         Request::Shutdown => {
             shared.begin_drain();
             Routed::Immediate(encode_response(&Response::Ok), false)
+        }
+        Request::Submit { job } => {
+            let resp = match shared.jobs.submit(*job) {
+                Ok(id) => Response::JobAccepted { id },
+                Err(resp) => resp,
+            };
+            if matches!(resp, Response::Busy) {
+                shared.obs.shed.inc();
+            }
+            if matches!(resp, Response::Error { .. }) {
+                shared.obs.errors.inc();
+            }
+            Routed::Immediate(encode_response(&resp), false)
+        }
+        Request::Poll { id } => {
+            let resp = shared.jobs.poll(id);
+            if matches!(resp, Response::Error { .. }) {
+                shared.obs.errors.inc();
+            }
+            Routed::Immediate(encode_response(&resp), false)
+        }
+        Request::Fetch { id } => Routed::Immediate(
+            match shared.jobs.fetch(id) {
+                // Pass-through of the stored canonical text: a fetched
+                // result is byte-identical to the synchronous response.
+                Fetched::Ready(text) => text,
+                Fetched::Status(resp) => {
+                    if matches!(resp, Response::Error { .. }) {
+                        shared.obs.errors.inc();
+                    }
+                    encode_response(&resp)
+                }
+            },
+            false,
+        ),
+        Request::Cancel { id } => {
+            let resp = shared.jobs.cancel(id);
+            if matches!(resp, Response::Error { .. }) {
+                shared.obs.errors.inc();
+            }
+            Routed::Immediate(encode_response(&resp), false)
         }
         req => {
             let key = if req.cacheable() {
@@ -306,20 +374,28 @@ fn worker_loop(shared: &Shared) {
 fn serve_frame(shared: &Shared, stream: &mut TcpStream, conn_id: usize, payload: &str) -> bool {
     let t_start = shared.now_ns();
     let root_span = shared.next_span();
-    let (encoded, cache_hit, t_parsed) = match decode_request(payload) {
-        Ok(req) => {
+    let (encoded, cache_hit, t_parsed) = match decode_request_versioned(payload) {
+        Ok((req, version)) => {
             let t_parsed = shared.now_ns();
-            match route_request(shared, req) {
-                Routed::Immediate(encoded, hit) => (encoded, hit, t_parsed),
+            let (body, hit) = match route_request(shared, req) {
+                Routed::Immediate(encoded, hit) => (encoded, hit),
                 Routed::Queued(rx) => {
                     let encoded = rx.recv().unwrap_or_else(|_| {
                         encode_response(&Response::Error {
                             message: "worker dropped the request during drain".into(),
                         })
                     });
-                    (encoded, false, t_parsed)
+                    (encoded, false)
                 }
-            }
+            };
+            // Answer in the envelope the request arrived in: cache and
+            // queue always carry the canonical v1 body, so v1 and v2
+            // clients share every cached entry.
+            let body = match version {
+                WireVersion::V1 => body,
+                WireVersion::V2 => crate::protocol::envelope_v2(&body),
+            };
+            (body, hit, t_parsed)
         }
         Err(message) => {
             shared.obs.errors.inc();
@@ -493,24 +569,30 @@ impl ServerHandle {
 /// Binds `addr` (use port 0 for an ephemeral port) and starts the daemon.
 ///
 /// # Errors
-/// Propagates the bind failure.
+/// Propagates the bind failure, or a journal open/replay failure when
+/// [`ServerConfig::journal`] is set.
 pub fn start(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let jobs = match &config.journal {
+        Some(path) => JobQueue::with_journal(path, config.job_retry)?,
+        None => JobQueue::new(config.job_retry),
+    };
     let shared = Arc::new(Shared {
         cache: ResponseCache::new(config.cache_shards, config.cache_bytes),
         registry: Registry::new(),
         obs: ServeObs::new(&ENDPOINTS),
         queue: Mutex::new(VecDeque::new()),
         queue_cond: Condvar::new(),
+        jobs,
         shutdown: AtomicBool::new(false),
         trace: hfast_trace::enabled().then(TraceRecorder::new),
         epoch: Instant::now(),
         span_counter: AtomicU64::new(1),
         config,
     });
-    let workers = (0..shared.config.workers)
+    let mut workers: Vec<JoinHandle<()>> = (0..shared.config.workers)
         .map(|i| {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -519,6 +601,15 @@ pub fn start(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
                 .expect("spawn worker thread")
         })
         .collect();
+    for i in 0..shared.config.job_workers {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            thread::Builder::new()
+                .name(format!("hfast-serve-job-{i}"))
+                .spawn(move || shared.jobs.run_worker(&shared.registry))
+                .expect("spawn job worker thread"),
+        );
+    }
     let acceptor = {
         let shared = Arc::clone(&shared);
         thread::Builder::new()

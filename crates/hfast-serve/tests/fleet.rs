@@ -1,0 +1,246 @@
+//! Fleet integration: in-process shard daemons addressed through
+//! [`FleetClient`]'s consistent-hash routing. The PR's acceptance
+//! properties live here — shard count must be invisible in the bytes
+//! (digests identical across 1, 2, and 4 shards), pure verbs must fail
+//! over to replicas when the owning shard is down, and journaled jobs
+//! must survive a shard restart with zero loss.
+
+use std::time::{Duration, Instant};
+
+use hfast_serve::{
+    start, AppSpec, Client, FabricSpec, FleetClient, JobState, Request, Response, ServerConfig,
+    ServerHandle,
+};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Deterministic all-cacheable pool over the paper apps, mirroring the
+/// load generator's mix without depending on `hfast-bench` (which
+/// depends on this crate).
+fn pool() -> Vec<Request> {
+    let mut pool = Vec::new();
+    for name in ["Cactus", "LBMHD", "GTC", "SuperLU"] {
+        let app = AppSpec::Named {
+            name: name.to_string(),
+            procs: 8,
+        };
+        pool.push(Request::Provision {
+            app: app.clone(),
+            block_ports: 16,
+            cutoff: 2048,
+            strategy: None,
+        });
+        pool.push(Request::Cost {
+            app: app.clone(),
+            block_ports: 16,
+            cutoff: 2048,
+        });
+        pool.push(Request::Tdc {
+            app: app.clone(),
+            cutoffs: vec![0, 2048],
+        });
+        pool.push(Request::Simulate {
+            app,
+            fabric: FabricSpec::FatTree { ports: 8 },
+            cutoff: 2048,
+            faults: None,
+            strategy: None,
+        });
+    }
+    pool
+}
+
+fn start_shards(n: usize, config: &ServerConfig) -> (Vec<ServerHandle>, Vec<String>) {
+    let handles: Vec<ServerHandle> = (0..n)
+        .map(|_| start("127.0.0.1:0", config.clone()).expect("bind shard"))
+        .collect();
+    let addrs = handles.iter().map(|h| h.local_addr().to_string()).collect();
+    (handles, addrs)
+}
+
+fn drain_all(handles: Vec<ServerHandle>, addrs: &[String]) {
+    for addr in addrs {
+        let mut c = Client::connect(addr).expect("connect for drain");
+        c.call(&Request::Shutdown).expect("drain");
+    }
+    for h in handles {
+        h.join();
+    }
+}
+
+/// Sends the pool three times through a fleet of `n` shards and folds an
+/// FNV digest over every response's exact bytes.
+fn fleet_digest(n: usize) -> u64 {
+    let (handles, addrs) = start_shards(n, &ServerConfig::default());
+    let mut client = FleetClient::connect(&addrs);
+    let mut digest = FNV_OFFSET;
+    for _ in 0..3 {
+        for req in &pool() {
+            let (resp, raw) = client.call_text(req).expect("fleet call");
+            assert!(
+                !matches!(resp, Response::Busy | Response::Error { .. }),
+                "pool request failed: {raw}"
+            );
+            digest = fnv_fold(digest, raw.as_bytes());
+        }
+    }
+    drain_all(handles, &addrs);
+    digest
+}
+
+#[test]
+fn digest_is_identical_across_shard_counts() {
+    let one = fleet_digest(1);
+    let two = fleet_digest(2);
+    let four = fleet_digest(4);
+    assert_eq!(
+        one, two,
+        "2-shard fleet must serve byte-identical responses"
+    );
+    assert_eq!(
+        one, four,
+        "4-shard fleet must serve byte-identical responses"
+    );
+}
+
+/// With one of two shards down, every pure (cacheable) request still
+/// succeeds — the ring's replica takes over — and the bytes match what
+/// the healthy fleet served.
+#[test]
+fn pure_verbs_fail_over_to_replicas() {
+    let (handles, addrs) = start_shards(2, &ServerConfig::default());
+    let mut client = FleetClient::connect(&addrs);
+    let baseline: Vec<String> = pool()
+        .iter()
+        .map(|req| client.call_text(req).expect("healthy call").1)
+        .collect();
+
+    // Take shard 0 down for good.
+    let mut handles = handles;
+    let mut c = Client::connect(&addrs[0]).expect("connect shard 0");
+    c.call(&Request::Shutdown).expect("drain shard 0");
+    drop(c);
+    handles.remove(0).join();
+
+    // Half the keys now route to a dead owner; the client must land every
+    // one of them on the survivor with identical bytes.
+    let mut degraded = FleetClient::connect(&addrs);
+    for (req, want) in pool().iter().zip(&baseline) {
+        let (_, raw) = degraded.call_text(req).expect("degraded call");
+        assert_eq!(&raw, want, "failover changed response bytes");
+    }
+
+    drain_all(handles, &addrs[1..]);
+}
+
+/// Journaled jobs survive their shard restarting: submit through the
+/// fleet, restart the owning shard from its journal, and every result is
+/// still fetchable, byte-identical to the synchronous answer.
+#[test]
+fn journaled_jobs_survive_a_shard_restart() {
+    let dir = std::env::temp_dir().join(format!("hfast-fleet-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("journal dir");
+    let config = |shard: usize| ServerConfig {
+        journal: Some(dir.join(format!("shard-{shard}.jsonl"))),
+        ..ServerConfig::default()
+    };
+
+    let shard0 = start("127.0.0.1:0", config(0)).expect("bind shard 0");
+    let shard1 = start("127.0.0.1:0", config(1)).expect("bind shard 1");
+    let addrs = vec![
+        shard0.local_addr().to_string(),
+        shard1.local_addr().to_string(),
+    ];
+
+    let job = Request::Simulate {
+        app: AppSpec::Named {
+            name: "GTC".into(),
+            procs: 8,
+        },
+        fabric: FabricSpec::FatTree { ports: 8 },
+        cutoff: 2048,
+        faults: None,
+        strategy: None,
+    };
+    let mut client = FleetClient::connect(&addrs);
+    let (_, want) = client.call_text(&job).expect("synchronous baseline");
+
+    let mut ids = Vec::new();
+    for _ in 0..6 {
+        match client
+            .call_text(&Request::Submit {
+                job: Box::new(job.clone()),
+            })
+            .expect("submit")
+            .0
+        {
+            Response::JobAccepted { id } => ids.push(id),
+            other => panic!("expected JobAccepted, got {other:?}"),
+        }
+    }
+
+    // Wait for every job to finish, then restart shard 0 from its journal.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    for &id in &ids {
+        loop {
+            match client.call_text(&Request::Poll { id }).expect("poll").0 {
+                Response::JobStatus {
+                    state: JobState::Done,
+                    ..
+                } => break,
+                Response::JobStatus { state, .. } => {
+                    assert!(!state.is_terminal(), "job {id} ended in {state:?}");
+                    assert!(Instant::now() < deadline, "job {id} never finished");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                other => panic!("expected JobStatus, got {other:?}"),
+            }
+        }
+    }
+
+    let mut c = Client::connect(&addrs[0]).expect("connect shard 0");
+    c.call(&Request::Shutdown).expect("drain shard 0");
+    drop(c);
+    shard0.join();
+    // Rebind the same address so the fleet's view stays valid; the port
+    // was just freed by the drain, but give the OS a few tries.
+    let shard0 = {
+        let mut last = None;
+        let mut handle = None;
+        for _ in 0..50 {
+            match start(addrs[0].as_str(), config(0)) {
+                Ok(h) => {
+                    handle = Some(h);
+                    break;
+                }
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        handle.unwrap_or_else(|| panic!("rebind shard 0: {last:?}"))
+    };
+
+    // Every job — including those that lived on the restarted shard —
+    // must still fetch, and the replayed results must be byte-identical.
+    let mut revived = FleetClient::connect(&addrs);
+    for &id in &ids {
+        let (_, raw) = revived
+            .call_text(&Request::Fetch { id })
+            .expect("fetch after restart");
+        assert_eq!(raw, want, "job {id} result changed across the restart");
+    }
+
+    drain_all(vec![shard0, shard1], &addrs);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,209 @@
+//! Golden wire-format tests: the v1 encoding is a compatibility
+//! contract, so these pin exact bytes, not just round-trips. If any
+//! assertion here fails, deployed v1 clients break — change the test
+//! only alongside a deliberate, versioned protocol revision.
+//!
+//! Also covers the v2 envelope (`{"v":2,` prefix, otherwise the same
+//! body), answered-in-kind behaviour over a real socket, and the
+//! cross-version cache identity (a v2 request hits the cache entry a v1
+//! request populated, because the cache key is the canonical v1 body).
+
+use hfast_serve::{
+    decode_request_versioned, decode_response_versioned, encode_request, encode_request_versioned,
+    encode_response, encode_response_versioned, envelope_v2, request_key, start, AppSpec, Client,
+    FabricSpec, JobState, Request, Response, ServerConfig, WireVersion,
+};
+
+fn cost_req() -> Request {
+    Request::Cost {
+        app: AppSpec::Named {
+            name: "GTC".into(),
+            procs: 8,
+        },
+        block_ports: 16,
+        cutoff: 2048,
+    }
+}
+
+fn simulate_req() -> Request {
+    Request::Simulate {
+        app: AppSpec::Named {
+            name: "Cactus".into(),
+            procs: 4,
+        },
+        fabric: FabricSpec::FatTree { ports: 8 },
+        cutoff: 2048,
+        faults: None,
+        strategy: None,
+    }
+}
+
+#[test]
+fn v1_request_bytes_are_pinned() {
+    let golden: &[(Request, &str)] = &[
+        (Request::Health, r#"{"type":"health"}"#),
+        (Request::Stats, r#"{"type":"stats"}"#),
+        (
+            cost_req(),
+            r#"{"type":"cost","app":{"name":"GTC","procs":8},"block_ports":16,"cutoff":2048}"#,
+        ),
+        (
+            simulate_req(),
+            r#"{"type":"simulate","app":{"name":"Cactus","procs":4},"fabric":{"kind":"fattree","ports":8},"cutoff":2048}"#,
+        ),
+        (
+            Request::Submit {
+                job: Box::new(simulate_req()),
+            },
+            r#"{"type":"submit","job":{"type":"simulate","app":{"name":"Cactus","procs":4},"fabric":{"kind":"fattree","ports":8},"cutoff":2048}}"#,
+        ),
+        (Request::Poll { id: 7 }, r#"{"type":"poll","id":7}"#),
+        (Request::Fetch { id: 7 }, r#"{"type":"fetch","id":7}"#),
+        (Request::Cancel { id: 7 }, r#"{"type":"cancel","id":7}"#),
+    ];
+    for (req, want) in golden {
+        assert_eq!(&encode_request(req), want, "v1 encoding drifted");
+        // The v2 form is exactly the v1 body behind a version tag.
+        assert_eq!(
+            encode_request_versioned(req, WireVersion::V2),
+            format!("{{\"v\":2,{}", &want[1..]),
+        );
+        // Both decode back, reporting their version.
+        let (back, v) = decode_request_versioned(want).expect("v1 decodes");
+        assert_eq!((&back, v), (req, WireVersion::V1));
+        let (back, v) = decode_request_versioned(&envelope_v2(want)).expect("v2 decodes");
+        assert_eq!((&back, v), (req, WireVersion::V2));
+    }
+}
+
+#[test]
+fn v1_response_bytes_are_pinned() {
+    let golden: &[(Response, &str)] = &[
+        (Response::Busy, r#"{"type":"busy"}"#),
+        (
+            Response::Error {
+                message: "nope".into(),
+            },
+            r#"{"type":"error","message":"nope"}"#,
+        ),
+        (
+            Response::Health {
+                workers: 4,
+                queue: 0,
+            },
+            r#"{"type":"health","ok":true,"workers":4,"queue":0}"#,
+        ),
+        (
+            Response::JobAccepted { id: (1 << 40) | 7 },
+            r#"{"type":"job","id":1099511627783}"#,
+        ),
+        (
+            Response::JobStatus {
+                id: 7,
+                state: JobState::Queued,
+                attempts: 0,
+                message: None,
+            },
+            r#"{"type":"job_status","id":7,"state":"queued","attempts":0}"#,
+        ),
+        (
+            Response::JobStatus {
+                id: 7,
+                state: JobState::Failed,
+                attempts: 3,
+                message: Some("panic".into()),
+            },
+            r#"{"type":"job_status","id":7,"state":"failed","attempts":3,"message":"panic"}"#,
+        ),
+    ];
+    for (resp, want) in golden {
+        assert_eq!(&encode_response(resp), want, "v1 encoding drifted");
+        assert_eq!(
+            encode_response_versioned(resp, WireVersion::V2),
+            format!("{{\"v\":2,{}", &want[1..]),
+        );
+        let (back, v) = decode_response_versioned(want).expect("v1 decodes");
+        assert_eq!((&back, v), (resp, WireVersion::V1));
+        let (back, v) = decode_response_versioned(&envelope_v2(want)).expect("v2 decodes");
+        assert_eq!((&back, v), (resp, WireVersion::V2));
+    }
+}
+
+/// The daemon answers in the version the request arrived in, on the same
+/// connection, interleaved — version is per-frame, not per-connection.
+#[test]
+fn server_answers_in_kind_over_a_socket() {
+    let server = start("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let req = cost_req();
+    #[allow(deprecated)] // the raw shim is the only way to pin exact reply bytes
+    let v1_reply = client.call_raw(&encode_request(&req)).expect("v1 call");
+    assert!(
+        v1_reply.starts_with(r#"{"type":"#),
+        "v1 request must get an untagged v1 reply, got {v1_reply}"
+    );
+
+    #[allow(deprecated)]
+    let v2_reply = client
+        .call_raw(&encode_request_versioned(&req, WireVersion::V2))
+        .expect("v2 call");
+    assert!(
+        v2_reply.starts_with(r#"{"v":2,"type":"#),
+        "v2 request must get a v2-tagged reply, got {v2_reply}"
+    );
+    // Same answer modulo the envelope: v2 body == tagged v1 body.
+    assert_eq!(v2_reply, envelope_v2(&v1_reply));
+
+    // Interleave again the other way round — no per-connection latching.
+    #[allow(deprecated)]
+    let v1_again = client.call_raw(&encode_request(&req)).expect("v1 again");
+    assert_eq!(v1_again, v1_reply);
+
+    // The typed client checks in-kind answering for us too.
+    let typed = client
+        .call_versioned(&req, WireVersion::V2)
+        .expect("typed v2");
+    assert!(matches!(typed, Response::CostReport { .. }));
+
+    client.call(&Request::Shutdown).expect("drain");
+    server.join();
+}
+
+/// v1 and v2 texts hash differently, but the daemon caches by the
+/// canonical v1 body — so a v2 request is a cache hit on the entry a v1
+/// request populated (and vice versa), not a duplicate computation.
+#[test]
+fn cache_is_shared_across_wire_versions() {
+    assert_ne!(
+        request_key(&encode_request(&cost_req())),
+        request_key(&encode_request_versioned(&cost_req(), WireVersion::V2)),
+        "sanity: the raw texts do hash apart",
+    );
+
+    let server = start("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    client
+        .call_versioned(&cost_req(), WireVersion::V1)
+        .expect("v1 populates");
+    client
+        .call_versioned(&cost_req(), WireVersion::V2)
+        .expect("v2 hits");
+
+    match client.call(&Request::Stats).expect("stats") {
+        Response::Stats {
+            cache_hits,
+            cache_misses,
+            ..
+        } => {
+            assert_eq!(cache_misses, 1, "one compute for both versions");
+            assert_eq!(cache_hits, 1, "the v2 request must hit the v1 entry");
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    client.call(&Request::Shutdown).expect("drain");
+    server.join();
+}

@@ -2,7 +2,7 @@
 # Runs every bench suite and assembles the results into BENCH_<tag>.json
 # at the repo root (one JSON document: {"tag": ..., "results": [...]}).
 #
-# Usage: scripts/bench.sh [tag]        (default tag: pr7)
+# Usage: scripts/bench.sh [tag]        (default tag: pr8)
 #   HFAST_BENCH_FAST=1 scripts/bench.sh   # quick smoke pass
 #
 # When a BENCH_pr3.json (or an earlier PR's) baseline exists, the netsim
@@ -12,12 +12,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-pr7}"
+TAG="${1:-pr8}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 export HFAST_BENCH_JSON="$TMP"
-for base in BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json BENCH_pr1.json; do
+for base in BENCH_pr7.json BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json BENCH_pr1.json; do
   if [[ -f "$base" ]]; then
     export HFAST_BENCH_BASELINE="$PWD/$base"
     break

@@ -31,4 +31,10 @@ cargo run --release -q -p hfast-bench --bin provision_bakeoff -- --check > /dev/
 # panic-isolation probe, stats) and drained; exits non-zero on any
 # mismatch, unexercised cache, or a hung drain.
 cargo run --release -q -p hfast-serve -- --self-test > /dev/null
+# Fleet smoke: two shard processes behind the consistent-hash router plus
+# a supervisor; exits non-zero unless the 2-shard digest is byte-identical
+# to the single node, a mid-run rolling restart of one shard is invisible
+# to clients (zero drops, zero mismatches), and every journaled job
+# submitted before the restart is fetchable after it.
+cargo run --release -q -p hfast-serve --bin hfast-fleet -- --smoke > /dev/null
 echo "verify: OK"
