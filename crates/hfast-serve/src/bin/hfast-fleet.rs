@@ -15,7 +15,8 @@
 //!       1. single-node baseline — every pool response recorded;
 //!       2. 2-shard fleet behind a router — fixed-length run must be
 //!          byte-identical (digest match) with zero busy/error/drop;
-//!       3. durable jobs submitted, shard 0 rolling-restarted mid-load,
+//!       3. durable jobs with distinct payloads submitted until *both*
+//!          shards own at least one, shard 0 rolling-restarted mid-load,
 //!          load keeps answering baseline bytes, every job still
 //!          completes and fetches byte-identical results.
 //!     Exits non-zero on any violation.
@@ -31,6 +32,7 @@ use std::process::{Child, Command, ExitCode, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use hfast_serve::fleet::unwrap_job_id;
 use hfast_serve::{
     start, start_fleet, AppSpec, Client, FabricSpec, FleetConfig, JobState, Request, Response,
     ServerConfig,
@@ -191,6 +193,31 @@ fn smoke_pool() -> Vec<Request> {
     pool
 }
 
+/// Distinct simulate payloads for the durable-job phase: their request
+/// keys spread over the hash ring, so submitting down the list covers
+/// every shard — in particular the one the smoke restarts.
+fn job_candidates() -> Vec<Request> {
+    let ring = |n: usize| AppSpec::Inline {
+        n,
+        edges: (0..n)
+            .map(|i| (i, (i + 1) % n, 64 * 1024, 16, 4096))
+            .collect(),
+    };
+    let mut v = Vec::new();
+    for n in [6usize, 8, 10, 12] {
+        for cutoff in [2048, 4096] {
+            v.push(Request::Simulate {
+                app: ring(n),
+                fabric: FabricSpec::Hfast,
+                cutoff,
+                faults: None,
+                strategy: None,
+            });
+        }
+    }
+    v
+}
+
 fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
@@ -250,10 +277,14 @@ fn smoke() -> Result<(), String> {
             "baseline run shed or errored: {busy} busy, {errors} errors"
         ));
     }
-    // Baseline job result: what a fetched job must later return.
-    let job_req = pool[3].clone(); // a simulate request
+    // Baseline job results: what each fetched job must later return.
+    let candidates = job_candidates();
     let mut c = Client::connect(&single_addr).map_err(|e| e.to_string())?;
-    let (_, job_baseline) = c.call_text(&job_req).map_err(|e| e.to_string())?;
+    let mut job_baselines = Vec::new();
+    for req in &candidates {
+        let (_, text) = c.call_text(req).map_err(|e| e.to_string())?;
+        job_baselines.push(text);
+    }
     c.call(&Request::Shutdown).map_err(|e| e.to_string())?;
     single.join();
     eprintln!(
@@ -290,18 +321,39 @@ fn smoke() -> Result<(), String> {
     eprintln!("smoke: 2-shard fleet digest matches single node");
 
     // -- Phase 3: durable jobs + rolling restart of shard 0 mid-load ----
+    // Submit distinct payloads until both shards own at least one job —
+    // otherwise restarting shard 0 would not actually exercise the
+    // "jobs survive the restart" claim. The router's global job ids
+    // encode the owning shard, so coverage is checked, not assumed.
     let mut jobs_client = Client::connect(&router_addr).map_err(|e| e.to_string())?;
-    let mut job_ids = Vec::new();
-    for _ in 0..4 {
+    let mut jobs: Vec<(u64, &String)> = Vec::new(); // (global id, expected bytes)
+    let mut owned = [false; 2];
+    for (req, expect) in candidates.iter().zip(&job_baselines) {
+        if jobs.len() >= 4 && owned[0] && owned[1] {
+            break;
+        }
         match jobs_client
             .call(&Request::Submit {
-                job: Box::new(job_req.clone()),
+                job: Box::new(req.clone()),
             })
             .map_err(|e| format!("submit: {e}"))?
         {
-            Response::JobAccepted { id } => job_ids.push(id),
+            Response::JobAccepted { id } => {
+                let (shard, _) = unwrap_job_id(id);
+                if shard >= owned.len() {
+                    return Err(format!("job {id} names shard {shard} in a 2-shard fleet"));
+                }
+                owned[shard] = true;
+                jobs.push((id, expect));
+            }
             other => return Err(format!("submit: unexpected {other:?}")),
         }
+    }
+    if !(owned[0] && owned[1]) {
+        return Err(format!(
+            "job keys covered only shards {owned:?}; widen job_candidates() so the \
+             restarted shard owns at least one durable job"
+        ));
     }
 
     let stop = AtomicBool::new(false);
@@ -386,7 +438,7 @@ fn smoke() -> Result<(), String> {
 
     // Every accepted job must complete and fetch the baseline bytes.
     let deadline = Instant::now() + STARTUP_WINDOW;
-    for &id in &job_ids {
+    for &(id, expect) in &jobs {
         loop {
             match jobs_client.call(&Request::Poll { id }) {
                 Ok(Response::JobStatus {
@@ -407,13 +459,16 @@ fn smoke() -> Result<(), String> {
         let (_, text) = jobs_client
             .call_text(&Request::Fetch { id })
             .map_err(|e| format!("fetch {id}: {e}"))?;
-        if text != job_baseline {
+        if &text != expect {
             return Err(format!(
                 "job {id} result differs from the synchronous bytes"
             ));
         }
     }
-    eprintln!("smoke: {} durable jobs survived the restart", job_ids.len());
+    eprintln!(
+        "smoke: {} durable jobs survived the restart across both shards",
+        jobs.len()
+    );
 
     // -- Teardown -------------------------------------------------------
     let mut c = Client::connect(&router_addr).map_err(|e| e.to_string())?;

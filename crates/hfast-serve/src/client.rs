@@ -350,14 +350,21 @@ impl FleetClient {
                 }
                 Err(last.unwrap_or(ClientError::Server("no shards configured".into())))
             }
-            // Fleet stats = sum over shards.
+            // Fleet stats = sum over *reachable* shards: a shard that is
+            // down or mid-restart is skipped (matching the router), and
+            // only an all-shards failure surfaces as an error.
             Request::Stats => {
                 let mut parts = Vec::new();
+                let mut last: Option<ClientError> = None;
                 for shard in 0..self.addrs.len() {
-                    parts.push(self.call_shard(shard, req)?.0);
+                    match self.call_shard(shard, req) {
+                        Ok((resp, _)) => parts.push(resp),
+                        Err(e) => last = Some(e),
+                    }
                 }
-                let resp = crate::fleet::aggregate_stats(&parts)
-                    .ok_or_else(|| ClientError::Protocol("no stats to aggregate".into()))?;
+                let resp = crate::fleet::aggregate_stats(&parts).ok_or_else(|| {
+                    last.unwrap_or_else(|| ClientError::Server("no stats to aggregate".into()))
+                })?;
                 let raw = crate::protocol::encode_response(&resp);
                 Ok((resp, raw))
             }

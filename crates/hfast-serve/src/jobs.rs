@@ -20,8 +20,12 @@
 //! Payloads are embedded as JSON *strings* (escaped canonical v1
 //! encodings) so the line grammar stays flat and replay restores the
 //! response text byte-exactly. Replay tolerates a torn final line — the
-//! crash case — and re-enqueues every job with no terminal record: a
+//! crash case — truncating the fragment so the next record starts on a
+//! fresh line, and re-enqueues every job with no terminal record: a
 //! submitted job is never lost and never duplicated across a restart.
+//! Terminal jobs are retained for `poll`/`fetch` up to
+//! [`MAX_TERMINAL_JOBS`], then evicted oldest-first so a long-lived
+//! daemon's memory stays bounded.
 //!
 //! **Retries** reuse the netsim [`RetryPolicy`] shape: a panicking
 //! attempt re-enqueues with exponential backoff until the max-attempt cap
@@ -48,9 +52,16 @@ use crate::protocol::{
 };
 use crate::registry::Registry;
 
-/// Upper bound on jobs resident in the queue (any state) before `submit`
-/// sheds; keeps the journal and the in-memory map proportionate.
+/// Upper bound on *live* (non-terminal) jobs before `submit` sheds;
+/// keeps the backlog and the in-memory map proportionate. Terminal jobs
+/// do not count — their retention is bounded by [`MAX_TERMINAL_JOBS`].
 pub const MAX_RESIDENT_JOBS: usize = 4096;
+
+/// How many terminal (done/failed/cancelled) jobs stay resident for
+/// `poll`/`fetch` before the oldest is evicted. Without this bound a
+/// long-running daemon's map would grow with *lifetime* submissions and
+/// eventually answer `Busy` forever.
+pub const MAX_TERMINAL_JOBS: usize = 4096;
 
 /// How long a worker sleeps when every ready job is still backing off.
 const BACKOFF_TICK: Duration = Duration::from_millis(20);
@@ -69,8 +80,27 @@ struct JobRecord {
 struct QueueState {
     jobs: HashMap<u64, JobRecord>,
     ready: VecDeque<u64>,
+    /// Ids in terminal order, oldest first — the eviction queue.
+    terminal: VecDeque<u64>,
     totals: JobTotals,
     draining: bool,
+}
+
+impl QueueState {
+    /// Jobs still counting against [`MAX_RESIDENT_JOBS`].
+    fn live(&self) -> usize {
+        self.jobs.len() - self.terminal.len()
+    }
+
+    /// Records a terminal transition and evicts the oldest terminal jobs
+    /// past the retention bound.
+    fn note_terminal(&mut self, id: u64) {
+        self.terminal.push_back(id);
+        while self.terminal.len() > MAX_TERMINAL_JOBS {
+            let evicted = self.terminal.pop_front().unwrap();
+            self.jobs.remove(&evicted);
+        }
+    }
 }
 
 /// Outcome of [`JobQueue::fetch`]: either the stored canonical response
@@ -98,6 +128,7 @@ impl JobQueue {
             state: Mutex::new(QueueState {
                 jobs: HashMap::new(),
                 ready: VecDeque::new(),
+                terminal: VecDeque::new(),
                 totals: JobTotals::default(),
                 draining: false,
             }),
@@ -120,19 +151,34 @@ impl JobQueue {
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
-        queue.replay(&text);
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let (valid_len, unterminated) = queue.replay(&text);
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        // Drop the torn tail so the next record starts on a fresh line
+        // instead of merging into the fragment; a final valid record the
+        // crash cut at the newline gets its newline back instead.
+        if (valid_len as usize) < text.len() {
+            file.set_len(valid_len)?;
+        }
+        if unterminated {
+            file.write_all(b"\n")?;
+        }
         *queue.journal.lock().unwrap() = Some(file);
         Ok(queue)
     }
 
     /// Applies journal text to the (empty) queue. Stops at the first
     /// malformed line: a torn tail is the expected crash artifact, and
-    /// anything after it is suspect.
-    fn replay(&self, text: &str) {
+    /// anything after it is suspect. Returns how many leading bytes of
+    /// `text` form valid records and whether the final valid record is
+    /// missing its trailing newline, so the caller can repair the file
+    /// before appending.
+    fn replay(&self, text: &str) -> (u64, bool) {
         let mut st = self.state.lock().unwrap();
         let mut max_id = 0u64;
-        for line in text.lines() {
+        let mut valid_len = 0usize;
+        let mut unterminated = false;
+        for segment in text.split_inclusive('\n') {
+            let line = segment.strip_suffix('\n').unwrap_or(segment);
             let Ok(v) = json::parse(line) else { break };
             let (Some(op), Some(id)) = (
                 v.get("op").and_then(|o| o.as_str()),
@@ -140,55 +186,85 @@ impl JobQueue {
             ) else {
                 break;
             };
-            max_id = max_id.max(id);
-            match op {
-                "submit" => {
-                    let Some(req) = v
-                        .get("job")
-                        .and_then(|j| j.as_str())
-                        .and_then(|s| decode_request(s).ok())
-                    else {
-                        break;
-                    };
-                    st.jobs.insert(
-                        id,
-                        JobRecord {
-                            req,
-                            state: JobState::Queued,
-                            attempts: 0,
-                            message: None,
-                            response: None,
-                            not_before: None,
-                        },
-                    );
-                    st.totals.submitted += 1;
-                }
-                "done" => {
-                    let Some(resp) = v.get("resp").and_then(|r| r.as_str()) else {
-                        break;
-                    };
-                    if let Some(rec) = st.jobs.get_mut(&id) {
-                        rec.state = JobState::Done;
-                        rec.response = Some(resp.to_string());
-                        st.totals.completed += 1;
+            let applied = match op {
+                "submit" => match v
+                    .get("job")
+                    .and_then(|j| j.as_str())
+                    .and_then(|s| decode_request(s).ok())
+                {
+                    Some(req) => {
+                        st.jobs.insert(
+                            id,
+                            JobRecord {
+                                req,
+                                state: JobState::Queued,
+                                attempts: 0,
+                                message: None,
+                                response: None,
+                                not_before: None,
+                            },
+                        );
+                        st.totals.submitted += 1;
+                        true
                     }
-                }
+                    None => false,
+                },
+                "done" => match v.get("resp").and_then(|r| r.as_str()) {
+                    Some(resp) => {
+                        let hit = match st.jobs.get_mut(&id) {
+                            Some(rec) => {
+                                rec.state = JobState::Done;
+                                rec.response = Some(resp.to_string());
+                                true
+                            }
+                            None => false,
+                        };
+                        if hit {
+                            st.totals.completed += 1;
+                            st.note_terminal(id);
+                        }
+                        true
+                    }
+                    None => false,
+                },
                 "fail" => {
                     let message = v.get("message").and_then(|m| m.as_str()).unwrap_or("");
-                    if let Some(rec) = st.jobs.get_mut(&id) {
-                        rec.state = JobState::Failed;
-                        rec.message = Some(message.to_string());
+                    let hit = match st.jobs.get_mut(&id) {
+                        Some(rec) => {
+                            rec.state = JobState::Failed;
+                            rec.message = Some(message.to_string());
+                            true
+                        }
+                        None => false,
+                    };
+                    if hit {
                         st.totals.failed += 1;
+                        st.note_terminal(id);
                     }
+                    true
                 }
                 "cancel" => {
-                    if let Some(rec) = st.jobs.get_mut(&id) {
-                        rec.state = JobState::Cancelled;
+                    let hit = match st.jobs.get_mut(&id) {
+                        Some(rec) => {
+                            rec.state = JobState::Cancelled;
+                            true
+                        }
+                        None => false,
+                    };
+                    if hit {
                         st.totals.cancelled += 1;
+                        st.note_terminal(id);
                     }
+                    true
                 }
-                _ => break,
+                _ => false,
+            };
+            if !applied {
+                break;
             }
+            max_id = max_id.max(id);
+            valid_len += segment.len();
+            unterminated = !segment.ends_with('\n');
         }
         // Re-enqueue survivors in id order: deterministic restart order.
         let mut pending: Vec<u64> = st
@@ -203,6 +279,7 @@ impl JobQueue {
             st.ready.push_back(id);
         }
         self.next_id.store(max_id + 1, Ordering::SeqCst);
+        (valid_len as u64, unterminated)
     }
 
     fn journal_line(&self, line: &str) {
@@ -238,7 +315,7 @@ impl JobQueue {
         if st.draining && !self.has_journal() {
             return Err(Response::Busy);
         }
-        if st.jobs.len() >= MAX_RESIDENT_JOBS {
+        if st.live() >= MAX_RESIDENT_JOBS {
             return Err(Response::Busy);
         }
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
@@ -260,8 +337,11 @@ impl JobQueue {
         );
         st.totals.submitted += 1;
         st.ready.push_back(id);
-        drop(st);
+        // Journal while still holding the state lock: a worker can pick
+        // the job up the instant the lock drops, and its terminal record
+        // must never reach the journal before this submit record.
         self.journal_line(&line);
+        drop(st);
         self.cond.notify_one();
         Ok(id)
     }
@@ -275,7 +355,8 @@ impl JobQueue {
         }
     }
 
-    /// Reports a job's status (idempotent).
+    /// Reports a job's status (idempotent). Terminal jobs evicted past
+    /// [`MAX_TERMINAL_JOBS`] report "no such job".
     pub fn poll(&self, id: u64) -> Response {
         let st = self.state.lock().unwrap();
         match st.jobs.get(&id) {
@@ -287,7 +368,8 @@ impl JobQueue {
     }
 
     /// Returns the stored response of a done job, or its status
-    /// (idempotent — fetching twice returns the same bytes).
+    /// (idempotent — fetching twice returns the same bytes, until the
+    /// job ages past the [`MAX_TERMINAL_JOBS`] retention bound).
     pub fn fetch(&self, id: u64) -> Fetched {
         let st = self.state.lock().unwrap();
         match st.jobs.get(&id) {
@@ -315,7 +397,7 @@ impl JobQueue {
             let resp = Self::status_of(id, rec);
             st.totals.cancelled += 1;
             st.ready.retain(|&r| r != id);
-            drop(st);
+            st.note_terminal(id);
             self.journal_line(&JsonObj::new().str("op", "cancel").u64("id", id).finish());
             resp
         } else {
@@ -392,6 +474,7 @@ impl JobQueue {
                     rec.state = JobState::Failed;
                     rec.message = Some(message.clone());
                     st.totals.failed += 1;
+                    st.note_terminal(id);
                     drop(st);
                     self.journal_line(
                         &JsonObj::new()
@@ -406,6 +489,7 @@ impl JobQueue {
                     rec.state = JobState::Done;
                     rec.response = Some(text.clone());
                     st.totals.completed += 1;
+                    st.note_terminal(id);
                     drop(st);
                     self.journal_line(
                         &JsonObj::new()
@@ -426,6 +510,7 @@ impl JobQueue {
                         rec.state = JobState::Failed;
                         rec.message = Some(message.clone());
                         st.totals.failed += 1;
+                        st.note_terminal(id);
                         drop(st);
                         self.journal_line(
                             &JsonObj::new()
@@ -628,20 +713,110 @@ mod tests {
         }
 
         // Second incarnation replays: done job still fetchable
-        // byte-identically, pending job re-enqueued exactly once.
+        // byte-identically, pending job re-enqueued exactly once. It also
+        // truncates the torn fragment, so its own appends start on a
+        // fresh line.
+        let new_id = {
+            let q = JobQueue::with_journal(&path, fast_retry()).unwrap();
+            let Fetched::Ready(text) = q.fetch(done_id) else {
+                panic!("done job survived the restart");
+            };
+            assert_eq!(text, done_text, "stored response is byte-identical");
+            let Response::JobStatus { state, .. } = q.poll(pending_id) else {
+                panic!("pending job survived the restart");
+            };
+            assert_eq!(state, JobState::Queued);
+            assert_eq!(q.pending(), 1, "no duplicate enqueue");
+            // Fresh ids never collide with replayed ones.
+            let new_id = q.submit(sim_request(4)).unwrap();
+            assert!(new_id > pending_id);
+            new_id
+        };
+
+        // Third incarnation: the post-crash submit must not have merged
+        // into the torn fragment — every record is still replayable.
         let q = JobQueue::with_journal(&path, fast_retry()).unwrap();
         let Fetched::Ready(text) = q.fetch(done_id) else {
-            panic!("done job survived the restart");
+            panic!("done job survived two restarts");
         };
-        assert_eq!(text, done_text, "stored response is byte-identical");
-        let Response::JobStatus { state, .. } = q.poll(pending_id) else {
-            panic!("pending job survived the restart");
-        };
-        assert_eq!(state, JobState::Queued);
-        assert_eq!(q.pending(), 1, "no duplicate enqueue");
-        // Fresh ids never collide with replayed ones.
-        let new_id = q.submit(sim_request(4)).unwrap();
-        assert!(new_id > pending_id);
+        assert_eq!(text, done_text);
+        assert!(
+            matches!(
+                q.poll(new_id),
+                Response::JobStatus {
+                    state: JobState::Queued,
+                    ..
+                }
+            ),
+            "job submitted after the crash survived the next restart"
+        );
+        assert_eq!(q.pending(), 2, "both non-terminal jobs re-enqueued");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_tail_missing_only_its_newline_is_kept_and_repaired() {
+        let dir = std::env::temp_dir().join(format!(
+            "hfast-jobs-nl-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        // A crash can deliver the full final record but tear off its
+        // newline: the record must replay, and the repair must keep the
+        // next append from merging into it.
+        {
+            let line = JsonObj::new()
+                .str("op", "submit")
+                .u64("id", 1)
+                .str("job", &encode_request(&sim_request(4)))
+                .finish();
+            let mut f = File::create(&path).unwrap();
+            f.write_all(line.as_bytes()).unwrap();
+        }
+        let second_id = {
+            let q = JobQueue::with_journal(&path, fast_retry()).unwrap();
+            assert_eq!(q.pending(), 1, "newline-less record replayed");
+            q.submit(sim_request(6)).unwrap()
+        };
+        let q = JobQueue::with_journal(&path, fast_retry()).unwrap();
+        assert_eq!(q.pending(), 2, "repaired tail kept both records");
+        assert!(matches!(
+            q.poll(second_id),
+            Response::JobStatus {
+                state: JobState::Queued,
+                ..
+            }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn terminal_jobs_are_evicted_not_counted_against_the_cap() {
+        let q = JobQueue::new(RetryPolicy::default());
+        let first = q.submit(sim_request(4)).expect("queueable");
+        q.cancel(first);
+        // Push the oldest terminal job out of the retention window.
+        for _ in 0..MAX_TERMINAL_JOBS {
+            let id = q
+                .submit(sim_request(4))
+                .expect("terminal jobs must not brick submit");
+            q.cancel(id);
+        }
+        assert!(
+            matches!(q.poll(first), Response::Error { .. }),
+            "oldest terminal job evicted"
+        );
+        // The map stayed bounded and submit still accepts live work.
+        let fresh = q.submit(sim_request(4)).expect("cap counts live jobs only");
+        assert!(matches!(
+            q.poll(fresh),
+            Response::JobStatus {
+                state: JobState::Queued,
+                ..
+            }
+        ));
+        assert_eq!(q.totals().cancelled, (MAX_TERMINAL_JOBS as u64) + 1);
     }
 }
