@@ -2,16 +2,82 @@
 //! real socket (cache hit versus compute, v1 versus v2 envelope), a
 //! sustained closed-loop load (throughput and tail latency, recorded for
 //! `BENCH_<tag>.json`), a two-shard fleet run priced against the single
-//! node, and the observability ablation — the full per-request
-//! `ServeObs` record sequence priced against the bare handler call.
+//! node, the observability ablation — the full per-request `ServeObs`
+//! record sequence priced against the bare handler call — and the
+//! telemetry-plane guards: telemetry-off round-trips against the PR-8
+//! baseline, and the traced round-trip against the untraced one (the
+//! `HFAST_TRACE` switch is probed once per process, so the telemetry-on
+//! daemon is this binary re-exec'd in `--daemon` mode).
+
+use std::io::{BufRead as _, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
 
 use hfast_bench::{loadgen, Harness};
 use hfast_obs::ServeObs;
 use hfast_serve::{
-    execute, start, AppSpec, Client, Registry, Request, ServerConfig, WireVersion, ENDPOINTS,
+    execute, start, AppSpec, Client, FleetClient, Registry, Request, ServerConfig, WireVersion,
+    ENDPOINTS,
 };
+use hfast_trace::TraceRecorder;
+
+/// A recorded statistic (`"min_ns"`, …) of case `name` in the JSONL file
+/// named by `path_env` — the assembled `BENCH_<tag>.json` baseline
+/// (`HFAST_BENCH_BASELINE`) or this run's stream (`HFAST_BENCH_JSON`).
+fn recorded_stat(path_env: &str, name: &str, key: &str) -> Option<f64> {
+    let path = std::env::var(path_env).ok()?;
+    let text = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"name\":\"{name}\"");
+    let line = text.lines().find(|l| l.contains(&needle))?;
+    let rest = line.split(&format!("\"{key}\":")).nth(1)?;
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// `--daemon` mode: one serving process whose telemetry switches come
+/// from the environment the parent set, printing `READY ADDR`.
+fn daemon_mode() {
+    let server = start("127.0.0.1:0", ServerConfig::default()).expect("daemon bind");
+    println!("READY {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+}
+
+/// Re-execs this bench binary as a daemon with the given telemetry
+/// environment, returning the child and its address.
+fn spawn_daemon(telemetry: Option<(&str, &str)>) -> (Child, String) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--daemon")
+        .env_remove("HFAST_TRACE")
+        .env_remove("HFAST_OBS")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some((trace, obs)) = telemetry {
+        cmd.env("HFAST_TRACE", trace).env("HFAST_OBS", obs);
+    }
+    let mut child = cmd.spawn().expect("spawn daemon");
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("read READY");
+    let addr = line
+        .trim()
+        .strip_prefix("READY ")
+        .expect("READY line")
+        .to_string();
+    (child, addr)
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--daemon") {
+        daemon_mode();
+        return;
+    }
     let mut h = Harness::new("serve");
     let fast = std::env::var("HFAST_BENCH_FAST").is_ok_and(|v| v != "0");
 
@@ -137,6 +203,75 @@ fn main() {
         h.min_ns("serve/handle/obs-on"),
     ) {
         h.record_value("guard/serve_obs_overhead", on / off);
+    }
+
+    // Telemetry ablation over a real socket. The `HFAST_TRACE`/`HFAST_OBS`
+    // switches are probed once per process, so both sides run as
+    // subprocess daemons: one with telemetry stripped, one exporting
+    // spans — and the telemetry-on side is driven by a tracing
+    // `FleetClient`, so the measured loop pays the whole plane (client
+    // root span, traced envelope, server-side decode + four span
+    // records + the rolling window) while the off side pays none of it.
+    let dir = std::env::temp_dir().join(format!("hfast-serve-bench-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let (mut off_child, off_addr) = spawn_daemon(None);
+    let trace_sink = dir.join("trace.jsonl").display().to_string();
+    let obs_sink = dir.join("obs.jsonl").display().to_string();
+    let (mut on_child, on_addr) = spawn_daemon(Some((&trace_sink, &obs_sink)));
+
+    let mut off_client = Client::connect(&off_addr).expect("connect off daemon");
+    off_client.call(&tdc).expect("prime off cache");
+    h.bench("serve/roundtrip/telemetry-off", || {
+        off_client.call_text(&tdc).expect("telemetry-off call")
+    });
+    let rec = Arc::new(TraceRecorder::new());
+    let mut on_client =
+        FleetClient::connect(std::slice::from_ref(&on_addr)).with_trace(Arc::clone(&rec));
+    on_client.call(&tdc).expect("prime on cache");
+    h.bench("serve/roundtrip/telemetry-on", || {
+        on_client.call_text(&tdc).expect("telemetry-on call")
+    });
+    if let (Some(off), Some(on)) = (
+        h.min_ns("serve/roundtrip/telemetry-off"),
+        h.min_ns("serve/roundtrip/telemetry-on"),
+    ) {
+        h.record_value("overhead/telemetry_on_vs_off", on / off);
+    }
+    for addr in [&off_addr, &on_addr] {
+        let mut drain = Client::connect(addr).expect("connect for drain");
+        drain.call(&Request::Shutdown).expect("shutdown daemon");
+    }
+    let _ = off_child.wait();
+    let _ = on_child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Cross-session guard: with telemetry off, the cache-hit round-trip
+    // must stay within 5% of the recorded PR-8 baseline (scripts/bench.sh
+    // exports HFAST_BENCH_BASELINE when present). Same recipe as the
+    // netsim trace-off guard: fastest samples, the telemetry-off case
+    // measured twice (the `cache-hit` case up top and the subprocess
+    // round-trip here, taking the faster), drift-normalized by a
+    // calibration case untouched across PRs (from the topology suite that
+    // bench.sh runs earlier into the same JSONL stream). Values > 1.05
+    // mean the telemetry plane taxed telemetry-off serving.
+    const CACHE_HIT: &str = "serve/roundtrip/cache-hit";
+    const CALIBRATION: &str = "tdc_sweep/naive/complete-256";
+    if let (Some(base), Some(first), Some(recheck)) = (
+        recorded_stat("HFAST_BENCH_BASELINE", CACHE_HIT, "min_ns"),
+        h.min_ns(CACHE_HIT),
+        h.min_ns("serve/roundtrip/telemetry-off"),
+    ) {
+        let drift = match (
+            recorded_stat("HFAST_BENCH_BASELINE", CALIBRATION, "min_ns"),
+            recorded_stat("HFAST_BENCH_JSON", CALIBRATION, "min_ns"),
+        ) {
+            (Some(cal_base), Some(cal_now)) => cal_now / cal_base,
+            _ => 1.0, // standalone run: fall back to the raw ratio
+        };
+        h.record_value(
+            "guard/telemetry_off_vs_pr8",
+            first.min(recheck) / base / drift,
+        );
     }
 
     h.finish();

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT | --fleet A,B,C] [--connections N] [--requests N] [--seed S]
+//! loadgen --soak SECS [--addr HOST:PORT] [--timeline PATH] [--p99-ms MS] [--connections N]
 //! ```
 //!
 //! Without `--addr` or `--fleet`, a daemon is started in-process on an
@@ -12,13 +13,20 @@
 //! same load is routed client-side over the shards with consistent
 //! hashing — the digest must match the single-node run.
 //!
+//! With `--soak SECS`, the fixed-length run becomes a wall-clock soak:
+//! sustained load while a monitor polls the `metrics` verb and asserts
+//! SLOs (zero byte divergence, rolling p99 under the `--p99-ms`
+//! ceiling); `--timeline PATH` writes the poll-by-poll JSONL record.
+//! Exit status reports the SLO verdict.
+//!
 //! The report ends with a deterministic digest over every response byte:
 //! two runs with the same seed against any healthy daemon — 1 worker or
 //! 8 — must print the same digest.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use hfast_bench::loadgen;
+use hfast_bench::{loadgen, soak};
 use hfast_serve::{start, Client, Request, ServerConfig};
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
@@ -47,6 +55,58 @@ fn run() -> Result<(), String> {
     }
     let addr: Option<String> = parse_flag(&args, "--addr")?;
     let fleet: Option<String> = parse_flag(&args, "--fleet")?;
+
+    if let Some(secs) = parse_flag::<u64>(&args, "--soak")? {
+        if fleet.is_some() {
+            return Err("--soak targets one address; point it at a fleet router".into());
+        }
+        let mut config = soak::SoakConfig {
+            duration: Duration::from_secs(secs.max(1)),
+            connections: config.connections,
+            seed: config.seed,
+            ..soak::SoakConfig::default()
+        };
+        if let Some(ms) = parse_flag::<u64>(&args, "--p99-ms")? {
+            config.p99_ceiling_ns = ms.saturating_mul(1_000_000);
+        }
+        let (addr, server) = match addr {
+            Some(addr) => (addr, None),
+            None => {
+                let server = start("127.0.0.1:0", ServerConfig::from_env())
+                    .map_err(|e| format!("bind: {e}"))?;
+                (server.local_addr().to_string(), Some(server))
+            }
+        };
+        eprintln!(
+            "loadgen: soaking {addr} for {}s ({} connections, p99 ceiling {:.0} ms)",
+            secs,
+            config.connections,
+            config.p99_ceiling_ns as f64 / 1e6
+        );
+        let report = soak::run_soak(&addr, &config);
+        println!("{}", report.render());
+        if let Some(path) = parse_flag::<String>(&args, "--timeline")? {
+            let mut doc = report.timeline.join("\n");
+            doc.push('\n');
+            std::fs::write(&path, doc).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("loadgen: telemetry timeline -> {path}");
+        }
+        if let Some(server) = server {
+            let mut client = Client::connect(&addr).map_err(|e| format!("drain connect: {e}"))?;
+            client
+                .call(&Request::Shutdown)
+                .map_err(|e| format!("drain: {e}"))?;
+            server.join();
+        }
+        return if report.passed() {
+            Ok(())
+        } else {
+            Err(format!(
+                "SLO violations: {}",
+                report.slo_violations.join("; ")
+            ))
+        };
+    }
 
     if let Some(fleet) = fleet {
         if addr.is_some() {

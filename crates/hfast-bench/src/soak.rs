@@ -1,0 +1,328 @@
+//! Soak monitor: sustained mixed-verb load with live SLO assertions.
+//!
+//! A smoke test proves a server answers; a soak proves it *keeps*
+//! answering. [`run_soak`] drives the deterministic loadgen mix at a
+//! target for a wall-clock budget while a monitor thread polls the
+//! `metrics` verb on its own connection, asserting service-level
+//! objectives as the run unfolds:
+//!
+//! - **zero digest divergence** — every response must byte-match the
+//!   warmup pass (the pool is pure, so any drift is a serving bug);
+//! - **p99 ceiling** — the rolling per-verb p99 the daemon reports must
+//!   stay under the configured bound on every poll;
+//! - **liveness** — the monitor must land at least one poll and the
+//!   loaders must keep serving.
+//!
+//! Every poll appends one JSON line (elapsed ms + the raw canonical
+//! `metrics` response) to the report's timeline, so a soak leaves an
+//! auditable telemetry record, not just a pass/fail bit.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use hfast_obs::JsonObj;
+use hfast_par::rng::Rng64;
+use hfast_serve::{Client, Request, Response};
+
+use crate::loadgen::request_pool;
+
+/// Soak shape: how long, how hard, and what to demand.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Wall-clock budget for the loaded phase.
+    pub duration: Duration,
+    /// How often the monitor polls the `metrics` verb.
+    pub poll_interval: Duration,
+    /// Concurrent closed-loop loader connections.
+    pub connections: usize,
+    /// Mix seed (same seed, same per-loader request stream).
+    pub seed: u64,
+    /// Ranks to profile each paper app at (pool dimension).
+    pub procs: usize,
+    /// Rolling p99 bound, nanoseconds, asserted on every poll over the
+    /// pool's verbs.
+    pub p99_ceiling_ns: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            duration: Duration::from_secs(20),
+            poll_interval: Duration::from_millis(500),
+            connections: 4,
+            seed: 0x50A_C5EED,
+            procs: 8,
+            p99_ceiling_ns: 500_000_000, // generous: a loaded CI box, not prod
+        }
+    }
+}
+
+/// What a soak observed.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Responses served across all loaders.
+    pub served: u64,
+    /// Responses whose bytes differed from the warmup baseline.
+    pub divergence: u64,
+    /// Load-shed ([`Response::Busy`]) answers.
+    pub busy: u64,
+    /// Structured error answers.
+    pub errors: u64,
+    /// Metrics polls the monitor landed.
+    pub polls: u64,
+    /// Worst rolling p99 any poll reported over the pool verbs, ns.
+    pub worst_p99_ns: u64,
+    /// One JSON line per poll: `{"t_ms":…,"metrics":{…}}`.
+    pub timeline: Vec<String>,
+    /// Human-readable SLO violations; empty means the soak passed.
+    pub slo_violations: Vec<String>,
+}
+
+impl SoakReport {
+    /// Did every service-level objective hold?
+    pub fn passed(&self) -> bool {
+        self.slo_violations.is_empty()
+    }
+}
+
+/// The verbs the loader mix exercises — the rolling rows the p99
+/// ceiling is asserted against.
+const POOL_VERBS: [&str; 4] = ["provision", "cost", "tdc", "simulate"];
+
+/// Worst rolling p99 across the pool verbs in one `metrics` snapshot.
+fn snapshot_p99(resp: &Response) -> u64 {
+    let Response::Metrics { verbs, .. } = resp else {
+        return 0;
+    };
+    verbs
+        .iter()
+        .filter(|row| POOL_VERBS.contains(&row.verb.as_str()) && row.count > 0)
+        .map(|row| row.p99_ns)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Soaks `addr` — a daemon or a fleet router, both speak `metrics` —
+/// under the closed-loop paper-app mix for `config.duration`, polling
+/// rolling metrics and asserting SLOs. Never panics on a violation;
+/// read [`SoakReport::slo_violations`] (or [`SoakReport::passed`]).
+pub fn run_soak(addr: &str, config: &SoakConfig) -> SoakReport {
+    let pool = request_pool(config.procs);
+
+    // Warmup pass doubles as the byte oracle: the pool is pure, so
+    // every later response must match these bytes exactly.
+    let mut violations = Vec::new();
+    let mut expected = Vec::with_capacity(pool.len());
+    match Client::connect(addr) {
+        Ok(mut warm) => {
+            for req in &pool {
+                match warm.call_text(req) {
+                    Ok((_, text)) => expected.push(text),
+                    Err(e) => {
+                        violations.push(format!("warmup call failed: {e}"));
+                        break;
+                    }
+                }
+            }
+        }
+        Err(e) => violations.push(format!("warmup connect {addr}: {e}")),
+    }
+    if expected.len() != pool.len() {
+        return SoakReport {
+            served: 0,
+            divergence: 0,
+            busy: 0,
+            errors: 0,
+            polls: 0,
+            worst_p99_ns: 0,
+            timeline: Vec::new(),
+            slo_violations: violations,
+        };
+    }
+
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    let divergence = AtomicU64::new(0);
+    let busy = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let started = Instant::now();
+    let deadline = started + config.duration;
+
+    let (timeline, polls, worst_p99) = std::thread::scope(|s| {
+        for conn in 0..config.connections {
+            let mut rng = Rng64::new(
+                config
+                    .seed
+                    .wrapping_add((conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            let (pool, expected) = (&pool, &expected);
+            let (stop, served, divergence, busy, errors) =
+                (&stop, &served, &divergence, &busy, &errors);
+            s.spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else {
+                    return; // the liveness SLO below catches a dead target
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    let i = rng.range(0, pool.len());
+                    match client.call_text(&pool[i]) {
+                        Ok((resp, text)) => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                            match resp {
+                                Response::Busy => {
+                                    busy.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Response::Error { .. } => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ if text != expected[i] => {
+                                    divergence.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {}
+                            }
+                        }
+                        Err(_) => return,
+                    }
+                }
+            });
+        }
+
+        // The monitor runs on the scope's own thread: poll, record,
+        // assert, until the budget expires — then stop the loaders.
+        let mut timeline = Vec::new();
+        let mut polls = 0u64;
+        let mut worst_p99 = 0u64;
+        let mut monitor = Client::connect(addr).ok();
+        while Instant::now() < deadline {
+            std::thread::sleep(
+                config
+                    .poll_interval
+                    .min(deadline.saturating_duration_since(Instant::now())),
+            );
+            let Some(client) = monitor.as_mut() else {
+                break;
+            };
+            match client.call_text(&Request::Metrics) {
+                Ok((resp, raw)) => {
+                    polls += 1;
+                    worst_p99 = worst_p99.max(snapshot_p99(&resp));
+                    timeline.push(
+                        JsonObj::new()
+                            .u64("t_ms", started.elapsed().as_millis() as u64)
+                            .raw("metrics", &raw)
+                            .finish(),
+                    );
+                }
+                Err(_) => monitor = Client::connect(addr).ok(), // ride restarts
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        (timeline, polls, worst_p99)
+    });
+
+    let report = |violations: Vec<String>| SoakReport {
+        served: served.load(Ordering::Relaxed),
+        divergence: divergence.load(Ordering::Relaxed),
+        busy: busy.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        polls,
+        worst_p99_ns: worst_p99,
+        timeline,
+        slo_violations: violations,
+    };
+    let mut out = report(violations);
+    if out.divergence != 0 {
+        out.slo_violations.push(format!(
+            "{} responses diverged from the warmup bytes",
+            out.divergence
+        ));
+    }
+    if out.polls == 0 {
+        out.slo_violations
+            .push("monitor landed zero metrics polls".into());
+    }
+    if out.served == 0 {
+        out.slo_violations.push("loaders served nothing".into());
+    }
+    if out.worst_p99_ns > config.p99_ceiling_ns {
+        out.slo_violations.push(format!(
+            "rolling p99 {:.1} ms breached the {:.1} ms ceiling",
+            out.worst_p99_ns as f64 / 1e6,
+            config.p99_ceiling_ns as f64 / 1e6
+        ));
+    }
+    out
+}
+
+impl SoakReport {
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        format!(
+            "served      {:>10}\n\
+             divergence  {:>10}\n\
+             busy        {:>10}\n\
+             errors      {:>10}\n\
+             polls       {:>10}\n\
+             worst p99   {:>10.3} ms\n\
+             slo         {:>10}",
+            self.served,
+            self.divergence,
+            self.busy,
+            self.errors,
+            self.polls,
+            self.worst_p99_ns as f64 / 1e6,
+            if self.passed() { "pass" } else { "FAIL" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfast_serve::{start, ServerConfig};
+
+    #[test]
+    fn short_soak_passes_against_a_live_daemon() {
+        let server = start("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let config = SoakConfig {
+            duration: Duration::from_millis(1200),
+            poll_interval: Duration::from_millis(150),
+            connections: 2,
+            procs: 4,
+            ..SoakConfig::default()
+        };
+        let report = run_soak(&addr, &config);
+        assert!(report.passed(), "violations: {:?}", report.slo_violations);
+        assert!(report.served > 0);
+        assert_eq!(report.divergence, 0);
+        assert!(report.polls >= 1);
+        assert_eq!(report.timeline.len(), report.polls as usize);
+        // Timeline lines are well-formed single JSON objects.
+        for line in &report.timeline {
+            assert!(line.starts_with("{\"t_ms\":"), "bad line {line}");
+            assert!(line.contains("\"metrics\":{"), "bad line {line}");
+        }
+        let mut c = Client::connect(&addr).expect("connect");
+        c.call(&Request::Shutdown).expect("drain");
+        server.join();
+    }
+
+    #[test]
+    fn impossible_ceiling_is_reported_not_panicked() {
+        let server = start("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let config = SoakConfig {
+            duration: Duration::from_millis(600),
+            poll_interval: Duration::from_millis(100),
+            connections: 1,
+            procs: 4,
+            p99_ceiling_ns: 1, // nothing real serves in a nanosecond
+            ..SoakConfig::default()
+        };
+        let report = run_soak(&addr, &config);
+        assert!(!report.passed(), "1 ns p99 ceiling cannot hold");
+        let mut c = Client::connect(&addr).expect("connect");
+        c.call(&Request::Shutdown).expect("drain");
+        server.join();
+    }
+}

@@ -630,10 +630,14 @@ impl Comm {
     }
 
     /// First queued unexpected message matching the selectors, as a status
-    /// (probe support; does not consume the message).
+    /// (probe support; does not consume the message). Collective-tagged
+    /// envelopes are internal runtime traffic (user sends reject the
+    /// reserved namespace), so an `ANY_TAG` probe must not see them —
+    /// e.g. a peer's barrier token arriving early.
     pub(crate) fn peek_unexpected(&self, src: SrcSel, tag: TagSel) -> Option<Status> {
         self.unexpected
             .iter()
+            .filter(|e| !(tag == TagSel::Any && e.tag.is_collective()))
             .find(|e| src.accepts(e.src) && tag.accepts(e.tag))
             .map(|e| Status {
                 source: e.src,

@@ -102,6 +102,26 @@ mod tests {
     }
 
     #[test]
+    fn iprobe_ignores_internal_collective_traffic() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier().unwrap();
+            } else {
+                // Rank 0 is already in the barrier, so its token lands
+                // in our unexpected queue — an ANY/ANY probe must never
+                // surface that internal message as receivable.
+                while comm.unexpected_depth() == 0 {
+                    assert!(comm.iprobe(SrcSel::Any, TagSel::Any).unwrap().is_none());
+                    std::thread::yield_now();
+                }
+                assert!(comm.iprobe(SrcSel::Any, TagSel::Any).unwrap().is_none());
+                comm.barrier().unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
     fn probe_respects_selectors() {
         World::run(3, |comm| {
             if comm.rank() == 0 {

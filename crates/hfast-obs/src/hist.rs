@@ -37,6 +37,39 @@ pub fn bucket_index(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
+/// Interpolated q-quantile over a raw log₂ bucket-count array (the layout
+/// [`Histogram::bucket_counts`] produces); 0 when empty.
+///
+/// Shared by [`Histogram::quantile`] and the sliding-window aggregator in
+/// [`crate::window`], which sums bucket counts across ring slots before
+/// asking for rolling quantiles — one estimator, one answer.
+pub fn quantile_from_counts(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let threshold = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if cum + c >= threshold {
+            if i == 0 {
+                return 0;
+            }
+            // Rank position inside this bucket, in (0, 1].
+            let into = (threshold - cum) as f64 / c as f64;
+            let lo = if i == 1 { 1 } else { 1u64 << (i - 1) };
+            let hi = bucket_bound(i);
+            let span = (hi - lo) as f64;
+            return lo + (span * into).round() as u64;
+        }
+        cum += c;
+    }
+    bucket_bound(counts.len().min(BUCKETS) - 1)
+}
+
 /// Inclusive upper bound of bucket `i`.
 pub fn bucket_bound(i: usize) -> u64 {
     assert!(i < BUCKETS, "bucket index out of range");
@@ -121,31 +154,7 @@ impl Histogram {
     /// bucket's `[2^(i-1), 2^i)` range — the estimator summaries should
     /// print (p50/p95/p99) instead of raw bucket dumps.
     pub fn quantile(&self, q: f64) -> u64 {
-        let counts = self.bucket_counts();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let threshold = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
-        let mut cum = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            if cum + c >= threshold {
-                if i == 0 {
-                    return 0;
-                }
-                // Rank position inside this bucket, in (0, 1].
-                let into = (threshold - cum) as f64 / c as f64;
-                let lo = if i == 1 { 1 } else { 1u64 << (i - 1) };
-                let hi = bucket_bound(i);
-                let span = (hi - lo) as f64;
-                return lo + (span * into).round() as u64;
-            }
-            cum += c;
-        }
-        bucket_bound(BUCKETS - 1)
+        quantile_from_counts(&self.bucket_counts(), q)
     }
 
     /// Non-empty buckets as `(upper_bound, count)` pairs, for compact

@@ -53,6 +53,7 @@ pub mod json;
 pub mod serve;
 pub mod sink;
 pub mod trace;
+pub mod window;
 
 pub use counter::{Counter, Gauge};
 pub use hist::Histogram;
@@ -60,6 +61,7 @@ pub use json::{JsonObj, ToJsonl};
 pub use serve::ServeObs;
 pub use sink::{emit, emit_lines, Sink};
 pub use trace::{Span, TraceEvent, Tracer, Val};
+pub use window::{LaneStats, Outcome, SlidingWindow, WindowSnapshot};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -21,6 +21,7 @@ use crate::json::JsonObj;
 pub struct ServeObs {
     endpoints: Vec<&'static str>,
     requests: Vec<Counter>,
+    service_ns_by_endpoint: Vec<Histogram>,
     /// Requests admitted but not yet responded to.
     pub in_flight: Gauge,
     /// Highest in-flight level observed.
@@ -49,6 +50,7 @@ impl ServeObs {
         ServeObs {
             endpoints: endpoints.to_vec(),
             requests: endpoints.iter().map(|_| Counter::new()).collect(),
+            service_ns_by_endpoint: endpoints.iter().map(|_| Histogram::new()).collect(),
             in_flight: Gauge::new(),
             in_flight_peak: Gauge::new(),
             shed: Counter::new(),
@@ -73,6 +75,24 @@ impl ServeObs {
     /// Requests recorded against endpoint index `idx`.
     pub fn requests_for(&self, idx: usize) -> u64 {
         self.requests.get(idx).map_or(0, Counter::get)
+    }
+
+    /// Records one end-to-end serve latency against endpoint index `idx`
+    /// (parse to response written, measured at the connection). The
+    /// aggregate [`service_ns`](Self::service_ns) histogram keeps its
+    /// worker-execute meaning and is recorded separately; out-of-range
+    /// indices are ignored like [`record_request`](Self::record_request).
+    #[inline]
+    pub fn record_service(&self, idx: usize, ns: u64) {
+        if let Some(h) = self.service_ns_by_endpoint.get(idx) {
+            h.record(ns);
+        }
+    }
+
+    /// Lifetime service-latency histogram of endpoint index `idx`; `None`
+    /// out of range.
+    pub fn service_for(&self, idx: usize) -> Option<&Histogram> {
+        self.service_ns_by_endpoint.get(idx)
     }
 
     /// Requests recorded across all endpoints.
@@ -106,11 +126,15 @@ impl ServeObs {
             .endpoints
             .iter()
             .zip(&self.requests)
-            .map(|(name, count)| {
+            .zip(&self.service_ns_by_endpoint)
+            .map(|((name, count), service)| {
                 JsonObj::new()
                     .str("event", "serve_endpoint")
                     .str("endpoint", name)
                     .u64("requests", count.get())
+                    .u64("service_p50_ns", service.quantile(0.50))
+                    .u64("service_p95_ns", service.quantile(0.95))
+                    .u64("service_p99_ns", service.quantile(0.99))
                     .finish()
             })
             .collect();

@@ -1,0 +1,259 @@
+//! `fleet_trace`: stitch per-process span files into one Perfetto
+//! document, or capture a live fleet trace end to end.
+//!
+//! ```text
+//! fleet_trace OUT.json IN.jsonl [IN.jsonl ...]
+//!     Merge JSONL span files (the `render_jsonl` interchange each
+//!     process writes when `HFAST_TRACE` names a `.jsonl` path) into a
+//!     single validated trace-event document with one Perfetto process
+//!     group per input. Pass the files in client, router, shard order
+//!     for a stable layout.
+//!
+//! fleet_trace --capture DIR
+//!     Self-contained end-to-end capture (what the stitcher test runs):
+//!     spawn two shard daemons with per-process `HFAST_TRACE` sinks,
+//!     start the router in-process with an injected recorder, drive a
+//!     handful of traced requests through a tracing `FleetClient`, then
+//!     stitch all four span files into `DIR/fleet.json` and verify each
+//!     request renders as ONE connected causal tree (roots == 1,
+//!     orphans == 0). Exits non-zero on any violation.
+//!
+//! fleet_trace --shard ADDR
+//!     Internal: one shard daemon for `--capture` (re-exec'd from the
+//!     same binary), printing `READY ADDR` once bound.
+//! ```
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hfast_serve::{
+    start, start_fleet, AppSpec, Client, FleetClient, FleetConfig, Request, Response, ServerConfig,
+};
+use hfast_trace::{render_jsonl, stitch, trace_tree, TraceRecorder};
+
+/// How long shard binds and readiness probes retry before giving up.
+const STARTUP_WINDOW: Duration = Duration::from_secs(10);
+
+/// Reads each span file and merges them into one validated document.
+fn stitch_files(out: &Path, inputs: &[String]) -> Result<(), String> {
+    let mut docs = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        docs.push(std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?);
+    }
+    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let (doc, stats) = stitch(&refs)?;
+    std::fs::write(out, &doc).map_err(|e| format!("write {}: {e}", out.display()))?;
+    eprintln!(
+        "fleet_trace: {} processes, {} spans, {} roots, {} orphans -> {}",
+        stats.processes,
+        stats.spans,
+        stats.roots,
+        stats.orphans,
+        out.display()
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Capture mode
+// ---------------------------------------------------------------------
+
+fn run_shard(addr: &str) -> Result<(), String> {
+    let server = start(addr, ServerConfig::default()).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("READY {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server.join(); // join() exports to the HFAST_TRACE sink on drain
+    Ok(())
+}
+
+fn reserve_ports(n: usize) -> Result<Vec<String>, String> {
+    let mut addrs = Vec::new();
+    let mut holds = Vec::new();
+    for _ in 0..n {
+        let l = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("reserve port: {e}"))?;
+        addrs.push(l.local_addr().map_err(|e| e.to_string())?.to_string());
+        holds.push(l);
+    }
+    drop(holds);
+    Ok(addrs)
+}
+
+/// Spawns a shard daemon whose spans land in `sink` — `HFAST_TRACE` is
+/// probed once per process, so per-shard sinks require per-process
+/// environments, which is exactly why capture re-execs itself.
+fn spawn_shard(addr: &str, sink: &Path) -> Result<Child, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    Command::new(exe)
+        .args(["--shard", addr])
+        .env("HFAST_TRACE", sink)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn shard {addr}: {e}"))
+}
+
+fn await_ready(addr: &str) -> Result<(), String> {
+    let deadline = Instant::now() + STARTUP_WINDOW;
+    loop {
+        if let Ok(mut c) = Client::connect(addr) {
+            if matches!(c.call(&Request::Health), Ok(Response::Health { .. })) {
+                return Ok(());
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("shard {addr} never became ready"));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The traced request mix: compute verbs with distinct keys, so the
+/// capture exercises both shards and the router's fan-out-free path.
+fn capture_pool() -> Vec<Request> {
+    let ring = |n: usize| AppSpec::Inline {
+        n,
+        edges: (0..n)
+            .map(|i| (i, (i + 1) % n, 64 * 1024, 16, 4096))
+            .collect(),
+    };
+    let mut pool = Vec::new();
+    for n in [6usize, 8, 10, 12] {
+        pool.push(Request::Cost {
+            app: ring(n),
+            block_ports: 8,
+            cutoff: 4096,
+        });
+        pool.push(Request::Tdc {
+            app: ring(n),
+            cutoffs: vec![0, 2048],
+        });
+    }
+    pool
+}
+
+fn capture(dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("capture dir: {e}"))?;
+
+    // Two shards, each exporting its spans to its own JSONL sink.
+    let shard_addrs = reserve_ports(2)?;
+    let sinks: Vec<PathBuf> = (0..2)
+        .map(|i| dir.join(format!("shard-{i}.jsonl")))
+        .collect();
+    let mut children = Vec::new();
+    for (addr, sink) in shard_addrs.iter().zip(&sinks) {
+        children.push(spawn_shard(addr, sink)?);
+    }
+    for addr in &shard_addrs {
+        await_ready(addr)?;
+    }
+
+    // Router in-process with an injected recorder (the embedding process
+    // owns the export, so FleetHandle::join does not write anything).
+    let router_rec = Arc::new(TraceRecorder::new());
+    let router = start_fleet(
+        "127.0.0.1:0",
+        &shard_addrs,
+        FleetConfig {
+            trace: Some(Arc::clone(&router_rec)),
+            ..FleetConfig::default()
+        },
+    )
+    .map_err(|e| format!("router: {e}"))?;
+    let router_addr = router.local_addr().to_string();
+
+    // Tracing client: every call originates a root span and threads the
+    // context through the router to whichever shard owns the key.
+    let client_rec = Arc::new(TraceRecorder::new());
+    let mut client = FleetClient::connect(std::slice::from_ref(&router_addr))
+        .with_trace(Arc::clone(&client_rec));
+    let pool = capture_pool();
+    for req in &pool {
+        match client.call(req).map_err(|e| format!("traced call: {e}"))? {
+            Response::Error { message } => return Err(format!("traced call errored: {message}")),
+            Response::Busy => return Err("traced call shed".into()),
+            _ => {}
+        }
+    }
+    let traces = pool.len() as u64;
+
+    // Drain: shutdown through the router fans out to the shards, whose
+    // join-time export writes the JSONL sinks.
+    let mut c = Client::connect(&router_addr).map_err(|e| e.to_string())?;
+    c.call(&Request::Shutdown).map_err(|e| e.to_string())?;
+    router.join();
+    for mut child in children {
+        let status = child.wait().map_err(|e| format!("shard wait: {e}"))?;
+        if !status.success() {
+            return Err(format!("shard exited with {status}"));
+        }
+    }
+
+    // This process's two recorders become the client and router files.
+    let client_path = dir.join("client.jsonl");
+    let router_path = dir.join("router.jsonl");
+    std::fs::write(&client_path, render_jsonl("client", &client_rec.snapshot()))
+        .map_err(|e| format!("write client spans: {e}"))?;
+    std::fs::write(&router_path, render_jsonl("router", &router_rec.snapshot()))
+        .map_err(|e| format!("write router spans: {e}"))?;
+
+    let inputs = vec![
+        client_path.display().to_string(),
+        router_path.display().to_string(),
+        sinks[0].display().to_string(),
+        sinks[1].display().to_string(),
+    ];
+    let out = dir.join("fleet.json");
+    stitch_files(&out, &inputs)?;
+
+    // The acceptance check: every traced request must render as one
+    // connected causal tree — a single client root transitively
+    // parenting the router and shard worker spans.
+    let doc = std::fs::read_to_string(&out).map_err(|e| e.to_string())?;
+    for trace_id in 1..=traces {
+        let tree = trace_tree(&doc, trace_id)?;
+        if tree.spans < 3 {
+            return Err(format!(
+                "trace {trace_id}: only {} spans — expected client, router and shard coverage",
+                tree.spans
+            ));
+        }
+        if tree.roots != 1 || tree.orphans != 0 {
+            return Err(format!(
+                "trace {trace_id}: {} roots, {} orphans over {} spans — not one connected tree",
+                tree.roots, tree.orphans, tree.spans
+            ));
+        }
+    }
+    eprintln!(
+        "fleet_trace: {traces} traces each form one connected tree in {}",
+        out.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let done = match args.first().map(String::as_str) {
+        Some("--shard") => match args.get(1) {
+            Some(addr) => run_shard(addr),
+            None => Err("--shard wants an address".into()),
+        },
+        Some("--capture") => match args.get(1) {
+            Some(dir) => capture(Path::new(dir)).map(|()| println!("fleet_trace capture: ok")),
+            None => Err("--capture wants a directory".into()),
+        },
+        Some(out) if args.len() >= 2 => stitch_files(Path::new(out), &args[1..]),
+        _ => Err("usage: fleet_trace OUT.json IN.jsonl... | --capture DIR".into()),
+    };
+    match done {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fleet_trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -20,6 +20,17 @@
 //!          load keeps answering baseline bytes, every job still
 //!          completes and fetches byte-identical results.
 //!     Exits non-zero on any violation.
+//!
+//! hfast-fleet --soak [--secs N] [--timeline PATH]
+//!     wall-clock soak monitor over a 2-shard fleet: sustained
+//!     mixed-verb load for N seconds (default 20) while a monitor polls
+//!     the router's `metrics` verb, shard 0 is rolling-restarted
+//!     mid-soak, and the run must hold its SLOs — zero byte divergence,
+//!     zero refused responses, zero journal loss (every durable job
+//!     completes with byte-identical results), rolling p99 under the
+//!     `HFAST_SOAK_P99_MS` ceiling (default 500). `--timeline` writes
+//!     the poll-by-poll JSONL telemetry record. Exits non-zero on any
+//!     SLO violation.
 //! ```
 //!
 //! The supervisor re-executes its own binary (`current_exe`) for shard
@@ -481,10 +492,288 @@ fn smoke() -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Soak mode
+// ---------------------------------------------------------------------
+
+/// Worst rolling p99 a `metrics` snapshot reports over the soak pool's
+/// compute verbs (rows that served nothing don't count).
+fn snapshot_p99(resp: &Response) -> u64 {
+    let Response::Metrics { verbs, .. } = resp else {
+        return 0;
+    };
+    verbs
+        .iter()
+        .filter(|row| {
+            matches!(row.verb.as_str(), "provision" | "cost" | "tdc" | "simulate") && row.count > 0
+        })
+        .map(|row| row.p99_ns)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Rolling p99 ceiling, milliseconds: `HFAST_SOAK_P99_MS` or a bound
+/// generous enough for a loaded CI box.
+fn soak_p99_ceiling_ns() -> u64 {
+    std::env::var("HFAST_SOAK_P99_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(500)
+        .saturating_mul(1_000_000)
+}
+
+fn soak(secs: u64, timeline_path: Option<PathBuf>) -> Result<(), String> {
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("hfast-fleet soak: worker panic contained ({info})");
+    }));
+    let dir = std::env::temp_dir().join(format!("hfast-fleet-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("soak dir: {e}"))?;
+    let pool = smoke_pool();
+    let p99_ceiling_ns = soak_p99_ceiling_ns();
+
+    // Baseline bytes from a throwaway single node: the byte oracle for
+    // every response the fleet serves during the soak.
+    let single = start("127.0.0.1:0", ServerConfig::default()).map_err(|e| format!("bind: {e}"))?;
+    let single_addr = single.local_addr().to_string();
+    let (_, base_cycle, busy, errors) = run_load(&single_addr, &pool, 1)?;
+    if busy != 0 || errors != 0 {
+        return Err(format!(
+            "baseline shed or errored: {busy} busy, {errors} errors"
+        ));
+    }
+    let candidates = job_candidates();
+    let mut c = Client::connect(&single_addr).map_err(|e| e.to_string())?;
+    let mut job_baselines = Vec::new();
+    for req in &candidates {
+        let (_, text) = c.call_text(req).map_err(|e| e.to_string())?;
+        job_baselines.push(text);
+    }
+    c.call(&Request::Shutdown).map_err(|e| e.to_string())?;
+    single.join();
+
+    // The fleet under soak: two journaled shards behind a router.
+    let shard_addrs = reserve_ports(2)?;
+    let journals: Vec<PathBuf> = (0..2)
+        .map(|i| dir.join(format!("shard-{i}.jsonl")))
+        .collect();
+    let mut children: Vec<Child> = Vec::new();
+    for (addr, journal) in shard_addrs.iter().zip(&journals) {
+        children.push(spawn_shard(addr, journal)?);
+    }
+    for addr in &shard_addrs {
+        await_ready(addr)?;
+    }
+    let router = start_fleet("127.0.0.1:0", &shard_addrs, FleetConfig::default())
+        .map_err(|e| format!("router: {e}"))?;
+    let router_addr = router.local_addr().to_string();
+
+    // Durable jobs on both shards before the load starts — the restart
+    // must cost none of them.
+    let mut jobs_client = Client::connect(&router_addr).map_err(|e| e.to_string())?;
+    let mut jobs: Vec<(u64, &String)> = Vec::new();
+    let mut owned = [false; 2];
+    for (req, expect) in candidates.iter().zip(&job_baselines) {
+        if jobs.len() >= 4 && owned[0] && owned[1] {
+            break;
+        }
+        match jobs_client
+            .call(&Request::Submit {
+                job: Box::new(req.clone()),
+            })
+            .map_err(|e| format!("submit: {e}"))?
+        {
+            Response::JobAccepted { id } => {
+                let (shard, _) = unwrap_job_id(id);
+                owned[shard.min(1)] = true;
+                jobs.push((id, expect));
+            }
+            other => return Err(format!("submit: unexpected {other:?}")),
+        }
+    }
+    if !(owned[0] && owned[1]) {
+        return Err(format!("job keys covered only shards {owned:?}"));
+    }
+
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    let refused = AtomicU64::new(0);
+    let load_err = std::sync::Mutex::new(None::<String>);
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(secs.max(1));
+    let restart_at = started + Duration::from_secs(secs.max(1) / 2);
+
+    let (timeline, polls, worst_p99) = std::thread::scope(|s| -> Result<_, String> {
+        for conn in 0..2usize {
+            let (pool, base_cycle, router_addr) = (&pool, &base_cycle, &router_addr);
+            let (stop, served, mismatches, refused, load_err) =
+                (&stop, &served, &mismatches, &refused, &load_err);
+            s.spawn(move || {
+                let mut client = match Client::connect(router_addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        *load_err.lock().unwrap() = Some(format!("loader {conn} connect: {e}"));
+                        return;
+                    }
+                };
+                'outer: while !stop.load(Ordering::Relaxed) {
+                    for (req, expect) in pool.iter().zip(base_cycle) {
+                        match client.call_text(req) {
+                            Ok((resp, text)) => {
+                                if matches!(resp, Response::Busy | Response::Error { .. }) {
+                                    refused.fetch_add(1, Ordering::Relaxed);
+                                } else if &text != expect {
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                                served.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                *load_err.lock().unwrap() =
+                                    Some(format!("loader {conn} call: {e}"));
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        // Monitor: poll the router's rolling metrics, record the JSONL
+        // timeline, and roll shard 0 once the soak is halfway through.
+        let mut monitor = Client::connect(&router_addr).map_err(|e| e.to_string())?;
+        let mut timeline: Vec<String> = Vec::new();
+        let mut polls = 0u64;
+        let mut worst_p99 = 0u64;
+        let mut restarted = false;
+        while Instant::now() < deadline {
+            std::thread::sleep(
+                Duration::from_millis(250).min(deadline.saturating_duration_since(Instant::now())),
+            );
+            if let Some(e) = load_err.lock().unwrap().clone() {
+                stop.store(true, Ordering::Relaxed);
+                return Err(format!("loader died mid-soak: {e}"));
+            }
+            if !restarted && Instant::now() >= restart_at {
+                restarted = true;
+                let before = served.load(Ordering::Relaxed);
+                let mut direct = Client::connect(&shard_addrs[0]).map_err(|e| e.to_string())?;
+                direct
+                    .call(&Request::Shutdown)
+                    .map_err(|e| format!("shard 0 drain: {e}"))?;
+                let _ = children[0].wait();
+                children[0] = spawn_shard(&shard_addrs[0], &journals[0])?;
+                await_ready(&shard_addrs[0])?;
+                eprintln!(
+                    "soak: shard 0 rolled at {:.1}s ({before} responses in)",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            let (resp, raw) = monitor
+                .call_text(&Request::Metrics)
+                .map_err(|e| format!("metrics poll: {e}"))?;
+            polls += 1;
+            worst_p99 = worst_p99.max(snapshot_p99(&resp));
+            timeline.push(
+                hfast_obs::JsonObj::new()
+                    .u64("t_ms", started.elapsed().as_millis() as u64)
+                    .u64("served", served.load(Ordering::Relaxed))
+                    .u64("restarted", u64::from(restarted))
+                    .raw("metrics", &raw)
+                    .finish(),
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        if !restarted {
+            return Err("soak ended before the rolling restart fired".into());
+        }
+        Ok((timeline, polls, worst_p99))
+    })?;
+    if let Some(e) = load_err.lock().unwrap().clone() {
+        return Err(e);
+    }
+
+    // SLO: the restart and the sustained load were invisible.
+    let served = served.load(Ordering::Relaxed);
+    let mismatches = mismatches.load(Ordering::Relaxed);
+    let refused = refused.load(Ordering::Relaxed);
+    if mismatches != 0 || refused != 0 {
+        return Err(format!(
+            "soak surfaced {mismatches} diverged and {refused} refused responses over {served}"
+        ));
+    }
+    if polls == 0 {
+        return Err("monitor landed zero metrics polls".into());
+    }
+    if worst_p99 > p99_ceiling_ns {
+        return Err(format!(
+            "rolling p99 {:.1} ms breached the {:.1} ms ceiling",
+            worst_p99 as f64 / 1e6,
+            p99_ceiling_ns as f64 / 1e6
+        ));
+    }
+
+    // SLO: zero journal loss — every pre-soak durable job completes
+    // across the restart and fetches its baseline bytes.
+    let job_deadline = Instant::now() + STARTUP_WINDOW;
+    for &(id, expect) in &jobs {
+        loop {
+            match jobs_client.call(&Request::Poll { id }) {
+                Ok(Response::JobStatus {
+                    state: JobState::Done,
+                    ..
+                }) => break,
+                Ok(Response::JobStatus {
+                    state: JobState::Failed,
+                    message,
+                    ..
+                }) => return Err(format!("job {id} failed: {message:?}")),
+                Ok(_) if Instant::now() < job_deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                other => return Err(format!("job {id} never finished: {other:?}")),
+            }
+        }
+        let (_, text) = jobs_client
+            .call_text(&Request::Fetch { id })
+            .map_err(|e| format!("fetch {id}: {e}"))?;
+        if &text != expect {
+            return Err(format!("job {id} result differs from the baseline bytes"));
+        }
+    }
+
+    if let Some(path) = &timeline_path {
+        let mut doc = timeline.join("\n");
+        doc.push('\n');
+        std::fs::write(path, doc).map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("soak: telemetry timeline -> {}", path.display());
+    }
+    eprintln!(
+        "soak: {served} responses, {polls} polls, worst p99 {:.3} ms, {} jobs intact",
+        worst_p99 as f64 / 1e6,
+        jobs.len()
+    );
+
+    let mut c = Client::connect(&router_addr).map_err(|e| e.to_string())?;
+    c.call(&Request::Shutdown).map_err(|e| e.to_string())?;
+    router.join();
+    for mut child in children {
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let done = if args.iter().any(|a| a == "--smoke") {
         smoke().map(|()| println!("hfast-fleet smoke: ok"))
+    } else if args.iter().any(|a| a == "--soak") {
+        let secs = parse_flag(&args, "--secs")
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(20);
+        soak(secs, parse_flag(&args, "--timeline").map(PathBuf::from))
+            .map(|()| println!("hfast-fleet soak: ok"))
     } else if let Some(addr) = parse_flag(&args, "--shard") {
         run_shard(&addr, parse_flag(&args, "--journal").map(PathBuf::from))
     } else if let Some(shards) = parse_flag(&args, "--shards") {
@@ -499,7 +788,7 @@ fn main() -> ExitCode {
             _ => Err("--shards wants a positive integer".into()),
         }
     } else {
-        Err("usage: hfast-fleet --shards N [--addr A] [--journal-dir D] | --shard ADDR [--journal P] | --smoke".into())
+        Err("usage: hfast-fleet --shards N [--addr A] [--journal-dir D] | --shard ADDR [--journal P] | --smoke | --soak [--secs N] [--timeline P]".into())
     };
     match done {
         Ok(()) => ExitCode::SUCCESS,

@@ -17,15 +17,18 @@
 //! [`ClientError::Server`] (the fleet gave up after the server kept
 //! refusing).
 
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hfast_trace::{client_span_id, TraceContext, TraceRecorder, Track};
 
 use crate::fleet::{unwrap_job_id, wrap_job_id, HashRing, DEFAULT_VNODES};
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::protocol::{
-    decode_response, encode_request, encode_request_versioned, request_key, Request, Response,
-    WireVersion,
+    decode_response, encode_request, encode_request_versioned, envelope_traced, request_key,
+    strip_envelope, Request, Response, WireVersion,
 };
 
 /// Why a call failed, by layer.
@@ -99,8 +102,9 @@ impl Client {
         Ok(Client { stream })
     }
 
-    /// One frame out, one frame in.
-    fn exchange(&mut self, payload: &str) -> Result<String, ClientError> {
+    /// One frame out, one frame in. Crate-internal: the fleet router and
+    /// the traced fleet client relay pre-encoded envelopes through it.
+    pub(crate) fn exchange(&mut self, payload: &str) -> Result<String, ClientError> {
         write_frame(&mut self.stream, payload)?;
         Ok(read_frame(&mut self.stream)?)
     }
@@ -148,34 +152,6 @@ impl Client {
         Ok(resp)
     }
 
-    /// Sends a pre-encoded payload and returns the raw response text.
-    ///
-    /// # Errors
-    /// Transport or framing failure.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use the typed `call` / `call_text`; raw payloads bypass request validation"
-    )]
-    pub fn call_raw(&mut self, payload: &str) -> Result<String, ClientError> {
-        self.exchange(payload)
-    }
-
-    /// Writes raw bytes with *no* length prefix, then shuts down the
-    /// write side. For truncation tests only: the server must answer
-    /// nothing and simply drop the connection.
-    ///
-    /// # Errors
-    /// Propagates write/shutdown failures.
-    #[deprecated(
-        since = "0.8.0",
-        note = "truncation-test helper; production code has no business writing unframed bytes"
-    )]
-    pub fn send_raw_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
-        self.stream.write_all(bytes)?;
-        self.stream.flush()?;
-        self.stream.shutdown(std::net::Shutdown::Write)
-    }
-
     /// Reads until the server closes the stream, returning what arrived.
     ///
     /// # Errors
@@ -207,6 +183,18 @@ pub struct FleetClient {
     conns: Vec<Option<Client>>,
     stateful_retries: usize,
     retry_pause: Duration,
+    /// Root-span recorder when this client originates traces; injected
+    /// explicitly via [`with_trace`](FleetClient::with_trace) — never
+    /// probed from the environment, so a client embedded in a process
+    /// that already exports its own trace cannot collide on the sink.
+    trace: Option<Arc<TraceRecorder>>,
+    epoch: Instant,
+    /// Monotone per-client call counter: it is both the trace id and the
+    /// low bits of the root span id.
+    seq: u64,
+    /// Trace context for the call in flight, consumed by
+    /// [`call_shard`](FleetClient::call_shard) on every hop of the call.
+    active_ctx: Option<TraceContext>,
 }
 
 impl FleetClient {
@@ -223,6 +211,10 @@ impl FleetClient {
             conns,
             stateful_retries: DEFAULT_STATEFUL_RETRIES,
             retry_pause: DEFAULT_RETRY_PAUSE,
+            trace: None,
+            epoch: Instant::now(),
+            seq: 0,
+            active_ctx: None,
         }
     }
 
@@ -231,6 +223,20 @@ impl FleetClient {
         self.stateful_retries = retries;
         self.retry_pause = pause;
         self
+    }
+
+    /// Makes this client a trace originator: every call records a root
+    /// span on [`Track::Client`] into `recorder` and stamps its context
+    /// into the v2 envelope so downstream routers and shards parent
+    /// their spans under it. The caller owns the export (e.g. via
+    /// [`hfast_trace::export_to_env_sink`]).
+    pub fn with_trace(mut self, recorder: Arc<TraceRecorder>) -> FleetClient {
+        self.trace = Some(recorder);
+        self
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
     }
 
     /// Calls one shard, reusing its connection when warm.
@@ -242,8 +248,22 @@ impl FleetClient {
         if self.conns[shard].is_none() {
             self.conns[shard] = Some(Client::connect(&self.addrs[shard])?);
         }
+        let ctx = self.active_ctx;
         let conn = self.conns[shard].as_mut().expect("just connected");
-        let out = conn.call_text(req);
+        let out = match ctx {
+            None => conn.call_text(req),
+            // Traced calls ride the v2 envelope; the response is stripped
+            // back to the canonical v1 text so everything downstream of
+            // the client (digests, byte-identity checks) is untouched by
+            // tracing. Responses never carry trace context.
+            Some(ctx) => conn
+                .exchange(&envelope_traced(&encode_request(req), ctx))
+                .and_then(|raw| {
+                    let raw = strip_envelope(&raw);
+                    let resp = decode_response(&raw).map_err(ClientError::Protocol)?;
+                    Ok((resp, raw))
+                }),
+        };
         if matches!(out, Err(ClientError::Transport(_))) {
             // A broken connection never heals; reconnect on next use.
             self.conns[shard] = None;
@@ -338,6 +358,35 @@ impl FleetClient {
     /// protocol violations, or a fleet-level give-up
     /// ([`ClientError::Server`]).
     pub fn call_text(&mut self, req: &Request) -> Result<(Response, String), ClientError> {
+        let Some(trace) = self.trace.clone() else {
+            return self.dispatch(req);
+        };
+        self.seq += 1;
+        let seq = self.seq;
+        let root = client_span_id(seq);
+        self.active_ctx = Some(TraceContext {
+            trace_id: seq,
+            parent_id: root,
+        });
+        let t0 = self.now_ns();
+        let out = self.dispatch(req);
+        self.active_ctx = None;
+        let t1 = self.now_ns();
+        trace.record_span(
+            Track::Client,
+            req.endpoint(),
+            t0,
+            t1.saturating_sub(t0).max(1),
+            root,
+            0,
+            vec![("trace", seq), ("ok", out.is_ok() as u64)],
+        );
+        out
+    }
+
+    /// Routing core behind [`call_text`](FleetClient::call_text); the
+    /// wrapper owns span bookkeeping, this owns shard selection.
+    fn dispatch(&mut self, req: &Request) -> Result<(Response, String), ClientError> {
         match req {
             // Liveness of the fleet = any reachable shard.
             Request::Health => {
@@ -364,6 +413,24 @@ impl FleetClient {
                 }
                 let resp = crate::fleet::aggregate_stats(&parts).ok_or_else(|| {
                     last.unwrap_or_else(|| ClientError::Server("no stats to aggregate".into()))
+                })?;
+                let raw = crate::protocol::encode_response(&resp);
+                Ok((resp, raw))
+            }
+            // Rolling SLO snapshot = merge over reachable shards: counts
+            // and gauges sum, quantiles take the per-shard max as a
+            // conservative fleet-level bound.
+            Request::Metrics => {
+                let mut parts = Vec::new();
+                let mut last: Option<ClientError> = None;
+                for shard in 0..self.addrs.len() {
+                    match self.call_shard(shard, req) {
+                        Ok((resp, _)) => parts.push(resp),
+                        Err(e) => last = Some(e),
+                    }
+                }
+                let resp = crate::fleet::aggregate_metrics(&parts).ok_or_else(|| {
+                    last.unwrap_or_else(|| ClientError::Server("no metrics to aggregate".into()))
                 })?;
                 let raw = crate::protocol::encode_response(&resp);
                 Ok((resp, raw))

@@ -38,17 +38,20 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use hfast_trace::{router_span_id, TraceContext, TraceRecorder, Track};
 
 use crate::cache::ResponseCache;
 use crate::client::{Client, ClientError};
 use crate::frame::{write_frame, FrameError, FramePoll, FrameReader};
 use crate::protocol::{
-    decode_request_versioned, decode_response, encode_request, encode_response, envelope_v2,
-    request_key, JobTotals, Request, Response, WireVersion,
+    decode_request_traced, decode_response, encode_request, encode_response, envelope_traced,
+    envelope_v2, request_key, strip_envelope, JobTotals, Request, Response, VerbLatency,
+    WireVersion,
 };
 
 /// Bits reserved for the shard-local job id; the shard index lives above
@@ -156,6 +159,30 @@ impl HotKeys {
         *c = c.saturating_add(1);
         *c >= self.threshold
     }
+
+    /// Keys currently at or past the hot threshold — the `metrics`
+    /// gauge. Resets with the table's coarse decay.
+    pub fn hot_count(&self) -> usize {
+        let counts = self.counts.lock().expect("hot-key table poisoned");
+        counts.values().filter(|&&c| c >= self.threshold).count()
+    }
+}
+
+/// Merges per-shard latency rows by verb name: counts sum, quantiles
+/// take the max — exact quantile merging needs the raw histograms, and
+/// the max is the conservative fleet-level bound an SLO check wants.
+fn merge_latency(into: &mut Vec<VerbLatency>, rows: &[VerbLatency]) {
+    for row in rows {
+        match into.iter_mut().find(|r| r.verb == row.verb) {
+            Some(r) => {
+                r.count += row.count;
+                r.p50_ns = r.p50_ns.max(row.p50_ns);
+                r.p95_ns = r.p95_ns.max(row.p95_ns);
+                r.p99_ns = r.p99_ns.max(row.p99_ns);
+            }
+            None => into.push(row.clone()),
+        }
+    }
 }
 
 /// Sums per-shard stats into one fleet-wide [`Response::Stats`].
@@ -175,6 +202,7 @@ pub fn aggregate_stats(parts: &[Response]) -> Option<Response> {
     let mut graphs = 0u64;
     let mut fabrics = 0u64;
     let mut jobs = JobTotals::default();
+    let mut latency: Vec<VerbLatency> = Vec::new();
     let mut any = false;
     for part in parts {
         let Response::Stats {
@@ -191,11 +219,13 @@ pub fn aggregate_stats(parts: &[Response]) -> Option<Response> {
             graphs: g,
             fabrics: f,
             jobs: j,
+            latency: l,
         } = part
         else {
             continue;
         };
         any = true;
+        merge_latency(&mut latency, l);
         requests += r;
         shed += s;
         cache_hits += ch;
@@ -230,6 +260,76 @@ pub fn aggregate_stats(parts: &[Response]) -> Option<Response> {
         graphs,
         fabrics,
         jobs,
+        latency,
+    })
+}
+
+/// Merges per-shard [`Response::Metrics`] snapshots into one fleet-wide
+/// view: counts, gauges, and shard totals sum; `window_ns` and every
+/// quantile take the per-shard max (a conservative fleet bound — see
+/// [`merge_latency`] for why exact merging is off the table).
+///
+/// Returns `None` when `parts` holds no metrics response.
+pub fn aggregate_metrics(parts: &[Response]) -> Option<Response> {
+    let mut window_ns = 0u64;
+    let mut shards = 0u64;
+    let mut queue_depth = 0u64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut jobs_pending = 0u64;
+    let mut jobs_retried = 0u64;
+    let mut hot_keys = 0u64;
+    let mut verbs: Vec<crate::protocol::VerbWindow> = Vec::new();
+    let mut any = false;
+    for part in parts {
+        let Response::Metrics {
+            window_ns: w,
+            shards: n,
+            queue_depth: q,
+            cache_hits: ch,
+            cache_misses: cm,
+            jobs_pending: jp,
+            jobs_retried: jr,
+            hot_keys: hk,
+            verbs: v,
+        } = part
+        else {
+            continue;
+        };
+        any = true;
+        window_ns = window_ns.max(*w);
+        shards += n;
+        queue_depth += q;
+        cache_hits += ch;
+        cache_misses += cm;
+        jobs_pending += jp;
+        jobs_retried += jr;
+        hot_keys += hk;
+        for row in v {
+            match verbs.iter_mut().find(|r| r.verb == row.verb) {
+                Some(r) => {
+                    r.count += row.count;
+                    r.ok += row.ok;
+                    r.busy += row.busy;
+                    r.errors += row.errors;
+                    r.p50_ns = r.p50_ns.max(row.p50_ns);
+                    r.p95_ns = r.p95_ns.max(row.p95_ns);
+                    r.p99_ns = r.p99_ns.max(row.p99_ns);
+                }
+                None => verbs.push(row.clone()),
+            }
+        }
+    }
+    any.then_some(Response::Metrics {
+        window_ns,
+        shards,
+        queue_depth,
+        cache_hits,
+        cache_misses,
+        jobs_pending,
+        jobs_retried,
+        hot_keys,
+        verbs,
     })
 }
 
@@ -250,6 +350,11 @@ pub struct FleetConfig {
     pub stateful_retries: usize,
     /// Pause between same-shard retries.
     pub retry_pause: Duration,
+    /// Span recorder for router-side child spans. Injected by the
+    /// embedding process (never probed from the environment — the
+    /// process owns the export and the sink), so `Default` is `None`
+    /// and [`FleetHandle::join`] deliberately does not export.
+    pub trace: Option<Arc<TraceRecorder>>,
 }
 
 impl Default for FleetConfig {
@@ -262,6 +367,7 @@ impl Default for FleetConfig {
             cache_shards: 8,
             stateful_retries: 40,
             retry_pause: Duration::from_millis(50),
+            trace: None,
         }
     }
 }
@@ -273,11 +379,22 @@ struct RouterShared {
     cache: ResponseCache,
     config: FleetConfig,
     shutdown: AtomicBool,
+    trace: Option<Arc<TraceRecorder>>,
+    epoch: Instant,
+    span_counter: AtomicU64,
 }
 
 impl RouterShared {
     fn draining(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn next_router_span(&self) -> u64 {
+        router_span_id(self.span_counter.fetch_add(1, Ordering::Relaxed))
     }
 }
 
@@ -294,19 +411,27 @@ impl Upstreams {
     }
 
     /// One canonical-v1 exchange with `shard`; reconnects lazily and
-    /// forgets broken connections.
+    /// forgets broken connections. With a trace context the payload
+    /// rides the traced v2 envelope out and the reply is stripped back
+    /// to canonical v1 text, so callers (router cache, digests) never
+    /// see tracing on the bytes.
     fn exchange(
         &mut self,
         shared: &RouterShared,
         shard: usize,
         payload: &str,
+        ctx: Option<TraceContext>,
     ) -> Result<String, ClientError> {
         if self.conns[shard].is_none() {
             self.conns[shard] = Some(Client::connect(&shared.shard_addrs[shard])?);
         }
         let conn = self.conns[shard].as_mut().expect("just connected");
-        #[allow(deprecated)]
-        let out = conn.call_raw(payload);
+        let out = match ctx {
+            None => conn.exchange(payload),
+            Some(c) => conn
+                .exchange(&envelope_traced(payload, c))
+                .map(|raw| strip_envelope(&raw)),
+        };
         if matches!(out, Err(ClientError::Transport(_))) {
             self.conns[shard] = None;
         }
@@ -319,13 +444,14 @@ impl Upstreams {
         shared: &RouterShared,
         shard: usize,
         payload: &str,
+        ctx: Option<TraceContext>,
     ) -> Result<String, ClientError> {
         let mut last: Option<ClientError> = None;
         for attempt in 0..shared.config.stateful_retries.max(1) {
             if attempt > 0 {
                 thread::sleep(shared.config.retry_pause);
             }
-            match self.exchange(shared, shard, payload) {
+            match self.exchange(shared, shard, payload, ctx) {
                 Ok(raw) => {
                     if decode_response(&raw).is_ok_and(|r| matches!(r, Response::Busy)) {
                         last = Some(ClientError::Server(format!(
@@ -348,10 +474,11 @@ impl Upstreams {
         shared: &RouterShared,
         key: u64,
         payload: &str,
+        ctx: Option<TraceContext>,
     ) -> Result<String, ClientError> {
         let mut last: Option<ClientError> = None;
         for shard in shared.ring.route(key) {
-            match self.exchange(shared, shard, payload) {
+            match self.exchange(shared, shard, payload, ctx) {
                 Ok(raw) => {
                     // Busy from a draining/overloaded shard: a replica can
                     // answer the same bytes, so keep going.
@@ -375,7 +502,13 @@ impl Upstreams {
 }
 
 /// Routes one decoded request, returning the canonical v1 response text.
-fn route(shared: &RouterShared, ups: &mut Upstreams, req: Request) -> String {
+/// A trace context rides every upstream hop of the request.
+fn route(
+    shared: &RouterShared,
+    ups: &mut Upstreams,
+    req: Request,
+    ctx: Option<TraceContext>,
+) -> String {
     let err = |e: &ClientError| {
         encode_response(&Response::Error {
             message: format!("fleet: {e}"),
@@ -392,7 +525,7 @@ fn route(shared: &RouterShared, ups: &mut Upstreams, req: Request) -> String {
             let payload = encode_request(&Request::Stats);
             let mut parts = Vec::new();
             for shard in 0..shared.shard_addrs.len() {
-                if let Ok(raw) = ups.exchange(shared, shard, &payload) {
+                if let Ok(raw) = ups.exchange(shared, shard, &payload, ctx) {
                     if let Ok(resp) = decode_response(&raw) {
                         parts.push(resp);
                     }
@@ -405,17 +538,61 @@ fn route(shared: &RouterShared, ups: &mut Upstreams, req: Request) -> String {
                 }),
             }
         }
+        // Fleet metrics = shard merge plus the router's own overlay: its
+        // hot-key cache hits never reached a shard, and the hot-key
+        // gauge only exists here.
+        Request::Metrics => {
+            let payload = encode_request(&Request::Metrics);
+            let mut parts = Vec::new();
+            for shard in 0..shared.shard_addrs.len() {
+                if let Ok(raw) = ups.exchange(shared, shard, &payload, ctx) {
+                    if let Ok(resp) = decode_response(&raw) {
+                        parts.push(resp);
+                    }
+                }
+            }
+            match aggregate_metrics(&parts) {
+                Some(Response::Metrics {
+                    window_ns,
+                    shards,
+                    queue_depth,
+                    cache_hits,
+                    cache_misses,
+                    jobs_pending,
+                    jobs_retried,
+                    hot_keys: _,
+                    verbs,
+                }) => {
+                    let c = shared.cache.stats();
+                    encode_response(&Response::Metrics {
+                        window_ns,
+                        shards,
+                        queue_depth,
+                        cache_hits: cache_hits + c.hits,
+                        cache_misses: cache_misses + c.misses,
+                        jobs_pending,
+                        jobs_retried,
+                        hot_keys: shared.hot.hot_count() as u64,
+                        verbs,
+                    })
+                }
+                Some(resp) => encode_response(&resp),
+                None => encode_response(&Response::Error {
+                    message: "fleet: no shard answered metrics".into(),
+                }),
+            }
+        }
         Request::Shutdown => {
             let payload = encode_request(&Request::Shutdown);
             for shard in 0..shared.shard_addrs.len() {
-                let _ = ups.exchange(shared, shard, &payload);
+                let _ = ups.exchange(shared, shard, &payload, ctx);
             }
             shared.shutdown.store(true, Ordering::Relaxed);
             encode_response(&Response::Ok)
         }
         Request::Submit { job } => {
             let shard = shared.ring.shard_for(request_key(&encode_request(job)));
-            match ups.exchange_pinned(shared, shard, &encode_request(&req)) {
+            match ups.exchange_pinned(shared, shard, &encode_request(&req), ctx) {
                 Ok(raw) => match decode_response(&raw) {
                     Ok(Response::JobAccepted { id }) => encode_response(&Response::JobAccepted {
                         id: wrap_job_id(shard, id),
@@ -443,7 +620,7 @@ fn route(shared: &RouterShared, ups: &mut Upstreams, req: Request) -> String {
                 Request::Fetch { .. } => Request::Fetch { id: local },
                 _ => Request::Cancel { id: local },
             };
-            match ups.exchange_pinned(shared, shard, &encode_request(&local_req)) {
+            match ups.exchange_pinned(shared, shard, &encode_request(&local_req), ctx) {
                 Ok(raw) => match decode_response(&raw) {
                     Ok(Response::JobStatus {
                         id,
@@ -472,7 +649,7 @@ fn route(shared: &RouterShared, ups: &mut Upstreams, req: Request) -> String {
                     return hit;
                 }
             }
-            match ups.exchange_pure(shared, key, &payload) {
+            match ups.exchange_pure(shared, key, &payload, ctx) {
                 Ok(raw) => {
                     let cacheable_body = decode_response(&raw)
                         .is_ok_and(|r| !matches!(r, Response::Error { .. } | Response::Busy));
@@ -490,7 +667,7 @@ fn route(shared: &RouterShared, ups: &mut Upstreams, req: Request) -> String {
 /// Socket-read tick; drain checks happen at this cadence.
 const TICK: Duration = Duration::from_millis(50);
 
-fn router_connection(shared: &RouterShared, mut stream: TcpStream) {
+fn router_connection(shared: &RouterShared, mut stream: TcpStream, conn_id: usize) {
     if stream.set_read_timeout(Some(TICK)).is_err() {
         return;
     }
@@ -500,9 +677,35 @@ fn router_connection(shared: &RouterShared, mut stream: TcpStream) {
     loop {
         match reader.poll(&mut stream) {
             Ok(FramePoll::Frame(payload)) => {
-                let body = match decode_request_versioned(&payload) {
-                    Ok((req, version)) => {
-                        let body = route(shared, &mut ups, req);
+                let body = match decode_request_traced(&payload) {
+                    Ok((req, version, ctx)) => {
+                        let verb = req.endpoint();
+                        let t0 = shared.now_ns();
+                        // With a recorder, the router interposes its own
+                        // span: record a child of the inbound context and
+                        // forward a deepened context so shard spans
+                        // parent under the router, not the client.
+                        // Without one, the context passes through intact
+                        // and shards parent directly under the client.
+                        let (fwd, span) = match (&shared.trace, ctx) {
+                            (Some(_), Some(c)) => {
+                                let span = shared.next_router_span();
+                                (Some(c.deepen(span)), Some((c, span)))
+                            }
+                            _ => (ctx, None),
+                        };
+                        let body = route(shared, &mut ups, req, fwd);
+                        if let (Some(trace), Some((c, span))) = (&shared.trace, span) {
+                            trace.record_span(
+                                Track::Router(conn_id),
+                                verb,
+                                t0,
+                                shared.now_ns().saturating_sub(t0).max(1),
+                                span,
+                                c.parent_id,
+                                vec![("trace", c.trace_id)],
+                            );
+                        }
                         match version {
                             WireVersion::V1 => body,
                             WireVersion::V2 => envelope_v2(&body),
@@ -577,8 +780,11 @@ pub fn start_fleet(
         hot: HotKeys::new(config.hot_threshold, config.hot_cap),
         cache: ResponseCache::new(config.cache_shards, config.cache_bytes),
         shard_addrs: shard_addrs.to_vec(),
+        trace: config.trace.clone(),
         config,
         shutdown: AtomicBool::new(false),
+        epoch: Instant::now(),
+        span_counter: AtomicU64::new(1),
     });
     let acceptor = {
         let shared = Arc::clone(&shared);
@@ -586,14 +792,17 @@ pub fn start_fleet(
             .name("hfast-fleet-acceptor".into())
             .spawn(move || {
                 let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                let mut conn_id = 0usize;
                 while !shared.draining() {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            let id = conn_id;
+                            conn_id += 1;
                             let shared = Arc::clone(&shared);
                             conns.push(
                                 thread::Builder::new()
-                                    .name("hfast-fleet-conn".into())
-                                    .spawn(move || router_connection(&shared, stream))
+                                    .name(format!("hfast-fleet-conn-{id}"))
+                                    .spawn(move || router_connection(&shared, stream, id))
                                     .expect("spawn router connection thread"),
                             );
                         }
@@ -709,12 +918,20 @@ mod tests {
                 cancelled: 1,
                 retried: 0,
             },
+            latency: vec![VerbLatency {
+                verb: "health".into(),
+                count: 5,
+                p50_ns: requests, // distinguish shards through the merge
+                p95_ns: 200,
+                p99_ns: 300,
+            }],
         };
         let agg = aggregate_stats(&[part(10), part(20), Response::Busy]).unwrap();
         let Response::Stats {
             requests,
             strategy_hits,
             jobs,
+            latency,
             ..
         } = agg
         else {
@@ -723,6 +940,63 @@ mod tests {
         assert_eq!(requests, 30);
         assert_eq!(strategy_hits, [2, 0, 4]);
         assert_eq!(jobs.submitted, 4);
+        assert_eq!(latency.len(), 1, "same verb merges into one row");
+        assert_eq!(latency[0].count, 10, "counts sum");
+        assert_eq!(latency[0].p50_ns, 20, "quantiles take the max");
         assert!(aggregate_stats(&[Response::Ok]).is_none());
+    }
+
+    #[test]
+    fn aggregate_metrics_sums_counts_and_maxes_quantiles() {
+        use crate::protocol::VerbWindow;
+        let part = |p99: u64| Response::Metrics {
+            window_ns: 10_000_000_000,
+            shards: 1,
+            queue_depth: 2,
+            cache_hits: 3,
+            cache_misses: 4,
+            jobs_pending: 1,
+            jobs_retried: 0,
+            hot_keys: 0,
+            verbs: vec![VerbWindow {
+                verb: "tdc".into(),
+                count: 7,
+                ok: 6,
+                busy: 1,
+                errors: 0,
+                p50_ns: 10,
+                p95_ns: 20,
+                p99_ns: p99,
+            }],
+        };
+        let agg = aggregate_metrics(&[part(100), part(50), Response::Ok]).unwrap();
+        let Response::Metrics {
+            shards,
+            queue_depth,
+            verbs,
+            ..
+        } = agg
+        else {
+            panic!("expected metrics");
+        };
+        assert_eq!(shards, 2);
+        assert_eq!(queue_depth, 4);
+        assert_eq!(verbs.len(), 1);
+        assert_eq!(verbs[0].count, 14);
+        assert_eq!(verbs[0].busy, 2);
+        assert_eq!(verbs[0].p99_ns, 100, "fleet p99 is the shard max");
+        assert!(aggregate_metrics(&[Response::Busy]).is_none());
+    }
+
+    #[test]
+    fn hot_count_tracks_keys_past_threshold() {
+        let hot = HotKeys::new(2, 16);
+        assert_eq!(hot.hot_count(), 0);
+        hot.touch(1);
+        assert_eq!(hot.hot_count(), 0, "one sighting is not hot");
+        hot.touch(1);
+        hot.touch(2);
+        hot.touch(2);
+        assert_eq!(hot.hot_count(), 2);
     }
 }

@@ -66,16 +66,19 @@ pub mod server;
 
 pub use cache::{CacheStats, ResponseCache};
 pub use client::{Client, ClientError, FleetClient};
-pub use fleet::{start_fleet, FleetConfig, FleetHandle, HashRing};
+pub use fleet::{
+    aggregate_metrics, aggregate_stats, start_fleet, FleetConfig, FleetHandle, HashRing,
+};
 pub use frame::{read_frame, write_frame, FrameError, FramePoll, FrameReader, MAX_FRAME_BYTES};
 pub use handlers::execute;
 pub use hfast_core::Strategy;
 pub use jobs::{Fetched, JobQueue};
 pub use protocol::{
-    decode_request, decode_request_versioned, decode_response, decode_response_versioned,
-    encode_request, encode_request_versioned, encode_response, encode_response_versioned,
-    envelope_v2, request_key, AppSpec, FabricSpec, FaultSpec, JobState, JobTotals, Request,
-    Response, TdcRow, VerbHandler, VerbSpec, WireVersion, ENDPOINTS, VERBS,
+    decode_request, decode_request_traced, decode_request_versioned, decode_response,
+    decode_response_versioned, encode_request, encode_request_versioned, encode_response,
+    encode_response_versioned, envelope_traced, envelope_v2, request_key, strip_envelope, AppSpec,
+    FabricSpec, FaultSpec, JobState, JobTotals, Request, Response, TdcRow, VerbHandler,
+    VerbLatency, VerbSpec, VerbWindow, WireVersion, ENDPOINTS, VERBS,
 };
 pub use registry::Registry;
 pub use server::{start, ServerConfig, ServerHandle};

@@ -140,7 +140,8 @@ fn self_test() -> Result<(), String> {
         Ok(Response::Error { message }) if message.contains("panicked") => {}
         other => return Err(format!("debug_panic: unexpected {other:?}")),
     }
-    // The worker that just panicked must still answer.
+    // The worker that just panicked must still answer — and the stats it
+    // reports now carry lifetime per-verb latency quantiles.
     match client.call(&Request::Stats) {
         Ok(Response::Stats {
             requests,
@@ -148,14 +149,44 @@ fn self_test() -> Result<(), String> {
             sim_events,
             strategy_hits,
             jobs,
+            latency,
             ..
         }) if requests >= 7
             && cache_hits >= 1
             && sim_events > 0
             && strategy_hits[0] >= 1
             && strategy_hits[1] >= 1
-            && jobs.completed >= 1 => {}
+            && jobs.completed >= 1 =>
+        {
+            if latency.len() != hfast_serve::ENDPOINTS.len() {
+                return Err(format!("stats: {} latency rows", latency.len()));
+            }
+            if !latency.iter().any(|row| row.count > 0 && row.p50_ns > 0) {
+                return Err(format!("stats: no verb recorded a latency: {latency:?}"));
+            }
+        }
         other => return Err(format!("stats: unexpected {other:?}")),
+    }
+    // The rolling window has seen the same traffic: every verb row is
+    // present, and the verbs this test exercised report tail latencies.
+    match client.call(&Request::Metrics) {
+        Ok(Response::Metrics {
+            window_ns,
+            shards: 1,
+            verbs,
+            ..
+        }) if window_ns > 0 => {
+            if verbs.len() != hfast_serve::ENDPOINTS.len() {
+                return Err(format!("metrics: {} verb rows", verbs.len()));
+            }
+            if !verbs
+                .iter()
+                .any(|row| row.count > 0 && row.ok > 0 && row.p99_ns > 0)
+            {
+                return Err(format!("metrics: no verb has rolling traffic: {verbs:?}"));
+            }
+        }
+        other => return Err(format!("metrics: unexpected {other:?}")),
     }
     match client.call(&Request::Shutdown) {
         Ok(Response::Ok) => {}

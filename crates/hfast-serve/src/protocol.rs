@@ -39,6 +39,7 @@ use hfast_core::Strategy;
 use hfast_obs::JsonObj;
 use hfast_topology::{CommGraph, EdgeStat};
 use hfast_trace::json::{self, JsonValue};
+use hfast_trace::TraceContext;
 
 use crate::registry::Registry;
 
@@ -272,6 +273,10 @@ pub enum Request {
         /// Job id from [`Response::JobAccepted`].
         id: u64,
     },
+    /// Rolling SLO snapshot: per-verb windowed latency quantiles,
+    /// throughput counts, and error/busy tallies, plus live gauges.
+    /// Numbers move between calls, so never cached.
+    Metrics,
 }
 
 /// How a verb is executed.
@@ -304,7 +309,7 @@ pub struct VerbSpec {
 /// The verb table. Index order is frozen: the first eight rows predate
 /// the table (their metric indexes are pinned by recorded observability),
 /// new verbs append.
-pub const VERBS: [VerbSpec; 12] = [
+pub const VERBS: [VerbSpec; 13] = [
     VerbSpec {
         name: "health",
         cacheable: false,
@@ -379,6 +384,12 @@ pub const VERBS: [VerbSpec; 12] = [
         queueable: false,
         handler: VerbHandler::Server,
     },
+    VerbSpec {
+        name: "metrics",
+        cacheable: false,
+        queueable: false,
+        handler: VerbHandler::Server,
+    },
 ];
 
 impl Request {
@@ -398,6 +409,7 @@ impl Request {
             Request::Poll { .. } => 9,
             Request::Fetch { .. } => 10,
             Request::Cancel { .. } => 11,
+            Request::Metrics => 12,
         }
     }
 
@@ -449,6 +461,42 @@ pub struct TdcRow {
     pub median: usize,
 }
 
+/// Lifetime latency quantiles for one verb, in the `stats` response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VerbLatency {
+    /// Verb name, one of [`ENDPOINTS`].
+    pub verb: String,
+    /// Requests of this verb served since process start.
+    pub count: u64,
+    /// Interpolated p50 service latency, nanoseconds.
+    pub p50_ns: u64,
+    /// Interpolated p95 service latency, nanoseconds.
+    pub p95_ns: u64,
+    /// Interpolated p99 service latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Rolling windowed statistics for one verb, in the `metrics` response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VerbWindow {
+    /// Verb name, one of [`ENDPOINTS`].
+    pub verb: String,
+    /// Requests observed inside the window.
+    pub count: u64,
+    /// Successful responses inside the window.
+    pub ok: u64,
+    /// Busy (load-shed) responses inside the window.
+    pub busy: u64,
+    /// Error responses inside the window.
+    pub errors: u64,
+    /// Rolling interpolated p50 latency, nanoseconds.
+    pub p50_ns: u64,
+    /// Rolling interpolated p95 latency, nanoseconds.
+    pub p95_ns: u64,
+    /// Rolling interpolated p99 latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
 /// One response frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -491,6 +539,9 @@ pub enum Response {
         fabrics: u64,
         /// Durable-job-queue lifetime totals.
         jobs: JobTotals,
+        /// Lifetime per-verb service-latency quantiles, one row per
+        /// [`VERBS`] entry in table order.
+        latency: Vec<VerbLatency>,
     },
     /// Provisioning summary for one app graph.
     Provisioned {
@@ -562,6 +613,34 @@ pub enum Response {
         /// Failure cause; present only for [`JobState::Failed`].
         message: Option<String>,
     },
+    /// Rolling SLO snapshot from the `metrics` verb. A shard reports its
+    /// own window (`shards == 1`); the fleet router merges shard windows
+    /// into fleet-level bounds — counts and gauges sum, quantiles take
+    /// the per-shard maximum (a conservative upper bound, since log₂
+    /// histograms from different processes cannot be re-interpolated
+    /// jointly without shipping every bucket).
+    Metrics {
+        /// Width of the rolling window the verb rows cover, nanoseconds.
+        window_ns: u64,
+        /// Processes merged into this snapshot (1 for a single shard).
+        shards: u64,
+        /// Compute admission-queue depth right now, summed.
+        queue_depth: u64,
+        /// Response-cache hits (lifetime), summed.
+        cache_hits: u64,
+        /// Response-cache misses (lifetime), summed.
+        cache_misses: u64,
+        /// Jobs in a non-terminal state right now, summed.
+        jobs_pending: u64,
+        /// Job re-admissions after failed attempts (lifetime), summed.
+        jobs_retried: u64,
+        /// Keys currently tripped hot by the router's hot-key tracker
+        /// (always 0 from a shard).
+        hot_keys: u64,
+        /// Rolling per-verb stats, one row per [`VERBS`] entry in table
+        /// order.
+        verbs: Vec<VerbWindow>,
+    },
     /// Load shed: the admission queue was full. Retry later.
     Busy,
     /// Acknowledgement (shutdown).
@@ -630,6 +709,73 @@ pub fn envelope_v2(body: &str) -> String {
     out
 }
 
+/// Wraps a canonical v1 body in the v2 envelope *with* a trace context:
+/// `{"v":2,"trace":{"id":…,"parent":…},` then the body's own fields.
+///
+/// Span ids use more than 53 bits (the id-space tag bits live at 2⁶⁰–2⁶³),
+/// so both fields ride as hex strings — a JSON number would round through
+/// interoperable f64 parsers, including the in-repo one. A frame with no
+/// trace context uses [`envelope_v2`] and stays byte-identical to the
+/// pre-trace v2 format. Responses never carry a context.
+pub fn envelope_traced(body: &str, ctx: TraceContext) -> String {
+    debug_assert!(body.len() > 2 && body.starts_with('{'), "body is an object");
+    format!(
+        "{{\"v\":2,\"trace\":{{\"id\":\"{:x}\",\"parent\":\"{:x}\"}},{}",
+        ctx.trace_id,
+        ctx.parent_id,
+        &body[1..]
+    )
+}
+
+/// Undoes the v2 envelope (traced or not), recovering the canonical v1
+/// body. v1 frames pass through unchanged, so the result is always the
+/// byte-exact v1 encoding — the form cache keys and digests hash.
+pub fn strip_envelope(text: &str) -> String {
+    let Some(rest) = text.strip_prefix("{\"v\":2,") else {
+        return text.to_string();
+    };
+    let rest = match rest.strip_prefix("\"trace\":{") {
+        Some(after) => match after.find('}') {
+            // The trace object is flat, so the first brace closes it;
+            // skip it and the comma separating it from the body fields.
+            Some(i) => after[i + 1..].strip_prefix(',').unwrap_or(&after[i + 1..]),
+            None => rest,
+        },
+        None => rest,
+    };
+    format!("{{{rest}")
+}
+
+fn hex_id(v: &JsonValue, key: &str) -> Result<u64, String> {
+    let s = need_str(v, key)?;
+    u64::from_str_radix(s, 16).map_err(|_| format!("trace field {key:?} is not a hex id"))
+}
+
+fn decode_trace(v: &JsonValue, version: WireVersion) -> Result<Option<TraceContext>, String> {
+    let Some(t) = v.get("trace") else {
+        return Ok(None);
+    };
+    if version != WireVersion::V2 {
+        return Err("trace context requires the v2 envelope".into());
+    }
+    Ok(Some(TraceContext {
+        trace_id: hex_id(t, "id")?,
+        parent_id: hex_id(t, "parent")?,
+    }))
+}
+
+/// Decodes one request frame in either envelope, also extracting the
+/// cross-process [`TraceContext`] when the v2 envelope carries one.
+/// A malformed `trace` member is a decode error, not a silent drop.
+pub fn decode_request_traced(
+    text: &str,
+) -> Result<(Request, WireVersion, Option<TraceContext>), String> {
+    let v = json::parse(text)?;
+    let version = wire_version(&v)?;
+    let ctx = decode_trace(&v, version)?;
+    Ok((decode_request_value(&v)?, version, ctx))
+}
+
 /// Encodes a request under the given wire version (v1 is canonical; v2
 /// adds the envelope tag).
 pub fn encode_request_versioned(req: &Request, version: WireVersion) -> String {
@@ -652,9 +798,11 @@ pub fn encode_response_versioned(resp: &Response, version: WireVersion) -> Strin
 /// Encodes a request canonically (the encoding is the cache-key basis).
 pub fn encode_request(req: &Request) -> String {
     match req {
-        Request::Health | Request::Stats | Request::Shutdown | Request::DebugPanic => {
-            JsonObj::new().str("type", req.endpoint()).finish()
-        }
+        Request::Health
+        | Request::Stats
+        | Request::Shutdown
+        | Request::DebugPanic
+        | Request::Metrics => JsonObj::new().str("type", req.endpoint()).finish(),
         Request::Submit { job } => JsonObj::new()
             .str("type", "submit")
             .raw("job", &encode_request(job))
@@ -729,6 +877,49 @@ pub fn encode_request(req: &Request) -> String {
     }
 }
 
+fn encode_verb_latency(rows: &[VerbLatency]) -> String {
+    let mut arr = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        arr.push_str(
+            &JsonObj::new()
+                .str("verb", &r.verb)
+                .u64("count", r.count)
+                .u64("p50_ns", r.p50_ns)
+                .u64("p95_ns", r.p95_ns)
+                .u64("p99_ns", r.p99_ns)
+                .finish(),
+        );
+    }
+    arr.push(']');
+    arr
+}
+
+fn encode_verb_windows(rows: &[VerbWindow]) -> String {
+    let mut arr = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        arr.push_str(
+            &JsonObj::new()
+                .str("verb", &r.verb)
+                .u64("count", r.count)
+                .u64("ok", r.ok)
+                .u64("busy", r.busy)
+                .u64("errors", r.errors)
+                .u64("p50_ns", r.p50_ns)
+                .u64("p95_ns", r.p95_ns)
+                .u64("p99_ns", r.p99_ns)
+                .finish(),
+        );
+    }
+    arr.push(']');
+    arr
+}
+
 /// Encodes a response canonically.
 pub fn encode_response(resp: &Response) -> String {
     match resp {
@@ -752,6 +943,7 @@ pub fn encode_response(resp: &Response) -> String {
             graphs,
             fabrics,
             jobs,
+            latency,
         } => {
             let mut hits = JsonObj::new();
             for (s, &count) in Strategy::ALL.iter().zip(strategy_hits) {
@@ -779,8 +971,31 @@ pub fn encode_response(resp: &Response) -> String {
                 .u64("graphs", *graphs)
                 .u64("fabrics", *fabrics)
                 .raw("jobs", &job_obj)
+                .raw("latency", &encode_verb_latency(latency))
                 .finish()
         }
+        Response::Metrics {
+            window_ns,
+            shards,
+            queue_depth,
+            cache_hits,
+            cache_misses,
+            jobs_pending,
+            jobs_retried,
+            hot_keys,
+            verbs,
+        } => JsonObj::new()
+            .str("type", "metrics")
+            .u64("window_ns", *window_ns)
+            .u64("shards", *shards)
+            .u64("queue_depth", *queue_depth)
+            .u64("cache_hits", *cache_hits)
+            .u64("cache_misses", *cache_misses)
+            .u64("jobs_pending", *jobs_pending)
+            .u64("jobs_retried", *jobs_retried)
+            .u64("hot_keys", *hot_keys)
+            .raw("verbs", &encode_verb_windows(verbs))
+            .finish(),
         Response::Provisioned {
             n,
             blocks,
@@ -1083,6 +1298,7 @@ fn decode_request_value(v: &JsonValue) -> Result<Request, String> {
         "cancel" => Ok(Request::Cancel {
             id: need_u64(v, "id")?,
         }),
+        "metrics" => Ok(Request::Metrics),
         other => Err(format!("unknown request type {other:?}")),
     }
 }
@@ -1120,6 +1336,20 @@ fn decode_response_value(v: &JsonValue) -> Result<Response, String> {
                 cancelled: need_u64(job_obj, "cancelled")?,
                 retried: need_u64(job_obj, "retried")?,
             };
+            let lat_arr = v
+                .get("latency")
+                .and_then(JsonValue::as_arr)
+                .ok_or("stats needs a \"latency\" array")?;
+            let mut latency = Vec::with_capacity(lat_arr.len());
+            for row in lat_arr {
+                latency.push(VerbLatency {
+                    verb: need_str(row, "verb")?.to_string(),
+                    count: need_u64(row, "count")?,
+                    p50_ns: need_u64(row, "p50_ns")?,
+                    p95_ns: need_u64(row, "p95_ns")?,
+                    p99_ns: need_u64(row, "p99_ns")?,
+                });
+            }
             Ok(Response::Stats {
                 requests: need_u64(v, "requests")?,
                 shed: need_u64(v, "shed")?,
@@ -1134,6 +1364,37 @@ fn decode_response_value(v: &JsonValue) -> Result<Response, String> {
                 graphs: need_u64(v, "graphs")?,
                 fabrics: need_u64(v, "fabrics")?,
                 jobs,
+                latency,
+            })
+        }
+        "metrics" => {
+            let verb_arr = v
+                .get("verbs")
+                .and_then(JsonValue::as_arr)
+                .ok_or("metrics needs a \"verbs\" array")?;
+            let mut verbs = Vec::with_capacity(verb_arr.len());
+            for row in verb_arr {
+                verbs.push(VerbWindow {
+                    verb: need_str(row, "verb")?.to_string(),
+                    count: need_u64(row, "count")?,
+                    ok: need_u64(row, "ok")?,
+                    busy: need_u64(row, "busy")?,
+                    errors: need_u64(row, "errors")?,
+                    p50_ns: need_u64(row, "p50_ns")?,
+                    p95_ns: need_u64(row, "p95_ns")?,
+                    p99_ns: need_u64(row, "p99_ns")?,
+                });
+            }
+            Ok(Response::Metrics {
+                window_ns: need_u64(v, "window_ns")?,
+                shards: need_u64(v, "shards")?,
+                queue_depth: need_u64(v, "queue_depth")?,
+                cache_hits: need_u64(v, "cache_hits")?,
+                cache_misses: need_u64(v, "cache_misses")?,
+                jobs_pending: need_u64(v, "jobs_pending")?,
+                jobs_retried: need_u64(v, "jobs_retried")?,
+                hot_keys: need_u64(v, "hot_keys")?,
+                verbs,
             })
         }
         "provisioned" => Ok(Response::Provisioned {
@@ -1301,6 +1562,7 @@ mod tests {
             Request::Poll { id: 7 },
             Request::Fetch { id: (3 << 40) | 9 },
             Request::Cancel { id: 0 },
+            Request::Metrics,
         ];
         for req in reqs {
             let enc = encode_request(&req);
@@ -1351,6 +1613,42 @@ mod tests {
                     cancelled: 1,
                     retried: 3,
                 },
+                latency: vec![
+                    VerbLatency {
+                        verb: "health".into(),
+                        count: 3,
+                        p50_ns: 100,
+                        p95_ns: 200,
+                        p99_ns: 300,
+                    },
+                    VerbLatency {
+                        verb: "simulate".into(),
+                        count: 0,
+                        p50_ns: 0,
+                        p95_ns: 0,
+                        p99_ns: 0,
+                    },
+                ],
+            },
+            Response::Metrics {
+                window_ns: 10_000_000_000,
+                shards: 2,
+                queue_depth: 3,
+                cache_hits: 40,
+                cache_misses: 12,
+                jobs_pending: 1,
+                jobs_retried: 2,
+                hot_keys: 1,
+                verbs: vec![VerbWindow {
+                    verb: "provision".into(),
+                    count: 9,
+                    ok: 8,
+                    busy: 1,
+                    errors: 0,
+                    p50_ns: 1_000,
+                    p95_ns: 2_000,
+                    p99_ns: 4_000,
+                }],
             },
             Response::JobAccepted { id: (1 << 40) | 12 },
             Response::JobStatus {
@@ -1495,6 +1793,51 @@ mod tests {
             encode_response_versioned(&Response::Busy, WireVersion::V2),
             r#"{"v":2,"type":"busy"}"#
         );
+    }
+
+    /// The traced envelope inserts exactly one `trace` member after the
+    /// version tag; stripping either v2 form recovers the byte-exact v1
+    /// body, and decode surfaces the context without disturbing the
+    /// version report.
+    #[test]
+    fn traced_envelope_round_trips_and_strips() {
+        use hfast_trace::{client_span_id, TraceContext};
+        let body = encode_request(&Request::Health);
+        let ctx = TraceContext {
+            trace_id: 3,
+            parent_id: client_span_id(3),
+        };
+        let framed = envelope_traced(&body, ctx);
+        assert_eq!(
+            framed,
+            r#"{"v":2,"trace":{"id":"3","parent":"1000000000000003"},"type":"health"}"#
+        );
+        let (req, ver, got) = decode_request_traced(&framed).expect("traced frame decodes");
+        assert_eq!(req, Request::Health);
+        assert_eq!(ver, WireVersion::V2);
+        assert_eq!(got, Some(ctx), "span ids above 2^53 survive the wire");
+        // Context-free frames in both envelopes report None.
+        let (_, _, none) = decode_request_traced(&envelope_v2(&body)).unwrap();
+        assert_eq!(none, None);
+        let (_, _, none) = decode_request_traced(&body).unwrap();
+        assert_eq!(none, None);
+        // Stripping any envelope form recovers the canonical v1 body.
+        assert_eq!(strip_envelope(&framed), body);
+        assert_eq!(strip_envelope(&envelope_v2(&body)), body);
+        assert_eq!(strip_envelope(&body), body);
+        // A trace member without the v2 tag, or malformed ids, is refused.
+        assert!(
+            decode_request_traced(r#"{"trace":{"id":"1","parent":"2"},"type":"health"}"#).is_err()
+        );
+        assert!(
+            decode_request_traced(r#"{"v":2,"trace":{"id":7,"parent":"2"},"type":"health"}"#)
+                .is_err(),
+            "numeric ids would round through f64 parsers"
+        );
+        assert!(decode_request_traced(
+            r#"{"v":2,"trace":{"id":"xyz","parent":"2"},"type":"health"}"#
+        )
+        .is_err());
     }
 
     /// Job verbs pin their wire form: submit nests the inner request

@@ -42,21 +42,28 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use hfast_netsim::RetryPolicy;
-use hfast_obs::ServeObs;
-use hfast_trace::{perfetto, server_span_id, TraceRecorder, Track};
+use hfast_obs::{Outcome, ServeObs, SlidingWindow};
+use hfast_trace::{server_span_id, TraceContext, TraceRecorder, Track};
 
 use crate::cache::ResponseCache;
 use crate::frame::{write_frame, FrameError, FramePoll, FrameReader};
 use crate::handlers::execute;
 use crate::jobs::{Fetched, JobQueue};
 use crate::protocol::{
-    decode_request_versioned, encode_request, encode_response, request_key, Request, Response,
-    WireVersion, ENDPOINTS,
+    decode_request_traced, encode_request, encode_response, request_key, Request, Response,
+    VerbLatency, VerbWindow, WireVersion, ENDPOINTS,
 };
 use crate::registry::Registry;
 
 /// How often blocked reads and waits wake up to check the shutdown flag.
 const TICK: Duration = Duration::from_millis(50);
+
+/// Ring slots in the `metrics` sliding window.
+const WINDOW_BUCKETS: usize = 10;
+
+/// Width of one window slot: one second, so `metrics` reports rolling
+/// stats over the last ten seconds in bounded memory.
+const WINDOW_BUCKET_NS: u64 = 1_000_000_000;
 
 /// Timeout ticks granted to a connection caught mid-frame at drain time
 /// (~1 s) before the server stops waiting for the rest of the frame.
@@ -156,6 +163,11 @@ struct Shared {
     trace: Option<TraceRecorder>,
     epoch: Instant,
     span_counter: AtomicU64,
+    /// Rolling per-verb latency/outcome window behind the `metrics` verb.
+    /// Recorded unconditionally (the collection path is one short
+    /// uncontended mutex per served request, dwarfed by the TCP
+    /// round-trip); only the *export* surfaces are gated.
+    window: SlidingWindow,
 }
 
 impl Shared {
@@ -184,6 +196,26 @@ enum Routed {
     Immediate(String, bool),
     /// Queued; await the worker's reply on this receiver.
     Queued(mpsc::Receiver<String>),
+}
+
+/// One lifetime-latency row per `ENDPOINTS` entry, in table order, for
+/// the `stats` response: request counts from the per-endpoint counters,
+/// quantiles from the per-endpoint service histograms.
+fn verb_latency_rows(shared: &Shared) -> Vec<VerbLatency> {
+    ENDPOINTS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let hist = shared.obs.service_for(i);
+            VerbLatency {
+                verb: (*name).to_string(),
+                count: shared.obs.requests_for(i),
+                p50_ns: hist.map_or(0, |h| h.quantile(0.50)),
+                p95_ns: hist.map_or(0, |h| h.quantile(0.95)),
+                p99_ns: hist.map_or(0, |h| h.quantile(0.99)),
+            }
+        })
+        .collect()
 }
 
 fn route_request(shared: &Shared, req: Request) -> Routed {
@@ -215,6 +247,40 @@ fn route_request(shared: &Shared, req: Request) -> Routed {
                     graphs,
                     fabrics,
                     jobs: shared.jobs.totals(),
+                    latency: verb_latency_rows(shared),
+                }),
+                false,
+            )
+        }
+        Request::Metrics => {
+            let c = shared.cache.stats();
+            let totals = shared.jobs.totals();
+            let snap = shared.window.snapshot(shared.now_ns());
+            let verbs = ENDPOINTS
+                .iter()
+                .zip(snap.lanes.iter())
+                .map(|(name, l)| VerbWindow {
+                    verb: (*name).to_string(),
+                    count: l.count,
+                    ok: l.ok,
+                    busy: l.busy,
+                    errors: l.errors,
+                    p50_ns: l.p50_ns,
+                    p95_ns: l.p95_ns,
+                    p99_ns: l.p99_ns,
+                })
+                .collect();
+            Routed::Immediate(
+                encode_response(&Response::Metrics {
+                    window_ns: snap.window_ns,
+                    shards: 1,
+                    queue_depth: shared.queue.lock().expect("queue poisoned").len() as u64,
+                    cache_hits: c.hits,
+                    cache_misses: c.misses,
+                    jobs_pending: shared.jobs.pending() as u64,
+                    jobs_retried: totals.retried,
+                    hot_keys: 0,
+                    verbs,
                 }),
                 false,
             )
@@ -374,8 +440,12 @@ fn worker_loop(shared: &Shared) {
 fn serve_frame(shared: &Shared, stream: &mut TcpStream, conn_id: usize, payload: &str) -> bool {
     let t_start = shared.now_ns();
     let root_span = shared.next_span();
-    let (encoded, cache_hit, t_parsed) = match decode_request_versioned(payload) {
-        Ok((req, version)) => {
+    let mut ctx: Option<TraceContext> = None;
+    let mut verb_idx: Option<usize> = None;
+    let (encoded, outcome, cache_hit, t_parsed) = match decode_request_traced(payload) {
+        Ok((req, version, trace_ctx)) => {
+            ctx = trace_ctx;
+            verb_idx = Some(req.endpoint_index());
             let t_parsed = shared.now_ns();
             let (body, hit) = match route_request(shared, req) {
                 Routed::Immediate(encoded, hit) => (encoded, hit),
@@ -388,19 +458,31 @@ fn serve_frame(shared: &Shared, stream: &mut TcpStream, conn_id: usize, payload:
                     (encoded, false)
                 }
             };
+            // Classify the outcome from the canonical v1 body prefix —
+            // cheaper than re-decoding and exact because the body is
+            // canonical (fixed field order, no whitespace).
+            let outcome = if body.starts_with("{\"type\":\"busy\"") {
+                Outcome::Busy
+            } else if body.starts_with("{\"type\":\"error\"") {
+                Outcome::Error
+            } else {
+                Outcome::Ok
+            };
             // Answer in the envelope the request arrived in: cache and
             // queue always carry the canonical v1 body, so v1 and v2
-            // clients share every cached entry.
+            // clients share every cached entry. Responses never carry
+            // trace context — it flows request-ward only.
             let body = match version {
                 WireVersion::V1 => body,
                 WireVersion::V2 => crate::protocol::envelope_v2(&body),
             };
-            (body, hit, t_parsed)
+            (body, outcome, hit, t_parsed)
         }
         Err(message) => {
             shared.obs.errors.inc();
             (
                 encode_response(&Response::Error { message }),
+                Outcome::Error,
                 false,
                 shared.now_ns(),
             )
@@ -408,16 +490,35 @@ fn serve_frame(shared: &Shared, stream: &mut TcpStream, conn_id: usize, payload:
     };
     let t_done = shared.now_ns();
     let ok = write_frame(stream, &encoded).is_ok();
+    if let Some(idx) = verb_idx {
+        let latency = t_done.saturating_sub(t_start);
+        shared.obs.record_service(idx, latency);
+        shared.window.record(t_done, idx, latency, outcome);
+    }
     if let Some(trace) = &shared.trace {
         let track = Track::Server(conn_id);
+        // A request that arrived with trace context parents its span tree
+        // under the remote caller's span so the stitcher can render the
+        // whole fleet request as one causal tree; the trace id rides along
+        // on every span as a plain field.
+        let (remote_parent, trace_id) = match ctx {
+            Some(c) => (c.parent_id, Some(c.trace_id)),
+            None => (0, None),
+        };
+        let tag = |mut fields: Vec<(&'static str, u64)>| {
+            if let Some(id) = trace_id {
+                fields.push(("trace", id));
+            }
+            fields
+        };
         trace.record_span(
             track,
             "request",
             t_start,
             shared.now_ns().saturating_sub(t_start),
             root_span,
-            0,
-            vec![("cache_hit", cache_hit as u64)],
+            remote_parent,
+            tag(vec![("cache_hit", cache_hit as u64)]),
         );
         trace.record_span(
             track,
@@ -426,7 +527,7 @@ fn serve_frame(shared: &Shared, stream: &mut TcpStream, conn_id: usize, payload:
             t_parsed.saturating_sub(t_start),
             shared.next_span(),
             root_span,
-            vec![("bytes", payload.len() as u64)],
+            tag(vec![("bytes", payload.len() as u64)]),
         );
         trace.record_span(
             track,
@@ -435,7 +536,7 @@ fn serve_frame(shared: &Shared, stream: &mut TcpStream, conn_id: usize, payload:
             t_done.saturating_sub(t_parsed),
             shared.next_span(),
             root_span,
-            vec![],
+            tag(vec![]),
         );
         trace.record_span(
             track,
@@ -444,7 +545,7 @@ fn serve_frame(shared: &Shared, stream: &mut TcpStream, conn_id: usize, payload:
             shared.now_ns().saturating_sub(t_done),
             shared.next_span(),
             root_span,
-            vec![("bytes", encoded.len() as u64), ("ok", ok as u64)],
+            tag(vec![("bytes", encoded.len() as u64), ("ok", ok as u64)]),
         );
     }
     ok
@@ -561,7 +662,7 @@ impl ServerHandle {
         }
         self.shared.obs.export();
         if let Some(trace) = &self.shared.trace {
-            hfast_trace::write_to_env_sink(&perfetto::export(&trace.snapshot()));
+            hfast_trace::export_to_env_sink("server", &trace.snapshot());
         }
     }
 }
@@ -590,6 +691,7 @@ pub fn start(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
         trace: hfast_trace::enabled().then(TraceRecorder::new),
         epoch: Instant::now(),
         span_counter: AtomicU64::new(1),
+        window: SlidingWindow::new(ENDPOINTS.len(), WINDOW_BUCKETS, WINDOW_BUCKET_NS),
         config,
     });
     let mut workers: Vec<JoinHandle<()>> = (0..shared.config.workers)

@@ -10,9 +10,12 @@ use hfast_par::rng::Rng64;
 use hfast_serve::{
     decode_request, decode_request_versioned, decode_response, decode_response_versioned,
     encode_request, encode_request_versioned, encode_response, encode_response_versioned,
-    request_key, start, AppSpec, Client, FabricSpec, FaultSpec, JobState, JobTotals, Request,
-    Response, ServerConfig, Strategy, TdcRow, WireVersion,
+    read_frame, request_key, start, write_frame, AppSpec, Client, FabricSpec, FaultSpec, JobState,
+    JobTotals, Request, Response, ServerConfig, Strategy, TdcRow, VerbLatency, VerbWindow,
+    WireVersion, ENDPOINTS,
 };
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
 
 /// A random integer in the JSON-safe range: the protocol's numbers ride
 /// on JSON, where integers are exact only up to 2^53 (the f64 mantissa).
@@ -87,7 +90,7 @@ fn random_simulate(rng: &mut Rng64) -> Request {
 }
 
 fn random_request(rng: &mut Rng64) -> Request {
-    match rng.range(0, 12) {
+    match rng.range(0, 13) {
         0 => Request::Health,
         1 => Request::Stats,
         2 => Request::Provision {
@@ -119,8 +122,21 @@ fn random_request(rng: &mut Rng64) -> Request {
         8 => Request::Poll { id: u53(rng) },
         9 => Request::Fetch { id: u53(rng) },
         10 => Request::Cancel { id: u53(rng) },
+        11 => Request::Metrics,
         _ => Request::DebugPanic,
     }
+}
+
+fn random_verb_latency(rng: &mut Rng64) -> Vec<VerbLatency> {
+    (0..rng.range(0, 4))
+        .map(|_| VerbLatency {
+            verb: (*rng.pick(&ENDPOINTS)).to_string(),
+            count: u53(rng),
+            p50_ns: u53(rng),
+            p95_ns: u53(rng),
+            p99_ns: u53(rng),
+        })
+        .collect()
 }
 
 #[test]
@@ -150,7 +166,7 @@ fn any_request_round_trips_and_is_canonical() {
 #[test]
 fn any_response_round_trips() {
     forall("response codec round-trip", 200, |rng| {
-        let resp = match rng.range(0, 10) {
+        let resp = match rng.range(0, 11) {
             0 => Response::Health {
                 workers: rng.range(1, 64),
                 queue: rng.range(1, 1024),
@@ -175,6 +191,7 @@ fn any_response_round_trips() {
                     cancelled: u53(rng),
                     retried: u53(rng),
                 },
+                latency: random_verb_latency(rng),
             },
             2 => Response::Provisioned {
                 n: rng.range(1, 4096),
@@ -214,6 +231,28 @@ fn any_response_round_trips() {
                 reprovisions: rng.range(0, 64),
             },
             6 => rng.pick(&[Response::Busy, Response::Ok]).clone(),
+            7 if rng.bool(0.5) => Response::Metrics {
+                window_ns: u53(rng),
+                shards: u53(rng),
+                queue_depth: u53(rng),
+                cache_hits: u53(rng),
+                cache_misses: u53(rng),
+                jobs_pending: u53(rng),
+                jobs_retried: u53(rng),
+                hot_keys: u53(rng),
+                verbs: (0..rng.range(0, 4))
+                    .map(|_| VerbWindow {
+                        verb: (*rng.pick(&ENDPOINTS)).to_string(),
+                        count: u53(rng),
+                        ok: u53(rng),
+                        busy: u53(rng),
+                        errors: u53(rng),
+                        p50_ns: u53(rng),
+                        p95_ns: u53(rng),
+                        p99_ns: u53(rng),
+                    })
+                    .collect(),
+            },
             7 => Response::JobAccepted { id: u53(rng) },
             8 => Response::JobStatus {
                 id: u53(rng),
@@ -320,35 +359,50 @@ fn cached_response_is_byte_identical_to_fresh() {
     server.join();
 }
 
+/// Writes raw bytes with *no* length prefix, shuts down the write side,
+/// and returns everything the server sends back before closing. The
+/// unframed view of the wire that the truncation probes need.
+fn send_unframed(addr: std::net::SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect raw");
+    stream.write_all(bytes).expect("write raw bytes");
+    stream.flush().expect("flush");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("shutdown write side");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("drain server reply");
+    out
+}
+
 #[test]
-#[allow(deprecated)] // raw-byte shims are exactly what this test probes
 fn malformed_frames_are_structured_errors_and_leave_the_server_serving() {
     let server = start("127.0.0.1:0", toy_config()).expect("bind");
     let addr = server.local_addr();
 
     // Valid frame, garbage payload: structured error, connection usable.
-    let mut client = Client::connect(addr).expect("connect");
+    let mut stream = TcpStream::connect(addr).expect("connect");
     for bad in [
         "",
         "not json at all",
         "{\"type\":\"no_such_endpoint\"}",
         "[1,2,3]",
     ] {
-        match decode_response(&client.call_raw(bad).expect("call survives")) {
+        write_frame(&mut stream, bad).expect("write survives");
+        let reply = read_frame(&mut stream).expect("call survives");
+        match decode_response(&reply) {
             Ok(Response::Error { message }) => assert!(!message.is_empty()),
             other => panic!("payload {bad:?} should yield Error, got {other:?}"),
         }
     }
     // The same connection still serves real requests afterwards.
+    write_frame(&mut stream, &encode_request(&Request::Health)).expect("health write");
     assert!(matches!(
-        client.call(&Request::Health).expect("health"),
-        Response::Health { .. }
+        decode_response(&read_frame(&mut stream).expect("health read")),
+        Ok(Response::Health { .. })
     ));
 
     // Oversized length prefix: one structured refusal, then close.
-    let mut evil = Client::connect(addr).expect("connect");
-    evil.send_raw_bytes(&u32::MAX.to_be_bytes()).expect("send");
-    let bytes = evil.drain_bytes().expect("server answered before closing");
+    let bytes = send_unframed(addr, &u32::MAX.to_be_bytes());
     assert!(bytes.len() > 4, "expected an error frame, got {bytes:?}");
     let text = std::str::from_utf8(&bytes[4..]).expect("utf8 payload");
     assert!(
@@ -358,11 +412,9 @@ fn malformed_frames_are_structured_errors_and_leave_the_server_serving() {
 
     // Truncated frame (prefix promises more than arrives): the server
     // just drops the connection — nothing to answer.
-    let mut cut = Client::connect(addr).expect("connect");
     let mut partial = 100u32.to_be_bytes().to_vec();
     partial.extend_from_slice(b"only a few bytes");
-    cut.send_raw_bytes(&partial).expect("send");
-    assert!(cut.drain_bytes().expect("clean close").is_empty());
+    assert!(send_unframed(addr, &partial).is_empty());
 
     // After all of that the server still computes.
     let mut fine = Client::connect(addr).expect("connect");

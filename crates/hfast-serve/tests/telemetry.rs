@@ -1,0 +1,279 @@
+//! Telemetry must be invisible on the wire: a daemon with `HFAST_TRACE`
+//! and `HFAST_OBS` switched on answers every request with exactly the
+//! bytes the switched-off daemon produces — for every verb, in the v1,
+//! v2, and traced-v2 envelopes. The switches are probed once per
+//! process, so the on/off pair must be real subprocesses.
+
+use std::io::{BufRead as _, BufReader};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use hfast_serve::{
+    decode_response, encode_request, encode_request_versioned, envelope_traced, read_frame,
+    write_frame, AppSpec, FabricSpec, Request, Response, WireVersion,
+};
+use hfast_trace::TraceContext;
+
+struct Daemon {
+    child: Child,
+    stream: TcpStream,
+}
+
+/// Spawns one shard daemon with the given telemetry environment and
+/// connects to it, parsing the address from its `READY` line.
+fn spawn_daemon(telemetry: Option<(&str, &str)>) -> Daemon {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hfast-fleet"));
+    cmd.args(["--shard", "127.0.0.1:0"])
+        .env_remove("HFAST_TRACE")
+        .env_remove("HFAST_OBS")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some((trace_sink, obs_sink)) = telemetry {
+        cmd.env("HFAST_TRACE", trace_sink)
+            .env("HFAST_OBS", obs_sink);
+    }
+    let mut child = cmd.spawn().expect("spawn shard daemon");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read READY line");
+    let addr = line
+        .trim()
+        .strip_prefix("READY ")
+        .unwrap_or_else(|| panic!("expected READY line, got {line:?}"))
+        .to_string();
+    let stream = TcpStream::connect(&addr).expect("connect to daemon");
+    Daemon { child, stream }
+}
+
+fn exchange(stream: &mut TcpStream, payload: &str) -> String {
+    write_frame(stream, payload).expect("write frame");
+    read_frame(stream).expect("read frame")
+}
+
+/// Requests whose responses are pure functions of the request — these
+/// must answer byte-identically regardless of telemetry, including the
+/// deterministic error paths of the job verbs and the panic probe.
+fn deterministic_pool() -> Vec<Request> {
+    let ring = |n: usize| AppSpec::Inline {
+        n,
+        edges: (0..n)
+            .map(|i| (i, (i + 1) % n, 64 * 1024, 16, 4096))
+            .collect(),
+    };
+    vec![
+        Request::Health,
+        Request::Provision {
+            app: ring(8),
+            block_ports: 16,
+            cutoff: 2048,
+            strategy: None,
+        },
+        Request::Cost {
+            app: ring(8),
+            block_ports: 8,
+            cutoff: 4096,
+        },
+        Request::Tdc {
+            app: ring(6),
+            cutoffs: vec![0, 2048],
+        },
+        Request::Simulate {
+            app: ring(6),
+            fabric: FabricSpec::Hfast,
+            cutoff: 2048,
+            faults: None,
+            strategy: None,
+        },
+        Request::DebugPanic,
+        Request::Poll { id: 9999 },
+        Request::Fetch { id: 9999 },
+        Request::Cancel { id: 9999 },
+    ]
+}
+
+/// Zeroes the fields whose values depend on wall-clock timing, leaving
+/// every count, gauge, and byte-exact field to be compared strictly.
+fn mask_timing(resp: Response) -> Response {
+    match resp {
+        Response::Stats {
+            requests,
+            shed,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            cache_entries,
+            cache_bytes,
+            sim_events,
+            strategy_hits,
+            graphs,
+            fabrics,
+            jobs,
+            mut latency,
+            ..
+        } => {
+            for row in &mut latency {
+                row.p50_ns = 0;
+                row.p95_ns = 0;
+                row.p99_ns = 0;
+            }
+            Response::Stats {
+                requests,
+                shed,
+                cache_hits,
+                cache_misses,
+                cache_evictions,
+                cache_entries,
+                cache_bytes,
+                sim_events,
+                sim_events_per_sec: 0,
+                strategy_hits,
+                graphs,
+                fabrics,
+                jobs,
+                latency,
+            }
+        }
+        Response::Metrics {
+            window_ns,
+            shards,
+            queue_depth,
+            cache_hits,
+            cache_misses,
+            jobs_pending,
+            jobs_retried,
+            hot_keys,
+            mut verbs,
+        } => {
+            for row in &mut verbs {
+                row.p50_ns = 0;
+                row.p95_ns = 0;
+                row.p99_ns = 0;
+            }
+            Response::Metrics {
+                window_ns,
+                shards,
+                queue_depth,
+                cache_hits,
+                cache_misses,
+                jobs_pending,
+                jobs_retried,
+                hot_keys,
+                verbs,
+            }
+        }
+        other => other,
+    }
+}
+
+#[test]
+fn telemetry_on_answers_byte_identically_to_telemetry_off() {
+    let dir = std::env::temp_dir().join(format!("hfast-telemetry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("telemetry dir");
+    let trace_sink = dir.join("trace.jsonl").display().to_string();
+    let obs_sink = dir.join("obs.jsonl").display().to_string();
+
+    let mut off = spawn_daemon(None);
+    let mut on = spawn_daemon(Some((&trace_sink, &obs_sink)));
+
+    // Every deterministic verb, in all three envelopes, in lockstep so
+    // both daemons see the identical request sequence.
+    let mut seq = 0u64;
+    for req in &deterministic_pool() {
+        let body = encode_request(req);
+        let v2 = encode_request_versioned(req, WireVersion::V2);
+        seq += 1;
+        let traced = envelope_traced(
+            &body,
+            TraceContext {
+                trace_id: seq,
+                parent_id: (1 << 60) | seq,
+            },
+        );
+        for payload in [&body, &v2, &traced] {
+            let a = exchange(&mut off.stream, payload);
+            let b = exchange(&mut on.stream, payload);
+            assert_eq!(a, b, "telemetry changed the reply to {payload}");
+        }
+        // Within the telemetry-on daemon, the traced reply must equal
+        // the plain v2 reply: context flows request-ward only.
+        let plain = exchange(&mut on.stream, &v2);
+        let traced_again = exchange(&mut on.stream, &traced);
+        assert_eq!(traced_again, plain, "trace context leaked into the reply");
+        // Rebalance: the off daemon sees the same two extra frames.
+        exchange(&mut off.stream, &v2);
+        exchange(&mut off.stream, &traced);
+    }
+
+    // Counter verbs: identical request history, so everything but the
+    // latency quantiles must match exactly (masked compare).
+    for req in [Request::Stats, Request::Metrics] {
+        let body = encode_request(&req);
+        let a = exchange(&mut off.stream, &body);
+        let b = exchange(&mut on.stream, &body);
+        let a = mask_timing(decode_response(&a).expect("off decodes"));
+        let b = mask_timing(decode_response(&b).expect("on decodes"));
+        assert_eq!(a, b, "telemetry changed the {} counters", req.endpoint());
+    }
+
+    // A real durable job: accepted with the same id, completes on both,
+    // and fetches byte-identical results.
+    let submit = Request::Submit {
+        job: Box::new(Request::Simulate {
+            app: AppSpec::Inline {
+                n: 6,
+                edges: (0..6)
+                    .map(|i| (i, (i + 1) % 6, 64 * 1024, 16, 4096))
+                    .collect(),
+            },
+            fabric: FabricSpec::Hfast,
+            cutoff: 4096,
+            faults: None,
+            strategy: None,
+        }),
+    };
+    let body = encode_request(&submit);
+    let a = exchange(&mut off.stream, &body);
+    let b = exchange(&mut on.stream, &body);
+    assert_eq!(a, b, "job acceptance differs under telemetry");
+    let id = match decode_response(&a).expect("job accepted") {
+        Response::JobAccepted { id } => id,
+        other => panic!("expected JobAccepted, got {other:?}"),
+    };
+    let await_done = |stream: &mut TcpStream| {
+        let poll = encode_request(&Request::Poll { id });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let text = exchange(stream, &poll);
+            if text.contains("\"state\":\"done\"") {
+                return;
+            }
+            assert!(Instant::now() < deadline, "job never finished: {text}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+    await_done(&mut off.stream);
+    await_done(&mut on.stream);
+    let fetch = encode_request(&Request::Fetch { id });
+    let a = exchange(&mut off.stream, &fetch);
+    let b = exchange(&mut on.stream, &fetch);
+    assert_eq!(a, b, "fetched job bytes differ under telemetry");
+
+    // Shutdown acknowledges identically; the telemetry-on daemon then
+    // flushes a non-empty span file on drain, the off daemon writes none.
+    let bye = encode_request(&Request::Shutdown);
+    let a = exchange(&mut off.stream, &bye);
+    let b = exchange(&mut on.stream, &bye);
+    assert_eq!(a, b, "shutdown ack differs under telemetry");
+    assert!(off.child.wait().expect("off exits").success());
+    assert!(on.child.wait().expect("on exits").success());
+    let spans = std::fs::read_to_string(&trace_sink).expect("span sink written");
+    assert!(
+        spans.lines().count() > 1,
+        "telemetry-on daemon exported no spans"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -9,10 +9,20 @@
 //! request populated, because the cache key is the canonical v1 body).
 
 use hfast_serve::{
-    decode_request_versioned, decode_response_versioned, encode_request, encode_request_versioned,
-    encode_response, encode_response_versioned, envelope_v2, request_key, start, AppSpec, Client,
+    decode_request_traced, decode_request_versioned, decode_response_versioned, encode_request,
+    encode_request_versioned, encode_response, encode_response_versioned, envelope_traced,
+    envelope_v2, read_frame, request_key, start, strip_envelope, write_frame, AppSpec, Client,
     FabricSpec, JobState, Request, Response, ServerConfig, WireVersion,
 };
+use hfast_trace::TraceContext;
+use std::net::TcpStream;
+
+/// One pre-encoded frame out, one frame in — the raw view of the wire
+/// that lets a test pin exact reply bytes.
+fn raw_exchange(stream: &mut TcpStream, payload: &str) -> String {
+    write_frame(stream, payload).expect("write frame");
+    read_frame(stream).expect("read frame")
+}
 
 fn cost_req() -> Request {
     Request::Cost {
@@ -135,20 +145,19 @@ fn v1_response_bytes_are_pinned() {
 fn server_answers_in_kind_over_a_socket() {
     let server = start("127.0.0.1:0", ServerConfig::default()).expect("bind");
     let addr = server.local_addr().to_string();
-    let mut client = Client::connect(&addr).expect("connect");
+    let mut stream = TcpStream::connect(&addr).expect("connect");
 
     let req = cost_req();
-    #[allow(deprecated)] // the raw shim is the only way to pin exact reply bytes
-    let v1_reply = client.call_raw(&encode_request(&req)).expect("v1 call");
+    let v1_reply = raw_exchange(&mut stream, &encode_request(&req));
     assert!(
         v1_reply.starts_with(r#"{"type":"#),
         "v1 request must get an untagged v1 reply, got {v1_reply}"
     );
 
-    #[allow(deprecated)]
-    let v2_reply = client
-        .call_raw(&encode_request_versioned(&req, WireVersion::V2))
-        .expect("v2 call");
+    let v2_reply = raw_exchange(
+        &mut stream,
+        &encode_request_versioned(&req, WireVersion::V2),
+    );
     assert!(
         v2_reply.starts_with(r#"{"v":2,"type":"#),
         "v2 request must get a v2-tagged reply, got {v2_reply}"
@@ -157,11 +166,23 @@ fn server_answers_in_kind_over_a_socket() {
     assert_eq!(v2_reply, envelope_v2(&v1_reply));
 
     // Interleave again the other way round — no per-connection latching.
-    #[allow(deprecated)]
-    let v1_again = client.call_raw(&encode_request(&req)).expect("v1 again");
+    let v1_again = raw_exchange(&mut stream, &encode_request(&req));
     assert_eq!(v1_again, v1_reply);
 
+    // A traced v2 request gets the same v2 reply: trace context flows
+    // request-ward only and never tags the response bytes.
+    let ctx = TraceContext {
+        trace_id: 1,
+        parent_id: (1 << 60) | 1,
+    };
+    let traced_reply = raw_exchange(&mut stream, &envelope_traced(&encode_request(&req), ctx));
+    assert_eq!(
+        traced_reply, v2_reply,
+        "tracing must not change reply bytes"
+    );
+
     // The typed client checks in-kind answering for us too.
+    let mut client = Client::connect(&addr).expect("connect typed");
     let typed = client
         .call_versioned(&req, WireVersion::V2)
         .expect("typed v2");
@@ -169,6 +190,42 @@ fn server_answers_in_kind_over_a_socket() {
 
     client.call(&Request::Shutdown).expect("drain");
     server.join();
+}
+
+/// The traced envelope is a strict superset of v2: pinned bytes, ids as
+/// hex strings (a numeric id would round through f64 JSON parsers), and
+/// the context-free v2 frame stays byte-for-byte what PR 8 shipped.
+#[test]
+fn traced_envelope_bytes_are_pinned() {
+    let req = cost_req();
+    let body = encode_request(&req);
+    let ctx = TraceContext {
+        trace_id: 3,
+        parent_id: (1 << 60) | 3,
+    };
+    let traced = envelope_traced(&body, ctx);
+    assert_eq!(
+        traced,
+        format!(
+            "{{\"v\":2,\"trace\":{{\"id\":\"3\",\"parent\":\"1000000000000003\"}},{}",
+            &body[1..]
+        ),
+        "traced envelope drifted"
+    );
+    let (back, version, got) = decode_request_traced(&traced).expect("traced decodes");
+    assert_eq!(
+        (back, version, got),
+        (req.clone(), WireVersion::V2, Some(ctx))
+    );
+    assert_eq!(strip_envelope(&traced), body, "strip recovers the v1 body");
+
+    // Without a trace member, the v2 frame is exactly the PR 8 bytes.
+    let plain = encode_request_versioned(&req, WireVersion::V2);
+    assert_eq!(plain, format!("{{\"v\":2,{}", &body[1..]));
+    let (_, _, none) = decode_request_traced(&plain).expect("plain v2 decodes");
+    assert_eq!(none, None, "no trace member, no context");
+    let (_, _, none) = decode_request_traced(&body).expect("v1 decodes");
+    assert_eq!(none, None);
 }
 
 /// v1 and v2 texts hash differently, but the daemon caches by the

@@ -1,0 +1,510 @@
+//! Cross-process trace stitching: many per-process span files, one
+//! Perfetto document.
+//!
+//! A fleet request crosses at least three processes — client, router,
+//! shard — and each records spans on its own [`TraceRecorder`] with its
+//! own monotonic clock. Every process dumps its spans as JSON Lines
+//! ([`render_jsonl`]: one header line naming the process, one line per
+//! span); [`stitch`] merges any number of such files into a single
+//! trace-event document with one Perfetto *process group* per input file
+//! (client / router / shard-N), re-namespacing the only colliding id
+//! space (every shard allocates from [`SERVER_SPAN_BASE`]) while leaving
+//! the cross-process parent references — client- and router-space ids,
+//! unique by construction — untouched. The causal chain the
+//! `TraceContext` carried over the wire therefore survives the merge:
+//! one request renders as one tree spanning every process it touched.
+//!
+//! Two encoding details keep ids exact end to end. Span ids carry their
+//! allocator's base bit (up to 2⁶³), beyond the 53-bit integer range a
+//! JSON number survives, so the JSONL interchange writes `span`/`parent`
+//! as hex *strings*; and the stitched document renumbers every id into a
+//! small dense range, so `args.span`/`args.parent` stay exact for any
+//! consumer — including Perfetto's own JavaScript.
+//!
+//! [`TraceRecorder`]: crate::span::TraceRecorder
+
+use std::collections::BTreeMap;
+
+use hfast_obs::JsonObj;
+
+use crate::json::{self, JsonValue};
+use crate::span::{SpanRecord, Track, ENGINE_SPAN_BASE, SERVER_SPAN_BASE};
+
+/// `(kind label, index)` of a track, the JSONL serialization of [`Track`].
+fn track_parts(track: Track) -> (&'static str, u64) {
+    match track {
+        Track::Rank(r) => ("rank", r as u64),
+        Track::Link(l) => ("link", l as u64),
+        Track::Engine => ("engine", 0),
+        Track::Reconfig => ("reconfig", 0),
+        Track::Server(c) => ("server", c as u64),
+        Track::Client => ("client", 0),
+        Track::Router(c) => ("router", c as u64),
+    }
+}
+
+fn kind_code(kind: &str) -> Option<u64> {
+    Some(match kind {
+        "rank" => 1,
+        "link" => 2,
+        "engine" => 3,
+        "reconfig" => 4,
+        "server" => 5,
+        "client" => 6,
+        "router" => 7,
+        _ => return None,
+    })
+}
+
+/// Renders one process's spans as the JSONL interchange [`stitch`]
+/// consumes: a header line `{"process":"<label>"}` followed by one line
+/// per span. Deterministic for a [`snapshot`]-ordered input. Field
+/// values are emitted as plain numbers and should stay below 2⁵³; span
+/// and parent ids are hex strings and cover the full `u64` range.
+///
+/// [`snapshot`]: crate::span::TraceRecorder::snapshot
+pub fn render_jsonl(process: &str, spans: &[SpanRecord]) -> String {
+    let mut out = JsonObj::new().str("process", process).finish();
+    out.push('\n');
+    for s in spans {
+        let (kind, idx) = track_parts(s.track);
+        let mut fields = JsonObj::new();
+        for (k, v) in &s.fields {
+            fields = fields.u64(k, *v);
+        }
+        out.push_str(
+            &JsonObj::new()
+                .str("track", kind)
+                .u64("idx", idx)
+                .str("name", s.name)
+                .u64("t_ns", s.t_ns)
+                .u64("dur_ns", s.dur_ns)
+                .str("span", &format!("{:x}", s.span_id))
+                .str("parent", &format!("{:x}", s.parent_id))
+                .raw("fields", &fields.finish())
+                .finish(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// One span parsed back out of the JSONL interchange, ids already
+/// namespaced per input process.
+struct StitchSpan {
+    pid: u64,
+    tid: u64,
+    name: String,
+    t_ns: u64,
+    dur_ns: u64,
+    span_id: u64,
+    parent_id: u64,
+    fields: Vec<(String, u64)>,
+}
+
+/// Structural statistics of a stitched document, from [`stitch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StitchStats {
+    /// Input files merged (one Perfetto process group each).
+    pub processes: usize,
+    /// Non-metadata events emitted.
+    pub events: usize,
+    /// Spans with a non-zero id.
+    pub spans: usize,
+    /// Spans with no parent (tree roots).
+    pub roots: usize,
+    /// Spans whose parent id resolves nowhere in the merged document.
+    pub orphans: usize,
+}
+
+/// Is this id in the per-shard server space that must be namespaced?
+fn is_server_space(id: u64) -> bool {
+    id & ENGINE_SPAN_BASE == 0 && id & SERVER_SPAN_BASE != 0
+}
+
+/// Namespaces a server-space id into process `pid`'s private range.
+/// Client/router/rank/engine ids pass through untouched — they are the
+/// cross-process parent references and must stay resolvable.
+fn remap(id: u64, pid: u64) -> u64 {
+    if is_server_space(id) {
+        id | (pid << 48)
+    } else {
+        id
+    }
+}
+
+fn need_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("span line missing u64 {key:?}"))
+}
+
+fn need_hex_id(v: &JsonValue, key: &str) -> Result<u64, String> {
+    let s = v
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("span line missing hex {key:?}"))?;
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad hex id {s:?} for {key:?}: {e}"))
+}
+
+/// Merges per-process JSONL span files (in [`render_jsonl`] form) into
+/// one validated Perfetto trace-event document.
+///
+/// Input order fixes process ids (first file → pid 1) — pass client,
+/// router, shards for a stable layout. Returns the document plus its
+/// [`StitchStats`]; errors on malformed input or if the merged document
+/// fails to re-parse.
+pub fn stitch(docs: &[&str]) -> Result<(String, StitchStats), String> {
+    let mut labels: Vec<String> = Vec::with_capacity(docs.len());
+    let mut spans: Vec<StitchSpan> = Vec::new();
+    for (i, doc) in docs.iter().enumerate() {
+        let pid = i as u64 + 1;
+        let mut lines = doc.lines().filter(|l| !l.trim().is_empty());
+        let header = json::parse(lines.next().ok_or("empty span file")?)?;
+        labels.push(
+            header
+                .get("process")
+                .and_then(JsonValue::as_str)
+                .ok_or("span file missing process header")?
+                .to_string(),
+        );
+        for line in lines {
+            let v = json::parse(line)?;
+            let kind = v
+                .get("track")
+                .and_then(JsonValue::as_str)
+                .ok_or("span line missing track")?;
+            let code = kind_code(kind).ok_or_else(|| format!("unknown track kind {kind:?}"))?;
+            let idx = need_u64(&v, "idx")?;
+            let mut fields = Vec::new();
+            if let Some(JsonValue::Obj(pairs)) = v.get("fields") {
+                for (k, fv) in pairs {
+                    if let Some(n) = fv.as_u64() {
+                        fields.push((k.clone(), n));
+                    }
+                }
+            }
+            spans.push(StitchSpan {
+                pid,
+                tid: (code << 24) | (idx & 0xFF_FFFF),
+                name: v
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("span line missing name")?
+                    .to_string(),
+                t_ns: need_u64(&v, "t_ns")?,
+                dur_ns: need_u64(&v, "dur_ns")?,
+                span_id: remap(need_hex_id(&v, "span")?, pid),
+                parent_id: remap(need_hex_id(&v, "parent")?, pid),
+                fields,
+            });
+        }
+    }
+
+    // Dense renumbering: every distinct namespaced id becomes a small
+    // integer (first-seen order, so the output is deterministic), and the
+    // site map records where each id lives for parent resolution and
+    // cross-track flow arrows.
+    let mut dense: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut sites: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    for s in &spans {
+        if s.span_id != 0 {
+            let next = dense.len() as u64 + 1;
+            dense.entry(s.span_id).or_insert(next);
+            sites.entry(s.span_id).or_insert((s.pid, s.tid, s.t_ns));
+        }
+    }
+
+    let mut events: Vec<String> = Vec::with_capacity(spans.len() * 2 + docs.len() * 4);
+    for (i, label) in labels.iter().enumerate() {
+        events.push(
+            JsonObj::new()
+                .str("ph", "M")
+                .str("name", "process_name")
+                .u64("pid", i as u64 + 1)
+                .u64("tid", 0)
+                .raw("args", &JsonObj::new().str("name", label).finish())
+                .finish(),
+        );
+    }
+    let mut tracks: BTreeMap<(u64, u64), ()> = BTreeMap::new();
+    for s in &spans {
+        tracks.entry((s.pid, s.tid)).or_insert(());
+    }
+    for &(pid, tid) in tracks.keys() {
+        events.push(
+            JsonObj::new()
+                .str("ph", "M")
+                .str("name", "thread_name")
+                .u64("pid", pid)
+                .u64("tid", tid)
+                .raw(
+                    "args",
+                    &JsonObj::new()
+                        .str("name", &format!("track {tid:x}"))
+                        .finish(),
+                )
+                .finish(),
+        );
+    }
+
+    let mut stats = StitchStats {
+        processes: docs.len(),
+        events: 0,
+        spans: 0,
+        roots: 0,
+        orphans: 0,
+    };
+    let us = |ns: u64| format!("{}.{:03}", ns / 1000, ns % 1000);
+    for s in &spans {
+        stats.events += 1;
+        if s.span_id != 0 {
+            stats.spans += 1;
+            if s.parent_id == 0 {
+                stats.roots += 1;
+            }
+        }
+        if s.parent_id != 0 && !sites.contains_key(&s.parent_id) {
+            stats.orphans += 1;
+        }
+        let mut args = JsonObj::new();
+        if s.span_id != 0 {
+            args = args.u64("span", dense[&s.span_id]);
+        }
+        if s.parent_id != 0 {
+            // A dangling parent still gets a dense id: no span defines
+            // it, so the reference stays visibly unresolved downstream.
+            let next = dense.len() as u64 + 1;
+            let p = *dense.entry(s.parent_id).or_insert(next);
+            args = args.u64("parent", p);
+        }
+        for (k, v) in &s.fields {
+            args = args.u64(k, *v);
+        }
+        let mut obj = JsonObj::new()
+            .str("ph", if s.dur_ns > 0 { "X" } else { "i" })
+            .str("name", &s.name)
+            .str("cat", "hfast")
+            .u64("pid", s.pid)
+            .u64("tid", s.tid)
+            .raw("ts", &us(s.t_ns));
+        if s.dur_ns > 0 {
+            obj = obj.raw("dur", &us(s.dur_ns));
+        } else {
+            obj = obj.str("s", "t");
+        }
+        events.push(obj.raw("args", &args.finish()).finish());
+
+        if s.parent_id != 0 && s.span_id != 0 {
+            if let Some(&(ppid, ptid, pts)) = sites.get(&s.parent_id) {
+                if (ppid, ptid) != (s.pid, s.tid) {
+                    events.push(
+                        JsonObj::new()
+                            .str("ph", "s")
+                            .str("name", "causal")
+                            .str("cat", "causal")
+                            .u64("id", dense[&s.span_id])
+                            .u64("pid", ppid)
+                            .u64("tid", ptid)
+                            .raw("ts", &us(pts))
+                            .finish(),
+                    );
+                    events.push(
+                        JsonObj::new()
+                            .str("ph", "f")
+                            .str("bp", "e")
+                            .str("name", "causal")
+                            .str("cat", "causal")
+                            .u64("id", dense[&s.span_id])
+                            .u64("pid", s.pid)
+                            .u64("tid", s.tid)
+                            .raw("ts", &us(s.t_ns))
+                            .finish(),
+                    );
+                }
+            }
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(ev);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    json::parse(&out).map_err(|e| format!("stitched document invalid: {e}"))?;
+    Ok((out, stats))
+}
+
+/// Connectivity of one trace inside a stitched document: the events whose
+/// `args.trace` field names `trace_id`, checked as a forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Spans stamped with this trace id.
+    pub spans: usize,
+    /// Trace spans with no parent.
+    pub roots: usize,
+    /// Trace spans whose parent is not itself part of the trace.
+    pub orphans: usize,
+}
+
+/// Checks that the spans of `trace_id` in a stitched `document` form
+/// trees. `roots == 1 && orphans == 0` means one request rendered as a
+/// single connected causal tree.
+pub fn trace_tree(document: &str, trace_id: u64) -> Result<TreeStats, String> {
+    let root = json::parse(document)?;
+    let events = root
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut ids = std::collections::BTreeSet::new();
+    let mut members: Vec<(u64, u64)> = Vec::new(); // (span, parent)
+    for ev in events {
+        let Some(args) = ev.get("args") else { continue };
+        if args.get("trace").and_then(JsonValue::as_u64) != Some(trace_id) {
+            continue;
+        }
+        let span = args.get("span").and_then(JsonValue::as_u64).unwrap_or(0);
+        let parent = args.get("parent").and_then(JsonValue::as_u64).unwrap_or(0);
+        if span != 0 {
+            ids.insert(span);
+        }
+        members.push((span, parent));
+    }
+    let mut stats = TreeStats {
+        spans: members.len(),
+        roots: 0,
+        orphans: 0,
+    };
+    for (_, parent) in &members {
+        if *parent == 0 {
+            stats.roots += 1;
+        } else if !ids.contains(parent) {
+            stats.orphans += 1;
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{client_span_id, router_span_id, server_span_id, TraceRecorder};
+
+    /// Two shards that both allocate `server_span_id(1)`: without
+    /// namespacing the merged document would cross their trees.
+    #[test]
+    fn stitch_namespaces_colliding_server_ids() {
+        let trace = 1u64;
+        let root = client_span_id(1);
+        let client = TraceRecorder::new();
+        client.record_span(
+            Track::Client,
+            "call",
+            0,
+            400,
+            root,
+            0,
+            vec![("trace", trace)],
+        );
+        let router = TraceRecorder::new();
+        let route = router_span_id(1);
+        router.record_span(
+            Track::Router(0),
+            "route",
+            10,
+            300,
+            route,
+            root,
+            vec![("trace", trace)],
+        );
+        let mk_shard = || {
+            let rec = TraceRecorder::new();
+            let req = server_span_id(1);
+            rec.record_span(
+                Track::Server(0),
+                "request",
+                20,
+                200,
+                req,
+                route,
+                vec![("trace", trace)],
+            );
+            rec.record_span(
+                Track::Server(0),
+                "execute",
+                30,
+                100,
+                server_span_id(2),
+                req,
+                vec![("trace", trace)],
+            );
+            rec
+        };
+        let docs = [
+            render_jsonl("client", &client.snapshot()),
+            render_jsonl("router", &router.snapshot()),
+            render_jsonl("shard-0", &mk_shard().snapshot()),
+            render_jsonl("shard-1", &mk_shard().snapshot()),
+        ];
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let (doc, stats) = stitch(&refs).expect("stitch");
+        assert_eq!(stats.processes, 4);
+        assert_eq!(stats.spans, 6);
+        assert_eq!(stats.roots, 1, "only the client root is parentless");
+        assert_eq!(stats.orphans, 0, "every parent resolves after remap");
+        let tree = trace_tree(&doc, trace).unwrap();
+        assert_eq!(tree.spans, 6);
+        assert_eq!(tree.roots, 1);
+        assert_eq!(tree.orphans, 0);
+        assert!(doc.contains(r#""name":"shard-1""#), "process groups named");
+        assert!(doc.contains(r#""ph":"s""#), "cross-process flow arrows");
+    }
+
+    #[test]
+    fn ids_above_53_bits_survive_the_round_trip() {
+        // A span id with the client base bit and low bits set cannot be
+        // represented exactly as an f64; the hex-string interchange plus
+        // dense renumbering must keep parent links exact anyway.
+        let a = client_span_id(0xABCD_EF01);
+        let b = client_span_id(0xABCD_EF02);
+        let rec = TraceRecorder::new();
+        rec.record_span(Track::Client, "call", 0, 10, a, 0, vec![]);
+        rec.record_span(Track::Client, "call", 20, 10, b, a, vec![]);
+        let doc = render_jsonl("client", &rec.snapshot());
+        let (_, stats) = stitch(&[doc.as_str()]).unwrap();
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.roots, 1);
+        assert_eq!(stats.orphans, 0, "near-identical big ids stay distinct");
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_lossless_enough_to_stitch() {
+        let rec = TraceRecorder::new();
+        rec.record_span(
+            Track::Server(3),
+            "request",
+            5,
+            10,
+            server_span_id(1),
+            0,
+            vec![],
+        );
+        let doc = render_jsonl("solo", &rec.snapshot());
+        let (_, stats) = stitch(&[doc.as_str()]).unwrap();
+        assert_eq!(stats.processes, 1);
+        assert_eq!(stats.spans, 1);
+        assert_eq!(stats.roots, 1);
+        assert_eq!(stats.orphans, 0);
+    }
+
+    #[test]
+    fn stitch_rejects_malformed_input() {
+        assert!(stitch(&[""]).is_err());
+        assert!(stitch(&["{\"process\":\"p\"}\nnot json"]).is_err());
+        assert!(stitch(&["{\"nope\":1}"]).is_err());
+    }
+}

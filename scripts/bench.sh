@@ -2,22 +2,25 @@
 # Runs every bench suite and assembles the results into BENCH_<tag>.json
 # at the repo root (one JSON document: {"tag": ..., "results": [...]}).
 #
-# Usage: scripts/bench.sh [tag]        (default tag: pr8)
+# Usage: scripts/bench.sh [tag]        (default tag: pr9)
 #   HFAST_BENCH_FAST=1 scripts/bench.sh   # quick smoke pass
 #
-# When a BENCH_pr3.json (or an earlier PR's) baseline exists, the netsim
-# suite also records the trace-off overhead guard (guard/trace_off_vs_pr3:
-# fastest trace-free cold-run sample over the baseline's,
-# drift-normalized by a calibration case; must stay <= 1.05).
+# When a BENCH_pr8.json (or an earlier PR's) baseline exists, the netsim
+# suite records the trace-off overhead guard (guard/trace_off_vs_pr3)
+# and the serve suite records the telemetry-off guard
+# (guard/telemetry_off_vs_pr8): fastest telemetry-free sample over the
+# baseline's, drift-normalized by a calibration case; must stay <= 1.05.
+# The serve suite also prices the full telemetry plane
+# (overhead/telemetry_on_vs_off — informational, spans are opt-in).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-pr8}"
+TAG="${1:-pr9}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 export HFAST_BENCH_JSON="$TMP"
-for base in BENCH_pr7.json BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json BENCH_pr1.json; do
+for base in BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json BENCH_pr1.json; do
   if [[ -f "$base" ]]; then
     export HFAST_BENCH_BASELINE="$PWD/$base"
     break

@@ -37,4 +37,16 @@ cargo run --release -q -p hfast-serve -- --self-test > /dev/null
 # to clients (zero drops, zero mismatches), and every journaled job
 # submitted before the restart is fetchable after it.
 cargo run --release -q -p hfast-serve --bin hfast-fleet -- --smoke > /dev/null
+# Trace-plane smoke: capture a live 2-shard fleet with per-process span
+# sinks, stitch client + router + shards into one Perfetto document, and
+# exit non-zero unless every traced request forms exactly one connected
+# causal tree (one root, zero orphans).
+cargo run --release -q -p hfast-serve --bin fleet_trace -- --capture \
+  "${TMPDIR:-/tmp}/hfast-verify-trace" > /dev/null
+# Soak smoke (~30 s wall): sustained mixed-verb load over a 2-shard fleet
+# while a monitor polls the rolling `metrics` windows and shard 0 is
+# rolling-restarted mid-soak; exits non-zero on any SLO violation — byte
+# divergence, refused responses, a breached p99 ceiling, or a durable job
+# lost across the restart.
+cargo run --release -q -p hfast-serve --bin hfast-fleet -- --soak --secs 20 > /dev/null
 echo "verify: OK"
