@@ -11,8 +11,8 @@
 //! untouched by the thread knob).
 
 use hfast_netsim::{
-    traffic, transit_links, FatTreeFabric, FaultPlan, RetryPolicy, SimOutput, Simulation,
-    TorusFabric,
+    traffic, transit_links, CreditConfig, FatTreeFabric, FaultPlan, RetryPolicy, Scenario,
+    ScenarioKind, SimOutput, Simulation, TorusFabric,
 };
 
 /// FNV-1a over every stats field and per-flow record: equal digests ⇔
@@ -98,6 +98,33 @@ fn main() {
             .with_threads(threads)
             .run(&fs)
     });
+
+    // The credit loop is sequential by construction, so the thread knob
+    // must be fully inert on it — on a scenario built to congest.
+    let incast = Scenario::preset(ScenarioKind::Incast, 32, 5).generate();
+    check("credit/incast-fat-tree", |threads| {
+        Simulation::new(&ft)
+            .with_congestion(CreditConfig::credit(2))
+            .detailed()
+            .with_threads(threads)
+            .run(&incast)
+    });
+
+    // And `Ideal` must be byte-identical to a builder that never mentions
+    // congestion at all (the golden tests pin the absolute digests; this
+    // smoke pins the equivalence on the 20k-flow suite).
+    let plain = digest(&Simulation::new(&torus).detailed().run(&many));
+    let ideal = digest(
+        &Simulation::new(&torus)
+            .with_congestion(CreditConfig::default())
+            .detailed()
+            .run(&many),
+    );
+    assert_eq!(
+        plain, ideal,
+        "ideal-mode digest diverged from the plain loop on the 20k suite"
+    );
+    println!("congestion/ideal-identity-20k: digest {plain:#018x}");
 
     println!("eventloop smoke: OK");
 }

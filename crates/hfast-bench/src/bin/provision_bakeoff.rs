@@ -14,21 +14,29 @@
 //!   provisioned fabric, folded by the hfast-trace hotspot analyzer — the
 //!   class of the hottest transit link and the circuit share of transit
 //!   busy-time (arXiv 1907.05312 motivates judging placement, not just
-//!   coverage).
+//!   coverage);
+//! - **congestion**: a second replay under credit-based flow control
+//!   (finite link buffers), folded into congestion trees — the worst
+//!   tree's spread ratio and the total stalled time show how far each
+//!   strategy lets backpressure travel.
 //!
 //! `--check` runs the CI smoke: every strategy's output must pass
-//! [`Provisioning::validate`] on every cell and `paper_linear` digests
-//! must match the PR-6 goldens (bit-identical extraction). Any argument
-//! that is not `--check` filters the app list by substring.
+//! [`Provisioning::validate`] on every cell, `paper_linear` digests must
+//! match the PR-6 goldens (bit-identical extraction), and a credit-mode
+//! replay must deliver every flow on every cell (no deadlock under
+//! backpressure). Any argument that is not `--check` filters the app
+//! list by substring.
 
 use hfast_apps::all_apps;
 use hfast_bench::measure_app;
 use hfast_core::{CostComparison, CostModel, ProvisionConfig, Provisioning, Strategy};
-use hfast_netsim::{traffic, HfastFabric, Simulation};
-use hfast_trace::{rank_hotspots, TraceRecorder};
+use hfast_netsim::{traffic, CreditConfig, HfastFabric, Simulation};
+use hfast_trace::{congestion_trees, rank_hotspots, TraceRecorder};
 
 const PROCS: usize = 64;
 const CUTOFF: u64 = 2048;
+/// Buffer slots per link for the credit-mode congestion replay.
+const CREDITS: u32 = 1;
 
 /// PR-6 `Provisioning::digest()` goldens for the paper heuristic on each
 /// study code's steady-state graph at P = 64, default config. The trait
@@ -52,6 +60,11 @@ struct Cell {
     makespan_ns: u64,
     top_class: String,
     circuit_busy_pct: f64,
+    /// Worst congestion tree's victims / root-crossing flows under
+    /// credit-mode flow control (0 when no link ever stalls).
+    congestion_spread: f64,
+    /// Total stalled time across all congestion trees, credit mode.
+    stall_ns: u64,
 }
 
 /// Provisions one cell and (outside `--check`) replays its flows traced.
@@ -76,6 +89,17 @@ fn run_cell(
     let cmp = CostComparison::of(&prov, &CostModel::default());
     let (blocks, ports_per_node) = (prov.total_blocks(), prov.block_ports_per_node());
     if check_only {
+        // Credit-mode coverage: backpressure must never deadlock a
+        // provisioned fabric — every steady-state flow still delivers.
+        let fabric = HfastFabric::new(prov);
+        let out = Simulation::new(&fabric)
+            .with_congestion(CreditConfig::credit(CREDITS))
+            .run(flows);
+        assert_eq!(
+            out.stats.completed,
+            flows.len(),
+            "{strategy}: credit-mode replay lost flows (deadlock or unrouted)"
+        );
         return Cell {
             strategy: strategy.as_str(),
             blocks,
@@ -86,6 +110,8 @@ fn run_cell(
             makespan_ns: 0,
             top_class: "-".into(),
             circuit_busy_pct: 0.0,
+            congestion_spread: 0.0,
+            stall_ns: 0,
         };
     }
 
@@ -104,6 +130,14 @@ fn run_cell(
         .filter(|l| fabric.link_class(l.link) == "circuit")
         .map(|l| l.busy_ns)
         .sum();
+
+    // Second replay under credit flow control: where does backpressure go?
+    let credit_rec = TraceRecorder::new();
+    Simulation::new(&fabric)
+        .with_congestion(CreditConfig::credit(CREDITS))
+        .with_trace(&credit_rec)
+        .run(flows);
+    let trees = congestion_trees(&credit_rec.snapshot());
     Cell {
         strategy: strategy.as_str(),
         blocks,
@@ -120,6 +154,8 @@ fn run_cell(
         } else {
             100.0 * busy_circuit as f64 / busy_total as f64
         },
+        congestion_spread: trees.iter().map(|t| t.spread_ratio).fold(0.0, f64::max),
+        stall_ns: trees.iter().map(|t| t.stall_ns).sum(),
     }
 }
 
@@ -170,7 +206,7 @@ fn main() {
             }
         );
         println!(
-            "  {:<14} {:>6} {:>10} {:>10} {:>9} {:>9} {:>12} {:>8} {:>12}",
+            "  {:<14} {:>6} {:>10} {:>10} {:>9} {:>9} {:>12} {:>8} {:>12} {:>8} {:>12}",
             "strategy",
             "blocks",
             "ports/node",
@@ -179,12 +215,14 @@ fn main() {
             "flows",
             "makespan-ns",
             "top-hot",
-            "circuit-busy"
+            "circuit-busy",
+            "spread",
+            "stall-ns"
         );
         for strategy in Strategy::ALL {
             let c = run_cell(strategy, &graph, &flows, check_only);
             println!(
-                "  {:<14} {:>6} {:>10.2} {:>10.3} {:>8.1}% {:>9} {:>12} {:>8} {:>11.1}%",
+                "  {:<14} {:>6} {:>10.2} {:>10.3} {:>8.1}% {:>9} {:>12} {:>8} {:>11.1}% {:>8.2} {:>12}",
                 c.strategy,
                 c.blocks,
                 c.ports_per_node,
@@ -193,7 +231,9 @@ fn main() {
                 c.completed,
                 c.makespan_ns,
                 c.top_class,
-                c.circuit_busy_pct
+                c.circuit_busy_pct,
+                c.congestion_spread,
+                c.stall_ns
             );
         }
         println!();
@@ -203,13 +243,18 @@ fn main() {
             eprintln!("FAIL: {golden_failures} paper_linear digests diverged from PR-6 goldens");
             std::process::exit(1);
         }
-        println!("bake-off check: all strategies valid on every cell, goldens match");
+        println!(
+            "bake-off check: all strategies valid on every cell, goldens match, \
+             credit-mode replays deliver every flow"
+        );
     } else {
         println!(
             "shape: paper_linear is linear-time but spends a block chain per \
              node; bff_circuit and demand_decomp consolidate matched pairs \
              onto shared blocks at higher provisioning cost. Congestion lands \
-             on circuit-switched links for every strategy."
+             on circuit-switched links for every strategy, and under credit \
+             flow control the spread column shows backpressure staying near \
+             its root instead of fanning out."
         );
     }
 }

@@ -1,0 +1,697 @@
+//! Credit-based flow control: backpressure, stalls, and congestion trees.
+//!
+//! The default event loop models every link as an ideal FIFO server —
+//! messages queue *at* a busy link but congestion can never spread
+//! *between* links. Real credit/wormhole fabrics behave differently:
+//! a hop may only forward when the downstream buffer has a free credit,
+//! so a saturated link backs traffic up into its upstream buffers,
+//! which fill and stall *their* upstreams — the congestion trees of
+//! Jha et al. (arXiv 1907.05312), whose victims include flows that never
+//! touch the hot link at all.
+//!
+//! [`CongestionMode::Credit`] turns that mechanism on. The model is
+//! store-and-forward with per-link input buffers of
+//! [`CreditConfig::credits`] message slots:
+//!
+//! - a message occupies exactly one buffer slot from the moment it enters
+//!   a link until it advances to the next one (sources have unbounded
+//!   injection queues and wait for the first link's credit);
+//! - the buffer head serializes for `bytes / bandwidth` and crosses in
+//!   `latency_ns`, then requests a credit on the next link: granted, it
+//!   moves and frees its slot (waking the first waiter FIFO); refused,
+//!   it **stays at the head**, blocking everything behind it
+//!   (head-of-line blocking — this is what makes trees form);
+//! - freed credits cascade deterministically at the same timestamp, so
+//!   a delivery at the tree root can unwind a whole chain of stalls.
+//!
+//! End-to-end uncontended latency is therefore `Σ (latency + bytes/bw)`
+//! per hop (store-and-forward), not the cut-through `Σ latency +
+//! bytes/bw` of the ideal loop — the two modes are different *models*,
+//! compared credit-vs-credit across fabrics, never credit-vs-ideal.
+//! [`CongestionMode::Ideal`] (the default) routes to the untouched PR-9
+//! event loop and is byte-identical to it, golden-pinned by tests.
+//!
+//! With a [`TraceRecorder`](hfast_trace::TraceRecorder) attached the loop
+//! emits the same `hop` spans as the ideal loop plus `stall` spans
+//! (`flow`, `for` = the downstream link that refused the credit) on the
+//! blocked link's track; `hfast_trace::congestion_trees` folds those
+//! into root/depth/victim reports.
+//!
+//! Fault integration: a [`FaultPlan`](crate::FaultPlan) replays on the
+//! same time axis. A link failure kills every occupant and waiter of the
+//! link (they re-admit from the source under the [`RetryPolicy`], with
+//! routes re-resolved around the outage); recoveries restore the link.
+//! Unlike the dynamic ideal loop, credit mode does not model mid-run
+//! circuit repatching — `with_reprovision` intervals are ignored.
+//!
+//! The loop is strictly sequential and single-threaded: identical inputs
+//! produce identical outputs regardless of `HFAST_THREADS`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use hfast_trace::{engine_span_id, TraceRecorder, Track};
+
+use crate::engine::{record_flow_spans, FlowRecord, LoopPerf};
+use crate::fabric::{Fabric, LinkId, LinkSpec};
+use crate::faultplan::{FaultPlan, FaultState, FaultTarget, RetryPolicy};
+use crate::obs::EngineObs;
+use crate::stats::RunStats;
+use crate::traffic::Flow;
+
+/// Which link model a [`Simulation`](crate::Simulation) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CongestionMode {
+    /// Ideal FIFO links (the default): the unmodified event loop,
+    /// byte-identical to runs that never mention congestion at all.
+    #[default]
+    Ideal,
+    /// Credit-based flow control with finite per-link buffers and
+    /// head-of-line blocking; congestion spreads upstream.
+    Credit,
+}
+
+/// Default buffer depth per link, in message slots.
+pub const DEFAULT_CREDITS: u32 = 2;
+
+/// Congestion-model configuration for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditConfig {
+    /// Link model.
+    pub mode: CongestionMode,
+    /// Buffer slots per link (ignored under [`CongestionMode::Ideal`]).
+    pub credits: u32,
+}
+
+impl Default for CreditConfig {
+    fn default() -> Self {
+        CreditConfig {
+            mode: CongestionMode::Ideal,
+            credits: DEFAULT_CREDITS,
+        }
+    }
+}
+
+impl CreditConfig {
+    /// Credit-mode config with `credits` buffer slots per link.
+    ///
+    /// # Panics
+    /// If `credits` is zero (a link with no buffer can never accept a
+    /// message).
+    pub fn credit(credits: u32) -> Self {
+        assert!(credits > 0, "links need at least one buffer slot");
+        CreditConfig {
+            mode: CongestionMode::Credit,
+            credits,
+        }
+    }
+}
+
+/// Where a flow currently is, from the credit loop's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pos {
+    /// Injection scheduled but not yet processed.
+    Pending,
+    /// At the source NIC, waiting for a credit on its first link.
+    SourceWait,
+    /// Resident in its current link's buffer (queued or serializing).
+    Buffered,
+    /// Head of its current link, blocked on the next link's credit.
+    Blocked,
+    Delivered,
+    Unrouted,
+    Abandoned,
+}
+
+struct FState {
+    route: Vec<LinkId>,
+    /// Index into `route` of the link currently holding (or wanted by)
+    /// the flow.
+    hop: usize,
+    /// When the flow entered its current buffer (or the injection queue).
+    arrived_ns: u64,
+    /// Bumped on every kill so queued events for the old life go stale.
+    epoch: u32,
+    retries: u32,
+    pos: Pos,
+}
+
+struct CLink {
+    spec: LinkSpec,
+    busy_ns: u64,
+    stall_ns: u64,
+    /// Flows occupying this link's buffer; the front is in service (or
+    /// blocked on its downstream credit).
+    buf: VecDeque<u32>,
+    /// Flows waiting FIFO for one of this link's credits.
+    waiters: VecDeque<u32>,
+    /// When the current head became blocked (valid while the head's
+    /// [`Pos::Blocked`]).
+    blocked_since: u64,
+    up: bool,
+}
+
+/// Event classes, ordered at equal timestamps: faults fire first (the
+/// dynamic ideal loop's convention), then injections, then service
+/// completions.
+const CLASS_FAULT: u8 = 0;
+const CLASS_INJECT: u8 = 1;
+const CLASS_DONE: u8 = 2;
+
+/// Sentinel: not delivered.
+const NO_END: u64 = u64::MAX;
+
+type Event = Reverse<(u64, u8, u64, u64)>; // (time, class, seq, payload)
+
+struct CreditRun<'a> {
+    fabric: &'a dyn Fabric,
+    flows: &'a [Flow],
+    credits: usize,
+    retry: RetryPolicy,
+    trace: Option<&'a TraceRecorder>,
+    links: Vec<CLink>,
+    fstate: Vec<FState>,
+    ends: Vec<u64>,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    fault_state: FaultState,
+    /// Memoized healthy-fabric routes, keyed by (src, dst). Only used
+    /// while no component is down — degraded resolutions are per-flow.
+    healthy_routes: HashMap<(usize, usize), Option<Vec<LinkId>>>,
+    n_events: u64,
+}
+
+impl<'a> CreditRun<'a> {
+    fn push(&mut self, t: u64, class: u8, payload: u64) {
+        self.heap.push(Reverse((t, class, self.seq, payload)));
+        self.seq += 1;
+    }
+
+    fn flow_payload(&self, flow: u32) -> u64 {
+        u64::from(flow) | (u64::from(self.fstate[flow as usize].epoch) << 32)
+    }
+
+    /// Starts serializing the head of `link` at `t`: books the busy
+    /// time, emits the hop span, and schedules the completion event.
+    fn start_service(&mut self, link: LinkId, flow: u32, t: u64) {
+        let ser = self.links[link]
+            .spec
+            .serialize_ns(self.flows[flow as usize].bytes);
+        self.links[link].busy_ns += ser;
+        let wait = t - self.fstate[flow as usize].arrived_ns;
+        if let Some(tr) = self.trace {
+            tr.record_span(
+                Track::Link(link),
+                "hop",
+                t,
+                ser,
+                0,
+                engine_span_id(u64::from(flow) + 1),
+                vec![("wait", wait), ("flow", u64::from(flow))],
+            );
+        }
+        let done = t + self.links[link].spec.latency_ns + ser;
+        let payload = self.flow_payload(flow);
+        self.push(done, CLASS_DONE, payload);
+    }
+
+    /// Moves `flow` into `link`'s buffer (the caller already checked or
+    /// obtained a credit) and starts service if it became the head.
+    fn enter(&mut self, link: LinkId, flow: u32, t: u64) {
+        self.fstate[flow as usize].pos = Pos::Buffered;
+        self.links[link].buf.push_back(flow);
+        if self.links[link].buf.len() == 1 {
+            self.start_service(link, flow, t);
+        }
+    }
+
+    /// Closes the stall interval of `link`'s blocked head at `t`,
+    /// emitting the `stall` span that congestion-tree extraction folds.
+    fn close_stall(&mut self, link: LinkId, flow: u32, wanted: LinkId, t: u64) {
+        let since = self.links[link].blocked_since;
+        self.links[link].stall_ns += t - since;
+        if t > since {
+            if let Some(tr) = self.trace {
+                tr.record_span(
+                    Track::Link(link),
+                    "stall",
+                    since,
+                    t - since,
+                    0,
+                    engine_span_id(u64::from(flow) + 1),
+                    vec![("flow", u64::from(flow)), ("for", wanted as u64)],
+                );
+            }
+        }
+    }
+
+    /// The head of `link` has left its buffer slot: pop it, start the
+    /// next head, and grant the freed credit to the first waiter. A
+    /// granted waiter that was a blocked head departs *its* link in
+    /// turn, so grants cascade — iteratively, FIFO, all at `t`.
+    fn depart(&mut self, link: LinkId, t: u64) {
+        let mut pending: VecDeque<LinkId> = VecDeque::from([link]);
+        while let Some(l) = pending.pop_front() {
+            self.links[l].buf.pop_front();
+            if let Some(&next) = self.links[l].buf.front() {
+                self.start_service(l, next, t);
+            }
+            let Some(w) = self.links[l].waiters.pop_front() else {
+                continue;
+            };
+            match self.fstate[w as usize].pos {
+                Pos::SourceWait => {
+                    // Entering from the NIC: `arrived_ns` stays the
+                    // injection time, so the hop span's wait field counts
+                    // the source queueing.
+                    self.enter(l, w, t);
+                }
+                Pos::Blocked => {
+                    let prev = self.fstate[w as usize].route[self.fstate[w as usize].hop];
+                    self.close_stall(prev, w, l, t);
+                    self.fstate[w as usize].hop += 1;
+                    self.fstate[w as usize].arrived_ns = t;
+                    self.enter(l, w, t);
+                    pending.push_back(prev);
+                }
+                other => unreachable!("waiter in state {other:?}"),
+            }
+        }
+    }
+
+    /// Kills `flow` at `t` (its path crossed a failed component): frees
+    /// whatever it occupies and re-admits it under the retry policy.
+    fn kill(&mut self, flow: u32, t: u64) {
+        let (pos, hop) = (
+            self.fstate[flow as usize].pos,
+            self.fstate[flow as usize].hop,
+        );
+        match pos {
+            Pos::SourceWait => {
+                let first = self.fstate[flow as usize].route[0];
+                self.links[first].waiters.retain(|&w| w != flow);
+            }
+            Pos::Buffered | Pos::Blocked => {
+                let l = self.fstate[flow as usize].route[hop];
+                if pos == Pos::Blocked {
+                    let wanted = self.fstate[flow as usize].route[hop + 1];
+                    self.close_stall(l, flow, wanted, t);
+                    self.links[wanted].waiters.retain(|&w| w != flow);
+                }
+                if self.links[l].buf.front() == Some(&flow) {
+                    self.depart(l, t);
+                } else {
+                    self.links[l].buf.retain(|&w| w != flow);
+                }
+            }
+            Pos::Pending => {}
+            other => unreachable!("killing a flow in state {other:?}"),
+        }
+        self.reschedule(flow, t);
+    }
+
+    /// Post-kill bookkeeping shared by every kill path: invalidate queued
+    /// events for the old life and either re-admit under the retry policy
+    /// or abandon.
+    fn reschedule(&mut self, flow: u32, t: u64) {
+        self.fstate[flow as usize].epoch += 1;
+        let failed = self.fstate[flow as usize].retries + 1;
+        if failed >= self.retry.attempts() {
+            self.fstate[flow as usize].pos = Pos::Abandoned;
+        } else {
+            self.fstate[flow as usize].retries += 1;
+            self.fstate[flow as usize].pos = Pos::Pending;
+            let payload = self.flow_payload(flow);
+            self.push(t + self.retry.backoff_ns(failed), CLASS_INJECT, payload);
+        }
+    }
+
+    /// Applies one fault-plan event: updates component health, and on a
+    /// link going down kills every occupant and waiter (their paths all
+    /// cross the dead link, so each re-admits under the retry policy).
+    fn apply_fault(&mut self, idx: usize, t: u64, plan: &FaultPlan) {
+        let ev = plan.events()[idx];
+        let incident = self.fault_state.apply(self.fabric, ev);
+        let affected: Vec<LinkId> = match ev.target {
+            FaultTarget::Link(l) => vec![l],
+            FaultTarget::Node(_) => incident,
+        };
+        for l in affected {
+            let up_now = self.fault_state.link_up(l);
+            if self.links[l].up && !up_now {
+                self.links[l].up = false;
+                // Waiters first: once the occupants drain, no freed
+                // credit may pull a doomed flow onto the dead link.
+                while let Some(w) = self.links[l].waiters.pop_front() {
+                    self.kill(w, t);
+                }
+                // Drain the buffer wholesale (no departs: a freed slot on
+                // a dead link must not start anyone's service).
+                let buf = std::mem::take(&mut self.links[l].buf);
+                for f in buf {
+                    let fs = &self.fstate[f as usize];
+                    if fs.pos == Pos::Blocked {
+                        let wanted = fs.route[fs.hop + 1];
+                        self.close_stall(l, f, wanted, t);
+                        self.links[wanted].waiters.retain(|&w| w != f);
+                    }
+                    self.reschedule(f, t);
+                }
+            } else if !self.links[l].up && up_now {
+                self.links[l].up = true;
+            }
+        }
+    }
+
+    /// Resolves the route for one (re-)admission: the healthy memo when
+    /// nothing is down, a fresh degraded resolution otherwise.
+    fn resolve(&mut self, flow: u32) -> Option<Vec<LinkId>> {
+        let f = self.flows[flow as usize];
+        if self.fault_state.any_down() {
+            if !self.fault_state.node_up(f.src) || !self.fault_state.node_up(f.dst) {
+                return None;
+            }
+            return self
+                .fabric
+                .path_avoiding(f.src, f.dst, &self.fault_state)
+                .filter(|p| !p.iter().any(|&l| !self.fault_state.link_up(l)));
+        }
+        self.healthy_routes
+            .entry((f.src, f.dst))
+            .or_insert_with(|| self.fabric.path(f.src, f.dst))
+            .clone()
+    }
+
+    fn inject(&mut self, flow: u32, t: u64, under_faults: bool) {
+        match self.resolve(flow) {
+            Some(route) if route.is_empty() => {
+                // Self-delivery is handled at setup; a retried flow can
+                // only get here if rerouting collapsed the path.
+                self.ends[flow as usize] = t;
+                self.fstate[flow as usize].pos = Pos::Delivered;
+            }
+            Some(route) => {
+                let first = route[0];
+                self.fstate[flow as usize].route = route;
+                self.fstate[flow as usize].hop = 0;
+                self.fstate[flow as usize].arrived_ns = t;
+                if self.links[first].buf.len() < self.credits {
+                    self.enter(first, flow, t);
+                } else {
+                    self.fstate[flow as usize].pos = Pos::SourceWait;
+                    self.links[first].waiters.push_back(flow);
+                }
+            }
+            None if under_faults => self.kill(flow, t),
+            None => self.fstate[flow as usize].pos = Pos::Unrouted,
+        }
+    }
+
+    fn done(&mut self, flow: u32, t: u64) {
+        let hop = self.fstate[flow as usize].hop;
+        let route_len = self.fstate[flow as usize].route.len();
+        let l = self.fstate[flow as usize].route[hop];
+        if hop + 1 == route_len {
+            self.ends[flow as usize] = t;
+            self.fstate[flow as usize].pos = Pos::Delivered;
+            self.depart(l, t);
+            return;
+        }
+        let next = self.fstate[flow as usize].route[hop + 1];
+        if !self.links[next].up {
+            self.kill(flow, t);
+        } else if self.links[next].buf.len() < self.credits {
+            self.fstate[flow as usize].hop = hop + 1;
+            self.fstate[flow as usize].arrived_ns = t;
+            self.enter(next, flow, t);
+            self.depart(l, t);
+        } else {
+            self.fstate[flow as usize].pos = Pos::Blocked;
+            self.links[next].waiters.push_back(flow);
+            self.links[l].blocked_since = t;
+        }
+    }
+}
+
+/// The credit-mode event loop behind
+/// [`Simulation::with_congestion`](crate::Simulation::with_congestion).
+pub(crate) fn run_credit(
+    fabric: &dyn Fabric,
+    flows: &[Flow],
+    credits: u32,
+    faults: Option<&FaultPlan>,
+    retry: RetryPolicy,
+    obs: Option<&EngineObs>,
+    trace: Option<&TraceRecorder>,
+) -> (RunStats, Vec<FlowRecord>, LoopPerf) {
+    let link_count = fabric.link_count();
+    let links: Vec<CLink> = (0..link_count)
+        .map(|id| CLink {
+            spec: fabric.link(id),
+            busy_ns: 0,
+            stall_ns: 0,
+            buf: VecDeque::new(),
+            waiters: VecDeque::new(),
+            blocked_since: 0,
+            up: true,
+        })
+        .collect();
+
+    let mut run = CreditRun {
+        fabric,
+        flows,
+        credits: credits.max(1) as usize,
+        retry,
+        trace,
+        links,
+        fstate: Vec::with_capacity(flows.len()),
+        ends: vec![NO_END; flows.len()],
+        heap: BinaryHeap::with_capacity(flows.len().min(1 << 12)),
+        seq: 0,
+        fault_state: FaultState::healthy(fabric),
+        healthy_routes: HashMap::new(),
+        n_events: 0,
+    };
+
+    // Seed injections in (start, flow) order — the convention every loop
+    // in this crate shares for timestamp ties.
+    let mut order: Vec<u32> = (0..flows.len() as u32).collect();
+    order.sort_by_key(|&i| (flows[i as usize].start_ns, i));
+    for (i, f) in flows.iter().enumerate() {
+        run.fstate.push(FState {
+            route: Vec::new(),
+            hop: 0,
+            arrived_ns: 0,
+            epoch: 0,
+            retries: 0,
+            pos: Pos::Pending,
+        });
+        if f.src == f.dst {
+            run.ends[i] = f.start_ns;
+            run.fstate[i].pos = Pos::Delivered;
+        }
+    }
+    for &i in &order {
+        if run.fstate[i as usize].pos == Pos::Pending {
+            let payload = run.flow_payload(i);
+            run.push(flows[i as usize].start_ns, CLASS_INJECT, payload);
+        }
+    }
+    let under_faults = faults.is_some_and(|p| !p.is_empty());
+    if let Some(plan) = faults {
+        for (idx, ev) in plan.events().iter().enumerate() {
+            run.push(ev.time_ns, CLASS_FAULT, idx as u64);
+        }
+    }
+
+    let t_loop = std::time::Instant::now();
+    while let Some(Reverse((t, class, _seq, payload))) = run.heap.pop() {
+        run.n_events += 1;
+        match class {
+            CLASS_FAULT => {
+                let plan = faults.expect("fault events imply a plan");
+                run.apply_fault(payload as usize, t, plan);
+            }
+            _ => {
+                let flow = payload as u32;
+                let epoch = (payload >> 32) as u32;
+                if run.fstate[flow as usize].epoch != epoch {
+                    continue; // a kill superseded this event
+                }
+                if class == CLASS_INJECT {
+                    run.inject(flow, t, under_faults);
+                } else {
+                    run.done(flow, t);
+                }
+            }
+        }
+    }
+    let perf = LoopPerf {
+        events: run.n_events,
+        loop_ns: t_loop.elapsed().as_nanos() as u64,
+    };
+
+    let mut records: Vec<FlowRecord> = Vec::with_capacity(flows.len());
+    for (i, f) in flows.iter().enumerate() {
+        let fs = &run.fstate[i];
+        let delivered = run.ends[i] != NO_END;
+        records.push(FlowRecord {
+            flow: i,
+            start_ns: f.start_ns,
+            end_ns: delivered.then_some(run.ends[i]),
+            hops: if delivered { fs.route.len() } else { 0 },
+            retries: fs.retries,
+            abandoned: fs.pos == Pos::Abandoned,
+        });
+    }
+    if let Some(tr) = trace {
+        record_flow_spans(tr, flows, &records);
+    }
+
+    let link_busy_ns: Vec<u64> = run.links.iter().map(|l| l.busy_ns).collect();
+    let stats = RunStats::from_records(fabric, flows, &records, &link_busy_ns);
+    if let Some(obs) = obs {
+        obs.runs.inc();
+        obs.flows.add(flows.len() as u64);
+        obs.events.add(run.n_events);
+        obs.unrouted.add(stats.unrouted as u64);
+        obs.set_events_per_sec(&perf);
+        for f in flows {
+            obs.flow_bytes.record(f.bytes);
+        }
+    }
+    (stats, records, perf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::FatTreeFabric;
+    use crate::torus::TorusFabric;
+    use crate::traffic;
+    use crate::Simulation;
+
+    #[test]
+    fn default_config_is_ideal() {
+        assert_eq!(CreditConfig::default().mode, CongestionMode::Ideal);
+        assert_eq!(CreditConfig::credit(4).mode, CongestionMode::Credit);
+        assert_eq!(CreditConfig::credit(4).credits, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one buffer slot")]
+    fn zero_credits_are_rejected() {
+        CreditConfig::credit(0);
+    }
+
+    #[test]
+    fn credit_mode_delivers_everything_fault_free() {
+        let ft = FatTreeFabric::new(16, 4).expect("valid shape");
+        let flows = traffic::alltoall(16, 8 << 10);
+        let out = Simulation::new(&ft)
+            .with_congestion(CreditConfig::credit(2))
+            .detailed()
+            .run(&flows);
+        assert_eq!(out.stats.completed, flows.len());
+        assert_eq!(out.stats.unrouted, 0);
+        assert!(out.stats.makespan_ns > 0);
+    }
+
+    #[test]
+    fn credit_mode_is_deterministic_and_thread_invariant() {
+        let torus = TorusFabric::new((4, 4, 2)).expect("valid shape");
+        let flows = traffic::uniform_random(32, 2_000, 4096, 100_000, 7);
+        let a = Simulation::new(&torus)
+            .with_congestion(CreditConfig::credit(2))
+            .detailed()
+            .run(&flows);
+        let b = Simulation::new(&torus)
+            .with_congestion(CreditConfig::credit(2))
+            .detailed()
+            .with_threads(8)
+            .run(&flows);
+        assert_eq!(a, b, "credit loop ignores thread counts");
+    }
+
+    #[test]
+    fn backpressure_stretches_the_makespan() {
+        // 15→1 incast on a small fat tree: with one-slot buffers the
+        // sources serialize almost entirely, so the makespan must exceed
+        // the ideal loop's (which lets every flow queue at the last hop).
+        let ft = FatTreeFabric::new(16, 4).expect("valid shape");
+        let flows: Vec<Flow> = (1..16)
+            .map(|src| Flow {
+                src,
+                dst: 0,
+                bytes: 64 << 10,
+                start_ns: 0,
+            })
+            .collect();
+        let ideal = Simulation::new(&ft).run(&flows);
+        let credit = Simulation::new(&ft)
+            .with_congestion(CreditConfig::credit(1))
+            .run(&flows);
+        assert_eq!(credit.stats.completed, flows.len());
+        assert!(
+            credit.stats.makespan_ns >= ideal.stats.makespan_ns,
+            "backpressure cannot beat the ideal fabric: credit {} < ideal {}",
+            credit.stats.makespan_ns,
+            ideal.stats.makespan_ns
+        );
+    }
+
+    #[test]
+    fn stall_spans_mark_blocked_links() {
+        let ft = FatTreeFabric::new(16, 4).expect("valid shape");
+        let flows: Vec<Flow> = (1..16)
+            .map(|src| Flow {
+                src,
+                dst: 0,
+                bytes: 64 << 10,
+                start_ns: 0,
+            })
+            .collect();
+        let rec = TraceRecorder::new();
+        Simulation::new(&ft)
+            .with_congestion(CreditConfig::credit(1))
+            .with_trace(&rec)
+            .run(&flows);
+        let spans = rec.snapshot();
+        let stalls = spans.iter().filter(|s| s.name == "stall").count();
+        assert!(stalls > 0, "a 15→1 incast with 1-slot buffers must stall");
+        // Every stall names the downstream link it waited for.
+        for s in spans.iter().filter(|s| s.name == "stall") {
+            assert!(s.fields.iter().any(|(k, _)| *k == "for"));
+            assert!(s.fields.iter().any(|(k, _)| *k == "flow"));
+            assert!(s.dur_ns > 0);
+        }
+    }
+
+    #[test]
+    fn faulted_credit_runs_retry_and_stay_deterministic() {
+        let torus = TorusFabric::new((4, 4, 1)).expect("valid shape");
+        let flows = traffic::uniform_random(16, 400, 8192, 50_000, 3);
+        let eligible = crate::faultplan::transit_links(&torus, &flows);
+        let plan = FaultPlan::builder()
+            .random_link_failures(11, 3, &eligible, (0, 100_000), Some(200_000))
+            .build(&torus)
+            .expect("valid plan");
+        let run = || {
+            Simulation::new(&torus)
+                .with_congestion(CreditConfig::credit(2))
+                .with_faults(&plan)
+                .with_retry(RetryPolicy::default())
+                .detailed()
+                .run(&flows)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "faulted credit replays are deterministic");
+        assert_eq!(
+            a.stats.completed + a.stats.unrouted,
+            flows.len(),
+            "every flow is accounted for"
+        );
+        assert!(a.stats.total_retries > 0, "the outage must hit something");
+    }
+}

@@ -28,6 +28,7 @@ use std::hash::{BuildHasher, Hasher};
 use hfast_core::ReconfigStep;
 use hfast_trace::{engine_span_id, TraceRecorder, Track};
 
+use crate::congestion::CreditConfig;
 use crate::fabric::{Fabric, LinkId, LinkSpec};
 use crate::faultplan::{FaultAction, FaultPlan, FaultState, FaultTarget, RetryPolicy};
 use crate::obs::EngineObs;
@@ -639,6 +640,7 @@ pub struct Simulation<'a> {
     retry: RetryPolicy,
     reprovision_interval_ns: Option<u64>,
     threads: Option<usize>,
+    congestion: CreditConfig,
 }
 
 impl<'a> Simulation<'a> {
@@ -656,6 +658,7 @@ impl<'a> Simulation<'a> {
             retry: RetryPolicy::default(),
             reprovision_interval_ns: None,
             threads: None,
+            congestion: CreditConfig::default(),
         }
     }
 
@@ -735,6 +738,20 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Selects the link model (see [`crate::congestion`]).
+    /// [`CongestionMode::Ideal`](crate::CongestionMode::Ideal) — the
+    /// default — leaves every existing code path untouched, so outputs
+    /// are byte-identical to a builder that never mentions congestion.
+    /// [`CongestionMode::Credit`](crate::CongestionMode::Credit) routes
+    /// the run through the credit-based flow-control loop: finite
+    /// per-link buffers, head-of-line blocking, congestion trees. Credit
+    /// runs are strictly sequential (thread settings are ignored) and do
+    /// not model mid-run re-provisioning.
+    pub fn with_congestion(mut self, config: CreditConfig) -> Self {
+        self.congestion = config;
+        self
+    }
+
     /// Enables mid-run circuit re-provisioning at sync points spaced
     /// `interval_ns` apart: when a reprovisionable link fails (see
     /// [`Fabric::reprovisionable`]), the repair is batched to the next
@@ -759,6 +776,23 @@ impl<'a> Simulation<'a> {
         let obs = self
             .obs
             .or_else(|| hfast_obs::enabled().then(crate::obs::global));
+        if self.congestion.mode == crate::congestion::CongestionMode::Credit {
+            let (stats, records, perf) = crate::congestion::run_credit(
+                self.fabric,
+                flows,
+                self.congestion.credits,
+                self.faults.filter(|p| !p.is_empty()),
+                self.retry,
+                obs,
+                self.trace,
+            );
+            return SimOutput {
+                stats,
+                records: self.detailed.then_some(records),
+                reprovisions: Vec::new(),
+                perf,
+            };
+        }
         let threads = self.threads.unwrap_or_else(engine_threads);
         match self.faults {
             Some(plan) if !plan.is_empty() => {
@@ -1557,7 +1591,7 @@ fn run_windows<E: ArenaEntry>(
 /// track; its span id (`engine_span_id(index + 1)`) is what every hop
 /// span recorded during the run parented itself to. Self-deliveries cross
 /// no link and leave no span.
-fn record_flow_spans(trace: &TraceRecorder, flows: &[Flow], records: &[FlowRecord]) {
+pub(crate) fn record_flow_spans(trace: &TraceRecorder, flows: &[Flow], records: &[FlowRecord]) {
     for (i, (f, r)) in flows.iter().zip(records).enumerate() {
         let span_id = engine_span_id(i as u64 + 1);
         let fields = vec![

@@ -8,11 +8,15 @@
 //! [`hfast_core::Provisioning`] — with per-link FIFO serialization, and the
 //! resulting latency/throughput distributions are compared.
 //!
-//! The link model is deliberately simple (store-and-forward, one message at
-//! a time per link, fixed per-link latency + `bytes / bandwidth`
-//! serialization): enough to rank fabrics and expose contention, without
-//! modeling virtual channels or flow control. DESIGN.md records this
-//! substitution.
+//! Two link models are available. The default ([`CongestionMode::Ideal`])
+//! is deliberately simple — virtual cut-through with ideal FIFO links,
+//! fixed per-link latency + `bytes / bandwidth` serialization: enough to
+//! rank fabrics and expose contention, without modeling virtual channels
+//! or flow control. [`CongestionMode::Credit`] (see [`congestion`]) adds
+//! credit-based flow control with finite per-link buffers, so saturation
+//! backs up into upstream links and congestion *trees* form — the
+//! mechanism the scenario generator ([`scenario`]) stresses. DESIGN.md
+//! records both substitutions.
 //!
 //! Runtime faults are first-class: a seeded [`FaultPlan`] schedules link
 //! and node failures (and recoveries) at simulated timestamps, the event
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod adapt;
+pub mod congestion;
 pub mod engine;
 pub mod error;
 pub mod fabric;
@@ -42,12 +47,14 @@ pub mod faultplan;
 pub mod hfast;
 pub mod obs;
 mod queue;
+pub mod scenario;
 pub mod stats;
 pub mod torus;
 pub mod traffic;
 pub mod warm;
 
 pub use adapt::{AdaptiveReplay, AdaptiveReplayBuilder, WindowReport};
+pub use congestion::{CongestionMode, CreditConfig};
 pub use engine::{FlowRecord, LoopPerf, PathCache, SimOutput, Simulation};
 pub use error::NetsimError;
 pub use fabric::{Fabric, LinkId, LinkSpec};
@@ -58,6 +65,7 @@ pub use faultplan::{
 };
 pub use hfast::HfastFabric;
 pub use obs::EngineObs;
+pub use scenario::{Scenario, ScenarioKind, TenantSlowdown};
 pub use stats::RunStats;
 pub use torus::TorusFabric;
 pub use traffic::Flow;

@@ -11,8 +11,8 @@
 
 use hfast_core::{PaperLinear, ProvisionConfig, Provisioner};
 use hfast_netsim::{
-    traffic, transit_links, EngineObs, Fabric, FatTreeFabric, FaultPlan, Flow, HfastFabric,
-    PathCache, RetryPolicy, SimOutput, Simulation, TorusFabric,
+    traffic, transit_links, CreditConfig, EngineObs, Fabric, FatTreeFabric, FaultPlan, Flow,
+    HfastFabric, PathCache, RetryPolicy, SimOutput, Simulation, TorusFabric,
 };
 use hfast_par::{forall, Rng64};
 use hfast_topology::CommGraph;
@@ -207,6 +207,89 @@ fn threads_are_inert_on_fault_runs() {
         );
         assert_eq!(base, d);
     }
+}
+
+/// `CongestionMode::Ideal` is a *structural* no-op: an explicit
+/// `.with_congestion(CreditConfig::default())` routes through exactly the
+/// PR-9 code paths, so every golden digest must reproduce bit-for-bit —
+/// including under different thread counts and with faults attached.
+#[test]
+fn ideal_congestion_mode_reproduces_the_goldens() {
+    let torus = TorusFabric::new((4, 4, 2)).unwrap();
+    let fs = seeded_flows(7, 32, 300);
+    for threads in [1, 8] {
+        let out = Simulation::new(&torus)
+            .with_congestion(CreditConfig::default())
+            .with_threads(threads)
+            .detailed()
+            .run(&fs);
+        assert_eq!(digest(&out), 0xabbcd0e7dc7f40df, "threads={threads}");
+    }
+
+    let ft = FatTreeFabric::new(32, 8).unwrap();
+    let fs = traffic::alltoall(32, 4096);
+    let out = Simulation::new(&ft)
+        .with_congestion(CreditConfig::default())
+        .detailed()
+        .run(&fs);
+    assert_eq!(digest(&out), 0x77fc692a8b8f1a26);
+
+    let (fabric, flows) = hfast_graph();
+    let out = Simulation::new(&fabric)
+        .with_congestion(CreditConfig::default())
+        .detailed()
+        .run(&flows);
+    assert_eq!(digest(&out), 0x15f09c765c0e994c);
+
+    let torus = TorusFabric::new((4, 4, 1)).unwrap();
+    let fs = seeded_flows(13, 16, 200);
+    let eligible = transit_links(&torus, &fs);
+    let plan = FaultPlan::builder()
+        .random_link_failures(0xFEED, 4, &eligible, (0, 400_000), Some(150_000))
+        .build(&torus)
+        .unwrap();
+    let out = Simulation::new(&torus)
+        .with_congestion(CreditConfig::default())
+        .with_faults(&plan)
+        .with_retry(RetryPolicy::default())
+        .detailed()
+        .run(&fs);
+    assert_eq!(digest(&out), 0xe3be6145e07f0fef, "ideal + faults");
+}
+
+/// Credit-mode runs are strictly sequential and seeded: any fabric, any
+/// traffic, any buffer depth — repeated replays and every thread count
+/// produce identical bytes.
+#[test]
+fn credit_mode_is_deterministic_on_random_scenarios() {
+    forall("congestion_credit_determinism", 12, |rng| {
+        let nodes = rng.range(4, 32);
+        let fabric: Box<dyn Fabric> = if rng.bool(0.5) {
+            Box::new(TorusFabric::new((nodes, rng.range(1, 4), 1)).unwrap())
+        } else {
+            Box::new(FatTreeFabric::new(nodes.next_power_of_two(), 8).unwrap())
+        };
+        let n = fabric.nodes();
+        let flows = seeded_flows(rng.range_u64(0, u64::MAX), n, rng.range(1, 200));
+        let credits = rng.range(1, 5) as u32;
+        let cfg = CreditConfig::credit(credits);
+        let base = digest(
+            &Simulation::new(&*fabric)
+                .with_congestion(cfg)
+                .detailed()
+                .run(&flows),
+        );
+        for threads in [1, 8] {
+            let d = digest(
+                &Simulation::new(&*fabric)
+                    .with_congestion(cfg)
+                    .with_threads(threads)
+                    .detailed()
+                    .run(&flows),
+            );
+            assert_eq!(base, d, "credits={credits} threads={threads}");
+        }
+    });
 }
 
 /// Warm cache reuse, cold routing, and instrumented runs all produce the

@@ -199,6 +199,7 @@ pub fn aggregate_stats(parts: &[Response]) -> Option<Response> {
     let mut sim_events = 0u64;
     let mut sim_events_per_sec = 0u64;
     let mut strategy_hits = [0u64; 3];
+    let mut scenario_hits = [0u64; 5];
     let mut graphs = 0u64;
     let mut fabrics = 0u64;
     let mut jobs = JobTotals::default();
@@ -216,6 +217,7 @@ pub fn aggregate_stats(parts: &[Response]) -> Option<Response> {
             sim_events: se,
             sim_events_per_sec: sps,
             strategy_hits: sh,
+            scenario_hits: sch,
             graphs: g,
             fabrics: f,
             jobs: j,
@@ -238,6 +240,9 @@ pub fn aggregate_stats(parts: &[Response]) -> Option<Response> {
         for (slot, hit) in strategy_hits.iter_mut().zip(sh.iter()) {
             *slot += hit;
         }
+        for (slot, hit) in scenario_hits.iter_mut().zip(sch.iter()) {
+            *slot += hit;
+        }
         graphs += g;
         fabrics += f;
         jobs.submitted += j.submitted;
@@ -257,6 +262,7 @@ pub fn aggregate_stats(parts: &[Response]) -> Option<Response> {
         sim_events,
         sim_events_per_sec,
         strategy_hits,
+        scenario_hits,
         graphs,
         fabrics,
         jobs,
@@ -909,6 +915,7 @@ mod tests {
             sim_events: 5,
             sim_events_per_sec: 6,
             strategy_hits: [1, 0, 2],
+            scenario_hits: [1, 0, 0, 2, 3],
             graphs: 1,
             fabrics: 1,
             jobs: JobTotals {
@@ -930,6 +937,7 @@ mod tests {
         let Response::Stats {
             requests,
             strategy_hits,
+            scenario_hits,
             jobs,
             latency,
             ..
@@ -939,6 +947,7 @@ mod tests {
         };
         assert_eq!(requests, 30);
         assert_eq!(strategy_hits, [2, 0, 4]);
+        assert_eq!(scenario_hits, [2, 0, 0, 4, 6]);
         assert_eq!(jobs.submitted, 4);
         assert_eq!(latency.len(), 1, "same verb merges into one row");
         assert_eq!(latency[0].count, 10, "counts sum");

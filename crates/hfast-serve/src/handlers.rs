@@ -6,17 +6,24 @@
 //! Server-level concerns (health, stats, shutdown, queueing) never reach
 //! this module.
 
+use std::sync::Arc;
+
 use hfast_core::{CostComparison, CostModel, ProvisionConfig, Provisioning, Strategy};
 use hfast_netsim::traffic::flows_from_graph;
-use hfast_netsim::{transit_links, FaultPlan, Simulation};
+use hfast_netsim::{transit_links, CreditConfig, FaultPlan, Scenario, Simulation};
 use hfast_topology::tdc_sweep;
+use hfast_trace::{congestion_trees, rank_hotspots, utilization_spread, TraceRecorder};
 
 use crate::protocol::{AppSpec, FabricSpec, FaultSpec, Request, Response, TdcRow};
-use crate::registry::Registry;
+use crate::registry::{Registry, MAX_PROCS};
 
 /// Upper bound on cutoffs per TDC request (keeps one request's work and
 /// response size proportionate to everyone else's).
 pub const MAX_TDC_CUTOFFS: usize = 64;
+
+/// Upper bound on flows per scenario request (keeps one credit-mode
+/// replay's work proportionate to everyone else's).
+pub const MAX_SCENARIO_FLOWS: usize = 65_536;
 
 fn err(message: impl Into<String>) -> Response {
     Response::Error {
@@ -218,6 +225,95 @@ pub fn simulate(req: &Request, reg: &Registry) -> Response {
         faults,
         strategy.unwrap_or(Strategy::PaperLinear),
     )
+}
+
+/// Handles [`Request::Scenario`]: generates the seeded adversarial
+/// traffic, replays it under credit-based flow control on the requested
+/// fabric (HFAST is provisioned from the scenario's own communication
+/// graph), and folds the trace into its congestion-tree report.
+pub fn scenario(req: &Request, reg: &Registry) -> Response {
+    let Request::Scenario {
+        kind,
+        nodes,
+        flows,
+        bytes,
+        seed,
+        fabric,
+        strategy,
+        credits,
+    } = req
+    else {
+        return wrong_verb(req, "scenario");
+    };
+    // `Scenario::new` and `CreditConfig::credit` assert their invariants;
+    // a network request must fail structurally, never panic a worker.
+    if *nodes < 2 || *nodes > MAX_PROCS {
+        return err(format!("nodes must be in 2..={MAX_PROCS}, got {nodes}"));
+    }
+    if flows.is_some_and(|f| f == 0 || f > MAX_SCENARIO_FLOWS) {
+        return err(format!(
+            "flows must be in 1..={MAX_SCENARIO_FLOWS}, got {flows:?}"
+        ));
+    }
+    if bytes.is_some_and(|b| b == 0) {
+        return err("bytes must be positive");
+    }
+    let credits = credits.unwrap_or(hfast_netsim::congestion::DEFAULT_CREDITS);
+    if credits == 0 {
+        return err("credits must be positive (links need a buffer slot)");
+    }
+    let preset = Scenario::preset(*kind, *nodes, *seed);
+    let scenario = Scenario::new(
+        *kind,
+        *nodes,
+        flows.unwrap_or(preset.flows),
+        bytes.unwrap_or(preset.bytes),
+        *seed,
+    );
+    let generated = scenario.generate();
+    // The fabric rides the registry's memoized entries, keyed by the
+    // scenario graph's content — repeats (and other verbs naming the same
+    // traffic) share construction, while the response cache above this
+    // handler absorbs exact repeats entirely.
+    let graph = Arc::new(scenario.comm_graph());
+    let config = ProvisionConfig::default();
+    let entry = match reg.fabric(
+        &graph,
+        *fabric,
+        config.block_ports,
+        config.cutoff,
+        strategy.unwrap_or(Strategy::PaperLinear),
+    ) {
+        Ok(e) => e,
+        Err(e) => return err(e),
+    };
+    if let Err(e) = scenario.validate_for(entry.fabric.as_ref()) {
+        return err(format!("scenario does not fit the fabric: {e}"));
+    }
+    reg.note_scenario(*kind);
+    let rec = TraceRecorder::new();
+    let out = Simulation::new(entry.fabric.as_ref())
+        .with_congestion(CreditConfig::credit(credits))
+        .with_obs(reg.sim_obs())
+        .with_trace(&rec)
+        .run(&generated);
+    let spans = rec.snapshot();
+    let trees = congestion_trees(&spans);
+    let spread_stats = utilization_spread(&rank_hotspots(&spans));
+    Response::ScenarioReport {
+        flows: generated.len(),
+        completed: out.stats.completed,
+        unrouted: out.stats.unrouted,
+        makespan_ns: out.stats.makespan_ns,
+        p95_latency_ns: out.stats.p95_latency_ns,
+        trees: trees.len(),
+        deepest: trees.iter().map(|t| t.depth).max().unwrap_or(0),
+        stall_ns: trees.iter().map(|t| t.stall_ns).sum(),
+        spread: trees.iter().map(|t| t.spread_ratio).fold(0.0, f64::max),
+        off_root_victims: trees.iter().map(|t| t.off_root_victims).sum(),
+        max_over_mean: spread_stats.max_over_mean,
+        gini: spread_stats.gini,
+    }
 }
 
 /// Handles [`Request::DebugPanic`].

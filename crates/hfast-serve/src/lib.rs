@@ -72,6 +72,7 @@ pub use fleet::{
 pub use frame::{read_frame, write_frame, FrameError, FramePoll, FrameReader, MAX_FRAME_BYTES};
 pub use handlers::execute;
 pub use hfast_core::Strategy;
+pub use hfast_netsim::ScenarioKind;
 pub use jobs::{Fetched, JobQueue};
 pub use protocol::{
     decode_request, decode_request_traced, decode_request_versioned, decode_response,

@@ -15,7 +15,8 @@
 use std::process::ExitCode;
 
 use hfast_serve::{
-    start, AppSpec, Client, FabricSpec, JobState, Request, Response, ServerConfig, WireVersion,
+    start, AppSpec, Client, FabricSpec, JobState, Request, Response, ScenarioKind, ServerConfig,
+    WireVersion,
 };
 
 fn self_test() -> Result<(), String> {
@@ -136,6 +137,40 @@ fn self_test() -> Result<(), String> {
         }) if (completed, delivered_bytes) == first => {}
         other => return Err(format!("fetch: unexpected {other:?}")),
     }
+    // Adversarial scenario replay under credit flow control: incast on a
+    // fat tree must complete every flow and form at least one congestion
+    // tree rooted at the receiver's access link.
+    let scenario = Request::Scenario {
+        kind: ScenarioKind::Incast,
+        nodes: 16,
+        flows: None,
+        bytes: None,
+        seed: 0xC0DE,
+        fabric: FabricSpec::FatTree { ports: 8 },
+        strategy: None,
+        credits: None,
+    };
+    let sc_first = match client.call(&scenario) {
+        Ok(Response::ScenarioReport {
+            flows,
+            completed,
+            unrouted,
+            trees,
+            makespan_ns,
+            ..
+        }) if completed == flows && unrouted == 0 && trees > 0 => (completed, makespan_ns),
+        other => return Err(format!("scenario: unexpected {other:?}")),
+    };
+    // The repeat is served from cache: identical report, and the registry
+    // counts exactly one real replay (hits never reach the handler).
+    match client.call(&scenario) {
+        Ok(Response::ScenarioReport {
+            completed,
+            makespan_ns,
+            ..
+        }) if (completed, makespan_ns) == sc_first => {}
+        other => return Err(format!("scenario repeat: unexpected {other:?}")),
+    }
     match client.call(&Request::DebugPanic) {
         Ok(Response::Error { message }) if message.contains("panicked") => {}
         other => return Err(format!("debug_panic: unexpected {other:?}")),
@@ -148,14 +183,16 @@ fn self_test() -> Result<(), String> {
             cache_hits,
             sim_events,
             strategy_hits,
+            scenario_hits,
             jobs,
             latency,
             ..
-        }) if requests >= 7
-            && cache_hits >= 1
+        }) if requests >= 9
+            && cache_hits >= 2
             && sim_events > 0
             && strategy_hits[0] >= 1
             && strategy_hits[1] >= 1
+            && scenario_hits.iter().sum::<u64>() == 1
             && jobs.completed >= 1 =>
         {
             if latency.len() != hfast_serve::ENDPOINTS.len() {

@@ -36,6 +36,7 @@
 //! adding a verb is one row plus its codec arms.
 
 use hfast_core::Strategy;
+use hfast_netsim::ScenarioKind;
 use hfast_obs::JsonObj;
 use hfast_topology::{CommGraph, EdgeStat};
 use hfast_trace::json::{self, JsonValue};
@@ -277,6 +278,32 @@ pub enum Request {
     /// throughput counts, and error/busy tallies, plus live gauges.
     /// Numbers move between calls, so never cached.
     Metrics,
+    /// Replay a generated adversarial scenario (incast, permutation,
+    /// hot-spot, multi-tenant, bursty) on a fabric under credit-based
+    /// flow control, reporting the congestion-tree analysis.
+    Scenario {
+        /// Which generator to run.
+        kind: ScenarioKind,
+        /// Endpoint count (the generator's node universe).
+        nodes: usize,
+        /// Flow-count override; `None` uses the kind's preset and is
+        /// omitted from the encoding.
+        flows: Option<usize>,
+        /// Foreground per-flow byte override; `None` uses the preset,
+        /// omitted on the wire.
+        bytes: Option<u64>,
+        /// Generator seed (same seed, same traffic).
+        seed: u64,
+        /// Fabric to replay over; HFAST is provisioned from the
+        /// scenario's own communication graph.
+        fabric: FabricSpec,
+        /// Provisioner strategy for HFAST fabrics; `None` means the
+        /// paper heuristic, omitted on the wire.
+        strategy: Option<Strategy>,
+        /// Buffer slots per link for the credit model; `None` means the
+        /// engine default, omitted on the wire.
+        credits: Option<u32>,
+    },
 }
 
 /// How a verb is executed.
@@ -309,7 +336,7 @@ pub struct VerbSpec {
 /// The verb table. Index order is frozen: the first eight rows predate
 /// the table (their metric indexes are pinned by recorded observability),
 /// new verbs append.
-pub const VERBS: [VerbSpec; 13] = [
+pub const VERBS: [VerbSpec; 14] = [
     VerbSpec {
         name: "health",
         cacheable: false,
@@ -390,6 +417,14 @@ pub const VERBS: [VerbSpec; 13] = [
         queueable: false,
         handler: VerbHandler::Server,
     },
+    VerbSpec {
+        name: "scenario",
+        // Generators are seeded and the credit loop is deterministic, so
+        // the report is a pure function of the request.
+        cacheable: true,
+        queueable: false,
+        handler: VerbHandler::Worker(crate::handlers::scenario),
+    },
 ];
 
 impl Request {
@@ -410,6 +445,7 @@ impl Request {
             Request::Fetch { .. } => 10,
             Request::Cancel { .. } => 11,
             Request::Metrics => 12,
+            Request::Scenario { .. } => 13,
         }
     }
 
@@ -533,6 +569,9 @@ pub enum Response {
         /// [`Strategy::ALL`] order (cache hits do not re-execute and are
         /// not counted).
         strategy_hits: [u64; 3],
+        /// Scenario replays per generator kind, in [`ScenarioKind::ALL`]
+        /// order (cache hits do not re-execute and are not counted).
+        scenario_hits: [u64; 5],
         /// Profiled app graphs resident in the registry.
         graphs: u64,
         /// Built fabrics resident in the registry.
@@ -596,6 +635,35 @@ pub enum Response {
         total_retries: u64,
         /// Mid-run circuit re-provisioning rounds.
         reprovisions: usize,
+    },
+    /// Congestion-tree report from a `scenario` replay under credit-based
+    /// flow control.
+    ScenarioReport {
+        /// Flows the generator emitted.
+        flows: usize,
+        /// Flows delivered.
+        completed: usize,
+        /// Flows without a route.
+        unrouted: usize,
+        /// Time of last delivery.
+        makespan_ns: u64,
+        /// 95th-percentile flow latency.
+        p95_latency_ns: u64,
+        /// Congestion trees found in the trace.
+        trees: usize,
+        /// Deepest tree (stalled links upstream of the root).
+        deepest: usize,
+        /// Total stalled time across all trees.
+        stall_ns: u64,
+        /// Worst tree's victims over its root-crossing flows (0 when no
+        /// link ever stalled).
+        spread: f64,
+        /// Victims that never traverse their tree's root link, summed.
+        off_root_victims: usize,
+        /// Max-over-mean link busy-time (1.0 = perfectly balanced).
+        max_over_mean: f64,
+        /// Gini coefficient of link busy-time (0 = balanced).
+        gini: f64,
     },
     /// A job was accepted onto the durable queue.
     JobAccepted {
@@ -874,6 +942,37 @@ pub fn encode_request(req: &Request) -> String {
             }
             obj.finish()
         }
+        Request::Scenario {
+            kind,
+            nodes,
+            flows,
+            bytes,
+            seed,
+            fabric,
+            strategy,
+            credits,
+        } => {
+            let mut obj = JsonObj::new()
+                .str("type", "scenario")
+                .str("kind", kind.as_str())
+                .usize("nodes", *nodes);
+            // Optional overrides are omitted when None so preset requests
+            // keep minimal, stable cache keys.
+            if let Some(f) = flows {
+                obj = obj.usize("flows", *f);
+            }
+            if let Some(b) = bytes {
+                obj = obj.u64("bytes", *b);
+            }
+            obj = obj.u64("seed", *seed).raw("fabric", &encode_fabric(fabric));
+            if let Some(s) = strategy {
+                obj = obj.str("strategy", s.as_str());
+            }
+            if let Some(c) = credits {
+                obj = obj.u64("credits", u64::from(*c));
+            }
+            obj.finish()
+        }
     }
 }
 
@@ -940,6 +1039,7 @@ pub fn encode_response(resp: &Response) -> String {
             sim_events,
             sim_events_per_sec,
             strategy_hits,
+            scenario_hits,
             graphs,
             fabrics,
             jobs,
@@ -948,6 +1048,10 @@ pub fn encode_response(resp: &Response) -> String {
             let mut hits = JsonObj::new();
             for (s, &count) in Strategy::ALL.iter().zip(strategy_hits) {
                 hits = hits.u64(s.as_str(), count);
+            }
+            let mut sc_hits = JsonObj::new();
+            for (k, &count) in ScenarioKind::ALL.iter().zip(scenario_hits) {
+                sc_hits = sc_hits.u64(k.as_str(), count);
             }
             let job_obj = JsonObj::new()
                 .u64("submitted", jobs.submitted)
@@ -968,6 +1072,7 @@ pub fn encode_response(resp: &Response) -> String {
                 .u64("sim_events", *sim_events)
                 .u64("sim_events_per_sec", *sim_events_per_sec)
                 .raw("strategy_hits", &hits.finish())
+                .raw("scenario_hits", &sc_hits.finish())
                 .u64("graphs", *graphs)
                 .u64("fabrics", *fabrics)
                 .raw("jobs", &job_obj)
@@ -1066,6 +1171,34 @@ pub fn encode_response(resp: &Response) -> String {
             .u64("makespan_ns", *makespan_ns)
             .u64("total_retries", *total_retries)
             .usize("reprovisions", *reprovisions)
+            .finish(),
+        Response::ScenarioReport {
+            flows,
+            completed,
+            unrouted,
+            makespan_ns,
+            p95_latency_ns,
+            trees,
+            deepest,
+            stall_ns,
+            spread,
+            off_root_victims,
+            max_over_mean,
+            gini,
+        } => JsonObj::new()
+            .str("type", "scenario")
+            .usize("flows", *flows)
+            .usize("completed", *completed)
+            .usize("unrouted", *unrouted)
+            .u64("makespan_ns", *makespan_ns)
+            .u64("p95_latency_ns", *p95_latency_ns)
+            .usize("trees", *trees)
+            .usize("deepest", *deepest)
+            .u64("stall_ns", *stall_ns)
+            .f64("spread", *spread)
+            .usize("off_root_victims", *off_root_victims)
+            .f64("max_over_mean", *max_over_mean)
+            .f64("gini", *gini)
             .finish(),
         Response::JobAccepted { id } => JsonObj::new().str("type", "job").u64("id", *id).finish(),
         Response::JobStatus {
@@ -1299,6 +1432,33 @@ fn decode_request_value(v: &JsonValue) -> Result<Request, String> {
             id: need_u64(v, "id")?,
         }),
         "metrics" => Ok(Request::Metrics),
+        "scenario" => {
+            let kind = need_str(v, "kind")?;
+            let kind = ScenarioKind::parse(kind)
+                .ok_or_else(|| format!("unknown scenario kind {kind:?}"))?;
+            let flows = match v.get("flows") {
+                None => None,
+                Some(f) => Some(f.as_u64().ok_or("flows is not an integer")? as usize),
+            };
+            let bytes = match v.get("bytes") {
+                None => None,
+                Some(b) => Some(b.as_u64().ok_or("bytes is not an integer")?),
+            };
+            let credits = match v.get("credits") {
+                None => None,
+                Some(c) => Some(c.as_u64().ok_or("credits is not an integer")? as u32),
+            };
+            Ok(Request::Scenario {
+                kind,
+                nodes: need_usize(v, "nodes")?,
+                flows,
+                bytes,
+                seed: need_u64(v, "seed")?,
+                fabric: decode_fabric(v)?,
+                strategy: decode_strategy(v)?,
+                credits,
+            })
+        }
         other => Err(format!("unknown request type {other:?}")),
     }
 }
@@ -1327,6 +1487,11 @@ fn decode_response_value(v: &JsonValue) -> Result<Response, String> {
             let mut strategy_hits = [0u64; 3];
             for (s, slot) in Strategy::ALL.iter().zip(strategy_hits.iter_mut()) {
                 *slot = need_u64(hits, s.as_str())?;
+            }
+            let sc = v.get("scenario_hits").ok_or("stats needs scenario_hits")?;
+            let mut scenario_hits = [0u64; 5];
+            for (k, slot) in ScenarioKind::ALL.iter().zip(scenario_hits.iter_mut()) {
+                *slot = need_u64(sc, k.as_str())?;
             }
             let job_obj = v.get("jobs").ok_or("stats needs jobs")?;
             let jobs = JobTotals {
@@ -1361,6 +1526,7 @@ fn decode_response_value(v: &JsonValue) -> Result<Response, String> {
                 sim_events: need_u64(v, "sim_events")?,
                 sim_events_per_sec: need_u64(v, "sim_events_per_sec")?,
                 strategy_hits,
+                scenario_hits,
                 graphs: need_u64(v, "graphs")?,
                 fabrics: need_u64(v, "fabrics")?,
                 jobs,
@@ -1439,6 +1605,20 @@ fn decode_response_value(v: &JsonValue) -> Result<Response, String> {
             makespan_ns: need_u64(v, "makespan_ns")?,
             total_retries: need_u64(v, "total_retries")?,
             reprovisions: need_usize(v, "reprovisions")?,
+        }),
+        "scenario" => Ok(Response::ScenarioReport {
+            flows: need_usize(v, "flows")?,
+            completed: need_usize(v, "completed")?,
+            unrouted: need_usize(v, "unrouted")?,
+            makespan_ns: need_u64(v, "makespan_ns")?,
+            p95_latency_ns: need_u64(v, "p95_latency_ns")?,
+            trees: need_usize(v, "trees")?,
+            deepest: need_usize(v, "deepest")?,
+            stall_ns: need_u64(v, "stall_ns")?,
+            spread: need_f64(v, "spread")?,
+            off_root_victims: need_usize(v, "off_root_victims")?,
+            max_over_mean: need_f64(v, "max_over_mean")?,
+            gini: need_f64(v, "gini")?,
         }),
         "job" => Ok(Response::JobAccepted {
             id: need_u64(v, "id")?,
@@ -1563,6 +1743,26 @@ mod tests {
             Request::Fetch { id: (3 << 40) | 9 },
             Request::Cancel { id: 0 },
             Request::Metrics,
+            Request::Scenario {
+                kind: ScenarioKind::Incast,
+                nodes: 64,
+                flows: None,
+                bytes: None,
+                seed: 0xC0DE,
+                fabric: FabricSpec::FatTree { ports: 8 },
+                strategy: None,
+                credits: None,
+            },
+            Request::Scenario {
+                kind: ScenarioKind::MultiTenant,
+                nodes: 32,
+                flows: Some(96),
+                bytes: Some(128 << 10),
+                seed: 7,
+                fabric: FabricSpec::Hfast,
+                strategy: Some(Strategy::DemandDecomp),
+                credits: Some(2),
+            },
         ];
         for req in reqs {
             let enc = encode_request(&req);
@@ -1604,6 +1804,7 @@ mod tests {
                 sim_events: 99,
                 sim_events_per_sec: 1_000_000,
                 strategy_hits: [3, 2, 1],
+                scenario_hits: [5, 0, 1, 2, 3],
                 graphs: 5,
                 fabrics: 2,
                 jobs: JobTotals {
@@ -1649,6 +1850,20 @@ mod tests {
                     p95_ns: 2_000,
                     p99_ns: 4_000,
                 }],
+            },
+            Response::ScenarioReport {
+                flows: 126,
+                completed: 126,
+                unrouted: 0,
+                makespan_ns: 4_230_590,
+                p95_latency_ns: 3_000_000,
+                trees: 5,
+                deepest: 5,
+                stall_ns: 500_414_029,
+                spread: 22.75,
+                off_root_victims: 228,
+                max_over_mean: 51.75,
+                gini: 0.8125,
             },
             Response::JobAccepted { id: (1 << 40) | 12 },
             Response::JobStatus {
@@ -1840,6 +2055,109 @@ mod tests {
         .is_err());
     }
 
+    /// The scenario verb pins its wire form, and its cache keys separate
+    /// every knob: kind, nodes, overrides, seed, fabric, strategy, and
+    /// credits all land in the canonical encoding.
+    #[test]
+    fn scenario_requests_pin_their_wire_format_and_keys() {
+        let preset = Request::Scenario {
+            kind: ScenarioKind::Incast,
+            nodes: 64,
+            flows: None,
+            bytes: None,
+            seed: 49374,
+            fabric: FabricSpec::FatTree { ports: 8 },
+            strategy: None,
+            credits: None,
+        };
+        assert_eq!(
+            encode_request(&preset),
+            r#"{"type":"scenario","kind":"incast","nodes":64,"seed":49374,"fabric":{"kind":"fattree","ports":8}}"#
+        );
+        let full = Request::Scenario {
+            kind: ScenarioKind::HotSpot,
+            nodes: 32,
+            flows: Some(64),
+            bytes: Some(65536),
+            seed: 5,
+            fabric: FabricSpec::Hfast,
+            strategy: Some(Strategy::BffCircuit),
+            credits: Some(2),
+        };
+        assert_eq!(
+            encode_request(&full),
+            r#"{"type":"scenario","kind":"hotspot","nodes":32,"flows":64,"bytes":65536,"seed":5,"fabric":{"kind":"hfast"},"strategy":"bff_circuit","credits":2}"#
+        );
+        // Every knob separates the cache key from the preset's.
+        let key = |r: &Request| request_key(&encode_request(r));
+        let mut variants = vec![preset.clone()];
+        let mutators: [fn(&mut Request); 8] = [
+            |r| {
+                let Request::Scenario { kind, .. } = r else {
+                    unreachable!()
+                };
+                *kind = ScenarioKind::Bursty;
+            },
+            |r| {
+                let Request::Scenario { nodes, .. } = r else {
+                    unreachable!()
+                };
+                *nodes = 32;
+            },
+            |r| {
+                let Request::Scenario { flows, .. } = r else {
+                    unreachable!()
+                };
+                *flows = Some(10);
+            },
+            |r| {
+                let Request::Scenario { bytes, .. } = r else {
+                    unreachable!()
+                };
+                *bytes = Some(1024);
+            },
+            |r| {
+                let Request::Scenario { seed, .. } = r else {
+                    unreachable!()
+                };
+                *seed = 1;
+            },
+            |r| {
+                let Request::Scenario { fabric, .. } = r else {
+                    unreachable!()
+                };
+                *fabric = FabricSpec::Hfast;
+            },
+            |r| {
+                let Request::Scenario { strategy, .. } = r else {
+                    unreachable!()
+                };
+                *strategy = Some(Strategy::PaperLinear);
+            },
+            |r| {
+                let Request::Scenario { credits, .. } = r else {
+                    unreachable!()
+                };
+                *credits = Some(4);
+            },
+        ];
+        for f in mutators {
+            let mut v = preset.clone();
+            f(&mut v);
+            variants.push(v);
+        }
+        for (i, a) in variants.iter().enumerate() {
+            for b in variants.iter().skip(i + 1) {
+                assert_ne!(key(a), key(b), "{a:?} and {b:?} collide");
+            }
+        }
+        // An unknown kind is a structured decode error.
+        assert!(decode_request(
+            r#"{"type":"scenario","kind":"warp","nodes":8,"seed":1,"fabric":{"kind":"hfast"}}"#
+        )
+        .is_err());
+    }
+
     /// Job verbs pin their wire form: submit nests the inner request
     /// verbatim, poll/fetch/cancel are `{"type":...,"id":N}`.
     #[test]
@@ -1911,6 +2229,18 @@ mod tests {
         assert_eq!(poll.endpoint(), "poll");
         assert_eq!(ENDPOINTS[poll.endpoint_index()], "poll");
         assert!(!poll.cacheable());
+        let scenario = Request::Scenario {
+            kind: ScenarioKind::Bursty,
+            nodes: 16,
+            flows: None,
+            bytes: None,
+            seed: 1,
+            fabric: FabricSpec::Hfast,
+            strategy: None,
+            credits: None,
+        };
+        assert_eq!(scenario.endpoint(), "scenario");
+        assert!(scenario.cacheable(), "seeded replays are pure functions");
         // Queueable rows are exactly simulate and debug_panic.
         let queueable: Vec<&str> = VERBS
             .iter()

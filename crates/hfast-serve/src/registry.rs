@@ -14,7 +14,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use hfast_apps::{all_apps, profile_app};
 use hfast_core::{ProvisionConfig, Strategy};
-use hfast_netsim::{EngineObs, Fabric, FatTreeFabric, HfastFabric, SharedPathCache, TorusFabric};
+use hfast_netsim::{
+    EngineObs, Fabric, FatTreeFabric, HfastFabric, ScenarioKind, SharedPathCache, TorusFabric,
+};
 use hfast_topology::CommGraph;
 
 use crate::protocol::{AppSpec, FabricSpec};
@@ -51,6 +53,10 @@ pub struct Registry {
     /// Response-cache hits never reach the handlers, so these count real
     /// provisioning work, not request traffic.
     strategy_hits: [AtomicU64; 3],
+    /// Scenario replays per generator kind, in [`ScenarioKind::ALL`]
+    /// order. Cache hits never reach the handler, so these count real
+    /// credit-mode replays.
+    scenario_hits: [AtomicU64; 5],
 }
 
 fn entry<K: std::hash::Hash + Eq + Clone, V>(
@@ -110,6 +116,24 @@ impl Registry {
             self.strategy_hits[1].load(Ordering::Relaxed),
             self.strategy_hits[2].load(Ordering::Relaxed),
         ]
+    }
+
+    /// Records one scenario replay of `kind`.
+    pub fn note_scenario(&self, kind: ScenarioKind) {
+        let idx = ScenarioKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("every kind is listed");
+        self.scenario_hits[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-kind scenario replay counts, in [`ScenarioKind::ALL`] order.
+    pub fn scenario_hits(&self) -> [u64; 5] {
+        let mut out = [0u64; 5];
+        for (slot, counter) in out.iter_mut().zip(self.scenario_hits.iter()) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// The communication graph of an app spec: inline graphs materialize

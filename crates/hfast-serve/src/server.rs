@@ -244,6 +244,7 @@ fn route_request(shared: &Shared, req: Request) -> Routed {
                     sim_events: sim.events.get(),
                     sim_events_per_sec: sim.events_per_sec.get(),
                     strategy_hits: shared.registry.strategy_hits(),
+                    scenario_hits: shared.registry.scenario_hits(),
                     graphs,
                     fabrics,
                     jobs: shared.jobs.totals(),

@@ -182,6 +182,7 @@ fn any_response_round_trips() {
                 sim_events: u53(rng),
                 sim_events_per_sec: u53(rng),
                 strategy_hits: [u53(rng), u53(rng), u53(rng)],
+                scenario_hits: [u53(rng), u53(rng), u53(rng), u53(rng), u53(rng)],
                 graphs: u53(rng),
                 fabrics: u53(rng),
                 jobs: JobTotals {

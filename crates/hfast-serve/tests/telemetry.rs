@@ -108,6 +108,7 @@ fn mask_timing(resp: Response) -> Response {
             cache_bytes,
             sim_events,
             strategy_hits,
+            scenario_hits,
             graphs,
             fabrics,
             jobs,
@@ -130,6 +131,7 @@ fn mask_timing(resp: Response) -> Response {
                 sim_events,
                 sim_events_per_sec: 0,
                 strategy_hits,
+                scenario_hits,
                 graphs,
                 fabrics,
                 jobs,

@@ -7,8 +7,16 @@
 //! unit of interconnect behaviour: busy/wait totals, peak queue depth, and
 //! bucketed utilization/queue-depth timelines, ranked into a hotspot
 //! table.
+//!
+//! Credit-mode runs additionally emit `stall` spans (a link's head
+//! blocked, waiting for a credit on the downstream link named by the
+//! span's `for` field). [`congestion_trees`] folds those into the tree
+//! reports of arXiv 1907.05312 — root link, depth, member links, victim
+//! counts — and [`utilization_spread`] condenses a hotspot ranking into
+//! the two scalars ("how unequal is link load?") the congestion-lab
+//! comparisons assert on.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::span::{SpanRecord, Track};
 
@@ -29,11 +37,18 @@ pub struct LinkLoad {
     pub utilization: f64,
 }
 
+/// True for the serialization spans the load statistics fold. The name
+/// check matters since credit-mode runs put `stall` spans on the same
+/// link tracks — stalled time is *not* busy time.
+fn is_hop(s: &SpanRecord) -> bool {
+    s.name == "hop" && s.dur_ns > 0
+}
+
 fn hop_intervals(spans: &[SpanRecord]) -> BTreeMap<usize, Vec<&SpanRecord>> {
     let mut by_link: BTreeMap<usize, Vec<&SpanRecord>> = BTreeMap::new();
     for s in spans {
         if let Track::Link(l) = s.track {
-            if s.dur_ns > 0 {
+            if is_hop(s) {
                 by_link.entry(l).or_default().push(s);
             }
         }
@@ -115,7 +130,7 @@ pub fn utilization_timeline(
     let mut busy = vec![0u64; buckets];
     let width = horizon_ns.div_ceil(buckets as u64).max(1);
     for s in spans {
-        if s.track != Track::Link(link) || s.dur_ns == 0 {
+        if s.track != Track::Link(link) || !is_hop(s) {
             continue;
         }
         let (start, end) = (s.t_ns, s.t_ns + s.dur_ns);
@@ -146,7 +161,7 @@ pub fn queue_depth_timeline(
     let width = horizon_ns.div_ceil(buckets as u64).max(1);
     let mut edges: Vec<(u64, i32)> = Vec::new();
     for s in spans {
-        if s.track != Track::Link(link) || s.dur_ns == 0 {
+        if s.track != Track::Link(link) || !is_hop(s) {
             continue;
         }
         edges.push((s.t_ns.saturating_sub(wait_of(s)), 1));
@@ -163,6 +178,173 @@ pub fn queue_depth_timeline(
         }
     }
     out
+}
+
+/// How unevenly busy time is distributed across the links that carried
+/// traffic: the scalar form of "is congestion bounded?".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationSpread {
+    /// Links that carried at least one hop.
+    pub links: usize,
+    /// Busiest link's busy time over the mean busy time (1.0 = perfectly
+    /// balanced; large = one link does all the work).
+    pub max_over_mean: f64,
+    /// Gini coefficient of per-link busy time in `[0, 1)`: 0 = equal
+    /// load everywhere, →1 = all load on one link.
+    pub gini: f64,
+}
+
+/// Condenses a [`rank_hotspots`] ranking into its inequality statistics.
+/// Zeroed when no link carried traffic.
+pub fn utilization_spread(loads: &[LinkLoad]) -> UtilizationSpread {
+    let mut busy: Vec<u64> = loads.iter().map(|l| l.busy_ns).collect();
+    busy.sort_unstable();
+    let total: u64 = busy.iter().sum();
+    let n = busy.len();
+    if n == 0 || total == 0 {
+        return UtilizationSpread {
+            links: n,
+            max_over_mean: 0.0,
+            gini: 0.0,
+        };
+    }
+    let mean = total as f64 / n as f64;
+    let max = *busy.last().unwrap() as f64;
+    // Gini over the sorted values: 2·Σ(i+1)·x_i / (n·Σx) − (n+1)/n.
+    let weighted: f64 = busy
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    let gini = (2.0 * weighted / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64).max(0.0);
+    UtilizationSpread {
+        links: n,
+        max_over_mean: max / mean,
+        gini,
+    }
+}
+
+/// One congestion tree folded out of credit-mode `stall` spans, in the
+/// terminology of arXiv 1907.05312: the **root** is the saturated link
+/// everything ultimately waits on; member links stalled waiting (directly
+/// or transitively) for the root; **victims** are the distinct flows the
+/// tree delayed, some of which never traverse the root at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionTree {
+    /// The saturated link at the bottom of the wait chain (it caused
+    /// stalls but never stalled itself).
+    pub root: usize,
+    /// Longest upstream wait chain, in links (1 = only direct stalls).
+    pub depth: usize,
+    /// All member links, root included, ascending.
+    pub links: Vec<usize>,
+    /// Total stalled time summed over the member links.
+    pub stall_ns: u64,
+    /// Distinct flows delayed by the tree: flows that stalled on a
+    /// member link or queued (`wait > 0`) behind one.
+    pub victim_flows: usize,
+    /// Distinct flows that actually crossed the root link.
+    pub root_flows: usize,
+    /// Victims that never crossed the root — the tree's collateral
+    /// damage, the paper's headline observation.
+    pub off_root_victims: usize,
+    /// `victim_flows / root_flows` (root flows floored at 1): how far
+    /// past its own traffic the hot link's damage spread.
+    pub spread_ratio: f64,
+}
+
+/// Extracts congestion trees from a snapshot containing credit-mode
+/// `stall` spans, sorted by total stalled time descending (root id breaks
+/// ties). Ideal-mode traces have no stall spans and yield no trees.
+///
+/// Wait *cycles* (A stalls for B while B stalls for A, at different
+/// times) have no root and are not reported as trees.
+pub fn congestion_trees(spans: &[SpanRecord]) -> Vec<CongestionTree> {
+    // target link -> the links that stalled waiting for it.
+    let mut upstream: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    let mut stalled_links: BTreeSet<usize> = BTreeSet::new();
+    let mut stall_ns_by_link: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut stall_flows_by_link: BTreeMap<usize, BTreeSet<u64>> = BTreeMap::new();
+    let mut hop_flows_by_link: BTreeMap<usize, BTreeSet<u64>> = BTreeMap::new();
+    let mut waited_flows_by_link: BTreeMap<usize, BTreeSet<u64>> = BTreeMap::new();
+    let field =
+        |s: &SpanRecord, key: &str| s.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+    for s in spans {
+        let Track::Link(l) = s.track else { continue };
+        match s.name {
+            "stall" => {
+                let Some(wanted) = field(s, "for") else {
+                    continue;
+                };
+                upstream.entry(wanted as usize).or_default().insert(l);
+                stalled_links.insert(l);
+                *stall_ns_by_link.entry(l).or_default() += s.dur_ns;
+                if let Some(flow) = field(s, "flow") {
+                    stall_flows_by_link.entry(l).or_default().insert(flow);
+                }
+            }
+            "hop" => {
+                if let Some(flow) = field(s, "flow") {
+                    hop_flows_by_link.entry(l).or_default().insert(flow);
+                    if field(s, "wait").is_some_and(|w| w > 0) {
+                        waited_flows_by_link.entry(l).or_default().insert(flow);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut trees: Vec<CongestionTree> = upstream
+        .keys()
+        .filter(|root| !stalled_links.contains(root))
+        .map(|&root| {
+            // BFS upstream from the root through the stall edges.
+            let mut members: BTreeSet<usize> = BTreeSet::from([root]);
+            let mut frontier = vec![root];
+            let mut depth = 0usize;
+            while !frontier.is_empty() {
+                let mut next = Vec::new();
+                for l in frontier {
+                    for &up in upstream.get(&l).into_iter().flatten() {
+                        if members.insert(up) {
+                            next.push(up);
+                        }
+                    }
+                }
+                if !next.is_empty() {
+                    depth += 1;
+                }
+                frontier = next;
+            }
+
+            let stall_ns = members.iter().filter_map(|l| stall_ns_by_link.get(l)).sum();
+            let mut victims: BTreeSet<u64> = BTreeSet::new();
+            for l in &members {
+                if let Some(fs) = stall_flows_by_link.get(l) {
+                    victims.extend(fs);
+                }
+                if let Some(fs) = waited_flows_by_link.get(l) {
+                    victims.extend(fs);
+                }
+            }
+            let empty = BTreeSet::new();
+            let root_flows = hop_flows_by_link.get(&root).unwrap_or(&empty);
+            let off_root_victims = victims.iter().filter(|f| !root_flows.contains(f)).count();
+            CongestionTree {
+                root,
+                depth,
+                links: members.into_iter().collect(),
+                stall_ns,
+                victim_flows: victims.len(),
+                root_flows: root_flows.len(),
+                off_root_victims,
+                spread_ratio: victims.len() as f64 / root_flows.len().max(1) as f64,
+            }
+        })
+        .collect();
+    trees.sort_by(|a, b| b.stall_ns.cmp(&a.stall_ns).then(a.root.cmp(&b.root)));
+    trees
 }
 
 #[cfg(test)]
@@ -239,5 +421,98 @@ mod tests {
     #[test]
     fn empty_input_is_empty() {
         assert!(rank_hotspots(&[]).is_empty());
+        assert!(congestion_trees(&[]).is_empty());
+        let spread = utilization_spread(&[]);
+        assert_eq!(spread.links, 0);
+        assert_eq!(spread.gini, 0.0);
+    }
+
+    fn flow_hop(link: usize, flow: u64, wait: u64) -> SpanRecord {
+        SpanRecord {
+            track: Track::Link(link),
+            name: "hop",
+            t_ns: 0,
+            dur_ns: 10,
+            span_id: 0,
+            parent_id: 0,
+            fields: vec![("wait", wait), ("flow", flow)],
+        }
+    }
+
+    fn stall(link: usize, flow: u64, wanted: usize, dur: u64) -> SpanRecord {
+        SpanRecord {
+            track: Track::Link(link),
+            name: "stall",
+            t_ns: 0,
+            dur_ns: dur,
+            span_id: 0,
+            parent_id: 0,
+            fields: vec![("flow", flow), ("for", wanted as u64)],
+        }
+    }
+
+    #[test]
+    fn stall_spans_do_not_count_as_busy_time() {
+        let spans = vec![hop(1, 0, 10, 0), stall(1, 7, 2, 100)];
+        let loads = rank_hotspots(&spans);
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads[0].busy_ns, 10, "the 100 ns stall is not busy");
+        assert_eq!(loads[0].messages, 1);
+        let tl = utilization_timeline(&spans, 1, 100, 2);
+        assert!(tl[1] < 1e-12, "stall adds nothing to the timeline");
+    }
+
+    #[test]
+    fn spread_separates_balanced_from_skewed() {
+        let balanced: Vec<LinkLoad> = rank_hotspots(&[hop(1, 0, 50, 0), hop(2, 0, 50, 0)]);
+        let s = utilization_spread(&balanced);
+        assert_eq!(s.links, 2);
+        assert!((s.max_over_mean - 1.0).abs() < 1e-12);
+        assert!(s.gini < 1e-12);
+
+        let skewed = rank_hotspots(&[hop(1, 0, 90, 0), hop(2, 0, 10, 0)]);
+        let s = utilization_spread(&skewed);
+        assert!((s.max_over_mean - 1.8).abs() < 1e-12);
+        assert!((s.gini - 0.4).abs() < 1e-12, "gini {}", s.gini);
+    }
+
+    #[test]
+    fn tree_extraction_finds_root_depth_and_victims() {
+        // Chain: link 3 stalls for 2, link 2 stalls for 1 — root is 1.
+        // Flow 10 crosses the root; flow 11 stalls on link 3 and never
+        // touches the root; flow 12 queues behind link 2.
+        let spans = vec![
+            flow_hop(1, 10, 0),
+            flow_hop(2, 12, 5),
+            stall(2, 10, 1, 40),
+            stall(3, 11, 2, 20),
+        ];
+        let trees = congestion_trees(&spans);
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        assert_eq!(t.root, 1);
+        assert_eq!(t.depth, 2, "3 → 2 → 1");
+        assert_eq!(t.links, vec![1, 2, 3]);
+        assert_eq!(t.stall_ns, 60);
+        assert_eq!(t.victim_flows, 3, "flows 10, 11, 12");
+        assert_eq!(t.root_flows, 1, "only flow 10 crossed the root");
+        assert_eq!(t.off_root_victims, 2, "flows 11 and 12 never did");
+        assert!((t.spread_ratio - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_trees_sort_by_stall_time() {
+        let spans = vec![stall(2, 1, 1, 10), stall(5, 2, 4, 99)];
+        let trees = congestion_trees(&spans);
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].root, 4, "heavier tree first");
+        assert_eq!(trees[1].root, 1);
+        assert_eq!(trees[0].depth, 1);
+    }
+
+    #[test]
+    fn wait_cycles_yield_no_tree() {
+        let spans = vec![stall(1, 1, 2, 10), stall(2, 2, 1, 10)];
+        assert!(congestion_trees(&spans).is_empty(), "no stall-free root");
     }
 }

@@ -48,7 +48,10 @@ pub mod perfetto;
 pub mod span;
 pub mod stitch;
 
-pub use analyzer::{queue_depth_timeline, rank_hotspots, utilization_timeline, LinkLoad};
+pub use analyzer::{
+    congestion_trees, queue_depth_timeline, rank_hotspots, utilization_spread,
+    utilization_timeline, CongestionTree, LinkLoad, UtilizationSpread,
+};
 pub use flame::{aggregate, CallAgg};
 pub use json::{parse, JsonValue};
 pub use perfetto::{export, validate, TraceStats};

@@ -2,25 +2,32 @@
 # Runs every bench suite and assembles the results into BENCH_<tag>.json
 # at the repo root (one JSON document: {"tag": ..., "results": [...]}).
 #
-# Usage: scripts/bench.sh [tag]        (default tag: pr9)
+# Usage: scripts/bench.sh [tag]        (default tag: pr10)
 #   HFAST_BENCH_FAST=1 scripts/bench.sh   # quick smoke pass
 #
-# When a BENCH_pr8.json (or an earlier PR's) baseline exists, the netsim
+# When a BENCH_pr9.json (or an earlier PR's) baseline exists, the netsim
 # suite records the trace-off overhead guard (guard/trace_off_vs_pr3)
+# and the congestion-dispatch guard (guard/congestion_ideal_vs_pr9: an
+# explicit CongestionMode::Ideal run against the baseline's cold case),
 # and the serve suite records the telemetry-off guard
-# (guard/telemetry_off_vs_pr8): fastest telemetry-free sample over the
-# baseline's, drift-normalized by a calibration case; must stay <= 1.05.
-# The serve suite also prices the full telemetry plane
+# (guard/telemetry_off_vs_pr8): fastest sample over the baseline's,
+# drift-normalized by a calibration case; each must stay <= 1.05. The
+# netsim suite also records the credit-mode congestion headlines
+# (congestion/spread_hfast_vs_fattree, well below 1, and its inverse
+# congestion/isolation_fattree_vs_hfast — the fat tree's worst
+# congestion-tree spread over HFAST's on the incast scenario — which
+# survives the JSONL's one-decimal rounding), and
+# the serve suite prices the full telemetry plane
 # (overhead/telemetry_on_vs_off — informational, spans are opt-in).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-pr9}"
+TAG="${1:-pr10}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 export HFAST_BENCH_JSON="$TMP"
-for base in BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json BENCH_pr1.json; do
+for base in BENCH_pr9.json BENCH_pr8.json BENCH_pr7.json BENCH_pr6.json BENCH_pr5.json BENCH_pr4.json BENCH_pr3.json BENCH_pr2.json BENCH_pr1.json; do
   if [[ -f "$base" ]]; then
     export HFAST_BENCH_BASELINE="$PWD/$base"
     break

@@ -23,9 +23,16 @@ cargo run --release -q -p hfast-bench --bin trace_capture > /dev/null
 # digests under HFAST_THREADS=1 and =8; exits non-zero on divergence.
 cargo run --release -q -p hfast-bench --bin eventloop_smoke > /dev/null
 # Provisioner bake-off smoke: every strategy must produce a valid
-# provisioning on every app cell and paper_linear digests must match the
-# PR-6 goldens (the trait extraction is bit-identical).
+# provisioning on every app cell, paper_linear digests must match the
+# PR-6 goldens (the trait extraction is bit-identical), and credit-mode
+# replays must deliver every flow (no deadlock under backpressure).
 cargo run --release -q -p hfast-bench --bin provision_bakeoff -- --check > /dev/null
+# Congestion-lab smoke: adversarial scenarios x fabrics x strategies under
+# credit flow control; exits non-zero unless HFAST's congestion-tree
+# spread is strictly below the fat tree's on every scenario x strategy
+# cell, the fat tree shows off-root victims on incast, and ideal mode is
+# byte-identical to the plain loop.
+cargo run --release -q -p hfast-bench --bin congestion_lab -- --check > /dev/null
 # Serving smoke: ephemeral-port daemon exercised across every endpoint
 # (health, provision, cost, tdc, simulate with and without faults, the
 # panic-isolation probe, stats) and drained; exits non-zero on any
